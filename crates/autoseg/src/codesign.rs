@@ -1,0 +1,361 @@
+//! Co-design optimization baselines (Section VI-G, Figure 18).
+//!
+//! Five methods produce clouds of `(latency, energy)` design points:
+//!
+//! * **MIP-Heuristic** — AutoSeg itself: exact segmentation + Algorithm 1.
+//! * **MIP-Random** — exact segmentation, hardware parameters sampled
+//!   uniformly (500 iterations in the paper).
+//! * **MIP-Baye** — exact segmentation, hardware searched by TPE.
+//! * **Baye-Heuristic** — segmentation searched by TPE (2000 iterations in
+//!   the paper), hardware from Algorithm 1.
+//! * **Baye-Baye** — the nested bi-loop of [Shi et al.]: an outer TPE over
+//!   hardware, an inner TPE over segmentation with only latency feedback.
+
+use crate::allocate::{allocate, manual_design};
+use crate::engine::DesignGoal;
+use crate::error::AutoSegError;
+use crate::segment::{BayesSegmenter, ChainDpSegmenter, Segmenter};
+use bayesopt::{Optimizer, SearchSpace, SimulatedAnnealing, Tpe};
+use nnmodel::{Graph, Workload};
+use spa_arch::HwBudget;
+use spa_sim::simulate_spa;
+
+/// One evaluated co-design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Frame latency in seconds.
+    pub latency_s: f64,
+    /// Total energy per frame in pJ.
+    pub energy_pj: f64,
+    /// Method label.
+    pub method: &'static str,
+    /// `(n_pus, n_segments)` of the point.
+    pub shape: (usize, usize),
+}
+
+/// Iteration budgets for the search-based methods.
+#[derive(Debug, Clone, Copy)]
+pub struct CodesignBudgets {
+    /// Hardware-search iterations (the paper uses 500).
+    pub hw_iters: usize,
+    /// Segmentation-search iterations (the paper uses 2000).
+    pub seg_iters: usize,
+    /// Seed for all stochastic methods.
+    pub seed: u64,
+}
+
+impl Default for CodesignBudgets {
+    fn default() -> Self {
+        Self {
+            hw_iters: 500,
+            seg_iters: 2000,
+            seed: 7,
+        }
+    }
+}
+
+fn shapes(workload: &Workload, budget: &HwBudget) -> Vec<(usize, usize)> {
+    let l = workload.len();
+    let mut v = Vec::new();
+    for n in 2..=4usize.min(l).min(budget.pes) {
+        for s in 1..=8.min(l / n) {
+            v.push((n, s));
+        }
+    }
+    v
+}
+
+fn point(
+    workload: &Workload,
+    design: &spa_arch::SpaDesign,
+    budget: &HwBudget,
+    method: &'static str,
+    shape: (usize, usize),
+) -> Option<DesignPoint> {
+    if !design.fits(budget) || design.segment_routings(workload).is_err() {
+        return None;
+    }
+    let r = simulate_spa(workload, design);
+    Some(DesignPoint {
+        latency_s: r.seconds,
+        energy_pj: r.energy.total_pj(),
+        method,
+        shape,
+    })
+}
+
+/// MIP-Heuristic: the AutoSeg engine's own candidates — one point per
+/// feasible `(N, S)` shape.
+pub fn mip_heuristic(
+    model: &Graph,
+    budget: &HwBudget,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let workload = Workload::from_graph(model);
+    let seg = ChainDpSegmenter::new();
+    let mut pts = Vec::new();
+    for (n, s) in shapes(&workload, budget) {
+        let Ok(schedule) = seg.segment(&workload, n, s) else {
+            continue;
+        };
+        let design = allocate(&workload, &schedule, budget, DesignGoal::Latency)?;
+        if let Some(p) = point(&workload, &design, budget, "mip-heuristic", (n, s)) {
+            pts.push(p);
+        }
+    }
+    Ok(pts)
+}
+
+/// Hardware search space for the random/Bayesian hardware methods: one
+/// log2-PE dimension per PU plus one buffer-multiplier dimension.
+fn hw_space(n_pus: usize, budget: &HwBudget) -> SearchSpace {
+    let max_log = (budget.pes.max(2) as f64).log2().floor() as usize + 1;
+    let mut dims = vec![max_log; n_pus];
+    dims.push(3); // buffer multiplier 1 / 2 / 4
+    SearchSpace::new(dims)
+}
+
+fn decode_hw(pt: &[usize]) -> (Vec<usize>, u64) {
+    let n = pt.len() - 1;
+    let pes: Vec<usize> = pt[..n].iter().map(|&k| 1usize << k).collect();
+    let mult = 1u64 << pt[n];
+    (pes, mult)
+}
+
+/// MIP-Random and MIP-Baye share this driver: exact segmentation, then
+/// black-box hardware search.
+fn mip_search(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+    bayes: bool,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let workload = Workload::from_graph(model);
+    let seg = ChainDpSegmenter::new();
+    let method: &'static str = if bayes { "mip-baye" } else { "mip-random" };
+    let mut pts = Vec::new();
+    let all_shapes = shapes(&workload, budget);
+    if all_shapes.is_empty() {
+        return Ok(pts);
+    }
+    let per_shape = (budgets.hw_iters / all_shapes.len()).max(4);
+    for (n, s) in all_shapes {
+        let Ok(schedule) = seg.segment(&workload, n, s) else {
+            continue;
+        };
+        let space = hw_space(n, budget);
+        let mut opt: Box<dyn Optimizer> = if bayes {
+            Box::new(Tpe::new(space, budgets.seed))
+        } else {
+            Box::new(bayesopt::RandomSearch::new(space, budgets.seed))
+        };
+        for _ in 0..per_shape {
+            let sample = opt.suggest();
+            let (pes, mult) = decode_hw(&sample);
+            let design = manual_design(&workload, &schedule, budget, &pes, mult);
+            let value = match point(&workload, &design, budget, method, (n, s)) {
+                Some(p) => {
+                    let v = p.latency_s;
+                    pts.push(p);
+                    v
+                }
+                None => f64::INFINITY,
+            };
+            opt.observe(sample, value);
+        }
+    }
+    Ok(pts)
+}
+
+/// MIP-Anneal: exact segmentation + simulated-annealing hardware search (a
+/// local-search contrast to TPE's model-based sampling; not in the paper's
+/// baseline set but a natural ablation of the search strategy).
+pub fn mip_anneal(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let workload = Workload::from_graph(model);
+    let seg = ChainDpSegmenter::new();
+    let mut pts = Vec::new();
+    let all_shapes = shapes(&workload, budget);
+    if all_shapes.is_empty() {
+        return Ok(pts);
+    }
+    let per_shape = (budgets.hw_iters / all_shapes.len()).max(4);
+    for (n, s) in all_shapes {
+        let Ok(schedule) = seg.segment(&workload, n, s) else {
+            continue;
+        };
+        let mut opt = SimulatedAnnealing::new(hw_space(n, budget), budgets.seed);
+        for _ in 0..per_shape {
+            let sample = opt.suggest();
+            let (pes, mult) = decode_hw(&sample);
+            let design = manual_design(&workload, &schedule, budget, &pes, mult);
+            let value = match point(&workload, &design, budget, "mip-anneal", (n, s)) {
+                Some(p) => {
+                    let v = p.latency_s;
+                    pts.push(p);
+                    v
+                }
+                None => f64::INFINITY,
+            };
+            opt.observe(sample, value);
+        }
+    }
+    Ok(pts)
+}
+
+/// MIP-Random: exact segmentation + uniform-random hardware sampling.
+pub fn mip_random(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    mip_search(model, budget, budgets, false)
+}
+
+/// MIP-Baye: exact segmentation + TPE hardware search.
+pub fn mip_baye(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    mip_search(model, budget, budgets, true)
+}
+
+/// Baye-Heuristic: TPE segmentation + Algorithm 1 hardware.
+pub fn baye_heuristic(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let workload = Workload::from_graph(model);
+    let mut pts = Vec::new();
+    let all_shapes = shapes(&workload, budget);
+    if all_shapes.is_empty() {
+        return Ok(pts);
+    }
+    let per_shape = (budgets.seg_iters / all_shapes.len()).max(8);
+    for (n, s) in all_shapes {
+        let seg = BayesSegmenter::new(budgets.seed, per_shape);
+        let Ok(schedule) = seg.segment(&workload, n, s) else {
+            continue;
+        };
+        let design = allocate(&workload, &schedule, budget, DesignGoal::Latency)?;
+        if let Some(p) = point(&workload, &design, budget, "baye-heuristic", (n, s)) {
+            pts.push(p);
+        }
+    }
+    Ok(pts)
+}
+
+/// Baye-Baye: nested TPE loops — outer over hardware, inner over
+/// segmentation, latency-only feedback (the bi-loop structure that tends
+/// to fall into local optima, Section VI-G point 3).
+pub fn baye_baye(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let workload = Workload::from_graph(model);
+    let mut pts = Vec::new();
+    let all_shapes = shapes(&workload, budget);
+    if all_shapes.is_empty() {
+        return Ok(pts);
+    }
+    let outer = (budgets.hw_iters / all_shapes.len()).max(2);
+    let inner = (budgets.seg_iters / budgets.hw_iters.max(1)).max(4);
+    for (n, s) in all_shapes {
+        let space = hw_space(n, budget);
+        let mut hw_opt = Tpe::new(space, budgets.seed);
+        for k in 0..outer {
+            let sample = hw_opt.suggest();
+            let (pes, mult) = decode_hw(&sample);
+            // Inner loop: TPE segmentation for this fixed hardware, scored
+            // by simulated latency only.
+            let seg = BayesSegmenter::new(budgets.seed.wrapping_add(k as u64), inner);
+            let value = match seg.segment(&workload, n, s) {
+                Ok(schedule) => {
+                    let design = manual_design(&workload, &schedule, budget, &pes, mult);
+                    match point(&workload, &design, budget, "baye-baye", (n, s)) {
+                        Some(p) => {
+                            let v = p.latency_s;
+                            pts.push(p);
+                            v
+                        }
+                        None => f64::INFINITY,
+                    }
+                }
+                Err(_) => f64::INFINITY,
+            };
+            hw_opt.observe(sample, value);
+        }
+    }
+    Ok(pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnmodel::zoo;
+
+    fn tiny_budgets() -> CodesignBudgets {
+        CodesignBudgets {
+            hw_iters: 40,
+            seg_iters: 60,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn all_methods_produce_feasible_points() {
+        let model = zoo::alexnet_conv();
+        let budget = HwBudget::nvdla_small();
+        let b = tiny_budgets();
+        let runs: Vec<(&str, Vec<DesignPoint>)> = vec![
+            ("mip-heuristic", mip_heuristic(&model, &budget).unwrap()),
+            ("mip-random", mip_random(&model, &budget, &b).unwrap()),
+            ("mip-baye", mip_baye(&model, &budget, &b).unwrap()),
+            ("baye-heuristic", baye_heuristic(&model, &budget, &b).unwrap()),
+            ("baye-baye", baye_baye(&model, &budget, &b).unwrap()),
+            ("mip-anneal", mip_anneal(&model, &budget, &b).unwrap()),
+        ];
+        for (name, pts) in &runs {
+            assert!(!pts.is_empty(), "{name} produced no points");
+            for p in pts {
+                assert!(p.latency_s > 0.0 && p.energy_pj > 0.0, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_best_latency_competitive_with_random() {
+        // Figure 18: MIP-Heuristic (AutoSeg) finds the best designs.
+        let model = zoo::alexnet_conv();
+        let budget = HwBudget::nvdla_small();
+        let b = tiny_budgets();
+        let best = |pts: &[DesignPoint]| {
+            pts.iter()
+                .map(|p| p.latency_s)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let h = best(&mip_heuristic(&model, &budget).unwrap());
+        let r = best(&mip_random(&model, &budget, &b).unwrap());
+        assert!(h <= r * 1.05, "heuristic {h} vs random {r}");
+    }
+
+    #[test]
+    fn heuristic_energy_dominates_random() {
+        // Section VI-G point 1: heuristic allocation yields much lower
+        // worst-case energy than random hardware sampling.
+        let model = zoo::alexnet_conv();
+        let budget = HwBudget::nvdla_small();
+        let b = tiny_budgets();
+        let max_e = |pts: &[DesignPoint]| {
+            pts.iter().map(|p| p.energy_pj).fold(0.0f64, f64::max)
+        };
+        let h = max_e(&mip_heuristic(&model, &budget).unwrap());
+        let r = max_e(&mip_random(&model, &budget, &b).unwrap());
+        assert!(h <= r, "heuristic max energy {h} vs random {r}");
+    }
+}

@@ -1,0 +1,235 @@
+//! The end-to-end AutoSeg flow: enumerate `(N, S)` shapes, segment,
+//! allocate, simulate, keep the best design (Section III's workflow).
+
+use crate::allocate::allocate;
+use crate::error::AutoSegError;
+use crate::segment::{ChainDpSegmenter, Segmenter};
+use nnmodel::{Graph, Workload};
+use spa_arch::{HwBudget, SpaDesign};
+use spa_sim::{simulate_spa, SimReport};
+
+/// Optimization target of the generated accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DesignGoal {
+    /// Minimize single-frame latency (batch pinned to 1).
+    #[default]
+    Latency,
+    /// Maximize throughput (batch-level replication allowed).
+    Throughput,
+}
+
+/// Result of a co-design run.
+#[derive(Debug, Clone)]
+pub struct AutoSegOutcome {
+    /// The selected design.
+    pub design: SpaDesign,
+    /// Its simulation report.
+    pub report: SimReport,
+    /// The compute view the design was built for.
+    pub workload: Workload,
+    /// Number of `(N, S)` combinations explored.
+    pub explored: usize,
+}
+
+/// The AutoSeg co-design engine (builder-style configuration).
+///
+/// See the crate-level example.
+pub struct AutoSeg {
+    budget: HwBudget,
+    goal: DesignGoal,
+    max_pus: usize,
+    max_segments: usize,
+    segmenter: Box<dyn Segmenter>,
+}
+
+impl std::fmt::Debug for AutoSeg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AutoSeg")
+            .field("budget", &self.budget.name)
+            .field("goal", &self.goal)
+            .field("max_pus", &self.max_pus)
+            .field("max_segments", &self.max_segments)
+            .field("segmenter", &self.segmenter.name())
+            .finish()
+    }
+}
+
+impl AutoSeg {
+    /// An engine targeting `budget` with default settings (latency goal,
+    /// up to 8 PUs and 12 segments, chain-DP segmentation).
+    pub fn new(budget: HwBudget) -> Self {
+        Self {
+            budget,
+            goal: DesignGoal::Latency,
+            max_pus: 8,
+            max_segments: 12,
+            segmenter: Box::new(ChainDpSegmenter::new()),
+        }
+    }
+
+    /// Sets the design goal.
+    pub fn design_goal(mut self, goal: DesignGoal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Caps the pipeline width explored.
+    pub fn max_pus(mut self, n: usize) -> Self {
+        self.max_pus = n.max(1);
+        self
+    }
+
+    /// Caps the segment count explored.
+    pub fn max_segments(mut self, s: usize) -> Self {
+        self.max_segments = s.max(1);
+        self
+    }
+
+    /// Replaces the segmentation engine (e.g. [`crate::segment::MipSegmenter`]
+    /// or a baseline).
+    pub fn segmenter(mut self, s: Box<dyn Segmenter>) -> Self {
+        self.segmenter = s;
+        self
+    }
+
+    /// Runs the co-design flow on `model`.
+    ///
+    /// All feasible `(N PUs, S segments)` tuples are traversed (Section
+    /// V-A: "all possible (S, N) tuples will be traversed"); for each, the
+    /// segmenter and Algorithm 1 produce a candidate which is simulated;
+    /// the best design under the goal wins.
+    ///
+    /// # Errors
+    ///
+    /// [`AutoSegError::EmptyWorkload`] for empty models,
+    /// [`AutoSegError::NoFeasibleDesign`] if nothing fits the budget.
+    pub fn run(&self, model: &Graph) -> Result<AutoSegOutcome, AutoSegError> {
+        let workload = Workload::from_graph(model);
+        self.run_workload(workload)
+    }
+
+    /// Like [`AutoSeg::run`] but starting from an existing [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AutoSeg::run`].
+    pub fn run_workload(&self, workload: Workload) -> Result<AutoSegOutcome, AutoSegError> {
+        if workload.is_empty() {
+            return Err(AutoSegError::EmptyWorkload);
+        }
+        let l = workload.len();
+        let mut best: Option<(f64, SpaDesign, SimReport)> = None;
+        let mut explored = 0;
+        for n in 2..=self.max_pus.min(l).min(self.budget.pes) {
+            for s in 1..=self.max_segments.min(l / n) {
+                let Ok(schedule) = self.segmenter.segment(&workload, n, s) else {
+                    continue;
+                };
+                let Ok(design) = allocate(&workload, &schedule, &self.budget, self.goal) else {
+                    continue;
+                };
+                explored += 1;
+                if !design.fits(&self.budget) {
+                    continue;
+                }
+                // The fabric must be able to realize every segment.
+                if design.segment_routings(&workload).is_err() {
+                    continue;
+                }
+                let report = simulate_spa(&workload, &design);
+                let metric = match self.goal {
+                    DesignGoal::Latency => report.seconds,
+                    DesignGoal::Throughput => 1.0 / report.gops().max(1e-12),
+                };
+                if best.as_ref().is_none_or(|(m, _, _)| metric < *m) {
+                    best = Some((metric, design, report));
+                }
+            }
+        }
+        match best {
+            Some((_, design, report)) => Ok(AutoSegOutcome {
+                design,
+                report,
+                workload,
+                explored,
+            }),
+            None => Err(AutoSegError::NoFeasibleDesign {
+                budget: self.budget.name.clone(),
+                model: workload.name().to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnmodel::zoo;
+    use spa_sim::simulate_processor;
+
+    #[test]
+    fn designs_fit_their_budgets() {
+        for budget in [HwBudget::eyeriss(), HwBudget::nvdla_small()] {
+            let out = AutoSeg::new(budget.clone())
+                .max_pus(4)
+                .max_segments(6)
+                .run(&zoo::squeezenet1_0())
+                .unwrap();
+            assert!(out.design.fits(&budget), "{}", budget.name);
+            assert!(out.explored > 0);
+        }
+    }
+
+    #[test]
+    fn spa_beats_the_layerwise_baseline() {
+        // The headline claim (Figure 12): AutoSeg designs outperform
+        // general processors of the same budget.
+        let budget = HwBudget::nvdla_small();
+        let w = Workload::from_graph(&zoo::mobilenet_v1());
+        let baseline = simulate_processor(&w, &budget, pucost::Dataflow::WeightStationary);
+        let out = AutoSeg::new(budget)
+            .max_pus(4)
+            .max_segments(8)
+            .run(&zoo::mobilenet_v1())
+            .unwrap();
+        let speedup = baseline.seconds / out.report.seconds;
+        assert!(speedup > 1.0, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn throughput_goal_reports_higher_gops() {
+        let budget = HwBudget::edge_tpu();
+        let lat = AutoSeg::new(budget.clone())
+            .max_pus(3)
+            .max_segments(4)
+            .run(&zoo::squeezenet1_0())
+            .unwrap();
+        let thr = AutoSeg::new(budget)
+            .design_goal(DesignGoal::Throughput)
+            .max_pus(3)
+            .max_segments(4)
+            .run(&zoo::squeezenet1_0())
+            .unwrap();
+        assert!(thr.report.gops() >= lat.report.gops());
+    }
+
+    #[test]
+    fn deep_model_designs_are_feasible() {
+        // ResNet50 (54 items) on NVDLA-Large: SPA scales where the full
+        // pipeline cannot.
+        let out = AutoSeg::new(HwBudget::nvdla_large())
+            .max_pus(4)
+            .max_segments(10)
+            .run(&zoo::resnet50())
+            .unwrap();
+        assert!(out.design.schedule.len() > 1);
+    }
+
+    #[test]
+    fn infeasible_budget_reports_cleanly() {
+        let mut b = HwBudget::eyeriss();
+        b.pes = 1;
+        let err = AutoSeg::new(b).run(&zoo::squeezenet1_0()).unwrap_err();
+        assert!(matches!(err, AutoSegError::NoFeasibleDesign { .. }));
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type of the co-design engine.
+
+use spa_arch::ScheduleError;
+use std::fmt;
+
+/// Failure of the AutoSeg flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutoSegError {
+    /// The workload has no work items.
+    EmptyWorkload,
+    /// No `(PUs, segments)` combination produced a design that fits the
+    /// budget.
+    NoFeasibleDesign {
+        /// Budget name.
+        budget: String,
+        /// Model name.
+        model: String,
+    },
+    /// A segmentation engine produced an invalid schedule (internal bug
+    /// surfaced as an error rather than a panic).
+    InvalidSchedule(ScheduleError),
+    /// A segmenter could not produce a schedule for the requested shape
+    /// (e.g. more PU-slots than items).
+    SegmentationInfeasible {
+        /// Requested PU count.
+        n_pus: usize,
+        /// Requested segment count.
+        n_segments: usize,
+        /// Items available.
+        items: usize,
+    },
+}
+
+impl fmt::Display for AutoSegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoSegError::EmptyWorkload => write!(f, "workload has no work items"),
+            AutoSegError::NoFeasibleDesign { budget, model } => {
+                write!(f, "no feasible SPA design for {model} under budget {budget}")
+            }
+            AutoSegError::InvalidSchedule(e) => write!(f, "invalid schedule: {e}"),
+            AutoSegError::SegmentationInfeasible {
+                n_pus,
+                n_segments,
+                items,
+            } => write!(
+                f,
+                "cannot place {items} items on {n_pus} PUs x {n_segments} segments"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AutoSegError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutoSegError::InvalidSchedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for AutoSegError {
+    fn from(e: ScheduleError) -> Self {
+        AutoSegError::InvalidSchedule(e)
+    }
+}

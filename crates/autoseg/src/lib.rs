@@ -1,0 +1,51 @@
+//! AutoSeg: the HW/SW co-design engine of DeepBurning-SEG (Sections III
+//! and V).
+//!
+//! Given a DNN model, a hardware resource budget and a design goal, AutoSeg
+//! produces a customized [`spa_arch::SpaDesign`] in two decoupled steps:
+//!
+//! 1. **Model segmentation** ([`segment`]): partition the model's work
+//!    items into segments and bind each item to a PU, maximizing the
+//!    minimum segment CTC ratio and the similarity of per-PU operation
+//!    distributions across segments (the paper's MIP of Eq. 2–11). Two
+//!    exact-objective engines are provided — a MILP formulation solved with
+//!    the `mip` crate and a chain dynamic program that scales to very deep
+//!    models — plus random/Bayesian baselines.
+//! 2. **Design generation** ([`allocate`]): the heuristic resource
+//!    allocation of Algorithm 1 — PE quotas from the normalized operation
+//!    distribution, bandwidth-driven sizing, power-of-two rounding, buffer
+//!    minimums, dataflow selection, batch scaling and the
+//!    upscale/downscale loop.
+//!
+//! The [`AutoSeg`] entry point enumerates `(N PUs, S segments)`
+//! combinations, runs both steps and keeps the best design under the goal.
+//!
+//! # Example
+//!
+//! ```
+//! use autoseg::{AutoSeg, DesignGoal};
+//! use nnmodel::zoo;
+//! use spa_arch::HwBudget;
+//!
+//! let outcome = AutoSeg::new(HwBudget::eyeriss())
+//!     .design_goal(DesignGoal::Latency)
+//!     .max_pus(4)
+//!     .run(&zoo::squeezenet1_0())?;
+//! assert!(outcome.design.fits(&HwBudget::eyeriss()));
+//! assert!(outcome.report.seconds > 0.0);
+//! # Ok::<(), autoseg::AutoSegError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod allocate;
+pub mod codesign;
+mod engine;
+mod error;
+pub mod generality;
+pub mod multi;
+pub mod segment;
+
+pub use engine::{AutoSeg, AutoSegOutcome, DesignGoal};
+pub use error::AutoSegError;

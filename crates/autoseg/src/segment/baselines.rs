@@ -1,0 +1,258 @@
+//! Random-sampling and Bayesian segmentation baselines (the software half
+//! of the "Baye-Heuristic" and "Baye-Baye" co-design baselines of Section
+//! VI-G).
+
+use super::{balanced_blocks, metrics, Segmenter};
+use crate::error::AutoSegError;
+use bayesopt::{Optimizer, SearchSpace, Tpe};
+use nnmodel::Workload;
+use rand_like::SplitMix64;
+use spa_arch::{Assignment, Segment, SegmentSchedule};
+
+/// A tiny deterministic PRNG (SplitMix64) so the baselines do not need a
+/// full RNG dependency here.
+mod rand_like {
+    /// SplitMix64: deterministic, seedable, passes basic statistical tests.
+    #[derive(Debug, Clone)]
+    pub struct SplitMix64(pub u64);
+
+    impl SplitMix64 {
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n.max(1) as u64) as usize
+        }
+    }
+}
+
+/// Builds a schedule from segment cut points: items are split into
+/// balanced blocks per segment and bound to PUs by load rank (same binding
+/// rule as the DP engine, so baselines differ only in *cut placement*).
+fn schedule_from_cuts(
+    workload: &Workload,
+    cuts: &[usize],
+    n_pus: usize,
+) -> Result<SegmentSchedule, AutoSegError> {
+    let ops: Vec<u64> = workload.items().iter().map(|it| it.ops).collect();
+    let mut segments = Vec::with_capacity(cuts.len() - 1);
+    for w2 in cuts.windows(2) {
+        let (lo, hi) = (w2[0], w2[1]);
+        let bounds = balanced_blocks(&ops, lo, hi - lo, n_pus);
+        let mut blocks: Vec<(usize, u64)> = bounds
+            .windows(2)
+            .enumerate()
+            .map(|(k, b)| (k, ops[b[0]..b[1]].iter().sum()))
+            .collect();
+        blocks.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut pu_of_block = vec![0usize; n_pus];
+        for (rank, &(block, _)) in blocks.iter().enumerate() {
+            pu_of_block[block] = rank;
+        }
+        let mut assignments = Vec::new();
+        for (k, b) in bounds.windows(2).enumerate() {
+            for item in b[0]..b[1] {
+                assignments.push(Assignment {
+                    item,
+                    pu: pu_of_block[k],
+                });
+            }
+        }
+        segments.push(Segment { assignments });
+    }
+    SegmentSchedule::new(segments, n_pus, workload).map_err(AutoSegError::from)
+}
+
+/// Repairs arbitrary cut proposals into valid cut points: sorted, within
+/// range, every segment at least `n_pus` items.
+fn repair_cuts(mut raw: Vec<usize>, l: usize, n_pus: usize, n_segments: usize) -> Vec<usize> {
+    raw.sort_unstable();
+    let mut cuts = Vec::with_capacity(n_segments + 1);
+    cuts.push(0);
+    for (k, &r) in raw.iter().enumerate() {
+        let min = cuts[k] + n_pus;
+        let max = l - (n_segments - 1 - k) * n_pus;
+        cuts.push(r.clamp(min, max));
+    }
+    cuts.push(l);
+    cuts
+}
+
+/// Random-sampling segmentation: draws `iters` random cut sets and keeps
+/// the best under the paper's `1/CTC + SOD` objective.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSegmenter {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of samples.
+    pub iters: usize,
+}
+
+impl RandomSegmenter {
+    /// A segmenter with the given seed and sample budget.
+    pub fn new(seed: u64, iters: usize) -> Self {
+        Self { seed, iters }
+    }
+}
+
+impl Segmenter for RandomSegmenter {
+    fn segment(
+        &self,
+        workload: &Workload,
+        n_pus: usize,
+        n_segments: usize,
+    ) -> Result<SegmentSchedule, AutoSegError> {
+        let l = workload.len();
+        if n_pus == 0 || n_segments == 0 || n_pus * n_segments > l {
+            return Err(AutoSegError::SegmentationInfeasible {
+                n_pus,
+                n_segments,
+                items: l,
+            });
+        }
+        let mut rng = SplitMix64(self.seed);
+        let mut best: Option<(f64, SegmentSchedule)> = None;
+        for _ in 0..self.iters.max(1) {
+            let raw: Vec<usize> = (0..n_segments - 1).map(|_| rng.below(l)).collect();
+            let cuts = repair_cuts(raw, l, n_pus, n_segments);
+            let sched = schedule_from_cuts(workload, &cuts, n_pus)?;
+            let obj = metrics(workload, &sched).objective();
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, sched));
+            }
+        }
+        Ok(best.expect("at least one iteration").1)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Bayesian (TPE) segmentation: optimizes cut placement with the
+/// tree-structured Parzen estimator (the paper's "Baye" segmentation
+/// baseline, 2000 iterations by default).
+#[derive(Debug, Clone, Copy)]
+pub struct BayesSegmenter {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Optimization iterations.
+    pub iters: usize,
+}
+
+impl BayesSegmenter {
+    /// A segmenter with the given seed and iteration budget.
+    pub fn new(seed: u64, iters: usize) -> Self {
+        Self { seed, iters }
+    }
+}
+
+impl Segmenter for BayesSegmenter {
+    fn segment(
+        &self,
+        workload: &Workload,
+        n_pus: usize,
+        n_segments: usize,
+    ) -> Result<SegmentSchedule, AutoSegError> {
+        let l = workload.len();
+        if n_pus == 0 || n_segments == 0 || n_pus * n_segments > l {
+            return Err(AutoSegError::SegmentationInfeasible {
+                n_pus,
+                n_segments,
+                items: l,
+            });
+        }
+        if n_segments == 1 {
+            return schedule_from_cuts(workload, &[0, l], n_pus);
+        }
+        let space = SearchSpace::new(vec![l; n_segments - 1]);
+        let mut tpe = Tpe::new(space, self.seed);
+        let mut best: Option<(f64, SegmentSchedule)> = None;
+        for _ in 0..self.iters.max(1) {
+            let raw = tpe.suggest();
+            let cuts = repair_cuts(raw.clone(), l, n_pus, n_segments);
+            let sched = schedule_from_cuts(workload, &cuts, n_pus)?;
+            let obj = metrics(workload, &sched).objective();
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, sched));
+            }
+            tpe.observe(raw, obj);
+        }
+        Ok(best.expect("at least one iteration").1)
+    }
+
+    fn name(&self) -> &'static str {
+        "bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{metrics, testutil::chain, ChainDpSegmenter};
+    use super::*;
+    use nnmodel::{zoo, Workload};
+
+    #[test]
+    fn random_schedules_are_valid() {
+        let w = Workload::from_graph(&zoo::squeezenet1_0());
+        let seg = RandomSegmenter::new(1, 50);
+        let sched = seg.segment(&w, 3, 4).unwrap();
+        sched.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn bayes_schedules_are_valid_and_competitive() {
+        let w = Workload::from_graph(&zoo::squeezenet1_0());
+        let bayes = BayesSegmenter::new(1, 150).segment(&w, 3, 4).unwrap();
+        bayes.validate(&w).unwrap();
+        let random = RandomSegmenter::new(1, 20).segment(&w, 3, 4).unwrap();
+        let mb = metrics(&w, &bayes).objective();
+        let mr = metrics(&w, &random).objective();
+        assert!(mb <= mr * 1.2, "bayes {mb} vs random-20 {mr}");
+    }
+
+    #[test]
+    fn dp_dominates_the_baselines() {
+        // The exact DP is never worse than sampling on the same subspace.
+        let w = chain(16);
+        let dp = ChainDpSegmenter::new().segment(&w, 2, 4).unwrap();
+        let rnd = RandomSegmenter::new(9, 100).segment(&w, 2, 4).unwrap();
+        let m_dp = metrics(&w, &dp);
+        let m_rnd = metrics(&w, &rnd);
+        assert!(m_dp.min_ctc >= m_rnd.min_ctc - 1e-9);
+    }
+
+    #[test]
+    fn repair_cuts_always_valid() {
+        for l in [8usize, 20, 57] {
+            for n in 1..=3 {
+                for s in 2..=4 {
+                    if n * s > l {
+                        continue;
+                    }
+                    let raw: Vec<usize> = (0..s - 1).map(|k| (k * 7919) % (l + 3)).collect();
+                    let cuts = repair_cuts(raw, l, n, s);
+                    assert_eq!(cuts.len(), s + 1);
+                    assert_eq!(cuts[0], 0);
+                    assert_eq!(cuts[s], l);
+                    for w2 in cuts.windows(2) {
+                        assert!(w2[1] - w2[0] >= n, "cuts {cuts:?} l={l} n={n} s={s}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let w = chain(12);
+        let a = RandomSegmenter::new(5, 30).segment(&w, 2, 3).unwrap();
+        let b = RandomSegmenter::new(5, 30).segment(&w, 2, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

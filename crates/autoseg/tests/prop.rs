@@ -1,0 +1,141 @@
+//! Property tests over random workloads and pipeline shapes: every
+//! segmentation engine must emit valid schedules, the exact DP must
+//! dominate the sampling baselines, and Algorithm 1's outputs must respect
+//! the hardware constraints.
+
+use autoseg::allocate::allocate;
+use autoseg::segment::{
+    metrics, BayesSegmenter, ChainDpSegmenter, MipSegmenter, RandomSegmenter, Segmenter,
+};
+use autoseg::DesignGoal;
+use nnmodel::{Dtype, GraphBuilder, TensorShape, Workload};
+use proptest::prelude::*;
+use pucost::LayerDesc;
+use spa_arch::HwBudget;
+
+/// A random conv chain with varied widths/kernels/strides.
+fn random_chain() -> impl Strategy<Value = Workload> {
+    proptest::collection::vec((1usize..=6, 0usize..2, 1usize..=2), 4..16).prop_map(|layers| {
+        let mut b = GraphBuilder::new("prop", Dtype::Int8, TensorShape::new(4, 64, 64));
+        let mut x = b.input();
+        for (i, (c, k, s)) in layers.into_iter().enumerate() {
+            let kernel = [1, 3][k];
+            x = b
+                .conv(format!("c{i}"), x, 4 * c, kernel, s, kernel / 2)
+                .expect("valid conv");
+        }
+        Workload::from_graph(&b.finish())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every engine produces Eq. 2-4-valid schedules on any feasible
+    /// shape.
+    #[test]
+    fn all_segmenters_emit_valid_schedules(
+        w in random_chain(),
+        n in 1usize..=4,
+        s in 1usize..=4,
+    ) {
+        prop_assume!(n * s <= w.len());
+        let engines: Vec<Box<dyn Segmenter>> = vec![
+            Box::new(ChainDpSegmenter::new()),
+            Box::new(RandomSegmenter::new(7, 20)),
+            Box::new(BayesSegmenter::new(7, 20)),
+        ];
+        for e in engines {
+            let sched = e.segment(&w, n, s).expect("feasible shape");
+            sched.validate(&w).expect("valid schedule");
+            prop_assert_eq!(sched.len(), s, "{}", e.name());
+            prop_assert_eq!(sched.n_pus, n);
+        }
+    }
+
+    /// The exact DP dominates random sampling on the min-CTC objective
+    /// over the same (contiguous) search space.
+    #[test]
+    fn dp_dominates_random_on_min_ctc(
+        w in random_chain(),
+        n in 1usize..=3,
+        s in 2usize..=4,
+    ) {
+        prop_assume!(n * s <= w.len());
+        let dp = ChainDpSegmenter::new().segment(&w, n, s).expect("feasible");
+        let rnd = RandomSegmenter::new(11, 40).segment(&w, n, s).expect("feasible");
+        prop_assert!(
+            metrics(&w, &dp).min_ctc >= metrics(&w, &rnd).min_ctc - 1e-9
+        );
+    }
+
+    /// Algorithm 1 always emits power-of-two PE arrays with buffers
+    /// meeting every assigned layer's minimum, and never overshoots a
+    /// budget it claims to fit.
+    #[test]
+    fn allocator_respects_constraints(
+        w in random_chain(),
+        n in 2usize..=4,
+        s in 1usize..=3,
+    ) {
+        prop_assume!(n * s <= w.len());
+        let sched = ChainDpSegmenter::new().segment(&w, n, s).expect("feasible");
+        let budget = HwBudget::nvdla_large();
+        let d = allocate(&w, &sched, &budget, DesignGoal::Latency).expect("allocates");
+        for pu in &d.pus {
+            prop_assert!(pu.num_pe().is_power_of_two());
+        }
+        if d.fits(&budget) {
+            let r = d.resources();
+            prop_assert!(r.pes <= budget.pes);
+            prop_assert!(r.on_chip_bytes <= budget.on_chip_bytes);
+        }
+        for (pu_idx, pu) in d.pus.iter().enumerate() {
+            for seg in &d.schedule.segments {
+                for &item in &seg.items_on(pu_idx) {
+                    let desc = LayerDesc::from_item(&w.items()[item]);
+                    prop_assert!(pu.act_buf_bytes >= desc.min_act_buf_bytes());
+                    prop_assert!(pu.wgt_buf_bytes >= desc.min_wgt_buf_bytes(pu.num_pe()));
+                }
+            }
+        }
+        // The (possibly rebalanced) schedule is still valid.
+        d.schedule.validate(&w).expect("valid after rebalance");
+    }
+
+    /// Allocation under a throughput goal never yields lower throughput
+    /// than batch-1 for the same schedule.
+    #[test]
+    fn throughput_allocation_batches_sanely(w in random_chain(), n in 2usize..=3) {
+        prop_assume!(n * 2 <= w.len());
+        let sched = ChainDpSegmenter::new().segment(&w, n, 2).expect("feasible");
+        let budget = HwBudget::edge_tpu();
+        let d = allocate(&w, &sched, &budget, DesignGoal::Throughput).expect("allocates");
+        prop_assert!(d.batch >= 1);
+        if d.fits(&budget) {
+            prop_assert!(d.resources().pes <= budget.pes);
+        }
+    }
+}
+
+// The MILP property runs far fewer cases: each instance is a full
+// branch-and-bound solve.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The MILP engine (with DP fallback) is never worse than the DP under
+    /// the combined objective.
+    #[test]
+    fn milp_never_worse_than_dp(w in random_chain(), n in 2usize..=3) {
+        prop_assume!(n * 2 <= w.len());
+        let mut engine = MipSegmenter::new();
+        engine.time_limit = std::time::Duration::from_secs(3);
+        engine.max_nodes = 5_000;
+        let milp = engine.segment(&w, n, 2).expect("feasible");
+        milp.validate(&w).expect("valid");
+        let dp = ChainDpSegmenter::new().segment(&w, n, 2).expect("feasible");
+        prop_assert!(
+            metrics(&w, &milp).objective() <= metrics(&w, &dp).objective() + 1e-9
+        );
+    }
+}

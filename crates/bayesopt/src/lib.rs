@@ -1,0 +1,466 @@
+//! Discrete black-box optimization used by the co-design baselines of
+//! Section VI-G ("MIP-Random", "MIP-Baye", "Baye-Heuristic", "Baye-Baye").
+//!
+//! Two seeded, deterministic optimizers over integer-indexed search spaces:
+//!
+//! * [`RandomSearch`] — uniform sampling;
+//! * [`Tpe`] — a tree-structured Parzen estimator: past observations are
+//!   split into a good quantile and the rest, candidates are drawn from a
+//!   smoothed per-dimension model of the good set and ranked by the
+//!   likelihood ratio `P(x | good) / P(x | bad)`.
+//!
+//! # Example
+//!
+//! ```
+//! use bayesopt::{minimize, SearchSpace, Tpe};
+//!
+//! // Minimize (x - 7)^2 + (y - 3)^2 over a 32 x 32 grid.
+//! let space = SearchSpace::new(vec![32, 32]);
+//! let f = |p: &[usize]| {
+//!     let (x, y) = (p[0] as f64, p[1] as f64);
+//!     (x - 7.0).powi(2) + (y - 3.0).powi(2)
+//! };
+//! let mut tpe = Tpe::new(space, 42);
+//! let (best, value) = minimize(&mut tpe, f, 200);
+//! assert_eq!(best, vec![7, 3]);
+//! assert_eq!(value, 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A discrete search space: dimension `d` takes values `0..cardinality[d]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    cardinality: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// Creates a space from per-dimension cardinalities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension has zero values.
+    pub fn new(cardinality: Vec<usize>) -> Self {
+        assert!(
+            !cardinality.is_empty() && cardinality.iter().all(|&c| c > 0),
+            "every dimension needs at least one value"
+        );
+        Self { cardinality }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.cardinality.len()
+    }
+
+    /// Cardinality of dimension `d`.
+    pub fn card(&self, d: usize) -> usize {
+        self.cardinality[d]
+    }
+
+    /// Total number of points (saturating).
+    pub fn size(&self) -> usize {
+        self.cardinality
+            .iter()
+            .fold(1usize, |a, &c| a.saturating_mul(c))
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<usize> {
+        self.cardinality
+            .iter()
+            .map(|&c| rng.gen_range(0..c))
+            .collect()
+    }
+}
+
+/// A sequential optimizer: propose a point, observe its value.
+pub trait Optimizer {
+    /// The space being searched.
+    fn space(&self) -> &SearchSpace;
+    /// Proposes the next point to evaluate.
+    fn suggest(&mut self) -> Vec<usize>;
+    /// Records an evaluation (`f64::INFINITY` marks infeasible points).
+    fn observe(&mut self, point: Vec<usize>, value: f64);
+}
+
+/// Runs `iters` evaluations of `f` under `opt` and returns the best
+/// `(point, value)` found.
+///
+/// # Panics
+///
+/// Panics if `iters == 0`.
+pub fn minimize<F>(opt: &mut dyn Optimizer, mut f: F, iters: usize) -> (Vec<usize>, f64)
+where
+    F: FnMut(&[usize]) -> f64,
+{
+    assert!(iters > 0, "need at least one iteration");
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    for _ in 0..iters {
+        let p = opt.suggest();
+        let v = f(&p);
+        if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
+            best = Some((p.clone(), v));
+        }
+        opt.observe(p, v);
+    }
+    best.expect("at least one iteration ran")
+}
+
+/// Uniform random search.
+#[derive(Debug)]
+pub struct RandomSearch {
+    space: SearchSpace,
+    rng: StdRng,
+}
+
+impl RandomSearch {
+    /// Creates a seeded random searcher.
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        Self {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn suggest(&mut self) -> Vec<usize> {
+        self.space.sample(&mut self.rng)
+    }
+
+    fn observe(&mut self, _point: Vec<usize>, _value: f64) {}
+}
+
+/// Tree-structured Parzen estimator over discrete dimensions.
+#[derive(Debug)]
+pub struct Tpe {
+    space: SearchSpace,
+    rng: StdRng,
+    history: Vec<(Vec<usize>, f64)>,
+    /// Fraction of history treated as "good".
+    gamma: f64,
+    /// Random candidates scored per suggestion.
+    n_candidates: usize,
+    /// Pure-random warmup length.
+    n_startup: usize,
+}
+
+impl Tpe {
+    /// Creates a seeded TPE optimizer with standard settings (gamma 0.25,
+    /// 24 candidates per step, 10 random warmup steps).
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        Self {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            history: Vec::new(),
+            gamma: 0.25,
+            n_candidates: 24,
+            n_startup: 10,
+        }
+    }
+
+    /// Per-dimension smoothed categorical distribution of a set of points.
+    fn model(&self, points: &[&Vec<usize>]) -> Vec<Vec<f64>> {
+        (0..self.space.dims())
+            .map(|d| {
+                let c = self.space.card(d);
+                let mut w = vec![1.0f64; c]; // Laplace smoothing
+                for p in points {
+                    w[p[d]] += 1.0;
+                }
+                let total: f64 = w.iter().sum();
+                w.into_iter().map(|x| x / total).collect()
+            })
+            .collect()
+    }
+
+    fn sample_from(&mut self, model: &[Vec<f64>]) -> Vec<usize> {
+        model
+            .iter()
+            .map(|probs| {
+                let mut r: f64 = self.rng.gen();
+                for (i, &p) in probs.iter().enumerate() {
+                    r -= p;
+                    if r <= 0.0 {
+                        return i;
+                    }
+                }
+                probs.len() - 1
+            })
+            .collect()
+    }
+
+    fn likelihood(model: &[Vec<f64>], p: &[usize]) -> f64 {
+        model
+            .iter()
+            .zip(p)
+            .map(|(probs, &x)| probs[x].ln())
+            .sum::<f64>()
+    }
+}
+
+impl Optimizer for Tpe {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn suggest(&mut self) -> Vec<usize> {
+        let finite: Vec<&(Vec<usize>, f64)> =
+            self.history.iter().filter(|(_, v)| v.is_finite()).collect();
+        if self.history.len() < self.n_startup || finite.len() < 4 {
+            return self.space.sample(&mut self.rng);
+        }
+        let mut sorted: Vec<&(Vec<usize>, f64)> = finite;
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let n_good = ((sorted.len() as f64 * self.gamma).ceil() as usize).max(2);
+        let good: Vec<&Vec<usize>> = sorted[..n_good].iter().map(|(p, _)| p).collect();
+        let bad: Vec<&Vec<usize>> = sorted[n_good..].iter().map(|(p, _)| p).collect();
+        let good_model = self.model(&good);
+        let bad_model = self.model(&bad);
+
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for _ in 0..self.n_candidates {
+            let cand = self.sample_from(&good_model);
+            let score =
+                Self::likelihood(&good_model, &cand) - Self::likelihood(&bad_model, &cand);
+            if best.as_ref().is_none_or(|(_, s)| score > *s) {
+                best = Some((cand, score));
+            }
+        }
+        best.expect("candidates sampled").0
+    }
+
+    fn observe(&mut self, point: Vec<usize>, value: f64) {
+        self.history.push((point, value));
+    }
+}
+
+/// Simulated annealing over the discrete space: a single walker perturbs
+/// one dimension at a time and accepts worsening moves with a
+/// geometrically cooling probability. A classic local-search baseline to
+/// contrast with TPE's model-based sampling.
+#[derive(Debug)]
+pub struct SimulatedAnnealing {
+    space: SearchSpace,
+    rng: StdRng,
+    current: Option<(Vec<usize>, f64)>,
+    proposal: Option<Vec<usize>>,
+    temperature: f64,
+    cooling: f64,
+}
+
+impl SimulatedAnnealing {
+    /// A seeded annealer with initial temperature 1.0 and cooling factor
+    /// 0.98 per observation.
+    pub fn new(space: SearchSpace, seed: u64) -> Self {
+        Self {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            proposal: None,
+            temperature: 1.0,
+            cooling: 0.98,
+        }
+    }
+
+    fn neighbor(&mut self, p: &[usize]) -> Vec<usize> {
+        let mut q = p.to_vec();
+        let d = self.rng.gen_range(0..self.space.dims());
+        let c = self.space.card(d);
+        if c > 1 {
+            // Step +-1 (wrapping) or jump uniformly, half the time each.
+            q[d] = if self.rng.gen_bool(0.5) {
+                let step: isize = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+                ((q[d] as isize + step).rem_euclid(c as isize)) as usize
+            } else {
+                self.rng.gen_range(0..c)
+            };
+        }
+        q
+    }
+}
+
+impl Optimizer for SimulatedAnnealing {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn suggest(&mut self) -> Vec<usize> {
+        let p = match &self.current {
+            None => self.space.sample(&mut self.rng),
+            Some((cur, _)) => {
+                let cur = cur.clone();
+                self.neighbor(&cur)
+            }
+        };
+        self.proposal = Some(p.clone());
+        p
+    }
+
+    fn observe(&mut self, point: Vec<usize>, value: f64) {
+        self.proposal = None;
+        let accept = match &self.current {
+            None => true,
+            Some((_, cur_v)) => {
+                if value <= *cur_v {
+                    true
+                } else if !value.is_finite() {
+                    false
+                } else {
+                    let delta = (value - cur_v) / cur_v.abs().max(1e-12);
+                    let prob = (-delta / self.temperature.max(1e-9)).exp();
+                    self.rng.gen_bool(prob.clamp(0.0, 1.0))
+                }
+            }
+        };
+        if accept {
+            self.current = Some((point, value));
+        }
+        self.temperature *= self.cooling;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad(p: &[usize]) -> f64 {
+        let (x, y) = (p[0] as f64, p[1] as f64);
+        (x - 20.0).powi(2) + (y - 5.0).powi(2)
+    }
+
+    #[test]
+    fn random_search_finds_good_points() {
+        let mut rs = RandomSearch::new(SearchSpace::new(vec![64, 64]), 7);
+        let (_, v) = minimize(&mut rs, quad, 500);
+        assert!(v < 50.0, "random best {v}");
+    }
+
+    #[test]
+    fn tpe_finds_the_optimum_on_smooth_problems() {
+        let mut tpe = Tpe::new(SearchSpace::new(vec![64, 64]), 7);
+        let (p, v) = minimize(&mut tpe, quad, 400);
+        assert!(v <= 2.0, "tpe best {v} at {p:?}");
+    }
+
+    #[test]
+    fn tpe_beats_random_on_average() {
+        // Averaged over seeds on a needle-ish function.
+        let f = |p: &[usize]| {
+            let x = p[0] as f64;
+            let y = p[1] as f64;
+            (x - 51.0).abs() + (y - 13.0).abs() + if p[0] == 51 && p[1] == 13 { -5.0 } else { 0.0 }
+        };
+        let mut tpe_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..8 {
+            let space = SearchSpace::new(vec![96, 96]);
+            let mut tpe = Tpe::new(space.clone(), seed);
+            tpe_total += minimize(&mut tpe, f, 150).1;
+            let mut rnd = RandomSearch::new(space, seed);
+            rnd_total += minimize(&mut rnd, f, 150).1;
+        }
+        assert!(
+            tpe_total < rnd_total,
+            "tpe {tpe_total} vs random {rnd_total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut tpe = Tpe::new(SearchSpace::new(vec![32, 32, 32]), seed);
+            minimize(&mut tpe, |p| p.iter().sum::<usize>() as f64, 60)
+        };
+        assert_eq!(run(3), run(3));
+        let a = run(3);
+        let b = run(4);
+        // Different seeds explore differently (same optimum may be found,
+        // but the full trajectory differs; compare suggestion streams).
+        let mut t1 = Tpe::new(SearchSpace::new(vec![32, 32, 32]), 3);
+        let mut t2 = Tpe::new(SearchSpace::new(vec![32, 32, 32]), 4);
+        assert_ne!(t1.suggest(), t2.suggest());
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn annealing_converges_on_smooth_problems() {
+        let mut sa = SimulatedAnnealing::new(SearchSpace::new(vec![64, 64]), 7);
+        let (p, v) = minimize(&mut sa, quad, 600);
+        assert!(v <= 10.0, "sa best {v} at {p:?}");
+    }
+
+    #[test]
+    fn annealing_is_deterministic_and_beats_pure_walk_start() {
+        let run = |seed| {
+            let mut sa = SimulatedAnnealing::new(SearchSpace::new(vec![48, 48]), seed);
+            minimize(&mut sa, quad, 200)
+        };
+        assert_eq!(run(5), run(5));
+        // It must at least improve over its first (random) sample.
+        let mut sa = SimulatedAnnealing::new(SearchSpace::new(vec![48, 48]), 5);
+        let first = quad(&sa.suggest());
+        let (_, best) = minimize(&mut sa, quad, 200);
+        assert!(best <= first);
+    }
+
+    #[test]
+    fn annealing_rejects_infinite_moves() {
+        let f = |p: &[usize]| {
+            if p[0] > 10 {
+                f64::INFINITY
+            } else {
+                p[0] as f64
+            }
+        };
+        let mut sa = SimulatedAnnealing::new(SearchSpace::new(vec![64]), 9);
+        let (p, v) = minimize(&mut sa, f, 300);
+        assert!(v.is_finite());
+        assert!(p[0] <= 10);
+    }
+
+    #[test]
+    fn handles_infeasible_points() {
+        // Half the space is infeasible; the optimizer must still converge.
+        let f = |p: &[usize]| {
+            if p[0] % 2 == 1 {
+                f64::INFINITY
+            } else {
+                (p[0] as f64 - 30.0).abs()
+            }
+        };
+        let mut tpe = Tpe::new(SearchSpace::new(vec![64]), 11);
+        let (p, v) = minimize(&mut tpe, f, 200);
+        assert!(v.is_finite());
+        assert_eq!(p[0] % 2, 0);
+        assert!(v <= 4.0, "best {v}");
+    }
+
+    #[test]
+    fn single_value_dimensions() {
+        let mut rs = RandomSearch::new(SearchSpace::new(vec![1, 1, 5]), 0);
+        let (p, _) = minimize(&mut rs, |p| p[2] as f64, 20);
+        assert_eq!(&p[..2], &[0, 0]);
+        assert_eq!(p[2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn rejects_empty_dimension() {
+        SearchSpace::new(vec![4, 0]);
+    }
+
+    #[test]
+    fn space_size_saturates() {
+        let s = SearchSpace::new(vec![usize::MAX, 2]);
+        assert_eq!(s.size(), usize::MAX);
+    }
+}

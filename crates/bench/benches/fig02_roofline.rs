@@ -1,0 +1,20 @@
+//! Figure 2 kernel: roofline curve sampling for the Table II budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spa_arch::HwBudget;
+use spa_sim::roofline_series;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let budgets = HwBudget::asic_suite();
+    c.bench_function("fig02_roofline_series", |b| {
+        b.iter(|| {
+            for budget in &budgets {
+                black_box(roofline_series(budget, 0.1, 100_000.0, 64));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figures 3-5 kernels: workload construction and CTC/ops-distribution
+//! analytics over the motivation models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::{analysis, zoo, Workload};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig03_ctc_four_models", |b| {
+        b.iter(|| {
+            for (g, per) in [
+                (zoo::squeezenet1_0(), 6usize),
+                (zoo::mobilenet_v2(), 3),
+                (zoo::googlenet(), 6),
+                (zoo::efficientnet_b0(), 5),
+            ] {
+                let w = Workload::from_graph(&g);
+                let segs = analysis::even_segments(&w, per);
+                black_box((
+                    analysis::layerwise_ctc(&w),
+                    analysis::segmented_ctc(&w, &segs),
+                    analysis::full_pipeline_ctc(&w),
+                ));
+            }
+        })
+    });
+    let w = Workload::from_graph(&zoo::squeezenet1_0());
+    c.bench_function("fig04_per_layer_ctc_squeezenet", |b| {
+        b.iter(|| black_box(analysis::per_item_ctc(&w)))
+    });
+    c.bench_function("fig05_ops_distribution_squeezenet", |b| {
+        b.iter(|| {
+            let segs = analysis::even_segments(&w, 6);
+            let d: Vec<u64> = segs.iter().map(|s| analysis::segment_ops(&w, s)).collect();
+            black_box(d)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

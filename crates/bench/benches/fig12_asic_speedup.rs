@@ -1,0 +1,36 @@
+//! Figure 12 kernel: one full AutoSeg co-design run plus the same-budget
+//! general-processor baseline (one table cell).
+
+use autoseg::AutoSeg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::{zoo, Workload};
+use pucost::Dataflow;
+use spa_arch::HwBudget;
+use spa_sim::simulate_processor;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let budget = HwBudget::nvdla_small();
+    let model = zoo::squeezenet1_0();
+    let w = Workload::from_graph(&model);
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("baseline_processor", |b| {
+        b.iter(|| black_box(simulate_processor(&w, &budget, Dataflow::WeightStationary)))
+    });
+    g.bench_function("autoseg_full_run", |b| {
+        b.iter(|| {
+            black_box(
+                AutoSeg::new(budget.clone())
+                    .max_pus(4)
+                    .max_segments(6)
+                    .run(&model)
+                    .expect("feasible"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

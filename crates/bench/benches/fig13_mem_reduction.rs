@@ -1,0 +1,24 @@
+//! Figure 13 kernel: DRAM traffic accounting of layerwise vs pipelined
+//! execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::{zoo, Workload};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let models: Vec<Workload> = zoo::evaluation_models()
+        .iter()
+        .map(Workload::from_graph)
+        .collect();
+    c.bench_function("fig13_access_accounting", |b| {
+        b.iter(|| {
+            for w in &models {
+                let all: Vec<usize> = (0..w.len()).collect();
+                black_box((w.total_layerwise_access(), w.pipelined_access(&all)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

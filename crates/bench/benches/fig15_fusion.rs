@@ -1,0 +1,22 @@
+//! Figure 15 kernel: the Optimus-style fusion baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::{zoo, Workload};
+use pucost::Dataflow;
+use spa_arch::HwBudget;
+use spa_sim::{fusion_groups, simulate_fusion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::from_graph(&zoo::mobilenet_v1());
+    let budget = HwBudget::nvdla_small();
+    c.bench_function("fig15_fusion_grouping", |b| {
+        b.iter(|| black_box(fusion_groups(&w, &budget)))
+    });
+    c.bench_function("fig15_fusion_simulation", |b| {
+        b.iter(|| black_box(simulate_fusion(&w, &budget, Some(Dataflow::WeightStationary))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

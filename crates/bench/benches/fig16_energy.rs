@@ -1,0 +1,23 @@
+//! Figure 16 kernel: per-frame energy breakdown of one design trio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::{zoo, Workload};
+use pucost::Dataflow;
+use spa_arch::HwBudget;
+use spa_sim::{simulate_fusion, simulate_processor};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::from_graph(&zoo::squeezenet1_0());
+    let budget = HwBudget::eyeriss();
+    c.bench_function("fig16_energy_breakdowns", |b| {
+        b.iter(|| {
+            let base = simulate_processor(&w, &budget, Dataflow::WeightStationary);
+            let fused = simulate_fusion(&w, &budget, Some(Dataflow::WeightStationary));
+            black_box((base.energy.total_pj(), fused.energy.total_pj()))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 17 kernel: remapping a model onto a foreign dedicated design.
+
+use autoseg::{generality, AutoSeg};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::zoo;
+use spa_arch::HwBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ded = AutoSeg::new(HwBudget::nvdla_small())
+        .max_pus(3)
+        .max_segments(6)
+        .run(&zoo::squeezenet1_0())
+        .expect("feasible");
+    let guest = zoo::mobilenet_v1();
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("remap_mobilenet_onto_squeezenet_design", |b| {
+        b.iter(|| black_box(generality::remap(&ded.design, &ded.workload, &guest).expect("mappable")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

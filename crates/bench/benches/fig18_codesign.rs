@@ -1,0 +1,30 @@
+//! Figure 18 kernel: one co-design method sweep at reduced iteration
+//! budgets.
+
+use autoseg::codesign::{mip_heuristic, mip_random, CodesignBudgets};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::zoo;
+use spa_arch::HwBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let iters = CodesignBudgets {
+        hw_iters: 20,
+        seg_iters: 20,
+        seed: 3,
+    };
+    let mut g = c.benchmark_group("fig18");
+    g.sample_size(10);
+    g.bench_function("mip_heuristic", |b| {
+        b.iter(|| black_box(mip_heuristic(&model, &budget).expect("runs")))
+    });
+    g.bench_function("mip_random_20iters", |b| {
+        b.iter(|| black_box(mip_random(&model, &budget, &iters).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

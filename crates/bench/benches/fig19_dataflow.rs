@@ -1,0 +1,25 @@
+//! Figure 19 kernel: WS/OS/hybrid evaluation of one design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::{zoo, Workload};
+use pucost::{best_dataflow, evaluate, Dataflow, EnergyModel, LayerDesc, PuConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::from_graph(&zoo::mobilenet_v1());
+    let descs: Vec<LayerDesc> = w.items().iter().map(LayerDesc::from_item).collect();
+    let pu = PuConfig::new(16, 16).with_freq_mhz(800.0);
+    let em = EnergyModel::tsmc28();
+    c.bench_function("fig19_dual_dataflow_eval", |b| {
+        b.iter(|| {
+            for d in &descs {
+                black_box(evaluate(d, &pu, Dataflow::WeightStationary, &em));
+                black_box(evaluate(d, &pu, Dataflow::OutputStationary, &em));
+                black_box(best_dataflow(d, &pu, &em));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

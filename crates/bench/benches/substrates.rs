@@ -1,0 +1,70 @@
+//! Substrate kernels: the MILP solver, Benes routing/pruning, the
+//! segmentation DP and Algorithm-1 allocation.
+
+use autoseg::allocate::allocate;
+use autoseg::segment::{ChainDpSegmenter, MipSegmenter, Segmenter};
+use autoseg::DesignGoal;
+use benes::{BenesNetwork, Demand};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mip::{Cmp, LinExpr, Problem, Sense, Solver};
+use nnmodel::{zoo, Workload};
+use spa_arch::HwBudget;
+use std::hint::black_box;
+
+fn knapsack(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n).map(|i| p.add_binary(format!("x{i}"))).collect();
+    let mut obj = LinExpr::new();
+    let mut cons = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        obj.add_term(v, ((i * 7) % 13 + 1) as f64);
+        cons.add_term(v, ((i * 5) % 11 + 1) as f64);
+    }
+    p.set_objective(obj);
+    p.add_constraint(cons, Cmp::Le, (2 * n) as f64);
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("mip_knapsack_16", |b| {
+        let p = knapsack(16);
+        b.iter(|| black_box(Solver::new().solve(&p).expect("solves")))
+    });
+
+    let net = BenesNetwork::new(8);
+    let perm: Vec<usize> = (0..8).rev().collect();
+    c.bench_function("benes_route_permutation_8", |b| {
+        b.iter(|| black_box(net.route_permutation(&perm).expect("routes")))
+    });
+    c.bench_function("benes_route_multicast_8", |b| {
+        b.iter(|| {
+            black_box(
+                net.route(&[Demand::multicast(0, vec![1, 3]), Demand::unicast(2, 0)])
+                    .expect("routes"),
+            )
+        })
+    });
+
+    let w = Workload::from_graph(&zoo::resnet50());
+    c.bench_function("segment_chain_dp_resnet50_4x6", |b| {
+        let seg = ChainDpSegmenter::new();
+        b.iter(|| black_box(seg.segment(&w, 4, 6).expect("feasible")))
+    });
+    let wa = Workload::from_graph(&zoo::alexnet_conv());
+    let mut g = c.benchmark_group("milp");
+    g.sample_size(10);
+    g.bench_function("segment_milp_alexnet_4x1", |b| {
+        let seg = MipSegmenter::new();
+        b.iter(|| black_box(seg.segment(&wa, 4, 1).expect("feasible")))
+    });
+    g.finish();
+
+    let schedule = ChainDpSegmenter::new().segment(&w, 4, 6).expect("feasible");
+    let budget = HwBudget::nvdla_large();
+    c.bench_function("allocate_algorithm1_resnet50", |b| {
+        b.iter(|| black_box(allocate(&w, &schedule, &budget, DesignGoal::Latency).expect("allocates")))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table III kernel: a throughput-oriented FPGA design run (one row).
+
+use autoseg::{AutoSeg, DesignGoal};
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::zoo;
+use spa_arch::HwBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab03");
+    g.sample_size(10);
+    g.bench_function("mobilenet_v2_on_zu3eg", |b| {
+        b.iter(|| {
+            black_box(
+                AutoSeg::new(HwBudget::zu3eg())
+                    .design_goal(DesignGoal::Throughput)
+                    .max_pus(4)
+                    .max_segments(6)
+                    .run(&zoo::mobilenet_v2())
+                    .expect("feasible"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Tables IV-VI / Figure 14 kernels: the three AlexNet case-study designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::{zoo, Workload};
+use pucost::Dataflow;
+use spa_arch::{HwBudget, Platform};
+use spa_sim::{full_pipeline_design, simulate_processor, simulate_spa};
+use std::hint::black_box;
+
+fn budget() -> HwBudget {
+    HwBudget {
+        name: "zc706-case".into(),
+        platform: Platform::Fpga,
+        pes: 768,
+        on_chip_bytes: 545 * 4096,
+        bandwidth_gbps: 5.3,
+        freq_mhz: 200.0,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let w = Workload::from_graph(&zoo::alexnet_conv());
+    let budget = budget();
+    c.bench_function("tab04_no_pipeline", |b| {
+        b.iter(|| black_box(simulate_processor(&w, &budget, Dataflow::WeightStationary)))
+    });
+    let fp = full_pipeline_design(&w, &budget).expect("fits");
+    c.bench_function("tab05_full_pipeline", |b| {
+        b.iter(|| black_box(simulate_spa(&w, &fp)))
+    });
+    let mut g = c.benchmark_group("tab06");
+    g.sample_size(10);
+    g.bench_function("spa_codesign", |b| {
+        b.iter(|| {
+            black_box(
+                autoseg::AutoSeg::new(budget.clone())
+                    .max_pus(4)
+                    .max_segments(2)
+                    .run(&zoo::alexnet_conv())
+                    .expect("feasible"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

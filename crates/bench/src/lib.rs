@@ -1,0 +1,1 @@
+//! Criterion benchmark harness (see `benches/`): one benchmark target per paper table/figure plus substrate kernels.

@@ -1,0 +1,137 @@
+//! Area / energy model of the (pruned) fabric.
+//!
+//! The paper synthesizes the inter-PU connection in TSMC 28 nm and reports
+//! that fabric plus dataflow muxes account for under 3% of design energy
+//! (Section VI-E). We model the fabric as datapath muxes (one 2:1 mux per
+//! retained output port and data bit), pass-through wires for ports pruned
+//! to a single selection, and a 2-bit configuration register per retained
+//! node. The default constants are representative 28 nm standard-cell
+//! figures (NAND2-equivalent area ~0.49 um^2; a 2:1 mux ~= 2.5 gate
+//! equivalents; ~1 fJ/bit dynamic switching at nominal voltage).
+
+use crate::routing::PrunedFabric;
+
+/// Technology constants for fabric cost estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricCostModel {
+    /// Area of a 2:1 mux, per data bit (um^2).
+    pub mux_area_um2: f64,
+    /// Area of a pass-through wire/buffer, per data bit (um^2).
+    pub wire_area_um2: f64,
+    /// Area of one configuration flip-flop (um^2).
+    pub config_ff_area_um2: f64,
+    /// Switching energy of one mux hop (pJ per bit).
+    pub mux_energy_pj_per_bit: f64,
+    /// Switching energy of a wire hop (pJ per bit).
+    pub wire_energy_pj_per_bit: f64,
+}
+
+impl FabricCostModel {
+    /// Representative TSMC 28 nm constants.
+    pub fn tsmc28() -> Self {
+        Self {
+            mux_area_um2: 1.2,
+            wire_area_um2: 0.15,
+            config_ff_area_um2: 2.8,
+            mux_energy_pj_per_bit: 0.0012,
+            wire_energy_pj_per_bit: 0.0004,
+        }
+    }
+}
+
+impl Default for FabricCostModel {
+    fn default() -> Self {
+        Self::tsmc28()
+    }
+}
+
+/// Estimated hardware cost of a pruned fabric instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricCost {
+    /// Total area (um^2) of the datapath plus configuration state.
+    pub area_um2: f64,
+    /// Energy to move one byte across the fabric end to end (pJ), i.e. the
+    /// per-hop energies summed over the stages a word traverses.
+    pub energy_pj_per_byte: f64,
+}
+
+impl PrunedFabric {
+    /// Estimates the area and per-byte transfer energy of this pruned
+    /// fabric for a `width_bits`-wide datapath under `model`, assuming
+    /// `stages` switching stages on an average path.
+    pub fn cost(&self, width_bits: usize, stages: usize, model: &FabricCostModel) -> FabricCost {
+        let w = width_bits as f64;
+        let area_um2 = self.muxes() as f64 * model.mux_area_um2 * w
+            + self.wires() as f64 * model.wire_area_um2 * w
+            + self.nodes() as f64 * 2.0 * model.config_ff_area_um2;
+        // A byte traverses `stages` hops; weight by the retained mux/wire
+        // mix (idle fabric transfers nothing).
+        let active = (self.muxes() + self.wires()) as f64;
+        let energy_pj_per_byte = if active == 0.0 {
+            0.0
+        } else {
+            let mux_frac = self.muxes() as f64 / active;
+            let per_hop_bit = mux_frac * model.mux_energy_pj_per_bit
+                + (1.0 - mux_frac) * model.wire_energy_pj_per_bit;
+            per_hop_bit * 8.0 * stages as f64
+        };
+        FabricCost {
+            area_um2,
+            energy_pj_per_byte,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BenesNetwork, Demand, FabricCostModel};
+
+    #[test]
+    fn pruned_cost_below_full_cost() {
+        let net = BenesNetwork::new(8);
+        let r = net
+            .route(&[Demand::unicast(0, 1), Demand::unicast(1, 2)])
+            .unwrap();
+        let pruned = net.prune(&[&r]);
+        // Full fabric: every permutation exercised -> all muxes retained.
+        let mut routings = Vec::new();
+        let perms: Vec<Vec<usize>> = vec![
+            (0..8).collect(),
+            (0..8).rev().collect(),
+            vec![1, 0, 3, 2, 5, 4, 7, 6],
+            vec![4, 5, 6, 7, 0, 1, 2, 3],
+            vec![2, 3, 0, 1, 6, 7, 4, 5],
+        ];
+        for p in &perms {
+            routings.push(net.route_permutation(p).unwrap());
+        }
+        let refs: Vec<&_> = routings.iter().collect();
+        let full = net.prune(&refs);
+        let m = FabricCostModel::tsmc28();
+        let c_pruned = pruned.cost(8, net.stages(), &m);
+        let c_full = full.cost(8, net.stages(), &m);
+        assert!(c_pruned.area_um2 < c_full.area_um2);
+        assert!(c_pruned.area_um2 > 0.0);
+    }
+
+    #[test]
+    fn idle_fabric_costs_nothing_to_transfer() {
+        let net = BenesNetwork::new(4);
+        let r = net.route(&[]).unwrap();
+        let pruned = net.prune(&[&r]);
+        let c = pruned.cost(8, net.stages(), &FabricCostModel::tsmc28());
+        assert_eq!(c.energy_pj_per_byte, 0.0);
+        assert_eq!(c.area_um2, 0.0);
+    }
+
+    #[test]
+    fn wider_datapath_scales_area() {
+        let net = BenesNetwork::new(4);
+        let r = net.route(&[Demand::unicast(0, 3)]).unwrap();
+        let pruned = net.prune(&[&r]);
+        let m = FabricCostModel::tsmc28();
+        let c8 = pruned.cost(8, net.stages(), &m);
+        let c16 = pruned.cost(16, net.stages(), &m);
+        assert!(c16.area_um2 > c8.area_um2);
+    }
+}

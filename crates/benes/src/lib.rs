@@ -1,0 +1,47 @@
+//! Benes-network inter-PU fabric (Section IV-C of DeepBurning-SEG).
+//!
+//! The SPA accelerator streams results between processing units through a
+//! pruned N-input N-output Benes network: a non-blocking multistage
+//! interconnect with `2*log2(N) - 1` stages of `N/2` two-by-two switching
+//! nodes, each node being a pair of 2-input muxes.
+//!
+//! This crate provides:
+//!
+//! * [`BenesNetwork`] — explicit construction of the node/link graph;
+//! * [`BenesNetwork::route_permutation`] — exact permutation routing with
+//!   the classic *looping algorithm* (always succeeds: Benes is
+//!   rearrangeably non-blocking);
+//! * [`BenesNetwork::route`] — routing of partial demand sets including
+//!   multicast (a producer feeding several consumers), as required when a
+//!   model segment's layer DAG is mapped onto the PU pipeline;
+//! * [`BenesNetwork::prune`] — removal of nodes and muxes unused by a set
+//!   of per-segment routings, reproducing the Figure 10 pruning flow;
+//! * [`FabricCost`] — mux-count-based area/energy estimation in 28 nm.
+//!
+//! # Example
+//!
+//! ```
+//! use benes::{BenesNetwork, Demand};
+//!
+//! let net = BenesNetwork::new(4);
+//! // Segment wiring: PU0 -> PU1, PU1 -> {PU2, PU3} (multicast).
+//! let routing = net.route(&[
+//!     Demand::unicast(0, 1),
+//!     Demand::multicast(1, vec![2, 3]),
+//! ])?;
+//! assert_eq!(net.trace(&routing, 1), vec![2, 3]);
+//! let pruned = net.prune(&[&routing]);
+//! assert!(pruned.muxes() <= net.total_muxes());
+//! # Ok::<(), benes::RouteError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod network;
+mod routing;
+
+pub use cost::{FabricCost, FabricCostModel};
+pub use network::{BenesNetwork, NodeId, PortTarget};
+pub use routing::{Demand, MuxState, PrunedFabric, RouteError, Routing};

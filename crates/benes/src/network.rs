@@ -1,0 +1,315 @@
+//! Benes network topology construction.
+
+use std::fmt;
+
+/// Identifier of a 2x2 switching node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Dense index of the node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a node id from a dense index (e.g. one read back from a
+    /// design manifest). Validity is checked at first use.
+    pub const fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Where a node's output port drives data to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// Input port `(node, port)` of a downstream node.
+    Port(usize, u8),
+    /// External output terminal.
+    Ext(usize),
+    /// Unconnected (only transiently during construction).
+    Unset,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Stage index (0-based from the inputs).
+    pub stage: usize,
+    /// Where each of the two output ports goes.
+    pub out_to: [Target; 2],
+}
+
+/// Recursive frame structure mirroring the Benes construction, used by the
+/// looping algorithm.
+#[derive(Debug, Clone)]
+pub(crate) enum Frame {
+    /// A single 2x2 node.
+    Leaf(usize),
+    /// Entry column, exit column, and the two half-size subnetworks.
+    Split {
+        entry: Vec<usize>,
+        exit: Vec<usize>,
+        top: Box<Frame>,
+        bottom: Box<Frame>,
+    },
+}
+
+/// An N-input, N-output Benes network (N rounded up to a power of two).
+#[derive(Debug, Clone)]
+pub struct BenesNetwork {
+    ports: usize,
+    padded: usize,
+    stages: usize,
+    pub(crate) nodes: Vec<Node>,
+    /// `ext_in[i]` = the `(node, port)` fed by external input `i`.
+    pub(crate) ext_in: Vec<(usize, u8)>,
+    pub(crate) frame: Frame,
+}
+
+impl BenesNetwork {
+    /// Builds a Benes network with at least `ports` inputs and outputs.
+    ///
+    /// `ports` is rounded up to the next power of two (minimum 2), exactly
+    /// as a hardware instantiation would pad the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "a fabric needs at least one port");
+        let padded = ports.max(2).next_power_of_two();
+        let k = padded.trailing_zeros() as usize;
+        let stages = 2 * k - 1;
+        let mut net = Self {
+            ports,
+            padded,
+            stages,
+            nodes: Vec::new(),
+            ext_in: vec![(usize::MAX, 0); padded],
+            frame: Frame::Leaf(usize::MAX),
+        };
+        let (frame, inputs, outputs) = net.build(padded, 0);
+        for (i, &(nd, p)) in inputs.iter().enumerate() {
+            net.ext_in[i] = (nd, p);
+        }
+        for (o, &(nd, p)) in outputs.iter().enumerate() {
+            net.nodes[nd].out_to[p as usize] = Target::Ext(o);
+        }
+        net.frame = frame;
+        net
+    }
+
+    /// Recursively builds a sub-network of `n` ports starting at `stage`.
+    /// Returns the frame plus the `(node, port)` lists for its external
+    /// input and output terminals.
+    #[allow(clippy::type_complexity)]
+    fn build(
+        &mut self,
+        n: usize,
+        stage: usize,
+    ) -> (Frame, Vec<(usize, u8)>, Vec<(usize, u8)>) {
+        if n == 2 {
+            let id = self.nodes.len();
+            self.nodes.push(Node {
+                stage,
+                out_to: [Target::Unset; 2],
+            });
+            return (Frame::Leaf(id), vec![(id, 0), (id, 1)], vec![(id, 0), (id, 1)]);
+        }
+        let half = n / 2;
+        let entry: Vec<usize> = (0..half)
+            .map(|_| {
+                let id = self.nodes.len();
+                self.nodes.push(Node {
+                    stage,
+                    out_to: [Target::Unset; 2],
+                });
+                id
+            })
+            .collect();
+        let sub_stages = 2 * (half.trailing_zeros() as usize) - 1;
+        let exit_stage = stage + 1 + sub_stages;
+        let (top, tin, tout) = self.build(half, stage + 1);
+        let (bottom, bin, bout) = self.build(half, stage + 1);
+        let exit: Vec<usize> = (0..half)
+            .map(|_| {
+                let id = self.nodes.len();
+                self.nodes.push(Node {
+                    stage: exit_stage,
+                    out_to: [Target::Unset; 2],
+                });
+                id
+            })
+            .collect();
+        for j in 0..half {
+            // Entry node j: port 0 to top subnet input j, port 1 to bottom.
+            self.nodes[entry[j]].out_to[0] = Target::Port(tin[j].0, tin[j].1);
+            self.nodes[entry[j]].out_to[1] = Target::Port(bin[j].0, bin[j].1);
+            // Subnet outputs j feed exit node j's ports 0 (top) / 1 (bottom).
+            let (tn, tp) = tout[j];
+            self.nodes[tn].out_to[tp as usize] = Target::Port(exit[j], 0);
+            let (bn, bp) = bout[j];
+            self.nodes[bn].out_to[bp as usize] = Target::Port(exit[j], 1);
+        }
+        let inputs: Vec<(usize, u8)> = (0..n).map(|i| (entry[i / 2], (i % 2) as u8)).collect();
+        let outputs: Vec<(usize, u8)> = (0..n).map(|o| (exit[o / 2], (o % 2) as u8)).collect();
+        (
+            Frame::Split {
+                entry,
+                exit,
+                top: Box::new(top),
+                bottom: Box::new(bottom),
+            },
+            inputs,
+            outputs,
+        )
+    }
+
+    /// Number of usable (requested) ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Power-of-two padded port count actually instantiated.
+    pub fn padded_ports(&self) -> usize {
+        self.padded
+    }
+
+    /// Number of switching stages (`2*log2(N) - 1`).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Total number of 2x2 switching nodes (`stages * N/2`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of 2-input muxes in the unpruned fabric (two per node).
+    pub fn total_muxes(&self) -> usize {
+        2 * self.nodes.len()
+    }
+
+    /// Where node `id`'s two output ports drive data (for netlist
+    /// generation and topology inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this network.
+    pub fn node_targets(&self, id: NodeId) -> [PortTarget; 2] {
+        let n = &self.nodes[id.0];
+        [n.out_to[0].into(), n.out_to[1].into()]
+    }
+
+    /// The `(node, input port)` fed by external input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= padded_ports()`.
+    pub fn input_port(&self, i: usize) -> (NodeId, u8) {
+        let (nd, p) = self.ext_in[i];
+        (NodeId(nd), p)
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Stage index of node `id` (0-based from the inputs).
+    pub fn node_stage(&self, id: NodeId) -> usize {
+        self.nodes[id.0].stage
+    }
+}
+
+/// Public view of a node output port's destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortTarget {
+    /// Drives input `port` of another node.
+    Node(NodeId, u8),
+    /// Drives external output `index`.
+    Output(usize),
+}
+
+impl From<Target> for PortTarget {
+    fn from(t: Target) -> Self {
+        match t {
+            Target::Port(n, p) => PortTarget::Node(NodeId(n), p),
+            Target::Ext(o) => PortTarget::Output(o),
+            Target::Unset => unreachable!("constructed networks are fully wired"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_matches_formula() {
+        for k in 1..=5 {
+            let n = 1usize << k;
+            let net = BenesNetwork::new(n);
+            let stages = 2 * k - 1;
+            assert_eq!(net.stages(), stages);
+            assert_eq!(net.num_nodes(), stages * n / 2, "N={n}");
+            assert_eq!(net.total_muxes(), 2 * net.num_nodes());
+        }
+    }
+
+    #[test]
+    fn pads_to_power_of_two() {
+        let net = BenesNetwork::new(5);
+        assert_eq!(net.ports(), 5);
+        assert_eq!(net.padded_ports(), 8);
+        assert_eq!(BenesNetwork::new(1).padded_ports(), 2);
+    }
+
+    #[test]
+    fn all_ports_wired() {
+        let net = BenesNetwork::new(8);
+        // Every external input lands on a real node.
+        for &(nd, p) in &net.ext_in {
+            assert!(nd < net.nodes.len());
+            assert!(p < 2);
+        }
+        // Every node output is connected (no Unset left).
+        for n in &net.nodes {
+            for t in n.out_to {
+                assert_ne!(t, Target::Unset);
+            }
+        }
+        // Exactly N external outputs exist.
+        let ext_outs = net
+            .nodes
+            .iter()
+            .flat_map(|n| n.out_to)
+            .filter(|t| matches!(t, Target::Ext(_)))
+            .count();
+        assert_eq!(ext_outs, 8);
+    }
+
+    #[test]
+    fn stage_indices_are_consistent() {
+        let net = BenesNetwork::new(8);
+        for n in &net.nodes {
+            assert!(n.stage < net.stages());
+            for t in n.out_to {
+                if let Target::Port(next, _) = t {
+                    assert_eq!(net.nodes[next].stage, n.stage + 1, "links go stage k -> k+1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        BenesNetwork::new(0);
+    }
+}

@@ -1,0 +1,664 @@
+//! Permutation routing (looping algorithm), multicast demand routing, and
+//! fabric pruning.
+
+use crate::network::{BenesNetwork, Frame, Target};
+use std::fmt;
+
+/// A data-transfer demand: one source port driving one or more destination
+/// ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Demand {
+    /// Source (producer) port.
+    pub src: usize,
+    /// Destination (consumer) ports.
+    pub dsts: Vec<usize>,
+}
+
+impl Demand {
+    /// One-to-one transfer.
+    pub fn unicast(src: usize, dst: usize) -> Self {
+        Self {
+            src,
+            dsts: vec![dst],
+        }
+    }
+
+    /// One-to-many transfer.
+    pub fn multicast(src: usize, dsts: Vec<usize>) -> Self {
+        Self { src, dsts }
+    }
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A port index was out of range.
+    PortOutOfRange {
+        /// The offending port.
+        port: usize,
+        /// Number of ports in the fabric.
+        ports: usize,
+    },
+    /// Two demands drive the same destination.
+    OutputConflict {
+        /// The doubly-driven destination.
+        dst: usize,
+    },
+    /// Two demands share the same source port.
+    SourceConflict {
+        /// The doubly-used source.
+        src: usize,
+    },
+    /// A permutation argument was not a permutation.
+    NotAPermutation,
+    /// The demand set could not be placed (only possible for multicast
+    /// sets exceeding the fabric's duplication capacity; unicast sets are
+    /// always routable).
+    Unroutable {
+        /// The source whose transfer failed.
+        src: usize,
+        /// The unreachable destination.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::PortOutOfRange { port, ports } => {
+                write!(f, "port {port} out of range for a {ports}-port fabric")
+            }
+            RouteError::OutputConflict { dst } => {
+                write!(f, "destination {dst} driven by more than one demand")
+            }
+            RouteError::SourceConflict { src } => {
+                write!(f, "source {src} used by more than one demand")
+            }
+            RouteError::NotAPermutation => write!(f, "argument is not a permutation"),
+            RouteError::Unroutable { src, dst } => {
+                write!(f, "could not route transfer {src} -> {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A complete switch configuration: for every node, which input port each
+/// of the two output muxes selects (`None` = mux idle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routing {
+    pub(crate) states: Vec<[Option<u8>; 2]>,
+}
+
+impl Routing {
+    /// The input port selected by `(node, port)`'s output mux under this
+    /// routing, or `None` if the mux is idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `port > 1`.
+    pub fn selection(&self, node: crate::NodeId, port: u8) -> Option<u8> {
+        self.states[node.index()][port as usize]
+    }
+
+    /// Number of active muxes (output ports with a selection).
+    pub fn active_muxes(&self) -> usize {
+        self.states
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Number of nodes with at least one active mux.
+    pub fn active_nodes(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| s.iter().any(Option::is_some))
+            .count()
+    }
+}
+
+impl BenesNetwork {
+    /// Routes a full permutation with the looping algorithm. `perm[i]` is
+    /// the output for input `i`; its length may be [`BenesNetwork::ports`]
+    /// (shorter permutations are completed over the padding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::NotAPermutation`] on malformed input. Routing
+    /// itself always succeeds — a Benes network is rearrangeably
+    /// non-blocking.
+    pub fn route_permutation(&self, perm: &[usize]) -> Result<Routing, RouteError> {
+        let padded = self.padded_ports();
+        if perm.len() > padded {
+            return Err(RouteError::NotAPermutation);
+        }
+        let mut full: Vec<usize> = perm.to_vec();
+        let mut used = vec![false; padded];
+        for &o in perm {
+            if o >= padded || used[o] {
+                return Err(RouteError::NotAPermutation);
+            }
+            used[o] = true;
+        }
+        let mut free_outs = (0..padded).filter(|&o| !used[o]);
+        for _ in perm.len()..padded {
+            full.push(free_outs.next().expect("enough free outputs"));
+        }
+        let mut states = vec![[None, None]; self.nodes.len()];
+        let idx: Vec<usize> = (0..padded).collect();
+        self.loop_route(&self.frame, &idx, &full, &mut states);
+        Ok(Routing { states })
+    }
+
+    /// Recursive looping algorithm. `inputs` are global input labels of
+    /// this sub-network in position order; `perm` maps position -> position.
+    fn loop_route(
+        &self,
+        frame: &Frame,
+        _inputs: &[usize],
+        perm: &[usize],
+        states: &mut [[Option<u8>; 2]],
+    ) {
+        match frame {
+            Frame::Leaf(node) => {
+                // perm over 2 positions: identity or cross.
+                if perm[0] == 0 {
+                    states[*node] = [Some(0), Some(1)];
+                } else {
+                    states[*node] = [Some(1), Some(0)];
+                }
+            }
+            Frame::Split {
+                entry,
+                exit,
+                top,
+                bottom,
+            } => {
+                let n = perm.len();
+                let mut inv = vec![0usize; n];
+                for (i, &o) in perm.iter().enumerate() {
+                    inv[o] = i;
+                }
+                // 2-color the inputs: siblings at entry nodes differ; the
+                // sources of sibling outputs differ. The constraint graph is
+                // a union of even cycles, so BFS coloring always works.
+                let mut color: Vec<Option<u8>> = vec![None; n];
+                for start in 0..n {
+                    if color[start].is_some() {
+                        continue;
+                    }
+                    let mut stack = vec![(start, 0u8)];
+                    while let Some((i, c)) = stack.pop() {
+                        match color[i] {
+                            Some(existing) => {
+                                debug_assert_eq!(existing, c, "benes 2-coloring conflict");
+                                continue;
+                            }
+                            None => color[i] = Some(c),
+                        }
+                        // Entry sibling must take the other color.
+                        stack.push((i ^ 1, 1 - c));
+                        // The source of our output's sibling must take the
+                        // other color.
+                        stack.push((inv[perm[i] ^ 1], 1 - c));
+                    }
+                }
+                let color: Vec<u8> = color.into_iter().map(|c| c.expect("colored")).collect();
+
+                // Entry node j: out port 0 (top) takes its color-0 input.
+                let half = n / 2;
+                let mut top_perm = vec![0usize; half];
+                let mut bot_perm = vec![0usize; half];
+                for j in 0..half {
+                    let (a, b) = (2 * j, 2 * j + 1);
+                    let top_in = if color[a] == 0 { a } else { b };
+                    let bot_in = a + b - top_in;
+                    states[entry[j]] = [Some((top_in % 2) as u8), Some((bot_in % 2) as u8)];
+                    top_perm[j] = perm[top_in] / 2;
+                    bot_perm[j] = perm[bot_in] / 2;
+                }
+                // Exit node j: output port p selects the subnet its source
+                // was colored into (0 = top arrives on in port 0).
+                for j in 0..half {
+                    states[exit[j]] = [
+                        Some(color[inv[2 * j]]),
+                        Some(color[inv[2 * j + 1]]),
+                    ];
+                }
+                let positions: Vec<usize> = (0..half).collect();
+                self.loop_route(top, &positions, &top_perm, states);
+                self.loop_route(bottom, &positions, &bot_perm, states);
+            }
+        }
+    }
+
+    /// Routes a set of (possibly multicast) demands.
+    ///
+    /// Every `(source, destination)` transfer is placed by a complete
+    /// backtracking search over the switch graph; a copy may share the
+    /// prefix of a link already carrying the same source (which is how a
+    /// node's two output muxes realize multicast). The search is exhaustive,
+    /// so unicast demand sets — routable on any Benes network by
+    /// non-blockingness — always succeed; heavily-fanned multicast sets can
+    /// exceed duplication capacity and fail.
+    ///
+    /// # Errors
+    ///
+    /// Port-range and conflict errors, or [`RouteError::Unroutable`] if no
+    /// placement exists.
+    pub fn route(&self, demands: &[Demand]) -> Result<Routing, RouteError> {
+        let ports = self.ports();
+        let mut out_used = vec![false; ports];
+        let mut src_used = vec![false; ports];
+        for d in demands {
+            if d.src >= ports {
+                return Err(RouteError::PortOutOfRange { port: d.src, ports });
+            }
+            if src_used[d.src] {
+                return Err(RouteError::SourceConflict { src: d.src });
+            }
+            src_used[d.src] = true;
+            for &o in &d.dsts {
+                if o >= ports {
+                    return Err(RouteError::PortOutOfRange { port: o, ports });
+                }
+                if out_used[o] {
+                    return Err(RouteError::OutputConflict { dst: o });
+                }
+                out_used[o] = true;
+            }
+        }
+
+        // Flatten to (src, dst) transfers; larger-fanout demands first so
+        // the constrained multicasts claim duplication capacity early.
+        let mut order: Vec<usize> = (0..demands.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(demands[i].dsts.len()));
+        let pairs: Vec<(usize, usize)> = order
+            .iter()
+            .flat_map(|&i| demands[i].dsts.iter().map(move |&o| (demands[i].src, o)))
+            .collect();
+        let mut routing = Routing {
+            states: vec![[None, None]; self.nodes.len()],
+        };
+        if self.solve(&mut routing, &pairs, 0) {
+            Ok(routing)
+        } else {
+            // Report the first transfer of the most constrained demand.
+            let &(src, dst) = pairs.first().expect("nonempty on failure");
+            Err(RouteError::Unroutable { src, dst })
+        }
+    }
+
+    /// Places transfer `pairs[idx]` and recursively the rest, with full
+    /// backtracking.
+    fn solve(&self, routing: &mut Routing, pairs: &[(usize, usize)], idx: usize) -> bool {
+        let Some(&(src, dst)) = pairs.get(idx) else {
+            return true;
+        };
+        let (nd, port) = self.ext_in[src];
+        self.explore(routing, nd, port, dst, pairs, idx)
+    }
+
+    /// Tries every way of extending the path for `pairs[idx]` from
+    /// `(nd, in_port)` toward `dst`, continuing with the remaining pairs on
+    /// success. A mux already selecting `in_port` is shared for free (same
+    /// source data); a free mux is claimed tentatively.
+    fn explore(
+        &self,
+        routing: &mut Routing,
+        nd: usize,
+        in_port: u8,
+        dst: usize,
+        pairs: &[(usize, usize)],
+        idx: usize,
+    ) -> bool {
+        for p in 0..2 {
+            match routing.states[nd][p] {
+                Some(sel) if sel == in_port => {
+                    let ok = match self.nodes[nd].out_to[p] {
+                        Target::Ext(o) => o == dst && self.solve(routing, pairs, idx + 1),
+                        Target::Port(n2, p2) => self.explore(routing, n2, p2, dst, pairs, idx),
+                        Target::Unset => unreachable!("constructed networks are fully wired"),
+                    };
+                    if ok {
+                        return true;
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    routing.states[nd][p] = Some(in_port);
+                    let ok = match self.nodes[nd].out_to[p] {
+                        Target::Ext(o) => o == dst && self.solve(routing, pairs, idx + 1),
+                        Target::Port(n2, p2) => self.explore(routing, n2, p2, dst, pairs, idx),
+                        Target::Unset => unreachable!("constructed networks are fully wired"),
+                    };
+                    if ok {
+                        return true;
+                    }
+                    routing.states[nd][p] = None;
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns the sorted external outputs reached by `input` under
+    /// `routing` (empty if the input is idle).
+    pub fn trace(&self, routing: &Routing, input: usize) -> Vec<usize> {
+        let mut outs = Vec::new();
+        let (nd, port) = self.ext_in[input];
+        self.trace_from(routing, nd, port, &mut outs);
+        outs.sort_unstable();
+        outs
+    }
+
+    fn trace_from(&self, routing: &Routing, nd: usize, in_port: u8, outs: &mut Vec<usize>) {
+        for p in 0..2 {
+            if routing.states[nd][p] == Some(in_port) {
+                match self.nodes[nd].out_to[p] {
+                    Target::Ext(o) => outs.push(o),
+                    Target::Port(n2, p2) => self.trace_from(routing, n2, p2, outs),
+                    Target::Unset => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Prunes the fabric down to the hardware needed by the given set of
+    /// per-segment routings (Figure 10 of the paper): muxes never selected
+    /// are removed; muxes that only ever take a single selection degrade to
+    /// wires.
+    pub fn prune(&self, routings: &[&Routing]) -> PrunedFabric {
+        let mut sel_sets: Vec<[SelSet; 2]> = vec![[SelSet::Unused; 2]; self.nodes.len()];
+        for r in routings {
+            for (n, st) in r.states.iter().enumerate() {
+                for p in 0..2 {
+                    if let Some(s) = st[p] {
+                        sel_sets[n][p] = sel_sets[n][p].add(s);
+                    }
+                }
+            }
+        }
+        let mut muxes = 0;
+        let mut wires = 0;
+        let mut nodes = 0;
+        for s in &sel_sets {
+            let any = s.iter().any(|x| !matches!(x, SelSet::Unused));
+            if any {
+                nodes += 1;
+            }
+            for x in s {
+                match x {
+                    SelSet::Unused => {}
+                    SelSet::One(_) => wires += 1,
+                    SelSet::Both => muxes += 1,
+                }
+            }
+        }
+        PrunedFabric {
+            total_nodes: self.num_nodes(),
+            nodes,
+            muxes,
+            wires,
+            sel_sets,
+        }
+    }
+}
+
+/// Which selections a mux was observed taking across all routings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SelSet {
+    Unused,
+    One(u8),
+    Both,
+}
+
+impl SelSet {
+    fn add(self, s: u8) -> Self {
+        match self {
+            SelSet::Unused => SelSet::One(s),
+            SelSet::One(x) if x == s => self,
+            _ => SelSet::Both,
+        }
+    }
+}
+
+/// Result of pruning: the hardware retained by the customized fabric.
+#[derive(Debug, Clone)]
+pub struct PrunedFabric {
+    total_nodes: usize,
+    nodes: usize,
+    muxes: usize,
+    wires: usize,
+    sel_sets: Vec<[SelSet; 2]>,
+}
+
+/// What remains of one output-port mux after pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxState {
+    /// Never used by any routing: the mux (and its wiring) is removed.
+    Removed,
+    /// Used with a single selection: degenerates to a fixed wire from the
+    /// given input port.
+    Wire(u8),
+    /// Used with both selections: a real 2:1 mux with a config bit.
+    Mux,
+}
+
+impl PrunedFabric {
+    /// Post-pruning state of `(node, port)`'s output mux.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `port > 1`.
+    pub fn mux_state(&self, node: crate::NodeId, port: u8) -> MuxState {
+        match self.sel_sets[node.index()][port as usize] {
+            SelSet::Unused => MuxState::Removed,
+            SelSet::One(s) => MuxState::Wire(s),
+            SelSet::Both => MuxState::Mux,
+        }
+    }
+
+    /// Nodes retained (at least one active output).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Nodes of the original, unpruned fabric.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// True 2-input muxes retained (output ports that switch between both
+    /// inputs across segments).
+    pub fn muxes(&self) -> usize {
+        self.muxes
+    }
+
+    /// Output ports frozen to a single selection (plain wires after
+    /// pruning).
+    pub fn wires(&self) -> usize {
+        self.wires
+    }
+
+    /// `true` if the pruned hardware can still realize `routing`.
+    pub fn supports(&self, routing: &Routing) -> bool {
+        routing.states.iter().enumerate().all(|(n, st)| {
+            (0..2).all(|p| match st[p] {
+                None => true,
+                Some(s) => match self.sel_sets[n][p] {
+                    SelSet::Unused => false,
+                    SelSet::One(x) => x == s,
+                    SelSet::Both => true,
+                },
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn identity_permutation_routes() {
+        for n in [2usize, 4, 8, 16] {
+            let net = BenesNetwork::new(n);
+            let r = net.route_permutation(&identity(n)).unwrap();
+            for i in 0..n {
+                assert_eq!(net.trace(&r, i), vec![i], "N={n} input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_permutation_routes() {
+        let n = 8;
+        let net = BenesNetwork::new(n);
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let r = net.route_permutation(&perm).unwrap();
+        for i in 0..n {
+            assert_eq!(net.trace(&r, i), vec![n - 1 - i]);
+        }
+    }
+
+    #[test]
+    fn all_permutations_of_4_route() {
+        // Exhaustive: every 4-element permutation must route (non-blocking).
+        let net = BenesNetwork::new(4);
+        let mut perm = [0usize, 1, 2, 3];
+        let mut count = 0;
+        permute(&mut perm, 0, &mut |p| {
+            let r = net.route_permutation(p).unwrap();
+            for (i, &o) in p.iter().enumerate() {
+                assert_eq!(net.trace(&r, i), vec![o], "perm {p:?}");
+            }
+            count += 1;
+        });
+        assert_eq!(count, 24);
+
+        fn permute(a: &mut [usize; 4], k: usize, f: &mut impl FnMut(&[usize])) {
+            if k == 4 {
+                f(a);
+                return;
+            }
+            for i in k..4 {
+                a.swap(k, i);
+                permute(a, k + 1, f);
+                a.swap(k, i);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let net = BenesNetwork::new(4);
+        assert_eq!(
+            net.route_permutation(&[0, 0, 1, 2]),
+            Err(RouteError::NotAPermutation)
+        );
+        assert_eq!(
+            net.route_permutation(&[0, 1, 2, 9]),
+            Err(RouteError::NotAPermutation)
+        );
+    }
+
+    #[test]
+    fn partial_demands_route_minimally() {
+        let net = BenesNetwork::new(8);
+        let r = net
+            .route(&[Demand::unicast(0, 3), Demand::unicast(5, 1)])
+            .unwrap();
+        assert_eq!(net.trace(&r, 0), vec![3]);
+        assert_eq!(net.trace(&r, 5), vec![1]);
+        // Undemanded inputs are idle.
+        assert_eq!(net.trace(&r, 2), Vec::<usize>::new());
+        // Minimal: far fewer active muxes than a full permutation.
+        let full = net.route_permutation(&identity(8)).unwrap();
+        assert!(r.active_muxes() < full.active_muxes());
+    }
+
+    #[test]
+    fn multicast_reaches_all_destinations() {
+        let net = BenesNetwork::new(8);
+        let r = net
+            .route(&[
+                Demand::multicast(0, vec![1, 4, 6]),
+                Demand::unicast(2, 0),
+            ])
+            .unwrap();
+        assert_eq!(net.trace(&r, 0), vec![1, 4, 6]);
+        assert_eq!(net.trace(&r, 2), vec![0]);
+    }
+
+    #[test]
+    fn demand_validation() {
+        let net = BenesNetwork::new(4);
+        assert!(matches!(
+            net.route(&[Demand::unicast(9, 0)]),
+            Err(RouteError::PortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            net.route(&[Demand::unicast(0, 1), Demand::unicast(2, 1)]),
+            Err(RouteError::OutputConflict { dst: 1 })
+        ));
+        assert!(matches!(
+            net.route(&[Demand::unicast(0, 1), Demand::unicast(0, 2)]),
+            Err(RouteError::SourceConflict { src: 0 })
+        ));
+    }
+
+    #[test]
+    fn pruning_keeps_routability() {
+        let net = BenesNetwork::new(8);
+        let r1 = net
+            .route(&[Demand::unicast(0, 1), Demand::unicast(1, 2)])
+            .unwrap();
+        let r2 = net
+            .route(&[Demand::unicast(0, 2), Demand::multicast(1, vec![0, 3])])
+            .unwrap();
+        let pruned = net.prune(&[&r1, &r2]);
+        assert!(pruned.supports(&r1));
+        assert!(pruned.supports(&r2));
+        assert!(pruned.nodes() <= net.num_nodes());
+        // A routing the pruned fabric never saw generally isn't supported.
+        let foreign = net.route(&[Demand::unicast(5, 7)]).unwrap();
+        assert!(!pruned.supports(&foreign));
+    }
+
+    #[test]
+    fn pruning_degrades_single_selection_muxes_to_wires() {
+        let net = BenesNetwork::new(4);
+        let r = net.route(&[Demand::unicast(0, 0)]).unwrap();
+        let pruned = net.prune(&[&r]);
+        // One path, each hop used with a single selection: all wires.
+        assert_eq!(pruned.muxes(), 0);
+        assert!(pruned.wires() > 0);
+    }
+
+    #[test]
+    fn non_power_of_two_port_counts() {
+        let net = BenesNetwork::new(5);
+        let r = net
+            .route(&[Demand::unicast(4, 0), Demand::unicast(0, 4)])
+            .unwrap();
+        assert_eq!(net.trace(&r, 4), vec![0]);
+        assert_eq!(net.trace(&r, 0), vec![4]);
+    }
+
+    #[test]
+    fn empty_demand_set_is_idle() {
+        let net = BenesNetwork::new(4);
+        let r = net.route(&[]).unwrap();
+        assert_eq!(r.active_muxes(), 0);
+        let pruned = net.prune(&[&r]);
+        assert_eq!(pruned.nodes(), 0);
+    }
+}

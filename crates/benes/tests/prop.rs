@@ -1,0 +1,119 @@
+//! Property tests: the Benes fabric routes arbitrary permutations and
+//! random demand sets, and pruning preserves the routings it was built
+//! from.
+
+use benes::{BenesNetwork, Demand};
+use proptest::prelude::*;
+
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn routes_any_permutation_8(perm in permutation(8)) {
+        let net = BenesNetwork::new(8);
+        let r = net.route_permutation(&perm).unwrap();
+        for (i, &o) in perm.iter().enumerate() {
+            prop_assert_eq!(net.trace(&r, i), vec![o]);
+        }
+    }
+
+    #[test]
+    fn routes_any_permutation_16(perm in permutation(16)) {
+        let net = BenesNetwork::new(16);
+        let r = net.route_permutation(&perm).unwrap();
+        for (i, &o) in perm.iter().enumerate() {
+            prop_assert_eq!(net.trace(&r, i), vec![o]);
+        }
+    }
+
+    #[test]
+    fn routes_any_permutation_32(perm in permutation(32)) {
+        let net = BenesNetwork::new(32);
+        let r = net.route_permutation(&perm).unwrap();
+        for (i, &o) in perm.iter().enumerate() {
+            prop_assert_eq!(net.trace(&r, i), vec![o]);
+        }
+    }
+
+    /// Random *unicast* demand sets always route (partial permutations are
+    /// routable on any rearrangeably non-blocking network). The generator
+    /// pairs a shuffled source list with a shuffled destination list so
+    /// conflicts never arise by construction.
+    #[test]
+    fn routes_random_unicast_sets(
+        srcs in permutation(8),
+        dsts in permutation(8),
+        n_demands in 1usize..=8,
+    ) {
+        let net = BenesNetwork::new(8);
+        let demands: Vec<Demand> = srcs
+            .iter()
+            .zip(&dsts)
+            .take(n_demands)
+            .map(|(&s, &d)| Demand::unicast(s, d))
+            .collect();
+        let r = net.route(&demands).unwrap();
+        for d in &demands {
+            prop_assert_eq!(net.trace(&r, d.src), d.dsts.clone(), "demand {:?}", d);
+        }
+    }
+
+    /// Random demand sets *with multicast*: a Benes network is not
+    /// multicast-nonblocking, so the router may legitimately report
+    /// `Unroutable` for heavy fanout — but whenever it answers `Ok`, every
+    /// transfer must be realized exactly.
+    #[test]
+    fn multicast_routings_are_correct_when_found(
+        srcs in permutation(8),
+        dsts in permutation(8),
+        n_demands in 1usize..=4,
+        fanouts in proptest::collection::vec(1usize..=3, 4),
+    ) {
+        let net = BenesNetwork::new(8);
+        let mut demands = Vec::new();
+        let mut d_iter = dsts.into_iter();
+        for (k, &src) in srcs.iter().take(n_demands).enumerate() {
+            let fan = fanouts[k];
+            let dsts: Vec<usize> = d_iter.by_ref().take(fan).collect();
+            if dsts.is_empty() {
+                break;
+            }
+            demands.push(Demand::multicast(src, dsts));
+        }
+        match net.route(&demands) {
+            Ok(r) => {
+                for d in &demands {
+                    let mut want = d.dsts.clone();
+                    want.sort_unstable();
+                    prop_assert_eq!(net.trace(&r, d.src), want, "demand {:?}", d);
+                }
+            }
+            Err(e) => {
+                // Only multicast sets may fail.
+                prop_assert!(demands.iter().any(|d| d.dsts.len() > 1), "unicast set failed: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_supports_its_inputs(
+        p1 in permutation(8),
+        p2 in permutation(8),
+        p3 in permutation(8),
+    ) {
+        let net = BenesNetwork::new(8);
+        let r1 = net.route_permutation(&p1).unwrap();
+        let r2 = net.route_permutation(&p2).unwrap();
+        let r3 = net.route_permutation(&p3).unwrap();
+        let pruned = net.prune(&[&r1, &r2, &r3]);
+        prop_assert!(pruned.supports(&r1));
+        prop_assert!(pruned.supports(&r2));
+        prop_assert!(pruned.supports(&r3));
+        prop_assert!(pruned.nodes() <= net.num_nodes());
+        prop_assert!(pruned.muxes() + pruned.wires() <= net.total_muxes());
+    }
+}

@@ -1,0 +1,196 @@
+//! Ablation studies for the design choices the paper bakes into AutoSeg:
+//!
+//! 1. **Fabric pruning** (Figure 10): area of the pruned Benes network vs
+//!    the full fabric, per design.
+//! 2. **Power-of-two PE arrays** (Algorithm 1 line 9): latency cost of the
+//!    alignment constraint versus a hypothetical free allocation.
+//! 3. **Segmentation quality** (Section V-A): the exact DP segmenter vs
+//!    naive even segmentation, at the full-design level.
+//! 4. **Analytical vs event-driven pipeline model**: the closed-form
+//!    `bottleneck + fill` against exact piece-level simulation.
+
+use autoseg::{allocate::allocate, AutoSeg, DesignGoal};
+use benes::FabricCostModel;
+use experiments::{f3, print_table, short_name, write_csv};
+use nnmodel::{zoo, Workload};
+use spa_arch::{HwBudget, Segment, SegmentSchedule};
+use spa_sim::{segment_piece_cycles, simulate_spa};
+
+fn main() {
+    let budget = HwBudget::nvdla_large();
+    let models = ["squeezenet1_0", "mobilenet_v1", "resnet18", "inception_v1"];
+
+    // --- 1. fabric pruning ---
+    println!("== Ablation 1: Benes fabric pruning ==");
+    let mut rows = Vec::new();
+    for name in models {
+        let model = zoo::by_name(name).expect("zoo model");
+        let out = AutoSeg::new(budget.clone())
+            .max_pus(6)
+            .max_segments(8)
+            .run(&model)
+            .expect("feasible");
+        let net = out.design.fabric();
+        let pruned = out.design.pruned_fabric(&out.workload).expect("routable");
+        let m = FabricCostModel::tsmc28();
+        let full_area = net.total_muxes() as f64 * m.mux_area_um2 * 8.0
+            + net.num_nodes() as f64 * 2.0 * m.config_ff_area_um2;
+        let pruned_area = pruned.cost(8, net.stages(), &m).area_um2;
+        rows.push(vec![
+            short_name(name).to_string(),
+            format!("{}/{}", pruned.nodes(), net.num_nodes()),
+            format!("{}+{}", pruned.muxes(), pruned.wires()),
+            f3(pruned_area),
+            f3(full_area),
+            f3(100.0 * (1.0 - pruned_area / full_area)),
+        ]);
+    }
+    print_table(
+        &["model", "nodes kept", "muxes+wires", "pruned um2", "full um2", "saved %"],
+        &rows,
+    );
+    write_csv(
+        "ablation_pruning.csv",
+        &["model", "nodes", "muxes_wires", "pruned_um2", "full_um2", "saved_pct"],
+        &rows,
+    );
+
+    // --- 2. power-of-two constraint ---
+    println!("\n== Ablation 2: power-of-two PE alignment ==");
+    let mut rows = Vec::new();
+    for name in models {
+        let model = zoo::by_name(name).expect("zoo model");
+        let out = AutoSeg::new(budget.clone())
+            .max_pus(6)
+            .max_segments(8)
+            .run(&model)
+            .expect("feasible");
+        // Hypothetical free allocation: same schedule, PEs exactly
+        // proportional to the load (no rounding) — approximate its latency
+        // by the load-balanced ideal of the same total PE count.
+        let total_pes = out.design.total_pes() as f64;
+        let w = &out.workload;
+        let ideal_cycles: f64 = (0..out.design.schedule.len())
+            .map(|s| {
+                let ops: u64 = out.design.schedule.segments[s]
+                    .items()
+                    .iter()
+                    .map(|&i| w.items()[i].ops)
+                    .sum();
+                ops as f64 / total_pes
+            })
+            .sum();
+        let actual = out.report.cycles as f64;
+        rows.push(vec![
+            short_name(name).to_string(),
+            (total_pes as usize).to_string(),
+            f3(actual / 1e6),
+            f3(ideal_cycles / 1e6),
+            f3(actual / ideal_cycles),
+        ]);
+    }
+    print_table(
+        &["model", "PEs", "actual Mcycles", "free-alloc ideal", "overhead x"],
+        &rows,
+    );
+    write_csv(
+        "ablation_pow2.csv",
+        &["model", "pes", "actual_mcycles", "ideal_mcycles", "overhead"],
+        &rows,
+    );
+
+    // --- 3. DP segmentation vs naive even segmentation ---
+    println!("\n== Ablation 3: optimized vs even segmentation ==");
+    let mut rows = Vec::new();
+    for name in models {
+        let model = zoo::by_name(name).expect("zoo model");
+        let w = Workload::from_graph(&model);
+        let out = AutoSeg::new(budget.clone())
+            .max_pus(4)
+            .max_segments(8)
+            .run(&model)
+            .expect("feasible");
+        let (n, s) = (out.design.n_pus(), out.design.schedule.len());
+        // Even segmentation with the same (N, S) shape: contiguous equal
+        // *item-count* chunks, blocks by index.
+        let even = even_schedule(&w, n, s);
+        let even_ms = even
+            .and_then(|sched| allocate(&w, &sched, &budget, DesignGoal::Latency).ok())
+            .filter(|d| d.fits(&budget))
+            .map(|d| simulate_spa(&w, &d).seconds * 1e3);
+        rows.push(vec![
+            short_name(name).to_string(),
+            format!("{n}x{s}"),
+            f3(out.report.seconds * 1e3),
+            even_ms.map(f3).unwrap_or_else(|| "infeasible".into()),
+        ]);
+    }
+    print_table(&["model", "shape", "autoseg ms", "even-split ms"], &rows);
+    write_csv(
+        "ablation_segmentation.csv",
+        &["model", "shape", "autoseg_ms", "even_ms"],
+        &rows,
+    );
+
+    // --- 4. analytical vs event-driven pipeline model ---
+    println!("\n== Ablation 4: analytical vs piece-level event simulation ==");
+    let mut rows = Vec::new();
+    for name in models {
+        let model = zoo::by_name(name).expect("zoo model");
+        let out = AutoSeg::new(budget.clone())
+            .max_pus(4)
+            .max_segments(6)
+            .run(&model)
+            .expect("feasible");
+        let analytical: u64 = out
+            .report
+            .per_segment
+            .iter()
+            .map(|s| s.compute_cycles)
+            .sum();
+        let event: u64 = (0..out.design.schedule.len())
+            .map(|s| segment_piece_cycles(&out.workload, &out.design, s))
+            .sum();
+        rows.push(vec![
+            short_name(name).to_string(),
+            f3(analytical as f64 / 1e6),
+            f3(event as f64 / 1e6),
+            f3(analytical as f64 / event as f64),
+        ]);
+    }
+    print_table(
+        &["model", "analytical Mcyc", "event Mcyc", "ratio"],
+        &rows,
+    );
+    write_csv(
+        "ablation_event_sim.csv",
+        &["model", "analytical_mcycles", "event_mcycles", "ratio"],
+        &rows,
+    );
+}
+
+/// Even segmentation: equal item-count contiguous segments, equal
+/// item-count contiguous blocks bound in order.
+fn even_schedule(w: &Workload, n: usize, s: usize) -> Option<SegmentSchedule> {
+    let l = w.len();
+    if n * s > l {
+        return None;
+    }
+    let mut segments = Vec::with_capacity(s);
+    let per_seg = l / s;
+    for si in 0..s {
+        let lo = si * per_seg;
+        let hi = if si + 1 == s { l } else { lo + per_seg };
+        let len = hi - lo;
+        let per_block = len / n;
+        let mut assignments = Vec::with_capacity(len);
+        for (k, item) in (lo..hi).enumerate() {
+            let pu = (k / per_block.max(1)).min(n - 1);
+            assignments.push(spa_arch::Assignment { item, pu });
+        }
+        segments.push(Segment { assignments });
+    }
+    // Route the even schedule through the same validation path; reject
+    // invalid ones.
+    SegmentSchedule::new(segments, n, w).ok()
+}

@@ -1,0 +1,50 @@
+//! Figure 2: the roofline model of the evaluated budgets.
+//!
+//! Emits the attainable-performance curve of each Table II budget and the
+//! ridge point Section II cites for NVDLA (280 OPs/Byte).
+
+use experiments::{f3, print_table, write_csv};
+use spa_arch::HwBudget;
+use spa_sim::roofline_series;
+
+fn main() {
+    println!("== Figure 2: roofline model ==");
+    let budgets = [
+        HwBudget::eyeriss(),
+        HwBudget::nvdla_small(),
+        HwBudget::nvdla_large(),
+        HwBudget::edge_tpu(),
+    ];
+
+    let mut rows = Vec::new();
+    for b in &budgets {
+        rows.push(vec![
+            b.name.clone(),
+            f3(b.peak_ops_per_sec() / 1e12),
+            f3(b.bandwidth_gbps),
+            f3(b.ridge_ops_per_byte()),
+        ]);
+    }
+    print_table(
+        &["budget", "peak TOPs", "BW GB/s", "ridge OPs/B"],
+        &rows,
+    );
+    write_csv("fig02_ridge.csv", &["budget", "peak_tops", "bw_gbps", "ridge_ops_per_byte"], &rows);
+
+    // Full curves (log-spaced CTC axis).
+    let mut curve_rows = Vec::new();
+    for b in &budgets {
+        for p in roofline_series(b, 0.1, 100_000.0, 60) {
+            curve_rows.push(vec![
+                b.name.clone(),
+                format!("{:.4}", p.macs_per_byte),
+                format!("{:.4e}", p.ops_per_sec),
+            ]);
+        }
+    }
+    write_csv(
+        "fig02_roofline.csv",
+        &["budget", "macs_per_byte", "attainable_ops_per_sec"],
+        &curve_rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Figure 3: CTC ratios of models under no-pipeline, full-pipeline and
+//! segment-grained pipeline implementations.
+//!
+//! The paper evenly divides SqueezeNet, MobileNetV2, GoogLeNet and
+//! EfficientNet-B0 into 6 / 3 / 6 / 5-layer segments respectively.
+
+use experiments::{f3, print_table, short_name, write_csv};
+use nnmodel::{analysis, zoo, Workload};
+
+fn main() {
+    println!("== Figure 3: CTC of no-/segment-/full-pipeline ==");
+    let cases = [
+        (zoo::squeezenet1_0(), 6usize),
+        (zoo::mobilenet_v2(), 3),
+        (zoo::googlenet(), 6),
+        (zoo::efficientnet_b0(), 5),
+    ];
+
+    let mut rows = Vec::new();
+    for (g, per_seg) in &cases {
+        let w = Workload::from_graph(g);
+        let no_pipe = analysis::layerwise_ctc(&w);
+        let segs = analysis::even_segments(&w, *per_seg);
+        let seg = analysis::segmented_ctc(&w, &segs);
+        let full = analysis::full_pipeline_ctc(&w);
+        rows.push(vec![
+            short_name(g.name()).to_string(),
+            per_seg.to_string(),
+            f3(no_pipe),
+            f3(seg),
+            f3(full),
+            f3(seg / no_pipe),
+        ]);
+    }
+    print_table(
+        &["model", "seg len", "no-pipeline", "segment", "full", "seg/no gain"],
+        &rows,
+    );
+    write_csv(
+        "fig03_ctc_models.csv",
+        &["model", "segment_len", "ctc_no_pipeline", "ctc_segment", "ctc_full", "gain"],
+        &rows,
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 4: the impact of model segmentation on SqueezeNet's CTC ratio —
+//! per-layer CTC (the alternating high/low pattern of Section II-B), naive
+//! 3-layer and 6-layer segmentations, and the AutoSeg-optimized
+//! segmentation that "further increases the CTC ratio".
+
+use autoseg::segment::{ChainDpSegmenter, Segmenter};
+use experiments::{f3, print_table, write_csv};
+use nnmodel::{analysis, zoo, Workload};
+
+fn main() {
+    println!("== Figure 4: segmentation vs CTC (SqueezeNet) ==");
+    let w = Workload::from_graph(&zoo::squeezenet1_0());
+
+    // Per-layer CTC bars (the no-pipeline series).
+    let mut layer_rows = Vec::new();
+    for (item, ctc) in w.items().iter().zip(analysis::per_item_ctc(&w)) {
+        layer_rows.push(vec![item.name.clone(), f3(ctc)]);
+    }
+    write_csv("fig04_per_layer_ctc.csv", &["layer", "ctc"], &layer_rows);
+
+    // Aggregate CTC of each strategy.
+    let no_pipe = analysis::layerwise_ctc(&w);
+    let seg3 = analysis::segmented_ctc(&w, &analysis::even_segments(&w, 3));
+    let seg6 = analysis::segmented_ctc(&w, &analysis::even_segments(&w, 6));
+    let full = analysis::full_pipeline_ctc(&w);
+    // AutoSeg segmentation at matching segment counts.
+    let dp = ChainDpSegmenter::new();
+    let opt_of = |s: usize| {
+        let sched = dp.segment(&w, 2, s).expect("feasible");
+        let segs: Vec<Vec<usize>> = sched.segments.iter().map(|x| x.items()).collect();
+        analysis::segmented_ctc(&w, &segs)
+    };
+    let opt9 = opt_of(w.len().div_ceil(3)); // ~3-layer segments
+    let opt5 = opt_of(w.len().div_ceil(6)); // ~6-layer segments
+
+    let rows = vec![
+        vec!["no-pipeline".into(), f3(no_pipe)],
+        vec!["segment-grained-1 (3-layer, even)".into(), f3(seg3)],
+        vec!["segment-grained-2 (6-layer, even)".into(), f3(seg6)],
+        vec!["autoseg (~3-layer, optimized)".into(), f3(opt9)],
+        vec!["autoseg (~6-layer, optimized)".into(), f3(opt5)],
+        vec!["full-pipeline".into(), f3(full)],
+    ];
+    print_table(&["strategy", "CTC (MAC/B)"], &rows);
+    write_csv("fig04_strategies.csv", &["strategy", "ctc"], &rows);
+}

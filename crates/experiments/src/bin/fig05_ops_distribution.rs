@@ -1,0 +1,56 @@
+//! Figure 5: operation counts across SqueezeNet layers, grouped into
+//! segments — with proper layer grouping the per-segment operational
+//! distributions are similar, enabling a shared load-balanced pipeline.
+
+use experiments::{f3, print_table, write_csv};
+use nnmodel::{analysis, zoo, Workload};
+
+fn main() {
+    println!("== Figure 5: SqueezeNet operation distribution ==");
+    let w = Workload::from_graph(&zoo::squeezenet1_0());
+    let segs = analysis::even_segments(&w, 6);
+
+    let mut rows = Vec::new();
+    for (si, seg) in segs.iter().enumerate() {
+        let total = analysis::segment_ops(&w, seg).max(1);
+        // Sorted per-layer shares: the "one high, one medium, several low"
+        // shape the paper observes.
+        let mut shares: Vec<f64> = seg
+            .iter()
+            .map(|&i| w.items()[i].ops as f64 / total as f64)
+            .collect();
+        shares.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        rows.push(vec![
+            format!("segment {}", si + 1),
+            seg.len().to_string(),
+            format!("{:.1}M", total as f64 / 1e6),
+            shares.iter().map(|s| f3(*s)).collect::<Vec<_>>().join(" "),
+        ]);
+    }
+    print_table(
+        &["segment", "layers", "total MACs", "sorted shares"],
+        &rows,
+    );
+    write_csv(
+        "fig05_ops_distribution.csv",
+        &["segment", "layers", "total_macs", "sorted_shares"],
+        &rows,
+    );
+
+    // Similarity metric: SOD between sorted distributions (padded).
+    let n = segs.iter().map(Vec::len).max().unwrap_or(0);
+    let dists: Vec<Vec<f64>> = segs
+        .iter()
+        .map(|seg| {
+            let total = analysis::segment_ops(&w, seg).max(1);
+            let mut v: Vec<f64> = seg
+                .iter()
+                .map(|&i| w.items()[i].ops as f64 / total as f64)
+                .collect();
+            v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            v.resize(n, 0.0);
+            v
+        })
+        .collect();
+    println!("pairwise SOD of sorted distributions: {}", f3(nnmodel::analysis::sod(&dists)));
+}

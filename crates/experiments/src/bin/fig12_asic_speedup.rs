@@ -1,0 +1,67 @@
+//! Figure 12: speedup of AutoSeg SPA designs over general DNN processors
+//! (Eyeriss / NVDLA-Small / NVDLA-Large / EdgeTPU) of the same resource
+//! budget, across the nine evaluation models.
+//!
+//! The paper reports average speedups of 2.71x / 3.55x / 2.21x / 3.89x and
+//! an overall range of 1.2x-6.3x.
+
+use autoseg::DesignGoal;
+use experiments::svg::{write_svg_chart, Series};
+use experiments::{design_for, f3, fig12_models, print_table, short_name, write_csv};
+use nnmodel::Workload;
+use spa_arch::HwBudget;
+use pucost::Dataflow;
+use spa_sim::simulate_processor;
+
+fn main() {
+    println!("== Figure 12: ASIC speedup over same-budget general processors ==");
+    let budgets = HwBudget::asic_suite();
+    let mut rows = Vec::new();
+    let mut averages = vec![(0.0f64, 0usize); budgets.len()];
+
+    for model in fig12_models() {
+        let w = Workload::from_graph(&model);
+        let mut row = vec![short_name(model.name()).to_string()];
+        for (bi, budget) in budgets.iter().enumerate() {
+            let baseline = simulate_processor(&w, budget, Dataflow::WeightStationary);
+            let cell = match design_for(&model, budget, DesignGoal::Latency) {
+                Some(out) => {
+                    let speedup = baseline.seconds / out.report.seconds;
+                    averages[bi].0 += speedup;
+                    averages[bi].1 += 1;
+                    f3(speedup)
+                }
+                None => "n/a".to_string(),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    let mut avg_row = vec!["AVERAGE".to_string()];
+    for (sum, n) in &averages {
+        avg_row.push(if *n > 0 { f3(sum / *n as f64) } else { "-".into() });
+    }
+    rows.push(avg_row);
+
+    let header = ["model", "eyeriss", "nvdla-small", "nvdla-large", "edge-tpu"];
+    print_table(&header, &rows);
+    write_csv("fig12_asic_speedup.csv", &header, &rows);
+    // Figure rendering: one series per budget over the nine models.
+    let cats: Vec<&str> = rows[..rows.len() - 1].iter().map(|r| r[0].as_str()).collect();
+    let series: Vec<Series> = (0..budgets.len())
+        .map(|bi| Series {
+            label: budgets[bi].name.clone(),
+            values: rows[..rows.len() - 1]
+                .iter()
+                .map(|r| r[bi + 1].parse().unwrap_or(f64::NAN))
+                .collect(),
+        })
+        .collect();
+    write_svg_chart(
+        "fig12_asic_speedup.svg",
+        "Speedup of AutoSeg SPA over same-budget general processors",
+        &cats,
+        &series,
+    );
+    println!("(paper averages: 2.71x, 3.55x, 2.21x, 3.89x; range 1.2x-6.3x)");
+}

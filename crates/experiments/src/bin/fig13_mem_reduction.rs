@@ -1,0 +1,46 @@
+//! Figure 13: DRAM memory-access reduction of the customized SPA designs
+//! relative to the Eyeriss-budget layerwise baseline.
+//!
+//! Only intermediate-feature-map traffic is saved (weights still stream),
+//! so fmap-dominated models (MobileNets, SqueezeNet) gain the most.
+
+use autoseg::DesignGoal;
+use experiments::{design_for, f3, fig12_models, print_table, short_name, write_csv};
+use nnmodel::Workload;
+use spa_arch::HwBudget;
+use pucost::Dataflow;
+use spa_sim::simulate_processor;
+
+fn main() {
+    println!("== Figure 13: memory-access reduction vs Eyeriss baseline ==");
+    let budget = HwBudget::eyeriss();
+    let mut rows = Vec::new();
+    for model in fig12_models() {
+        let w = Workload::from_graph(&model);
+        let base = simulate_processor(&w, &budget, Dataflow::WeightStationary);
+        let weights: u64 = w.items().iter().map(|i| i.w_bytes).sum();
+        let fmap_frac = 1.0 - weights as f64 / base.dram_bytes as f64;
+        match design_for(&model, &budget, DesignGoal::Latency) {
+            Some(out) => {
+                let reduction = 1.0 - out.report.dram_bytes as f64 / base.dram_bytes as f64;
+                rows.push(vec![
+                    short_name(model.name()).to_string(),
+                    format!("{:.1}", base.dram_bytes as f64 / 1e6),
+                    format!("{:.1}", out.report.dram_bytes as f64 / 1e6),
+                    f3(reduction * 100.0),
+                    f3(fmap_frac * 100.0),
+                ]);
+            }
+            None => rows.push(vec![
+                short_name(model.name()).to_string(),
+                format!("{:.1}", base.dram_bytes as f64 / 1e6),
+                "n/a".into(),
+                "n/a".into(),
+                f3(fmap_frac * 100.0),
+            ]),
+        }
+    }
+    let header = ["model", "baseline MB", "SPA MB", "reduction %", "fmap share %"];
+    print_table(&header, &rows);
+    write_csv("fig13_mem_reduction.csv", &header, &rows);
+}

@@ -1,0 +1,31 @@
+//! Figure 15: speedup of AutoSeg designs over the layer-fusion baseline
+//! (Optimus-style fusion applied to the same-budget layerwise processor).
+
+use autoseg::DesignGoal;
+use experiments::{design_for, f3, fig12_models, print_table, short_name, write_csv};
+use nnmodel::Workload;
+use spa_arch::HwBudget;
+use pucost::Dataflow;
+use spa_sim::simulate_fusion;
+
+fn main() {
+    println!("== Figure 15: speedup over layer-fusion baselines ==");
+    let budgets = HwBudget::asic_suite();
+    let mut rows = Vec::new();
+    for model in fig12_models() {
+        let w = Workload::from_graph(&model);
+        let mut row = vec![short_name(model.name()).to_string()];
+        for budget in &budgets {
+            let fused = simulate_fusion(&w, budget, Some(Dataflow::WeightStationary));
+            let cell = match design_for(&model, budget, DesignGoal::Latency) {
+                Some(out) => f3(fused.seconds / out.report.seconds),
+                None => "n/a".into(),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    let header = ["model", "eyeriss", "nvdla-small", "nvdla-large", "edge-tpu"];
+    print_table(&header, &rows);
+    write_csv("fig15_fusion_speedup.csv", &header, &rows);
+}

@@ -1,0 +1,68 @@
+//! Figure 16: per-frame energy breakdown (DRAM / on-chip buffers / MAC /
+//! others) of the layerwise baseline, the fusion-optimized baseline, and
+//! the AutoSeg design, plus the resulting energy-efficiency gains.
+//!
+//! The paper reports 1.65x average efficiency over baselines, 1.32x over
+//! fusion, and fabric+mux ("others") under 3% of total energy.
+
+use autoseg::DesignGoal;
+use experiments::{design_for, f3, fig12_models, print_table, short_name, write_csv};
+use nnmodel::Workload;
+use spa_arch::HwBudget;
+use pucost::Dataflow;
+use spa_sim::{simulate_fusion, simulate_processor, SimReport};
+
+fn breakdown(label: &str, model: &str, r: &SimReport) -> Vec<String> {
+    let e = &r.energy;
+    vec![
+        model.to_string(),
+        label.to_string(),
+        f3(e.dram_pj / 1e6),
+        f3((e.onchip.act_buf_pj + e.onchip.wgt_buf_pj + e.onchip.psum_pj) / 1e6),
+        f3(e.onchip.mac_pj / 1e6),
+        f3(e.fabric_pj / 1e6),
+        f3(e.total_pj() / 1e6),
+    ]
+}
+
+fn main() {
+    println!("== Figure 16: energy breakdown (uJ/frame) on the Eyeriss budget ==");
+    let budget = HwBudget::eyeriss();
+    let mut rows = Vec::new();
+    let mut gain_base = Vec::new();
+    let mut gain_fusion = Vec::new();
+    for model in fig12_models() {
+        let w = Workload::from_graph(&model);
+        let name = short_name(model.name());
+        let base = simulate_processor(&w, &budget, Dataflow::WeightStationary);
+        let fused = simulate_fusion(&w, &budget, Some(Dataflow::WeightStationary));
+        rows.push(breakdown("baseline", name, &base));
+        rows.push(breakdown("fusion", name, &fused));
+        if let Some(out) = design_for(&model, &budget, DesignGoal::Latency) {
+            rows.push(breakdown("autoseg", name, &out.report));
+            let others_frac = out.report.energy.fabric_pj / out.report.energy.total_pj();
+            assert!(others_frac < 0.05, "others {others_frac}");
+            gain_base.push(
+                base.energy.total_pj() * base.seconds
+                    / (out.report.energy.total_pj() * out.report.seconds),
+            );
+            gain_fusion.push(
+                fused.energy.total_pj() * fused.seconds
+                    / (out.report.energy.total_pj() * out.report.seconds),
+            );
+        }
+    }
+    let header = ["model", "design", "DRAM", "buffers", "MAC", "others", "total"];
+    print_table(&header, &rows);
+    write_csv("fig16_energy.csv", &header, &rows);
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    // Energy efficiency = perf/W; perf ratio x energy ratio.
+    let eff_base: Vec<f64> = gain_base.iter().map(|g| g.sqrt()).collect();
+    let _ = eff_base;
+    println!(
+        "\nenergy-delay gain vs baseline (avg): {} ; vs fusion: {} (paper energy-efficiency: 1.65x / 1.32x)",
+        f3(avg(&gain_base)),
+        f3(avg(&gain_fusion)),
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 17: generality analysis — each model runs both on its own
+//! dedicated SPA design and on designs dedicated to the *other* models
+//! (frozen hardware, pruned-fabric connection constraints, latency-target
+//! remapping). Performance is reported as speedup over the Eyeriss-budget
+//! layerwise baseline.
+
+use autoseg::{generality, DesignGoal};
+use experiments::{design_for, f3, print_table, short_name, write_csv};
+use nnmodel::{zoo, Workload};
+use spa_arch::HwBudget;
+use pucost::Dataflow;
+use spa_sim::simulate_processor;
+
+fn main() {
+    println!("== Figure 17: generality (dedicated vs non-dedicated SPA) ==");
+    let budget = HwBudget::eyeriss();
+    let names = ["alexnet", "mobilenet_v1", "squeezenet1_0", "resnet18"];
+
+    // Dedicated designs.
+    let mut dedicated = Vec::new();
+    for name in names {
+        let model = zoo::by_name(name).expect("zoo model");
+        let out = design_for(&model, &budget, DesignGoal::Latency).expect("feasible design");
+        dedicated.push((name, out));
+    }
+
+    let mut rows = Vec::new();
+    for run_name in names {
+        let run_model = zoo::by_name(run_name).expect("zoo model");
+        let w = Workload::from_graph(&run_model);
+        let baseline = simulate_processor(&w, &budget, Dataflow::WeightStationary);
+        let mut row = vec![short_name(run_name).to_string()];
+        for (ded_name, ded) in &dedicated {
+            let cell = if run_name == *ded_name {
+                f3(baseline.seconds / ded.report.seconds)
+            } else {
+                match generality::remap(&ded.design, &ded.workload, &run_model) {
+                    Ok((_, report)) => f3(baseline.seconds / report.seconds),
+                    Err(_) => "n/a".into(),
+                }
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("model \\ accel".to_string())
+        .chain(names.iter().map(|n| format!("{}-ded", short_name(n))))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    write_csv("fig17_generality.csv", &header_refs, &rows);
+    println!("(cells: speedup over the Eyeriss layerwise baseline; diagonal = dedicated)");
+}

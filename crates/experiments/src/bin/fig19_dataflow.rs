@@ -1,0 +1,74 @@
+//! Figure 19: on-chip data-moving energy of WS-only, OS-only and
+//! dataflow-hybrid SPA designs.
+//!
+//! The hybrid configuration (Algorithm 1's per-(PU, segment) selection)
+//! should match or beat the better single dataflow on every model; OS-only
+//! favors fmap-heavy models (MobileNetV1, SqueezeNet) while WS-only favors
+//! weight-heavy ones (AlexNet, ResNet18).
+
+use autoseg::DesignGoal;
+use experiments::svg::{write_svg_chart, Series};
+use experiments::{design_for, f3, print_table, short_name, write_csv};
+use nnmodel::{zoo, Workload};
+use pucost::Dataflow;
+use spa_arch::HwBudget;
+use spa_sim::simulate_spa;
+
+fn main() {
+    println!("== Figure 19: on-chip data-moving cost by dataflow ==");
+    let budget = HwBudget::nvdla_large();
+    let models = ["alexnet", "resnet18", "mobilenet_v1", "squeezenet1_0"];
+
+    let mut rows = Vec::new();
+    for name in models {
+        let model = zoo::by_name(name).expect("zoo model");
+        let w = Workload::from_graph(&model);
+        let out = design_for(&model, &budget, DesignGoal::Latency).expect("feasible");
+        let hybrid = &out.report;
+
+        let force = |df: Dataflow| {
+            let mut d = out.design.clone();
+            for row in &mut d.dataflows {
+                for slot in row {
+                    *slot = df;
+                }
+            }
+            simulate_spa(&w, &d)
+        };
+        let ws = force(Dataflow::WeightStationary);
+        let os = force(Dataflow::OutputStationary);
+
+        let moving = |r: &spa_sim::SimReport| r.energy.onchip.data_moving_pj() / 1e6;
+        rows.push(vec![
+            short_name(name).to_string(),
+            f3(moving(&ws)),
+            f3(moving(&os)),
+            f3(moving(hybrid)),
+        ]);
+        // Algorithm 1 picks dataflows by *latency* (line 12), so the
+        // hybrid can trade a little data-moving energy for speed; it must
+        // still be close to the better single dataflow.
+        assert!(
+            moving(hybrid) <= moving(&ws).min(moving(&os)) * 1.25,
+            "{name}: hybrid far from the better single dataflow"
+        );
+    }
+    let header = ["model", "WS-only uJ", "OS-only uJ", "hybrid uJ"];
+    print_table(&header, &rows);
+    write_csv("fig19_dataflow.csv", &header, &rows);
+    let cats: Vec<&str> = rows.iter().map(|r| r[0].as_str()).collect();
+    let series: Vec<Series> = ["WS-only", "OS-only", "hybrid"]
+        .iter()
+        .enumerate()
+        .map(|(k, label)| Series {
+            label: (*label).into(),
+            values: rows.iter().map(|r| r[k + 1].parse().unwrap_or(f64::NAN)).collect(),
+        })
+        .collect();
+    write_svg_chart(
+        "fig19_dataflow.svg",
+        "On-chip data-moving energy by dataflow (uJ/frame)",
+        &cats,
+        &series,
+    );
+}

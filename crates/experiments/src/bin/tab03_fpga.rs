@@ -1,0 +1,120 @@
+//! Table III: throughput and DSP efficiency of AutoSeg FPGA designs
+//! against published state-of-the-art accelerators.
+//!
+//! The "ours" columns are produced by the simulator under the device
+//! budgets; the baseline numbers are the published constants quoted by the
+//! paper (shape comparison — who wins and by how much — is the target, not
+//! absolute-cycle agreement with other groups' silicon).
+
+use autoseg::DesignGoal;
+use experiments::{design_for, f3, print_table, short_name, write_csv};
+use nnmodel::zoo;
+use spa_arch::HwBudget;
+
+/// Published baseline rows of Table III: (model, design, device, GOP/s,
+/// DSP efficiency %).
+const PAPER_BASELINES: &[(&str, &str, &str, f64, f64)] = &[
+    ("alexnet", "DNNBuilder", "7Z045", 494.0, 76.4),
+    ("alexnet", "DNNBuilder", "KU115", 3265.0, 76.4),
+    ("alexnet", "TGPA", "VU9P", 2864.0, 80.0),
+    ("vgg16", "DNNBuilder", "KU115", 4022.0, 99.1),
+    ("vgg16", "TGPA", "VU9P", 3020.0, 87.7),
+    ("vgg16", "DNNExplorer", "KU115", 3405.0, 95.8),
+    ("resnet152", "TGPA", "VU9P", 2926.0, 89.3),
+    ("mobilenet_v2", "DPU", "ZU3EG", 123.0, 28.0),
+    ("mobilenet_v2", "Light-OPU", "K325T", 194.0, 35.0),
+    ("inception_v1", "DPU", "ZU3EG", 123.0, 28.0),
+    ("inception_v1", "Dynamap", "U200", 2000.0, 56.0),
+    ("squeezenet1_0", "DPU", "ZU3EG", 123.0, 28.0),
+    ("squeezenet1_0", "Light-OPU", "K325T", 193.5, 35.0),
+    ("squeezenet1_0", "Multi-CLP", "KU115", 524.0, 47.6),
+];
+
+/// Paper-reported "ours" rows for shape comparison: (model, device, GOP/s,
+/// DSP eff %).
+const PAPER_OURS: &[(&str, &str, f64, f64)] = &[
+    ("alexnet_conv", "7z045", 635.0, 94.5),
+    ("alexnet_conv", "ku115", 3955.0, 95.2),
+    ("vgg16", "zu3eg", 203.0, 96.1),
+    ("vgg16", "ku115", 4778.0, 99.2),
+    ("resnet152", "ku115", 3166.0, 90.1),
+    ("mobilenet_v2", "zu3eg", 188.0, 100.0),
+    ("mobilenet_v2", "7z045", 380.0, 85.0),
+    ("mobilenet_v2", "ku115", 2125.0, 74.0),
+    ("inception_v1", "zu3eg", 205.0, 100.0),
+    ("inception_v1", "ku115", 1896.0, 61.0),
+    ("squeezenet1_0", "zu3eg", 158.0, 77.5),
+    ("squeezenet1_0", "7z045", 245.0, 49.1),
+    ("squeezenet1_0", "ku115", 1054.0, 84.6),
+];
+
+fn main() {
+    println!("== Table III: FPGA throughput and DSP efficiency ==");
+    // AlexNet FPGA baselines (DNNBuilder/TGPA) benchmark the conv layers
+    // only, so the conv-only case-study model is the faithful workload.
+    let models = [
+        "alexnet_conv",
+        "vgg16",
+        "resnet152",
+        "mobilenet_v2",
+        "inception_v1",
+        "squeezenet1_0",
+    ];
+    let devices = HwBudget::fpga_suite();
+
+    let mut rows = Vec::new();
+    for name in models {
+        let model = zoo::by_name(name).expect("zoo model");
+        for device in &devices {
+            let Some(out) = design_for(&model, device, DesignGoal::Throughput) else {
+                continue;
+            };
+            let r = &out.report;
+            let dsps = out.design.resources().pes;
+            // DSP efficiency: achieved GOP/s over the peak of the DSPs the
+            // design actually instantiates (2 OPs per DSP per cycle).
+            let peak = 2.0 * dsps as f64 * device.freq_mhz * 1e6 / 1e9;
+            let eff = 100.0 * r.gops() / peak;
+            let paper = PAPER_OURS
+                .iter()
+                .find(|(m, d, _, _)| *m == name && *d == device.name)
+                .map(|&(_, _, g, e)| format!("{g:.0} GOP/s @ {e:.1}%"))
+                .unwrap_or_else(|| "-".into());
+            rows.push(vec![
+                short_name(name).to_string(),
+                device.name.clone(),
+                dsps.to_string(),
+                format!("{:.1}", 100.0 * dsps as f64 / device.pes as f64),
+                f3(r.gops()),
+                f3(eff),
+                r.batch.to_string(),
+                paper,
+            ]);
+        }
+    }
+    let header = [
+        "model", "device", "DSPs", "DSP %", "GOP/s", "DSP eff %", "batch", "paper-ours",
+    ];
+    print_table(&header, &rows);
+    write_csv("tab03_fpga_ours.csv", &header, &rows);
+
+    println!("\npublished baselines quoted by the paper:");
+    let base_rows: Vec<Vec<String>> = PAPER_BASELINES
+        .iter()
+        .map(|&(m, d, dev, g, e)| {
+            vec![
+                short_name(m).to_string(),
+                d.to_string(),
+                dev.to_string(),
+                f3(g),
+                f3(e),
+            ]
+        })
+        .collect();
+    print_table(&["model", "design", "device", "GOP/s", "DSP eff %"], &base_rows);
+    write_csv(
+        "tab03_fpga_baselines.csv",
+        &["model", "design", "device", "gops", "dsp_eff"],
+        &base_rows,
+    );
+}

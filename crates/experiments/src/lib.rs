@@ -1,0 +1,142 @@
+//! Shared harness for the per-figure/per-table experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (Section VI), printing the series to stdout and
+//! writing a CSV under `results/`. `DESIGN.md` maps experiment ids to
+//! binaries; `EXPERIMENTS.md` records paper-reported vs measured values.
+
+#![warn(missing_docs)]
+
+pub mod svg;
+
+use autoseg::{AutoSeg, AutoSegOutcome, DesignGoal};
+use nnmodel::Graph;
+use spa_arch::HwBudget;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to (`<repo>/results`, overridable
+/// with `SPA_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SPA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("results")
+        });
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file into [`results_dir`].
+///
+/// # Panics
+///
+/// Panics on I/O failure (experiments are command-line tools).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for r in rows {
+        writeln!(f, "{}", r.join(",")).expect("write row");
+    }
+    println!("  -> wrote {}", path.display());
+}
+
+/// Prints an aligned text table.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", line(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
+    for r in rows {
+        println!("{}", line(r.clone()));
+    }
+}
+
+/// Runs the AutoSeg engine with the harness' standard exploration caps.
+///
+/// Returns `None` when no design fits (reported by the caller).
+pub fn design_for(model: &Graph, budget: &HwBudget, goal: DesignGoal) -> Option<AutoSegOutcome> {
+    AutoSeg::new(budget.clone())
+        .design_goal(goal)
+        .max_pus(6)
+        .max_segments(10)
+        .run(model)
+        .ok()
+}
+
+/// The nine evaluation models of Figure 12 (paper order).
+pub fn fig12_models() -> Vec<Graph> {
+    nnmodel::zoo::evaluation_models()
+}
+
+/// Short display name for a model.
+pub fn short_name(name: &str) -> &str {
+    match name {
+        "alexnet" => "AlexNet",
+        "alexnet_conv" => "AlexNet(conv)",
+        "vgg16" => "VGG16",
+        "mobilenet_v1" => "MobileNetV1",
+        "mobilenet_v2" => "MobileNetV2",
+        "resnet18" => "ResNet18",
+        "resnet50" => "ResNet50",
+        "resnet152" => "ResNet152",
+        "squeezenet1_0" => "SqueezeNet",
+        "inception_v1" => "InceptionV1",
+        "efficientnet_b0" => "EfficientNet-B0",
+        other => other,
+    }
+}
+
+/// Formats a float compactly for tables.
+pub fn f3(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.0), "0");
+        assert_eq!(f3(1234.5), "1234"); // ties-to-even
+        assert_eq!(f3(3.14159), "3.14");
+        assert_eq!(f3(0.001234), "0.0012");
+    }
+
+    #[test]
+    fn short_names_cover_zoo() {
+        for g in fig12_models() {
+            assert_ne!(short_name(g.name()), "");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A small hand-rolled SVG bar-chart emitter, so the figure binaries can
+//! write actual figures next to their CSVs (no plotting dependencies).
+
+use std::fmt::Write as _;
+
+/// One named series of a grouped bar chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One value per category (missing values may be `f64::NAN`; those
+    /// bars are skipped).
+    pub values: Vec<f64>,
+}
+
+const PALETTE: &[&str] = &[
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c", "#dc7ec0",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a grouped bar chart.
+///
+/// # Panics
+///
+/// Panics if a series' length differs from the category count or no data
+/// is given.
+pub fn grouped_bar_chart(title: &str, categories: &[&str], series: &[Series]) -> String {
+    assert!(!categories.is_empty() && !series.is_empty(), "need data");
+    for s in series {
+        assert_eq!(
+            s.values.len(),
+            categories.len(),
+            "series `{}` length mismatch",
+            s.label
+        );
+    }
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter())
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1e-12);
+
+    let (w, h) = (900.0, 420.0);
+    let (ml, mr, mt, mb) = (70.0, 20.0, 50.0, 90.0);
+    let plot_w = w - ml - mr;
+    let plot_h = h - mt - mb;
+    let group_w = plot_w / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len() as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">"
+    );
+    let _ = writeln!(out, "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>");
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"24\" font-family=\"sans-serif\" font-size=\"16\" text-anchor=\"middle\">{}</text>",
+        w / 2.0,
+        esc(title)
+    );
+
+    // Y axis with 5 gridlines.
+    for i in 0..=5 {
+        let v = max * i as f64 / 5.0;
+        let y = mt + plot_h - plot_h * i as f64 / 5.0;
+        let _ = writeln!(
+            out,
+            "<line x1=\"{ml}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ddd\"/>",
+            w - mr
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"11\" text-anchor=\"end\">{}</text>",
+            ml - 6.0,
+            y + 4.0,
+            format_value(v)
+        );
+    }
+
+    // Bars.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        for (ci, &v) in s.values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let bh = plot_h * (v / max).clamp(0.0, 1.0);
+            let x = ml + ci as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+            let y = mt + plot_h - bh;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{bh:.1}\" fill=\"{color}\"/>"
+            );
+        }
+    }
+
+    // Category labels (rotated).
+    for (ci, cat) in categories.iter().enumerate() {
+        let x = ml + (ci as f64 + 0.5) * group_w;
+        let y = mt + plot_h + 14.0;
+        let _ = writeln!(
+            out,
+            "<text x=\"{x:.1}\" y=\"{y:.1}\" font-family=\"sans-serif\" font-size=\"11\" text-anchor=\"end\" transform=\"rotate(-35 {x:.1} {y:.1})\">{}</text>",
+            esc(cat)
+        );
+    }
+
+    // Legend.
+    let mut lx = ml;
+    let ly = h - 16.0;
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let _ = writeln!(
+            out,
+            "<rect x=\"{lx}\" y=\"{}\" width=\"12\" height=\"12\" fill=\"{color}\"/>",
+            ly - 10.0
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{ly}\" font-family=\"sans-serif\" font-size=\"12\">{}</text>",
+            lx + 16.0,
+            esc(&s.label)
+        );
+        lx += 22.0 + 7.5 * s.label.len() as f64 + 14.0;
+        let _ = si;
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if v >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Writes an SVG chart into the results directory.
+pub fn write_svg_chart(name: &str, title: &str, categories: &[&str], series: &[Series]) {
+    let svg = grouped_bar_chart(title, categories, series);
+    let path = crate::results_dir().join(name);
+    std::fs::write(&path, svg).expect("write svg");
+    println!("  -> wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> (Vec<&'static str>, Vec<Series>) {
+        (
+            vec!["a", "b", "c"],
+            vec![
+                Series {
+                    label: "one".into(),
+                    values: vec![1.0, 2.0, 3.0],
+                },
+                Series {
+                    label: "two".into(),
+                    values: vec![3.0, 1.0, f64::NAN],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn chart_structure() {
+        let (cats, series) = demo();
+        let svg = grouped_bar_chart("demo", &cats, &series);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 6 finite values -> at least 5 bars (NaN skipped) + bg + legend.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + 5 + 2, "background + bars + legend swatches");
+        assert!(svg.contains("demo"));
+        assert!(svg.contains("one") && svg.contains("two"));
+    }
+
+    #[test]
+    fn escaping() {
+        let svg = grouped_bar_chart(
+            "a < b & c",
+            &["x<y"],
+            &[Series {
+                label: "s&p".into(),
+                values: vec![1.0],
+            }],
+        );
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(2.5e9), "2.5G");
+        assert_eq!(format_value(1.2e6), "1.2M");
+        assert_eq!(format_value(3.4e3), "3.4k");
+        assert_eq!(format_value(42.0), "42");
+        assert_eq!(format_value(1.25), "1.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        let _ = grouped_bar_chart(
+            "t",
+            &["a", "b"],
+            &[Series {
+                label: "s".into(),
+                values: vec![1.0],
+            }],
+        );
+    }
+}

@@ -1,0 +1,640 @@
+//! Best-first branch & bound over the LP relaxation.
+
+use crate::problem::{MipError, Problem, Sense, VarKind};
+use crate::simplex::{solve_lp, LpOutcome};
+use crate::{Solution, SolveStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Search limits for [`Solver`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolverLimits {
+    /// Maximum branch-and-bound nodes to explore.
+    pub max_nodes: u64,
+    /// Wall-clock budget.
+    pub time_limit: Duration,
+    /// Integrality tolerance: `|x - round(x)| <= int_tol` counts as integer.
+    pub int_tol: f64,
+    /// Relative optimality gap at which the search stops early.
+    pub rel_gap: f64,
+}
+
+impl Default for SolverLimits {
+    fn default() -> Self {
+        Self {
+            max_nodes: 200_000,
+            time_limit: Duration::from_secs(60),
+            int_tol: 1e-6,
+            rel_gap: 1e-6,
+        }
+    }
+}
+
+/// MILP solver: best-first branch & bound on the simplex relaxation.
+///
+/// See the crate-level example. Determinism: the search is fully
+/// deterministic for a given problem (ties broken by variable index).
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    limits: SolverLimits,
+    warm_start: Option<Vec<f64>>,
+}
+
+/// An open node: its relaxation value (already solved) and bounds overlay.
+struct Node {
+    /// Internal-minimize key of the node's LP relaxation.
+    bound: f64,
+    /// LP solution values (used for branching).
+    values: Vec<f64>,
+    /// Per-variable bounds of this subproblem.
+    bounds: Vec<(f64, f64)>,
+    /// Insertion counter for deterministic tie-breaking.
+    seq: u64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the *smallest* bound first.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl Solver {
+    /// Creates a solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the node budget.
+    pub fn max_nodes(mut self, n: u64) -> Self {
+        self.limits.max_nodes = n;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn time_limit(mut self, d: Duration) -> Self {
+        self.limits.time_limit = d;
+        self
+    }
+
+    /// Sets the relative optimality gap for early stopping.
+    pub fn rel_gap(mut self, g: f64) -> Self {
+        self.limits.rel_gap = g;
+        self
+    }
+
+    /// Seeds the search with a known assignment. If it is feasible it
+    /// becomes the initial incumbent, letting branch & bound prune
+    /// immediately (infeasible seeds are silently ignored).
+    pub fn warm_start(mut self, values: Vec<f64>) -> Self {
+        self.warm_start = Some(values);
+        self
+    }
+
+    /// Current limits.
+    pub fn limits(&self) -> SolverLimits {
+        self.limits
+    }
+
+    /// Solves the MILP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MipError`] if the problem fails validation (inverted
+    /// bounds, unknown variables, non-finite data).
+    pub fn solve(&self, p: &Problem) -> Result<Solution, MipError> {
+        p.validate()?;
+        let start = Instant::now();
+        let sign = match p.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let int_vars: Vec<usize> = (0..p.num_vars())
+            .filter(|&i| p.vars[i].kind == VarKind::Integer)
+            .collect();
+        let tol = self.limits.int_tol;
+
+        let root_bounds: Vec<(f64, f64)> = p.vars.iter().map(|v| (v.lo, v.hi)).collect();
+        let root_bounds = match presolve(p, root_bounds) {
+            Some(b) => b,
+            None => return Ok(Solution::new(SolveStatus::Infeasible, f64::NAN, vec![], 0)),
+        };
+        let (root_values, root_key) = match solve_lp(p, &root_bounds)? {
+            LpOutcome::Optimal { objective, values } => (values, sign * objective),
+            LpOutcome::Infeasible => {
+                return Ok(Solution::new(SolveStatus::Infeasible, f64::NAN, vec![], 1))
+            }
+            LpOutcome::Unbounded => {
+                return Ok(Solution::new(SolveStatus::Unbounded, f64::NAN, vec![], 1))
+            }
+        };
+
+        // Incumbent (internal-minimize key).
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        // Warm start: a caller-provided feasible assignment becomes the
+        // initial incumbent.
+        if let Some(seed) = &self.warm_start {
+            if p.is_feasible(seed, 1e-6) {
+                let key = sign * p.objective.eval(seed);
+                best = Some((key, seed.clone()));
+            }
+        }
+        // Rounding heuristic on the root relaxation.
+        {
+            let mut rounded = root_values.clone();
+            for &i in &int_vars {
+                rounded[i] = rounded[i].round().clamp(root_bounds[i].0, root_bounds[i].1);
+            }
+            if p.is_feasible(&rounded, 1e-6) {
+                let key = sign * p.objective.eval(&rounded);
+                if best.as_ref().is_none_or(|(inc, _)| key < *inc) {
+                    best = Some((key, rounded));
+                }
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        let mut seq = 0u64;
+        heap.push(Node {
+            bound: root_key,
+            values: root_values,
+            bounds: root_bounds,
+            seq,
+        });
+
+        let mut nodes = 1u64;
+        let mut limit_hit = false;
+        while let Some(node) = heap.pop() {
+            if let Some((inc, _)) = &best {
+                // Prune by bound (with relative-gap early stop).
+                let cutoff = inc - self.limits.rel_gap * inc.abs().max(1.0);
+                if node.bound >= cutoff - 1e-12 {
+                    continue;
+                }
+            }
+            if nodes >= self.limits.max_nodes || start.elapsed() >= self.limits.time_limit {
+                limit_hit = true;
+                break;
+            }
+
+            // Branching variable: most fractional integer variable.
+            let frac_of = |x: f64| (x - x.round()).abs();
+            let branch_var = int_vars
+                .iter()
+                .copied()
+                .filter(|&i| frac_of(node.values[i]) > tol)
+                .max_by(|&a, &b| {
+                    frac_of(node.values[a])
+                        .partial_cmp(&frac_of(node.values[b]))
+                        .unwrap_or(Ordering::Equal)
+                        .then(b.cmp(&a)) // deterministic: lower index wins ties
+                });
+
+            let Some(bv) = branch_var else {
+                // Integral relaxation: candidate incumbent.
+                let key = node.bound;
+                if best.as_ref().is_none_or(|(inc, _)| key < *inc) {
+                    let mut v = node.values.clone();
+                    for &i in &int_vars {
+                        v[i] = v[i].round();
+                    }
+                    best = Some((key, v));
+                }
+                continue;
+            };
+
+            let x = node.values[bv];
+            for (lo, hi) in [
+                (node.bounds[bv].0, x.floor()),
+                (x.ceil(), node.bounds[bv].1),
+            ] {
+                if hi < lo - 1e-9 {
+                    continue;
+                }
+                let mut child_bounds = node.bounds.clone();
+                child_bounds[bv] = (lo, hi);
+                nodes += 1;
+                match solve_lp(p, &child_bounds)? {
+                    LpOutcome::Optimal { objective, values } => {
+                        let key = sign * objective;
+                        let worth = match &best {
+                            Some((inc, _)) => key < *inc - 1e-12,
+                            None => true,
+                        };
+                        if worth {
+                            seq += 1;
+                            heap.push(Node {
+                                bound: key,
+                                values,
+                                bounds: child_bounds,
+                                seq,
+                            });
+                        }
+                    }
+                    LpOutcome::Infeasible => {}
+                    LpOutcome::Unbounded => {
+                        // The root was bounded, so children are too; treat
+                        // defensively as unbounded problem.
+                        return Ok(Solution::new(
+                            SolveStatus::Unbounded,
+                            f64::NAN,
+                            vec![],
+                            nodes,
+                        ));
+                    }
+                }
+                if start.elapsed() >= self.limits.time_limit {
+                    limit_hit = true;
+                    break;
+                }
+            }
+            if limit_hit {
+                break;
+            }
+        }
+
+        Ok(match best {
+            Some((key, values)) => {
+                let status = if limit_hit {
+                    SolveStatus::Feasible
+                } else {
+                    SolveStatus::Optimal
+                };
+                Solution::new(status, sign * key, values, nodes)
+            }
+            None => {
+                if limit_hit {
+                    Solution::new(SolveStatus::LimitReached, f64::NAN, vec![], nodes)
+                } else {
+                    Solution::new(SolveStatus::Infeasible, f64::NAN, vec![], nodes)
+                }
+            }
+        })
+    }
+}
+
+/// Presolve: activity-based bound tightening to fixpoint. For each `<=`
+/// (and mirrored `>=`) constraint, a variable's bound is tightened using
+/// the minimum activity of the other terms; integer bounds are rounded
+/// inward. Returns `None` when a constraint is proven infeasible.
+fn presolve(p: &Problem, mut bounds: Vec<(f64, f64)>) -> Option<Vec<(f64, f64)>> {
+    // Normalized rows: (terms, rhs) meaning sum(terms) <= rhs.
+    let mut rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
+    for c in &p.constraints {
+        let terms: Vec<(usize, f64)> = c.expr.iter().map(|(v, k)| (v.index(), k)).collect();
+        let rhs = c.rhs - c.expr.offset();
+        match c.cmp {
+            crate::Cmp::Le => rows.push((terms, rhs)),
+            crate::Cmp::Ge => rows.push((
+                terms.iter().map(|&(v, k)| (v, -k)).collect(),
+                -rhs,
+            )),
+            crate::Cmp::Eq => {
+                rows.push((terms.clone(), rhs));
+                rows.push((terms.iter().map(|&(v, k)| (v, -k)).collect(), -rhs));
+            }
+        }
+    }
+    let is_int: Vec<bool> = (0..p.num_vars())
+        .map(|i| p.vars[i].kind == VarKind::Integer)
+        .collect();
+
+    for _round in 0..8 {
+        let mut changed = false;
+        for (terms, rhs) in &rows {
+            // Minimum activity of the whole row.
+            let mut min_act = 0.0f64;
+            let mut finite = true;
+            for &(v, k) in terms {
+                let (lo, hi) = bounds[v];
+                let contrib = if k >= 0.0 { k * lo } else { k * hi };
+                if !contrib.is_finite() {
+                    finite = false;
+                    break;
+                }
+                min_act += contrib;
+            }
+            if !finite {
+                continue;
+            }
+            if min_act > rhs + 1e-7 {
+                return None; // infeasible even at best bounds
+            }
+            // Tighten each variable given the others at minimum activity.
+            for &(v, k) in terms {
+                if k.abs() < 1e-12 {
+                    continue;
+                }
+                let (lo, hi) = bounds[v];
+                let own_min = if k >= 0.0 { k * lo } else { k * hi };
+                let rest = min_act - own_min;
+                // k * x <= rhs - rest
+                let limit = (rhs - rest) / k;
+                if k > 0.0 {
+                    let mut new_hi = limit;
+                    if is_int[v] {
+                        new_hi = (new_hi + 1e-9).floor();
+                    }
+                    if new_hi < hi - 1e-9 {
+                        if new_hi < lo - 1e-9 {
+                            return None;
+                        }
+                        bounds[v].1 = new_hi;
+                        changed = true;
+                    }
+                } else {
+                    let mut new_lo = limit;
+                    if is_int[v] {
+                        new_lo = (new_lo - 1e-9).ceil();
+                    }
+                    if new_lo > lo + 1e-9 {
+                        if new_lo > hi + 1e-9 {
+                            return None;
+                        }
+                        bounds[v].0 = new_lo;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::Cmp;
+
+    #[test]
+    fn knapsack_optimum() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6 -> {a, c} = 17? or {b, c} = 20.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        let c = p.add_binary("c");
+        p.set_objective(LinExpr::terms(&[(a, 10.0), (b, 13.0), (c, 7.0)]));
+        p.add_constraint(LinExpr::terms(&[(a, 3.0), (b, 4.0), (c, 2.0)]), Cmp::Le, 6.0);
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 20.0).abs() < 1e-6);
+        assert_eq!((s.int_value(a), s.int_value(b), s.int_value(c)), (0, 1, 1));
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3x3 assignment, cost matrix with known optimum 5 (1 + 1 + 3).
+        let cost = [[1.0, 4.0, 5.0], [3.0, 1.0, 9.0], [9.0, 7.0, 3.0]];
+        let mut p = Problem::new(Sense::Minimize);
+        let mut x = vec![];
+        for (i, row) in cost.iter().enumerate() {
+            let mut r = vec![];
+            for (j, _) in row.iter().enumerate() {
+                r.push(p.add_binary(format!("x{i}{j}")));
+            }
+            x.push(r);
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj.add_term(x[i][j], cost[i][j]);
+            }
+        }
+        p.set_objective(obj);
+        for i in 0..3 {
+            p.add_constraint(
+                LinExpr::terms(&(0..3).map(|j| (x[i][j], 1.0)).collect::<Vec<_>>()),
+                Cmp::Eq,
+                1.0,
+            );
+            p.add_constraint(
+                LinExpr::terms(&(0..3).map(|j| (x[j][i], 1.0)).collect::<Vec<_>>()),
+                Cmp::Eq,
+                1.0,
+            );
+        }
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_feasible_but_integer_infeasible() {
+        // 0.4 <= x <= 0.6 with x binary.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_binary("x");
+        p.add_constraint(LinExpr::from(x), Cmp::Ge, 0.4);
+        p.add_constraint(LinExpr::from(x), Cmp::Le, 0.6);
+        p.set_objective(LinExpr::from(x));
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max x + 10y, y binary, x <= 3.7 continuous, x + 4y <= 6.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, 3.7);
+        let y = p.add_binary("y");
+        p.set_objective(LinExpr::terms(&[(x, 1.0), (y, 10.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 4.0)]), Cmp::Le, 6.0);
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        // y = 1, x = 2 -> 12.
+        assert!((s.objective - 12.0).abs() < 1e-6);
+        assert_eq!(s.int_value(y), 1);
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn general_integer_variables() {
+        // min 3x + 2y, x,y integer >= 0, 2x + y >= 7, x + 3y >= 9.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_integer("x", 0.0, 100.0);
+        let y = p.add_integer("y", 0.0, 100.0);
+        p.set_objective(LinExpr::terms(&[(x, 3.0), (y, 2.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 2.0), (y, 1.0)]), Cmp::Ge, 7.0);
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 3.0)]), Cmp::Ge, 9.0);
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        // Enumerate to verify: best integer point.
+        let mut brute = f64::INFINITY;
+        for xi in 0..=10 {
+            for yi in 0..=10 {
+                let (xf, yf) = (xi as f64, yi as f64);
+                if 2.0 * xf + yf >= 7.0 && xf + 3.0 * yf >= 9.0 {
+                    brute = brute.min(3.0 * xf + 2.0 * yf);
+                }
+            }
+        }
+        assert!((s.objective - brute).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_integer("x", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::from(x));
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn node_limit_yields_feasible_or_limit() {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| p.add_binary(format!("v{i}"))).collect();
+        let mut obj = LinExpr::new();
+        let mut cons = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj.add_term(v, (i % 5 + 1) as f64);
+            cons.add_term(v, ((i * 7) % 11 + 1) as f64);
+        }
+        p.set_objective(obj);
+        p.add_constraint(cons, Cmp::Le, 20.0);
+        let s = Solver::new().max_nodes(2).solve(&p).unwrap();
+        assert!(matches!(
+            s.status,
+            SolveStatus::Feasible | SolveStatus::Optimal | SolveStatus::LimitReached
+        ));
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        // No integer variables: one node, identical to simplex.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, 4.0);
+        p.set_objective(LinExpr::from(x) * -1.0);
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective + 4.0).abs() < 1e-9);
+        assert_eq!(s.nodes, 1);
+    }
+
+    #[test]
+    fn presolve_fixes_forced_binaries() {
+        // 5a + 5b <= 4 forces a = b = 0; presolve should prove the
+        // optimum without branching.
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        let c = p.add_binary("c");
+        p.set_objective(LinExpr::terms(&[(a, 1.0), (b, 1.0), (c, 1.0)]));
+        p.add_constraint(LinExpr::terms(&[(a, 5.0), (b, 5.0)]), Cmp::Le, 4.0);
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-6);
+        assert_eq!((s.int_value(a), s.int_value(b), s.int_value(c)), (0, 0, 1));
+    }
+
+    #[test]
+    fn presolve_detects_plain_infeasibility() {
+        // a + b >= 3 over two binaries is impossible; presolve catches it
+        // before any simplex runs.
+        let mut p = Problem::new(Sense::Minimize);
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        p.add_constraint(LinExpr::terms(&[(a, 1.0), (b, 1.0)]), Cmp::Ge, 3.0);
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Infeasible);
+        assert_eq!(s.nodes, 0);
+    }
+
+    #[test]
+    fn presolve_tightens_integer_bounds() {
+        // 3x <= 10 with x integer -> x <= 3.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_integer("x", 0.0, 100.0);
+        p.set_objective(LinExpr::from(x));
+        p.add_constraint(LinExpr::from(x) * 3.0, Cmp::Le, 10.0);
+        let s = Solver::new().solve(&p).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_eq!(s.int_value(x), 3);
+        // Presolve makes the relaxation integral: exactly one node.
+        assert_eq!(s.nodes, 1);
+    }
+
+    #[test]
+    fn warm_start_seeds_incumbent() {
+        // A tight node limit with a good warm start still yields the
+        // seeded solution (or better); without it the search may time out
+        // solutionless.
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..14).map(|i| p.add_binary(format!("v{i}"))).collect();
+        let mut obj = LinExpr::new();
+        let mut cons = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj.add_term(v, ((i * 3) % 7 + 1) as f64);
+            cons.add_term(v, ((i * 5) % 9 + 1) as f64);
+        }
+        p.set_objective(obj.clone());
+        p.add_constraint(cons, Cmp::Le, 11.0);
+        // Greedy feasible seed: take nothing (trivially feasible).
+        let seed = vec![0.0; 14];
+        let s = Solver::new()
+            .max_nodes(1)
+            .warm_start(seed.clone())
+            .solve(&p)
+            .unwrap();
+        assert!(s.has_solution());
+        assert!(s.objective >= 0.0);
+
+        // Infeasible seeds are ignored without error.
+        let bad = vec![1.0; 14];
+        let s2 = Solver::new().warm_start(bad).solve(&p).unwrap();
+        assert_eq!(s2.status, SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn warm_start_never_worsens_result() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_integer("x", 0.0, 50.0);
+        let y = p.add_integer("y", 0.0, 50.0);
+        p.set_objective(LinExpr::terms(&[(x, 3.0), (y, 2.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 2.0), (y, 1.0)]), Cmp::Ge, 7.0);
+        let plain = Solver::new().solve(&p).unwrap();
+        let seeded = Solver::new().warm_start(vec![4.0, 0.0]).solve(&p).unwrap();
+        assert!(seeded.objective <= plain.objective + 1e-9);
+        assert_eq!(seeded.status, SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn determinism() {
+        let build = || {
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> = (0..8).map(|i| p.add_binary(format!("v{i}"))).collect();
+            let mut obj = LinExpr::new();
+            let mut c1 = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                obj.add_term(v, ((i * 3) % 7 + 1) as f64);
+                c1.add_term(v, ((i * 5) % 9 + 1) as f64);
+            }
+            p.set_objective(obj);
+            p.add_constraint(c1, Cmp::Le, 15.0);
+            p
+        };
+        let a = Solver::new().solve(&build()).unwrap();
+        let b = Solver::new().solve(&build()).unwrap();
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.nodes, b.nodes);
+    }
+}

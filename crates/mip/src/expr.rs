@@ -1,0 +1,213 @@
+//! Linear expressions over problem variables.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Handle to a variable of a [`crate::Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Dense index of the variable.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `sum(coef_i * var_i) + constant`.
+///
+/// Built either term-by-term with [`LinExpr::add_term`] or at once with
+/// [`LinExpr::terms`]; `+` and `*` operators are provided for convenience.
+///
+/// ```
+/// use mip::{LinExpr, Problem, Sense};
+/// let mut p = Problem::new(Sense::Minimize);
+/// let x = p.add_binary("x");
+/// let y = p.add_binary("y");
+/// let e = LinExpr::from(x) * 2.0 + LinExpr::from(y);
+/// assert_eq!(e.coef(x), 2.0);
+/// assert_eq!(e.coef(y), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an expression from `(variable, coefficient)` pairs.
+    pub fn terms(pairs: &[(VarId, f64)]) -> Self {
+        let mut e = Self::new();
+        for &(v, c) in pairs {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        Self {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// Adds `coef * var`, merging with an existing term for `var` if any.
+    pub fn add_term(&mut self, var: VarId, coef: f64) -> &mut Self {
+        if coef == 0.0 {
+            return self;
+        }
+        if let Some(t) = self.terms.iter_mut().find(|(v, _)| *v == var) {
+            t.1 += coef;
+        } else {
+            self.terms.push((var, coef));
+        }
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// Coefficient of `var` (zero if absent).
+    pub fn coef(&self, var: VarId) -> f64 {
+        self.terms
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map_or(0.0, |&(_, c)| c)
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over the `(variable, coefficient)` terms.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// Number of non-zero terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression for a dense assignment.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Largest variable index referenced, if any.
+    pub(crate) fn max_var(&self) -> Option<usize> {
+        self.terms.iter().map(|&(v, _)| v.index()).max()
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::terms(&[(v, 1.0)])
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        for t in &mut self.terms {
+            t.1 *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_duplicate_terms() {
+        let v = VarId(0);
+        let mut e = LinExpr::new();
+        e.add_term(v, 1.5).add_term(v, 2.5);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.coef(v), 4.0);
+    }
+
+    #[test]
+    fn zero_coef_is_dropped() {
+        let mut e = LinExpr::new();
+        e.add_term(VarId(3), 0.0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn eval_with_constant() {
+        let e = LinExpr::terms(&[(VarId(0), 2.0), (VarId(1), -1.0)]) + LinExpr::constant(3.0);
+        assert_eq!(e.eval(&[4.0, 5.0]), 2.0 * 4.0 - 5.0 + 3.0);
+    }
+
+    #[test]
+    fn operators() {
+        let e = (LinExpr::from(VarId(0)) + LinExpr::from(VarId(1))) * 2.0;
+        assert_eq!(e.coef(VarId(0)), 2.0);
+        assert_eq!(e.coef(VarId(1)), 2.0);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut e = LinExpr::from(VarId(0));
+        e += LinExpr::terms(&[(VarId(0), 1.0), (VarId(2), 3.0)]);
+        assert_eq!(e.coef(VarId(0)), 2.0);
+        assert_eq!(e.coef(VarId(2)), 3.0);
+    }
+
+    #[test]
+    fn max_var_tracks_width() {
+        let e = LinExpr::terms(&[(VarId(7), 1.0), (VarId(3), 1.0)]);
+        assert_eq!(e.max_var(), Some(7));
+        assert_eq!(LinExpr::new().max_var(), None);
+    }
+}

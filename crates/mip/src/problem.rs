@@ -1,0 +1,320 @@
+//! Problem construction: variables, constraints, objective.
+
+use crate::expr::{LinExpr, VarId};
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// Integrality class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarKind {
+    /// Continuous within its bounds.
+    Continuous,
+    /// Integer within its bounds.
+    Integer,
+}
+
+/// A single variable definition.
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub kind: VarKind,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+/// One linear constraint `expr cmp rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// Errors raised by problem construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MipError {
+    /// A variable's lower bound exceeds its upper bound.
+    InvalidBounds {
+        /// Variable name.
+        name: String,
+        /// The offending bounds.
+        bounds: (f64, f64),
+    },
+    /// A lower bound of negative infinity (unsupported by the dense
+    /// simplex shift transformation).
+    UnboundedBelow {
+        /// Variable name.
+        name: String,
+    },
+    /// An expression referenced a variable not in the problem.
+    UnknownVariable {
+        /// Index referenced.
+        index: usize,
+    },
+    /// A non-finite coefficient or bound was supplied.
+    NonFinite,
+}
+
+impl fmt::Display for MipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MipError::InvalidBounds { name, bounds } => {
+                write!(f, "variable {name}: lower bound {} > upper bound {}", bounds.0, bounds.1)
+            }
+            MipError::UnboundedBelow { name } => {
+                write!(f, "variable {name}: lower bound must be finite")
+            }
+            MipError::UnknownVariable { index } => {
+                write!(f, "expression references unknown variable x{index}")
+            }
+            MipError::NonFinite => write!(f, "non-finite coefficient or bound"),
+        }
+    }
+}
+
+impl std::error::Error for MipError {}
+
+/// A mixed-integer linear program.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+        }
+    }
+
+    /// Adds a binary (0/1 integer) variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.push_var(name.into(), VarKind::Integer, 0.0, 1.0)
+    }
+
+    /// Adds a bounded integer variable.
+    pub fn add_integer(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> VarId {
+        self.push_var(name.into(), VarKind::Integer, lo, hi)
+    }
+
+    /// Adds a bounded continuous variable (`hi` may be `f64::INFINITY`).
+    pub fn add_continuous(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> VarId {
+        self.push_var(name.into(), VarKind::Continuous, lo, hi)
+    }
+
+    fn push_var(&mut self, name: String, kind: VarKind, lo: f64, hi: f64) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef { name, kind, lo, hi });
+        id
+    }
+
+    /// Adds the constraint `expr cmp rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Sets the objective expression.
+    pub fn set_objective(&mut self, obj: LinExpr) {
+        self.objective = obj;
+    }
+
+    /// Optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Bounds of a variable.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        let d = &self.vars[v.index()];
+        (d.lo, d.hi)
+    }
+
+    /// Integrality of a variable.
+    pub fn var_kind(&self, v: VarId) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// Checks whether a dense assignment satisfies all constraints, bounds
+    /// and integrality within `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, d) in self.vars.iter().enumerate() {
+            let v = values[i];
+            if v < d.lo - tol || v > d.hi + tol {
+                return false;
+            }
+            if d.kind == VarKind::Integer && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c.expr.eval(values);
+            match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Validates the problem structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for inverted or `-inf` lower bounds, non-finite
+    /// data, or expressions referencing foreign variables.
+    pub fn validate(&self) -> Result<(), MipError> {
+        for d in &self.vars {
+            if !d.lo.is_finite() {
+                return Err(MipError::UnboundedBelow {
+                    name: d.name.clone(),
+                });
+            }
+            if d.hi < d.lo {
+                return Err(MipError::InvalidBounds {
+                    name: d.name.clone(),
+                    bounds: (d.lo, d.hi),
+                });
+            }
+            if d.hi.is_nan() {
+                return Err(MipError::NonFinite);
+            }
+        }
+        let width = self.vars.len();
+        let check_expr = |e: &LinExpr| -> Result<(), MipError> {
+            if let Some(m) = e.max_var() {
+                if m >= width {
+                    return Err(MipError::UnknownVariable { index: m });
+                }
+            }
+            if e.iter().any(|(_, c)| !c.is_finite()) || !e.offset().is_finite() {
+                return Err(MipError::NonFinite);
+            }
+            Ok(())
+        };
+        check_expr(&self.objective)?;
+        for c in &self.constraints {
+            check_expr(&c.expr)?;
+            if !c.rhs.is_finite() {
+                return Err(MipError::NonFinite);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_binary("x");
+        let y = p.add_continuous("y", 0.0, 5.0);
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 3.0);
+        p.set_objective(LinExpr::from(y));
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.var_bounds(y), (0.0, 5.0));
+        assert_eq!(p.var_kind(x), VarKind::Integer);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn feasibility_check_covers_integrality() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_binary("x");
+        p.add_constraint(LinExpr::from(x), Cmp::Ge, 1.0);
+        assert!(p.is_feasible(&[1.0], 1e-6));
+        assert!(!p.is_feasible(&[0.5], 1e-6)); // fractional binary
+        assert!(!p.is_feasible(&[0.0], 1e-6)); // violates constraint
+        assert!(!p.is_feasible(&[2.0], 1e-6)); // violates bound
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_continuous("y", 2.0, 1.0);
+        assert!(matches!(p.validate(), Err(MipError::InvalidBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_minus_infinity() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_continuous("y", f64::NEG_INFINITY, 1.0);
+        assert!(matches!(p.validate(), Err(MipError::UnboundedBelow { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_vars() {
+        let mut p = Problem::new(Sense::Minimize);
+        let _x = p.add_binary("x");
+        p.set_objective(LinExpr::from(VarId(9)));
+        assert!(matches!(
+            p.validate(),
+            Err(MipError::UnknownVariable { index: 9 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_binary("x");
+        p.add_constraint(LinExpr::terms(&[(x, f64::NAN)]), Cmp::Le, 1.0);
+        assert_eq!(p.validate(), Err(MipError::NonFinite));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MipError::UnknownVariable { index: 3 };
+        assert!(e.to_string().contains("x3"));
+    }
+}

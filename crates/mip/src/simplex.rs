@@ -1,0 +1,447 @@
+//! Dense two-phase primal simplex over the standard form.
+//!
+//! The LP relaxation solver behind branch & bound. Variables are shifted by
+//! their (finite) lower bounds to non-negativity; finite upper bounds become
+//! explicit rows; `>=`/`==` rows receive artificial variables driven out in
+//! phase 1. Dantzig pricing with a permanent switch to Bland's rule after a
+//! stall guarantees termination.
+
+use crate::problem::{Cmp, MipError, Problem, Sense};
+
+/// Outcome of an LP relaxation solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal basic solution found.
+    Optimal {
+        /// Objective in the problem's original sense.
+        objective: f64,
+        /// Value of every structural variable.
+        values: Vec<f64>,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+
+/// Solves the LP relaxation of `p` with variable bounds overridden by
+/// `bounds` (one `(lo, hi)` pair per variable).
+pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, MipError> {
+    debug_assert_eq!(bounds.len(), p.num_vars());
+    let n = p.num_vars();
+
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        if !lo.is_finite() {
+            return Err(MipError::UnboundedBelow {
+                name: p.vars[i].name.clone(),
+            });
+        }
+        if hi < lo - EPS {
+            return Ok(LpOutcome::Infeasible);
+        }
+    }
+
+    // Rows in `(coeffs over shifted structurals, cmp, rhs)` form.
+    struct Row {
+        coef: Vec<f64>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(p.constraints.len() + n);
+    for c in &p.constraints {
+        let mut coef = vec![0.0; n];
+        let mut rhs = c.rhs - c.expr.offset();
+        for (v, k) in c.expr.iter() {
+            coef[v.index()] += k;
+            rhs -= k * bounds[v.index()].0; // shift x = lo + x'
+        }
+        rows.push(Row {
+            coef,
+            cmp: c.cmp,
+            rhs,
+        });
+    }
+    // Finite upper bounds as x' <= hi - lo rows (skip fixed-width zero
+    // ranges: the variable is pinned to its lower bound and the shifted
+    // column can simply never enter above 0 ... it still needs the row,
+    // since the shifted var is otherwise free upward).
+    for (i, &(lo, hi)) in bounds.iter().enumerate() {
+        if hi.is_finite() {
+            let mut coef = vec![0.0; n];
+            coef[i] = 1.0;
+            rows.push(Row {
+                coef,
+                cmp: Cmp::Le,
+                rhs: hi - lo,
+            });
+        }
+    }
+
+    // Normalize to rhs >= 0.
+    for r in &mut rows {
+        if r.rhs < 0.0 {
+            for k in &mut r.coef {
+                *k = -*k;
+            }
+            r.rhs = -r.rhs;
+            r.cmp = match r.cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    let n_slack = rows
+        .iter()
+        .filter(|r| matches!(r.cmp, Cmp::Le | Cmp::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|r| matches!(r.cmp, Cmp::Ge | Cmp::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+
+    // Dense tableau: m rows x (total + 1), last column is the rhs.
+    let mut t = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let art_start = n + n_slack;
+    let mut slack_i = 0;
+    let mut art_i = 0;
+    for (i, r) in rows.iter().enumerate() {
+        t[i][..n].copy_from_slice(&r.coef);
+        t[i][total] = r.rhs;
+        match r.cmp {
+            Cmp::Le => {
+                t[i][n + slack_i] = 1.0;
+                basis[i] = n + slack_i;
+                slack_i += 1;
+            }
+            Cmp::Ge => {
+                t[i][n + slack_i] = -1.0;
+                slack_i += 1;
+                t[i][art_start + art_i] = 1.0;
+                basis[i] = art_start + art_i;
+                art_i += 1;
+            }
+            Cmp::Eq => {
+                t[i][art_start + art_i] = 1.0;
+                basis[i] = art_start + art_i;
+                art_i += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        let mut cost = vec![0.0; total];
+        for j in art_start..total {
+            cost[j] = 1.0;
+        }
+        match optimize(&mut t, &mut basis, &cost, None) {
+            Pivoted::Optimal => {}
+            Pivoted::Unbounded => return Ok(LpOutcome::Infeasible), // cannot happen: phase-1 bounded below by 0
+        }
+        let phase1: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b >= art_start)
+            .map(|(i, _)| t[i][total])
+            .sum();
+        if phase1 > FEAS_TOL {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive zero-level artificials out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| t[i][j].abs() > 1e-7) {
+                    pivot(&mut t, &mut basis, i, j);
+                }
+            }
+        }
+    }
+
+    // Phase 2: minimize the (sense-adjusted) structural objective.
+    // Artificial columns are banned from entering.
+    let sign = match p.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0; total];
+    for (v, k) in p.objective.iter() {
+        cost[v.index()] += sign * k;
+    }
+    match optimize(&mut t, &mut basis, &cost, Some(art_start)) {
+        Pivoted::Optimal => {}
+        Pivoted::Unbounded => return Ok(LpOutcome::Unbounded),
+    }
+
+    // Extract the structural solution (undo the lower-bound shift).
+    let mut values: Vec<f64> = bounds.iter().map(|&(lo, _)| lo).collect();
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] = bounds[b].0 + t[i][total];
+        }
+    }
+    let objective = p.objective.eval(&values);
+    Ok(LpOutcome::Optimal { objective, values })
+}
+
+enum Pivoted {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs the simplex method on an already-canonical tableau. `banned_from`
+/// excludes columns `>= banned_from` from entering (used to freeze
+/// artificials in phase 2).
+fn optimize(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    banned_from: Option<usize>,
+) -> Pivoted {
+    let m = t.len();
+    let total = cost.len();
+    let rhs_col = total;
+    let enter_limit = banned_from.unwrap_or(total);
+    // Dantzig pricing, switching permanently to Bland's rule after a stall
+    // budget to guarantee termination on degenerate problems.
+    let stall_budget = 50 * (m + total);
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        let bland = iters > stall_budget;
+        // Reduced costs r_j = c_j - sum_i c_B[i] * t[i][j].
+        let cb: Vec<f64> = basis.iter().map(|&b| cost[b]).collect();
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..enter_limit {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                if cb[i] != 0.0 {
+                    r -= cb[i] * t[i][j];
+                }
+            }
+            if r < -1e-9 {
+                match (bland, entering) {
+                    (true, _) => {
+                        entering = Some((j, r));
+                        break; // Bland: first eligible column
+                    }
+                    (false, Some((_, best))) if r >= best => {}
+                    (false, _) => entering = Some((j, r)),
+                }
+            }
+        }
+        let Some((e, _)) = entering else {
+            return Pivoted::Optimal;
+        };
+        // Ratio test.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if t[i][e] > EPS {
+                let ratio = t[i][rhs_col] / t[i][e];
+                let better = match leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        let Some((l, _)) = leave else {
+            return Pivoted::Unbounded;
+        };
+        pivot(t, basis, l, e);
+    }
+}
+
+/// Pivots on `(row, col)`: normalizes the pivot row and eliminates the
+/// column from every other row.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let piv = t[row][col];
+    debug_assert!(piv.abs() > EPS, "pivot on a (near-)zero element");
+    let width = t[row].len();
+    for j in 0..width {
+        t[row][j] /= piv;
+    }
+    for i in 0..t.len() {
+        if i != row {
+            let factor = t[i][col];
+            if factor != 0.0 {
+                for j in 0..width {
+                    t[i][j] -= factor * t[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn lp(p: &Problem) -> LpOutcome {
+        let bounds: Vec<(f64, f64)> = (0..p.num_vars())
+            .map(|i| p.var_bounds(crate::VarId(i)))
+            .collect();
+        solve_lp(p, &bounds).expect("valid problem")
+    }
+
+    #[test]
+    fn textbook_maximize() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, f64::INFINITY);
+        let y = p.add_continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::terms(&[(x, 3.0), (y, 5.0)]));
+        p.add_constraint(LinExpr::from(x), Cmp::Le, 4.0);
+        p.add_constraint(LinExpr::from(y) * 2.0, Cmp::Le, 12.0);
+        p.add_constraint(LinExpr::terms(&[(x, 3.0), (y, 2.0)]), Cmp::Le, 18.0);
+        match lp(&p) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - 36.0).abs() < 1e-6);
+                assert!((values[0] - 2.0).abs() < 1e-6);
+                assert!((values[1] - 6.0).abs() < 1e-6);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 -> 2*10? optimum x=10,y=0: 20.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, f64::INFINITY);
+        let y = p.add_continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::terms(&[(x, 2.0), (y, 3.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 10.0);
+        p.add_constraint(LinExpr::from(x), Cmp::Ge, 2.0);
+        match lp(&p) {
+            LpOutcome::Optimal { objective, .. } => assert!((objective - 20.0).abs() < 1e-6),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 4, x - y == 1 -> x=2, y=1, obj 3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, f64::INFINITY);
+        let y = p.add_continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::terms(&[(x, 1.0), (y, 1.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 2.0)]), Cmp::Eq, 4.0);
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, -1.0)]), Cmp::Eq, 1.0);
+        match lp(&p) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - 3.0).abs() < 1e-6);
+                assert!((values[0] - 2.0).abs() < 1e-6);
+                assert!((values[1] - 1.0).abs() < 1e-6);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, 1.0);
+        p.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
+        assert_eq!(lp(&p), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::from(x));
+        assert_eq!(lp(&p), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn respects_shifted_lower_bounds() {
+        // min x with x in [3, 10] -> 3.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 3.0, 10.0);
+        p.set_objective(LinExpr::from(x));
+        match lp(&p) {
+            LpOutcome::Optimal { objective, values } => {
+                assert!((objective - 3.0).abs() < 1e-9);
+                assert!((values[0] - 3.0).abs() < 1e-9);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_lower_bounds_work() {
+        // max x + y, x in [-5, -1], y in [-2, 3], x + y <= 0 -> x=-1, y=1? no:
+        // max at y=3 gives x+y = 2 > 0, so binding x+y=0 with y=3, x=-3: obj 0.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", -5.0, -1.0);
+        let y = p.add_continuous("y", -2.0, 3.0);
+        p.set_objective(LinExpr::terms(&[(x, 1.0), (y, 1.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 0.0);
+        match lp(&p) {
+            LpOutcome::Optimal { objective, .. } => assert!(objective.abs() < 1e-6),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 2.5, 2.5);
+        let y = p.add_continuous("y", 0.0, 10.0);
+        p.set_objective(LinExpr::from(y));
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, -1.0)]), Cmp::Le, 0.0);
+        match lp(&p) {
+            LpOutcome::Optimal { values, .. } => {
+                assert!((values[0] - 2.5).abs() < 1e-9);
+                assert!((values[1] - 2.5).abs() < 1e-6);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: several redundant constraints through the
+        // optimum.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, f64::INFINITY);
+        let y = p.add_continuous("y", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::terms(&[(x, 1.0), (y, 1.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 1.0);
+        p.add_constraint(LinExpr::terms(&[(x, 2.0), (y, 2.0)]), Cmp::Le, 2.0);
+        p.add_constraint(LinExpr::terms(&[(x, 1.0)]), Cmp::Le, 1.0);
+        match lp(&p) {
+            LpOutcome::Optimal { objective, .. } => assert!((objective - 1.0).abs() < 1e-6),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn objective_constant_offset_carries_through() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 1.0, 5.0);
+        p.set_objective(LinExpr::from(x) + LinExpr::constant(10.0));
+        match lp(&p) {
+            LpOutcome::Optimal { objective, .. } => assert!((objective - 11.0).abs() < 1e-9),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: the MILP solver against brute-force enumeration on
+//! random small binary programs, plus LP invariants.
+
+use mip::{Cmp, LinExpr, Problem, Sense, SolveStatus, Solver};
+use proptest::prelude::*;
+
+/// A random binary program: n <= 8 binaries, up to 4 <=-constraints with
+/// small integer coefficients.
+#[derive(Debug, Clone)]
+struct RandomBip {
+    n: usize,
+    obj: Vec<i32>,
+    rows: Vec<(Vec<i32>, i32)>,
+    maximize: bool,
+}
+
+fn random_bip() -> impl Strategy<Value = RandomBip> {
+    (2usize..=8, any::<bool>())
+        .prop_flat_map(|(n, maximize)| {
+            let obj = proptest::collection::vec(-9i32..=9, n);
+            let row = (proptest::collection::vec(-5i32..=5, n), -6i32..=20);
+            let rows = proptest::collection::vec(row, 0..=4);
+            (Just(n), obj, rows, Just(maximize))
+        })
+        .prop_map(|(n, obj, rows, maximize)| RandomBip {
+            n,
+            obj,
+            rows,
+            maximize,
+        })
+}
+
+fn build(p: &RandomBip) -> (Problem, Vec<mip::VarId>) {
+    let mut prob = Problem::new(if p.maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    });
+    let vars: Vec<_> = (0..p.n).map(|i| prob.add_binary(format!("b{i}"))).collect();
+    let mut obj = LinExpr::new();
+    for (i, &c) in p.obj.iter().enumerate() {
+        obj.add_term(vars[i], c as f64);
+    }
+    prob.set_objective(obj);
+    for (coefs, rhs) in &p.rows {
+        let mut e = LinExpr::new();
+        for (i, &c) in coefs.iter().enumerate() {
+            e.add_term(vars[i], c as f64);
+        }
+        prob.add_constraint(e, Cmp::Le, *rhs as f64);
+    }
+    (prob, vars)
+}
+
+/// Brute-force optimum over all 2^n assignments; `None` if infeasible.
+fn brute_force(p: &RandomBip) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << p.n) {
+        let x: Vec<f64> = (0..p.n)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        let feasible = p.rows.iter().all(|(coefs, rhs)| {
+            coefs
+                .iter()
+                .zip(&x)
+                .map(|(&c, &v)| c as f64 * v)
+                .sum::<f64>()
+                <= *rhs as f64 + 1e-9
+        });
+        if !feasible {
+            continue;
+        }
+        let val: f64 = p.obj.iter().zip(&x).map(|(&c, &v)| c as f64 * v).sum();
+        best = Some(match best {
+            None => val,
+            Some(b) if p.maximize => b.max(val),
+            Some(b) => b.min(val),
+        });
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solver_matches_brute_force(bip in random_bip()) {
+        let (prob, _vars) = build(&bip);
+        let sol = Solver::new().solve(&prob).unwrap();
+        match brute_force(&bip) {
+            Some(opt) => {
+                prop_assert_eq!(sol.status, SolveStatus::Optimal);
+                prop_assert!((sol.objective - opt).abs() < 1e-5,
+                    "solver {} vs brute force {}", sol.objective, opt);
+                // The reported assignment must itself be feasible & match.
+                prop_assert!(prob.is_feasible(sol.values(), 1e-5));
+            }
+            None => prop_assert_eq!(sol.status, SolveStatus::Infeasible),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_milp(bip in random_bip()) {
+        // Make all variables continuous in [0,1]: the relaxation optimum
+        // must weakly dominate the integer optimum.
+        let (prob, _) = build(&bip);
+        let mut relaxed = Problem::new(prob.sense());
+        let vars: Vec<_> = (0..bip.n)
+            .map(|i| relaxed.add_continuous(format!("c{i}"), 0.0, 1.0))
+            .collect();
+        let mut obj = LinExpr::new();
+        for (i, &c) in bip.obj.iter().enumerate() {
+            obj.add_term(vars[i], c as f64);
+        }
+        relaxed.set_objective(obj);
+        for (coefs, rhs) in &bip.rows {
+            let mut e = LinExpr::new();
+            for (i, &c) in coefs.iter().enumerate() {
+                e.add_term(vars[i], c as f64);
+            }
+            relaxed.add_constraint(e, Cmp::Le, *rhs as f64);
+        }
+        let lp = Solver::new().solve(&relaxed).unwrap();
+        if let Some(int_opt) = brute_force(&bip) {
+            prop_assert_eq!(lp.status, SolveStatus::Optimal);
+            if bip.maximize {
+                prop_assert!(lp.objective >= int_opt - 1e-5);
+            } else {
+                prop_assert!(lp.objective <= int_opt + 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! CTC-ratio analytics — the workload characterization of Section II of the
+//! paper (Figures 3, 4 and 5).
+//!
+//! The *computation-to-communication* (CTC) ratio measures MAC operations
+//! per DRAM byte. Layerwise (no-pipeline) execution pays DRAM traffic for
+//! every intermediate feature map; pipelined execution forwards them
+//! producer-to-consumer on chip, so segmenting a model raises its CTC ratio
+//! toward the full-pipeline bound.
+
+use crate::workload::Workload;
+
+/// CTC ratio of each work item under layerwise execution (the bars of
+/// Figure 4, "no-pipeline").
+pub fn per_item_ctc(w: &Workload) -> Vec<f64> {
+    w.items().iter().map(|i| i.ctc()).collect()
+}
+
+/// Aggregate CTC ratio of the whole model under layerwise execution.
+///
+/// ```
+/// # use nnmodel::{zoo, Workload, analysis};
+/// let w = Workload::from_graph(&zoo::squeezenet1_0());
+/// let lw = analysis::layerwise_ctc(&w);
+/// let fp = analysis::full_pipeline_ctc(&w);
+/// assert!(fp > lw, "pipelining must raise the CTC ratio");
+/// ```
+pub fn layerwise_ctc(w: &Workload) -> f64 {
+    w.total_ops() as f64 / w.total_layerwise_access() as f64
+}
+
+/// CTC ratio when the *entire* model runs as one hardware pipeline (the
+/// "full-pipeline" bars of Figure 3): only the network input, all weights
+/// and the final output touch DRAM.
+pub fn full_pipeline_ctc(w: &Workload) -> f64 {
+    let all: Vec<usize> = (0..w.len()).collect();
+    w.pipelined_ctc(&all)
+}
+
+/// Splits the items into contiguous segments of `per_seg` items each (the
+/// naive "evenly divide" segmentation the motivation figures use; the last
+/// segment absorbs the remainder if it would otherwise be shorter than
+/// `per_seg / 2`).
+///
+/// # Panics
+///
+/// Panics if `per_seg == 0`.
+pub fn even_segments(w: &Workload, per_seg: usize) -> Vec<Vec<usize>> {
+    assert!(per_seg > 0, "per_seg must be positive");
+    let n = w.len();
+    let mut segs: Vec<Vec<usize>> = (0..n)
+        .collect::<Vec<_>>()
+        .chunks(per_seg)
+        .map(|c| c.to_vec())
+        .collect();
+    if segs.len() >= 2 && segs.last().map_or(0, Vec::len) < per_seg.div_ceil(2) {
+        let tail = segs.pop().expect("checked non-empty");
+        segs.last_mut().expect("checked len >= 2").extend(tail);
+    }
+    segs
+}
+
+/// Total MACs of a segment.
+pub fn segment_ops(w: &Workload, seg: &[usize]) -> u64 {
+    seg.iter().map(|&i| w.items()[i].ops).sum()
+}
+
+/// CTC ratio of each segment under segment-grained pipelining.
+pub fn segment_ctcs(w: &Workload, segs: &[Vec<usize>]) -> Vec<f64> {
+    segs.iter().map(|s| w.pipelined_ctc(s)).collect()
+}
+
+/// The minimum segment CTC — the quantity the paper's MIP objective
+/// maximizes (Eq. 5): the memory-bound-ness of a segment-pipelined design
+/// is governed by its worst segment.
+pub fn min_segment_ctc(w: &Workload, segs: &[Vec<usize>]) -> f64 {
+    segment_ctcs(w, segs)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Aggregate CTC of a segment-pipelined execution (total ops over total
+/// DRAM bytes across segments) — the "segment-grained" bars of Figure 3.
+pub fn segmented_ctc(w: &Workload, segs: &[Vec<usize>]) -> f64 {
+    let bytes: u64 = segs.iter().map(|s| w.pipelined_access(s)).sum();
+    w.total_ops() as f64 / bytes as f64
+}
+
+/// Normalized per-PU operation distribution of a segment given a PU
+/// assignment (`assign[k]` is the PU of segment item `seg[k]`) — the paper's
+/// `V_s` vector (Eq. 10).
+pub fn ops_distribution(w: &Workload, seg: &[usize], assign: &[usize], n_pu: usize) -> Vec<f64> {
+    assert_eq!(seg.len(), assign.len(), "one PU per segment item");
+    let mut per_pu = vec![0u64; n_pu];
+    for (&item, &pu) in seg.iter().zip(assign) {
+        per_pu[pu] += w.items()[item].ops;
+    }
+    let total: u64 = per_pu.iter().sum();
+    if total == 0 {
+        return vec![0.0; n_pu];
+    }
+    per_pu.iter().map(|&o| o as f64 / total as f64).collect()
+}
+
+/// Sum of pairwise Manhattan distances between operation distributions —
+/// the paper's segment-operational-distance `SOD` (Eq. 11).
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+pub fn sod(dists: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    for (a, d1) in dists.iter().enumerate() {
+        for d2 in dists.iter().skip(a + 1) {
+            assert_eq!(d1.len(), d2.len(), "distributions must be same length");
+            total += d1
+                .iter()
+                .zip(d2)
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f64>();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::shape::{Dtype, TensorShape};
+
+    fn workload(n: usize) -> Workload {
+        let mut b = GraphBuilder::new("w", Dtype::Int8, TensorShape::new(4, 16, 16));
+        let mut x = b.input();
+        for i in 0..n {
+            x = b.conv(format!("c{i}"), x, 8, 3, 1, 1).unwrap();
+        }
+        Workload::from_graph(&b.finish())
+    }
+
+    #[test]
+    fn even_segments_cover_all_items_once() {
+        let w = workload(10);
+        for per in 1..=10 {
+            let segs = even_segments(&w, per);
+            let mut seen: Vec<usize> = segs.concat();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn short_tail_is_merged() {
+        let w = workload(7);
+        let segs = even_segments(&w, 3);
+        // 3 + 3 + 1 -> tail of 1 < ceil(3/2) merges: 3 + 4.
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[1].len(), 4);
+    }
+
+    #[test]
+    fn segmenting_monotonically_improves_ctc() {
+        let w = workload(12);
+        let lw = layerwise_ctc(&w);
+        let s3 = segmented_ctc(&w, &even_segments(&w, 3));
+        let s6 = segmented_ctc(&w, &even_segments(&w, 6));
+        let fp = full_pipeline_ctc(&w);
+        assert!(s3 > lw);
+        assert!(s6 >= s3);
+        assert!(fp >= s6);
+    }
+
+    #[test]
+    fn min_segment_ctc_is_a_lower_bound() {
+        let w = workload(12);
+        let segs = even_segments(&w, 4);
+        let min = min_segment_ctc(&w, &segs);
+        for c in segment_ctcs(&w, &segs) {
+            assert!(c >= min);
+        }
+    }
+
+    #[test]
+    fn ops_distribution_is_normalized() {
+        let w = workload(6);
+        let seg = vec![0, 1, 2];
+        let assign = vec![0, 1, 1];
+        let d = ops_distribution(&w, &seg, &assign, 2);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn sod_zero_for_identical_distributions() {
+        let d = vec![vec![0.5, 0.5], vec![0.5, 0.5], vec![0.5, 0.5]];
+        assert_eq!(sod(&d), 0.0);
+    }
+
+    #[test]
+    fn sod_is_pairwise_manhattan() {
+        let d = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!((sod(&d) - 2.0).abs() < 1e-12);
+        let d3 = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
+        // pairs: (1,2)=2, (1,3)=1, (2,3)=1.
+        assert!((sod(&d3) - 4.0).abs() < 1e-12);
+    }
+}

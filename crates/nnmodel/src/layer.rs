@@ -1,0 +1,311 @@
+//! Layer definitions: operator kinds and per-layer cost accounting.
+
+use crate::shape::{Dtype, TensorShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a layer inside a [`crate::Graph`].
+///
+/// Layer ids are dense indices in topological order (the builder only allows
+/// wiring a layer to already-constructed predecessors, so construction order
+/// is a topological order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LayerId(pub usize);
+
+impl LayerId {
+    /// The dense index of this layer.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// The operator computed by a layer.
+///
+/// Convolutions cover standard, grouped and depthwise variants through the
+/// `groups` field (depthwise convolution has `groups == in_channels`), which
+/// is how MobileNet's depthwise/pointwise split — a key workload property
+/// exploited by the paper's load balancing — is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv {
+        /// Number of output channels.
+        out_c: usize,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Zero padding on each border.
+        pad: usize,
+        /// Channel groups; `1` is a dense conv, `in_c` is depthwise.
+        groups: usize,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Square window extent.
+        kernel: usize,
+        /// Stride in both spatial dimensions.
+        stride: usize,
+        /// Zero padding on each border.
+        pad: usize,
+        /// Max or average.
+        kind: PoolKind,
+    },
+    /// Global average pooling to `c x 1 x 1`.
+    GlobalAvgPool,
+    /// Fully-connected layer over the flattened input.
+    Fc {
+        /// Number of output features.
+        out: usize,
+    },
+    /// Elementwise addition of all inputs (residual connections).
+    Add,
+    /// Channel-wise concatenation of all inputs (Inception / Fire expand).
+    Concat,
+}
+
+impl LayerKind {
+    /// `true` for layers that own weights and dominate compute
+    /// (convolutions and fully-connected layers). These are the *anchor*
+    /// layers that segmentation assigns to PUs; everything else is folded
+    /// into an anchor by [`crate::Workload`].
+    pub const fn is_anchor(&self) -> bool {
+        matches!(self, LayerKind::Conv { .. } | LayerKind::Fc { .. })
+    }
+}
+
+/// A node of the DNN graph: an operator plus its inferred shapes and wiring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Dense topological id.
+    pub id: LayerId,
+    /// Human-readable unique name (e.g. `"conv2_a"`).
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+    /// Producing layers this layer reads from. Empty for layers fed by the
+    /// network input.
+    pub inputs: Vec<LayerId>,
+    /// Combined input shape (channels summed for [`LayerKind::Concat`]).
+    pub input_shape: TensorShape,
+    /// Inferred output shape.
+    pub output_shape: TensorShape,
+}
+
+impl Layer {
+    /// Number of multiply-accumulate operations — the paper's `ops(l)`.
+    ///
+    /// Pooling, elementwise add and concat contribute zero MACs (the paper's
+    /// Figure 4/5 enumerate conv layers only); their cost shows up through
+    /// memory traffic instead.
+    ///
+    /// ```
+    /// # use nnmodel::{zoo, LayerKind};
+    /// let g = zoo::alexnet();
+    /// let total: u64 = g.layers().iter().map(|l| l.ops()).sum();
+    /// // AlexNet is ~0.7 GMACs.
+    /// assert!((6e8..9e8).contains(&(total as f64)));
+    /// ```
+    pub fn ops(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv {
+                out_c,
+                kernel,
+                groups,
+                ..
+            } => {
+                let in_c_per_group = (self.input_shape.c / groups) as u64;
+                (out_c as u64)
+                    * (self.output_shape.h as u64)
+                    * (self.output_shape.w as u64)
+                    * in_c_per_group
+                    * (kernel as u64)
+                    * (kernel as u64)
+            }
+            LayerKind::Fc { out } => self.input_shape.elems() * out as u64,
+            LayerKind::Pool { .. }
+            | LayerKind::GlobalAvgPool
+            | LayerKind::Add
+            | LayerKind::Concat => 0,
+        }
+    }
+
+    /// Number of weight parameters (zero for weight-less operators).
+    pub fn weight_elems(&self) -> u64 {
+        match self.kind {
+            LayerKind::Conv {
+                out_c,
+                kernel,
+                groups,
+                ..
+            } => {
+                let in_c_per_group = (self.input_shape.c / groups) as u64;
+                (out_c as u64) * in_c_per_group * (kernel as u64) * (kernel as u64)
+            }
+            LayerKind::Fc { out } => self.input_shape.elems() * out as u64,
+            _ => 0,
+        }
+    }
+
+    /// Weight bytes for the given datatype.
+    pub fn weight_bytes(&self, dtype: Dtype) -> u64 {
+        self.weight_elems() * dtype.bytes()
+    }
+
+    /// DRAM bytes moved by this layer under layerwise (no-pipeline)
+    /// execution — the paper's `access(l)`: the input feature map is read,
+    /// the weights are read, and the output feature map is written.
+    pub fn access(&self, dtype: Dtype) -> u64 {
+        self.input_shape.bytes(dtype) + self.weight_bytes(dtype) + self.output_shape.bytes(dtype)
+    }
+
+    /// The layer's CTC ratio in MACs per DRAM byte under layerwise
+    /// execution (the quantity plotted in Figure 4 of the paper).
+    pub fn ctc(&self, dtype: Dtype) -> f64 {
+        self.ops() as f64 / self.access(dtype) as f64
+    }
+
+    /// Sliding-window geometry `(kernel, stride)` for operators that have
+    /// one; `(1, 1)` for pointwise-like operators (FC, add, concat).
+    pub fn window(&self) -> (usize, usize) {
+        match self.kind {
+            LayerKind::Conv { kernel, stride, .. } | LayerKind::Pool { kernel, stride, .. } => {
+                (kernel, stride)
+            }
+            LayerKind::GlobalAvgPool => (self.input_shape.h.max(1), 1),
+            LayerKind::Fc { .. } | LayerKind::Add | LayerKind::Concat => (1, 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_layer() -> Layer {
+        Layer {
+            id: LayerId(0),
+            name: "c".into(),
+            kind: LayerKind::Conv {
+                out_c: 64,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+            },
+            inputs: vec![],
+            input_shape: TensorShape::new(32, 16, 16),
+            output_shape: TensorShape::new(64, 16, 16),
+        }
+    }
+
+    #[test]
+    fn conv_ops_and_weights() {
+        let l = conv_layer();
+        assert_eq!(l.ops(), 64 * 16 * 16 * 32 * 9);
+        assert_eq!(l.weight_elems(), 64 * 32 * 9);
+    }
+
+    #[test]
+    fn depthwise_conv_ops() {
+        let mut l = conv_layer();
+        l.kind = LayerKind::Conv {
+            out_c: 32,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 32,
+        };
+        l.output_shape = TensorShape::new(32, 16, 16);
+        // Depthwise: one input channel per output channel.
+        assert_eq!(l.ops(), 32 * 16 * 16 * 9);
+        assert_eq!(l.weight_elems(), 32 * 9);
+    }
+
+    #[test]
+    fn fc_ops() {
+        let l = Layer {
+            id: LayerId(1),
+            name: "fc".into(),
+            kind: LayerKind::Fc { out: 1000 },
+            inputs: vec![LayerId(0)],
+            input_shape: TensorShape::vector(4096),
+            output_shape: TensorShape::vector(1000),
+        };
+        assert_eq!(l.ops(), 4096 * 1000);
+        assert_eq!(l.weight_elems(), 4096 * 1000);
+    }
+
+    #[test]
+    fn pool_has_no_macs_but_moves_data() {
+        let l = Layer {
+            id: LayerId(2),
+            name: "p".into(),
+            kind: LayerKind::Pool {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+                kind: PoolKind::Max,
+            },
+            inputs: vec![LayerId(0)],
+            input_shape: TensorShape::new(64, 16, 16),
+            output_shape: TensorShape::new(64, 8, 8),
+        };
+        assert_eq!(l.ops(), 0);
+        assert_eq!(l.access(Dtype::Int8), 64 * 16 * 16 + 64 * 8 * 8);
+    }
+
+    #[test]
+    fn access_counts_all_three_streams() {
+        let l = conv_layer();
+        let ifm = 32 * 16 * 16;
+        let w = 64 * 32 * 9;
+        let ofm = 64 * 16 * 16;
+        assert_eq!(l.access(Dtype::Int8), (ifm + w + ofm) as u64);
+        assert_eq!(l.access(Dtype::Fp32), 4 * (ifm + w + ofm) as u64);
+    }
+
+    #[test]
+    fn ctc_is_ops_per_byte() {
+        let l = conv_layer();
+        let expect = l.ops() as f64 / l.access(Dtype::Int8) as f64;
+        assert!((l.ctc(Dtype::Int8) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchor_classification() {
+        assert!(LayerKind::Conv {
+            out_c: 1,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            groups: 1
+        }
+        .is_anchor());
+        assert!(LayerKind::Fc { out: 10 }.is_anchor());
+        assert!(!LayerKind::Add.is_anchor());
+        assert!(!LayerKind::Concat.is_anchor());
+        assert!(!LayerKind::GlobalAvgPool.is_anchor());
+    }
+
+    #[test]
+    fn window_geometry() {
+        let l = conv_layer();
+        assert_eq!(l.window(), (3, 1));
+    }
+}

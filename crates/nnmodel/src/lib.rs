@@ -1,0 +1,47 @@
+//! DNN graph intermediate representation and cost accounting for
+//! DeepBurning-SEG.
+//!
+//! This crate provides the workload side of the AutoSeg co-design flow:
+//!
+//! * [`Graph`] — a directed acyclic graph of DNN [`Layer`]s built with
+//!   [`GraphBuilder`], with exact shape inference for every layer.
+//! * [`Workload`] — the *compute view* of a graph used by the segmentation
+//!   engine: convolution/fully-connected anchors with pooling, residual adds
+//!   and concatenations folded in, each carrying the paper's two constants
+//!   `ops(l)` (MAC count) and `access(l)` (DRAM bytes under layerwise
+//!   execution).
+//! * [`zoo`] — the nine benchmark models evaluated in the paper (AlexNet,
+//!   VGG16, MobileNetV1/V2, ResNet18/50/152, SqueezeNet1.0, InceptionV1)
+//!   plus EfficientNet-B0 used by the motivation figures.
+//! * [`analysis`] — CTC-ratio analytics (Figures 3–5 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use nnmodel::{zoo, analysis};
+//!
+//! let net = zoo::squeezenet1_0();
+//! let workload = nnmodel::Workload::from_graph(&net);
+//! // SqueezeNet1.0 has 26 convolution anchors (conv1 + 8 fire modules x 3
+//! // convs + conv10), exactly the units Figure 4 of the paper plots.
+//! assert_eq!(workload.len(), 26);
+//! let ctc = analysis::layerwise_ctc(&workload);
+//! assert!(ctc > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+mod graph;
+mod layer;
+mod shape;
+pub mod spec;
+mod workload;
+pub mod zoo;
+
+pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
+pub use layer::{Layer, LayerId, LayerKind, PoolKind};
+pub use shape::{Dtype, TensorShape};
+pub use spec::{parse_spec, SpecError};
+pub use workload::{WorkItem, Workload};

@@ -1,0 +1,188 @@
+//! Tensor shapes and element datatypes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element datatype of a tensor.
+///
+/// The paper evaluates all designs in int8 ("all designs are worked in
+/// 8-bits", Section VI-B), so [`Dtype::Int8`] is the default everywhere, but
+/// the cost model is parametric in the element width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Dtype {
+    /// 8-bit integer (1 byte / element). The paper's evaluation setting.
+    #[default]
+    Int8,
+    /// 16-bit integer (2 bytes / element).
+    Int16,
+    /// 16-bit floating point (2 bytes / element).
+    Fp16,
+    /// 32-bit floating point (4 bytes / element).
+    Fp32,
+}
+
+impl Dtype {
+    /// Number of bytes occupied by one element.
+    ///
+    /// ```
+    /// use nnmodel::Dtype;
+    /// assert_eq!(Dtype::Int8.bytes(), 1);
+    /// assert_eq!(Dtype::Fp32.bytes(), 4);
+    /// ```
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Dtype::Int8 => 1,
+            Dtype::Int16 | Dtype::Fp16 => 2,
+            Dtype::Fp32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Dtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dtype::Int8 => "int8",
+            Dtype::Int16 => "int16",
+            Dtype::Fp16 => "fp16",
+            Dtype::Fp32 => "fp32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shape of a feature-map tensor in channel/height/width (CHW) order.
+///
+/// Batch is handled at the architecture level (Algorithm 1 of the paper
+/// scales batch for throughput-oriented designs), so shapes here are
+/// per-frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl TensorShape {
+    /// Creates a new shape.
+    ///
+    /// ```
+    /// use nnmodel::TensorShape;
+    /// let s = TensorShape::new(3, 224, 224);
+    /// assert_eq!(s.elems(), 3 * 224 * 224);
+    /// ```
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Self { c, h, w }
+    }
+
+    /// A flat vector shape (`c` elements, 1x1 spatial), used for
+    /// fully-connected layers.
+    pub const fn vector(c: usize) -> Self {
+        Self { c, h: 1, w: 1 }
+    }
+
+    /// Total number of elements.
+    pub const fn elems(&self) -> u64 {
+        (self.c as u64) * (self.h as u64) * (self.w as u64)
+    }
+
+    /// Total size in bytes for the given element type.
+    pub const fn bytes(&self, dtype: Dtype) -> u64 {
+        self.elems() * dtype.bytes()
+    }
+
+    /// Size in bytes of a single spatial row across all channels
+    /// (`c * w` elements). This is the granularity of the piece-based
+    /// execution model (Figure 8 of the paper) and of the circular
+    /// activation buffer (Eq. 1).
+    pub const fn row_bytes(&self, dtype: Dtype) -> u64 {
+        (self.c as u64) * (self.w as u64) * dtype.bytes()
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// Computes the output spatial extent of a sliding-window operator.
+///
+/// Follows the standard `floor((in + 2*pad - kernel) / stride) + 1` rule.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the padded input is smaller than the kernel;
+/// model-zoo constructors guarantee both.
+pub(crate) fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "padded input {padded} smaller than kernel {kernel}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_bytes() {
+        assert_eq!(Dtype::Int8.bytes(), 1);
+        assert_eq!(Dtype::Int16.bytes(), 2);
+        assert_eq!(Dtype::Fp16.bytes(), 2);
+        assert_eq!(Dtype::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn shape_accounting() {
+        let s = TensorShape::new(64, 56, 56);
+        assert_eq!(s.elems(), 64 * 56 * 56);
+        assert_eq!(s.bytes(Dtype::Int8), 64 * 56 * 56);
+        assert_eq!(s.bytes(Dtype::Fp32), 4 * 64 * 56 * 56);
+        assert_eq!(s.row_bytes(Dtype::Int8), 64 * 56);
+    }
+
+    #[test]
+    fn vector_shape_is_flat() {
+        let v = TensorShape::vector(1000);
+        assert_eq!(v, TensorShape::new(1000, 1, 1));
+        assert_eq!(v.elems(), 1000);
+    }
+
+    #[test]
+    fn conv_out_dims_match_standard_networks() {
+        // AlexNet conv1: 224 -> 55 with k=11, s=4, pad=2.
+        assert_eq!(conv_out_dim(224, 11, 4, 2), 55);
+        // VGG 3x3 same-padding conv preserves size.
+        assert_eq!(conv_out_dim(224, 3, 1, 1), 224);
+        // ResNet stem: 224 -> 112 with k=7, s=2, pad=3.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        // 2x2/2 max pool halves.
+        assert_eq!(conv_out_dim(112, 2, 2, 0), 56);
+        // 3x3/2 pool with no padding: 55 -> 27 (AlexNet).
+        assert_eq!(conv_out_dim(55, 3, 2, 0), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_panics() {
+        conv_out_dim(10, 3, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn kernel_larger_than_input_panics() {
+        conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(TensorShape::new(3, 224, 224).to_string(), "3x224x224");
+        assert_eq!(Dtype::Int8.to_string(), "int8");
+    }
+}

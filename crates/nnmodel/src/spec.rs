@@ -1,0 +1,353 @@
+//! A small line-oriented text format for defining custom models — so
+//! downstream users (and the `spa-gen` CLI) can feed AutoSeg a network
+//! without writing Rust.
+//!
+//! # Format
+//!
+//! One directive per line; `#` starts a comment. The first directive must
+//! be `input C H W`. Every layer directive starts with an op keyword and a
+//! unique layer name; the layer reads the *previous* layer by default, or
+//! an explicit producer with a trailing `from=<name>` (two `from=`s for
+//! `add`; two or more for `concat`).
+//!
+//! ```text
+//! # a tiny fire-style model
+//! input 3 32 32
+//! conv     stem     16 3 2 1
+//! conv     squeeze   4 1 1 0
+//! conv     e1        8 1 1 0
+//! conv     e3        8 3 1 1  from=squeeze
+//! concat   cat      from=e1 from=e3
+//! dwconv   dw        3 1 1
+//! gap      pool
+//! fc       head     10
+//! ```
+//!
+//! | directive | arguments |
+//! |---|---|
+//! | `input` | `C H W` |
+//! | `conv` | `name out_c kernel stride pad [from=..]` |
+//! | `gconv` | `name out_c kernel stride pad groups [from=..]` |
+//! | `dwconv` | `name kernel stride pad [from=..]` |
+//! | `maxpool` / `avgpool` | `name kernel stride pad [from=..]` |
+//! | `gap` | `name [from=..]` |
+//! | `fc` | `name out [from=..]` |
+//! | `add` | `name from=a from=b` |
+//! | `concat` | `name from=a from=b [from=c ...]` |
+
+use crate::graph::{Graph, GraphBuilder, GraphError, NodeId};
+use crate::layer::PoolKind;
+use crate::shape::{Dtype, TensorShape};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure, with the offending 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec did not begin with an `input` directive.
+    MissingInput,
+    /// Unknown op keyword.
+    UnknownOp {
+        /// Line number.
+        line: usize,
+        /// The keyword found.
+        op: String,
+    },
+    /// Wrong argument count or unparsable number.
+    BadArgs {
+        /// Line number.
+        line: usize,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A `from=` target that was never defined.
+    UnknownLayer {
+        /// Line number.
+        line: usize,
+        /// The missing name.
+        name: String,
+    },
+    /// Two layers share a name.
+    DuplicateName {
+        /// Line number.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
+    /// The graph builder rejected the layer (shape mismatch etc.).
+    Graph {
+        /// Line number.
+        line: usize,
+        /// Underlying error.
+        source: GraphError,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::MissingInput => write!(f, "spec must start with `input C H W`"),
+            SpecError::UnknownOp { line, op } => write!(f, "line {line}: unknown op `{op}`"),
+            SpecError::BadArgs { line, expected } => {
+                write!(f, "line {line}: expected {expected}")
+            }
+            SpecError::UnknownLayer { line, name } => {
+                write!(f, "line {line}: unknown layer `{name}`")
+            }
+            SpecError::DuplicateName { line, name } => {
+                write!(f, "line {line}: duplicate layer name `{name}`")
+            }
+            SpecError::Graph { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Graph { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a model spec (see the module docs for the format).
+///
+/// # Errors
+///
+/// A [`SpecError`] identifying the offending line.
+pub fn parse_spec(name: &str, text: &str) -> Result<Graph, SpecError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    // Input directive.
+    let (first_no, first) = lines.next().ok_or(SpecError::MissingInput)?;
+    let toks: Vec<&str> = first.split_whitespace().collect();
+    if toks.len() != 4 || toks[0] != "input" {
+        return Err(SpecError::MissingInput);
+    }
+    let dims: Vec<usize> = toks[1..]
+        .iter()
+        .map(|t| t.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| SpecError::BadArgs {
+            line: first_no,
+            expected: "input C H W",
+        })?;
+    let mut b = GraphBuilder::new(name, Dtype::Int8, TensorShape::new(dims[0], dims[1], dims[2]));
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    let mut prev = b.input();
+
+    for (line, raw) in lines {
+        let mut toks: Vec<&str> = raw.split_whitespace().collect();
+        let op = toks.remove(0).to_lowercase();
+        // Split off `from=` references.
+        let mut froms: Vec<&str> = Vec::new();
+        toks.retain(|t| {
+            if let Some(f) = t.strip_prefix("from=") {
+                froms.push(f);
+                false
+            } else {
+                true
+            }
+        });
+        let lookup = |n: &str| -> Result<NodeId, SpecError> {
+            by_name.get(n).copied().ok_or_else(|| SpecError::UnknownLayer {
+                line,
+                name: n.to_string(),
+            })
+        };
+        let from = match froms.first() {
+            Some(f) => lookup(f)?,
+            None => prev,
+        };
+        let lname = toks
+            .first()
+            .ok_or(SpecError::BadArgs {
+                line,
+                expected: "a layer name",
+            })?
+            .to_string();
+        if by_name.contains_key(&lname) {
+            return Err(SpecError::DuplicateName { line, name: lname });
+        }
+        let nums: Vec<usize> = toks[1..]
+            .iter()
+            .map(|t| t.parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| SpecError::BadArgs {
+                line,
+                expected: "numeric arguments",
+            })?;
+        let need = |n: usize, what: &'static str| -> Result<(), SpecError> {
+            if nums.len() == n {
+                Ok(())
+            } else {
+                Err(SpecError::BadArgs {
+                    line,
+                    expected: what,
+                })
+            }
+        };
+        let gerr = |source: GraphError| SpecError::Graph { line, source };
+        let node = match op.as_str() {
+            "conv" => {
+                need(4, "conv name out_c kernel stride pad")?;
+                b.conv(&lname, from, nums[0], nums[1], nums[2], nums[3])
+                    .map_err(gerr)?
+            }
+            "gconv" => {
+                need(5, "gconv name out_c kernel stride pad groups")?;
+                b.conv_grouped(&lname, from, nums[0], nums[1], nums[2], nums[3], nums[4])
+                    .map_err(gerr)?
+            }
+            "dwconv" => {
+                need(3, "dwconv name kernel stride pad")?;
+                b.dw_conv(&lname, from, nums[0], nums[1], nums[2])
+                    .map_err(gerr)?
+            }
+            "maxpool" | "avgpool" => {
+                need(3, "pool name kernel stride pad")?;
+                let kind = if op == "maxpool" {
+                    PoolKind::Max
+                } else {
+                    PoolKind::Avg
+                };
+                b.pool(&lname, from, nums[0], nums[1], nums[2], kind)
+            }
+            "gap" => {
+                need(0, "gap name")?;
+                b.global_avg_pool(&lname, from)
+            }
+            "fc" => {
+                need(1, "fc name out")?;
+                b.fc(&lname, from, nums[0])
+            }
+            "add" => {
+                need(0, "add name from=a from=b")?;
+                if froms.len() != 2 {
+                    return Err(SpecError::BadArgs {
+                        line,
+                        expected: "add with exactly two from= references",
+                    });
+                }
+                let a = lookup(froms[0])?;
+                let c = lookup(froms[1])?;
+                b.add(&lname, a, c).map_err(gerr)?
+            }
+            "concat" => {
+                need(0, "concat name from=a from=b ...")?;
+                if froms.len() < 2 {
+                    return Err(SpecError::BadArgs {
+                        line,
+                        expected: "concat with two or more from= references",
+                    });
+                }
+                let parts: Vec<NodeId> = froms
+                    .iter()
+                    .map(|f| lookup(f))
+                    .collect::<Result<_, _>>()?;
+                b.concat(&lname, &parts).map_err(gerr)?
+            }
+            other => {
+                return Err(SpecError::UnknownOp {
+                    line,
+                    op: other.to_string(),
+                })
+            }
+        };
+        by_name.insert(lname, node);
+        prev = node;
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    const FIRE: &str = "\
+# a tiny fire-style model
+input 3 32 32
+conv     stem     16 3 2 1
+conv     squeeze   4 1 1 0
+conv     e1        8 1 1 0
+conv     e3        8 3 1 1  from=squeeze
+concat   cat      from=e1 from=e3
+dwconv   dw        3 1 1
+gap      pool
+fc       head     10
+";
+
+    #[test]
+    fn parses_branchy_model() {
+        let g = parse_spec("fire", FIRE).unwrap();
+        assert_eq!(g.name(), "fire");
+        // stem, squeeze, e1, e3, concat, dw, gap, fc = 8 layers.
+        assert_eq!(g.len(), 8);
+        let w = Workload::from_graph(&g);
+        // Anchors: stem, squeeze, e1, e3, dw, fc.
+        assert_eq!(w.len(), 6);
+        // The concat consumers read both expand branches.
+        let dw = w.items().iter().find(|i| i.name == "dw").unwrap();
+        assert_eq!(dw.preds.len(), 2);
+    }
+
+    #[test]
+    fn residual_spec() {
+        let g = parse_spec(
+            "res",
+            "input 4 16 16\nconv a 4 3 1 1\nconv b 4 3 1 1\nadd s from=a from=b\nconv c 8 3 2 1\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn error_reporting_is_precise() {
+        let e = parse_spec("x", "input 3 8 8\nconv a 4 3 1\n").unwrap_err();
+        assert!(matches!(e, SpecError::BadArgs { line: 2, .. }), "{e}");
+
+        let e = parse_spec("x", "input 3 8 8\nwarp a 1\n").unwrap_err();
+        assert!(matches!(e, SpecError::UnknownOp { line: 2, .. }));
+
+        let e = parse_spec("x", "input 3 8 8\nconv a 4 3 1 1\nconv a 4 3 1 1\n").unwrap_err();
+        assert!(matches!(e, SpecError::DuplicateName { line: 3, .. }));
+
+        let e = parse_spec("x", "input 3 8 8\nconv a 4 3 1 1 from=ghost\n").unwrap_err();
+        assert!(matches!(e, SpecError::UnknownLayer { line: 2, .. }));
+
+        let e = parse_spec("x", "conv a 4 3 1 1\n").unwrap_err();
+        assert_eq!(e, SpecError::MissingInput);
+    }
+
+    #[test]
+    fn graph_errors_carry_line_numbers() {
+        // Elementwise add of mismatched shapes.
+        let e = parse_spec(
+            "x",
+            "input 3 8 8\nconv a 4 3 1 1\nconv b 4 3 2 1\nadd s from=a from=b\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SpecError::Graph { line: 4, .. }), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse_spec("x", "\n# head\ninput 3 8 8\n\nconv a 4 3 1 1 # tail\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn spec_models_run_through_the_full_flow() {
+        let g = parse_spec("fire", FIRE).unwrap();
+        let w = Workload::from_graph(&g);
+        assert!(w.total_ops() > 0);
+        let all: Vec<usize> = (0..w.len()).collect();
+        assert!(w.pipelined_access(&all) < w.total_layerwise_access());
+    }
+}

@@ -1,0 +1,231 @@
+//! MobileNetV1, MobileNetV2 and EfficientNet-B0 — the depthwise-separable
+//! family whose large intermediate feature maps make them the paper's
+//! headline SPA winners (Section VI-B).
+
+use super::{imagenet_input, ZOO_DTYPE};
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// MobileNetV1 (Howard et al.), width multiplier 1.0.
+pub fn mobilenet_v1() -> Graph {
+    mobilenet_v1_width("mobilenet_v1", 4)
+}
+
+/// MobileNetV1 with a 0.5 width multiplier (`MobileNetV1-0.50`), a common
+/// edge-deployment configuration.
+pub fn mobilenet_v1_050() -> Graph {
+    mobilenet_v1_width("mobilenet_v1_050", 2)
+}
+
+/// MobileNetV1 with channel counts scaled by `scale_quarters / 4`.
+fn mobilenet_v1_width(name: &str, scale_quarters: usize) -> Graph {
+    let sc = |c: usize| (c * scale_quarters / 4).max(8);
+    let mut b = GraphBuilder::new(name, ZOO_DTYPE, imagenet_input());
+    let x = b.input();
+    let mut x = b.conv("conv1", x, sc(32), 3, 2, 1).expect("valid conv");
+    // (stride of the depthwise conv, output channels of the pointwise conv)
+    let blocks: &[(usize, usize)] = &[
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    for (i, &(s, c)) in blocks.iter().enumerate() {
+        let n = i + 1;
+        let dw = b
+            .dw_conv(format!("dw{n}"), x, 3, s, 1)
+            .expect("valid conv");
+        x = b
+            .conv(format!("pw{n}"), dw, sc(c), 1, 1, 0)
+            .expect("valid conv");
+    }
+    let g = b.global_avg_pool("avgpool", x);
+    let _ = b.fc("fc", g, 1000);
+    b.finish()
+}
+
+/// One inverted-residual (MBConv) block: 1x1 expand, depthwise `k`x`k`,
+/// 1x1 project, with a residual add when the stride is 1 and channels
+/// match.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    in_c: usize,
+    out_c: usize,
+    expand: usize,
+    kernel: usize,
+    stride: usize,
+) -> NodeId {
+    let mid = in_c * expand;
+    let mut t = x;
+    if expand != 1 {
+        t = b
+            .conv(format!("{name}_expand"), t, mid, 1, 1, 0)
+            .expect("valid conv");
+    }
+    let dw = b
+        .dw_conv(format!("{name}_dw"), t, kernel, stride, kernel / 2)
+        .expect("valid conv");
+    let proj = b
+        .conv(format!("{name}_project"), dw, out_c, 1, 1, 0)
+        .expect("valid conv");
+    if stride == 1 && in_c == out_c {
+        b.add(format!("{name}_add"), x, proj).expect("same shape")
+    } else {
+        proj
+    }
+}
+
+/// MobileNetV2 (Sandler et al.), width multiplier 1.0.
+pub fn mobilenet_v2() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v2", ZOO_DTYPE, imagenet_input());
+    let x = b.input();
+    let mut x = b.conv("conv1", x, 32, 3, 2, 1).expect("valid conv");
+    let mut in_c = 32;
+    // (expand factor t, output channels c, repeats n, first stride s)
+    let cfg: &[(usize, usize, usize, usize)] = &[
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut bi = 0;
+    for &(t, c, n, s) in cfg {
+        for r in 0..n {
+            bi += 1;
+            let stride = if r == 0 { s } else { 1 };
+            x = mbconv(&mut b, &format!("block{bi}"), x, in_c, c, t, 3, stride);
+            in_c = c;
+        }
+    }
+    x = b.conv("conv_head", x, 1280, 1, 1, 0).expect("valid conv");
+    let g = b.global_avg_pool("avgpool", x);
+    let _ = b.fc("fc", g, 1000);
+    b.finish()
+}
+
+/// EfficientNet-B0 (Tan & Le), squeeze-and-excite omitted (<1% of MACs).
+pub fn efficientnet_b0() -> Graph {
+    let mut b = GraphBuilder::new("efficientnet_b0", ZOO_DTYPE, imagenet_input());
+    let x = b.input();
+    let mut x = b.conv("stem", x, 32, 3, 2, 1).expect("valid conv");
+    let mut in_c = 32;
+    // (expand t, output channels c, repeats n, first stride s, kernel k)
+    let cfg: &[(usize, usize, usize, usize, usize)] = &[
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut bi = 0;
+    for &(t, c, n, s, k) in cfg {
+        for r in 0..n {
+            bi += 1;
+            let stride = if r == 0 { s } else { 1 };
+            x = mbconv(&mut b, &format!("mb{bi}"), x, in_c, c, t, k, stride);
+            in_c = c;
+        }
+    }
+    x = b.conv("head", x, 1280, 1, 1, 0).expect("valid conv");
+    let g = b.global_avg_pool("avgpool", x);
+    let _ = b.fc("fc", g, 1000);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use crate::workload::Workload;
+
+    #[test]
+    fn mobilenet_v1_has_13_separable_blocks() {
+        let g = mobilenet_v1();
+        let dw = g
+            .layers()
+            .iter()
+            .filter(
+                |l| matches!(l.kind, LayerKind::Conv { groups, .. } if groups > 1),
+            )
+            .count();
+        assert_eq!(dw, 13);
+        // 1 stem + 13 dw + 13 pw + 1 fc anchors.
+        assert_eq!(Workload::from_graph(&g).len(), 28);
+    }
+
+    #[test]
+    fn mobilenet_v1_final_fmap() {
+        let g = mobilenet_v1();
+        let gap = g
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::GlobalAvgPool))
+            .expect("has gap");
+        assert_eq!(gap.input_shape.c, 1024);
+        assert_eq!(gap.input_shape.h, 7);
+    }
+
+    #[test]
+    fn mobilenet_v2_has_17_blocks_and_residuals() {
+        let g = mobilenet_v2();
+        let adds = g
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Add))
+            .count();
+        // Residual adds only where stride 1 and in==out: 1+2+3+2+2 = 10.
+        assert_eq!(adds, 10);
+    }
+
+    #[test]
+    fn efficientnet_b0_block_count() {
+        let g = efficientnet_b0();
+        // 16 MBConv blocks.
+        let dw = g
+            .layers()
+            .iter()
+            .filter(
+                |l| matches!(l.kind, LayerKind::Conv { groups, .. } if groups > 1),
+            )
+            .count();
+        assert_eq!(dw, 16);
+    }
+
+    #[test]
+    fn depthwise_layers_have_low_ctc() {
+        // Depthwise convs are extremely memory-bound: the alternating
+        // high/low CTC pattern of Section II-B.
+        let w = Workload::from_graph(&mobilenet_v1());
+        let dw_ctc: Vec<f64> = w
+            .items()
+            .iter()
+            .filter(|i| i.groups > 1)
+            .map(|i| i.ctc())
+            .collect();
+        let pw_ctc: Vec<f64> = w
+            .items()
+            .iter()
+            .filter(|i| i.groups == 1 && !i.is_fc && i.kernel == 1)
+            .map(|i| i.ctc())
+            .collect();
+        let dw_mean = dw_ctc.iter().sum::<f64>() / dw_ctc.len() as f64;
+        let pw_mean = pw_ctc.iter().sum::<f64>() / pw_ctc.len() as f64;
+        assert!(pw_mean > 4.0 * dw_mean, "pw {pw_mean:.2} vs dw {dw_mean:.2}");
+    }
+}

@@ -1,0 +1,208 @@
+//! The benchmark model zoo of the paper's evaluation (Section VI-A):
+//! AlexNet, VGG16, MobileNetV1/V2, ResNet18/50/152, SqueezeNet1.0,
+//! InceptionV1 (GoogLeNet), plus EfficientNet-B0 used by the motivation
+//! figures (Figure 3).
+//!
+//! All models take a 3x224x224 int8 input frame. Squeeze-and-excite blocks
+//! of EfficientNet are omitted (sub-1% of its MACs and weight-less from the
+//! dataflow's perspective); auxiliary classifier heads of GoogLeNet are
+//! omitted as in every deployment setting.
+
+mod classic;
+mod mobilenet;
+mod resnet;
+mod squeeze_inception;
+
+pub use classic::{alexnet, alexnet_conv, vgg16, vgg19};
+pub use mobilenet::{efficientnet_b0, mobilenet_v1, mobilenet_v1_050, mobilenet_v2};
+pub use resnet::{resnet101, resnet18, resnet152, resnet34, resnet50};
+pub use squeeze_inception::{googlenet, inception_v1, squeezenet1_0};
+
+use crate::graph::Graph;
+use crate::shape::{Dtype, TensorShape};
+
+/// Standard ImageNet input frame.
+pub(crate) fn imagenet_input() -> TensorShape {
+    TensorShape::new(3, 224, 224)
+}
+
+/// Default element type for the zoo (the paper evaluates int8 designs).
+pub(crate) const ZOO_DTYPE: Dtype = Dtype::Int8;
+
+/// All nine evaluation models of Figure 12, in the paper's order.
+pub fn evaluation_models() -> Vec<Graph> {
+    vec![
+        alexnet(),
+        vgg16(),
+        mobilenet_v1(),
+        mobilenet_v2(),
+        resnet18(),
+        resnet50(),
+        resnet152(),
+        squeezenet1_0(),
+        inception_v1(),
+    ]
+}
+
+/// Looks a zoo model up by name (as reported by [`Graph::name`]).
+///
+/// Recognized names: `alexnet`, `alexnet_conv`, `vgg16`, `vgg19`,
+/// `mobilenet_v1`, `mobilenet_v1_050`, `mobilenet_v2`, `resnet18`,
+/// `resnet34`, `resnet50`, `resnet101`, `resnet152`, `squeezenet1_0`,
+/// `inception_v1` / `googlenet`, `efficientnet_b0`.
+pub fn by_name(name: &str) -> Option<Graph> {
+    Some(match name {
+        "alexnet" => alexnet(),
+        "alexnet_conv" => alexnet_conv(),
+        "vgg16" => vgg16(),
+        "vgg19" => vgg19(),
+        "mobilenet_v1" => mobilenet_v1(),
+        "mobilenet_v1_050" => mobilenet_v1_050(),
+        "mobilenet_v2" => mobilenet_v2(),
+        "resnet18" => resnet18(),
+        "resnet34" => resnet34(),
+        "resnet101" => resnet101(),
+        "resnet50" => resnet50(),
+        "resnet152" => resnet152(),
+        "squeezenet1_0" => squeezenet1_0(),
+        "inception_v1" | "googlenet" => inception_v1(),
+        "efficientnet_b0" => efficientnet_b0(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    /// Published MAC counts (per 224x224 frame), with generous tolerance:
+    /// implementations differ on padding conventions and head details.
+    #[test]
+    fn mac_counts_match_published_figures() {
+        let cases: &[(&str, f64, f64)] = &[
+            ("alexnet", 0.6e9, 0.9e9),
+            ("vgg16", 14.0e9, 16.5e9),
+            ("mobilenet_v1", 0.5e9, 0.65e9),
+            ("mobilenet_v2", 0.27e9, 0.36e9),
+            ("resnet18", 1.6e9, 2.0e9),
+            ("resnet50", 3.6e9, 4.4e9),
+            ("resnet152", 10.5e9, 12.5e9),
+            ("squeezenet1_0", 0.3e9, 0.95e9),
+            ("inception_v1", 1.3e9, 1.7e9),
+            ("efficientnet_b0", 0.32e9, 0.45e9),
+        ];
+        for &(name, lo, hi) in cases {
+            let g = by_name(name).expect("model exists");
+            let macs = g.total_ops() as f64;
+            assert!(
+                (lo..hi).contains(&macs),
+                "{name}: {macs:.3e} MACs outside [{lo:.2e}, {hi:.2e})"
+            );
+        }
+    }
+
+    /// Published parameter counts (weights), coarse sanity bounds.
+    #[test]
+    fn weight_counts_match_published_figures() {
+        let cases: &[(&str, f64, f64)] = &[
+            ("alexnet", 55e6, 65e6),
+            ("vgg16", 130e6, 140e6),
+            ("mobilenet_v1", 3.5e6, 4.5e6),
+            ("mobilenet_v2", 2.8e6, 3.8e6),
+            ("resnet18", 10e6, 13e6),
+            ("resnet50", 23e6, 27e6),
+            ("resnet152", 55e6, 62e6),
+            ("squeezenet1_0", 1.0e6, 1.5e6),
+            ("inception_v1", 5.5e6, 7.5e6),
+        ];
+        for &(name, lo, hi) in cases {
+            let g = by_name(name).expect("model exists");
+            let w = g.total_weight_bytes() as f64; // int8: 1 byte / param
+            assert!(
+                (lo..hi).contains(&w),
+                "{name}: {w:.3e} params outside [{lo:.2e}, {hi:.2e})"
+            );
+        }
+    }
+
+    #[test]
+    fn squeezenet_has_26_conv_anchors() {
+        // Figure 4 of the paper plots exactly 26 layers.
+        let w = Workload::from_graph(&squeezenet1_0());
+        assert_eq!(w.len(), 26);
+    }
+
+    #[test]
+    fn alexnet_case_study_has_10_split_convs() {
+        // Tables IV-VI use conv1_a/b .. conv5_a/b.
+        let w = Workload::from_graph(&alexnet_conv());
+        assert_eq!(w.len(), 10);
+        assert!(w.items().iter().all(|i| !i.is_fc));
+    }
+
+    #[test]
+    fn all_models_have_consistent_workloads() {
+        for g in evaluation_models() {
+            let w = Workload::from_graph(&g);
+            assert!(!w.is_empty(), "{}", g.name());
+            assert_eq!(w.total_ops(), g.total_ops(), "{}", g.name());
+            // Every non-entry item has at least one producer.
+            for item in w.items() {
+                assert!(
+                    item.extern_in_bytes > 0 || !item.preds.is_empty(),
+                    "{}: item {} is disconnected",
+                    g.name(),
+                    item.name
+                );
+                // Producers precede consumers (topological order).
+                for &(p, _) in &item.preds {
+                    assert!(p < item.index, "{}: {} reads later item", g.name(), item.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mobilenets_are_fmap_dominated() {
+        // Section VI-B: "in MobileNetV1/V2, intermediate fmaps are
+        // responsible for ~65% of the total memory footprint".
+        for g in [mobilenet_v1(), mobilenet_v2()] {
+            let w = Workload::from_graph(&g);
+            let weights: u64 = w.items().iter().map(|i| i.w_bytes).sum();
+            let fmaps: u64 = w.total_layerwise_access() - weights;
+            let frac = fmaps as f64 / w.total_layerwise_access() as f64;
+            assert!(frac > 0.55, "{}: fmap fraction {frac:.2}", g.name());
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("lenet5").is_none());
+    }
+
+    #[test]
+    fn googlenet_is_inception_v1() {
+        assert_eq!(googlenet().total_ops(), inception_v1().total_ops());
+    }
+
+    #[test]
+    fn extended_zoo_variants_scale_sensibly() {
+        // VGG19 adds 3 convs over VGG16.
+        assert!(vgg19().total_ops() > vgg16().total_ops());
+        // ResNet depth ordering.
+        assert!(resnet34().total_ops() > resnet18().total_ops());
+        assert!(resnet50().total_ops() > resnet34().total_ops());
+        assert!(resnet101().total_ops() > resnet50().total_ops());
+        assert!(resnet152().total_ops() > resnet101().total_ops());
+        // Width-halved MobileNetV1 is roughly a quarter of the MACs
+        // (channels enter MAC counts twice on pointwise layers).
+        let full = mobilenet_v1().total_ops() as f64;
+        let half = mobilenet_v1_050().total_ops() as f64;
+        assert!((0.15..0.5).contains(&(half / full)), "{}", half / full);
+        // All are resolvable by name.
+        for n in ["vgg19", "resnet34", "resnet101", "mobilenet_v1_050"] {
+            assert!(by_name(n).is_some(), "{n}");
+        }
+    }
+}

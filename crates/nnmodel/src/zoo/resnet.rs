@@ -1,0 +1,201 @@
+//! ResNet-18/50/152 (He et al.).
+
+use super::{imagenet_input, ZOO_DTYPE};
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+fn stem(b: &mut GraphBuilder) -> NodeId {
+    let x = b.input();
+    let c = b.conv("conv1", x, 64, 7, 2, 3).expect("valid conv");
+    b.pool("pool1", c, 3, 2, 1, crate::layer::PoolKind::Max)
+}
+
+fn head(b: &mut GraphBuilder, x: NodeId) {
+    let g = b.global_avg_pool("avgpool", x);
+    let _ = b.fc("fc", g, 1000);
+}
+
+/// A basic residual block (two 3x3 convs), as used by ResNet-18/34.
+fn basic_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    out_c: usize,
+    stride: usize,
+    downsample: bool,
+) -> NodeId {
+    let c1 = b
+        .conv(format!("{name}_conv1"), x, out_c, 3, stride, 1)
+        .expect("valid conv");
+    let c2 = b
+        .conv(format!("{name}_conv2"), c1, out_c, 3, 1, 1)
+        .expect("valid conv");
+    let skip = if downsample {
+        b.conv(format!("{name}_down"), x, out_c, 1, stride, 0)
+            .expect("valid conv")
+    } else {
+        x
+    };
+    b.add(format!("{name}_add"), skip, c2).expect("same shape")
+}
+
+/// A bottleneck residual block (1x1 reduce, 3x3, 1x1 expand x4), as used by
+/// ResNet-50/101/152.
+fn bottleneck_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    mid_c: usize,
+    stride: usize,
+    downsample: bool,
+) -> NodeId {
+    let out_c = mid_c * 4;
+    let c1 = b
+        .conv(format!("{name}_conv1"), x, mid_c, 1, 1, 0)
+        .expect("valid conv");
+    let c2 = b
+        .conv(format!("{name}_conv2"), c1, mid_c, 3, stride, 1)
+        .expect("valid conv");
+    let c3 = b
+        .conv(format!("{name}_conv3"), c2, out_c, 1, 1, 0)
+        .expect("valid conv");
+    let skip = if downsample {
+        b.conv(format!("{name}_down"), x, out_c, 1, stride, 0)
+            .expect("valid conv")
+    } else {
+        x
+    };
+    b.add(format!("{name}_add"), skip, c3).expect("same shape")
+}
+
+/// ResNet-18.
+pub fn resnet18() -> Graph {
+    let mut b = GraphBuilder::new("resnet18", ZOO_DTYPE, imagenet_input());
+    let mut x = stem(&mut b);
+    let stages: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 2), (512, 2)];
+    for (si, &(c, n)) in stages.iter().enumerate() {
+        for bi in 0..n {
+            let first = bi == 0;
+            let stride = if first && si > 0 { 2 } else { 1 };
+            let down = first && si > 0;
+            x = basic_block(&mut b, &format!("layer{}_{}", si + 1, bi + 1), x, c, stride, down);
+        }
+    }
+    head(&mut b, x);
+    b.finish()
+}
+
+fn resnet_bottleneck(name: &str, blocks: [usize; 4]) -> Graph {
+    let mut b = GraphBuilder::new(name, ZOO_DTYPE, imagenet_input());
+    let mut x = stem(&mut b);
+    let mids = [64usize, 128, 256, 512];
+    for (si, (&mid, &n)) in mids.iter().zip(blocks.iter()).enumerate() {
+        for bi in 0..n {
+            let first = bi == 0;
+            let stride = if first && si > 0 { 2 } else { 1 };
+            // The first block of every stage changes channel count (64 ->
+            // 256 in stage 1), so it always needs a projection shortcut.
+            let down = first;
+            x = bottleneck_block(
+                &mut b,
+                &format!("layer{}_{}", si + 1, bi + 1),
+                x,
+                mid,
+                stride,
+                down,
+            );
+        }
+    }
+    head(&mut b, x);
+    b.finish()
+}
+
+/// ResNet-34 (`[3, 4, 6, 3]` basic blocks).
+pub fn resnet34() -> Graph {
+    let mut b = GraphBuilder::new("resnet34", ZOO_DTYPE, imagenet_input());
+    let mut x = stem(&mut b);
+    let stages: &[(usize, usize)] = &[(64, 3), (128, 4), (256, 6), (512, 3)];
+    for (si, &(c, n)) in stages.iter().enumerate() {
+        for bi in 0..n {
+            let first = bi == 0;
+            let stride = if first && si > 0 { 2 } else { 1 };
+            let down = first && si > 0;
+            x = basic_block(&mut b, &format!("layer{}_{}", si + 1, bi + 1), x, c, stride, down);
+        }
+    }
+    head(&mut b, x);
+    b.finish()
+}
+
+/// ResNet-50 (`[3, 4, 6, 3]` bottleneck blocks).
+pub fn resnet50() -> Graph {
+    resnet_bottleneck("resnet50", [3, 4, 6, 3])
+}
+
+/// ResNet-101 (`[3, 4, 23, 3]` bottleneck blocks).
+pub fn resnet101() -> Graph {
+    resnet_bottleneck("resnet101", [3, 4, 23, 3])
+}
+
+/// ResNet-152 (`[3, 8, 36, 3]` bottleneck blocks).
+pub fn resnet152() -> Graph {
+    resnet_bottleneck("resnet152", [3, 8, 36, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use crate::workload::Workload;
+
+    fn conv_count(g: &Graph) -> usize {
+        g.layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+            .count()
+    }
+
+    #[test]
+    fn resnet18_structure() {
+        let g = resnet18();
+        // 1 stem + 8 blocks x 2 convs + 3 downsample projections = 20.
+        assert_eq!(conv_count(&g), 20);
+        let w = Workload::from_graph(&g);
+        // 20 convs + 1 fc.
+        assert_eq!(w.len(), 21);
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let g = resnet50();
+        // 1 stem + 16 blocks x 3 convs + 4 projections = 53.
+        assert_eq!(conv_count(&g), 53);
+    }
+
+    #[test]
+    fn resnet152_structure() {
+        let g = resnet152();
+        // 1 stem + 50 blocks x 3 convs + 4 projections = 155.
+        assert_eq!(conv_count(&g), 155);
+    }
+
+    #[test]
+    fn stage_shapes_halve() {
+        let g = resnet18();
+        // Final pre-pool fmap is 512x7x7.
+        let fc_in = g
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::GlobalAvgPool))
+            .expect("has gap");
+        assert_eq!(fc_in.input_shape.c, 512);
+        assert_eq!(fc_in.input_shape.h, 7);
+    }
+
+    #[test]
+    fn residuals_fold_without_extra_items() {
+        let g = resnet50();
+        let w = Workload::from_graph(&g);
+        // conv anchors + fc only.
+        assert_eq!(w.len(), conv_count(&g) + 1);
+    }
+}

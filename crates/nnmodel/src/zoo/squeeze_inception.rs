@@ -1,0 +1,176 @@
+//! SqueezeNet 1.0 and InceptionV1 (GoogLeNet).
+
+use super::{imagenet_input, ZOO_DTYPE};
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::layer::PoolKind;
+
+/// One Fire module: squeeze 1x1, then parallel expand 1x1 / expand 3x3,
+/// concatenated.
+fn fire(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    squeeze: usize,
+    expand1: usize,
+    expand3: usize,
+) -> NodeId {
+    let s = b
+        .conv(format!("{name}_squeeze"), x, squeeze, 1, 1, 0)
+        .expect("valid conv");
+    let e1 = b
+        .conv(format!("{name}_expand1x1"), s, expand1, 1, 1, 0)
+        .expect("valid conv");
+    let e3 = b
+        .conv(format!("{name}_expand3x3"), s, expand3, 3, 1, 1)
+        .expect("valid conv");
+    b.concat(format!("{name}_concat"), &[e1, e3])
+        .expect("same spatial")
+}
+
+/// SqueezeNet 1.0 (Iandola et al.): 26 convolution layers — conv1, eight
+/// Fire modules of three convolutions each, and conv10.
+pub fn squeezenet1_0() -> Graph {
+    let mut b = GraphBuilder::new("squeezenet1_0", ZOO_DTYPE, imagenet_input());
+    let x = b.input();
+    let c1 = b.conv("conv1", x, 96, 7, 2, 0).expect("valid conv");
+    let p1 = b.max_pool("pool1", c1, 3, 2);
+    let f2 = fire(&mut b, "fire2", p1, 16, 64, 64);
+    let f3 = fire(&mut b, "fire3", f2, 16, 64, 64);
+    let f4 = fire(&mut b, "fire4", f3, 32, 128, 128);
+    let p4 = b.max_pool("pool4", f4, 3, 2);
+    let f5 = fire(&mut b, "fire5", p4, 32, 128, 128);
+    let f6 = fire(&mut b, "fire6", f5, 48, 192, 192);
+    let f7 = fire(&mut b, "fire7", f6, 48, 192, 192);
+    let f8 = fire(&mut b, "fire8", f7, 64, 256, 256);
+    let p8 = b.max_pool("pool8", f8, 3, 2);
+    let f9 = fire(&mut b, "fire9", p8, 64, 256, 256);
+    let c10 = b.conv("conv10", f9, 1000, 1, 1, 0).expect("valid conv");
+    let _g = b.global_avg_pool("avgpool", c10);
+    b.finish()
+}
+
+/// One Inception module with the four canonical branches.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    b: &mut GraphBuilder,
+    name: &str,
+    x: NodeId,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    cp: usize,
+) -> NodeId {
+    let b1 = b
+        .conv(format!("{name}_1x1"), x, c1, 1, 1, 0)
+        .expect("valid conv");
+    let r3 = b
+        .conv(format!("{name}_3x3_reduce"), x, c3r, 1, 1, 0)
+        .expect("valid conv");
+    let b3 = b
+        .conv(format!("{name}_3x3"), r3, c3, 3, 1, 1)
+        .expect("valid conv");
+    let r5 = b
+        .conv(format!("{name}_5x5_reduce"), x, c5r, 1, 1, 0)
+        .expect("valid conv");
+    let b5 = b
+        .conv(format!("{name}_5x5"), r5, c5, 5, 1, 2)
+        .expect("valid conv");
+    let pp = b.pool(format!("{name}_pool"), x, 3, 1, 1, PoolKind::Max);
+    let bp = b
+        .conv(format!("{name}_pool_proj"), pp, cp, 1, 1, 0)
+        .expect("valid conv");
+    b.concat(format!("{name}_concat"), &[b1, b3, b5, bp])
+        .expect("same spatial")
+}
+
+/// InceptionV1 / GoogLeNet (Szegedy et al.), auxiliary heads omitted.
+pub fn inception_v1() -> Graph {
+    let mut b = GraphBuilder::new("inception_v1", ZOO_DTYPE, imagenet_input());
+    let x = b.input();
+    let c1 = b.conv("conv1", x, 64, 7, 2, 3).expect("valid conv");
+    let p1 = b.pool("pool1", c1, 3, 2, 1, PoolKind::Max);
+    let c2r = b.conv("conv2_reduce", p1, 64, 1, 1, 0).expect("valid conv");
+    let c2 = b.conv("conv2", c2r, 192, 3, 1, 1).expect("valid conv");
+    let p2 = b.pool("pool2", c2, 3, 2, 1, PoolKind::Max);
+    let i3a = inception(&mut b, "3a", p2, 64, 96, 128, 16, 32, 32);
+    let i3b = inception(&mut b, "3b", i3a, 128, 128, 192, 32, 96, 64);
+    let p3 = b.pool("pool3", i3b, 3, 2, 1, PoolKind::Max);
+    let i4a = inception(&mut b, "4a", p3, 192, 96, 208, 16, 48, 64);
+    let i4b = inception(&mut b, "4b", i4a, 160, 112, 224, 24, 64, 64);
+    let i4c = inception(&mut b, "4c", i4b, 128, 128, 256, 24, 64, 64);
+    let i4d = inception(&mut b, "4d", i4c, 112, 144, 288, 32, 64, 64);
+    let i4e = inception(&mut b, "4e", i4d, 256, 160, 320, 32, 128, 128);
+    let p4 = b.pool("pool4", i4e, 3, 2, 1, PoolKind::Max);
+    let i5a = inception(&mut b, "5a", p4, 256, 160, 320, 32, 128, 128);
+    let i5b = inception(&mut b, "5b", i5a, 384, 192, 384, 48, 128, 128);
+    let g = b.global_avg_pool("avgpool", i5b);
+    let _fc = b.fc("fc", g, 1000);
+    b.finish()
+}
+
+/// Alias for [`inception_v1`]; Table III of the paper calls the same model
+/// "GoogleNet".
+pub fn googlenet() -> Graph {
+    inception_v1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+    use crate::workload::Workload;
+
+    #[test]
+    fn squeezenet_fire_channel_math() {
+        let g = squeezenet1_0();
+        // fire2 concat output is 128 channels at 55x55 (conv1 7x7/2 no pad
+        // on 224 gives 109 -> pool 3/2 -> 54).
+        let cat = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "fire2_concat")
+            .expect("exists");
+        assert_eq!(cat.output_shape.c, 128);
+    }
+
+    #[test]
+    fn googlenet_inception_counts() {
+        let g = inception_v1();
+        let convs = g
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv { .. }))
+            .count();
+        // 3 stem convs + 9 modules x 6 convs = 57.
+        assert_eq!(convs, 57);
+        // 57 convs + 1 fc anchors.
+        assert_eq!(Workload::from_graph(&g).len(), 58);
+    }
+
+    #[test]
+    fn inception_concat_channels() {
+        let g = inception_v1();
+        let cat3a = g
+            .layers()
+            .iter()
+            .find(|l| l.name == "3a_concat")
+            .expect("exists");
+        assert_eq!(cat3a.output_shape.c, 64 + 128 + 32 + 32);
+    }
+
+    #[test]
+    fn branch_pool_folds_forward_into_projection() {
+        // The pool-proj conv of each module streams the pre-pool concat.
+        let w = Workload::from_graph(&inception_v1());
+        let proj = w
+            .items()
+            .iter()
+            .find(|i| i.name == "3a_pool_proj")
+            .expect("exists");
+        // It reads the four producers of the *previous* concat... for 3a the
+        // input is pool2 which folds back to conv2.
+        assert!(!proj.preds.is_empty());
+    }
+}

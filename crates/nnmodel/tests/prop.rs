@@ -1,0 +1,152 @@
+//! Property tests over randomly generated DNN graphs: the workload fold
+//! and the access accounting must uphold their invariants on *any* valid
+//! model, not just the zoo.
+
+use nnmodel::{analysis, Dtype, Graph, GraphBuilder, TensorShape, Workload};
+use proptest::prelude::*;
+
+/// Specification of one randomly generated block.
+#[derive(Debug, Clone)]
+enum Block {
+    Conv { out_c: usize, kernel: usize, stride: usize },
+    Separable { out_c: usize },
+    Residual { width: usize },
+    FirePair { squeeze: usize, expand: usize },
+    Pool,
+}
+
+fn block() -> impl Strategy<Value = Block> {
+    prop_oneof![
+        (1usize..=4, 0usize..3, 1usize..=2).prop_map(|(c, k, s)| Block::Conv {
+            out_c: 4 * c,
+            kernel: [1, 3, 5][k],
+            stride: s,
+        }),
+        (1usize..=4).prop_map(|c| Block::Separable { out_c: 4 * c }),
+        (1usize..=3).prop_map(|w| Block::Residual { width: 4 * w }),
+        (1usize..=2, 1usize..=3).prop_map(|(s, e)| Block::FirePair {
+            squeeze: 4 * s,
+            expand: 4 * e,
+        }),
+        Just(Block::Pool),
+    ]
+}
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(block(), 1..8).prop_map(|blocks| {
+        let mut b = GraphBuilder::new("prop", Dtype::Int8, TensorShape::new(4, 64, 64));
+        let mut x = b.input();
+        let mut idx = 0;
+        for blk in blocks {
+            idx += 1;
+            // Keep spatial extent large enough for the next block.
+            match blk {
+                Block::Conv { out_c, kernel, stride } => {
+                    x = b
+                        .conv(format!("c{idx}"), x, out_c, kernel, stride, kernel / 2)
+                        .expect("valid conv");
+                }
+                Block::Separable { out_c } => {
+                    let dw = b.dw_conv(format!("dw{idx}"), x, 3, 1, 1).expect("valid");
+                    x = b.conv(format!("pw{idx}"), dw, out_c, 1, 1, 0).expect("valid");
+                }
+                Block::Residual { width } => {
+                    let a = b
+                        .conv(format!("r{idx}a"), x, width, 3, 1, 1)
+                        .expect("valid");
+                    let c = b
+                        .conv(format!("r{idx}b"), a, width, 3, 1, 1)
+                        .expect("valid");
+                    x = b.add(format!("r{idx}s"), a, c).expect("same shape");
+                }
+                Block::FirePair { squeeze, expand } => {
+                    let s = b
+                        .conv(format!("f{idx}s"), x, squeeze, 1, 1, 0)
+                        .expect("valid");
+                    let e1 = b
+                        .conv(format!("f{idx}e1"), s, expand, 1, 1, 0)
+                        .expect("valid");
+                    let e3 = b
+                        .conv(format!("f{idx}e3"), s, expand, 3, 1, 1)
+                        .expect("valid");
+                    x = b.concat(format!("f{idx}c"), &[e1, e3]).expect("same spatial");
+                }
+                Block::Pool => {
+                    x = b.max_pool(format!("p{idx}"), x, 2, 2);
+                }
+            }
+        }
+        let _ = b.fc("fc", x, 10);
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MACs are conserved through the workload fold, and every item is
+    /// topologically wired.
+    #[test]
+    fn workload_fold_preserves_structure(g in random_graph()) {
+        let w = Workload::from_graph(&g);
+        prop_assert_eq!(w.total_ops(), g.total_ops());
+        prop_assert!(!w.is_empty());
+        for item in w.items() {
+            prop_assert!(item.extern_in_bytes > 0 || !item.preds.is_empty());
+            for &(p, bytes) in &item.preds {
+                prop_assert!(p < item.index, "{} reads later item", item.name);
+                prop_assert!(bytes > 0);
+            }
+        }
+    }
+
+    /// Pipelined access of the full model equals the irreducible floor
+    /// (weights + external inputs + terminal outputs) and never exceeds
+    /// the layerwise total.
+    #[test]
+    fn pipelined_access_bounds(g in random_graph()) {
+        let w = Workload::from_graph(&g);
+        let all: Vec<usize> = (0..w.len()).collect();
+        let pipe = w.pipelined_access(&all);
+        prop_assert!(pipe <= w.total_layerwise_access());
+        let weights: u64 = w.items().iter().map(|i| i.w_bytes).sum();
+        prop_assert!(pipe >= weights);
+    }
+
+    /// Any contiguous segmentation's total DRAM traffic sits between the
+    /// full-pipeline floor and the layerwise ceiling, and coarser
+    /// segmentations never increase traffic.
+    #[test]
+    fn segmentation_traffic_is_monotone(g in random_graph(), per in 1usize..6) {
+        let w = Workload::from_graph(&g);
+        let segs = analysis::even_segments(&w, per);
+        let total: u64 = segs.iter().map(|s| w.pipelined_access(s)).sum();
+        let all: Vec<usize> = (0..w.len()).collect();
+        prop_assert!(total >= w.pipelined_access(&all));
+        prop_assert!(total <= w.total_layerwise_access());
+        // Doubling the segment length never increases traffic.
+        let coarse = analysis::even_segments(&w, per * 2);
+        let coarse_total: u64 = coarse.iter().map(|s| w.pipelined_access(s)).sum();
+        prop_assert!(coarse_total <= total + 1); // +1 for rounding freedom
+    }
+
+    /// Per-item access equals the singleton-segment pipelined access.
+    #[test]
+    fn singleton_consistency(g in random_graph()) {
+        let w = Workload::from_graph(&g);
+        for i in 0..w.len() {
+            prop_assert_eq!(w.pipelined_access(&[i]), w.items()[i].access());
+        }
+    }
+
+    /// The CTC hierarchy holds: layerwise <= segmented <= full pipeline.
+    #[test]
+    fn ctc_hierarchy(g in random_graph(), per in 2usize..6) {
+        let w = Workload::from_graph(&g);
+        let lw = analysis::layerwise_ctc(&w);
+        let seg = analysis::segmented_ctc(&w, &analysis::even_segments(&w, per));
+        let full = analysis::full_pipeline_ctc(&w);
+        prop_assert!(seg >= lw - 1e-9);
+        prop_assert!(full >= seg - 1e-9);
+    }
+}

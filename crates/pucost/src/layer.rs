@@ -1,0 +1,184 @@
+//! Layer description consumed by the evaluator.
+
+use nnmodel::WorkItem;
+use serde::{Deserialize, Serialize};
+
+/// The shape information the cost model needs about one work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerDesc {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Kernel extent (square).
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Channel groups (`in_c` for depthwise).
+    pub groups: usize,
+    /// `true` for fully-connected layers (treated as 1x1 conv on a 1x1
+    /// spatial extent).
+    pub is_fc: bool,
+}
+
+impl LayerDesc {
+    /// Extracts the evaluator-relevant shape from a [`WorkItem`].
+    ///
+    /// Note the *anchor* output shape is reconstructed from the convolution
+    /// geometry, not the post-pool folded shape: the MACs happen at the
+    /// anchor's native resolution.
+    pub fn from_item(item: &WorkItem) -> Self {
+        if item.is_fc {
+            return Self {
+                in_c: item.in_shape.elems() as usize,
+                in_h: 1,
+                in_w: 1,
+                out_c: item.out_shape.c,
+                out_h: 1,
+                out_w: 1,
+                kernel: 1,
+                stride: 1,
+                groups: 1,
+                is_fc: true,
+            };
+        }
+        // Reconstruct the anchor conv's own output extent from ops:
+        // ops = out_c * oh * ow * (in_c / groups) * k^2.
+        let per_pixel =
+            (item.in_shape.c / item.groups) as u64 * (item.kernel * item.kernel) as u64;
+        // Folded pooling only shrinks the spatial extent, never channels,
+        // so the post-fold channel count is the anchor's own.
+        let out_c = item.out_shape.c;
+        let spatial = if per_pixel == 0 || out_c == 0 {
+            1
+        } else {
+            (item.ops / (per_pixel * out_c as u64)).max(1)
+        };
+        // Assume square anchor output.
+        let side = (spatial as f64).sqrt().round().max(1.0) as usize;
+        Self {
+            in_c: item.in_shape.c,
+            in_h: item.in_shape.h,
+            in_w: item.in_shape.w,
+            out_c,
+            out_h: side,
+            out_w: spatial as usize / side,
+            kernel: item.kernel,
+            stride: item.stride,
+            groups: item.groups.max(1),
+            is_fc: false,
+        }
+    }
+
+    /// Total MACs of the layer.
+    pub fn macs(&self) -> u64 {
+        (self.out_c as u64)
+            * (self.out_h as u64)
+            * (self.out_w as u64)
+            * (self.in_c / self.groups) as u64
+            * (self.kernel * self.kernel) as u64
+    }
+
+    /// Number of weight parameters.
+    pub fn weight_elems(&self) -> u64 {
+        (self.out_c as u64) * (self.in_c / self.groups) as u64 * (self.kernel * self.kernel) as u64
+    }
+
+    /// Input channels per group.
+    pub fn in_c_per_group(&self) -> usize {
+        (self.in_c / self.groups).max(1)
+    }
+
+    /// Output channels per group.
+    pub fn out_c_per_group(&self) -> usize {
+        (self.out_c / self.groups).max(1)
+    }
+
+    /// Minimum activation-buffer bytes: the `(K + S)` active ifmap rows of
+    /// the circular buffer (Section IV-B, Eq. 1), channel-first layout.
+    pub fn min_act_buf_bytes(&self) -> u64 {
+        ((self.kernel + self.stride) as u64)
+            .min(self.in_h as u64)
+            .saturating_mul(self.in_w as u64)
+            .saturating_mul(self.in_c as u64)
+            .max(1)
+    }
+
+    /// Minimum weight-buffer bytes for a PU with `pes` PEs: `K^2 * PE`
+    /// weights (Algorithm 1 line 10), int8.
+    pub fn min_wgt_buf_bytes(&self, pes: usize) -> u64 {
+        ((self.kernel * self.kernel * pes) as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnmodel::{zoo, Workload};
+
+    #[test]
+    fn roundtrip_macs_from_items() {
+        for g in [zoo::alexnet(), zoo::mobilenet_v2(), zoo::resnet18()] {
+            let w = Workload::from_graph(&g);
+            for item in w.items() {
+                let d = LayerDesc::from_item(item);
+                let ratio = d.macs() as f64 / item.ops.max(1) as f64;
+                assert!(
+                    (0.9..1.12).contains(&ratio),
+                    "{}::{}: desc {} vs item {}",
+                    g.name(),
+                    item.name,
+                    d.macs(),
+                    item.ops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fc_maps_to_flat_shape() {
+        let w = Workload::from_graph(&zoo::alexnet());
+        let fc = w.items().iter().find(|i| i.is_fc).unwrap();
+        let d = LayerDesc::from_item(fc);
+        assert!(d.is_fc);
+        assert_eq!(d.out_h * d.out_w, 1);
+        assert_eq!(d.macs(), fc.ops);
+    }
+
+    #[test]
+    fn depthwise_keeps_channels() {
+        let w = Workload::from_graph(&zoo::mobilenet_v1());
+        let dw = w.items().iter().find(|i| i.groups > 1).unwrap();
+        let d = LayerDesc::from_item(dw);
+        assert_eq!(d.groups, d.in_c);
+        assert_eq!(d.out_c, d.in_c);
+        assert_eq!(d.in_c_per_group(), 1);
+    }
+
+    #[test]
+    fn buffer_minimums() {
+        let d = LayerDesc {
+            in_c: 64,
+            in_h: 56,
+            in_w: 56,
+            out_c: 128,
+            out_h: 56,
+            out_w: 56,
+            kernel: 3,
+            stride: 1,
+            groups: 1,
+            is_fc: false,
+        };
+        // (K + S) = 4 rows of 56 x 64 int8.
+        assert_eq!(d.min_act_buf_bytes(), 4 * 56 * 64);
+        assert_eq!(d.min_wgt_buf_bytes(256), 9 * 256);
+    }
+}

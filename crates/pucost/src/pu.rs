@@ -1,0 +1,164 @@
+//! PU configuration and dataflow selection.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two dataflows a dataflow-hybrid PU supports (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weight-stationary: weights pinned in the PE array, activations
+    /// stream. Preferred by layers with large weight tensors.
+    WeightStationary,
+    /// Output-stationary: output pixels pinned, inputs and weights stream.
+    /// Preferred by layers with large feature maps (e.g. depthwise convs).
+    OutputStationary,
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dataflow::WeightStationary => f.write_str("WS"),
+            Dataflow::OutputStationary => f.write_str("OS"),
+        }
+    }
+}
+
+/// Configuration of one processing unit: an `rows x cols` systolic PE
+/// array plus its activation and weight buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PuConfig {
+    /// Systolic array rows (`R_n`): input channels (WS) or output columns
+    /// (OS).
+    pub rows: usize,
+    /// Systolic array columns (`C_n`): output channels in both dataflows.
+    pub cols: usize,
+    /// Activation buffer capacity in bytes (`AB[n]`).
+    pub act_buf_bytes: u64,
+    /// Weight buffer capacity in bytes (`WB[n]`).
+    pub wgt_buf_bytes: u64,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+}
+
+impl PuConfig {
+    /// A PU with the given array geometry, default 800 MHz and zero-sized
+    /// buffers (size them with [`PuConfig::with_buffers`] or the AutoSeg
+    /// allocator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "PE array dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            act_buf_bytes: 0,
+            wgt_buf_bytes: 0,
+            freq_mhz: 800.0,
+        }
+    }
+
+    /// Sets the clock frequency.
+    pub fn with_freq_mhz(mut self, mhz: f64) -> Self {
+        self.freq_mhz = mhz;
+        self
+    }
+
+    /// Sets the buffer capacities.
+    pub fn with_buffers(mut self, act_bytes: u64, wgt_bytes: u64) -> Self {
+        self.act_buf_bytes = act_bytes;
+        self.wgt_buf_bytes = wgt_bytes;
+        self
+    }
+
+    /// Number of processing elements (`rows * cols`).
+    pub fn num_pe(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Peak MAC throughput in operations per second.
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        self.num_pe() as f64 * self.freq_mhz * 1e6
+    }
+
+    /// Silicon area of this PU in um^2 (PE array plus both buffers) under
+    /// the given density model.
+    pub fn area_um2(&self, area: &crate::AreaModel) -> f64 {
+        self.num_pe() as f64 * area.pe_um2
+            + (self.act_buf_bytes + self.wgt_buf_bytes) as f64 * area.sram_um2_per_byte
+    }
+
+    /// Peak dynamic power in watts when every PE fires each cycle, from
+    /// the energy model's per-MAC cost.
+    pub fn peak_power_w(&self, energy: &crate::EnergyModel) -> f64 {
+        // pJ/MAC * MAC/s = pJ/s; 1e-12 to watts.
+        energy.mac_pj * self.peak_macs_per_sec() * 1e-12
+    }
+
+    /// Splits a PE budget into the most square `rows x cols` geometry with
+    /// `rows, cols` powers of two and `rows * cols == pes` (pes must be a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is not a positive power of two.
+    pub fn square_geometry(pes: usize) -> (usize, usize) {
+        assert!(pes > 0 && pes.is_power_of_two(), "PE count must be a power of two");
+        let log = pes.trailing_zeros() as usize;
+        let r = 1usize << (log / 2);
+        (r, pes / r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_count_and_peak() {
+        let pu = PuConfig::new(8, 16).with_freq_mhz(500.0);
+        assert_eq!(pu.num_pe(), 128);
+        assert_eq!(pu.peak_macs_per_sec(), 128.0 * 500.0 * 1e6);
+    }
+
+    #[test]
+    fn square_geometry_is_balanced() {
+        assert_eq!(PuConfig::square_geometry(1), (1, 1));
+        assert_eq!(PuConfig::square_geometry(2), (1, 2));
+        assert_eq!(PuConfig::square_geometry(64), (8, 8));
+        assert_eq!(PuConfig::square_geometry(128), (8, 16));
+        assert_eq!(PuConfig::square_geometry(2048), (32, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_non_power_of_two() {
+        PuConfig::square_geometry(96);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        PuConfig::new(0, 4);
+    }
+
+    #[test]
+    fn area_and_power_scale_with_size() {
+        let area = crate::AreaModel::tsmc28();
+        let energy = crate::EnergyModel::tsmc28();
+        let small = PuConfig::new(8, 8).with_buffers(1024, 1024);
+        let large = PuConfig::new(16, 16).with_buffers(4096, 4096);
+        assert!(large.area_um2(&area) > 3.0 * small.area_um2(&area));
+        assert!(large.peak_power_w(&energy) > small.peak_power_w(&energy));
+        // 256 PEs @ 800 MHz @ 0.25 pJ/MAC ~= 51 mW.
+        let p = large.peak_power_w(&energy);
+        assert!((0.04..0.07).contains(&p), "power {p}");
+    }
+
+    #[test]
+    fn dataflow_display() {
+        assert_eq!(Dataflow::WeightStationary.to_string(), "WS");
+        assert_eq!(Dataflow::OutputStationary.to_string(), "OS");
+    }
+}

@@ -1,0 +1,122 @@
+//! Circular activation-buffer address generation (Eq. 1 of the paper).
+
+/// Computes the activation-buffer word offset for feature-map coordinate
+/// `(c, w, h)` on a PU with `rn` array rows, for an ifmap of `ci` channels
+/// and width `wi`, under a layer with kernel `k` and stride `s`.
+///
+/// The buffer stores fmaps channel-first so either dataflow can read them
+/// without transformation, and only the `(K + S)` *active* rows are
+/// resident — row `h` wraps at `h % (K + S)`, reusing buffer space in a
+/// circular-shifted manner (Section IV-B):
+///
+/// ```text
+/// offset = floor(c / Rn) + w * ceil(Ci / Rn)
+///        + (h % (K+S)) * Wi * ceil(Ci / Rn)
+/// ```
+///
+/// Each returned offset addresses a word of `Rn` channel-parallel elements.
+///
+/// # Panics
+///
+/// Panics if any divisor parameter is zero or the coordinate is out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use spa_arch::act_offset;
+/// // 2 array rows, 8-channel x 5-wide ifmap, 3x3 kernel stride 1:
+/// // four active rows are resident at a time.
+/// let a = act_offset(3, 2, 0, 2, 8, 5, 3, 1);
+/// let b = act_offset(3, 2, 4, 2, 8, 5, 3, 1); // row 4 reuses row 0's space
+/// assert_eq!(a, b);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn act_offset(
+    c: usize,
+    w: usize,
+    h: usize,
+    rn: usize,
+    ci: usize,
+    wi: usize,
+    k: usize,
+    s: usize,
+) -> usize {
+    assert!(rn > 0 && k + s > 0, "divisors must be positive");
+    assert!(c < ci && w < wi, "coordinate out of range");
+    let words_per_pixel = ci.div_ceil(rn);
+    c / rn + w * words_per_pixel + (h % (k + s)) * wi * words_per_pixel
+}
+
+/// Number of buffer words required to hold the active rows:
+/// `(K + S) * Wi * ceil(Ci / Rn)`.
+pub fn active_words(rn: usize, ci: usize, wi: usize, k: usize, s: usize) -> usize {
+    (k + s) * wi * ci.div_ceil(rn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn offsets_fit_in_active_window() {
+        let (rn, ci, wi, k, s) = (4, 32, 14, 3, 2);
+        let cap = active_words(rn, ci, wi, k, s);
+        for h in 0..20 {
+            for w in 0..wi {
+                for c in 0..ci {
+                    assert!(act_offset(c, w, h, rn, ci, wi, k, s) < cap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_injective_over_active_rows() {
+        // Within any window of (K+S) consecutive rows, distinct
+        // (word-channel-group, w, h) triples get distinct offsets.
+        let (rn, ci, wi, k, s): (usize, usize, usize, usize, usize) = (4, 16, 7, 3, 1);
+        let mut seen = HashSet::new();
+        for h in 0..(k + s) {
+            for w in 0..wi {
+                for cg in 0..ci.div_ceil(rn) {
+                    let off = act_offset(cg * rn, w, h, rn, ci, wi, k, s);
+                    assert!(seen.insert(off), "collision at ({cg},{w},{h})");
+                }
+            }
+        }
+        assert_eq!(seen.len(), active_words(rn, ci, wi, k, s));
+    }
+
+    #[test]
+    fn rows_wrap_circularly() {
+        let (rn, ci, wi, k, s) = (2, 8, 5, 3, 1);
+        for h in 0..4 {
+            assert_eq!(
+                act_offset(0, 0, h, rn, ci, wi, k, s),
+                act_offset(0, 0, h + (k + s), rn, ci, wi, k, s)
+            );
+        }
+    }
+
+    #[test]
+    fn channels_within_word_share_offset() {
+        // Channels in the same Rn-group are read in parallel: same word.
+        let (rn, ci, wi, k, s) = (4, 16, 5, 1, 1);
+        assert_eq!(
+            act_offset(0, 2, 1, rn, ci, wi, k, s),
+            act_offset(3, 2, 1, rn, ci, wi, k, s)
+        );
+        assert_ne!(
+            act_offset(0, 2, 1, rn, ci, wi, k, s),
+            act_offset(4, 2, 1, rn, ci, wi, k, s)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        act_offset(8, 0, 0, 2, 8, 5, 3, 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Hardware resource budgets (Table II of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Implementation platform of a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// ASIC: the PE count is literal MAC units.
+    Asic,
+    /// FPGA: the PE count is DSP slices (one int8 MAC per DSP per cycle),
+    /// and on-chip memory is BRAM.
+    Fpga,
+}
+
+/// A hardware resource envelope a design must fit in.
+///
+/// For ASIC scenarios these reproduce the budgets of general DNN processors
+/// (the paper customizes an SPA accelerator *of the same resources* and
+/// compares); for FPGAs they are the device capacities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwBudget {
+    /// Budget name (e.g. `"eyeriss"`).
+    pub name: String,
+    /// Platform kind.
+    pub platform: Platform,
+    /// MAC units (ASIC) or DSP slices (FPGA).
+    pub pes: usize,
+    /// On-chip memory capacity in bytes.
+    pub on_chip_bytes: u64,
+    /// DRAM bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+}
+
+/// Bytes in one BRAM36K block (36 Kbit = 4.5 KB; 4 KB usable for byte-wide
+/// data ports is the conventional accounting).
+pub(crate) const BRAM36K_BYTES: u64 = 4096;
+
+impl HwBudget {
+    /// Eyeriss (dense) budget: 192 PEs, 123 KB, 25 GB/s @ 200 MHz.
+    pub fn eyeriss() -> Self {
+        Self {
+            name: "eyeriss".into(),
+            platform: Platform::Asic,
+            pes: 192,
+            on_chip_bytes: 123 * 1024,
+            bandwidth_gbps: 25.0,
+            freq_mhz: 200.0,
+        }
+    }
+
+    /// NVDLA-Small budget: 256 PEs, 256 KB, 5 GB/s @ 1 GHz.
+    pub fn nvdla_small() -> Self {
+        Self {
+            name: "nvdla-small".into(),
+            platform: Platform::Asic,
+            pes: 256,
+            on_chip_bytes: 256 * 1024,
+            bandwidth_gbps: 5.0,
+            freq_mhz: 1000.0,
+        }
+    }
+
+    /// NVDLA-Large budget: 2048 PEs, 512 KB, 20 GB/s @ 1.37 GHz (the
+    /// configuration whose 5.6 int8 TOPs and 280 OPs/Byte ridge point
+    /// Section II cites).
+    pub fn nvdla_large() -> Self {
+        Self {
+            name: "nvdla-large".into(),
+            platform: Platform::Asic,
+            pes: 2048,
+            on_chip_bytes: 512 * 1024,
+            bandwidth_gbps: 20.0,
+            freq_mhz: 1370.0,
+        }
+    }
+
+    /// EdgeTPU budget: 8192 PEs, 8 MB, 0.5 GB/s @ 500 MHz.
+    pub fn edge_tpu() -> Self {
+        Self {
+            name: "edge-tpu".into(),
+            platform: Platform::Asic,
+            pes: 8192,
+            on_chip_bytes: 8192 * 1024,
+            bandwidth_gbps: 0.5,
+            freq_mhz: 500.0,
+        }
+    }
+
+    /// Avnet Ultra96 (Xilinx XAZU3EG): 360 DSPs, 216 BRAM36K, 3.5 GB/s
+    /// @ 300 MHz.
+    pub fn zu3eg() -> Self {
+        Self {
+            name: "zu3eg".into(),
+            platform: Platform::Fpga,
+            pes: 360,
+            on_chip_bytes: 216 * BRAM36K_BYTES,
+            bandwidth_gbps: 3.5,
+            freq_mhz: 300.0,
+        }
+    }
+
+    /// Xilinx ZC706 (XC7Z045): 900 DSPs, 545 BRAM36K, 5.3 GB/s @ 200 MHz.
+    pub fn z7045() -> Self {
+        Self {
+            name: "7z045".into(),
+            platform: Platform::Fpga,
+            pes: 900,
+            on_chip_bytes: 545 * BRAM36K_BYTES,
+            bandwidth_gbps: 5.3,
+            freq_mhz: 200.0,
+        }
+    }
+
+    /// AlphaData 8K5 (XCKU115): 5520 DSPs, 2160 BRAM36K, 19.2 GB/s
+    /// @ 200 MHz.
+    pub fn ku115() -> Self {
+        Self {
+            name: "ku115".into(),
+            platform: Platform::Fpga,
+            pes: 5520,
+            on_chip_bytes: 2160 * BRAM36K_BYTES,
+            bandwidth_gbps: 19.2,
+            freq_mhz: 200.0,
+        }
+    }
+
+    /// The four ASIC scenarios of Figure 12, in the paper's order.
+    pub fn asic_suite() -> Vec<Self> {
+        vec![
+            Self::eyeriss(),
+            Self::nvdla_small(),
+            Self::nvdla_large(),
+            Self::edge_tpu(),
+        ]
+    }
+
+    /// The three FPGA devices of Table III.
+    pub fn fpga_suite() -> Vec<Self> {
+        vec![Self::zu3eg(), Self::z7045(), Self::ku115()]
+    }
+
+    /// Peak compute performance in MAC/s (1 MAC per PE per cycle).
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        self.pes as f64 * self.freq_mhz * 1e6
+    }
+
+    /// Peak performance in OP/s (2 OPs per MAC, the paper's convention).
+    pub fn peak_ops_per_sec(&self) -> f64 {
+        2.0 * self.peak_macs_per_sec()
+    }
+
+    /// Roofline ridge point in OPs per byte (Figure 2): the minimum CTC
+    /// ratio at which the budget reaches peak performance.
+    pub fn ridge_ops_per_byte(&self) -> f64 {
+        self.peak_ops_per_sec() / (self.bandwidth_gbps * 1e9)
+    }
+
+    /// Attainable performance (OP/s) of a workload with CTC ratio
+    /// `macs_per_byte` under this budget's roofline.
+    pub fn roofline_ops_per_sec(&self, macs_per_byte: f64) -> f64 {
+        // The roofline is stated in OPs; CTC in MACs/byte contributes 2 OPs
+        // per MAC.
+        let ops_per_byte = 2.0 * macs_per_byte;
+        (self.bandwidth_gbps * 1e9 * ops_per_byte).min(self.peak_ops_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_presets() {
+        let e = HwBudget::eyeriss();
+        assert_eq!((e.pes, e.on_chip_bytes), (192, 123 * 1024));
+        let nl = HwBudget::nvdla_large();
+        assert_eq!(nl.pes, 2048);
+        assert_eq!(nl.bandwidth_gbps, 20.0);
+        let k = HwBudget::ku115();
+        assert_eq!(k.platform, Platform::Fpga);
+        assert_eq!(k.on_chip_bytes, 2160 * 4096);
+    }
+
+    #[test]
+    fn nvdla_large_ridge_matches_paper() {
+        // Section II: NVDLA has 5.6 TOPs and 20 GB/s -> 280 OPs/Byte.
+        let b = HwBudget::nvdla_large();
+        assert!((b.peak_ops_per_sec() / 1e12 - 5.6).abs() < 0.1);
+        assert!((b.ridge_ops_per_byte() - 280.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn edge_tpu_is_severely_memory_bound() {
+        let b = HwBudget::edge_tpu();
+        assert!(b.ridge_ops_per_byte() > 10_000.0);
+    }
+
+    #[test]
+    fn roofline_clamps_at_peak() {
+        let b = HwBudget::eyeriss();
+        let low = b.roofline_ops_per_sec(0.5);
+        let high = b.roofline_ops_per_sec(1e9);
+        assert!(low < high);
+        assert_eq!(high, b.peak_ops_per_sec());
+        // Below the ridge, performance is bandwidth * ops-per-byte.
+        assert!((low - 0.5 * 2.0 * 25.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(HwBudget::asic_suite().len(), 4);
+        assert_eq!(HwBudget::fpga_suite().len(), 3);
+    }
+}

@@ -1,0 +1,367 @@
+//! A complete customized SPA accelerator.
+
+use crate::budget::{HwBudget, Platform, BRAM36K_BYTES};
+use crate::schedule::SegmentSchedule;
+use benes::{BenesNetwork, Demand, PrunedFabric, RouteError, Routing};
+use nnmodel::Workload;
+use pucost::{Dataflow, PuConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when assembling or checking a design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignError {
+    /// The per-PU dataflow table does not match the pipeline/segment shape.
+    DataflowShape {
+        /// Expected `(n_pus, n_segments)`.
+        expected: (usize, usize),
+        /// Found shape.
+        found: (usize, usize),
+    },
+    /// A segment's inter-PU traffic could not be routed on the fabric.
+    FabricUnroutable {
+        /// Segment index.
+        segment: usize,
+        /// Underlying routing failure.
+        source: RouteError,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::DataflowShape { expected, found } => write!(
+                f,
+                "dataflow table is {}x{}, expected {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            DesignError::FabricUnroutable { segment, source } => {
+                write!(f, "segment {segment}: fabric routing failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DesignError::FabricUnroutable { source, .. } => Some(source),
+            DesignError::DataflowShape { .. } => None,
+        }
+    }
+}
+
+/// Resource consumption of a design, in budget units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Total PEs (ASIC) / DSPs (FPGA) across PUs, times the batch factor.
+    pub pes: usize,
+    /// Total on-chip buffer bytes, times the batch factor. For FPGA
+    /// targets this is rounded up to whole BRAM36K blocks per buffer.
+    pub on_chip_bytes: u64,
+}
+
+/// A customized segment-grained pipeline accelerator: the output of the
+/// AutoSeg co-design engine and the input of the simulators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaDesign {
+    /// Design name (typically `<model>@<budget>`).
+    pub name: String,
+    /// The PU pipeline.
+    pub pus: Vec<PuConfig>,
+    /// Model segmentation and layer binding.
+    pub schedule: SegmentSchedule,
+    /// Chosen dataflow per `[pu][segment]` (Algorithm 1's `DF[n][s]`).
+    pub dataflows: Vec<Vec<Dataflow>>,
+    /// Frame-level batch replication factor (Algorithm 1 lines 13–16; 1
+    /// for latency-oriented designs).
+    pub batch: usize,
+    /// DRAM bandwidth available to the design (GB/s).
+    pub bandwidth_gbps: f64,
+    /// Implementation platform.
+    pub platform: Platform,
+}
+
+impl SpaDesign {
+    /// Number of PUs in the pipeline.
+    pub fn n_pus(&self) -> usize {
+        self.pus.len()
+    }
+
+    /// The design's segments.
+    pub fn segments(&self) -> &[crate::schedule::Segment] {
+        &self.schedule.segments
+    }
+
+    /// Total PEs across the pipeline (one batch replica).
+    pub fn total_pes(&self) -> usize {
+        self.pus.iter().map(PuConfig::num_pe).sum()
+    }
+
+    /// Checks the dataflow table shape and validates the schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::DataflowShape`] on a malformed dataflow table;
+    /// schedule constraint violations surface as a panic-free error from
+    /// [`SegmentSchedule::validate`] wrapped in an `Err` by the caller
+    /// (kept separate since the error types differ).
+    pub fn check_shape(&self) -> Result<(), DesignError> {
+        let expected = (self.n_pus(), self.schedule.len());
+        let rows = self.dataflows.len();
+        let cols = self.dataflows.first().map_or(0, Vec::len);
+        if rows != expected.0 || self.dataflows.iter().any(|r| r.len() != expected.1) {
+            return Err(DesignError::DataflowShape {
+                expected,
+                found: (rows, cols),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resource usage in budget units (includes the batch factor).
+    pub fn resources(&self) -> ResourceUsage {
+        let pes = self.total_pes() * self.batch;
+        let bytes_one: u64 = self
+            .pus
+            .iter()
+            .map(|p| match self.platform {
+                Platform::Asic => p.act_buf_bytes + p.wgt_buf_bytes,
+                Platform::Fpga => {
+                    // Each buffer occupies whole BRAM blocks.
+                    let blocks = p.act_buf_bytes.div_ceil(BRAM36K_BYTES)
+                        + p.wgt_buf_bytes.div_ceil(BRAM36K_BYTES);
+                    blocks * BRAM36K_BYTES
+                }
+            })
+            .sum();
+        ResourceUsage {
+            pes,
+            on_chip_bytes: bytes_one * self.batch as u64,
+        }
+    }
+
+    /// `true` if the design fits in `budget`.
+    pub fn fits(&self, budget: &HwBudget) -> bool {
+        let r = self.resources();
+        r.pes <= budget.pes && r.on_chip_bytes <= budget.on_chip_bytes
+    }
+
+    /// The inter-PU fabric sized for this pipeline.
+    pub fn fabric(&self) -> BenesNetwork {
+        BenesNetwork::new(self.n_pus().max(2))
+    }
+
+    /// Estimated silicon area of the design in mm^2 (PEs + buffers +
+    /// pruned fabric), for ASIC reporting. `area` supplies the PE/SRAM
+    /// densities; the fabric is costed after pruning against `workload`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpaDesign::segment_routings`].
+    pub fn area_mm2(
+        &self,
+        workload: &Workload,
+        area: &pucost::AreaModel,
+    ) -> Result<f64, DesignError> {
+        let pe_um2: f64 = self.total_pes() as f64 * area.pe_um2;
+        let sram_um2: f64 = self
+            .pus
+            .iter()
+            .map(|p| (p.act_buf_bytes + p.wgt_buf_bytes) as f64 * area.sram_um2_per_byte)
+            .sum();
+        let net = self.fabric();
+        let fabric_um2 = self
+            .pruned_fabric(workload)?
+            .cost(8, net.stages(), &benes::FabricCostModel::tsmc28())
+            .area_um2;
+        Ok((pe_um2 + sram_um2 + fabric_um2) * self.batch as f64 / 1e6)
+    }
+
+    /// Routes every segment's inter-PU traffic on the fabric.
+    ///
+    /// A consumer PU with several producers (e.g. a concatenation whose
+    /// parts live on different PUs) needs more simultaneous transfers than
+    /// a circuit-switched network can carry; such demand sets are split
+    /// into sequential *configuration phases* — each phase conflict-free —
+    /// exactly as the clockless fabric would be reprogrammed between
+    /// pieces. The returned list therefore holds one routing per
+    /// configuration (at least one per segment, possibly more).
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::FabricUnroutable`] if some phase's pattern exceeds
+    /// the fabric's (multicast) capacity.
+    pub fn segment_routings(&self, workload: &Workload) -> Result<Vec<Routing>, DesignError> {
+        let net = self.fabric();
+        let mut routings = Vec::with_capacity(self.schedule.len());
+        for s in 0..self.schedule.len() {
+            let mut remaining: Vec<Demand> = self
+                .schedule
+                .fabric_demands(workload, s)
+                .into_iter()
+                .map(|(src, dsts)| Demand::multicast(src, dsts))
+                .collect();
+            if remaining.is_empty() {
+                let routing = net
+                    .route(&[])
+                    .map_err(|source| DesignError::FabricUnroutable { segment: s, source })?;
+                routings.push(routing);
+                continue;
+            }
+            while !remaining.is_empty() {
+                let mut used_dst = std::collections::HashSet::new();
+                let mut phase = Vec::new();
+                let mut next = Vec::new();
+                for d in remaining {
+                    let (now, later): (Vec<usize>, Vec<usize>) =
+                        d.dsts.iter().partition(|o| used_dst.insert(**o));
+                    if !now.is_empty() {
+                        phase.push(Demand::multicast(d.src, now));
+                    }
+                    if !later.is_empty() {
+                        next.push(Demand::multicast(d.src, later));
+                    }
+                }
+                debug_assert!(!phase.is_empty(), "phase splitting always progresses");
+                let routing = net
+                    .route(&phase)
+                    .map_err(|source| DesignError::FabricUnroutable { segment: s, source })?;
+                routings.push(routing);
+                remaining = next;
+            }
+        }
+        Ok(routings)
+    }
+
+    /// Prunes the fabric to exactly the hardware this design's segments
+    /// exercise (Figure 10).
+    ///
+    /// # Errors
+    ///
+    /// See [`SpaDesign::segment_routings`].
+    pub fn pruned_fabric(&self, workload: &Workload) -> Result<PrunedFabric, DesignError> {
+        let routings = self.segment_routings(workload)?;
+        let refs: Vec<&Routing> = routings.iter().collect();
+        Ok(self.fabric().prune(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Assignment, Segment};
+    use nnmodel::{Dtype, GraphBuilder, TensorShape, Workload};
+
+    fn chain_workload(n: usize) -> Workload {
+        let mut b = GraphBuilder::new("w", Dtype::Int8, TensorShape::new(4, 16, 16));
+        let mut x = b.input();
+        for i in 0..n {
+            x = b.conv(format!("c{i}"), x, 8, 3, 1, 1).unwrap();
+        }
+        Workload::from_graph(&b.finish())
+    }
+
+    fn design(w: &Workload, n_pus: usize, n_segs: usize) -> SpaDesign {
+        let per = w.len() / n_segs;
+        let segments: Vec<Segment> = (0..n_segs)
+            .map(|s| Segment {
+                // Contiguous split: first chunk on PU0, next on PU1, ...
+                // (an alternating split would violate Eq. 4).
+                assignments: (0..per)
+                    .map(|k| Assignment {
+                        item: s * per + k,
+                        pu: (k * n_pus) / per,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let schedule = SegmentSchedule::new(segments, n_pus, w).unwrap();
+        SpaDesign {
+            name: "test".into(),
+            pus: (0..n_pus)
+                .map(|_| PuConfig::new(4, 8).with_buffers(4096, 2048))
+                .collect(),
+            schedule,
+            dataflows: vec![vec![Dataflow::WeightStationary; n_segs]; n_pus],
+            batch: 1,
+            bandwidth_gbps: 10.0,
+            platform: Platform::Asic,
+        }
+    }
+
+    #[test]
+    fn resources_sum_pus() {
+        let w = chain_workload(8);
+        let d = design(&w, 2, 2);
+        let r = d.resources();
+        assert_eq!(r.pes, 2 * 32);
+        assert_eq!(r.on_chip_bytes, 2 * (4096 + 2048));
+    }
+
+    #[test]
+    fn batch_multiplies_resources() {
+        let w = chain_workload(8);
+        let mut d = design(&w, 2, 2);
+        d.batch = 3;
+        assert_eq!(d.resources().pes, 3 * 64);
+    }
+
+    #[test]
+    fn fpga_rounds_buffers_to_bram() {
+        let w = chain_workload(8);
+        let mut d = design(&w, 2, 2);
+        d.platform = Platform::Fpga;
+        // 4096 -> 1 block, 2048 -> 1 block (rounded up): 2 blocks per PU.
+        assert_eq!(d.resources().on_chip_bytes, 2 * 2 * 4096);
+    }
+
+    #[test]
+    fn fits_checks_both_axes() {
+        let w = chain_workload(8);
+        let d = design(&w, 2, 2);
+        let mut b = HwBudget::eyeriss();
+        assert!(d.fits(&b));
+        b.pes = 10;
+        assert!(!d.fits(&b));
+    }
+
+    #[test]
+    fn segment_routings_cover_pipeline_edges() {
+        let w = chain_workload(8);
+        let d = design(&w, 2, 2);
+        let routings = d.segment_routings(&w).unwrap();
+        assert_eq!(routings.len(), 2);
+        // Each segment has one PU0 -> PU1 crossing.
+        let net = d.fabric();
+        assert_eq!(net.trace(&routings[0], 0), vec![1]);
+        let pruned = d.pruned_fabric(&w).unwrap();
+        assert!(pruned.nodes() <= d.fabric().num_nodes());
+    }
+
+    #[test]
+    fn area_accounts_pes_buffers_and_fabric() {
+        let w = chain_workload(8);
+        let d = design(&w, 2, 2);
+        let area = d.area_mm2(&w, &pucost::AreaModel::tsmc28()).unwrap();
+        // 64 PEs * 580 um2 + 12 KB SRAM * 0.6 um2/B ~= 0.045 mm2.
+        assert!(area > 0.01 && area < 1.0, "area {area}");
+        // Batch scales area linearly.
+        let mut d2 = design(&w, 2, 2);
+        d2.batch = 2;
+        let area2 = d2.area_mm2(&w, &pucost::AreaModel::tsmc28()).unwrap();
+        assert!((area2 / area - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataflow_shape_checked() {
+        let w = chain_workload(8);
+        let mut d = design(&w, 2, 2);
+        d.check_shape().unwrap();
+        d.dataflows.pop();
+        assert!(matches!(
+            d.check_shape(),
+            Err(DesignError::DataflowShape { .. })
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! The SPA hardware template (Section IV of DeepBurning-SEG).
+//!
+//! This crate is the shared architecture vocabulary of the workspace:
+//!
+//! * [`HwBudget`] — resource envelopes (#PE/#DSP, on-chip memory, DRAM
+//!   bandwidth, clock) with the paper's Table II presets (Eyeriss,
+//!   NVDLA-Small/Large, EdgeTPU, and the ZU3EG / 7Z045 / KU115 FPGAs);
+//! * [`SegmentSchedule`] — a model segmentation plus layer-to-PU binding,
+//!   with validation of the paper's MIP constraints (Eq. 2–4);
+//! * [`SpaDesign`] — a complete customized accelerator: PU pipeline,
+//!   per-segment dataflows, batch factor and the pruned Benes fabric;
+//! * [`act_offset`] — the circular activation-buffer address generator of
+//!   Eq. 1.
+//!
+//! # Example
+//!
+//! ```
+//! use spa_arch::HwBudget;
+//!
+//! let b = HwBudget::eyeriss();
+//! assert_eq!(b.pes, 192);
+//! // Ridge point of the roofline (Figure 2): OPs per byte needed to reach
+//! // peak performance.
+//! assert!(b.ridge_ops_per_byte() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod address;
+mod budget;
+mod design;
+mod schedule;
+
+pub use address::{act_offset, active_words};
+pub use budget::{HwBudget, Platform};
+pub use design::{DesignError, ResourceUsage, SpaDesign};
+pub use schedule::{Assignment, ScheduleError, Segment, SegmentSchedule};

@@ -1,0 +1,456 @@
+//! Segment schedules: the model-segmentation output (which items form each
+//! segment and which PU runs each item), with validation of the paper's
+//! MIP constraints (Eq. 2–4).
+
+use nnmodel::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One item-to-PU binding inside a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Workload item index.
+    pub item: usize,
+    /// PU index in the pipeline.
+    pub pu: usize,
+}
+
+/// One model segment: the set of items executed concurrently on the PU
+/// pipeline during one timeslot (Figure 8).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Segment {
+    /// Item-to-PU bindings (multiple items may share a PU; they execute
+    /// alternately, like L6/L7 in Figure 8).
+    pub assignments: Vec<Assignment>,
+}
+
+impl Segment {
+    /// Items assigned to PU `pu`.
+    pub fn items_on(&self, pu: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .filter(|a| a.pu == pu)
+            .map(|a| a.item)
+            .collect()
+    }
+
+    /// All item indices in this segment.
+    pub fn items(&self) -> Vec<usize> {
+        self.assignments.iter().map(|a| a.item).collect()
+    }
+}
+
+/// Violation of the segmentation constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// An item appears zero or more than one time (Eq. 2, first row).
+    ItemCoverage {
+        /// The item in question.
+        item: usize,
+        /// How many times it was assigned.
+        times: usize,
+    },
+    /// A PU received no item in some segment (Eq. 2, second row).
+    IdlePu {
+        /// Segment index.
+        segment: usize,
+        /// The idle PU.
+        pu: usize,
+    },
+    /// A consumer was scheduled in an earlier segment than its producer
+    /// (Eq. 3).
+    BackwardDependency {
+        /// Producing item.
+        producer: usize,
+        /// Consuming item.
+        consumer: usize,
+    },
+    /// Two PUs exchange data in both directions within one segment (Eq. 4).
+    BidirectionalFlow {
+        /// Segment index.
+        segment: usize,
+        /// The PU pair.
+        pus: (usize, usize),
+    },
+    /// An assignment referenced a PU outside the pipeline.
+    PuOutOfRange {
+        /// The offending PU index.
+        pu: usize,
+        /// Pipeline width.
+        n_pus: usize,
+    },
+    /// An assignment referenced an item outside the workload.
+    ItemOutOfRange {
+        /// The offending item index.
+        item: usize,
+        /// Workload size.
+        n_items: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::ItemCoverage { item, times } => {
+                write!(f, "item {item} assigned {times} times (must be exactly 1)")
+            }
+            ScheduleError::IdlePu { segment, pu } => {
+                write!(f, "PU {pu} has no work in segment {segment}")
+            }
+            ScheduleError::BackwardDependency { producer, consumer } => write!(
+                f,
+                "consumer item {consumer} scheduled before its producer {producer}"
+            ),
+            ScheduleError::BidirectionalFlow { segment, pus } => write!(
+                f,
+                "PUs {} and {} exchange data in both directions in segment {segment}",
+                pus.0, pus.1
+            ),
+            ScheduleError::PuOutOfRange { pu, n_pus } => {
+                write!(f, "PU {pu} out of range for a {n_pus}-PU pipeline")
+            }
+            ScheduleError::ItemOutOfRange { item, n_items } => {
+                write!(f, "item {item} out of range for a {n_items}-item workload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete segmentation: ordered segments over a fixed-width PU
+/// pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSchedule {
+    /// Segments in execution order.
+    pub segments: Vec<Segment>,
+    /// Pipeline width (number of PUs).
+    pub n_pus: usize,
+}
+
+impl SegmentSchedule {
+    /// Builds a schedule and validates it against `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ScheduleError`] constraint violation.
+    pub fn new(
+        segments: Vec<Segment>,
+        n_pus: usize,
+        workload: &Workload,
+    ) -> Result<Self, ScheduleError> {
+        let s = Self { segments, n_pus };
+        s.validate(workload)?;
+        Ok(s)
+    }
+
+    /// Checks the Eq. 2–4 constraints against `workload`.
+    ///
+    /// # Errors
+    ///
+    /// The first violated constraint.
+    pub fn validate(&self, workload: &Workload) -> Result<(), ScheduleError> {
+        let n_items = workload.len();
+        let mut seen = vec![0usize; n_items];
+        let mut seg_of = vec![usize::MAX; n_items];
+        let mut pu_of = vec![usize::MAX; n_items];
+        for (si, seg) in self.segments.iter().enumerate() {
+            let mut pu_hit = vec![false; self.n_pus];
+            for a in &seg.assignments {
+                if a.item >= n_items {
+                    return Err(ScheduleError::ItemOutOfRange {
+                        item: a.item,
+                        n_items,
+                    });
+                }
+                if a.pu >= self.n_pus {
+                    return Err(ScheduleError::PuOutOfRange {
+                        pu: a.pu,
+                        n_pus: self.n_pus,
+                    });
+                }
+                seen[a.item] += 1;
+                seg_of[a.item] = si;
+                pu_of[a.item] = a.pu;
+                pu_hit[a.pu] = true;
+            }
+            if let Some(pu) = pu_hit.iter().position(|&h| !h) {
+                return Err(ScheduleError::IdlePu { segment: si, pu });
+            }
+        }
+        if let Some(item) = seen.iter().position(|&t| t != 1) {
+            return Err(ScheduleError::ItemCoverage {
+                item,
+                times: seen[item],
+            });
+        }
+        // Eq. 3: dependencies never point backward across segments; Eq. 4:
+        // no bidirectional PU pairs within a segment.
+        let mut flow = vec![vec![false; self.n_pus]; self.n_pus];
+        for (si, _) in self.segments.iter().enumerate() {
+            for f in flow.iter_mut().flatten() {
+                *f = false;
+            }
+            for item in workload.items() {
+                if seg_of[item.index] != si {
+                    continue;
+                }
+                for &(p, _) in &item.preds {
+                    if seg_of[p] > si {
+                        return Err(ScheduleError::BackwardDependency {
+                            producer: p,
+                            consumer: item.index,
+                        });
+                    }
+                    if seg_of[p] == si {
+                        let (from, to) = (pu_of[p], pu_of[item.index]);
+                        if from != to {
+                            if flow[to][from] {
+                                return Err(ScheduleError::BidirectionalFlow {
+                                    segment: si,
+                                    pus: (from.min(to), from.max(to)),
+                                });
+                            }
+                            flow[from][to] = true;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// `true` if there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The inter-PU communication demands of segment `s`: `(from_pu,
+    /// to_pus)` pairs derived from intra-segment data dependencies — the
+    /// fabric wiring the Benes network must realize for this timeslot.
+    pub fn fabric_demands(&self, workload: &Workload, s: usize) -> Vec<(usize, Vec<usize>)> {
+        let seg = &self.segments[s];
+        let mut pu_of = std::collections::HashMap::new();
+        for a in &seg.assignments {
+            pu_of.insert(a.item, a.pu);
+        }
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); self.n_pus];
+        for a in &seg.assignments {
+            let item = &workload.items()[a.item];
+            for &(p, _) in &item.preds {
+                if let Some(&from) = pu_of.get(&p) {
+                    if from != a.pu && !fanout[from].contains(&a.pu) {
+                        fanout[from].push(a.pu);
+                    }
+                }
+            }
+        }
+        fanout
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(src, mut v)| {
+                v.sort_unstable();
+                (src, v)
+            })
+            .collect()
+    }
+
+    /// Per-PU operation counts of segment `s` — the numerator of the
+    /// paper's operation-distribution vector `V_s` (Eq. 10).
+    pub fn pu_ops(&self, workload: &Workload, s: usize) -> Vec<u64> {
+        let mut ops = vec![0u64; self.n_pus];
+        for a in &self.segments[s].assignments {
+            ops[a.pu] += workload.items()[a.item].ops;
+        }
+        ops
+    }
+
+    /// Renders the schedule as a Figure-6-style table: one row per PU, one
+    /// column per segment, cells listing the bound layer names.
+    ///
+    /// ```text
+    /// PU-1 | L1          | L5+L6
+    /// PU-2 | L2+L3+L4    | L7
+    /// ```
+    pub fn render(&self, workload: &Workload) -> String {
+        use std::fmt::Write as _;
+        let cell = |pu: usize, s: usize| -> String {
+            let names: Vec<String> = self.segments[s]
+                .items_on(pu)
+                .iter()
+                .map(|&i| workload.items()[i].name.clone())
+                .collect();
+            if names.is_empty() {
+                "-".to_string()
+            } else {
+                names.join("+")
+            }
+        };
+        let mut widths = vec![0usize; self.len()];
+        for (s, w) in widths.iter_mut().enumerate() {
+            for pu in 0..self.n_pus {
+                *w = (*w).max(cell(pu, s).len());
+            }
+            *w = (*w).max(format!("segment {}", s + 1).len());
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "");
+        for (s, w) in widths.iter().enumerate() {
+            let _ = write!(out, " | {:w$}", format!("segment {}", s + 1), w = w);
+        }
+        out.push('\n');
+        for pu in 0..self.n_pus {
+            let _ = write!(out, "PU-{:<3}", pu + 1);
+            for (s, w) in widths.iter().enumerate() {
+                let _ = write!(out, " | {:w$}", cell(pu, s), w = w);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnmodel::{Dtype, GraphBuilder, TensorShape, Workload};
+
+    /// A 6-conv chain workload.
+    fn chain6() -> Workload {
+        let mut b = GraphBuilder::new("c6", Dtype::Int8, TensorShape::new(4, 16, 16));
+        let mut x = b.input();
+        for i in 0..6 {
+            x = b.conv(format!("c{i}"), x, 8, 3, 1, 1).unwrap();
+        }
+        Workload::from_graph(&b.finish())
+    }
+
+    fn seg(pairs: &[(usize, usize)]) -> Segment {
+        Segment {
+            assignments: pairs
+                .iter()
+                .map(|&(item, pu)| Assignment { item, pu })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn valid_two_segment_schedule() {
+        let w = chain6();
+        let s = SegmentSchedule::new(
+            vec![seg(&[(0, 0), (1, 1), (2, 1)]), seg(&[(3, 0), (4, 1), (5, 1)])],
+            2,
+            &w,
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pu_ops(&w, 0).len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_and_missing_items() {
+        let w = chain6();
+        let dup = SegmentSchedule::new(
+            vec![seg(&[(0, 0), (0, 1)]), seg(&[(1, 0), (2, 1), (3, 0), (4, 1), (5, 0)])],
+            2,
+            &w,
+        );
+        assert!(matches!(dup, Err(ScheduleError::ItemCoverage { .. })));
+    }
+
+    #[test]
+    fn rejects_idle_pu() {
+        let w = chain6();
+        let r = SegmentSchedule::new(
+            vec![seg(&[(0, 0), (1, 0), (2, 0)]), seg(&[(3, 0), (4, 1), (5, 1)])],
+            2,
+            &w,
+        );
+        assert_eq!(
+            r,
+            Err(ScheduleError::IdlePu {
+                segment: 0,
+                pu: 1
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_backward_dependency() {
+        let w = chain6();
+        let r = SegmentSchedule::new(
+            vec![seg(&[(3, 0), (4, 1), (5, 1)]), seg(&[(0, 0), (1, 1), (2, 1)])],
+            2,
+            &w,
+        );
+        assert!(matches!(r, Err(ScheduleError::BackwardDependency { .. })));
+    }
+
+    #[test]
+    fn rejects_bidirectional_flow() {
+        let w = chain6();
+        // 0 on PU0 -> 1 on PU1 -> 2 on PU0: PU0->PU1 and PU1->PU0.
+        let r = SegmentSchedule::new(
+            vec![
+                seg(&[(0, 0), (1, 1), (2, 0)]),
+                seg(&[(3, 0), (4, 1), (5, 1)]),
+            ],
+            2,
+            &w,
+        );
+        assert!(matches!(r, Err(ScheduleError::BidirectionalFlow { .. })));
+    }
+
+    #[test]
+    fn fabric_demands_follow_dependencies() {
+        let w = chain6();
+        let s = SegmentSchedule::new(
+            vec![seg(&[(0, 0), (1, 1), (2, 2)]), seg(&[(3, 0), (4, 1), (5, 2)])],
+            3,
+            &w,
+        )
+        .unwrap();
+        // Chain: PU0 -> PU1 -> PU2 in each segment.
+        assert_eq!(
+            s.fabric_demands(&w, 0),
+            vec![(0, vec![1]), (1, vec![2])]
+        );
+    }
+
+    #[test]
+    fn out_of_range_checks() {
+        let w = chain6();
+        let r = SegmentSchedule::new(vec![seg(&[(0, 5)])], 2, &w);
+        assert!(matches!(r, Err(ScheduleError::PuOutOfRange { .. })));
+        let r = SegmentSchedule::new(vec![seg(&[(77, 0), (1, 1)])], 2, &w);
+        assert!(matches!(r, Err(ScheduleError::ItemOutOfRange { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::IdlePu { segment: 1, pu: 2 };
+        assert!(e.to_string().contains("no work"));
+    }
+
+    #[test]
+    fn render_shows_figure6_layout() {
+        let w = chain6();
+        let s = SegmentSchedule::new(
+            vec![seg(&[(0, 0), (1, 1), (2, 1)]), seg(&[(3, 0), (4, 1), (5, 1)])],
+            2,
+            &w,
+        )
+        .unwrap();
+        let r = s.render(&w);
+        assert!(r.contains("PU-1"));
+        assert!(r.contains("segment 1") && r.contains("segment 2"));
+        assert!(r.contains("c1+c2"), "{r}");
+        assert_eq!(r.lines().count(), 3);
+    }
+}

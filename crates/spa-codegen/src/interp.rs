@@ -1,0 +1,274 @@
+//! A miniature interpreter for the *generated* fabric RTL.
+//!
+//! The strongest check a generator can have is executing its own output:
+//! this module parses the `spa_fabric` module emitted by
+//! [`crate::verilog::fabric_module`] (a restricted, known subset of
+//! Verilog: `wire`/`reg` declarations, continuous `assign`s with optional
+//! ternaries, and one `case (seg_sel)` block) and evaluates it for a given
+//! segment selector and input vector. The test-suite then proves, for
+//! every design it generates, that the silicon netlist routes *exactly*
+//! like the golden [`benes::BenesNetwork::trace`] model.
+
+use std::collections::HashMap;
+
+/// Interpretation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The RTL did not contain a `spa_fabric` module.
+    MissingModule,
+    /// An expression referenced an unknown signal.
+    UnknownSignal(String),
+    /// The requested segment has no configuration case arm.
+    UnknownSegment(usize),
+    /// Combinational evaluation did not converge (would indicate a cycle —
+    /// impossible for emitted fabrics, checked defensively).
+    NoConvergence,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::MissingModule => write!(f, "no spa_fabric module in RTL"),
+            InterpError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            InterpError::UnknownSegment(s) => write!(f, "no case arm for segment {s}"),
+            InterpError::NoConvergence => write!(f, "combinational loop detected"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A parsed right-hand side.
+#[derive(Debug, Clone)]
+enum Rhs {
+    /// Plain signal copy.
+    Signal(String),
+    /// `cfg[k] ? a : b`
+    Mux { bit: usize, when1: String, when0: String },
+    /// All-zero replication `{WIDTH{1'b0}}`.
+    Zero,
+}
+
+/// An executable model of one emitted `spa_fabric` module.
+#[derive(Debug)]
+pub struct FabricInterp {
+    ports: usize,
+    /// `assign`s in emission order: target -> rhs.
+    assigns: Vec<(String, Rhs)>,
+    /// Per-segment configuration bit vectors (LSB = cfg\[0\]).
+    cfg: HashMap<usize, Vec<bool>>,
+}
+
+impl FabricInterp {
+    /// Parses the `spa_fabric` module out of `rtl`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::MissingModule`] when no fabric module is present.
+    pub fn parse(rtl: &str) -> Result<Self, InterpError> {
+        let start = rtl
+            .find("module spa_fabric")
+            .ok_or(InterpError::MissingModule)?;
+        let body = &rtl[start..];
+        let end = body.find("endmodule").unwrap_or(body.len());
+        let body = &body[..end];
+
+        let mut ports = 0usize;
+        let mut assigns = Vec::new();
+        let mut cfg: HashMap<usize, Vec<bool>> = HashMap::new();
+        for line in body.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("input  wire [WIDTH-1:0] in_") {
+                let n: usize = rest
+                    .trim_end_matches(',')
+                    .parse()
+                    .expect("emitted port index");
+                ports = ports.max(n + 1);
+            } else if let Some(rest) = line.strip_prefix("assign ") {
+                let rest = rest.trim_end_matches(';');
+                let (lhs, rhs) = rest.split_once('=').expect("emitted assign has =");
+                let (lhs, rhs) = (lhs.trim().to_string(), rhs.trim());
+                let parsed = if rhs.contains('?') {
+                    // cfg[k] ? a : b
+                    let (cond, arms) = rhs.split_once('?').expect("ternary");
+                    let (a, b) = arms.split_once(':').expect("ternary arms");
+                    let bit: usize = cond
+                        .trim()
+                        .trim_start_matches("cfg[")
+                        .trim_end_matches(']')
+                        .trim()
+                        .trim_end_matches(']')
+                        .parse()
+                        .expect("cfg index");
+                    Rhs::Mux {
+                        bit,
+                        when1: a.trim().to_string(),
+                        when0: b.trim().to_string(),
+                    }
+                } else if rhs.starts_with('{') {
+                    Rhs::Zero
+                } else {
+                    Rhs::Signal(rhs.to_string())
+                };
+                assigns.push((lhs, parsed));
+            } else if line.contains("'d") && line.contains("cfg =") {
+                // `<w>'d<s>: cfg = <n>'b<bits>;`
+                let (arm, value) = line.split_once(':').expect("case arm");
+                let seg: usize = arm
+                    .split("'d")
+                    .nth(1)
+                    .expect("segment literal")
+                    .trim()
+                    .parse()
+                    .expect("segment index");
+                let bits_str = value
+                    .split("'b")
+                    .nth(1)
+                    .expect("bit literal")
+                    .trim_end_matches(';')
+                    .trim();
+                // MSB-first in the literal; store LSB-first.
+                let bits: Vec<bool> = bits_str.chars().rev().map(|c| c == '1').collect();
+                cfg.insert(seg, bits);
+            }
+        }
+        Ok(Self {
+            ports,
+            assigns,
+            cfg,
+        })
+    }
+
+    /// Number of external ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Evaluates the netlist: feeds `inputs[i]` on `in_i` under segment
+    /// `seg_sel` and returns the `out_*` vector.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::UnknownSegment`] for an unconfigured selector (only
+    /// possible when the fabric has muxes), [`InterpError::UnknownSignal`]
+    /// for malformed RTL.
+    pub fn eval(&self, seg_sel: usize, inputs: &[u64]) -> Result<Vec<u64>, InterpError> {
+        let cfg = if self.assigns.iter().any(|(_, r)| matches!(r, Rhs::Mux { .. })) {
+            Some(
+                self.cfg
+                    .get(&seg_sel)
+                    .ok_or(InterpError::UnknownSegment(seg_sel))?,
+            )
+        } else {
+            None
+        };
+        let mut values: HashMap<String, u64> = HashMap::new();
+        for (i, &v) in inputs.iter().enumerate() {
+            values.insert(format!("in_{i}"), v);
+        }
+        // The emitted assigns are topologically ordered (stage by stage),
+        // but iterate to fixpoint anyway for robustness.
+        for _round in 0..self.assigns.len() + 1 {
+            let mut changed = false;
+            for (lhs, rhs) in &self.assigns {
+                let v = match rhs {
+                    Rhs::Zero => Some(0),
+                    Rhs::Signal(s) => values.get(s).copied(),
+                    Rhs::Mux { bit, when1, when0 } => {
+                        let sel = cfg
+                            .map(|c| c.get(*bit).copied().unwrap_or(false))
+                            .unwrap_or(false);
+                        let src = if sel { when1 } else { when0 };
+                        values.get(src).copied()
+                    }
+                };
+                if let Some(v) = v {
+                    if values.get(lhs) != Some(&v) {
+                        values.insert(lhs.clone(), v);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..self.ports)
+            .map(|o| {
+                values
+                    .get(&format!("out_{o}"))
+                    .copied()
+                    .ok_or_else(|| InterpError::UnknownSignal(format!("out_{o}")))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::fabric_module;
+    use autoseg::AutoSeg;
+    use nnmodel::{zoo, Workload};
+    use spa_arch::HwBudget;
+
+    /// The emitted netlist must route exactly like the golden Benes model
+    /// for every segment of every generated design.
+    #[test]
+    fn netlist_matches_golden_model() {
+        for (model, budget) in [
+            (zoo::squeezenet1_0(), HwBudget::nvdla_small()),
+            (zoo::mobilenet_v1(), HwBudget::nvdla_large()),
+            (zoo::inception_v1(), HwBudget::nvdla_large()),
+        ] {
+            let out = AutoSeg::new(budget)
+                .max_pus(4)
+                .max_segments(4)
+                .run(&model)
+                .expect("feasible");
+            check_design(&out.design, &out.workload);
+        }
+    }
+
+    fn check_design(design: &spa_arch::SpaDesign, w: &Workload) {
+        let rtl = fabric_module(design, w).expect("routable");
+        let interp = FabricInterp::parse(&rtl).expect("parseable");
+        let net = design.fabric();
+        assert_eq!(interp.ports(), net.padded_ports());
+        let routings = design.segment_routings(w).expect("routable");
+        // Distinct tokens per input so routing is observable.
+        let inputs: Vec<u64> = (0..net.padded_ports() as u64).map(|i| 100 + i).collect();
+        for (s, routing) in routings.iter().enumerate() {
+            let outs = interp.eval(s, &inputs).expect("evaluates");
+            for i in 0..net.padded_ports() {
+                for &o in &net.trace(routing, i) {
+                    assert_eq!(
+                        outs[o],
+                        inputs[i],
+                        "{}: segment {s}: input {i} must reach output {o}",
+                        design.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_pipeline_fabric_also_matches() {
+        let w = Workload::from_graph(&zoo::alexnet_conv());
+        let d = spa_sim_full(&w);
+        check_design(&d, &w);
+    }
+
+    fn spa_sim_full(w: &Workload) -> spa_arch::SpaDesign {
+        spa_sim::full_pipeline_design(w, &HwBudget::nvdla_large()).expect("fits")
+    }
+
+    #[test]
+    fn parse_rejects_non_fabric_rtl() {
+        assert_eq!(
+            FabricInterp::parse("module foo(); endmodule").unwrap_err(),
+            InterpError::MissingModule
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! A minimal JSON document builder (the workspace's dependency policy
+//! allows `serde` but not `serde_json`, and the manifest only needs a
+//! writer, not a parser).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (emitted with shortest-roundtrip formatting).
+    Num(f64),
+    /// A string (escaped on emission).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Inserts a field into an object (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(map) => {
+                map.insert(key.to_string(), value.into());
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad1 = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    out.push_str(&pad1);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_format() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::from(true).pretty(), "true");
+        assert_eq!(Json::from(42u64).pretty(), "42");
+        assert_eq!(Json::from(2.5).pretty(), "2.5");
+        assert_eq!(Json::from("hi").pretty(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::from("a\"b\\c\nd\te");
+        assert_eq!(s.pretty(), "\"a\\\"b\\\\c\\nd\\te\"");
+        assert_eq!(Json::from("\u{1}").pretty(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let doc = Json::obj()
+            .set("name", "spa")
+            .set("pes", 256usize)
+            .set("pus", vec![8usize, 16])
+            .set("inner", Json::obj().set("ok", true));
+        let text = doc.pretty();
+        // Deterministic sorted keys.
+        let inner = text.find("\"inner\"").unwrap();
+        let name = text.find("\"name\"").unwrap();
+        let pes = text.find("\"pes\"").unwrap();
+        assert!(inner < name && name < pes);
+        assert!(text.contains("\"pus\": [\n    8,\n    16\n  ]"));
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::obj().pretty(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_array_panics() {
+        let _ = Json::Arr(vec![]).set("x", 1u64);
+    }
+}

@@ -1,0 +1,173 @@
+//! JSON design manifests: everything a downstream flow needs to
+//! instantiate and program the customized accelerator.
+
+use crate::json::Json;
+use nnmodel::Workload;
+use spa_arch::{DesignError, SpaDesign};
+
+/// Builds the design manifest for `design` over `workload`.
+///
+/// The manifest contains the PU pipeline parameters, the full segmentation
+/// (items, PU bindings, dataflows), the per-segment fabric switch
+/// configuration, and pruning statistics.
+///
+/// # Errors
+///
+/// Returns [`DesignError::FabricUnroutable`] if some segment cannot route
+/// (such designs are rejected by the engine, but hand-built ones may
+/// reach here).
+pub fn design_manifest(design: &SpaDesign, workload: &Workload) -> Result<String, DesignError> {
+    let net = design.fabric();
+    let routings = design.segment_routings(workload)?;
+    let pruned = design.pruned_fabric(workload)?;
+
+    let pus: Vec<Json> = design
+        .pus
+        .iter()
+        .enumerate()
+        .map(|(i, pu)| {
+            Json::obj()
+                .set("id", i)
+                .set("rows", pu.rows)
+                .set("cols", pu.cols)
+                .set("pes", pu.num_pe())
+                .set("act_buf_bytes", pu.act_buf_bytes)
+                .set("wgt_buf_bytes", pu.wgt_buf_bytes)
+                .set("freq_mhz", pu.freq_mhz)
+        })
+        .collect();
+
+    let segments: Vec<Json> = design
+        .schedule
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(s, seg)| {
+            let assignments: Vec<Json> = seg
+                .assignments
+                .iter()
+                .map(|a| {
+                    Json::obj()
+                        .set("item", a.item)
+                        .set("layer", workload.items()[a.item].name.clone())
+                        .set("pu", a.pu)
+                })
+                .collect();
+            let dataflows: Vec<Json> = (0..design.n_pus())
+                .map(|pu| Json::from(design.dataflows[pu][s].to_string()))
+                .collect();
+            // Fabric switch settings for this segment: active muxes only.
+            let switches: Vec<Json> = net
+                .node_ids()
+                .flat_map(|id| {
+                    let r = &routings[s];
+                    (0..2u8).filter_map(move |port| {
+                        r.selection(id, port).map(|sel| {
+                            Json::obj()
+                                .set("node", id.index())
+                                .set("port", port as usize)
+                                .set("select", sel as usize)
+                        })
+                    })
+                })
+                .collect();
+            Json::obj()
+                .set("index", s)
+                .set("assignments", Json::Arr(assignments))
+                .set("dataflows", Json::Arr(dataflows))
+                .set("fabric_switches", Json::Arr(switches))
+        })
+        .collect();
+
+    let doc = Json::obj()
+        .set("design", design.name.clone())
+        .set("model", workload.name().to_string())
+        .set(
+            "platform",
+            match design.platform {
+                spa_arch::Platform::Asic => "asic",
+                spa_arch::Platform::Fpga => "fpga",
+            },
+        )
+        .set("batch", design.batch)
+        .set("bandwidth_gbps", design.bandwidth_gbps)
+        .set("total_pes", design.total_pes())
+        .set("pus", Json::Arr(pus))
+        .set("segments", Json::Arr(segments))
+        .set(
+            "fabric",
+            Json::obj()
+                .set("ports", net.ports())
+                .set("padded_ports", net.padded_ports())
+                .set("stages", net.stages())
+                .set("nodes_total", net.num_nodes())
+                .set("nodes_kept", pruned.nodes())
+                .set("muxes_kept", pruned.muxes())
+                .set("wires_kept", pruned.wires()),
+        );
+    Ok(doc.pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoseg::AutoSeg;
+    use nnmodel::zoo;
+    use spa_arch::HwBudget;
+
+    fn outcome() -> autoseg::AutoSegOutcome {
+        AutoSeg::new(HwBudget::nvdla_small())
+            .max_pus(3)
+            .max_segments(4)
+            .run(&zoo::squeezenet1_0())
+            .expect("feasible")
+    }
+
+    #[test]
+    fn manifest_contains_all_sections() {
+        let out = outcome();
+        let m = design_manifest(&out.design, &out.workload).unwrap();
+        for key in [
+            "\"design\"",
+            "\"pus\"",
+            "\"segments\"",
+            "\"fabric\"",
+            "\"fabric_switches\"",
+            "\"dataflows\"",
+        ] {
+            assert!(m.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn manifest_covers_every_item_once() {
+        let out = outcome();
+        let m = design_manifest(&out.design, &out.workload).unwrap();
+        for item in out.workload.items() {
+            let needle = format!("\"layer\": \"{}\"", item.name);
+            assert_eq!(
+                m.matches(&needle).count(),
+                1,
+                "{} not exactly once",
+                item.name
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_is_deterministic() {
+        let out = outcome();
+        let a = design_manifest(&out.design, &out.workload).unwrap();
+        let b = design_manifest(&out.design, &out.workload).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn switch_counts_match_routings() {
+        let out = outcome();
+        let routings = out.design.segment_routings(&out.workload).unwrap();
+        let m = design_manifest(&out.design, &out.workload).unwrap();
+        let total_switches: usize = routings.iter().map(|r| r.active_muxes()).sum();
+        assert_eq!(m.matches("\"select\"").count(), total_switches);
+    }
+}

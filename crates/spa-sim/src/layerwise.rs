@@ -1,0 +1,216 @@
+//! The no-pipeline (layerwise) simulator: one unified PU, every
+//! intermediate feature map round-trips DRAM (Figure 1a).
+
+use crate::geometry::factor_geometry;
+use crate::report::{SegmentStats, SimEnergy, SimReport};
+use nnmodel::Workload;
+use pucost::{best_dataflow, EnergyModel, LayerDesc, PuConfig};
+use spa_arch::HwBudget;
+
+/// Simulates layerwise execution of `workload` on a unified PU occupying
+/// the whole `budget`, with the dataflow chosen per layer (an *idealized*
+/// no-pipeline design; real general processors are modeled by
+/// [`simulate_processor`]).
+pub fn simulate_layerwise(workload: &Workload, budget: &HwBudget) -> SimReport {
+    layerwise_impl(workload, budget, None)
+}
+
+/// Simulates a *general DNN processor* of the given budget: a unified PU
+/// with a **fixed** dataflow for every layer — the Figure 12 comparison
+/// targets (Eyeriss / NVDLA / EdgeTPU are all fixed-dataflow engines, which
+/// is exactly why depthwise-heavy models underutilize them).
+pub fn simulate_processor(
+    workload: &Workload,
+    budget: &HwBudget,
+    dataflow: pucost::Dataflow,
+) -> SimReport {
+    layerwise_impl(workload, budget, Some(dataflow))
+}
+
+/// Like [`simulate_processor`], but with *buffer-aware* DRAM traffic: when
+/// a layer's input feature map exceeds the activation buffer, either the
+/// weights are re-fetched per spatial tile or the input per weight tile —
+/// whichever costs less (the classic tiling-traffic trade-off real
+/// accelerators face, which the paper's simple `access(l)` counting
+/// ignores).
+pub fn simulate_processor_buffered(
+    workload: &Workload,
+    budget: &HwBudget,
+    dataflow: pucost::Dataflow,
+) -> SimReport {
+    layerwise_impl_opts(workload, budget, Some(dataflow), true)
+}
+
+fn layerwise_impl(
+    workload: &Workload,
+    budget: &HwBudget,
+    fixed: Option<pucost::Dataflow>,
+) -> SimReport {
+    layerwise_impl_opts(workload, budget, fixed, false)
+}
+
+/// DRAM bytes of one layer under layerwise execution with finite buffers:
+/// base `access(l)` plus the cheaper of weight-refetch (per spatial tile)
+/// or input-refetch (per weight tile).
+fn buffered_access(item: &nnmodel::WorkItem, ab_bytes: u64, wb_bytes: u64) -> u64 {
+    let input = item.read_bytes() - item.w_bytes;
+    let base = item.access();
+    if input <= ab_bytes {
+        return base;
+    }
+    let spatial_tiles = input.div_ceil(ab_bytes.max(1));
+    let weight_tiles = item.w_bytes.div_ceil(wb_bytes.max(1));
+    let refetch_weights = item.w_bytes.saturating_mul(spatial_tiles - 1);
+    let refetch_inputs = input.saturating_mul(weight_tiles.saturating_sub(1));
+    base + refetch_weights.min(refetch_inputs)
+}
+
+fn layerwise_impl_opts(
+    workload: &Workload,
+    budget: &HwBudget,
+    fixed: Option<pucost::Dataflow>,
+    buffer_aware: bool,
+) -> SimReport {
+    let (rows, cols) = factor_geometry(budget.pes);
+    let pu = PuConfig::new(rows, cols)
+        .with_freq_mhz(budget.freq_mhz)
+        .with_buffers(budget.on_chip_bytes / 2, budget.on_chip_bytes / 2);
+    let em = EnergyModel::tsmc28();
+    let bytes_per_cycle = budget.bandwidth_gbps * 1e9 / (budget.freq_mhz * 1e6);
+
+    let mut total_cycles = 0u64;
+    let mut dram_bytes = 0u64;
+    let mut onchip = pucost::EnergyBreakdown::default();
+    let mut per_segment = Vec::with_capacity(workload.len());
+    for item in workload.items() {
+        let desc = LayerDesc::from_item(item);
+        let eval = match fixed {
+            Some(df) => pucost::evaluate(&desc, &pu, df, &em),
+            None => best_dataflow(&desc, &pu, &em).1,
+        };
+        let access = if buffer_aware {
+            buffered_access(item, pu.act_buf_bytes, pu.wgt_buf_bytes)
+        } else {
+            item.access()
+        };
+        let mem_cycles = (access as f64 / bytes_per_cycle).ceil() as u64;
+        // Compute and memory overlap via double buffering; the layer takes
+        // the longer of the two.
+        let cycles = eval.cycles.max(mem_cycles);
+        total_cycles += cycles;
+        dram_bytes += access;
+        onchip = onchip.add(&eval.energy);
+        per_segment.push(SegmentStats {
+            compute_cycles: eval.cycles,
+            memory_cycles: mem_cycles,
+            dram_bytes: access,
+            ctc: item.ctc(),
+            pu_cycles: vec![eval.cycles],
+        });
+    }
+
+    let seconds = total_cycles as f64 / (budget.freq_mhz * 1e6);
+    let macs = workload.total_ops();
+    SimReport {
+        seconds,
+        cycles: total_cycles,
+        dram_bytes,
+        macs,
+        utilization: macs as f64 / (total_cycles as f64 * budget.pes as f64),
+        batch: 1,
+        energy: SimEnergy {
+            onchip,
+            dram_pj: dram_bytes as f64 * em.dram_pj_per_byte,
+            fabric_pj: 0.0,
+        },
+        per_segment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnmodel::zoo;
+
+    #[test]
+    fn alexnet_on_eyeriss_is_plausible() {
+        let w = Workload::from_graph(&zoo::alexnet());
+        let r = simulate_layerwise(&w, &HwBudget::eyeriss());
+        // 192 PEs @ 200 MHz peak = 38.4 GMAC/s; AlexNet ~0.72 GMAC.
+        // Ideal ~19 ms; with utilization losses expect 19-100 ms.
+        assert!(
+            (0.018..0.2).contains(&r.seconds),
+            "latency {} s",
+            r.seconds
+        );
+        assert!(r.utilization > 0.1 && r.utilization <= 1.0);
+        assert_eq!(r.dram_bytes, w.total_layerwise_access());
+    }
+
+    #[test]
+    fn edge_tpu_budget_is_memory_bound() {
+        // 0.5 GB/s starves 8192 PEs: almost every layer memory-bound.
+        let w = Workload::from_graph(&zoo::mobilenet_v1());
+        let r = simulate_layerwise(&w, &HwBudget::edge_tpu());
+        let bound = r
+            .per_segment
+            .iter()
+            .filter(|s| s.memory_bound())
+            .count();
+        assert!(bound * 10 >= r.per_segment.len() * 9, "{bound} bound");
+        assert!(r.utilization < 0.15);
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts() {
+        let w = Workload::from_graph(&zoo::squeezenet1_0());
+        let mut slow = HwBudget::nvdla_small();
+        let r_slow = simulate_layerwise(&w, &slow);
+        slow.bandwidth_gbps *= 8.0;
+        let r_fast = simulate_layerwise(&w, &slow);
+        assert!(r_fast.seconds <= r_slow.seconds);
+    }
+
+    #[test]
+    fn energy_has_dram_component() {
+        let w = Workload::from_graph(&zoo::squeezenet1_0());
+        let r = simulate_layerwise(&w, &HwBudget::eyeriss());
+        assert!(r.energy.dram_pj > 0.0);
+        assert!(r.energy.onchip.total_pj() > 0.0);
+        assert_eq!(r.energy.fabric_pj, 0.0);
+    }
+
+    #[test]
+    fn buffer_aware_traffic_never_below_simple() {
+        let w = Workload::from_graph(&zoo::vgg16());
+        let budget = HwBudget::eyeriss();
+        let simple = simulate_processor(&w, &budget, pucost::Dataflow::WeightStationary);
+        let buffered =
+            simulate_processor_buffered(&w, &budget, pucost::Dataflow::WeightStationary);
+        assert!(buffered.dram_bytes >= simple.dram_bytes);
+        // VGG's big early fmaps overflow Eyeriss's 123 KB: real refetch.
+        assert!(
+            buffered.dram_bytes > simple.dram_bytes,
+            "expected tiling refetch on VGG @ Eyeriss"
+        );
+        assert!(buffered.seconds >= simple.seconds);
+    }
+
+    #[test]
+    fn buffer_aware_matches_simple_when_buffers_are_huge() {
+        let w = Workload::from_graph(&zoo::squeezenet1_0());
+        let mut budget = HwBudget::eyeriss();
+        budget.on_chip_bytes = 1 << 30;
+        let simple = simulate_processor(&w, &budget, pucost::Dataflow::WeightStationary);
+        let buffered =
+            simulate_processor_buffered(&w, &budget, pucost::Dataflow::WeightStationary);
+        assert_eq!(buffered.dram_bytes, simple.dram_bytes);
+    }
+
+    #[test]
+    fn per_segment_one_entry_per_item() {
+        let w = Workload::from_graph(&zoo::resnet18());
+        let r = simulate_layerwise(&w, &HwBudget::nvdla_large());
+        assert_eq!(r.per_segment.len(), w.len());
+    }
+}

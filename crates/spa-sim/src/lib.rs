@@ -1,0 +1,49 @@
+//! Execution simulators for the three accelerator paradigms the paper
+//! compares (Figure 1), plus the Optimus-style layer-fusion baseline
+//! (Section VI-D) and the roofline model (Figure 2).
+//!
+//! All simulators are analytical at the same fidelity the paper's own
+//! evaluation uses (Timeloop per-PU models + roofline memory bounds):
+//!
+//! * [`simulate_layerwise`] — a unified PU executes items one by one;
+//!   every intermediate feature map round-trips DRAM.
+//! * [`simulate_spa`] — the segment-grained pipeline: per-segment
+//!   piece-based pipelining (Figure 8), intra-segment fmaps forwarded
+//!   through the Benes fabric, per-(PU, segment) dataflows.
+//! * [`full_pipeline_design`] + [`simulate_spa`] — the full-pipeline
+//!   architecture is the single-segment special case with one PU per item.
+//! * [`simulate_fusion`] — layer fusion on a unified PU: fused groups keep
+//!   fmaps on chip but pay buffer capacity for overlapping tiles and keep
+//!   the unified PU's utilization profile.
+//!
+//! # Example
+//!
+//! ```
+//! use nnmodel::{zoo, Workload};
+//! use spa_arch::HwBudget;
+//! use spa_sim::simulate_layerwise;
+//!
+//! let w = Workload::from_graph(&zoo::squeezenet1_0());
+//! let report = simulate_layerwise(&w, &HwBudget::eyeriss());
+//! assert!(report.seconds > 0.0);
+//! assert!(report.utilization <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod fusion;
+mod geometry;
+mod layerwise;
+mod pipeline;
+mod report;
+mod roofline;
+
+pub use event::{segment_piece_cycles, simulate_spa_event};
+pub use fusion::{fusion_groups, simulate_fusion};
+pub use geometry::factor_geometry;
+pub use layerwise::{simulate_layerwise, simulate_processor, simulate_processor_buffered};
+pub use pipeline::{full_pipeline_design, simulate_spa};
+pub use report::{SegmentStats, SimEnergy, SimReport};
+pub use roofline::{roofline_series, RooflinePoint};

@@ -1,0 +1,137 @@
+//! Simulation result records.
+
+use pucost::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Energy of a whole simulated execution, by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimEnergy {
+    /// On-chip PU energy (MACs + buffers).
+    pub onchip: EnergyBreakdown,
+    /// DRAM access energy (pJ).
+    pub dram_pj: f64,
+    /// Inter-PU fabric plus dataflow-mux energy (pJ) — the "Others" slice
+    /// of Figure 16.
+    pub fabric_pj: f64,
+}
+
+impl SimEnergy {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.onchip.total_pj() + self.dram_pj + self.fabric_pj
+    }
+}
+
+/// Per-segment execution statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Compute cycles of the bottleneck PU plus pipeline fill.
+    pub compute_cycles: u64,
+    /// Cycles the DRAM interface needs for this segment's traffic.
+    pub memory_cycles: u64,
+    /// DRAM bytes moved.
+    pub dram_bytes: u64,
+    /// The segment's CTC ratio (MACs per DRAM byte).
+    pub ctc: f64,
+    /// Per-PU compute cycles (`L_comp[n][s]` of Eq. 6).
+    pub pu_cycles: Vec<u64>,
+}
+
+impl SegmentStats {
+    /// The cycles this segment occupies end-to-end (max of compute and
+    /// memory, both overlapped by double buffering).
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles.max(self.memory_cycles)
+    }
+
+    /// `true` if the segment is limited by DRAM bandwidth.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_cycles > self.compute_cycles
+    }
+}
+
+/// Result of simulating one frame (or batch) through a design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end latency of one frame in seconds.
+    pub seconds: f64,
+    /// End-to-end latency in cycles at the design clock.
+    pub cycles: u64,
+    /// Total DRAM traffic in bytes (per frame).
+    pub dram_bytes: u64,
+    /// MACs executed (per frame).
+    pub macs: u64,
+    /// PE-array utilization: `macs / (cycles * total_pes)`.
+    pub utilization: f64,
+    /// Frames processed concurrently (the design's batch factor).
+    pub batch: usize,
+    /// Energy per frame.
+    pub energy: SimEnergy,
+    /// Per-segment statistics (one entry for layerwise/fusion groups too).
+    pub per_segment: Vec<SegmentStats>,
+}
+
+impl SimReport {
+    /// Throughput in GOP/s (2 OPs per MAC), accounting for batch-level
+    /// parallelism.
+    pub fn gops(&self) -> f64 {
+        2.0 * self.macs as f64 * self.batch as f64 / self.seconds / 1e9
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        self.batch as f64 / self.seconds
+    }
+
+    /// Aggregate CTC ratio of the execution (MACs per DRAM byte).
+    pub fn ctc(&self) -> f64 {
+        self.macs as f64 / self.dram_bytes.max(1) as f64
+    }
+
+    /// Energy efficiency in GOP/s per watt.
+    pub fn gops_per_watt(&self) -> f64 {
+        let joules = self.energy.total_pj() * 1e-12;
+        let watts = joules / self.seconds;
+        self.gops() / watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_derived_metrics() {
+        let r = SimReport {
+            seconds: 0.01,
+            cycles: 2_000_000,
+            dram_bytes: 1_000_000,
+            macs: 500_000_000,
+            utilization: 0.8,
+            batch: 2,
+            energy: SimEnergy {
+                onchip: Default::default(),
+                dram_pj: 1e9,
+                fabric_pj: 0.0,
+            },
+            per_segment: vec![],
+        };
+        assert!((r.gops() - 2.0 * 5e8 * 2.0 / 0.01 / 1e9).abs() < 1e-9);
+        assert!((r.fps() - 200.0).abs() < 1e-9);
+        assert!((r.ctc() - 500.0).abs() < 1e-9);
+        assert!(r.gops_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn segment_stats_bound_classification() {
+        let s = SegmentStats {
+            compute_cycles: 100,
+            memory_cycles: 200,
+            dram_bytes: 1,
+            ctc: 1.0,
+            pu_cycles: vec![],
+        };
+        assert!(s.memory_bound());
+        assert_eq!(s.cycles(), 200);
+    }
+}

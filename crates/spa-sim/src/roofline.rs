@@ -1,0 +1,68 @@
+//! Roofline model sampling (Figure 2).
+
+use serde::{Deserialize, Serialize};
+use spa_arch::HwBudget;
+
+/// One sample of a roofline curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// CTC ratio in MACs per byte (x-axis; the paper's OPs/Byte axis is
+    /// `2x` this).
+    pub macs_per_byte: f64,
+    /// Attainable performance in OP/s (y-axis).
+    pub ops_per_sec: f64,
+}
+
+/// Samples `points` log-spaced roofline samples of `budget` between
+/// `lo` and `hi` MACs/byte.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the range is not positive and increasing.
+pub fn roofline_series(budget: &HwBudget, lo: f64, hi: f64, points: usize) -> Vec<RooflinePoint> {
+    assert!(points >= 2, "need at least two samples");
+    assert!(lo > 0.0 && hi > lo, "range must be positive and increasing");
+    let step = (hi / lo).ln() / (points - 1) as f64;
+    (0..points)
+        .map(|i| {
+            let x = lo * (step * i as f64).exp();
+            RooflinePoint {
+                macs_per_byte: x,
+                ops_per_sec: budget.roofline_ops_per_sec(x),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_monotone_then_flat() {
+        let b = HwBudget::nvdla_large();
+        let s = roofline_series(&b, 0.1, 10_000.0, 64);
+        assert_eq!(s.len(), 64);
+        for w in s.windows(2) {
+            assert!(w[1].ops_per_sec >= w[0].ops_per_sec - 1e-6);
+        }
+        assert_eq!(s.last().unwrap().ops_per_sec, b.peak_ops_per_sec());
+    }
+
+    #[test]
+    fn ridge_point_splits_regimes() {
+        let b = HwBudget::nvdla_large();
+        let ridge_macs = b.ridge_ops_per_byte() / 2.0;
+        assert!(b.roofline_ops_per_sec(ridge_macs * 0.5) < b.peak_ops_per_sec());
+        assert_eq!(
+            b.roofline_ops_per_sec(ridge_macs * 2.0),
+            b.peak_ops_per_sec()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn rejects_degenerate_sampling() {
+        roofline_series(&HwBudget::eyeriss(), 1.0, 10.0, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Customize a throughput-oriented SPA accelerator for MobileNetV2 on a
+//! low-power edge FPGA (Avnet Ultra96 / Xilinx ZU3EG), the Table III
+//! scenario.
+//!
+//! ```text
+//! cargo run --release --example customize_edge_fpga
+//! ```
+
+use deepburning_seg::prelude::*;
+use spa_sim::simulate_spa;
+
+fn main() -> Result<(), autoseg::AutoSegError> {
+    let model = zoo::mobilenet_v2();
+    let device = HwBudget::zu3eg();
+    println!(
+        "device: {} — {} DSPs, {} BRAM36K, {} GB/s @ {} MHz",
+        device.name,
+        device.pes,
+        device.on_chip_bytes / 4096,
+        device.bandwidth_gbps,
+        device.freq_mhz
+    );
+
+    let outcome = AutoSeg::new(device.clone())
+        .design_goal(autoseg::DesignGoal::Throughput)
+        .max_pus(6)
+        .max_segments(10)
+        .run(&model)?;
+    let design = &outcome.design;
+    let report = simulate_spa(&outcome.workload, design);
+    let used = design.resources();
+
+    println!("\ndesign for {}:", model.name());
+    println!(
+        "  {} PUs x batch {}, {} segments",
+        design.n_pus(),
+        design.batch,
+        design.segments().len()
+    );
+    for (s, seg) in design.segments().iter().enumerate() {
+        let layers: Vec<String> = (0..design.n_pus())
+            .map(|pu| format!("PU{}:{}", pu + 1, seg.items_on(pu).len()))
+            .collect();
+        println!("  segment {}: {}", s + 1, layers.join(" "));
+    }
+    println!(
+        "\nresources: {} DSPs ({:.1}%), {} BRAM36K ({:.1}%)",
+        used.pes,
+        100.0 * used.pes as f64 / device.pes as f64,
+        used.on_chip_bytes / 4096,
+        100.0 * used.on_chip_bytes as f64 / device.on_chip_bytes as f64
+    );
+    let peak = 2.0 * used.pes as f64 * device.freq_mhz * 1e6 / 1e9;
+    println!(
+        "performance: {:.1} GOP/s ({:.1} fps, {:.1}% DSP efficiency)",
+        report.gops(),
+        report.fps(),
+        100.0 * report.gops() / peak
+    );
+    println!(
+        "energy: {:.1} uJ/frame ({:.1} GOP/s/W)",
+        report.energy.total_pj() / 1e6,
+        report.gops_per_watt()
+    );
+    Ok(())
+}

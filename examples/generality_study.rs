@@ -1,0 +1,62 @@
+//! Generality study (Section VI-F): build an accelerator dedicated to one
+//! model, then map *different* models onto its frozen hardware — fixed PU
+//! pipeline and pruned Benes fabric — by re-running segmentation with a
+//! latency target and connection constraints.
+//!
+//! ```text
+//! cargo run --release --example generality_study
+//! ```
+
+use autoseg::generality;
+use deepburning_seg::prelude::*;
+
+fn main() -> Result<(), autoseg::AutoSegError> {
+    let budget = HwBudget::nvdla_small();
+
+    // Dedicated design for SqueezeNet.
+    let host = zoo::squeezenet1_0();
+    let dedicated = AutoSeg::new(budget.clone())
+        .max_pus(4)
+        .max_segments(8)
+        .run(&host)?;
+    println!(
+        "dedicated accelerator for {}: {} PUs, {} segments, {:.3} ms",
+        host.name(),
+        dedicated.design.n_pus(),
+        dedicated.design.segments().len(),
+        dedicated.report.seconds * 1e3
+    );
+    let pruned = dedicated
+        .design
+        .pruned_fabric(&dedicated.workload)
+        .expect("routable");
+    println!(
+        "pruned fabric: {}/{} nodes survive",
+        pruned.nodes(),
+        pruned.total_nodes()
+    );
+
+    // Map guests onto the frozen hardware.
+    for guest_name in ["mobilenet_v1", "inception_v1", "resnet18"] {
+        let guest = nnmodel::zoo::by_name(guest_name).expect("zoo model");
+        match generality::remap(&dedicated.design, &dedicated.workload, &guest) {
+            Ok((remapped, report)) => {
+                // Its own dedicated design, for reference.
+                let own = AutoSeg::new(budget.clone())
+                    .max_pus(4)
+                    .max_segments(8)
+                    .run(&guest)?;
+                println!(
+                    "{:>12}: {:.3} ms on the SqueezeNet accelerator ({} segments) vs {:.3} ms dedicated ({:+.0}%)",
+                    guest_name,
+                    report.seconds * 1e3,
+                    remapped.segments().len(),
+                    own.report.seconds * 1e3,
+                    100.0 * (report.seconds / own.report.seconds - 1.0),
+                );
+            }
+            Err(e) => println!("{guest_name:>12}: not mappable ({e})"),
+        }
+    }
+    Ok(())
+}

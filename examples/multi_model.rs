@@ -1,0 +1,60 @@
+//! Joint multi-model co-design: one SPA accelerator customized for a set
+//! of workloads at once (the design-time counterpart of the paper's
+//! Section VI-F generality study).
+//!
+//! ```text
+//! cargo run --release --example multi_model
+//! ```
+
+use autoseg::multi::design_multi;
+use deepburning_seg::prelude::*;
+
+fn main() -> Result<(), autoseg::AutoSegError> {
+    let models = vec![
+        zoo::squeezenet1_0(),
+        zoo::mobilenet_v1(),
+        zoo::resnet18(),
+    ];
+    let budget = HwBudget::nvdla_small();
+
+    let joint = design_multi(&models, &budget, 4, 8)?;
+    println!(
+        "shared accelerator: {} PUs {:?} under the {} budget",
+        joint.n_pus,
+        joint.designs[0]
+            .pus
+            .iter()
+            .map(|p| p.num_pe())
+            .collect::<Vec<_>>(),
+        budget.name
+    );
+    let pruned = joint.union_pruned_fabric();
+    println!(
+        "union-pruned fabric: {}/{} nodes, {} muxes + {} wires",
+        pruned.nodes(),
+        pruned.total_nodes(),
+        pruned.muxes(),
+        pruned.wires()
+    );
+
+    println!("\nper-model performance on the shared hardware:");
+    for (model, report) in models.iter().zip(&joint.reports) {
+        // Compare with a dedicated design of the same budget.
+        let solo = AutoSeg::new(budget.clone())
+            .max_pus(4)
+            .max_segments(8)
+            .run(model)?;
+        println!(
+            "  {:>14}: {:.3} ms shared vs {:.3} ms dedicated ({:+.0}% sharing cost)",
+            model.name(),
+            report.seconds * 1e3,
+            solo.report.seconds * 1e3,
+            100.0 * (report.seconds / solo.report.seconds - 1.0)
+        );
+    }
+    println!(
+        "\ngeometric-mean latency: {:.3} ms",
+        joint.geomean_seconds() * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Quickstart: customize a segment-grained pipeline accelerator for
+//! SqueezeNet under the Eyeriss resource budget and compare it against a
+//! same-budget general DNN processor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deepburning_seg::prelude::*;
+use pucost::Dataflow;
+use spa_sim::{simulate_processor, simulate_spa};
+
+fn main() -> Result<(), autoseg::AutoSegError> {
+    let model = zoo::squeezenet1_0();
+    let budget = HwBudget::eyeriss();
+    println!(
+        "model: {} ({:.1} MMACs), budget: {} ({} PEs, {:.0} KB, {} GB/s)",
+        model.name(),
+        model.total_ops() as f64 / 1e6,
+        budget.name,
+        budget.pes,
+        budget.on_chip_bytes as f64 / 1024.0,
+        budget.bandwidth_gbps,
+    );
+
+    // Run the AutoSeg co-design engine: MIP-style segmentation plus the
+    // Algorithm-1 heuristic resource allocation.
+    let outcome = AutoSeg::new(budget.clone())
+        .design_goal(autoseg::DesignGoal::Latency)
+        .max_pus(4)
+        .max_segments(8)
+        .run(&model)?;
+    let design = &outcome.design;
+
+    println!("\ncustomized SPA design ({} (N,S) shapes explored):", outcome.explored);
+    println!("  {} PUs, {} segments, {} PEs total", design.n_pus(), design.segments().len(), design.total_pes());
+    for (i, pu) in design.pus.iter().enumerate() {
+        println!(
+            "  PU-{}: {}x{} PEs, AB {} B, WB {} B",
+            i + 1,
+            pu.rows,
+            pu.cols,
+            pu.act_buf_bytes,
+            pu.wgt_buf_bytes
+        );
+    }
+    println!("\n  schedule (Figure-6 style):");
+    for line in design.schedule.render(&outcome.workload).lines() {
+        println!("    {line}");
+    }
+    let pruned = design.pruned_fabric(&outcome.workload).expect("routable design");
+    println!(
+        "  fabric: {}/{} Benes nodes kept after pruning ({} muxes, {} wires)",
+        pruned.nodes(),
+        pruned.total_nodes(),
+        pruned.muxes(),
+        pruned.wires()
+    );
+
+    // Compare against the layerwise general processor of the same budget.
+    let spa = simulate_spa(&outcome.workload, design);
+    let baseline = simulate_processor(&outcome.workload, &budget, Dataflow::WeightStationary);
+    println!("\nper-frame results:");
+    println!(
+        "  general processor: {:.3} ms, {:.1} MB DRAM, {:.0}% PE utilization",
+        baseline.seconds * 1e3,
+        baseline.dram_bytes as f64 / 1e6,
+        baseline.utilization * 100.0
+    );
+    println!(
+        "  SPA (AutoSeg):     {:.3} ms, {:.1} MB DRAM, {:.0}% PE utilization",
+        spa.seconds * 1e3,
+        spa.dram_bytes as f64 / 1e6,
+        spa.utilization * 100.0
+    );
+    println!(
+        "  speedup {:.2}x, DRAM traffic reduced {:.0}%",
+        baseline.seconds / spa.seconds,
+        100.0 * (1.0 - spa.dram_bytes as f64 / baseline.dram_bytes as f64)
+    );
+    Ok(())
+}

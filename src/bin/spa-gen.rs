@@ -1,0 +1,172 @@
+//! `spa-gen`: command-line accelerator generator.
+//!
+//! Runs the AutoSeg co-design flow for a zoo model under a named budget
+//! and writes the design manifest (JSON) and generated Verilog next to
+//! each other.
+//!
+//! ```text
+//! spa-gen <model> <budget> [--goal latency|throughput] [--out DIR]
+//! spa-gen --spec model.txt <budget> [...]
+//!
+//! models:  alexnet vgg16 mobilenet_v1 mobilenet_v2 resnet18 resnet50
+//!          resnet152 squeezenet1_0 inception_v1 efficientnet_b0 ...
+//!          (or a custom model via --spec; see nnmodel::spec for the format)
+//! budgets: eyeriss nvdla-small nvdla-large edge-tpu zu3eg 7z045 ku115
+//! ```
+
+use deepburning_seg::prelude::*;
+use deepburning_seg::spa_codegen;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn budget_by_name(name: &str) -> Option<HwBudget> {
+    Some(match name {
+        "eyeriss" => HwBudget::eyeriss(),
+        "nvdla-small" => HwBudget::nvdla_small(),
+        "nvdla-large" => HwBudget::nvdla_large(),
+        "edge-tpu" => HwBudget::edge_tpu(),
+        "zu3eg" => HwBudget::zu3eg(),
+        "7z045" => HwBudget::z7045(),
+        "ku115" => HwBudget::ku115(),
+        _ => return None,
+    })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: spa-gen <model> <budget> [--goal latency|throughput] [--out DIR]\n\
+         \x20      spa-gen --spec model.txt <budget> [...]\n\
+         budgets: eyeriss nvdla-small nvdla-large edge-tpu zu3eg 7z045 ku115"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let model = if args[0] == "--spec" {
+        if args.len() < 3 {
+            return usage();
+        }
+        let path = &args[1];
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("custom");
+        match nnmodel::parse_spec(stem, &text) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match nnmodel::zoo::by_name(&args[0]) {
+            Some(g) => g,
+            None => {
+                eprintln!("unknown model `{}`", args[0]);
+                return usage();
+            }
+        }
+    };
+    // With --spec, the budget is the third token; drop the extra arg so the
+    // remaining flag parsing lines up.
+    let args: Vec<String> = if args[0] == "--spec" {
+        args[1..].to_vec()
+    } else {
+        args
+    };
+    let Some(budget) = budget_by_name(&args[1]) else {
+        eprintln!("unknown budget `{}`", args[1]);
+        return usage();
+    };
+    let mut goal = autoseg::DesignGoal::Latency;
+    let mut out_dir = PathBuf::from(".");
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--goal" if i + 1 < args.len() => {
+                goal = match args[i + 1].as_str() {
+                    "latency" => autoseg::DesignGoal::Latency,
+                    "throughput" => autoseg::DesignGoal::Throughput,
+                    other => {
+                        eprintln!("unknown goal `{other}`");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_dir = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let outcome = match AutoSeg::new(budget.clone()).design_goal(goal).run(&model) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("co-design failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "design: {} PUs x {} segments, {} PEs, {:.3} ms/frame ({:.1} GOP/s)",
+        outcome.design.n_pus(),
+        outcome.design.segments().len(),
+        outcome.design.total_pes(),
+        outcome.report.seconds * 1e3,
+        outcome.report.gops()
+    );
+
+    let stem = format!("{}_{}", model.name(), budget.name);
+    let manifest = match spa_codegen::manifest::design_manifest(&outcome.design, &outcome.workload)
+    {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("manifest generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rtl = match spa_codegen::verilog::top_module(&outcome.design, &outcome.workload) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("RTL generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = spa_codegen::verilog::lint(&rtl) {
+        eprintln!("generated RTL failed lint: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let manifest_path = out_dir.join(format!("{stem}.json"));
+    let rtl_path = out_dir.join(format!("{stem}.v"));
+    if let Err(e) = std::fs::write(&manifest_path, manifest) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&rtl_path, rtl) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", manifest_path.display());
+    println!("wrote {}", rtl_path.display());
+    ExitCode::SUCCESS
+}

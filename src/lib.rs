@@ -1,0 +1,54 @@
+//! # DeepBurning-SEG
+//!
+//! A from-scratch reproduction of *"DeepBurning-SEG: Generating DNN
+//! Accelerators of Segment-Grained Pipeline Architecture"* (MICRO 2022).
+//!
+//! This facade crate re-exports the whole workspace so applications can use
+//! one dependency:
+//!
+//! * [`nnmodel`] — DNN graph IR, cost accounting and the benchmark zoo.
+//! * [`mip`] — the mixed-integer-programming solver used for segmentation.
+//! * [`bayesopt`] — Bayesian/random search used by the co-design baselines.
+//! * [`benes`] — the reconfigurable inter-PU Benes fabric.
+//! * [`pucost`] — the Timeloop-like per-PU latency/energy/area model.
+//! * [`spa_arch`] — the parameterized SPA hardware template.
+//! * [`spa_sim`] — no-pipeline / full-pipeline / segment-pipeline / fusion
+//!   execution simulators.
+//! * [`autoseg`] — the end-to-end HW/SW co-design engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use deepburning_seg::prelude::*;
+//!
+//! let model = nnmodel::zoo::squeezenet1_0();
+//! let budget = spa_arch::HwBudget::eyeriss();
+//! let outcome = autoseg::AutoSeg::new(budget.clone())
+//!     .design_goal(autoseg::DesignGoal::Latency)
+//!     .max_pus(3)
+//!     .max_segments(4)
+//!     .run(&model)?;
+//! assert!(outcome.design.fits(&budget));
+//! assert!(!outcome.design.segments().is_empty());
+//! # Ok::<(), autoseg::AutoSegError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use autoseg;
+pub use bayesopt;
+pub use benes;
+pub use mip;
+pub use nnmodel;
+pub use pucost;
+pub use spa_arch;
+pub use spa_codegen;
+pub use spa_sim;
+
+/// Convenient glob-import of the most common types.
+pub mod prelude {
+    pub use autoseg::{self, AutoSeg, DesignGoal};
+    pub use nnmodel::{self, zoo, Graph, Workload};
+    pub use spa_arch::{self, HwBudget, SpaDesign};
+    pub use spa_sim::{self};
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the full AutoSeg flow end to end, with
+//! structural invariants checked on every produced design.
+
+use deepburning_seg::prelude::*;
+use deepburning_seg::{autoseg, nnmodel, pucost, spa_arch, spa_sim};
+use nnmodel::Workload;
+use spa_arch::HwBudget;
+use spa_sim::{simulate_processor, simulate_spa};
+
+/// A produced design must satisfy every structural invariant at once.
+fn check_design(outcome: &autoseg::AutoSegOutcome, budget: &HwBudget) {
+    let d = &outcome.design;
+    let w = &outcome.workload;
+    // Budget.
+    assert!(d.fits(budget), "design exceeds budget {}", budget.name);
+    // Schedule constraints (Eq. 2-4).
+    d.schedule.validate(w).expect("valid schedule");
+    // Dataflow table shape.
+    d.check_shape().expect("consistent dataflow table");
+    // Power-of-two PE arrays (the paper's alignment constraint).
+    assert!(d.pus.iter().all(|p| p.num_pe().is_power_of_two()));
+    // Every segment routes on the fabric, and pruning preserves them.
+    let routings = d.segment_routings(w).expect("routable segments");
+    let pruned = d.pruned_fabric(w).expect("prunable");
+    for r in &routings {
+        assert!(pruned.supports(r));
+    }
+    // Buffers meet each assigned layer's minimum.
+    for (pu_idx, pu) in d.pus.iter().enumerate() {
+        for seg in d.segments() {
+            for &item in &seg.items_on(pu_idx) {
+                let desc = pucost::LayerDesc::from_item(&w.items()[item]);
+                assert!(pu.act_buf_bytes >= desc.min_act_buf_bytes());
+                assert!(pu.wgt_buf_bytes >= desc.min_wgt_buf_bytes(pu.num_pe()));
+            }
+        }
+    }
+    // Simulation sanity.
+    let r = &outcome.report;
+    assert!(r.seconds > 0.0 && r.seconds.is_finite());
+    assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    assert!(r.energy.total_pj() > 0.0);
+    assert_eq!(r.macs, w.total_ops());
+}
+
+#[test]
+fn end_to_end_designs_for_all_models_on_nvdla_small() {
+    let budget = HwBudget::nvdla_small();
+    for model in nnmodel::zoo::evaluation_models() {
+        let out = AutoSeg::new(budget.clone())
+            .max_pus(4)
+            .max_segments(6)
+            .run(&model)
+            .unwrap_or_else(|e| panic!("{}: {e}", model.name()));
+        check_design(&out, &budget);
+    }
+}
+
+#[test]
+fn end_to_end_designs_across_budgets() {
+    let model = nnmodel::zoo::squeezenet1_0();
+    for budget in HwBudget::asic_suite().into_iter().chain(HwBudget::fpga_suite()) {
+        let out = AutoSeg::new(budget.clone())
+            .max_pus(4)
+            .max_segments(6)
+            .run(&model)
+            .unwrap_or_else(|e| panic!("{}: {e}", budget.name));
+        check_design(&out, &budget);
+    }
+}
+
+#[test]
+fn autoseg_is_deterministic() {
+    let run = || {
+        AutoSeg::new(HwBudget::eyeriss())
+            .max_pus(3)
+            .max_segments(4)
+            .run(&nnmodel::zoo::mobilenet_v1())
+            .expect("feasible")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.design, b.design);
+    assert_eq!(a.report.cycles, b.report.cycles);
+}
+
+#[test]
+fn spa_consistently_reduces_dram_traffic() {
+    // The structural invariant behind Figure 13: the SPA design's DRAM
+    // traffic never exceeds layerwise traffic, and equals at least the
+    // weights + input + output floor.
+    let budget = HwBudget::nvdla_large();
+    for model in [
+        nnmodel::zoo::mobilenet_v2(),
+        nnmodel::zoo::resnet18(),
+        nnmodel::zoo::inception_v1(),
+    ] {
+        let w = Workload::from_graph(&model);
+        let out = AutoSeg::new(budget.clone())
+            .max_pus(4)
+            .max_segments(8)
+            .run(&model)
+            .expect("feasible");
+        assert!(out.report.dram_bytes <= w.total_layerwise_access());
+        let all: Vec<usize> = (0..w.len()).collect();
+        assert!(out.report.dram_bytes >= w.pipelined_access(&all));
+    }
+}
+
+#[test]
+fn throughput_designs_dominate_latency_designs_on_gops() {
+    let model = nnmodel::zoo::squeezenet1_0();
+    let budget = HwBudget::ku115();
+    let lat = AutoSeg::new(budget.clone())
+        .max_pus(4)
+        .max_segments(6)
+        .run(&model)
+        .expect("feasible");
+    let thr = AutoSeg::new(budget)
+        .design_goal(autoseg::DesignGoal::Throughput)
+        .max_pus(4)
+        .max_segments(6)
+        .run(&model)
+        .expect("feasible");
+    assert!(thr.report.gops() >= lat.report.gops());
+}
+
+#[test]
+fn designs_are_cloneable_and_comparable() {
+    // Designs are plain data: cloning them and resimulating yields
+    // identical reports (no hidden state in the simulator).
+    let out = AutoSeg::new(HwBudget::eyeriss())
+        .max_pus(3)
+        .max_segments(3)
+        .run(&nnmodel::zoo::squeezenet1_0())
+        .expect("feasible");
+    let copy = out.design.clone();
+    assert_eq!(copy, out.design);
+    let r1 = simulate_spa(&out.workload, &out.design);
+    let r2 = simulate_spa(&out.workload, &copy);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn remap_preserves_hardware_exactly() {
+    let budget = HwBudget::nvdla_small();
+    let host = AutoSeg::new(budget)
+        .max_pus(3)
+        .max_segments(6)
+        .run(&nnmodel::zoo::squeezenet1_0())
+        .expect("feasible");
+    let guest = nnmodel::zoo::mobilenet_v1();
+    let (design, report) =
+        autoseg::generality::remap(&host.design, &host.workload, &guest).expect("mappable");
+    assert_eq!(design.pus, host.design.pus);
+    assert!(report.seconds > 0.0);
+}
+
+#[test]
+fn simulators_agree_on_compute_floor() {
+    // Whatever the architecture, total MACs are conserved and the
+    // compute-cycle floor (macs / PEs) is respected.
+    let budget = HwBudget::nvdla_large();
+    let w = Workload::from_graph(&nnmodel::zoo::resnet18());
+    let base = simulate_processor(&w, &budget, pucost::Dataflow::WeightStationary);
+    let floor = w.total_ops() / budget.pes as u64;
+    assert!(base.cycles >= floor);
+    let out = AutoSeg::new(budget)
+        .max_pus(4)
+        .max_segments(6)
+        .run(&nnmodel::zoo::resnet18())
+        .expect("feasible");
+    let spa = simulate_spa(&w, &out.design);
+    assert!(spa.cycles >= w.total_ops() / out.design.total_pes().max(1) as u64);
+}
