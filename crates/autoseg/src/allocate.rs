@@ -21,7 +21,7 @@
 use crate::engine::DesignGoal;
 use crate::error::AutoSegError;
 use nnmodel::Workload;
-use pucost::{evaluate, Dataflow, EnergyModel, LayerDesc, PuConfig};
+use pucost::{Dataflow, EvalCache, LayerDesc, PuConfig};
 use spa_arch::{HwBudget, SegmentSchedule, SpaDesign};
 
 /// Per-PU DRAM bytes attributable to segment `s` (weights + external input
@@ -53,21 +53,23 @@ fn pu_access(workload: &Workload, schedule: &SegmentSchedule, s: usize, pu: usiz
 }
 
 /// Picks the faster dataflow for the items of `(pu, segment)` and returns
-/// `(dataflow, total cycles)`.
+/// `(dataflow, total cycles)`. Per-layer costs come from the shared
+/// [`EvalCache`], so repeated probes of the same `(layer, PU, dataflow)`
+/// across the search are computed once.
 pub(crate) fn eval_pu_segment(
     workload: &Workload,
     schedule: &SegmentSchedule,
     s: usize,
     pu_idx: usize,
     pu: &PuConfig,
-    em: &EnergyModel,
+    cache: &EvalCache,
 ) -> (Dataflow, u64) {
     let items = schedule.segments[s].items_on(pu_idx);
     let mut cands = Vec::with_capacity(2);
     for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
         let (mut cycles, mut energy) = (0u64, 0f64);
         for &i in &items {
-            let e = evaluate(&LayerDesc::from_item(&workload.items()[i]), pu, df, em);
+            let e = cache.evaluate(&LayerDesc::from_item(&workload.items()[i]), pu, df);
             cycles += e.cycles;
             energy += e.energy.total_pj();
         }
@@ -102,12 +104,24 @@ pub fn allocate(
     budget: &HwBudget,
     goal: DesignGoal,
 ) -> Result<SpaDesign, AutoSegError> {
+    allocate_with(workload, schedule, budget, goal, &EvalCache::default())
+}
+
+/// [`allocate`] with a caller-provided [`EvalCache`]; search drivers that
+/// call the allocator many times share one cache so the per-layer cost
+/// probes of later calls hit memoized results.
+pub fn allocate_with(
+    workload: &Workload,
+    schedule: &SegmentSchedule,
+    budget: &HwBudget,
+    goal: DesignGoal,
+    cache: &EvalCache,
+) -> Result<SpaDesign, AutoSegError> {
     if workload.is_empty() || schedule.is_empty() {
         return Err(AutoSegError::EmptyWorkload);
     }
     let n = schedule.n_pus;
     let s_max = schedule.len();
-    let em = EnergyModel::tsmc28();
 
     // Step 1: normalized operation distribution V̂ (cluster center of the
     // per-segment distributions) and bandwidth usage per segment (Eq. 12).
@@ -158,7 +172,7 @@ pub fn allocate(
         pes[worst] /= 2;
     }
 
-    let mut design = build_design(workload, schedule, budget, &pes, &em);
+    let mut design = build_design(workload, schedule, budget, &pes, cache);
 
     // Steps: batch (lines 13-16).
     if goal == DesignGoal::Throughput {
@@ -172,7 +186,7 @@ pub fn allocate(
         (0..s_max)
             .map(|s| {
                 (0..n)
-                    .map(|pu| eval_pu_segment(workload, schedule, s, pu, &pus[pu], &em).1)
+                    .map(|pu| eval_pu_segment(workload, schedule, s, pu, &pus[pu], cache).1)
                     .max()
                     .unwrap_or(0)
             })
@@ -198,7 +212,7 @@ pub fn allocate(
             .map(|pu| {
                 (
                     pu,
-                    eval_pu_segment(workload, schedule, s_hat, pu, &design.pus[pu], &em).1,
+                    eval_pu_segment(workload, schedule, s_hat, pu, &design.pus[pu], cache).1,
                 )
             })
             .collect();
@@ -207,7 +221,7 @@ pub fn allocate(
         for (n_hat, _) in order {
             let mut trial = pes.clone();
             trial[n_hat] *= 2;
-            let mut candidate = build_design(workload, schedule, budget, &trial, &em);
+            let mut candidate = build_design(workload, schedule, budget, &trial, cache);
             if goal == DesignGoal::Throughput {
                 candidate.batch = batch_factor(&candidate, budget).max(1);
             }
@@ -235,13 +249,13 @@ pub fn allocate(
     // so Eq. 2-4 legality is preserved), and keep the result if the
     // bottleneck score improves.
     if let Some(rebalanced) = rebalance(workload, schedule, &pes) {
-        let candidate = build_design(workload, &rebalanced, budget, &pes, &em);
+        let candidate = build_design(workload, &rebalanced, budget, &pes, cache);
         let rescore = {
             let sched = &rebalanced;
             (0..s_max)
                 .map(|s| {
                     (0..n)
-                        .map(|pu| eval_pu_segment(workload, sched, s, pu, &candidate.pus[pu], &em).1)
+                        .map(|pu| eval_pu_segment(workload, sched, s, pu, &candidate.pus[pu], cache).1)
                         .max()
                         .unwrap_or(0)
                 })
@@ -263,7 +277,7 @@ pub fn allocate(
             break; // buffers alone exceed the budget; caller rejects
         }
         pes[worst] /= 2;
-        design = build_design(workload, schedule, budget, &pes, &em);
+        design = build_design(workload, schedule, budget, &pes, cache);
         if goal == DesignGoal::Throughput {
             design.batch = batch_factor(&design, budget).max(1);
         }
@@ -392,8 +406,20 @@ pub fn manual_design(
     pes: &[usize],
     buf_mult: u64,
 ) -> SpaDesign {
-    let em = EnergyModel::tsmc28();
-    let mut d = build_design(workload, schedule, budget, pes, &em);
+    manual_design_with(workload, schedule, budget, pes, buf_mult, &EvalCache::default())
+}
+
+/// [`manual_design`] with a caller-provided [`EvalCache`] (shared across a
+/// whole black-box hardware search).
+pub fn manual_design_with(
+    workload: &Workload,
+    schedule: &SegmentSchedule,
+    budget: &HwBudget,
+    pes: &[usize],
+    buf_mult: u64,
+    cache: &EvalCache,
+) -> SpaDesign {
+    let mut d = build_design(workload, schedule, budget, pes, cache);
     for pu in &mut d.pus {
         pu.act_buf_bytes *= buf_mult.max(1);
         pu.wgt_buf_bytes *= buf_mult.max(1);
@@ -408,7 +434,7 @@ fn build_design(
     schedule: &SegmentSchedule,
     budget: &HwBudget,
     pes: &[usize],
-    em: &EnergyModel,
+    cache: &EvalCache,
 ) -> SpaDesign {
     let n = schedule.n_pus;
     let s_max = schedule.len();
@@ -447,8 +473,8 @@ fn build_design(
             let cycles: u64 = items_here
                 .iter()
                 .map(|d| {
-                    let ws = evaluate(d, &pu, Dataflow::WeightStationary, em).cycles;
-                    let os = evaluate(d, &pu, Dataflow::OutputStationary, em).cycles;
+                    let ws = cache.evaluate(d, &pu, Dataflow::WeightStationary).cycles;
+                    let os = cache.evaluate(d, &pu, Dataflow::OutputStationary).cycles;
                     ws.min(os)
                 })
                 .sum();
@@ -466,7 +492,7 @@ fn build_design(
     let dataflows: Vec<Vec<Dataflow>> = (0..n)
         .map(|pu| {
             (0..s_max)
-                .map(|s| eval_pu_segment(workload, schedule, s, pu, &pus[pu], em).0)
+                .map(|s| eval_pu_segment(workload, schedule, s, pu, &pus[pu], cache).0)
                 .collect()
         })
         .collect();

@@ -10,15 +10,34 @@
 //!   the paper), hardware from Algorithm 1.
 //! * **Baye-Baye** — the nested bi-loop of [Shi et al.]: an outer TPE over
 //!   hardware, an inner TPE over segmentation with only latency feedback.
+//!
+//! # Execution model
+//!
+//! Every method runs on a [`DsePool`] and shares one [`EvalCache`] per
+//! search. Candidate evaluation is organized in fixed-size *generations*
+//! ([`GENERATION`] candidates): the optimizer proposes a whole generation
+//! (`suggest_batch`), the pool evaluates it concurrently, and observations
+//! are fed back in proposal order (`observe_batch`). Because the
+//! generation size is a constant — not the thread count — and results are
+//! folded in proposal order, the produced [`DesignPoint`] sequence is
+//! bit-identical for any thread count; `threads = 1` *is* the serial
+//! reference path.
 
-use crate::allocate::{allocate, manual_design};
+use crate::allocate::{allocate_with, manual_design_with};
+use crate::dse::{split_seed, DsePool};
 use crate::engine::DesignGoal;
 use crate::error::AutoSegError;
 use crate::segment::{BayesSegmenter, ChainDpSegmenter, Segmenter};
 use bayesopt::{Optimizer, SearchSpace, SimulatedAnnealing, Tpe};
 use nnmodel::{Graph, Workload};
+use pucost::EvalCache;
 use spa_arch::HwBudget;
-use spa_sim::simulate_spa;
+use spa_sim::simulate_spa_with;
+
+/// Candidates proposed (and evaluated concurrently) per optimizer
+/// generation. A constant independent of the worker count, so search
+/// trajectories do not depend on how many threads happen to run them.
+pub const GENERATION: usize = 8;
 
 /// One evaluated co-design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +61,9 @@ pub struct CodesignBudgets {
     pub seg_iters: usize,
     /// Seed for all stochastic methods.
     pub seed: u64,
+    /// DSE worker threads; `0` means auto (`DSE_THREADS` env var, else all
+    /// available cores). `1` is the serial reference path.
+    pub threads: usize,
 }
 
 impl Default for CodesignBudgets {
@@ -50,6 +72,46 @@ impl Default for CodesignBudgets {
             hw_iters: 500,
             seg_iters: 2000,
             seed: 7,
+            threads: 0,
+        }
+    }
+}
+
+impl CodesignBudgets {
+    /// Reduced budgets for smoke runs (CI, `scripts/verify.sh`): the same
+    /// code paths at a fraction of the iterations.
+    pub fn smoke() -> Self {
+        Self {
+            hw_iters: 24,
+            seg_iters: 32,
+            seed: 3,
+            threads: 0,
+        }
+    }
+
+    /// Swaps in the [`CodesignBudgets::smoke`] iteration counts when the
+    /// `DSE_SMOKE` environment variable is set to anything non-empty other
+    /// than `0`; seed and thread count are kept.
+    pub fn smoke_if_env(self) -> Self {
+        match std::env::var("DSE_SMOKE") {
+            Ok(v) if !v.is_empty() && v != "0" => {
+                let s = Self::smoke();
+                Self {
+                    hw_iters: s.hw_iters.min(self.hw_iters),
+                    seg_iters: s.seg_iters.min(self.seg_iters),
+                    ..self
+                }
+            }
+            _ => self,
+        }
+    }
+
+    /// The worker pool implied by `threads` (0 = auto-sized).
+    pub fn pool(&self) -> DsePool {
+        if self.threads == 0 {
+            DsePool::from_env()
+        } else {
+            DsePool::new(self.threads)
         }
     }
 }
@@ -71,11 +133,12 @@ fn point(
     budget: &HwBudget,
     method: &'static str,
     shape: (usize, usize),
+    cache: &EvalCache,
 ) -> Option<DesignPoint> {
     if !design.fits(budget) || design.segment_routings(workload).is_err() {
         return None;
     }
-    let r = simulate_spa(workload, design);
+    let r = simulate_spa_with(workload, design, cache);
     Some(DesignPoint {
         latency_s: r.seconds,
         energy_pj: r.energy.total_pj(),
@@ -90,15 +153,30 @@ pub fn mip_heuristic(
     model: &Graph,
     budget: &HwBudget,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
+    mip_heuristic_with(model, budget, &DsePool::from_env(), &EvalCache::default())
+}
+
+/// [`mip_heuristic`] on an explicit pool and cost cache. Shapes are
+/// independent, so the whole sweep fans out across the pool.
+pub fn mip_heuristic_with(
+    model: &Graph,
+    budget: &HwBudget,
+    pool: &DsePool,
+    cache: &EvalCache,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
     let workload = Workload::from_graph(model);
     let seg = ChainDpSegmenter::new();
-    let mut pts = Vec::new();
-    for (n, s) in shapes(&workload, budget) {
+    let all_shapes = shapes(&workload, budget);
+    let evals = pool.par_map(&all_shapes, |_, &(n, s)| {
         let Ok(schedule) = seg.segment(&workload, n, s) else {
-            continue;
+            return Ok(None);
         };
-        let design = allocate(&workload, &schedule, budget, DesignGoal::Latency)?;
-        if let Some(p) = point(&workload, &design, budget, "mip-heuristic", (n, s)) {
+        let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
+        Ok(point(&workload, &design, budget, "mip-heuristic", (n, s), cache))
+    });
+    let mut pts = Vec::new();
+    for e in evals {
+        if let Some(p) = e? {
             pts.push(p);
         }
     }
@@ -121,6 +199,47 @@ fn decode_hw(pt: &[usize]) -> (Vec<usize>, u64) {
     (pes, mult)
 }
 
+/// Runs one black-box hardware search over `iters` iterations for a fixed
+/// schedule: generation-batched ask → parallel evaluate → ordered tell.
+/// Returns the feasible points in proposal order.
+fn hw_search_loop(
+    workload: &Workload,
+    schedule: &spa_arch::SegmentSchedule,
+    budget: &HwBudget,
+    method: &'static str,
+    shape: (usize, usize),
+    opt: &mut dyn Optimizer,
+    iters: usize,
+    pool: &DsePool,
+    cache: &EvalCache,
+    pts: &mut Vec<DesignPoint>,
+) {
+    let mut done = 0;
+    while done < iters {
+        let k = GENERATION.min(iters - done);
+        let samples = opt.suggest_batch(k);
+        let evals = pool.par_map(&samples, |_, sample| {
+            let (pes, mult) = decode_hw(sample);
+            let design = manual_design_with(workload, schedule, budget, &pes, mult, cache);
+            point(workload, &design, budget, method, shape, cache)
+        });
+        let mut batch = Vec::with_capacity(k);
+        for (sample, p) in samples.into_iter().zip(evals) {
+            let value = match p {
+                Some(p) => {
+                    let v = p.latency_s;
+                    pts.push(p);
+                    v
+                }
+                None => f64::INFINITY,
+            };
+            batch.push((sample, value));
+        }
+        opt.observe_batch(batch);
+        done += k;
+    }
+}
+
 /// MIP-Random and MIP-Baye share this driver: exact segmentation, then
 /// black-box hardware search.
 fn mip_search(
@@ -128,6 +247,8 @@ fn mip_search(
     budget: &HwBudget,
     budgets: &CodesignBudgets,
     bayes: bool,
+    pool: &DsePool,
+    cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
     let workload = Workload::from_graph(model);
     let seg = ChainDpSegmenter::new();
@@ -148,20 +269,10 @@ fn mip_search(
         } else {
             Box::new(bayesopt::RandomSearch::new(space, budgets.seed))
         };
-        for _ in 0..per_shape {
-            let sample = opt.suggest();
-            let (pes, mult) = decode_hw(&sample);
-            let design = manual_design(&workload, &schedule, budget, &pes, mult);
-            let value = match point(&workload, &design, budget, method, (n, s)) {
-                Some(p) => {
-                    let v = p.latency_s;
-                    pts.push(p);
-                    v
-                }
-                None => f64::INFINITY,
-            };
-            opt.observe(sample, value);
-        }
+        hw_search_loop(
+            &workload, &schedule, budget, method, (n, s), opt.as_mut(), per_shape, pool,
+            cache, &mut pts,
+        );
     }
     Ok(pts)
 }
@@ -173,6 +284,17 @@ pub fn mip_anneal(
     model: &Graph,
     budget: &HwBudget,
     budgets: &CodesignBudgets,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    mip_anneal_with(model, budget, budgets, &budgets.pool(), &EvalCache::default())
+}
+
+/// [`mip_anneal`] on an explicit pool and cost cache.
+pub fn mip_anneal_with(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+    pool: &DsePool,
+    cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
     let workload = Workload::from_graph(model);
     let seg = ChainDpSegmenter::new();
@@ -187,20 +309,10 @@ pub fn mip_anneal(
             continue;
         };
         let mut opt = SimulatedAnnealing::new(hw_space(n, budget), budgets.seed);
-        for _ in 0..per_shape {
-            let sample = opt.suggest();
-            let (pes, mult) = decode_hw(&sample);
-            let design = manual_design(&workload, &schedule, budget, &pes, mult);
-            let value = match point(&workload, &design, budget, "mip-anneal", (n, s)) {
-                Some(p) => {
-                    let v = p.latency_s;
-                    pts.push(p);
-                    v
-                }
-                None => f64::INFINITY,
-            };
-            opt.observe(sample, value);
-        }
+        hw_search_loop(
+            &workload, &schedule, budget, "mip-anneal", (n, s), &mut opt, per_shape, pool,
+            cache, &mut pts,
+        );
     }
     Ok(pts)
 }
@@ -211,7 +323,18 @@ pub fn mip_random(
     budget: &HwBudget,
     budgets: &CodesignBudgets,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    mip_search(model, budget, budgets, false)
+    mip_search(model, budget, budgets, false, &budgets.pool(), &EvalCache::default())
+}
+
+/// [`mip_random`] on an explicit pool and cost cache.
+pub fn mip_random_with(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+    pool: &DsePool,
+    cache: &EvalCache,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    mip_search(model, budget, budgets, false, pool, cache)
 }
 
 /// MIP-Baye: exact segmentation + TPE hardware search.
@@ -220,7 +343,18 @@ pub fn mip_baye(
     budget: &HwBudget,
     budgets: &CodesignBudgets,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    mip_search(model, budget, budgets, true)
+    mip_search(model, budget, budgets, true, &budgets.pool(), &EvalCache::default())
+}
+
+/// [`mip_baye`] on an explicit pool and cost cache.
+pub fn mip_baye_with(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+    pool: &DsePool,
+    cache: &EvalCache,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    mip_search(model, budget, budgets, true, pool, cache)
 }
 
 /// Baye-Heuristic: TPE segmentation + Algorithm 1 hardware.
@@ -229,20 +363,36 @@ pub fn baye_heuristic(
     budget: &HwBudget,
     budgets: &CodesignBudgets,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
+    baye_heuristic_with(model, budget, budgets, &budgets.pool(), &EvalCache::default())
+}
+
+/// [`baye_heuristic`] on an explicit pool and cost cache. Each shape runs
+/// its own independent TPE segmentation search, so shapes fan out across
+/// the pool.
+pub fn baye_heuristic_with(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+    pool: &DsePool,
+    cache: &EvalCache,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
     let workload = Workload::from_graph(model);
-    let mut pts = Vec::new();
     let all_shapes = shapes(&workload, budget);
     if all_shapes.is_empty() {
-        return Ok(pts);
+        return Ok(Vec::new());
     }
     let per_shape = (budgets.seg_iters / all_shapes.len()).max(8);
-    for (n, s) in all_shapes {
+    let evals = pool.par_map(&all_shapes, |_, &(n, s)| {
         let seg = BayesSegmenter::new(budgets.seed, per_shape);
         let Ok(schedule) = seg.segment(&workload, n, s) else {
-            continue;
+            return Ok(None);
         };
-        let design = allocate(&workload, &schedule, budget, DesignGoal::Latency)?;
-        if let Some(p) = point(&workload, &design, budget, "baye-heuristic", (n, s)) {
+        let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
+        Ok(point(&workload, &design, budget, "baye-heuristic", (n, s), cache))
+    });
+    let mut pts = Vec::new();
+    for e in evals {
+        if let Some(p) = e? {
             pts.push(p);
         }
     }
@@ -257,6 +407,20 @@ pub fn baye_baye(
     budget: &HwBudget,
     budgets: &CodesignBudgets,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
+    baye_baye_with(model, budget, budgets, &budgets.pool(), &EvalCache::default())
+}
+
+/// [`baye_baye`] on an explicit pool and cost cache. The outer hardware
+/// TPE is generation-batched; each candidate's inner segmentation search
+/// gets a seed derived from its *global* iteration index
+/// ([`split_seed`]), so the trajectory is thread-count independent.
+pub fn baye_baye_with(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+    pool: &DsePool,
+    cache: &EvalCache,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
     let workload = Workload::from_graph(model);
     let mut pts = Vec::new();
     let all_shapes = shapes(&workload, budget);
@@ -268,27 +432,38 @@ pub fn baye_baye(
     for (n, s) in all_shapes {
         let space = hw_space(n, budget);
         let mut hw_opt = Tpe::new(space, budgets.seed);
-        for k in 0..outer {
-            let sample = hw_opt.suggest();
-            let (pes, mult) = decode_hw(&sample);
-            // Inner loop: TPE segmentation for this fixed hardware, scored
-            // by simulated latency only.
-            let seg = BayesSegmenter::new(budgets.seed.wrapping_add(k as u64), inner);
-            let value = match seg.segment(&workload, n, s) {
-                Ok(schedule) => {
-                    let design = manual_design(&workload, &schedule, budget, &pes, mult);
-                    match point(&workload, &design, budget, "baye-baye", (n, s)) {
-                        Some(p) => {
-                            let v = p.latency_s;
-                            pts.push(p);
-                            v
-                        }
-                        None => f64::INFINITY,
+        let mut k0 = 0;
+        while k0 < outer {
+            let g = GENERATION.min(outer - k0);
+            let samples = hw_opt.suggest_batch(g);
+            let evals = pool.par_map(&samples, |i, sample| {
+                let (pes, mult) = decode_hw(sample);
+                // Inner loop: TPE segmentation for this fixed hardware,
+                // scored by simulated latency only.
+                let seg = BayesSegmenter::new(split_seed(budgets.seed, (k0 + i) as u64), inner);
+                match seg.segment(&workload, n, s) {
+                    Ok(schedule) => {
+                        let design =
+                            manual_design_with(&workload, &schedule, budget, &pes, mult, cache);
+                        point(&workload, &design, budget, "baye-baye", (n, s), cache)
                     }
+                    Err(_) => None,
                 }
-                Err(_) => f64::INFINITY,
-            };
-            hw_opt.observe(sample, value);
+            });
+            let mut batch = Vec::with_capacity(g);
+            for (sample, p) in samples.into_iter().zip(evals) {
+                let value = match p {
+                    Some(p) => {
+                        let v = p.latency_s;
+                        pts.push(p);
+                        v
+                    }
+                    None => f64::INFINITY,
+                };
+                batch.push((sample, value));
+            }
+            hw_opt.observe_batch(batch);
+            k0 += g;
         }
     }
     Ok(pts)
@@ -304,6 +479,7 @@ mod tests {
             hw_iters: 40,
             seg_iters: 60,
             seed: 3,
+            threads: 2,
         }
     }
 
@@ -357,5 +533,37 @@ mod tests {
         let h = max_e(&mip_heuristic(&model, &budget).unwrap());
         let r = max_e(&mip_random(&model, &budget, &b).unwrap());
         assert!(h <= r, "heuristic max energy {h} vs random {r}");
+    }
+
+    #[test]
+    fn smoke_budgets_shrink_iterations_only() {
+        let b = CodesignBudgets {
+            hw_iters: 500,
+            seg_iters: 2000,
+            seed: 11,
+            threads: 4,
+        };
+        let s = CodesignBudgets::smoke();
+        assert!(s.hw_iters < b.hw_iters && s.seg_iters < b.seg_iters);
+        // smoke_if_env honors the env var; when unset it is the identity.
+        // (Set/unset of env vars is process-global, so only the unset path
+        // is exercised here; the flag plumbing is covered by verify.sh.)
+        if std::env::var("DSE_SMOKE").is_err() {
+            let kept = b.smoke_if_env();
+            assert_eq!(kept.hw_iters, b.hw_iters);
+            assert_eq!(kept.seg_iters, b.seg_iters);
+            assert_eq!(kept.seed, b.seed);
+            assert_eq!(kept.threads, b.threads);
+        }
+    }
+
+    #[test]
+    fn pool_respects_explicit_thread_count() {
+        let b = CodesignBudgets {
+            threads: 3,
+            ..CodesignBudgets::default()
+        };
+        assert_eq!(b.pool().threads(), 3);
+        assert!(CodesignBudgets::default().pool().threads() >= 1);
     }
 }

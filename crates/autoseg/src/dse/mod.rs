@@ -1,0 +1,234 @@
+//! Parallel design-space-exploration substrate.
+//!
+//! The co-design searches of Section VI-G sweep hundreds of hardware
+//! candidates times thousands of segmentation candidates; every candidate
+//! evaluation (segment → allocate → simulate) is independent of its
+//! siblings. This module provides the execution layer those sweeps fan out
+//! on:
+//!
+//! * [`DsePool`] — a scoped-thread worker pool (`std::thread::scope`,
+//!   std-only) whose [`DsePool::par_map`] evaluates a candidate vector
+//!   concurrently while preserving input order. Work derives only from
+//!   the candidate's *index* (never from which worker picked it up), so
+//!   the result is bit-identical to the serial path for any thread count.
+//! * [`split_seed`] — deterministic per-candidate RNG seed derivation
+//!   (SplitMix64 finalizer over `(base, index)`), so stochastic
+//!   candidates stay reproducible when their evaluation order changes.
+//!
+//! The memoized cost cache the DSE workers share lives in
+//! [`pucost::EvalCache`]; a pool plus one cache handle per search is the
+//! standard wiring (see [`crate::codesign`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Parses a thread-count override (the `DSE_THREADS` convention): a
+/// positive integer; anything else means "no override".
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The worker count used when none is configured: the `DSE_THREADS`
+/// environment variable if set to a positive integer, otherwise all
+/// available cores (1 if even that is unknown).
+pub fn default_threads() -> usize {
+    parse_threads(std::env::var("DSE_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// A fixed-width scoped-thread worker pool for candidate evaluation.
+///
+/// The pool is a value, not a resource: threads are spawned per
+/// [`DsePool::par_map`] call inside a `std::thread::scope`, so borrowed
+/// candidate data needs no `'static` bound and panics propagate to the
+/// caller.
+///
+/// # Determinism
+///
+/// `par_map(items, f)` calls `f(index, &items[index])` exactly once per
+/// item and returns results in item order. Workers race only over *which*
+/// index they pick up next; `f` never observes a worker identity. Any
+/// function that is deterministic per index therefore yields output
+/// bit-identical to `items.iter().enumerate().map(..)` — the property the
+/// `threads = 1` equivalence tests pin down.
+///
+/// # Example
+///
+/// ```
+/// use autoseg::dse::DsePool;
+///
+/// let squares = DsePool::new(4).par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsePool {
+    threads: usize,
+}
+
+impl DsePool {
+    /// A pool running `threads` workers (minimum 1; 1 = fully serial, no
+    /// threads are spawned).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`default_threads`] (`DSE_THREADS` or all cores).
+    pub fn from_env() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// The serial pool: `par_map` degenerates to an in-place `map`.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on the pool, returning results in item order.
+    ///
+    /// See the type-level documentation for the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// If `f` panics for any item the panic is propagated to the caller
+    /// when the scope joins.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(items.len());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(i, &items[i]);
+                    *slots[i].lock().expect("dse result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("dse result slot poisoned")
+                    .expect("every index claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Default for DsePool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Derives a per-candidate RNG seed from a base seed and a candidate
+/// index (SplitMix64 finalizer). Seeds for distinct indices are
+/// decorrelated, and the mapping depends only on `(base, index)` — never
+/// on evaluation order — keeping parallel sweeps bit-reproducible.
+pub fn split_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = DsePool::new(threads).par_map(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_the_item_index() {
+        let items = ["a", "b", "c", "d"];
+        let got = DsePool::new(2).par_map(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn par_map_calls_each_item_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<usize> = (0..40).collect();
+        let got = DsePool::new(4).par_map(&items, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 40);
+        assert_eq!(got.len(), 40);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = DsePool::new(8).par_map(&[], |_, x: &u32| *x);
+        assert!(none.is_empty());
+        assert_eq!(DsePool::new(8).par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pool_clamps_to_at_least_one_worker() {
+        assert_eq!(DsePool::new(0).threads(), 1);
+        assert_eq!(DsePool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 12 ")), Some(12));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("auto")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn split_seed_is_deterministic_and_spreads() {
+        assert_eq!(split_seed(7, 3), split_seed(7, 3));
+        let seeds: HashSet<u64> = (0..1000).map(|i| split_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000, "seed collisions within one base");
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn par_map_supports_borrowed_context() {
+        // The scoped pool must accept closures borrowing stack data.
+        let context: Vec<u64> = (0..16).map(|i| i * 10).collect();
+        let items: Vec<usize> = (0..16).collect();
+        let got = DsePool::new(4).par_map(&items, |_, &i| context[i] + 1);
+        assert_eq!(got[15], 151);
+    }
+}

@@ -1,12 +1,14 @@
 //! The end-to-end AutoSeg flow: enumerate `(N, S)` shapes, segment,
 //! allocate, simulate, keep the best design (Section III's workflow).
 
-use crate::allocate::allocate;
+use crate::allocate::allocate_with;
+use crate::dse::DsePool;
 use crate::error::AutoSegError;
 use crate::segment::{ChainDpSegmenter, Segmenter};
 use nnmodel::{Graph, Workload};
+use pucost::EvalCache;
 use spa_arch::{HwBudget, SpaDesign};
-use spa_sim::{simulate_spa, SimReport};
+use spa_sim::{simulate_spa_with, SimReport};
 
 /// Optimization target of the generated accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +41,7 @@ pub struct AutoSeg {
     goal: DesignGoal,
     max_pus: usize,
     max_segments: usize,
+    threads: usize,
     segmenter: Box<dyn Segmenter>,
 }
 
@@ -49,6 +52,7 @@ impl std::fmt::Debug for AutoSeg {
             .field("goal", &self.goal)
             .field("max_pus", &self.max_pus)
             .field("max_segments", &self.max_segments)
+            .field("threads", &self.threads)
             .field("segmenter", &self.segmenter.name())
             .finish()
     }
@@ -63,6 +67,7 @@ impl AutoSeg {
             goal: DesignGoal::Latency,
             max_pus: 8,
             max_segments: 12,
+            threads: 0,
             segmenter: Box::new(ChainDpSegmenter::new()),
         }
     }
@@ -82,6 +87,16 @@ impl AutoSeg {
     /// Caps the segment count explored.
     pub fn max_segments(mut self, s: usize) -> Self {
         self.max_segments = s.max(1);
+        self
+    }
+
+    /// Sets the DSE worker count for the `(N, S)` sweep. `0` (the
+    /// default) auto-sizes from `DSE_THREADS` / available cores; `1` is
+    /// the serial reference path. The selected design is identical for
+    /// any value — candidates are evaluated per shape index and folded in
+    /// enumeration order.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t;
         self
     }
 
@@ -118,29 +133,48 @@ impl AutoSeg {
             return Err(AutoSegError::EmptyWorkload);
         }
         let l = workload.len();
-        let mut best: Option<(f64, SpaDesign, SimReport)> = None;
-        let mut explored = 0;
+        let mut shapes = Vec::new();
         for n in 2..=self.max_pus.min(l).min(self.budget.pes) {
             for s in 1..=self.max_segments.min(l / n) {
-                let Ok(schedule) = self.segmenter.segment(&workload, n, s) else {
-                    continue;
-                };
-                let Ok(design) = allocate(&workload, &schedule, &self.budget, self.goal) else {
-                    continue;
-                };
-                explored += 1;
-                if !design.fits(&self.budget) {
-                    continue;
-                }
-                // The fabric must be able to realize every segment.
-                if design.segment_routings(&workload).is_err() {
-                    continue;
-                }
-                let report = simulate_spa(&workload, &design);
-                let metric = match self.goal {
-                    DesignGoal::Latency => report.seconds,
-                    DesignGoal::Throughput => 1.0 / report.gops().max(1e-12),
-                };
+                shapes.push((n, s));
+            }
+        }
+        let pool = if self.threads == 0 {
+            DsePool::from_env()
+        } else {
+            DsePool::new(self.threads)
+        };
+        let cache = EvalCache::default();
+        // Each shape's candidate is built and simulated independently; the
+        // fold below walks results in enumeration order, so the selected
+        // design (and tie-breaks) match the serial sweep exactly.
+        let evals = pool.par_map(&shapes, |_, &(n, s)| {
+            let Ok(schedule) = self.segmenter.segment(&workload, n, s) else {
+                return (false, None);
+            };
+            let Ok(design) = allocate_with(&workload, &schedule, &self.budget, self.goal, &cache)
+            else {
+                return (false, None);
+            };
+            if !design.fits(&self.budget) {
+                return (true, None);
+            }
+            // The fabric must be able to realize every segment.
+            if design.segment_routings(&workload).is_err() {
+                return (true, None);
+            }
+            let report = simulate_spa_with(&workload, &design, &cache);
+            let metric = match self.goal {
+                DesignGoal::Latency => report.seconds,
+                DesignGoal::Throughput => 1.0 / report.gops().max(1e-12),
+            };
+            (true, Some((metric, design, report)))
+        });
+        let mut best: Option<(f64, SpaDesign, SimReport)> = None;
+        let mut explored = 0;
+        for (counted, candidate) in evals {
+            explored += counted as usize;
+            if let Some((metric, design, report)) = candidate {
                 if best.as_ref().is_none_or(|(m, _, _)| metric < *m) {
                     best = Some((metric, design, report));
                 }

@@ -12,9 +12,9 @@ use crate::allocate::eval_pu_segment;
 use crate::error::AutoSegError;
 use crate::segment::{ChainDpSegmenter, Segmenter};
 use nnmodel::{Graph, Workload};
-use pucost::EnergyModel;
+use pucost::EvalCache;
 use spa_arch::SpaDesign;
-use spa_sim::{simulate_spa, SimReport};
+use spa_sim::{simulate_spa_with, SimReport};
 
 /// Maps `new_model` onto the hardware of `dedicated` (designed for
 /// `dedicated_workload`). Returns the remapped design (same PUs, new
@@ -31,7 +31,9 @@ pub fn remap(
 ) -> Result<(SpaDesign, SimReport), AutoSegError> {
     let workload = Workload::from_graph(new_model);
     let n = dedicated.n_pus();
-    let em = EnergyModel::tsmc28();
+    // The PU hardware is frozen, so every relabeling probes the same
+    // (layer, PU, dataflow) points — one cache serves the whole remap.
+    let cache = EvalCache::default();
     let pruned = dedicated
         .pruned_fabric(dedicated_workload)
         .map_err(|_| AutoSegError::NoFeasibleDesign {
@@ -61,7 +63,7 @@ pub fn remap(
                 .map(|pu| {
                     (0..s)
                         .map(|si| {
-                            eval_pu_segment(&workload, &schedule, si, pu, &dedicated.pus[pu], &em)
+                            eval_pu_segment(&workload, &schedule, si, pu, &dedicated.pus[pu], &cache)
                                 .0
                         })
                         .collect()
@@ -84,7 +86,7 @@ pub fn remap(
             if !routings.iter().all(|r| pruned.supports(r)) {
                 continue;
             }
-            let report = simulate_spa(&workload, &candidate);
+            let report = simulate_spa_with(&workload, &candidate, &cache);
             if best
                 .as_ref()
                 .is_none_or(|(secs, _, _)| report.seconds < *secs)

@@ -41,6 +41,7 @@
 
 pub mod allocate;
 pub mod codesign;
+pub mod dse;
 mod engine;
 mod error;
 pub mod generality;

@@ -9,15 +9,15 @@
 //! fabric is pruned against the union of all segment routings — so every
 //! model runs on first-class hardware.
 
-use crate::allocate::{allocate, eval_pu_segment};
+use crate::allocate::{allocate_with, eval_pu_segment};
 use crate::engine::DesignGoal;
 use crate::error::AutoSegError;
 use crate::segment::{ChainDpSegmenter, Segmenter};
 use benes::Routing;
 use nnmodel::{Graph, Workload};
-use pucost::EnergyModel;
+use pucost::EvalCache;
 use spa_arch::{HwBudget, SpaDesign};
-use spa_sim::{simulate_spa, SimReport};
+use spa_sim::{simulate_spa_with, SimReport};
 
 /// Result of a joint co-design run: one hardware configuration, one
 /// mapped design (schedule + dataflows) per model.
@@ -85,7 +85,10 @@ pub fn design_multi(
     }
     let workloads: Vec<Workload> = models.iter().map(Workload::from_graph).collect();
     let segmenter = ChainDpSegmenter::new();
-    let em = EnergyModel::tsmc28();
+    // One memo cache for the whole joint search: the per-model trial
+    // allocations and the merged-hardware dataflow probes revisit the same
+    // (layer, PU, dataflow) points constantly.
+    let cache = EvalCache::default();
     let min_len = workloads.iter().map(Workload::len).min().expect("nonempty");
 
     let mut best: Option<(f64, MultiOutcome)> = None;
@@ -100,13 +103,13 @@ pub fn design_multi(
                 let Ok(sched) = segmenter.segment(w, n, s) else {
                     continue;
                 };
-                let Ok(d) = allocate(w, &sched, budget, DesignGoal::Latency) else {
+                let Ok(d) = allocate_with(w, &sched, budget, DesignGoal::Latency, &cache) else {
                     continue;
                 };
                 if !d.fits(budget) || d.segment_routings(w).is_err() {
                     continue;
                 }
-                let secs = simulate_spa(w, &d).seconds;
+                let secs = simulate_spa_with(w, &d, &cache).seconds;
                 if best_s
                     .as_ref()
                     .is_none_or(|&(bs, _): &(f64, _)| secs < bs)
@@ -132,7 +135,7 @@ pub fn design_multi(
         //    then scale down while over budget).
         let mut per_model: Vec<SpaDesign> = Vec::new();
         for (w, sched) in workloads.iter().zip(&schedules) {
-            match allocate(w, sched, budget, DesignGoal::Latency) {
+            match allocate_with(w, sched, budget, DesignGoal::Latency, &cache) {
                 Ok(d) => per_model.push(d),
                 Err(_) => {
                     ok = false;
@@ -188,7 +191,7 @@ pub fn design_multi(
             let dataflows = (0..n)
                 .map(|pu| {
                     (0..sched.len())
-                        .map(|si| eval_pu_segment(w, sched, si, pu, &pus[pu], &em).0)
+                        .map(|si| eval_pu_segment(w, sched, si, pu, &pus[pu], &cache).0)
                         .collect()
                 })
                 .collect();
@@ -205,7 +208,7 @@ pub fn design_multi(
                 ok = false;
                 break;
             }
-            reports.push(simulate_spa(w, &d));
+            reports.push(simulate_spa_with(w, &d, &cache));
             designs.push(d);
         }
         if !ok {

@@ -18,7 +18,12 @@ use nnmodel::Workload;
 use spa_arch::SegmentSchedule;
 
 /// A model segmentation engine.
-pub trait Segmenter {
+///
+/// Segmenters are shared across DSE worker threads (the `(N, S)` sweep of
+/// [`crate::AutoSeg`] probes shapes concurrently), hence the `Send + Sync`
+/// bound; all engines here are plain immutable data, so the bound costs
+/// implementors nothing.
+pub trait Segmenter: Send + Sync {
     /// Partitions `workload` into `n_segments` segments over `n_pus` PUs.
     ///
     /// # Errors

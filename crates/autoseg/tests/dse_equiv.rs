@@ -1,0 +1,141 @@
+//! Determinism contract of the parallel DSE executor: every co-design
+//! method, and the AutoSeg engine sweep, must produce *bit-identical*
+//! results for any worker count. `threads = 1` is the serial reference
+//! path (no threads are spawned), so these tests pin parallel == serial.
+
+use autoseg::codesign::{
+    baye_baye_with, baye_heuristic_with, mip_anneal_with, mip_baye_with, mip_heuristic_with,
+    mip_random_with, CodesignBudgets, DesignPoint,
+};
+use autoseg::dse::DsePool;
+use autoseg::AutoSeg;
+use nnmodel::zoo;
+use pucost::EvalCache;
+use spa_arch::HwBudget;
+
+fn budgets() -> CodesignBudgets {
+    CodesignBudgets {
+        hw_iters: 32,
+        seg_iters: 48,
+        seed: 9,
+        threads: 1,
+    }
+}
+
+/// Runs all six methods on one pool, each with a fresh cache.
+fn run_all(pool: &DsePool) -> Vec<(&'static str, Vec<DesignPoint>)> {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let b = budgets();
+    vec![
+        (
+            "mip-heuristic",
+            mip_heuristic_with(&model, &budget, pool, &EvalCache::default()).unwrap(),
+        ),
+        (
+            "mip-random",
+            mip_random_with(&model, &budget, &b, pool, &EvalCache::default()).unwrap(),
+        ),
+        (
+            "mip-baye",
+            mip_baye_with(&model, &budget, &b, pool, &EvalCache::default()).unwrap(),
+        ),
+        (
+            "baye-heuristic",
+            baye_heuristic_with(&model, &budget, &b, pool, &EvalCache::default()).unwrap(),
+        ),
+        (
+            "baye-baye",
+            baye_baye_with(&model, &budget, &b, pool, &EvalCache::default()).unwrap(),
+        ),
+        (
+            "mip-anneal",
+            mip_anneal_with(&model, &budget, &b, pool, &EvalCache::default()).unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn parallel_codesign_matches_serial_reference() {
+    let serial = run_all(&DsePool::new(1));
+    for (name, pts) in &serial {
+        assert!(!pts.is_empty(), "{name} produced no points");
+    }
+    for threads in [2, 4] {
+        let parallel = run_all(&DsePool::new(threads));
+        for ((name, s), (_, p)) in serial.iter().zip(&parallel) {
+            assert_eq!(s, p, "{name} diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn public_entry_points_honor_the_threads_field() {
+    // The plain (non-`_with`) entry points build their pool from
+    // `budgets.threads`; the point clouds must not depend on its value.
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let serial = autoseg::codesign::mip_random(&model, &budget, &budgets()).unwrap();
+    let parallel = autoseg::codesign::mip_random(
+        &model,
+        &budget,
+        &CodesignBudgets {
+            threads: 4,
+            ..budgets()
+        },
+    )
+    .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn shared_cache_reuse_does_not_change_points() {
+    // Re-running a search on an already-warm cache must return the same
+    // points while serving (almost) everything from memo.
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let pool = DsePool::new(2);
+    let cache = EvalCache::default();
+    let cold = mip_heuristic_with(&model, &budget, &pool, &cache).unwrap();
+    let (cold_hits, cold_misses) = (cache.hits(), cache.misses());
+    let warm = mip_heuristic_with(&model, &budget, &pool, &cache).unwrap();
+    assert_eq!(cold, warm);
+    assert_eq!(
+        cache.misses(),
+        cold_misses,
+        "warm rerun should add no new cache entries"
+    );
+    assert!(cache.hits() > cold_hits);
+    assert!(
+        cache.hit_rate() > 0.5,
+        "hit rate {:.3} after warm rerun",
+        cache.hit_rate()
+    );
+}
+
+#[test]
+fn engine_sweep_is_thread_count_invariant() {
+    let budget = HwBudget::nvdla_small();
+    let serial = AutoSeg::new(budget.clone())
+        .max_pus(3)
+        .max_segments(4)
+        .threads(1)
+        .run(&zoo::squeezenet1_0())
+        .unwrap();
+    for threads in [2, 4] {
+        let parallel = AutoSeg::new(budget.clone())
+            .max_pus(3)
+            .max_segments(4)
+            .threads(threads)
+            .run(&zoo::squeezenet1_0())
+            .unwrap();
+        assert_eq!(serial.explored, parallel.explored, "{threads} threads");
+        assert_eq!(serial.design, parallel.design, "{threads} threads");
+        assert_eq!(serial.report.cycles, parallel.report.cycles);
+        assert_eq!(serial.report.seconds, parallel.report.seconds);
+        assert_eq!(
+            serial.report.energy.total_pj(),
+            parallel.report.energy.total_pj()
+        );
+    }
+}

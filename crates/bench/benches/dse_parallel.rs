@@ -1,0 +1,55 @@
+//! Parallel-DSE executor and memo-cache kernels: the same co-design
+//! search measured serial vs multi-threaded, and cold- vs warm-cache.
+//!
+//! The searches are deterministic for any thread count (see the
+//! `dse_equiv` integration tests), so every variant here performs
+//! identical work — the timings isolate executor and cache overheads.
+
+use autoseg::codesign::{mip_baye_with, mip_heuristic_with, CodesignBudgets};
+use autoseg::dse::DsePool;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nnmodel::zoo;
+use pucost::EvalCache;
+use spa_arch::HwBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let iters = CodesignBudgets {
+        hw_iters: 32,
+        seg_iters: 32,
+        seed: 3,
+        threads: 1,
+    };
+
+    let mut g = c.benchmark_group("dse_parallel");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = DsePool::new(threads);
+        g.bench_function(format!("mip_baye_t{threads}"), |b| {
+            b.iter(|| {
+                // Fresh cache per run: measures the executor, not reuse.
+                let cache = EvalCache::default();
+                black_box(mip_baye_with(&model, &budget, &iters, &pool, &cache).expect("runs"))
+            })
+        });
+    }
+    // Cache contribution at a fixed thread count: cold vs pre-warmed.
+    let pool = DsePool::new(4);
+    g.bench_function("mip_heuristic_cold_cache", |b| {
+        b.iter(|| {
+            let cache = EvalCache::default();
+            black_box(mip_heuristic_with(&model, &budget, &pool, &cache).expect("runs"))
+        })
+    });
+    let warm = EvalCache::default();
+    mip_heuristic_with(&model, &budget, &pool, &warm).expect("warmup");
+    g.bench_function("mip_heuristic_warm_cache", |b| {
+        b.iter(|| black_box(mip_heuristic_with(&model, &budget, &pool, &warm).expect("runs")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

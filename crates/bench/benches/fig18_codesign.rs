@@ -10,10 +10,13 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let model = zoo::alexnet_conv();
     let budget = HwBudget::nvdla_small();
+    // Single-threaded so this kernel tracks the serial baseline cost; the
+    // parallel executor is measured separately in `dse_parallel`.
     let iters = CodesignBudgets {
         hw_iters: 20,
         seg_iters: 20,
         seed: 3,
+        threads: 1,
     };
     let mut g = c.benchmark_group("fig18");
     g.sample_size(10);

@@ -1,0 +1,131 @@
+//! Wall-clock benchmark of the parallel DSE executor + memoized PU-cost
+//! cache: runs the Figure 18 co-design search serial (1 thread) and
+//! parallel, checks the point clouds are bit-identical, and writes the
+//! timings, speedup and cache statistics to `results/BENCH_dse.json`.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin bench_dse -- \
+//!     [--threads 8] [--hw-iters 200] [--seg-iters 400] [--seed 7] [--model alexnet_conv]
+//! ```
+//!
+//! `DSE_SMOKE=1` shrinks the iteration budgets for CI smoke runs.
+
+use autoseg::codesign::{
+    baye_baye_with, mip_baye_with, mip_heuristic_with, CodesignBudgets, DesignPoint,
+};
+use autoseg::dse::{default_threads, DsePool};
+use experiments::{codesign_budgets, flag_parse, flag_value, results_dir};
+use nnmodel::zoo;
+use pucost::EvalCache;
+use spa_arch::HwBudget;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One full co-design workload on a given pool; every method shares one
+/// cache, as the engine wiring does.
+fn run(
+    model: &nnmodel::Graph,
+    budget: &HwBudget,
+    iters: &CodesignBudgets,
+    pool: &DsePool,
+) -> (Vec<DesignPoint>, EvalCache, f64) {
+    let cache = EvalCache::default();
+    let t0 = Instant::now();
+    let mut pts = mip_heuristic_with(model, budget, pool, &cache).expect("mip-heuristic");
+    pts.extend(mip_baye_with(model, budget, iters, pool, &cache).expect("mip-baye"));
+    pts.extend(baye_baye_with(model, budget, iters, pool, &cache).expect("baye-baye"));
+    let secs = t0.elapsed().as_secs_f64();
+    (pts, cache, secs)
+}
+
+fn main() {
+    let model_name = flag_value("model").unwrap_or_else(|| "alexnet_conv".to_string());
+    let model = zoo::by_name(&model_name).expect("zoo model");
+    let budget = HwBudget::nvdla_small();
+    let iters = codesign_budgets(CodesignBudgets {
+        hw_iters: 200,
+        seg_iters: 400,
+        seed: 7,
+        threads: 0,
+    });
+    let threads = match flag_parse("threads", iters.threads) {
+        0 => default_threads(),
+        t => t,
+    };
+
+    println!("== DSE executor benchmark ==");
+    println!(
+        "   model {model_name}, budget {}, {} hw iters, {} seg iters, seed {}",
+        budget.name, iters.hw_iters, iters.seg_iters, iters.seed
+    );
+
+    let (serial_pts, serial_cache, serial_s) = run(&model, &budget, &iters, &DsePool::new(1));
+    println!("   serial   (1 thread):  {serial_s:>8.3} s, {} points", serial_pts.len());
+    let (par_pts, par_cache, parallel_s) = run(&model, &budget, &iters, &DsePool::new(threads));
+    println!("   parallel ({threads} threads): {parallel_s:>8.3} s, {} points", par_pts.len());
+
+    // The executor's core contract: identical results for any thread
+    // count. A violation here is a bug, not a measurement artifact.
+    let deterministic = serial_pts == par_pts;
+    assert!(
+        deterministic,
+        "parallel search diverged from the serial reference"
+    );
+
+    let speedup = serial_s / parallel_s.max(1e-12);
+    println!("   speedup: {speedup:.2}x");
+    println!(
+        "   cache: {} entries, {} hits / {} misses ({:.1}% hit rate)",
+        par_cache.len(),
+        par_cache.hits(),
+        par_cache.misses(),
+        par_cache.hit_rate() * 100.0
+    );
+
+    // Hand-rolled JSON (the workspace has no JSON serializer wired into
+    // the experiment harness; the schema is flat and numeric).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"model\": \"{}\",\n",
+            "  \"budget\": \"{}\",\n",
+            "  \"hw_iters\": {},\n",
+            "  \"seg_iters\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"points\": {},\n",
+            "  \"serial_s\": {:.6},\n",
+            "  \"parallel_s\": {:.6},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"deterministic\": {},\n",
+            "  \"cache\": {{\n",
+            "    \"entries\": {},\n",
+            "    \"hits\": {},\n",
+            "    \"misses\": {},\n",
+            "    \"hit_rate\": {:.4},\n",
+            "    \"serial_hit_rate\": {:.4}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        model_name,
+        budget.name,
+        iters.hw_iters,
+        iters.seg_iters,
+        iters.seed,
+        threads,
+        par_pts.len(),
+        serial_s,
+        parallel_s,
+        speedup,
+        deterministic,
+        par_cache.len(),
+        par_cache.hits(),
+        par_cache.misses(),
+        par_cache.hit_rate(),
+        serial_cache.hit_rate(),
+    );
+    let path = results_dir().join("BENCH_dse.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_dse.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_dse.json");
+    println!("  -> wrote {}", path.display());
+}

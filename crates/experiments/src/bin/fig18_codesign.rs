@@ -6,7 +6,7 @@
 use autoseg::codesign::{
     baye_baye, baye_heuristic, mip_baye, mip_heuristic, mip_random, CodesignBudgets, DesignPoint,
 };
-use experiments::{f3, print_table, short_name, write_csv};
+use experiments::{codesign_budgets, f3, print_table, short_name, write_csv};
 use nnmodel::zoo;
 use spa_arch::HwBudget;
 
@@ -14,11 +14,21 @@ fn main() {
     println!("== Figure 18: co-design method comparison ==");
     let budgets = [HwBudget::eyeriss(), HwBudget::nvdla_small()];
     let models = ["alexnet", "mobilenet_v1"];
-    let iters = CodesignBudgets {
+    // Defaults overridable via --hw-iters / --seg-iters / --seed /
+    // --threads (and shrunk by DSE_SMOKE=1 for CI smoke runs).
+    let iters = codesign_budgets(CodesignBudgets {
         hw_iters: 200,
         seg_iters: 400,
         seed: 7,
-    };
+        threads: 0,
+    });
+    println!(
+        "   ({} hw iters, {} seg iters, seed {}, {} threads)",
+        iters.hw_iters,
+        iters.seg_iters,
+        iters.seed,
+        iters.pool().threads()
+    );
 
     let mut scatter: Vec<Vec<String>> = Vec::new();
     let mut summary: Vec<Vec<String>> = Vec::new();

@@ -9,12 +9,72 @@
 
 pub mod svg;
 
+use autoseg::codesign::CodesignBudgets;
 use autoseg::{AutoSeg, AutoSegOutcome, DesignGoal};
 use nnmodel::Graph;
 use spa_arch::HwBudget;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+
+/// Looks up `--name value` or `--name=value` in an argument list.
+fn flag_value_in(args: &[String], name: &str) -> Option<String> {
+    let key = format!("--{name}");
+    let prefix = format!("--{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if a == &key {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// The value of `--name value` / `--name=value` from the process
+/// arguments, if the flag is present.
+pub fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    flag_value_in(&args, name)
+}
+
+/// `true` if `--name` appears anywhere in the process arguments.
+pub fn flag_present(name: &str) -> bool {
+    let key = format!("--{name}");
+    let prefix = format!("--{name}=");
+    std::env::args().any(|a| a == key || a.starts_with(&prefix))
+}
+
+/// Parses `--name value` into `T`, falling back to `default` when the
+/// flag is absent.
+///
+/// # Panics
+///
+/// Panics with the flag name on an unparsable value (experiments are
+/// command-line tools; a typo should fail loudly, not run the wrong
+/// sweep).
+pub fn flag_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match flag_value(name) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("--{name}: cannot parse {v:?}")),
+        None => default,
+    }
+}
+
+/// [`CodesignBudgets`] built from `defaults`, overridden by the
+/// `--hw-iters`, `--seg-iters`, `--seed` and `--threads` CLI flags, then
+/// shrunk to smoke iterations if `DSE_SMOKE` is set.
+pub fn codesign_budgets(defaults: CodesignBudgets) -> CodesignBudgets {
+    CodesignBudgets {
+        hw_iters: flag_parse("hw-iters", defaults.hw_iters),
+        seg_iters: flag_parse("seg-iters", defaults.seg_iters),
+        seed: flag_parse("seed", defaults.seed),
+        threads: flag_parse("threads", defaults.threads),
+    }
+    .smoke_if_env()
+}
 
 /// Directory experiment CSVs are written to (`<repo>/results`, overridable
 /// with `SPA_RESULTS_DIR`).
@@ -138,5 +198,17 @@ mod tests {
         for g in fig12_models() {
             assert_ne!(short_name(g.name()), "");
         }
+    }
+
+    #[test]
+    fn flag_lookup_handles_both_spellings() {
+        let args: Vec<String> = ["bin", "--seed", "11", "--threads=4", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value_in(&args, "seed").as_deref(), Some("11"));
+        assert_eq!(flag_value_in(&args, "threads").as_deref(), Some("4"));
+        assert_eq!(flag_value_in(&args, "quick").as_deref(), None);
+        assert_eq!(flag_value_in(&args, "hw-iters"), None);
     }
 }

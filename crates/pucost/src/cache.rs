@@ -1,0 +1,294 @@
+//! A sharded, thread-safe memoization cache fronting [`evaluate`] and
+//! [`best_dataflow`].
+//!
+//! The AutoSeg search loops (Algorithm 1's dataflow probes, the Section
+//! VI-G co-design sweeps) evaluate the same `(layer, PU, dataflow)`
+//! triples thousands of times: every scale-up trial re-scores every
+//! segment, every search candidate re-probes both dataflows per item.
+//! [`evaluate`] is a pure function of its inputs plus the energy model, so
+//! those repeats can be served from a cache without changing a single bit
+//! of the result.
+//!
+//! The cache is sharded (`Vec<Mutex<HashMap<..>>>`) so concurrent DSE
+//! workers rarely contend on the same lock: the key hash picks the shard,
+//! and each shard is an independent map guarded by its own mutex.
+//!
+//! One cache is tied to one [`EnergyModel`] (the model is part of the
+//! evaluation's identity); callers that switch energy models use separate
+//! caches.
+
+use crate::energy::EnergyModel;
+use crate::eval::{evaluate, pick_dataflow, PuEval};
+use crate::layer::LayerDesc;
+use crate::pu::{Dataflow, PuConfig};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Canonical hashable identity of one `(layer, PU, dataflow)` evaluation.
+///
+/// [`PuConfig`] carries an `f64` clock and therefore cannot implement
+/// `Eq`/`Hash` directly; the key stores the frequency's IEEE-754 bits,
+/// which is exact for the cache's purpose (two configs evaluate
+/// identically iff every field, including the clock, is bit-identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    layer: LayerDesc,
+    rows: usize,
+    cols: usize,
+    act_buf_bytes: u64,
+    wgt_buf_bytes: u64,
+    freq_bits: u64,
+    dataflow: Dataflow,
+}
+
+impl EvalKey {
+    /// Builds the key for `(layer, pu, df)`.
+    pub fn new(layer: &LayerDesc, pu: &PuConfig, df: Dataflow) -> Self {
+        Self {
+            layer: *layer,
+            rows: pu.rows,
+            cols: pu.cols,
+            act_buf_bytes: pu.act_buf_bytes,
+            wgt_buf_bytes: pu.wgt_buf_bytes,
+            freq_bits: pu.freq_mhz.to_bits(),
+            dataflow: df,
+        }
+    }
+}
+
+/// Default shard count: enough that 8–16 workers rarely collide, small
+/// enough that an idle cache costs nothing noticeable.
+const DEFAULT_SHARDS: usize = 16;
+
+/// Sharded concurrent memo cache for PU cost evaluations.
+///
+/// Cheap to share by reference across scoped worker threads; all methods
+/// take `&self`.
+///
+/// # Example
+///
+/// ```
+/// use pucost::{Dataflow, EnergyModel, EvalCache, LayerDesc, PuConfig, evaluate};
+///
+/// let cache = EvalCache::new(EnergyModel::tsmc28());
+/// let layer = LayerDesc {
+///     in_c: 64, in_h: 28, in_w: 28, out_c: 128, out_h: 28, out_w: 28,
+///     kernel: 3, stride: 1, groups: 1, is_fc: false,
+/// };
+/// let pu = PuConfig::new(16, 16);
+/// let direct = evaluate(&layer, &pu, Dataflow::WeightStationary, &EnergyModel::tsmc28());
+/// let cached = cache.evaluate(&layer, &pu, Dataflow::WeightStationary);
+/// assert_eq!(direct, cached);                 // bit-identical
+/// let again = cache.evaluate(&layer, &pu, Dataflow::WeightStationary);
+/// assert_eq!(cached, again);
+/// assert_eq!(cache.hits(), 1);
+/// ```
+#[derive(Debug)]
+pub struct EvalCache {
+    em: EnergyModel,
+    shards: Vec<Mutex<HashMap<EvalKey, PuEval>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new(EnergyModel::default())
+    }
+}
+
+impl EvalCache {
+    /// A cache bound to `em` with the default shard count.
+    pub fn new(em: EnergyModel) -> Self {
+        Self::with_shards(em, DEFAULT_SHARDS)
+    }
+
+    /// A cache bound to `em` with an explicit shard count (minimum 1).
+    pub fn with_shards(em: EnergyModel, shards: usize) -> Self {
+        Self {
+            em,
+            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The energy model every cached evaluation was produced under.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.em
+    }
+
+    fn shard_of(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, PuEval>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Memoized [`evaluate`]: identical results, repeated calls served
+    /// from the shard map.
+    pub fn evaluate(&self, layer: &LayerDesc, pu: &PuConfig, df: Dataflow) -> PuEval {
+        let key = EvalKey::new(layer, pu, df);
+        let shard = self.shard_of(&key);
+        if let Some(hit) = shard.lock().expect("eval cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        // Compute outside the lock so a slow evaluation never blocks the
+        // shard's other keys.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let eval = evaluate(layer, pu, df, &self.em);
+        shard
+            .lock()
+            .expect("eval cache shard poisoned")
+            .insert(key, eval);
+        eval
+    }
+
+    /// Memoized [`best_dataflow`]: probes both dataflows through the cache
+    /// and applies the same latency-first, energy-tie-break selection.
+    pub fn best_dataflow(&self, layer: &LayerDesc, pu: &PuConfig) -> (Dataflow, PuEval) {
+        let ws = self.evaluate(layer, pu, Dataflow::WeightStationary);
+        let os = self.evaluate(layer, pu, Dataflow::OutputStationary);
+        pick_dataflow(ws, os)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to evaluate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 for an unused cache.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Number of distinct evaluations stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("eval cache shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the hit/miss counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("eval cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::best_dataflow;
+
+    fn conv() -> LayerDesc {
+        LayerDesc {
+            in_c: 64,
+            in_h: 28,
+            in_w: 28,
+            out_c: 128,
+            out_h: 28,
+            out_w: 28,
+            kernel: 3,
+            stride: 1,
+            groups: 1,
+            is_fc: false,
+        }
+    }
+
+    #[test]
+    fn cached_matches_direct() {
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::new(em);
+        let pu = PuConfig::new(8, 16).with_buffers(4096, 4096);
+        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+            assert_eq!(cache.evaluate(&conv(), &pu, df), evaluate(&conv(), &pu, df, &em));
+        }
+        assert_eq!(cache.best_dataflow(&conv(), &pu), best_dataflow(&conv(), &pu, &em));
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let cache = EvalCache::new(EnergyModel::tsmc28());
+        let pu = PuConfig::new(16, 16);
+        assert_eq!(cache.hit_rate(), 0.0);
+        cache.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // A different PU or dataflow is a different key.
+        cache.evaluate(&conv(), &pu, Dataflow::OutputStationary);
+        cache.evaluate(&conv(), &PuConfig::new(8, 8), Dataflow::WeightStationary);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.hit_rate() > 0.0 && cache.hit_rate() < 1.0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn frequency_and_buffers_distinguish_keys() {
+        let cache = EvalCache::new(EnergyModel::tsmc28());
+        let a = PuConfig::new(16, 16).with_freq_mhz(800.0);
+        let b = PuConfig::new(16, 16).with_freq_mhz(400.0);
+        let ea = cache.evaluate(&conv(), &a, Dataflow::WeightStationary);
+        let eb = cache.evaluate(&conv(), &b, Dataflow::WeightStationary);
+        assert_eq!(cache.misses(), 2, "distinct clocks must not collide");
+        assert_eq!(ea.cycles, eb.cycles);
+        assert!(ea.seconds < eb.seconds);
+        let c = PuConfig::new(16, 16).with_buffers(1, 1);
+        let ec = cache.evaluate(&conv(), &c, Dataflow::WeightStationary);
+        assert_eq!(cache.misses(), 3);
+        assert!(!ec.buffers_ok);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::with_shards(em, 4);
+        let layers: Vec<LayerDesc> = (1..=8)
+            .map(|k| LayerDesc {
+                in_c: 8 * k,
+                out_c: 16 * k,
+                ..conv()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for l in &layers {
+                        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+                            let got = cache.evaluate(l, &PuConfig::new(16, 16), df);
+                            assert_eq!(got, evaluate(l, &PuConfig::new(16, 16), df, &em));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), layers.len() * 2);
+        assert_eq!(cache.hits() + cache.misses(), (layers.len() * 2 * 4) as u64);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::layer::LayerDesc;
 use crate::pu::{Dataflow, PuConfig};
+use crate::util::div_ceil;
 use serde::{Deserialize, Serialize};
 
 /// Result of evaluating one layer on one PU under one dataflow.
@@ -29,10 +30,6 @@ pub struct PuEval {
     /// `true` if the PU's buffers meet the layer's minimum requirements
     /// (`(K+S)` ifmap rows in AB, `K^2 * PE` weights in WB).
     pub buffers_ok: bool,
-}
-
-fn div_ceil(a: usize, b: usize) -> usize {
-    a.div_ceil(b.max(1))
 }
 
 /// Evaluates `layer` on `pu` under dataflow `df`.
@@ -128,12 +125,11 @@ pub fn evaluate(layer: &LayerDesc, pu: &PuConfig, df: Dataflow, em: &EnergyModel
     }
 }
 
-/// Evaluates both dataflows and returns the faster (ties broken toward the
-/// one with lower on-chip energy) — Algorithm 1 line 12's `DF[n][s]`
-/// selection.
-pub fn best_dataflow(layer: &LayerDesc, pu: &PuConfig, em: &EnergyModel) -> (Dataflow, PuEval) {
-    let ws = evaluate(layer, pu, Dataflow::WeightStationary, em);
-    let os = evaluate(layer, pu, Dataflow::OutputStationary, em);
+/// Selects between a WS and an OS evaluation of the same layer: lower
+/// cycle count wins, ties broken toward the lower on-chip energy. Shared
+/// by [`best_dataflow`] and the memoized [`crate::EvalCache`] so both
+/// apply bit-identical selection.
+pub(crate) fn pick_dataflow(ws: PuEval, os: PuEval) -> (Dataflow, PuEval) {
     let pick_os = match ws.cycles.cmp(&os.cycles) {
         std::cmp::Ordering::Greater => true,
         std::cmp::Ordering::Less => false,
@@ -144,6 +140,15 @@ pub fn best_dataflow(layer: &LayerDesc, pu: &PuConfig, em: &EnergyModel) -> (Dat
     } else {
         (Dataflow::WeightStationary, ws)
     }
+}
+
+/// Evaluates both dataflows and returns the faster (ties broken toward the
+/// one with lower on-chip energy) — Algorithm 1 line 12's `DF[n][s]`
+/// selection.
+pub fn best_dataflow(layer: &LayerDesc, pu: &PuConfig, em: &EnergyModel) -> (Dataflow, PuEval) {
+    let ws = evaluate(layer, pu, Dataflow::WeightStationary, em);
+    let os = evaluate(layer, pu, Dataflow::OutputStationary, em);
+    pick_dataflow(ws, os)
 }
 
 #[cfg(test)]

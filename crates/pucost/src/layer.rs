@@ -4,7 +4,10 @@ use nnmodel::WorkItem;
 use serde::{Deserialize, Serialize};
 
 /// The shape information the cost model needs about one work item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Eq` make the descriptor directly usable as (part of) the
+/// [`crate::EvalCache`] memoization key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LayerDesc {
     /// Input channels.
     pub in_c: usize,

@@ -39,11 +39,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod energy;
 mod eval;
 mod layer;
 mod pu;
+pub mod util;
 
+pub use cache::{EvalCache, EvalKey};
 pub use energy::{AreaModel, EnergyBreakdown, EnergyModel};
 pub use eval::{best_dataflow, evaluate, PuEval};
 pub use layer::LayerDesc;

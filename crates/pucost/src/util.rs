@@ -1,0 +1,41 @@
+//! Small shared integer helpers used across the cost model and the
+//! simulators.
+//!
+//! Tile-loop arithmetic throughout `pucost`, `spa-arch` and `spa-sim`
+//! divides by quantities that can legitimately collapse to zero (empty
+//! channel groups, zero-capacity probe buffers). These helpers centralize
+//! the zero-safe ceiling division that used to be open-coded per crate.
+
+/// Zero-safe ceiling division for `usize`: `ceil(a / b)`, with `b == 0`
+/// treated as 1 (a degenerate tiling dimension collapses to one tile).
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b.max(1))
+}
+
+/// Zero-safe ceiling division for `u64` (see [`div_ceil`]).
+#[inline]
+pub fn div_ceil_u64(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_up() {
+        assert_eq!(div_ceil(0, 4), 0);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(4, 4), 1);
+        assert_eq!(div_ceil(5, 4), 2);
+        assert_eq!(div_ceil_u64(9, 3), 3);
+        assert_eq!(div_ceil_u64(10, 3), 4);
+    }
+
+    #[test]
+    fn zero_divisor_is_identity() {
+        assert_eq!(div_ceil(7, 0), 7);
+        assert_eq!(div_ceil_u64(7, 0), 7);
+    }
+}

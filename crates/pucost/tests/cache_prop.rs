@@ -1,0 +1,101 @@
+//! Property tests for the memoization cache: for *any* layer/PU/dataflow
+//! combination, the cached evaluator must be indistinguishable from the
+//! direct one — same `PuEval` bit for bit, same dataflow selection — no
+//! matter how often or in what order lookups repeat.
+
+use proptest::prelude::*;
+use pucost::{best_dataflow, evaluate, Dataflow, EnergyModel, EvalCache, LayerDesc, PuConfig};
+
+/// Random but well-formed layers: grouped convs (channels divisible by the
+/// group count), depthwise included, plus flat FC layers.
+fn any_layer() -> impl Strategy<Value = LayerDesc> {
+    let conv = (
+        1usize..=8,  // groups
+        1usize..=8,  // in_c multiplier
+        1usize..=8,  // out_c multiplier
+        1usize..=32, // spatial extent
+        0usize..3,   // kernel selector
+        1usize..=2,  // stride
+    )
+        .prop_map(|(g, icm, ocm, hw, k, s)| {
+            let kernel = [1, 3, 5][k];
+            LayerDesc {
+                in_c: g * icm,
+                in_h: hw,
+                in_w: hw,
+                out_c: g * ocm,
+                out_h: (hw / s).max(1),
+                out_w: (hw / s).max(1),
+                kernel,
+                stride: s,
+                groups: g,
+                is_fc: false,
+            }
+        });
+    let fc = (1usize..=4096, 1usize..=512).prop_map(|(i, o)| LayerDesc {
+        in_c: i,
+        in_h: 1,
+        in_w: 1,
+        out_c: o,
+        out_h: 1,
+        out_w: 1,
+        kernel: 1,
+        stride: 1,
+        groups: 1,
+        is_fc: true,
+    });
+    prop_oneof![4 => conv, 1 => fc]
+}
+
+fn any_pu() -> impl Strategy<Value = PuConfig> {
+    (0usize..=5, 0usize..=5, 1u64..=1 << 18, 1u64..=1 << 16, 1usize..=4).prop_map(
+        |(rl, cl, ab, wb, fsel)| {
+            PuConfig::new(1 << rl, 1 << cl)
+                .with_freq_mhz([100.0, 200.0, 650.0, 800.0][fsel % 4])
+                .with_buffers(ab, wb)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cached evaluation equals direct evaluation for both dataflows, and
+    /// the repeat lookup (a guaranteed hit) returns the same value.
+    #[test]
+    fn cached_evaluate_equals_uncached(layer in any_layer(), pu in any_pu()) {
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::new(em);
+        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+            let direct = evaluate(&layer, &pu, df, &em);
+            let miss = cache.evaluate(&layer, &pu, df);
+            let hit = cache.evaluate(&layer, &pu, df);
+            prop_assert_eq!(direct, miss);
+            prop_assert_eq!(direct, hit);
+        }
+        prop_assert_eq!(cache.misses(), 2);
+        prop_assert_eq!(cache.hits(), 2);
+    }
+
+    /// The cache's dataflow selection matches the uncached
+    /// [`best_dataflow`] exactly (same winner, same eval).
+    #[test]
+    fn cached_best_dataflow_equals_uncached(layer in any_layer(), pu in any_pu()) {
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::new(em);
+        prop_assert_eq!(cache.best_dataflow(&layer, &pu), best_dataflow(&layer, &pu, &em));
+    }
+
+    /// Shard count is an implementation detail: any sharding returns the
+    /// same values and total entry count.
+    #[test]
+    fn shard_count_is_invisible(layer in any_layer(), pu in any_pu(), shards in 1usize..=32) {
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::with_shards(em, shards);
+        let reference = EvalCache::new(em);
+        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+            prop_assert_eq!(cache.evaluate(&layer, &pu, df), reference.evaluate(&layer, &pu, df));
+        }
+        prop_assert_eq!(cache.len(), reference.len());
+    }
+}

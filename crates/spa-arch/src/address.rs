@@ -1,5 +1,7 @@
 //! Circular activation-buffer address generation (Eq. 1 of the paper).
 
+use pucost::util::div_ceil;
+
 /// Computes the activation-buffer word offset for feature-map coordinate
 /// `(c, w, h)` on a PU with `rn` array rows, for an ifmap of `ci` channels
 /// and width `wi`, under a layer with kernel `k` and stride `s`.
@@ -44,14 +46,14 @@ pub fn act_offset(
 ) -> usize {
     assert!(rn > 0 && k + s > 0, "divisors must be positive");
     assert!(c < ci && w < wi, "coordinate out of range");
-    let words_per_pixel = ci.div_ceil(rn);
+    let words_per_pixel = div_ceil(ci, rn);
     c / rn + w * words_per_pixel + (h % (k + s)) * wi * words_per_pixel
 }
 
 /// Number of buffer words required to hold the active rows:
 /// `(K + S) * Wi * ceil(Ci / Rn)`.
 pub fn active_words(rn: usize, ci: usize, wi: usize, k: usize, s: usize) -> usize {
-    (k + s) * wi * ci.div_ceil(rn)
+    (k + s) * wi * div_ceil(ci, rn)
 }
 
 #[cfg(test)]

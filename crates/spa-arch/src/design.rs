@@ -129,8 +129,8 @@ impl SpaDesign {
                 Platform::Asic => p.act_buf_bytes + p.wgt_buf_bytes,
                 Platform::Fpga => {
                     // Each buffer occupies whole BRAM blocks.
-                    let blocks = p.act_buf_bytes.div_ceil(BRAM36K_BYTES)
-                        + p.wgt_buf_bytes.div_ceil(BRAM36K_BYTES);
+                    let blocks = pucost::util::div_ceil_u64(p.act_buf_bytes, BRAM36K_BYTES)
+                        + pucost::util::div_ceil_u64(p.wgt_buf_bytes, BRAM36K_BYTES);
                     blocks * BRAM36K_BYTES
                 }
             })

@@ -17,6 +17,7 @@
 
 use crate::report::{SegmentStats, SimEnergy, SimReport};
 use nnmodel::Workload;
+use pucost::util::div_ceil_u64;
 use pucost::{evaluate, EnergyModel, LayerDesc};
 use spa_arch::SpaDesign;
 
@@ -77,7 +78,7 @@ pub fn segment_piece_cycles(workload: &Workload, design: &SpaDesign, seg_idx: us
             .filter_map(|&(p, _)| pos_of(p))
             .collect();
         states.push(PieceState {
-            piece_cycles: eval.cycles.div_ceil(pieces).max(1),
+            piece_cycles: div_ceil_u64(eval.cycles, pieces).max(1),
             pieces,
             finish: vec![None; pieces as usize],
             pu,

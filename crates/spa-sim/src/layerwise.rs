@@ -4,6 +4,7 @@
 use crate::geometry::factor_geometry;
 use crate::report::{SegmentStats, SimEnergy, SimReport};
 use nnmodel::Workload;
+use pucost::util::div_ceil_u64;
 use pucost::{best_dataflow, EnergyModel, LayerDesc, PuConfig};
 use spa_arch::HwBudget;
 
@@ -58,8 +59,8 @@ fn buffered_access(item: &nnmodel::WorkItem, ab_bytes: u64, wb_bytes: u64) -> u6
     if input <= ab_bytes {
         return base;
     }
-    let spatial_tiles = input.div_ceil(ab_bytes.max(1));
-    let weight_tiles = item.w_bytes.div_ceil(wb_bytes.max(1));
+    let spatial_tiles = div_ceil_u64(input, ab_bytes);
+    let weight_tiles = div_ceil_u64(item.w_bytes, wb_bytes);
     let refetch_weights = item.w_bytes.saturating_mul(spatial_tiles - 1);
     let refetch_inputs = input.saturating_mul(weight_tiles.saturating_sub(1));
     base + refetch_weights.min(refetch_inputs)

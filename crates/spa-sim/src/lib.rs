@@ -44,6 +44,6 @@ pub use event::{segment_piece_cycles, simulate_spa_event};
 pub use fusion::{fusion_groups, simulate_fusion};
 pub use geometry::factor_geometry;
 pub use layerwise::{simulate_layerwise, simulate_processor, simulate_processor_buffered};
-pub use pipeline::{full_pipeline_design, simulate_spa};
+pub use pipeline::{full_pipeline_design, simulate_spa, simulate_spa_with};
 pub use report::{SegmentStats, SimEnergy, SimReport};
 pub use roofline::{roofline_series, RooflinePoint};

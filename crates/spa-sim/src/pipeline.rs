@@ -4,7 +4,9 @@
 use crate::report::{SegmentStats, SimEnergy, SimReport};
 use benes::FabricCostModel;
 use nnmodel::Workload;
-use pucost::{best_dataflow, evaluate, EnergyModel, LayerDesc, PuConfig};
+use pucost::{
+    best_dataflow, evaluate, Dataflow, EnergyModel, EvalCache, LayerDesc, PuConfig, PuEval,
+};
 use spa_arch::{Assignment, HwBudget, Segment, SegmentSchedule, SpaDesign};
 
 /// Simulates one frame (times the design's batch factor) through a SPA
@@ -23,10 +25,38 @@ use spa_arch::{Assignment, HwBudget, Segment, SegmentSchedule, SpaDesign};
 /// Panics if the design's dataflow table shape mismatches its schedule
 /// (call [`SpaDesign::check_shape`] on untrusted designs first).
 pub fn simulate_spa(workload: &Workload, design: &SpaDesign) -> SimReport {
+    let em = EnergyModel::tsmc28();
+    simulate_spa_impl(workload, design, &em, |d, pu, df| evaluate(d, pu, df, &em))
+}
+
+/// [`simulate_spa`] with per-layer evaluations served through a shared
+/// [`EvalCache`] — search loops that simulate many candidates over the
+/// same workload pass one cache handle so repeated `(layer, PU, dataflow)`
+/// probes are memoized across candidates. Results are bit-identical to
+/// [`simulate_spa`] when the cache's energy model matches (the cached
+/// evaluator is a pure function).
+///
+/// # Panics
+///
+/// See [`simulate_spa`].
+pub fn simulate_spa_with(
+    workload: &Workload,
+    design: &SpaDesign,
+    cache: &EvalCache,
+) -> SimReport {
+    let em = *cache.energy_model();
+    simulate_spa_impl(workload, design, &em, |d, pu, df| cache.evaluate(d, pu, df))
+}
+
+fn simulate_spa_impl(
+    workload: &Workload,
+    design: &SpaDesign,
+    em: &EnergyModel,
+    eval: impl Fn(&LayerDesc, &PuConfig, Dataflow) -> PuEval,
+) -> SimReport {
     design
         .check_shape()
         .expect("design dataflow table matches schedule");
-    let em = EnergyModel::tsmc28();
     let freq_mhz = design.pus.first().map_or(800.0, |p| p.freq_mhz);
     let bytes_per_cycle = design.bandwidth_gbps * 1e9 / (freq_mhz * 1e6);
     let fabric = design.fabric();
@@ -45,10 +75,10 @@ pub fn simulate_spa(workload: &Workload, design: &SpaDesign) -> SimReport {
         for a in &seg.assignments {
             let item = &workload.items()[a.item];
             let desc = LayerDesc::from_item(item);
-            let eval = evaluate(&desc, &design.pus[a.pu], design.dataflows[a.pu][s], &em);
-            pu_cycles[a.pu] += eval.cycles;
+            let e = eval(&desc, &design.pus[a.pu], design.dataflows[a.pu][s]);
+            pu_cycles[a.pu] += e.cycles;
             pu_pieces[a.pu] = pu_pieces[a.pu].max(desc.out_h as u64);
-            onchip = onchip.add(&eval.energy);
+            onchip = onchip.add(&e.energy);
         }
         let bottleneck = pu_cycles.iter().copied().max().unwrap_or(0);
         // First-piece fill: one piece-time per PU in the pipeline.
@@ -274,6 +304,25 @@ mod tests {
         let r = simulate_spa(&w, &d);
         assert!(r.energy.fabric_pj < 0.03 * r.energy.total_pj());
         assert!(r.energy.fabric_pj > 0.0);
+    }
+
+    #[test]
+    fn cached_simulation_is_bit_identical() {
+        let w = Workload::from_graph(&zoo::squeezenet1_0());
+        let d = full_pipeline_design(&w, &HwBudget::nvdla_large()).unwrap();
+        let direct = simulate_spa(&w, &d);
+        let cache = EvalCache::new(EnergyModel::tsmc28());
+        let cached = simulate_spa_with(&w, &d, &cache);
+        assert_eq!(direct.cycles, cached.cycles);
+        assert_eq!(direct.seconds, cached.seconds);
+        assert_eq!(direct.dram_bytes, cached.dram_bytes);
+        assert_eq!(direct.energy.total_pj(), cached.energy.total_pj());
+        // A second simulation of the same design is served from the cache.
+        let misses = cache.misses();
+        let again = simulate_spa_with(&w, &d, &cache);
+        assert_eq!(again.cycles, direct.cycles);
+        assert_eq!(cache.misses(), misses, "second run must be all hits");
+        assert!(cache.hits() > 0);
     }
 
     #[test]

@@ -14,10 +14,13 @@ use deepburning_seg::prelude::*;
 fn main() -> Result<(), autoseg::AutoSegError> {
     let model = zoo::mobilenet_v1();
     let budget = HwBudget::nvdla_small();
+    // threads: 0 auto-sizes the DSE pool (DSE_THREADS env var, else all
+    // cores); results are identical for any thread count.
     let iters = CodesignBudgets {
         hw_iters: 120,
         seg_iters: 240,
         seed: 42,
+        threads: 0,
     };
 
     println!(

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite, then the co-design bench
+# kernels in quick mode. Runs fully offline (no registry access) and uses
+# DSE_SMOKE=1 so the search-based benches finish in CI time.
+#
+# Usage: scripts/verify.sh [--skip-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export DSE_SMOKE="${DSE_SMOKE:-1}"
+export DSE_THREADS="${DSE_THREADS:-4}"
+
+echo "== cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== cargo test (offline) =="
+cargo test -q --offline
+
+if [[ "${1:-}" != "--skip-bench" ]]; then
+    echo "== bench: fig18_codesign (quick) =="
+    cargo bench --offline -p bench --bench fig18_codesign -- --quick
+    echo "== bench: dse_parallel (quick) =="
+    cargo bench --offline -p bench --bench dse_parallel -- --quick
+    echo "== bench_dse: executor speedup + cache stats =="
+    cargo run --release --offline -p experiments --bin bench_dse
+fi
+
+echo "verify: OK"

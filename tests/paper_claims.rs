@@ -163,6 +163,7 @@ fn claim_heuristic_codesign_dominates() {
         hw_iters: 60,
         seg_iters: 80,
         seed: 5,
+        threads: 0,
     };
     let h = mip_heuristic(&model, &budget).unwrap();
     let r = mip_random(&model, &budget, &iters).unwrap();
