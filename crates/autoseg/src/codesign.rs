@@ -164,16 +164,20 @@ pub fn mip_heuristic_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let _span = obs::span!("codesign.mip_heuristic", model = model.name());
     let workload = Workload::from_graph(model);
     let seg = ChainDpSegmenter::new();
     let all_shapes = shapes(&workload, budget);
-    let evals = pool.par_map(&all_shapes, |_, &(n, s)| {
-        let Ok(schedule) = seg.segment(&workload, n, s) else {
-            return Ok(None);
-        };
-        let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
-        Ok(point(&workload, &design, budget, "mip-heuristic", (n, s), cache))
-    });
+    let evals = pool.par_map(
+        &all_shapes,
+        |_, &(n, s)| -> Result<Option<DesignPoint>, AutoSegError> {
+            let Ok(schedule) = seg.segment(&workload, n, s) else {
+                return Ok(None);
+            };
+            let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
+            Ok(point(&workload, &design, budget, "mip-heuristic", (n, s), cache))
+        },
+    );
     let mut pts = Vec::new();
     for e in evals {
         if let Some(p) = e? {
@@ -214,6 +218,8 @@ fn hw_search_loop(
     cache: &EvalCache,
     pts: &mut Vec<DesignPoint>,
 ) {
+    let _span = obs::span!("codesign.hw_search", method = method, iters = iters);
+    let mut best = f64::INFINITY;
     let mut done = 0;
     while done < iters {
         let k = GENERATION.min(iters - done);
@@ -237,7 +243,29 @@ fn hw_search_loop(
         }
         opt.observe_batch(batch);
         done += k;
+        // Best-so-far per generation: the convergence curve of Figure 18.
+        if obs::enabled() {
+            let gen_best = best_feasible_latency(pts, best);
+            if gen_best < best {
+                best = gen_best;
+            }
+            obs::event(
+                "codesign.generation",
+                &[
+                    ("method", method.into()),
+                    ("iter", done.into()),
+                    ("best_latency_s", best.into()),
+                ],
+            );
+        }
     }
+}
+
+/// Best feasible latency among the points collected so far (`prev` when
+/// none improved it). Pure bookkeeping for the convergence event; never
+/// feeds back into the search.
+fn best_feasible_latency(pts: &[DesignPoint], prev: f64) -> f64 {
+    pts.iter().map(|p| p.latency_s).fold(prev, f64::min)
 }
 
 /// MIP-Random and MIP-Baye share this driver: exact segmentation, then
@@ -376,20 +404,24 @@ pub fn baye_heuristic_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let _span = obs::span!("codesign.baye_heuristic", model = model.name());
     let workload = Workload::from_graph(model);
     let all_shapes = shapes(&workload, budget);
     if all_shapes.is_empty() {
         return Ok(Vec::new());
     }
     let per_shape = (budgets.seg_iters / all_shapes.len()).max(8);
-    let evals = pool.par_map(&all_shapes, |_, &(n, s)| {
-        let seg = BayesSegmenter::new(budgets.seed, per_shape);
-        let Ok(schedule) = seg.segment(&workload, n, s) else {
-            return Ok(None);
-        };
-        let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
-        Ok(point(&workload, &design, budget, "baye-heuristic", (n, s), cache))
-    });
+    let evals = pool.par_map(
+        &all_shapes,
+        |_, &(n, s)| -> Result<Option<DesignPoint>, AutoSegError> {
+            let seg = BayesSegmenter::new(budgets.seed, per_shape);
+            let Ok(schedule) = seg.segment(&workload, n, s) else {
+                return Ok(None);
+            };
+            let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
+            Ok(point(&workload, &design, budget, "baye-heuristic", (n, s), cache))
+        },
+    );
     let mut pts = Vec::new();
     for e in evals {
         if let Some(p) = e? {
@@ -421,6 +453,7 @@ pub fn baye_baye_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
+    let _span = obs::span!("codesign.baye_baye", model = model.name());
     let workload = Workload::from_graph(model);
     let mut pts = Vec::new();
     let all_shapes = shapes(&workload, budget);
@@ -464,6 +497,16 @@ pub fn baye_baye_with(
             }
             hw_opt.observe_batch(batch);
             k0 += g;
+            if obs::enabled() {
+                obs::event(
+                    "codesign.generation",
+                    &[
+                        ("method", "baye-baye".into()),
+                        ("iter", k0.into()),
+                        ("best_latency_s", best_feasible_latency(&pts, f64::INFINITY).into()),
+                    ],
+                );
+            }
         }
     }
     Ok(pts)

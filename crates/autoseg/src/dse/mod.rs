@@ -107,21 +107,48 @@ impl DsePool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        let _span = obs::span!("dse.par_map", items = items.len(), threads = self.threads);
         if self.threads <= 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let t0 = obs::enabled().then(std::time::Instant::now);
+                    let r = f(i, t);
+                    if let Some(t0) = t0 {
+                        obs::record("dse.candidate_ns", t0.elapsed().as_nanos() as u64);
+                        obs::add("dse.candidates", 1);
+                    }
+                    r
+                })
+                .collect();
         }
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(items.len());
         thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut claimed = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        claimed += 1;
+                        let t0 = obs::enabled().then(std::time::Instant::now);
+                        let result = f(i, &items[i]);
+                        if let Some(t0) = t0 {
+                            obs::record("dse.candidate_ns", t0.elapsed().as_nanos() as u64);
+                            obs::add("dse.candidates", 1);
+                        }
+                        // Poison recovery: each slot is written exactly
+                        // once, so a panic in another worker's `f` cannot
+                        // leave this slot half-written.
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                     }
-                    let result = f(i, &items[i]);
-                    *slots[i].lock().expect("dse result slot poisoned") = Some(result);
+                    // Per-worker utilization: how evenly the queue drained.
+                    obs::record("dse.worker_items", claimed);
                 });
             }
         });
@@ -129,7 +156,7 @@ impl DsePool {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("dse result slot poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .expect("every index claimed exactly once")
             })
             .collect()
@@ -212,6 +239,20 @@ mod tests {
         assert_eq!(parse_threads(Some("auto")), None);
         assert_eq!(parse_threads(Some("")), None);
         assert_eq!(parse_threads(None), None);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_honors_env_override() {
+        // Serialized against itself only: the other tests never depend on
+        // a specific DSE_THREADS value.
+        std::env::set_var("DSE_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("DSE_THREADS", "not-a-number");
+        assert!(default_threads() >= 1, "garbage falls back to cores");
+        std::env::set_var("DSE_THREADS", "0");
+        assert!(default_threads() >= 1, "zero is not a valid override");
+        std::env::remove_var("DSE_THREADS");
         assert!(default_threads() >= 1);
     }
 

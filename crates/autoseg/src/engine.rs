@@ -132,6 +132,7 @@ impl AutoSeg {
         if workload.is_empty() {
             return Err(AutoSegError::EmptyWorkload);
         }
+        let _span = obs::span!("autoseg.engine", model = workload.name());
         let l = workload.len();
         let mut shapes = Vec::new();
         for n in 2..=self.max_pus.min(l).min(self.budget.pes) {
@@ -179,6 +180,22 @@ impl AutoSeg {
                     best = Some((metric, design, report));
                 }
             }
+        }
+        if obs::enabled() {
+            // Progress event for the (N, S) sweep plus the shared cache's
+            // end-of-search statistics.
+            obs::add("engine.shapes_swept", shapes.len() as u64);
+            obs::add("engine.shapes_feasible", explored as u64);
+            obs::event(
+                "engine.sweep",
+                &[
+                    ("model", workload.name().into()),
+                    ("shapes", shapes.len().into()),
+                    ("feasible", explored.into()),
+                    ("found", best.is_some().into()),
+                ],
+            );
+            cache.stats().publish("engine.cache");
         }
         match best {
             Some((_, design, report)) => Ok(AutoSegOutcome {

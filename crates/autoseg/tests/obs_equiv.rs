@@ -1,0 +1,123 @@
+//! Determinism contract of the instrumentation: enabling `obs` tracing
+//! must not change a single bit of any search result. Instrumentation
+//! reads clocks but never feeds timing back into search decisions, so the
+//! point clouds and engine outcomes with `OBS_LEVEL=trace` must equal the
+//! `off` reference exactly.
+//!
+//! This lives in its own integration-test file (= its own process):
+//! `obs::set_level` is process-global, so these tests must not share a
+//! process with tests assuming the default `off` level.
+
+use autoseg::codesign::{
+    baye_baye_with, mip_baye_with, mip_heuristic_with, CodesignBudgets, DesignPoint,
+};
+use autoseg::dse::DsePool;
+use autoseg::AutoSeg;
+use nnmodel::zoo;
+use pucost::EvalCache;
+use spa_arch::HwBudget;
+
+/// The obs level and sink are process-global: tests serialize on this.
+static OBS_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn budgets() -> CodesignBudgets {
+    CodesignBudgets {
+        hw_iters: 24,
+        seg_iters: 32,
+        seed: 5,
+        threads: 2,
+    }
+}
+
+/// The bench_dse workload: three methods on one shared cache.
+fn run_codesign(pool: &DsePool) -> Vec<DesignPoint> {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let b = budgets();
+    let cache = EvalCache::default();
+    let mut pts = mip_heuristic_with(&model, &budget, pool, &cache).unwrap();
+    pts.extend(mip_baye_with(&model, &budget, &b, pool, &cache).unwrap());
+    pts.extend(baye_baye_with(&model, &budget, &b, pool, &cache).unwrap());
+    pts
+}
+
+#[test]
+fn tracing_on_vs_off_is_bit_identical() {
+    let _g = OBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    // Events go to an in-memory sink so the test leaves no files behind.
+    obs::set_sink_memory();
+
+    obs::set_level(obs::Level::Off);
+    obs::reset();
+    let _ = obs::take_memory_lines();
+    let pool = DsePool::new(2);
+    let off = run_codesign(&pool);
+    assert!(!off.is_empty());
+    assert!(
+        obs::snapshot().is_empty(),
+        "level off must record nothing"
+    );
+
+    for level in [obs::Level::Summary, obs::Level::Trace] {
+        obs::set_level(level);
+        obs::reset();
+        let _ = obs::take_memory_lines();
+        let on = run_codesign(&pool);
+        assert_eq!(off, on, "tracing at {level:?} changed search results");
+
+        let report = obs::snapshot();
+        assert!(!report.is_empty(), "instrumentation recorded at {level:?}");
+        assert!(report.counter("pucost.cache.misses").unwrap_or(0) > 0);
+        assert!(report.counter("dse.candidates").unwrap_or(0) > 0);
+        // The "mip-*" methods segment with the exact chain DP, not the
+        // MILP solver, so mip.* counters stay 0 here; the pipeline
+        // simulator behind every latency probe does fire.
+        assert!(report.counter("spa.pipeline.segments").unwrap_or(0) > 0);
+        assert!(report.span("codesign.mip_heuristic").is_some());
+        let lines = obs::take_memory_lines();
+        assert!(
+            lines.iter().any(|l| l.contains("codesign.generation")),
+            "convergence events missing at {level:?}"
+        );
+        if level == obs::Level::Trace {
+            assert!(
+                lines.iter().any(|l| l.contains("\"t\":\"span\"")),
+                "trace level must write span lines"
+            );
+        }
+    }
+    obs::set_level(obs::Level::Off);
+}
+
+#[test]
+fn engine_sweep_unchanged_by_tracing() {
+    let _g = OBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_sink_memory();
+    obs::set_level(obs::Level::Off);
+    let budget = HwBudget::nvdla_small();
+    let run = || {
+        AutoSeg::new(budget.clone())
+            .max_pus(3)
+            .max_segments(4)
+            .threads(2)
+            .run(&zoo::squeezenet1_0())
+            .unwrap()
+    };
+    let off = run();
+
+    obs::set_level(obs::Level::Trace);
+    obs::reset();
+    let on = run();
+    assert_eq!(off.design, on.design);
+    assert_eq!(off.explored, on.explored);
+    assert_eq!(off.report.cycles, on.report.cycles);
+    assert_eq!(off.report.seconds, on.report.seconds);
+
+    let report = obs::snapshot();
+    assert!(report.span("autoseg.engine").is_some());
+    assert_eq!(
+        report.counter("engine.shapes_feasible"),
+        Some(on.explored as u64)
+    );
+    obs::set_level(obs::Level::Off);
+}

@@ -116,15 +116,21 @@ where
     F: FnMut(&[usize]) -> f64,
 {
     assert!(iters > 0, "need at least one iteration");
+    let _span = obs::span!("bayesopt.minimize", iters = iters);
     let mut best: Option<(Vec<usize>, f64)> = None;
-    for _ in 0..iters {
+    for i in 0..iters {
         let p = opt.suggest();
         let v = f(&p);
         if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
             best = Some((p.clone(), v));
+            obs::event(
+                "bayesopt.best",
+                &[("iter", i.into()), ("value", v.into())],
+            );
         }
         opt.observe(p, v);
     }
+    obs::add("bayesopt.evals", iters as u64);
     best.expect("at least one iteration ran")
 }
 

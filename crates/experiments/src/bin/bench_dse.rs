@@ -1,24 +1,26 @@
 //! Wall-clock benchmark of the parallel DSE executor + memoized PU-cost
 //! cache: runs the Figure 18 co-design search serial (1 thread) and
 //! parallel, checks the point clouds are bit-identical, and writes the
-//! timings, speedup and cache statistics to `results/BENCH_dse.json`.
+//! timings, speedup, cache statistics and (when `OBS_LEVEL` is not `off`)
+//! the obs summary report to `results/BENCH_dse.json`.
 //!
 //! ```text
 //! cargo run --release -p experiments --bin bench_dse -- \
 //!     [--threads 8] [--hw-iters 200] [--seg-iters 400] [--seed 7] [--model alexnet_conv]
 //! ```
 //!
-//! `DSE_SMOKE=1` shrinks the iteration budgets for CI smoke runs.
+//! `DSE_SMOKE=1` shrinks the iteration budgets for CI smoke runs;
+//! `OBS_LEVEL=summary OBS_OUT=results/obs/bench_dse.jsonl` additionally
+//! traces the run.
 
 use autoseg::codesign::{
     baye_baye_with, mip_baye_with, mip_heuristic_with, CodesignBudgets, DesignPoint,
 };
 use autoseg::dse::{default_threads, DsePool};
-use experiments::{codesign_budgets, flag_parse, flag_value, results_dir};
+use experiments::{codesign_budgets, flag_parse, flag_value, write_text, JsonObj};
 use nnmodel::zoo;
 use pucost::EvalCache;
 use spa_arch::HwBudget;
-use std::io::Write as _;
 use std::time::Instant;
 
 /// One full co-design workload on a given pool; every method shares one
@@ -74,58 +76,48 @@ fn main() {
 
     let speedup = serial_s / parallel_s.max(1e-12);
     println!("   speedup: {speedup:.2}x");
+    let stats = par_cache.stats();
     println!(
-        "   cache: {} entries, {} hits / {} misses ({:.1}% hit rate)",
-        par_cache.len(),
-        par_cache.hits(),
-        par_cache.misses(),
-        par_cache.hit_rate() * 100.0
+        "   cache: {} entries ({} shards, max {} per shard), {} hits / {} misses ({:.1}% hit rate)",
+        stats.entries,
+        stats.shards,
+        stats.max_shard,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate * 100.0
     );
+    stats.publish("bench_dse.cache");
 
-    // Hand-rolled JSON (the workspace has no JSON serializer wired into
-    // the experiment harness; the schema is flat and numeric).
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"model\": \"{}\",\n",
-            "  \"budget\": \"{}\",\n",
-            "  \"hw_iters\": {},\n",
-            "  \"seg_iters\": {},\n",
-            "  \"seed\": {},\n",
-            "  \"threads\": {},\n",
-            "  \"points\": {},\n",
-            "  \"serial_s\": {:.6},\n",
-            "  \"parallel_s\": {:.6},\n",
-            "  \"speedup\": {:.3},\n",
-            "  \"deterministic\": {},\n",
-            "  \"cache\": {{\n",
-            "    \"entries\": {},\n",
-            "    \"hits\": {},\n",
-            "    \"misses\": {},\n",
-            "    \"hit_rate\": {:.4},\n",
-            "    \"serial_hit_rate\": {:.4}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        model_name,
-        budget.name,
-        iters.hw_iters,
-        iters.seg_iters,
-        iters.seed,
-        threads,
-        par_pts.len(),
-        serial_s,
-        parallel_s,
-        speedup,
-        deterministic,
-        par_cache.len(),
-        par_cache.hits(),
-        par_cache.misses(),
-        par_cache.hit_rate(),
-        serial_cache.hit_rate(),
-    );
-    let path = results_dir().join("BENCH_dse.json");
-    let mut f = std::fs::File::create(&path).expect("create BENCH_dse.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_dse.json");
-    println!("  -> wrote {}", path.display());
+    let cache_json = JsonObj::new()
+        .raw("entries", stats.entries.to_string())
+        .raw("shards", stats.shards.to_string())
+        .raw("max_shard", stats.max_shard.to_string())
+        .raw("hits", stats.hits.to_string())
+        .raw("misses", stats.misses.to_string())
+        .raw("hit_rate", format!("{:.4}", stats.hit_rate))
+        .raw(
+            "serial_hit_rate",
+            format!("{:.4}", serial_cache.stats().hit_rate),
+        )
+        .render();
+    let mut json = JsonObj::new()
+        .str("model", &model_name)
+        .str("budget", &budget.name)
+        .raw("hw_iters", iters.hw_iters.to_string())
+        .raw("seg_iters", iters.seg_iters.to_string())
+        .raw("seed", iters.seed.to_string())
+        .raw("threads", threads.to_string())
+        .raw("points", par_pts.len().to_string())
+        .raw("serial_s", format!("{serial_s:.6}"))
+        .raw("parallel_s", format!("{parallel_s:.6}"))
+        .raw("speedup", format!("{speedup:.3}"))
+        .raw("deterministic", deterministic.to_string())
+        .raw("cache", cache_json.trim_end());
+    // End-of-run obs report: rendered to stderr and embedded in the JSON
+    // (null when OBS_LEVEL=off, the default).
+    json = match obs::finish() {
+        Some(report) => json.raw("obs", report.to_json()),
+        None => json.raw("obs", "null"),
+    };
+    write_text("BENCH_dse.json", &json.render());
 }

@@ -4,10 +4,12 @@
 //! under two hardware budgets.
 
 use autoseg::codesign::{
-    baye_baye, baye_heuristic, mip_baye, mip_heuristic, mip_random, CodesignBudgets, DesignPoint,
+    baye_baye_with, baye_heuristic_with, mip_baye_with, mip_heuristic_with, mip_random_with,
+    CodesignBudgets, DesignPoint,
 };
 use experiments::{codesign_budgets, f3, print_table, short_name, write_csv};
 use nnmodel::zoo;
+use pucost::EvalCache;
 use spa_arch::HwBudget;
 
 fn main() {
@@ -22,12 +24,13 @@ fn main() {
         seed: 7,
         threads: 0,
     });
+    let pool = iters.pool();
     println!(
         "   ({} hw iters, {} seg iters, seed {}, {} threads)",
         iters.hw_iters,
         iters.seg_iters,
         iters.seed,
-        iters.pool().threads()
+        pool.threads()
     );
 
     let mut scatter: Vec<Vec<String>> = Vec::new();
@@ -35,12 +38,15 @@ fn main() {
     for model_name in models {
         let model = zoo::by_name(model_name).expect("zoo model");
         for budget in &budgets {
+            // One cache per (model, budget) pair: identical layer/PU
+            // probes recur heavily across the five methods.
+            let cache = EvalCache::default();
             let runs: Vec<Vec<DesignPoint>> = vec![
-                mip_heuristic(&model, budget).expect("run"),
-                mip_random(&model, budget, &iters).expect("run"),
-                mip_baye(&model, budget, &iters).expect("run"),
-                baye_heuristic(&model, budget, &iters).expect("run"),
-                baye_baye(&model, budget, &iters).expect("run"),
+                mip_heuristic_with(&model, budget, &pool, &cache).expect("run"),
+                mip_random_with(&model, budget, &iters, &pool, &cache).expect("run"),
+                mip_baye_with(&model, budget, &iters, &pool, &cache).expect("run"),
+                baye_heuristic_with(&model, budget, &iters, &pool, &cache).expect("run"),
+                baye_baye_with(&model, budget, &iters, &pool, &cache).expect("run"),
             ];
             for pts in &runs {
                 let method = pts.first().map(|p| p.method).unwrap_or("none");
@@ -65,6 +71,17 @@ fn main() {
                     f3(max_e / 1e10),
                 ]);
             }
+            let stats = cache.stats();
+            println!(
+                "   cache [{} / {}]: {} entries, {:.1}% hit rate ({} hits / {} misses)",
+                short_name(model_name),
+                budget.name,
+                stats.entries,
+                stats.hit_rate * 100.0,
+                stats.hits,
+                stats.misses
+            );
+            stats.publish("fig18.cache");
         }
     }
     let header = ["model", "budget", "method", "points", "best ms", "max E (1e10 pJ)"];
@@ -75,4 +92,5 @@ fn main() {
         &["model", "budget", "method", "latency_s", "energy_pj", "shape"],
         &scatter,
     );
+    obs::finish();
 }

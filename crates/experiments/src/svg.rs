@@ -150,10 +150,7 @@ fn format_value(v: f64) -> String {
 
 /// Writes an SVG chart into the results directory.
 pub fn write_svg_chart(name: &str, title: &str, categories: &[&str], series: &[Series]) {
-    let svg = grouped_bar_chart(title, categories, series);
-    let path = crate::results_dir().join(name);
-    std::fs::write(&path, svg).expect("write svg");
-    println!("  -> wrote {}", path.display());
+    crate::write_text(name, &grouped_bar_chart(title, categories, series));
 }
 
 #[cfg(test)]

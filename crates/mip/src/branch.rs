@@ -120,6 +120,7 @@ impl Solver {
     /// bounds, unknown variables, non-finite data).
     pub fn solve(&self, p: &Problem) -> Result<Solution, MipError> {
         p.validate()?;
+        let _span = obs::span!("mip.solve", vars = p.num_vars());
         let start = Instant::now();
         let sign = match p.sense {
             Sense::Minimize => 1.0,
@@ -153,6 +154,7 @@ impl Solver {
             if p.is_feasible(seed, 1e-6) {
                 let key = sign * p.objective.eval(seed);
                 best = Some((key, seed.clone()));
+                incumbent_event(sign * key, 0, "warm_start");
             }
         }
         // Rounding heuristic on the root relaxation.
@@ -165,6 +167,7 @@ impl Solver {
                 let key = sign * p.objective.eval(&rounded);
                 if best.as_ref().is_none_or(|(inc, _)| key < *inc) {
                     best = Some((key, rounded));
+                    incumbent_event(sign * key, 0, "rounding");
                 }
             }
         }
@@ -185,6 +188,7 @@ impl Solver {
                 // Prune by bound (with relative-gap early stop).
                 let cutoff = inc - self.limits.rel_gap * inc.abs().max(1.0);
                 if node.bound >= cutoff - 1e-12 {
+                    obs::add("mip.bnb.pruned", 1);
                     continue;
                 }
             }
@@ -215,6 +219,7 @@ impl Solver {
                         v[i] = v[i].round();
                     }
                     best = Some((key, v));
+                    incumbent_event(sign * key, nodes, "branch");
                 }
                 continue;
             };
@@ -245,6 +250,8 @@ impl Solver {
                                 bounds: child_bounds,
                                 seq,
                             });
+                        } else {
+                            obs::add("mip.bnb.pruned", 1);
                         }
                     }
                     LpOutcome::Infeasible => {}
@@ -269,6 +276,7 @@ impl Solver {
             }
         }
 
+        obs::add("mip.bnb.nodes", nodes);
         Ok(match best {
             Some((key, values)) => {
                 let status = if limit_hit {
@@ -287,6 +295,20 @@ impl Solver {
             }
         })
     }
+}
+
+/// Emits one point of the incumbent trajectory (`source` says which
+/// mechanism improved it: warm start, root rounding, or branching).
+fn incumbent_event(objective: f64, node: u64, source: &'static str) {
+    obs::add("mip.bnb.incumbents", 1);
+    obs::event(
+        "mip.incumbent",
+        &[
+            ("objective", objective.into()),
+            ("node", node.into()),
+            ("source", source.into()),
+        ],
+    );
 }
 
 /// Presolve: activity-based bound tightening to fixpoint. For each `<=`
@@ -636,5 +658,27 @@ mod tests {
         let b = Solver::new().solve(&build()).unwrap();
         assert_eq!(a.values(), b.values());
         assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn solve_records_obs_counters() {
+        // Counters are process-global and sibling tests may also solve
+        // while this runs, so assert presence, not exact totals.
+        obs::set_level(obs::Level::Summary);
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_integer("x", 0.0, 10.0);
+        let y = p.add_integer("y", 0.0, 10.0);
+        p.set_objective(LinExpr::terms(&[(x, 5.0), (y, 4.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 6.0), (y, 4.0)]), Cmp::Le, 24.0);
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 2.0)]), Cmp::Le, 6.0);
+        let sol = Solver::new().solve(&p).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+
+        let report = obs::snapshot();
+        assert!(report.counter("mip.simplex.solves").unwrap_or(0) > 0);
+        assert!(report.counter("mip.bnb.nodes").unwrap_or(0) > 0);
+        assert!(report.counter("mip.bnb.incumbents").unwrap_or(0) > 0);
+        assert!(report.span("mip.solve").is_some());
+        obs::set_level(obs::Level::Off);
     }
 }

@@ -31,6 +31,7 @@ const FEAS_TOL: f64 = 1e-7;
 /// `bounds` (one `(lo, hi)` pair per variable).
 pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, MipError> {
     debug_assert_eq!(bounds.len(), p.num_vars());
+    obs::add("mip.simplex.solves", 1);
     let n = p.num_vars();
 
     for (i, &(lo, hi)) in bounds.iter().enumerate() {
@@ -241,6 +242,7 @@ fn optimize(
             }
         }
         let Some((e, _)) = entering else {
+            obs::add("mip.simplex.pivots", (iters - 1) as u64);
             return Pivoted::Optimal;
         };
         // Ratio test.
@@ -260,6 +262,7 @@ fn optimize(
             }
         }
         let Some((l, _)) = leave else {
+            obs::add("mip.simplex.pivots", (iters - 1) as u64);
             return Pivoted::Unbounded;
         };
         pivot(t, basis, l, e);

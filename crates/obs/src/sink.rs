@@ -1,0 +1,144 @@
+//! JSONL sink: one line per event/span/summary record, written to the
+//! file named by `OBS_OUT` (parent directories are created), to an
+//! in-memory buffer (tests), or dropped when neither is configured.
+//! Sink failures disable the sink silently — instrumentation must never
+//! take a run down.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+enum Target {
+    /// No sink configured (or the configured one failed): drop lines.
+    Drop,
+    File(BufWriter<File>),
+    Memory(Vec<String>),
+}
+
+/// `None` until first use, then lazily resolved from `OBS_OUT`.
+static SINK: OnceLock<Mutex<Option<Target>>> = OnceLock::new();
+
+fn sink() -> &'static Mutex<Option<Target>> {
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn open_path(path: &Path) -> Target {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match File::create(path) {
+        Ok(f) => Target::File(BufWriter::new(f)),
+        Err(_) => Target::Drop,
+    }
+}
+
+fn from_env() -> Target {
+    match std::env::var("OBS_OUT") {
+        Ok(p) if !p.trim().is_empty() => open_path(Path::new(&p)),
+        _ => Target::Drop,
+    }
+}
+
+/// Points the sink at `path`, truncating it. Overrides `OBS_OUT`.
+pub fn set_sink_path(path: &Path) {
+    let mut g = sink().lock().unwrap_or_else(|e| e.into_inner());
+    *g = Some(open_path(path));
+}
+
+/// Switches the sink to an in-memory buffer readable with
+/// [`take_memory_lines`]. Intended for tests.
+pub fn set_sink_memory() {
+    let mut g = sink().lock().unwrap_or_else(|e| e.into_inner());
+    *g = Some(Target::Memory(Vec::new()));
+}
+
+/// Drains and returns the in-memory sink's lines (empty unless
+/// [`set_sink_memory`] is active).
+pub fn take_memory_lines() -> Vec<String> {
+    let mut g = sink().lock().unwrap_or_else(|e| e.into_inner());
+    match g.as_mut() {
+        Some(Target::Memory(lines)) => std::mem::take(lines),
+        _ => Vec::new(),
+    }
+}
+
+/// Appends one JSONL line (the newline is added here).
+pub(crate) fn write_line(line: &str) {
+    let mut g = sink().lock().unwrap_or_else(|e| e.into_inner());
+    let target = g.get_or_insert_with(from_env);
+    match target {
+        Target::Drop => {}
+        Target::File(w) => {
+            if writeln!(w, "{line}").is_err() {
+                *target = Target::Drop;
+            }
+        }
+        Target::Memory(lines) => lines.push(line.to_string()),
+    }
+}
+
+/// Flushes a file-backed sink (no-op otherwise).
+pub(crate) fn flush() {
+    let mut g = sink().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(Target::File(w)) = g.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("obs_sink_test");
+        let path = dir.join("nested").join("out.jsonl");
+        set_sink_path(&path);
+        write_line("{\"t\":\"event\"}");
+        flush();
+        let text = std::fs::read_to_string(&path).expect("sink file");
+        assert_eq!(text, "{\"t\":\"event\"}\n");
+        // Leave the sink in memory mode so other tests are unaffected.
+        set_sink_memory();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_sink_drains() {
+        set_sink_memory();
+        write_line("one");
+        write_line("two");
+        assert_eq!(take_memory_lines(), vec!["one", "two"]);
+        assert!(take_memory_lines().is_empty());
+    }
+}

@@ -128,20 +128,26 @@ impl EvalCache {
 
     /// Memoized [`evaluate`]: identical results, repeated calls served
     /// from the shard map.
+    ///
+    /// Shard locks recover from poisoning: the map holds plain values
+    /// whose invariants cannot be half-written, so a panicking worker
+    /// elsewhere in the pool must not cascade through the cache.
     pub fn evaluate(&self, layer: &LayerDesc, pu: &PuConfig, df: Dataflow) -> PuEval {
         let key = EvalKey::new(layer, pu, df);
         let shard = self.shard_of(&key);
-        if let Some(hit) = shard.lock().expect("eval cache shard poisoned").get(&key) {
+        if let Some(hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::add("pucost.cache.hits", 1);
             return *hit;
         }
         // Compute outside the lock so a slow evaluation never blocks the
         // shard's other keys.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::add("pucost.cache.misses", 1);
         let eval = evaluate(layer, pu, df, &self.em);
         shard
             .lock()
-            .expect("eval cache shard poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, eval);
         eval
     }
@@ -179,7 +185,7 @@ impl EvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("eval cache shard poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
             .sum()
     }
 
@@ -191,10 +197,66 @@ impl EvalCache {
     /// Drops all entries and resets the hit/miss counters.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("eval cache shard poisoned").clear();
+            s.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot of the cache's counters and occupancy,
+    /// cheap enough to take at the end of every search.
+    pub fn stats(&self) -> CacheStats {
+        let per_shard: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .collect();
+        let entries = per_shard.iter().sum();
+        let max_shard = per_shard.iter().copied().max().unwrap_or(0);
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            hit_rate: self.hit_rate(),
+            entries,
+            shards: per_shard.len(),
+            max_shard,
+        }
+    }
+}
+
+/// Snapshot of an [`EvalCache`]'s counters, taken by [`EvalCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, 0 for an unused cache.
+    pub hit_rate: f64,
+    /// Distinct evaluations stored across all shards.
+    pub entries: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Occupancy of the fullest shard (balance indicator).
+    pub max_shard: usize,
+}
+
+impl CacheStats {
+    /// Publishes the snapshot as obs counters plus one summary event.
+    pub fn publish(&self, label: &'static str) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::event(
+            label,
+            &[
+                ("hits", self.hits.into()),
+                ("misses", self.misses.into()),
+                ("hit_rate", self.hit_rate.into()),
+                ("entries", self.entries.into()),
+                ("max_shard", self.max_shard.into()),
+            ],
+        );
     }
 }
 
@@ -247,6 +309,24 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn stats_snapshot_matches_counters() {
+        let cache = EvalCache::with_shards(EnergyModel::tsmc28(), 4);
+        let s0 = cache.stats();
+        assert_eq!((s0.hits, s0.misses, s0.entries), (0, 0, 0));
+        assert_eq!(s0.hit_rate, 0.0);
+        assert_eq!(s0.shards, 4);
+        let pu = PuConfig::new(16, 16);
+        cache.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+        cache.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+        cache.evaluate(&conv(), &pu, Dataflow::OutputStationary);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (cache.hits(), cache.misses()));
+        assert_eq!(s.entries, cache.len());
+        assert!(s.max_shard >= 1 && s.max_shard <= s.entries);
+        assert!((s.hit_rate - cache.hit_rate()).abs() < 1e-12);
     }
 
     #[test]

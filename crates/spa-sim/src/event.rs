@@ -145,12 +145,19 @@ pub fn segment_piece_cycles(workload: &Workload, design: &SpaDesign, seg_idx: us
         let (start, _row, si) = best.expect("pipeline cannot deadlock: deps are topological");
         let st = &mut states[si];
         let end = start + st.piece_cycles;
+        // A piece starting after its PU went free means the PU sat idle
+        // waiting for producer rows — the piece-level stall of Figure 8c.
+        obs::add(
+            "spa.event.pu_idle_cycles",
+            start.saturating_sub(pu_free[st.pu]),
+        );
         st.finish[st.next as usize] = Some(end);
         st.next += 1;
         pu_free[st.pu] = end;
         makespan = makespan.max(end);
         done += 1;
     }
+    obs::add("spa.event.pieces", total_pieces);
     makespan
 }
 

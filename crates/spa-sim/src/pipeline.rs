@@ -115,6 +115,22 @@ fn simulate_spa_impl(
 
         total_cycles += compute.max(mem);
         dram_bytes += seg_bytes;
+        if obs::enabled() {
+            // Stall accounting: the slower side sets the segment's pace,
+            // the other side idles for the difference.
+            obs::add("spa.pipeline.segments", 1);
+            obs::add("spa.pipeline.stall_cycles", mem.saturating_sub(compute));
+            obs::add("spa.pipeline.mem_idle_cycles", compute.saturating_sub(mem));
+            if mem > compute {
+                obs::add("spa.pipeline.mem_bound_segments", 1);
+            }
+            // Occupancy of the segment's PUs relative to its bottleneck.
+            let busy: u64 = pu_cycles.iter().sum();
+            let span = bottleneck * pu_cycles.len().max(1) as u64;
+            if span > 0 {
+                obs::record("spa.pipeline.occupancy_pct", busy * 100 / span);
+            }
+        }
         per_segment.push(SegmentStats {
             compute_cycles: compute,
             memory_cycles: mem,

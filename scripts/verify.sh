@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite, then the co-design bench
-# kernels in quick mode. Runs fully offline (no registry access) and uses
-# DSE_SMOKE=1 so the search-based benches finish in CI time.
+# Tier-1 verification: lints, build + full test suite, then the co-design
+# bench kernels in quick mode and an instrumented smoke run. Runs fully
+# offline (no registry access) and uses DSE_SMOKE=1 so the search-based
+# benches finish in CI time.
 #
 # Usage: scripts/verify.sh [--skip-bench]
 set -euo pipefail
@@ -9,6 +10,12 @@ cd "$(dirname "$0")/.."
 
 export DSE_SMOKE="${DSE_SMOKE:-1}"
 export DSE_THREADS="${DSE_THREADS:-4}"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (offline, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo build --release (offline) =="
 cargo build --release --offline
@@ -21,8 +28,22 @@ if [[ "${1:-}" != "--skip-bench" ]]; then
     cargo bench --offline -p bench --bench fig18_codesign -- --quick
     echo "== bench: dse_parallel (quick) =="
     cargo bench --offline -p bench --bench dse_parallel -- --quick
-    echo "== bench_dse: executor speedup + cache stats =="
-    cargo run --release --offline -p experiments --bin bench_dse
+    echo "== bench_dse: executor speedup + cache stats (OBS_LEVEL=summary) =="
+    OBS_LEVEL=summary cargo run --release --offline -p experiments --bin bench_dse
+    # The instrumented smoke run must leave a real obs report in the JSON.
+    python3 - <<'EOF'
+import json, sys
+with open("results/BENCH_dse.json") as f:
+    doc = json.load(f)
+obs = doc.get("obs")
+if not obs or obs == "null" or not obs.get("spans"):
+    sys.exit("verify: BENCH_dse.json has no obs report despite OBS_LEVEL=summary")
+counters = obs.get("counters", {})
+for key in ("pucost.cache.hits", "dse.candidates"):
+    if counters.get(key, 0) <= 0:
+        sys.exit(f"verify: obs counter {key} missing or zero")
+print(f"   obs report OK: {len(obs['spans'])} spans, {len(counters)} counters")
+EOF
 fi
 
 echo "verify: OK"

@@ -7,6 +7,8 @@
 //! one dependency:
 //!
 //! * [`nnmodel`] — DNN graph IR, cost accounting and the benchmark zoo.
+//! * [`obs`] — std-only observability: spans, counters, histograms and
+//!   JSONL run traces (`OBS_LEVEL` / `OBS_OUT`).
 //! * [`mip`] — the mixed-integer-programming solver used for segmentation.
 //! * [`bayesopt`] — Bayesian/random search used by the co-design baselines.
 //! * [`benes`] — the reconfigurable inter-PU Benes fabric.
@@ -40,6 +42,7 @@ pub use bayesopt;
 pub use benes;
 pub use mip;
 pub use nnmodel;
+pub use obs;
 pub use pucost;
 pub use spa_arch;
 pub use spa_codegen;
