@@ -200,7 +200,7 @@ pub fn allocate_with(
         // Most compute-bound (minimum bandwidth usage) unfrozen segment.
         let Some(s_hat) = (0..s_max)
             .filter(|&s| !frozen[s])
-            .min_by(|&a, &b| bw_usage[a].partial_cmp(&bw_usage[b]).unwrap())
+            .min_by(|&a, &b| bw_usage[a].total_cmp(&bw_usage[b]))
         else {
             break;
         };
@@ -310,7 +310,7 @@ fn rebalance(
         }
         // Blocks must be contiguous single runs per PU for this transform.
         {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             if !block_pus.iter().all(|p| seen.insert(*p)) {
                 return None;
             }

@@ -113,6 +113,7 @@ impl DsePool {
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
+                    // obs-gated timing, telemetry only; lint: allow(nondet-time)
                     let t0 = obs::enabled().then(std::time::Instant::now);
                     let r = f(i, t);
                     if let Some(t0) = t0 {
@@ -136,6 +137,7 @@ impl DsePool {
                             break;
                         }
                         claimed += 1;
+                        // obs-gated timing, telemetry only; lint: allow(nondet-time)
                         let t0 = obs::enabled().then(std::time::Instant::now);
                         let result = f(i, &items[i]);
                         if let Some(t0) = t0 {

@@ -116,9 +116,12 @@ impl AutoSeg {
     ///
     /// # Errors
     ///
+    /// [`AutoSegError::InvalidModel`] / [`AutoSegError::InvalidBudget`]
+    /// if pre-flight validation rejects the inputs,
     /// [`AutoSegError::EmptyWorkload`] for empty models,
     /// [`AutoSegError::NoFeasibleDesign`] if nothing fits the budget.
     pub fn run(&self, model: &Graph) -> Result<AutoSegOutcome, AutoSegError> {
+        nnmodel::validate(model)?;
         let workload = Workload::from_graph(model);
         self.run_workload(workload)
     }
@@ -129,6 +132,7 @@ impl AutoSeg {
     ///
     /// See [`AutoSeg::run`].
     pub fn run_workload(&self, workload: Workload) -> Result<AutoSegOutcome, AutoSegError> {
+        self.budget.validate()?;
         if workload.is_empty() {
             return Err(AutoSegError::EmptyWorkload);
         }
@@ -282,5 +286,13 @@ mod tests {
         b.pes = 1;
         let err = AutoSeg::new(b).run(&zoo::squeezenet1_0()).unwrap_err();
         assert!(matches!(err, AutoSegError::NoFeasibleDesign { .. }));
+    }
+
+    #[test]
+    fn malformed_budget_rejected_preflight() {
+        let mut b = HwBudget::eyeriss();
+        b.bandwidth_gbps = f64::NAN;
+        let err = AutoSeg::new(b).run(&zoo::squeezenet1_0()).unwrap_err();
+        assert!(matches!(err, AutoSegError::InvalidBudget(_)));
     }
 }

@@ -1,6 +1,7 @@
 //! Error type of the co-design engine.
 
-use spa_arch::ScheduleError;
+use nnmodel::ValidateError;
+use spa_arch::{BudgetError, ScheduleError};
 use std::fmt;
 
 /// Failure of the AutoSeg flow.
@@ -8,6 +9,10 @@ use std::fmt;
 pub enum AutoSegError {
     /// The workload has no work items.
     EmptyWorkload,
+    /// Pre-flight validation rejected the input model.
+    InvalidModel(ValidateError),
+    /// Pre-flight validation rejected the hardware budget.
+    InvalidBudget(BudgetError),
     /// No `(PUs, segments)` combination produced a design that fits the
     /// budget.
     NoFeasibleDesign {
@@ -35,6 +40,8 @@ impl fmt::Display for AutoSegError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AutoSegError::EmptyWorkload => write!(f, "workload has no work items"),
+            AutoSegError::InvalidModel(e) => write!(f, "invalid model graph: {e}"),
+            AutoSegError::InvalidBudget(e) => write!(f, "invalid hardware budget: {e}"),
             AutoSegError::NoFeasibleDesign { budget, model } => {
                 write!(f, "no feasible SPA design for {model} under budget {budget}")
             }
@@ -55,6 +62,8 @@ impl std::error::Error for AutoSegError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AutoSegError::InvalidSchedule(e) => Some(e),
+            AutoSegError::InvalidModel(e) => Some(e),
+            AutoSegError::InvalidBudget(e) => Some(e),
             _ => None,
         }
     }
@@ -63,5 +72,17 @@ impl std::error::Error for AutoSegError {
 impl From<ScheduleError> for AutoSegError {
     fn from(e: ScheduleError) -> Self {
         AutoSegError::InvalidSchedule(e)
+    }
+}
+
+impl From<ValidateError> for AutoSegError {
+    fn from(e: ValidateError) -> Self {
+        AutoSegError::InvalidModel(e)
+    }
+}
+
+impl From<BudgetError> for AutoSegError {
+    fn from(e: BudgetError) -> Self {
+        AutoSegError::InvalidBudget(e)
     }
 }

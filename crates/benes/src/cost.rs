@@ -66,10 +66,11 @@ impl PrunedFabric {
             + self.nodes() as f64 * 2.0 * model.config_ff_area_um2;
         // A byte traverses `stages` hops; weight by the retained mux/wire
         // mix (idle fabric transfers nothing).
-        let active = (self.muxes() + self.wires()) as f64;
-        let energy_pj_per_byte = if active == 0.0 {
+        let active_count = self.muxes() + self.wires();
+        let energy_pj_per_byte = if active_count == 0 {
             0.0
         } else {
+            let active = active_count as f64;
             let mux_frac = self.muxes() as f64 / active;
             let per_hop_bit = mux_frac * model.mux_energy_pj_per_bit
                 + (1.0 - mux_frac) * model.wire_energy_pj_per_bit;

@@ -3,7 +3,7 @@
 //! Emits the attainable-performance curve of each Table II budget and the
 //! ridge point Section II cites for NVDLA (280 OPs/Byte).
 
-use experiments::{f3, print_table, write_csv};
+use experiments::{f3, preflight_budget, print_table, write_csv};
 use spa_arch::HwBudget;
 use spa_sim::roofline_series;
 
@@ -15,6 +15,7 @@ fn main() {
         HwBudget::nvdla_large(),
         HwBudget::edge_tpu(),
     ];
+    budgets.iter().for_each(preflight_budget);
 
     let mut rows = Vec::new();
     for b in &budgets {

@@ -61,6 +61,7 @@ fn main() {
         "squeezenet1_0",
     ];
     let devices = HwBudget::fpga_suite();
+    devices.iter().for_each(experiments::preflight_budget);
 
     let mut rows = Vec::new();
     for name in models {

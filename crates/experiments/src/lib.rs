@@ -199,9 +199,32 @@ pub fn design_for(model: &Graph, budget: &HwBudget, goal: DesignGoal) -> Option<
         .ok()
 }
 
-/// The nine evaluation models of Figure 12 (paper order).
+/// The nine evaluation models of Figure 12 (paper order), pre-flight
+/// validated: a malformed zoo graph aborts here with a diagnostic instead
+/// of panicking deep inside the engine or a simulator.
 pub fn fig12_models() -> Vec<Graph> {
-    nnmodel::zoo::evaluation_models()
+    let models = nnmodel::zoo::evaluation_models();
+    for m in &models {
+        preflight_model(m);
+    }
+    models
+}
+
+/// Validates one experiment input graph, aborting with the validator's
+/// diagnostic on failure (experiments are command-line tools; the library
+/// crates return the error instead).
+pub fn preflight_model(model: &Graph) {
+    if let Err(e) = nnmodel::validate(model) {
+        panic!("model {:?} failed pre-flight validation: {e}", model.name());
+    }
+}
+
+/// Validates one experiment hardware budget, aborting with the validator's
+/// diagnostic on failure.
+pub fn preflight_budget(budget: &HwBudget) {
+    if let Err(e) = budget.validate() {
+        panic!("budget failed pre-flight validation: {e}");
+    }
 }
 
 /// Short display name for a model.
@@ -224,6 +247,7 @@ pub fn short_name(name: &str) -> &str {
 
 /// Formats a float compactly for tables.
 pub fn f3(x: f64) -> String {
+    // exact-zero display special case; lint: allow(float-eq)
     if x == 0.0 {
         "0".to_string()
     } else if x.abs() >= 100.0 {

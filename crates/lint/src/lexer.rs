@@ -1,0 +1,597 @@
+//! A minimal comment/string-aware Rust lexer.
+//!
+//! The workspace invariant checker needs just enough lexical structure to
+//! match token patterns (`HashMap`, `.lock().unwrap()`, `as u64`, float
+//! `==`) without false positives from comments, doc comments, string
+//! literals or raw strings. A full parser is deliberately out of scope:
+//! the container has no cargo registry, so the checker is std-only, and a
+//! token stream with line numbers is sufficient for every rule.
+//!
+//! Lexical subtleties handled here:
+//! * line (`//`), doc (`///`, `//!`) and nested block (`/* /* */ */`)
+//!   comments — captured separately so waiver comments can be matched;
+//! * string, byte-string, raw-string (`r#"..."#`, any `#` depth) and char
+//!   literals, including escapes;
+//! * lifetimes vs char literals (`'a` vs `'a'`);
+//! * raw identifiers (`r#type`);
+//! * numeric literals with separators, hex/octal/binary prefixes,
+//!   exponents and type suffixes — classified int vs float;
+//! * multi-char operators (`==`, `!=`, `::`, `->`, `..=`, ...) as single
+//!   tokens so `!=` never reads as `!` `=`.
+
+/// One lexical token kind. Literal contents are dropped — rules only need
+/// identifier text and operator identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`as`, `pub`, `fn` are plain idents here).
+    Ident(String),
+    /// A lifetime such as `'a` (label uses lex identically).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `3f64`).
+    Float,
+    /// String / raw string / byte string / char literal.
+    Literal,
+    /// Operator or punctuation; multi-char operators are one token.
+    Punct(&'static str),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: Tok,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment with its covered line range (block comments span lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (equals `line` for `//` comments).
+    pub end_line: u32,
+    /// Comment text without the delimiters.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all comments.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Single-char punctuation mapped to static strings.
+fn single_op(c: char) -> Option<&'static str> {
+    Some(match c {
+        '(' => "(",
+        ')' => ")",
+        '{' => "{",
+        '}' => "}",
+        '[' => "[",
+        ']' => "]",
+        ';' => ";",
+        ',' => ",",
+        '.' => ".",
+        ':' => ":",
+        '#' => "#",
+        '!' => "!",
+        '?' => "?",
+        '=' => "=",
+        '<' => "<",
+        '>' => ">",
+        '+' => "+",
+        '-' => "-",
+        '*' => "*",
+        '/' => "/",
+        '%' => "%",
+        '&' => "&",
+        '|' => "|",
+        '^' => "^",
+        '~' => "~",
+        '@' => "@",
+        '$' => "$",
+        _ => return None,
+    })
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs are consumed to end of input (the checker lints code that
+/// already compiles, so this only matters for robustness).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let text = cur.eat_while(|c| c != '\n');
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                        text.push_str("/*");
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                    }
+                    (Some(_), _) => {
+                        text.push(cur.bump().unwrap_or_default());
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: cur.line,
+                text,
+            });
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings starting at r or b.
+        if c == 'r' || c == 'b' {
+            if let Some(len) = raw_or_byte_prefix(&cur) {
+                consume_prefixed_literal(&mut cur, len);
+                out.tokens.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+                continue;
+            }
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let name = cur.eat_while(is_ident_continue);
+            out.tokens.push(Token {
+                kind: Tok::Ident(name),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let kind = lex_number(&mut cur);
+            out.tokens.push(Token { kind, line });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            lex_quote(&mut cur, &mut out, line);
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            cur.bump();
+            consume_string_body(&mut cur);
+            out.tokens.push(Token {
+                kind: Tok::Literal,
+                line,
+            });
+            continue;
+        }
+        // Multi-char operators.
+        if let Some(op) = MULTI_OPS.iter().find(|op| {
+            op.chars()
+                .enumerate()
+                .all(|(i, oc)| cur.peek(i) == Some(oc))
+        }) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: Tok::Punct(op),
+                line,
+            });
+            continue;
+        }
+        // Single-char punctuation (or something exotic: skip it).
+        if let Some(op) = single_op(c) {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: Tok::Punct(op),
+                line,
+            });
+        } else {
+            cur.bump();
+        }
+    }
+    out
+}
+
+/// If the cursor sits on a raw-string (`r"`, `r#"`..), byte (`b"`, `b'`,
+/// `br"`, `br#"`) or raw-identifier (`r#ident`) prefix, returns the prefix
+/// length in chars, else `None`. Raw identifiers return `None` — they lex
+/// as idents after the `r#` is consumed by the caller via this returning
+/// `None` and the generic path seeing `r` — so this function only claims
+/// prefixes that start a *literal*.
+fn raw_or_byte_prefix(cur: &Cursor) -> Option<usize> {
+    let first = cur.peek(0)?;
+    let mut i = 1;
+    if first == 'b' && cur.peek(1) == Some('r') {
+        i = 2;
+    }
+    // Count `#`s (raw strings only).
+    let mut hashes = 0;
+    while cur.peek(i + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek(i + hashes) {
+        Some('"') => Some(i + hashes),
+        // b'x' byte char (no hashes allowed).
+        Some('\'') if first == 'b' && i == 1 && hashes == 0 => Some(1),
+        // r#ident is a raw identifier, not a literal.
+        _ => None,
+    }
+}
+
+/// Consumes a literal whose prefix (`r##`, `br`, `b`, ...) is `plen` chars
+/// long and whose body starts with `"` or `'`.
+fn consume_prefixed_literal(cur: &mut Cursor, plen: usize) {
+    let mut hashes = 0usize;
+    for i in 0..plen {
+        if cur.peek(i) == Some('#') {
+            hashes += 1;
+        }
+    }
+    let raw = hashes > 0 || cur.peek(0) == Some('r') || cur.peek(1) == Some('r');
+    for _ in 0..plen {
+        cur.bump();
+    }
+    match cur.bump() {
+        Some('"') if raw => {
+            // Raw string: ends at `"` followed by `hashes` hashes.
+            loop {
+                match cur.bump() {
+                    None => break,
+                    Some('"') => {
+                        if (0..hashes).all(|i| cur.peek(i) == Some('#')) {
+                            for _ in 0..hashes {
+                                cur.bump();
+                            }
+                            break;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Some('"') => consume_string_body(cur),
+        Some('\'') => {
+            // b'x' or b'\n'.
+            if cur.peek(0) == Some('\\') {
+                cur.bump();
+                cur.bump();
+            } else {
+                cur.bump();
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Consumes a (non-raw) string body after the opening quote.
+fn consume_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Lexes a numeric literal; the leading digit has not been consumed.
+fn lex_number(cur: &mut Cursor) -> Tok {
+    let mut is_float = false;
+    let radix_prefix = cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefix {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return Tok::Int;
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    // Decimal point: only if followed by a digit (so `0..n` and `1.max()`
+    // lex as int + punct).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let sign = matches!(cur.peek(1), Some('+' | '-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (`u64`, `f32`, ...).
+    let suffix = cur.eat_while(is_ident_continue);
+    if suffix.starts_with('f') {
+        is_float = true;
+    }
+    if is_float {
+        Tok::Float
+    } else {
+        Tok::Int
+    }
+}
+
+/// Lexes after a `'`: lifetime, label or char literal.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    // cur is on the quote.
+    let next = cur.peek(1);
+    let after = cur.peek(2);
+    match next {
+        // Escape: definitely a char literal.
+        Some('\\') => {
+            cur.bump(); // '
+            cur.bump(); // \
+            cur.bump(); // escaped char
+            // Consume to closing quote (handles '\u{...}').
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: Tok::Literal,
+                line,
+            });
+        }
+        // 'a' char vs 'a lifetime: closed by a quote right after one char?
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            if after == Some('\'') {
+                cur.bump();
+                cur.bump();
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: Tok::Literal,
+                    line,
+                });
+            } else {
+                cur.bump(); // '
+                cur.eat_while(is_ident_continue);
+                out.tokens.push(Token {
+                    kind: Tok::Lifetime,
+                    line,
+                });
+            }
+        }
+        // '(' etc: char literal of punctuation.
+        Some(_) => {
+            cur.bump(); // '
+            cur.bump(); // the char
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: Tok::Literal,
+                line,
+            });
+        }
+        None => {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let src = r#"let x = "HashMap in a string"; let y = 1;"#;
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let src = "// HashMap here\nlet a = 1; /* SystemTime */\n";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["let", "a"]);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still */ let z = 1;";
+        assert_eq!(idents(src), vec!["let", "z"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r###"let s = r#"quote " inside, HashMap"#; let t = 2;"###;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let l = lex(src);
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Lifetime)
+            .count();
+        let chars = l.tokens.iter().filter(|t| t.kind == Tok::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let l = lex("let a = 1; let b = 2.5; let c = 1e9; let d = 3f64; let e = 0xFF;");
+        let floats = l.tokens.iter().filter(|t| t.kind == Tok::Float).count();
+        let ints = l.tokens.iter().filter(|t| t.kind == Tok::Int).count();
+        assert_eq!(floats, 3);
+        assert_eq!(ints, 2);
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let l = lex("for i in 0..10 {}");
+        assert!(l.tokens.iter().any(|t| t.kind == Tok::Punct("..")));
+        assert!(l.tokens.iter().all(|t| t.kind != Tok::Float));
+    }
+
+    #[test]
+    fn multichar_ops_are_single_tokens() {
+        let l = lex("a == b != c -> d :: e ..= f");
+        let ops: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                Tok::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "->", "::", "..="]);
+    }
+
+    #[test]
+    fn nested_generics_lex_cleanly() {
+        // `>>` closing nested generics is a shift token at lex level —
+        // rules only need the idents, which must all surface.
+        let src = "let m: BTreeMap<String, Vec<Option<u8>>> = BTreeMap::new();";
+        let ids = idents(src);
+        assert!(ids.contains(&"BTreeMap".to_string()));
+        assert!(ids.contains(&"Option".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let src = "let a = \"line\nbreak\";\nlet b = 1;";
+        let l = lex(src);
+        let b = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == Tok::Ident("b".into()))
+            .map(|t| t.line);
+        assert_eq!(b, Some(3));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"HashMap\"; let c = b'x'; let d = 1;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "c", "let", "d"]);
+    }
+}

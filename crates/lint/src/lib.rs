@@ -1,0 +1,355 @@
+//! `spa-lint`: workspace invariant checker for the DeepBurning-SEG repo.
+//!
+//! Two layers, both std-only (the build environment has no registry):
+//!
+//! * **Layer 1 — source lints** ([`rules`]): a lightweight
+//!   comment/string-aware Rust tokenizer ([`lexer`]) scans every
+//!   workspace `.rs` source file and enforces the repo's determinism and
+//!   robustness invariants as deny-by-default diagnostics with
+//!   `file:line` output.
+//! * **Layer 2 — semantic validators** ([`semantic`]): pre-flight domain
+//!   checks — every zoo model passes `nnmodel::validate`, every budget
+//!   preset passes `HwBudget::validate` — so malformed inputs fail fast
+//!   with a diagnostic instead of panicking deep inside the engine.
+//!
+//! # Waivers
+//!
+//! A finding is waived by a line comment containing
+//! `lint: allow(<rule>[, <rule>...])` either trailing on the offending
+//! line or on the line directly above it. Waivers must carry rationale in
+//! the surrounding comment; waived counts are reported separately in
+//! `results/LINT.json` so reviewers can diff them per PR.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p lint -- --deny          # CI gate: nonzero exit on findings
+//! cargo run -p lint -- --root <path>   # lint another checkout
+//! ```
+//!
+//! The workspace-clean guarantee is also pinned by an integration test
+//! (`tests/workspace_clean.rs`) so plain `cargo test` catches regressions.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod semantic;
+
+use rules::{FileCtx, RawFinding, RULE_NAMES};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One diagnostic after waiver resolution.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Diagnostic text.
+    pub message: String,
+    /// `true` if a `lint: allow(...)` comment covers this site.
+    pub waived: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = if self.waived { "waived" } else { "error" };
+        write!(
+            f,
+            "{}:{}: {tag}[{}]: {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Per-rule finding/waived counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleCount {
+    /// Unwaived (denied) findings.
+    pub findings: usize,
+    /// Waived findings.
+    pub waived: usize,
+}
+
+/// Result of scanning a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, waived or not, in path/line order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings that are not waived.
+    pub fn denied(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Per-rule counts over every known rule (zero entries included so
+    /// the JSON is diffable across PRs).
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, RuleCount> {
+        let mut m: BTreeMap<&'static str, RuleCount> =
+            RULE_NAMES.iter().map(|r| (*r, RuleCount::default())).collect();
+        for f in &self.findings {
+            let e = m.entry(f.rule).or_default();
+            if f.waived {
+                e.waived += 1;
+            } else {
+                e.findings += 1;
+            }
+        }
+        m
+    }
+
+    /// Renders the machine-readable JSON document (rule -> counts, plus
+    /// totals) written to `results/LINT.json`.
+    pub fn to_json(&self, semantic: Option<&semantic::SemanticReport>) -> String {
+        let counts = self.rule_counts();
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"total_findings\": {},\n",
+            self.denied().count()
+        ));
+        s.push_str(&format!(
+            "  \"total_waived\": {},\n",
+            self.findings.iter().filter(|f| f.waived).count()
+        ));
+        s.push_str("  \"rules\": {\n");
+        let n = counts.len();
+        for (i, (rule, c)) in counts.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{rule}\": {{\"findings\": {}, \"waived\": {}}}{}\n",
+                c.findings,
+                c.waived,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        s.push_str("  }");
+        if let Some(sem) = semantic {
+            s.push_str(",\n  \"semantic\": {\n");
+            s.push_str(&format!(
+                "    \"models_checked\": {},\n    \"models_failed\": {},\n",
+                sem.models_checked, sem.models_failed
+            ));
+            s.push_str(&format!(
+                "    \"budgets_checked\": {},\n    \"budgets_failed\": {}\n",
+                sem.budgets_checked, sem.budgets_failed
+            ));
+            s.push_str("  }");
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+/// Scans one source string as if it were `path` inside `ctx`'s crate.
+/// Exposed for rule tests; [`scan_workspace`] is the real entry point.
+pub fn scan_source(src: &str, path: &Path, ctx: &FileCtx) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let waivers = collect_waivers(&lexed.comments);
+    let mut out: Vec<Finding> = rules::check(&lexed, ctx)
+        .into_iter()
+        .map(|RawFinding { rule, line, message }| Finding {
+            rule,
+            path: path.to_path_buf(),
+            line,
+            message,
+            waived: waiver_covers(&waivers, rule, line),
+        })
+        .collect();
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+/// `(line, rules)` pairs for every waiver comment. A waiver on lines
+/// `L..=E` covers findings on any of those lines and on `E + 1` (the
+/// "comment directly above" form).
+fn collect_waivers(comments: &[lexer::Comment]) -> Vec<(std::ops::RangeInclusive<u32>, Vec<String>)> {
+    let mut out = Vec::new();
+    for c in comments {
+        if let Some(rules) = parse_waiver(&c.text) {
+            out.push((c.line..=c.end_line + 1, rules));
+        }
+    }
+    out
+}
+
+/// Parses `lint: allow(a, b)` out of a comment body.
+fn parse_waiver(text: &str) -> Option<Vec<String>> {
+    let at = text.find("lint: allow(")?;
+    let rest = &text[at + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect(),
+    )
+}
+
+fn waiver_covers(
+    waivers: &[(std::ops::RangeInclusive<u32>, Vec<String>)],
+    rule: &str,
+    line: u32,
+) -> bool {
+    waivers
+        .iter()
+        .any(|(range, rules)| range.contains(&line) && rules.iter().any(|r| r == rule))
+}
+
+/// Scans every workspace source tree under `root`: `src/` of the facade
+/// crate and `crates/*/src/`. Test trees (`tests/`, `benches/`,
+/// `examples/`) are exempt by construction, as are `#[cfg(test)]` modules
+/// inside `src/`.
+///
+/// # Errors
+///
+/// Returns an I/O error message if `root` is not a readable workspace.
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    let mut files: Vec<(PathBuf, FileCtx)> = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files, "deepburning-seg")?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates)
+            .map_err(|e| format!("{}: {e}", crates.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files, &name)?;
+            }
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no workspace sources under {}", root.display()));
+    }
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for (path, ctx) in files {
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        report.findings.extend(scan_source(&src, &rel, &ctx));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (a crate's `src/`),
+/// classifying binary sources by path.
+fn collect_rs(
+    dir: &Path,
+    out: &mut Vec<(PathBuf, FileCtx)>,
+    crate_name: &str,
+) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out, crate_name)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let in_bin_dir = path
+                .components()
+                .any(|c| c.as_os_str() == "bin");
+            let is_main = path.file_name().is_some_and(|n| n == "main.rs");
+            out.push((
+                path,
+                FileCtx {
+                    crate_name: crate_name.to_string(),
+                    is_bin: in_bin_dir || is_main,
+                },
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileCtx {
+        FileCtx {
+            crate_name: "autoseg".into(),
+            is_bin: false,
+        }
+    }
+
+    #[test]
+    fn waiver_on_same_line() {
+        let src = "fn f() { let m = HashMap::new(); } // keyed lookup only; lint: allow(nondet-iter)\n";
+        let fs = scan_source(src, Path::new("x.rs"), &ctx());
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+    }
+
+    #[test]
+    fn waiver_on_line_above() {
+        let src = "// shard map, lookup only; lint: allow(nondet-iter)\nfn f() { let m = HashMap::new(); }\n";
+        let fs = scan_source(src, Path::new("x.rs"), &ctx());
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+    }
+
+    #[test]
+    fn waiver_rule_must_match() {
+        let src = "// lint: allow(float-eq)\nfn f() { let m = HashMap::new(); }\n";
+        let fs = scan_source(src, Path::new("x.rs"), &ctx());
+        assert_eq!(fs.len(), 1);
+        assert!(!fs[0].waived);
+    }
+
+    #[test]
+    fn waiver_covers_multiple_rules() {
+        let src = "fn f(t: std::time::Instant) { let m = HashMap::new(); } // lint: allow(nondet-iter, nondet-time)\n";
+        let fs = scan_source(src, Path::new("x.rs"), &ctx());
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().all(|f| f.waived));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let src = "fn f() { let m = HashMap::new(); }\n";
+        let findings = scan_source(src, Path::new("x.rs"), &ctx());
+        let report = Report {
+            files_scanned: 1,
+            findings,
+        };
+        let json = report.to_json(None);
+        assert!(json.contains("\"nondet-iter\": {\"findings\": 1, \"waived\": 0}"));
+        assert!(json.contains("\"total_findings\": 1"));
+        // Every rule appears even at zero, so PRs can diff the document.
+        for rule in RULE_NAMES {
+            assert!(json.contains(rule), "{rule} missing from JSON");
+        }
+    }
+}

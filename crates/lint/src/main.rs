@@ -1,0 +1,116 @@
+//! Workspace lint driver: `cargo run -p lint -- [--deny] [--root <path>]`.
+//!
+//! Runs both analysis layers — source lints over every workspace `.rs`
+//! file and the semantic validators over the model zoo and budget presets
+//! — prints `file:line` diagnostics, and writes the machine-readable
+//! summary to `results/LINT.json`. With `--deny` (the CI gate) the exit
+//! code is nonzero when any unwaived finding or semantic failure exists.
+
+use lint::semantic;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: lint [--deny] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        if !f.waived {
+            println!("{f}");
+        }
+    }
+    let denied = report.denied().count();
+    let waived = report.findings.len() - denied;
+    println!(
+        "lint: {} files, {denied} finding(s), {waived} waived",
+        report.files_scanned
+    );
+
+    let sem = semantic::run();
+    for f in &sem.failures {
+        println!("semantic: {}: {}", f.subject, f.message);
+    }
+    println!(
+        "semantic: {} models + {} budgets validated, {} failure(s)",
+        sem.models_checked,
+        sem.budgets_checked,
+        sem.failures.len()
+    );
+
+    let results = root.join("results");
+    let json_path = results.join("LINT.json");
+    if let Err(e) = std::fs::create_dir_all(&results)
+        .and_then(|()| std::fs::write(&json_path, report.to_json(Some(&sem))))
+    {
+        eprintln!("lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    if deny && (denied > 0 || !sem.clean()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks upward from the current directory (falling back to this crate's
+/// manifest dir at compile time) to the first `Cargo.toml` declaring a
+/// `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let starts = [
+        std::env::current_dir().ok(),
+        Some(PathBuf::from(env!("CARGO_MANIFEST_DIR"))),
+    ];
+    for start in starts.into_iter().flatten() {
+        let mut dir: &Path = &start;
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if manifest.is_file() {
+                let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+                if text.contains("[workspace]") {
+                    return Ok(dir.to_path_buf());
+                }
+            }
+            match dir.parent() {
+                Some(p) => dir = p,
+                None => break,
+            }
+        }
+    }
+    Err("no workspace Cargo.toml found upward of the current directory".to_string())
+}

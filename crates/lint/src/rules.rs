@@ -1,0 +1,459 @@
+//! The deny-by-default source rules (Layer 1 of the checker).
+//!
+//! Every rule guards an invariant the repo's tests pin globally but
+//! nothing enforced at the source level before this crate existed:
+//! `dse_equiv`/`obs_equiv` prove bit-identical DSE results across thread
+//! counts and `OBS_LEVEL`s, and one stray wall-clock read or hash-order
+//! iteration in a result-affecting path silently breaks that contract.
+//!
+//! | rule          | invariant                                            |
+//! |---------------|------------------------------------------------------|
+//! | `nondet-time` | no `SystemTime`/`Instant` in deterministic crates    |
+//! | `nondet-iter` | no `HashMap`/`HashSet` in deterministic crates       |
+//! | `lock-unwrap` | poison-recovery idiom on every lock guard            |
+//! | `as-cast`     | no bare `as` numeric casts in cost-model arithmetic  |
+//! | `float-eq`    | no float literal `==`/`!=`                           |
+//! | `panic-path`  | no `panic!`/`.unwrap()` in public library API bodies |
+//!
+//! Rules are lexical approximations by design (no type information), so
+//! each supports the `// lint: allow(<rule>)` waiver for sites where the
+//! flagged construct is deliberate and documented.
+
+use crate::lexer::{Lexed, Tok, Token};
+
+/// Names of every rule, in documentation order.
+pub const RULE_NAMES: &[&str] = &[
+    "nondet-time",
+    "nondet-iter",
+    "lock-unwrap",
+    "as-cast",
+    "float-eq",
+    "panic-path",
+];
+
+/// Crates whose arithmetic must avoid bare `as` casts (the analytical
+/// cost model and everything that feeds the MILP objective).
+const AS_CAST_CRATES: &[&str] = &["pucost", "spa-sim", "mip"];
+
+/// Crates exempt from the wall-clock rule: `obs` owns monotonic timing,
+/// and the experiment/bench harnesses measure wall time on purpose.
+const TIME_EXEMPT_CRATES: &[&str] = &["obs", "experiments", "bench"];
+
+/// Crates exempt from the hash-collection rule: `obs` aggregates across
+/// threads behind a sort-on-report, and the criterion harness in `bench`
+/// never feeds deterministic output.
+const ITER_EXEMPT_CRATES: &[&str] = &["obs", "bench"];
+
+/// Crates exempt from the public-API panic rule: experiment binaries and
+/// benches are leaf programs where aborting with a message is the
+/// intended failure mode.
+const PANIC_EXEMPT_CRATES: &[&str] = &["experiments", "bench"];
+
+/// Primitive numeric type names for the `as-cast` rule.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Where a file sits in the workspace — determines rule applicability.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Package name (`pucost`, `spa-sim`, ..., `deepburning-seg` for the
+    /// facade crate at the workspace root).
+    pub crate_name: String,
+    /// `true` for binary sources (`src/bin/*`, `src/main.rs`).
+    pub is_bin: bool,
+}
+
+/// One rule violation before waiver matching.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Rule identifier (one of [`RULE_NAMES`]).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-oriented diagnostic.
+    pub message: String,
+}
+
+/// Runs every applicable rule over a lexed file.
+pub fn check(lexed: &Lexed, ctx: &FileCtx) -> Vec<RawFinding> {
+    let toks = &lexed.tokens;
+    let skipped = test_region_mask(toks);
+    let in_pub_fn = pub_fn_mask(toks);
+    let mut out = Vec::new();
+
+    let time_on = !TIME_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
+    let iter_on = !ITER_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
+    let cast_on = AS_CAST_CRATES.contains(&ctx.crate_name.as_str());
+    let panic_on = !ctx.is_bin && !PANIC_EXEMPT_CRATES.contains(&ctx.crate_name.as_str());
+
+    for i in 0..toks.len() {
+        if skipped[i] {
+            continue;
+        }
+        let line = toks[i].line;
+        match &toks[i].kind {
+            Tok::Ident(name) => match name.as_str() {
+                "SystemTime" if time_on => out.push(RawFinding {
+                    rule: "nondet-time",
+                    line,
+                    message: "`SystemTime` reads the wall clock; deterministic paths must \
+                              derive timing from the cost model (or waive with rationale)"
+                        .into(),
+                }),
+                "Instant" if time_on => out.push(RawFinding {
+                    rule: "nondet-time",
+                    line,
+                    message: "`Instant` outside `obs` taints deterministic paths; time via \
+                              `obs::span!` or waive with rationale"
+                        .into(),
+                }),
+                "HashMap" | "HashSet" if iter_on => out.push(RawFinding {
+                    rule: "nondet-iter",
+                    line,
+                    message: format!(
+                        "`{name}` iteration order is nondeterministic; use \
+                         `BTreeMap`/`BTreeSet` or sort before iterating (waive \
+                         lookup-only uses with rationale)"
+                    ),
+                }),
+                "as" if cast_on => {
+                    if let Some(Tok::Ident(ty)) = toks.get(i + 1).map(|t| &t.kind) {
+                        if NUMERIC_TYPES.contains(&ty.as_str()) {
+                            out.push(RawFinding {
+                                rule: "as-cast",
+                                line,
+                                message: format!(
+                                    "bare `as {ty}` can truncate or lose precision silently; \
+                                     use `From`/`try_from` or the blessed util helpers"
+                                ),
+                            });
+                        }
+                    }
+                }
+                "panic" | "todo" | "unimplemented"
+                    if panic_on
+                        && in_pub_fn[i]
+                        && matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct("!"))) =>
+                {
+                    out.push(RawFinding {
+                        rule: "panic-path",
+                        line,
+                        message: format!(
+                            "`{name}!` in a public library API; return the crate's typed \
+                             error instead"
+                        ),
+                    });
+                }
+                "unwrap"
+                    if panic_on
+                        && in_pub_fn[i]
+                        && i > 0
+                        && matches!(&toks[i - 1].kind, Tok::Punct("."))
+                        && !is_lock_guard_chain(toks, i) =>
+                {
+                    // Guard unwraps are lock-unwrap's domain (reported with
+                    // the poison-recovery fix, not the typed-error one).
+                    out.push(RawFinding {
+                        rule: "panic-path",
+                        line,
+                        message: "`.unwrap()` in a public library API; return the crate's \
+                                  typed error (or `.expect` a documented invariant)"
+                            .into(),
+                    });
+                }
+                "lock" | "read" | "write" => {
+                    // `.lock().unwrap()` / `.read().expect(...)` — empty
+                    // parens keep io::Read::read(&mut buf) out.
+                    let chain = i > 0
+                        && matches!(&toks[i - 1].kind, Tok::Punct("."))
+                        && matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct("(")))
+                        && matches!(toks.get(i + 2).map(|t| &t.kind), Some(Tok::Punct(")")))
+                        && matches!(toks.get(i + 3).map(|t| &t.kind), Some(Tok::Punct(".")));
+                    if chain {
+                        if let Some(Tok::Ident(m)) = toks.get(i + 4).map(|t| &t.kind) {
+                            if m == "unwrap" || m == "expect" {
+                                out.push(RawFinding {
+                                    rule: "lock-unwrap",
+                                    line: toks[i + 4].line,
+                                    message: format!(
+                                        "`.{name}().{m}(..)` panics on poisoned locks and \
+                                         cascades; recover with \
+                                         `.unwrap_or_else(|e| e.into_inner())`"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            },
+            Tok::Punct(op @ ("==" | "!=")) => {
+                let prev_float = i > 0 && toks[i - 1].kind == Tok::Float;
+                let next_float = toks.get(i + 1).is_some_and(|t| t.kind == Tok::Float);
+                if prev_float || next_float {
+                    out.push(RawFinding {
+                        rule: "float-eq",
+                        line,
+                        message: format!(
+                            "float literal `{op}` is brittle; compare with a tolerance or \
+                             restructure on integers (waive exact-representation checks \
+                             with rationale)"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `true` at indices inside a lock-guard chain ending in unwrap/expect —
+/// used to keep `lock-unwrap` and `panic-path` from double-reporting.
+fn is_lock_guard_chain(toks: &[Token], unwrap_idx: usize) -> bool {
+    // Pattern behind the `.` before unwrap: `lock ( )` (idx-4..idx-2).
+    if unwrap_idx < 4 {
+        return false;
+    }
+    matches!(&toks[unwrap_idx - 2].kind, Tok::Punct(")"))
+        && matches!(&toks[unwrap_idx - 3].kind, Tok::Punct("("))
+        && matches!(&toks[unwrap_idx - 4].kind,
+            Tok::Ident(n) if n == "lock" || n == "read" || n == "write")
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item (and the
+/// attribute itself). Handles stacked attributes between the cfg and the
+/// item, items ending in `;`, and nested braces in the body.
+fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(close) = match_cfg_test_attr(toks, i) {
+            // Walk from the end of the attribute to the end of the item.
+            let start = i;
+            let mut j = close + 1;
+            // Skip further attributes.
+            while j < toks.len() && toks[j].kind == Tok::Punct("#") {
+                let mut depth = 0usize;
+                j += 1; // onto `[`
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        Tok::Punct("[") => depth += 1,
+                        Tok::Punct("]") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Consume the item: to matching `}` of its first brace, or to
+            // a `;` that appears before any brace.
+            let mut depth = 0usize;
+            let mut saw_brace = false;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    Tok::Punct("{") => {
+                        depth += 1;
+                        saw_brace = true;
+                    }
+                    Tok::Punct("}") => {
+                        depth = depth.saturating_sub(1);
+                        if saw_brace && depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Punct(";") if !saw_brace => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(toks.len())).skip(start) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `toks[i..]` starts a `#[cfg(...test...)]` attribute, returns the
+/// index of its closing `]`.
+fn match_cfg_test_attr(toks: &[Token], i: usize) -> Option<usize> {
+    if toks.get(i)?.kind != Tok::Punct("#") || toks.get(i + 1)?.kind != Tok::Punct("[") {
+        return None;
+    }
+    if !matches!(&toks.get(i + 2)?.kind, Tok::Ident(n) if n == "cfg") {
+        return None;
+    }
+    if toks.get(i + 3)?.kind != Tok::Punct("(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut j = i + 3;
+    while j < toks.len() {
+        match &toks[j].kind {
+            Tok::Punct("(") => depth += 1,
+            Tok::Punct(")") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(n) if n == "test" => saw_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    if !saw_test {
+        return None;
+    }
+    // Expect the closing `]` right after.
+    match toks.get(j + 1) {
+        Some(t) if t.kind == Tok::Punct("]") => Some(j + 1),
+        _ => None,
+    }
+}
+
+/// Marks tokens inside the body of a `pub fn` (lexical approximation of
+/// "public library API path": direct bodies only, not private helpers a
+/// public function calls into).
+fn pub_fn_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut depth = 0usize;
+    let mut body_stack: Vec<usize> = Vec::new();
+    let mut pending = false; // saw `pub ... fn`, waiting for `{`
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Ident(n) if n == "pub" => {
+                // Skip a visibility scope `(crate)` / `(super)` / `(in x)`.
+                let mut j = i + 1;
+                if toks.get(j).map(|t| &t.kind) == Some(&Tok::Punct("(")) {
+                    let mut d = 0usize;
+                    while j < toks.len() {
+                        match &toks[j].kind {
+                            Tok::Punct("(") => d += 1,
+                            Tok::Punct(")") => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                // Skip qualifiers before `fn`.
+                while let Some(Tok::Ident(q)) = toks.get(j).map(|t| &t.kind) {
+                    match q.as_str() {
+                        "const" | "async" | "unsafe" | "extern" => j += 1,
+                        "fn" => {
+                            pending = true;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Literal)) {
+                    // `pub unsafe extern "C" fn`.
+                    if matches!(toks.get(j + 1).map(|t| &t.kind),
+                        Some(Tok::Ident(n)) if n == "fn")
+                    {
+                        pending = true;
+                    }
+                }
+            }
+            Tok::Punct("{") => {
+                depth += 1;
+                if pending {
+                    body_stack.push(depth);
+                    pending = false;
+                }
+            }
+            Tok::Punct("}") => {
+                if body_stack.last() == Some(&depth) {
+                    body_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            // Trait method declaration without a body.
+            Tok::Punct(";") if pending => pending = false,
+            _ => {}
+        }
+        if !body_stack.is_empty() {
+            mask[i] = true;
+        }
+        i += 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lib_ctx(name: &str) -> FileCtx {
+        FileCtx {
+            crate_name: name.into(),
+            is_bin: false,
+        }
+    }
+
+    fn rules_fired(src: &str, crate_name: &str) -> Vec<&'static str> {
+        check(&lex(src), &lib_ctx(crate_name))
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn a() { let m = HashMap::new(); }\n\
+                   #[cfg(test)]\nmod tests { fn b() { let m = HashMap::new(); } }";
+        assert_eq!(rules_fired(src, "pucost"), vec!["nondet-iter"]);
+    }
+
+    #[test]
+    fn as_cast_scoped_to_cost_model_crates() {
+        let src = "fn f(x: usize) -> u64 { x as u64 }";
+        assert_eq!(rules_fired(src, "pucost"), vec!["as-cast"]);
+        assert!(rules_fired(src, "nnmodel").is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_not_doubled_as_panic_path() {
+        let src = "pub fn f() { s.lock().unwrap(); }";
+        assert_eq!(rules_fired(src, "autoseg"), vec!["lock-unwrap"]);
+    }
+
+    #[test]
+    fn pub_fn_bodies_only_for_panic_path() {
+        let src = "fn private() { x.unwrap(); }\npub fn api() { y.unwrap(); }";
+        assert_eq!(rules_fired(src, "nnmodel"), vec!["panic-path"]);
+    }
+
+    #[test]
+    fn expect_is_not_flagged_by_panic_path() {
+        let src = "pub fn api() { y.expect(\"documented invariant\"); }";
+        assert!(rules_fired(src, "nnmodel").is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparisons() {
+        assert_eq!(rules_fired("fn f(x: f64) -> bool { x == 0.0 }", "benes"), vec!["float-eq"]);
+        assert!(rules_fired("fn f(x: u64) -> bool { x == 0 }", "benes").is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Layer 2: domain semantic validation.
+//!
+//! Where [`crate::rules`] checks source text, this layer checks the
+//! *artifacts* the workspace ships: every model in the `nnmodel` zoo must
+//! pass [`nnmodel::validate`] and lower through `Workload::try_from_graph`,
+//! and every Table II/III hardware budget preset must pass
+//! [`spa_arch::HwBudget::validate`]. Running these in the lint binary (and
+//! CI) means a zoo or preset edit that breaks a structural invariant fails
+//! the gate with a named diagnostic instead of panicking inside the
+//! engine during some later experiment.
+
+use nnmodel::{zoo, Workload};
+use spa_arch::HwBudget;
+
+/// The ten models the repo's experiments and figures draw from: the nine
+/// evaluation models of the paper plus EfficientNet-B0 (motivation
+/// figures).
+pub const ZOO_MODELS: &[&str] = &[
+    "alexnet",
+    "vgg16",
+    "mobilenet_v1",
+    "mobilenet_v2",
+    "resnet18",
+    "resnet50",
+    "resnet152",
+    "squeezenet1_0",
+    "inception_v1",
+    "efficientnet_b0",
+];
+
+/// One semantic-validation failure.
+#[derive(Debug, Clone)]
+pub struct SemanticFailure {
+    /// What was validated (model or budget name).
+    pub subject: String,
+    /// The diagnostic.
+    pub message: String,
+}
+
+/// Outcome of the semantic pass.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticReport {
+    /// Zoo models validated.
+    pub models_checked: usize,
+    /// Zoo models that failed.
+    pub models_failed: usize,
+    /// Budget presets validated.
+    pub budgets_checked: usize,
+    /// Budget presets that failed.
+    pub budgets_failed: usize,
+    /// Every failure, in check order.
+    pub failures: Vec<SemanticFailure>,
+}
+
+impl SemanticReport {
+    /// `true` if everything validated.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Validates the whole zoo and every budget preset.
+pub fn run() -> SemanticReport {
+    let mut report = SemanticReport::default();
+    for name in ZOO_MODELS {
+        report.models_checked += 1;
+        let Some(graph) = zoo::by_name(name) else {
+            report.models_failed += 1;
+            report.failures.push(SemanticFailure {
+                subject: (*name).to_string(),
+                message: "model missing from zoo::by_name".to_string(),
+            });
+            continue;
+        };
+        let outcome = nnmodel::validate(&graph)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                Workload::try_from_graph(&graph)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            });
+        if let Err(message) = outcome {
+            report.models_failed += 1;
+            report.failures.push(SemanticFailure {
+                subject: (*name).to_string(),
+                message,
+            });
+        }
+    }
+    for budget in HwBudget::asic_suite()
+        .into_iter()
+        .chain(HwBudget::fpga_suite())
+    {
+        report.budgets_checked += 1;
+        if let Err(e) = budget.validate() {
+            report.budgets_failed += 1;
+            report.failures.push(SemanticFailure {
+                subject: budget.name.clone(),
+                message: e.to_string(),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_artifacts_are_clean() {
+        let r = run();
+        assert!(r.clean(), "semantic failures: {:?}", r.failures);
+        assert_eq!(r.models_checked, 10);
+        assert_eq!(r.budgets_checked, 7);
+    }
+}

@@ -1,0 +1,141 @@
+//! Negative fixtures: every rule D1–D5 must fire on crafted bad source,
+//! and the waiver comment must suppress exactly the named rule.
+
+use lint::rules::FileCtx;
+use lint::scan_source;
+use std::path::Path;
+
+fn scan(src: &str, crate_name: &str) -> Vec<(&'static str, bool)> {
+    let ctx = FileCtx {
+        crate_name: crate_name.into(),
+        is_bin: false,
+    };
+    scan_source(src, Path::new("fixture.rs"), &ctx)
+        .into_iter()
+        .map(|f| (f.rule, f.waived))
+        .collect()
+}
+
+fn fired(src: &str, crate_name: &str) -> Vec<&'static str> {
+    scan(src, crate_name)
+        .into_iter()
+        .filter(|&(_, waived)| !waived)
+        .map(|(rule, _)| rule)
+        .collect()
+}
+
+#[test]
+fn d1_nondet_time_fires() {
+    let src = "fn f() { let t = std::time::SystemTime::now(); }";
+    assert_eq!(fired(src, "autoseg"), vec!["nondet-time"]);
+    let src = "fn f() { let t = std::time::Instant::now(); }";
+    assert_eq!(fired(src, "pucost"), vec!["nondet-time"]);
+    // `obs` owns timing; the experiment harness measures on purpose.
+    assert!(fired(src, "obs").is_empty());
+    assert!(fired(src, "experiments").is_empty());
+}
+
+#[test]
+fn d1_nondet_iter_fires() {
+    let src = "use std::collections::HashMap;\nfn f() { for (k, v) in m.iter() {} }";
+    assert_eq!(fired(src, "autoseg"), vec!["nondet-iter"]);
+    let src = "fn f() { let s: HashSet<u32> = HashSet::new(); }";
+    assert_eq!(fired(src, "nnmodel"), vec!["nondet-iter", "nondet-iter"]);
+    assert!(fired(src, "obs").is_empty());
+}
+
+#[test]
+fn d2_lock_unwrap_fires() {
+    for src in [
+        "pub fn f(s: &S) { s.inner.lock().unwrap().push(1); }",
+        "fn g(s: &S) { let r = s.table.read().unwrap(); }",
+        "fn h(s: &S) { s.table.write().expect(\"poisoned\"); }",
+    ] {
+        assert_eq!(fired(src, "spa-sim"), vec!["lock-unwrap"], "{src}");
+    }
+    // The poison-recovery idiom is the sanctioned form.
+    let ok = "fn f(s: &S) { s.m.lock().unwrap_or_else(|e| e.into_inner()); }";
+    assert!(fired(ok, "spa-sim").is_empty());
+    // io::Read::read(&mut buf) takes an argument: not a guard chain.
+    let io = "fn f(mut r: impl std::io::Read) { r.read(&mut buf).unwrap(); }";
+    assert!(!fired(io, "spa-codegen").contains(&"lock-unwrap"));
+}
+
+#[test]
+fn d3_as_cast_fires_in_cost_model_crates() {
+    let src = "fn f(x: usize) -> u64 { x as u64 + 1 }";
+    for c in ["pucost", "spa-sim", "mip"] {
+        assert_eq!(fired(src, c), vec!["as-cast"], "{c}");
+    }
+    // Everywhere else `as` stays legal.
+    for c in ["nnmodel", "autoseg", "benes", "obs"] {
+        assert!(fired(src, c).is_empty(), "{c}");
+    }
+    // `as` for non-numeric targets (imports, trait casts) never fires.
+    let import = "use std::fmt::Debug as D;\nfn f(x: &dyn Debug) {}";
+    assert!(fired(import, "pucost").is_empty());
+}
+
+#[test]
+fn d4_float_eq_fires() {
+    assert_eq!(
+        fired("fn f(x: f64) -> bool { x == 1.5 }", "benes"),
+        vec!["float-eq"]
+    );
+    assert_eq!(
+        fired("fn f(x: f64) -> bool { 0.0 != x }", "autoseg"),
+        vec!["float-eq"]
+    );
+    // Integer comparisons and range patterns stay legal.
+    assert!(fired("fn f(x: u64) -> bool { x == 10 }", "benes").is_empty());
+    assert!(fired("fn f(x: usize) { for i in 0..x {} }", "benes").is_empty());
+}
+
+#[test]
+fn d5_panic_path_fires() {
+    assert_eq!(
+        fired("pub fn api() { panic!(\"boom\"); }", "nnmodel"),
+        vec!["panic-path"]
+    );
+    assert_eq!(
+        fired("pub fn api(x: Option<u32>) -> u32 { x.unwrap() }", "mip"),
+        vec!["panic-path"]
+    );
+    assert_eq!(
+        fired("pub fn api() { todo!() }", "spa-arch"),
+        vec!["panic-path"]
+    );
+    // Private helpers, `.expect` with a documented invariant, and
+    // `unreachable!` are all allowed.
+    assert!(fired("fn helper(x: Option<u32>) -> u32 { x.unwrap() }", "nnmodel").is_empty());
+    assert!(fired(
+        "pub fn api(x: Option<u32>) -> u32 { x.expect(\"set in new()\") }",
+        "nnmodel"
+    )
+    .is_empty());
+    assert!(fired("pub fn api() { unreachable!() }", "nnmodel").is_empty());
+    // Leaf programs may abort.
+    assert!(fired("pub fn api() { panic!(\"usage\"); }", "experiments").is_empty());
+}
+
+#[test]
+fn waivers_suppress_only_the_named_rule() {
+    let src = "// shard-local map, never iterated; lint: allow(nondet-iter)\n\
+               fn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+    let all = scan(src, "autoseg");
+    assert_eq!(all.len(), 2);
+    assert!(all.iter().all(|&(rule, waived)| rule == "nondet-iter" && waived));
+
+    // A waiver for a different rule does not apply.
+    let src = "// lint: allow(float-eq)\nfn f() { let m = HashMap::new(); }";
+    assert_eq!(fired(src, "autoseg"), vec!["nondet-iter"]);
+}
+
+#[test]
+fn strings_and_comments_never_fire() {
+    let src = r#"fn f() { let s = "HashMap and panic! and 1.0 == 2.0"; }
+// HashMap in a comment, x as u64, Instant
+/* SystemTime::now() in a block comment */
+"#;
+    assert!(fired(src, "pucost").is_empty());
+}

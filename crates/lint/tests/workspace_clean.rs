@@ -1,0 +1,33 @@
+//! The CI gate as a test: the workspace must have zero unwaived lint
+//! findings and a clean semantic report, so plain `cargo test` catches
+//! regressions without running the binary.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let report = lint::scan_workspace(workspace_root()).expect("workspace scans");
+    let denied: Vec<String> = report.denied().map(|f| f.to_string()).collect();
+    assert!(
+        denied.is_empty(),
+        "unwaived lint findings:\n{}",
+        denied.join("\n")
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+}
+
+#[test]
+fn semantic_validators_pass() {
+    let sem = lint::semantic::run();
+    assert!(sem.clean(), "semantic failures: {:?}", sem.failures);
+    assert_eq!(sem.models_checked, 10);
+    assert_eq!(sem.budgets_checked, 7);
+}

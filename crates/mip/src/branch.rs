@@ -5,6 +5,8 @@ use crate::simplex::{solve_lp, LpOutcome};
 use crate::{Solution, SolveStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+// Wall-clock reads feed only the optional `time_limit` cut-off, never the
+// search order or the incumbent; lint: allow(nondet-time)
 use std::time::{Duration, Instant};
 
 /// Search limits for [`Solver`].
@@ -121,7 +123,7 @@ impl Solver {
     pub fn solve(&self, p: &Problem) -> Result<Solution, MipError> {
         p.validate()?;
         let _span = obs::span!("mip.solve", vars = p.num_vars());
-        let start = Instant::now();
+        let start = Instant::now(); // time_limit cut-off only; lint: allow(nondet-time)
         let sign = match p.sense {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
@@ -514,11 +516,24 @@ mod tests {
 
     #[test]
     fn unbounded_detected() {
+        // Continuous: an unbounded *integer* is rejected by validation
+        // before the solve (branch & bound cannot enumerate it).
         let mut p = Problem::new(Sense::Maximize);
-        let x = p.add_integer("x", 0.0, f64::INFINITY);
+        let x = p.add_continuous("x", 0.0, f64::INFINITY);
         p.set_objective(LinExpr::from(x));
         let s = Solver::new().solve(&p).unwrap();
         assert_eq!(s.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn unbounded_integer_rejected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_integer("x", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::from(x));
+        assert!(matches!(
+            Solver::new().solve(&p),
+            Err(MipError::UnboundedInteger { .. })
+        ));
     }
 
     #[test]
@@ -575,6 +590,7 @@ mod tests {
         let mut p = Problem::new(Sense::Minimize);
         let a = p.add_binary("a");
         let b = p.add_binary("b");
+        p.set_objective(LinExpr::from(a));
         p.add_constraint(LinExpr::terms(&[(a, 1.0), (b, 1.0)]), Cmp::Ge, 3.0);
         let s = Solver::new().solve(&p).unwrap();
         assert_eq!(s.status, SolveStatus::Infeasible);

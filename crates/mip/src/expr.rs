@@ -65,6 +65,8 @@ impl LinExpr {
 
     /// Adds `coef * var`, merging with an existing term for `var` if any.
     pub fn add_term(&mut self, var: VarId, coef: f64) -> &mut Self {
+        // exact-zero sentinel: only literal zeros are dropped, arithmetic
+        // near-zeros keep their term; lint: allow(float-eq)
         if coef == 0.0 {
             return self;
         }

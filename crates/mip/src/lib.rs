@@ -93,7 +93,7 @@ impl Solution {
     /// Value of a variable rounded to the nearest integer (useful for
     /// binaries, where LP arithmetic leaves values like `0.9999999`).
     pub fn int_value(&self, var: VarId) -> i64 {
-        self.value(var).round() as i64
+        self.value(var).round() as i64 // saturating round of an LP value; lint: allow(as-cast)
     }
 
     /// `true` if the status carries a usable assignment.

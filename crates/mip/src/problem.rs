@@ -75,6 +75,15 @@ pub enum MipError {
     },
     /// A non-finite coefficient or bound was supplied.
     NonFinite,
+    /// An integer variable with an infinite upper bound: branch-and-bound
+    /// cannot enumerate an unbounded integer lattice.
+    UnboundedInteger {
+        /// Variable name.
+        name: String,
+    },
+    /// The objective has no terms, so "optimal" would be meaningless —
+    /// every feasible point ties.
+    EmptyObjective,
 }
 
 impl fmt::Display for MipError {
@@ -90,6 +99,10 @@ impl fmt::Display for MipError {
                 write!(f, "expression references unknown variable x{index}")
             }
             MipError::NonFinite => write!(f, "non-finite coefficient or bound"),
+            MipError::UnboundedInteger { name } => {
+                write!(f, "integer variable {name}: upper bound must be finite")
+            }
+            MipError::EmptyObjective => write!(f, "objective has no terms"),
         }
     }
 }
@@ -207,8 +220,9 @@ impl Problem {
     ///
     /// # Errors
     ///
-    /// Returns an error for inverted or `-inf` lower bounds, non-finite
-    /// data, or expressions referencing foreign variables.
+    /// Returns an error for inverted or `-inf` lower bounds, unbounded
+    /// integer variables, an empty objective, non-finite data, or
+    /// expressions referencing foreign variables.
     pub fn validate(&self) -> Result<(), MipError> {
         for d in &self.vars {
             if !d.lo.is_finite() {
@@ -225,6 +239,14 @@ impl Problem {
             if d.hi.is_nan() {
                 return Err(MipError::NonFinite);
             }
+            if d.kind == VarKind::Integer && !d.hi.is_finite() {
+                return Err(MipError::UnboundedInteger {
+                    name: d.name.clone(),
+                });
+            }
+        }
+        if self.objective.iter().next().is_none() {
+            return Err(MipError::EmptyObjective);
         }
         let width = self.vars.len();
         let check_expr = |e: &LinExpr| -> Result<(), MipError> {
@@ -308,8 +330,27 @@ mod tests {
     fn validate_rejects_nan() {
         let mut p = Problem::new(Sense::Minimize);
         let x = p.add_binary("x");
+        p.set_objective(LinExpr::from(x));
         p.add_constraint(LinExpr::terms(&[(x, f64::NAN)]), Cmp::Le, 1.0);
         assert_eq!(p.validate(), Err(MipError::NonFinite));
+    }
+
+    #[test]
+    fn validate_rejects_unbounded_integer() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_integer("x", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::from(x));
+        assert!(matches!(
+            p.validate(),
+            Err(MipError::UnboundedInteger { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty_objective() {
+        let mut p = Problem::new(Sense::Minimize);
+        p.add_binary("x");
+        assert_eq!(p.validate(), Err(MipError::EmptyObjective));
     }
 
     #[test]

@@ -226,6 +226,8 @@ fn optimize(
             }
             let mut r = cost[j];
             for i in 0..m {
+                // exact-zero skip: a basic cost of literal 0.0 contributes
+                // nothing; lint: allow(float-eq)
                 if cb[i] != 0.0 {
                     r -= cb[i] * t[i][j];
                 }
@@ -242,7 +244,7 @@ fn optimize(
             }
         }
         let Some((e, _)) = entering else {
-            obs::add("mip.simplex.pivots", (iters - 1) as u64);
+            obs::add("mip.simplex.pivots", u64::try_from(iters - 1).unwrap_or(u64::MAX));
             return Pivoted::Optimal;
         };
         // Ratio test.
@@ -262,7 +264,7 @@ fn optimize(
             }
         }
         let Some((l, _)) = leave else {
-            obs::add("mip.simplex.pivots", (iters - 1) as u64);
+            obs::add("mip.simplex.pivots", u64::try_from(iters - 1).unwrap_or(u64::MAX));
             return Pivoted::Unbounded;
         };
         pivot(t, basis, l, e);
@@ -281,6 +283,7 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
     for i in 0..t.len() {
         if i != row {
             let factor = t[i][col];
+            // exact-zero skip; lint: allow(float-eq)
             if factor != 0.0 {
                 for j in 0..width {
                     t[i][j] -= factor * t[row][j];

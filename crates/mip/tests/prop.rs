@@ -17,7 +17,12 @@ struct RandomBip {
 fn random_bip() -> impl Strategy<Value = RandomBip> {
     (2usize..=8, any::<bool>())
         .prop_flat_map(|(n, maximize)| {
-            let obj = proptest::collection::vec(-9i32..=9, n);
+            // At least one nonzero coefficient: an all-zero objective is an
+            // empty LinExpr, which Problem::validate rejects by design.
+            let obj = proptest::collection::vec(-9i32..=9, n)
+                .prop_filter("objective must have a nonzero term", |o| {
+                    o.iter().any(|&c| c != 0)
+                });
             let row = (proptest::collection::vec(-5i32..=5, n), -6i32..=20);
             let rows = proptest::collection::vec(row, 0..=4);
             (Just(n), obj, rows, Just(maximize))

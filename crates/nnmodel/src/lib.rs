@@ -14,6 +14,9 @@
 //!   VGG16, MobileNetV1/V2, ResNet18/50/152, SqueezeNet1.0, InceptionV1)
 //!   plus EfficientNet-B0 used by the motivation figures.
 //! * [`analysis`] — CTC-ratio analytics (Figures 3–5 of the paper).
+//! * [`validate`] — pre-flight structural validation (DAG ordering,
+//!   per-edge shape consistency, reachability) so malformed graphs fail
+//!   with a diagnostic instead of panicking inside the engine.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ mod graph;
 mod layer;
 mod shape;
 pub mod spec;
+pub mod validate;
 mod workload;
 pub mod zoo;
 
@@ -44,4 +48,5 @@ pub use graph::{Graph, GraphBuilder, GraphError, NodeId};
 pub use layer::{Layer, LayerId, LayerKind, PoolKind};
 pub use shape::{Dtype, TensorShape};
 pub use spec::{parse_spec, SpecError};
-pub use workload::{WorkItem, Workload};
+pub use validate::{validate, ValidateError};
+pub use workload::{WorkItem, Workload, WorkloadError};

@@ -38,7 +38,7 @@
 use crate::graph::{Graph, GraphBuilder, GraphError, NodeId};
 use crate::layer::PoolKind;
 use crate::shape::{Dtype, TensorShape};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Parse failure, with the offending 1-based line number.
@@ -138,7 +138,7 @@ pub fn parse_spec(name: &str, text: &str) -> Result<Graph, SpecError> {
             expected: "input C H W",
         })?;
     let mut b = GraphBuilder::new(name, Dtype::Int8, TensorShape::new(dims[0], dims[1], dims[2]));
-    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    let mut by_name: BTreeMap<String, NodeId> = BTreeMap::new();
     let mut prev = b.input();
 
     for (line, raw) in lines {

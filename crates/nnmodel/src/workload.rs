@@ -13,6 +13,42 @@ use crate::graph::Graph;
 use crate::layer::{LayerId, LayerKind};
 use crate::shape::{Dtype, TensorShape};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A graph the workload fold cannot lower: a reduction layer fed by
+/// tensors that no anchor (conv/FC) produces, so there is no work item to
+/// host it. [`crate::validate::validate`] rejects the same graphs with a
+/// richer diagnostic; this is the typed error for callers lowering
+/// unvalidated graphs via [`Workload::try_from_graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A residual `Add` with a non-anchor operand (or no operands).
+    UnanchoredAdd {
+        /// The offending layer's name.
+        layer: String,
+    },
+    /// A `Concat` with an operand that is neither an anchor nor another
+    /// concat.
+    UnanchoredConcat {
+        /// The offending layer's name.
+        layer: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::UnanchoredAdd { layer } => {
+                write!(f, "residual add `{layer}` must be fed by anchor layers")
+            }
+            WorkloadError::UnanchoredConcat { layer } => {
+                write!(f, "concat `{layer}` must be fed by anchor layers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
 
 /// One unit of schedulable work: an anchor (conv/FC) layer plus any folded
 /// reduction layers (pooling after it, residual adds into it, pooling on its
@@ -99,7 +135,23 @@ impl Workload {
     /// * residual `Add` is folded into its latest producing anchor, which
     ///   gains the skip connection as an extra input stream;
     /// * `Concat` disappears: consumers read all concatenated producers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on graphs [`try_from_graph`](Self::try_from_graph) rejects;
+    /// zoo and builder-validated graphs never do.
     pub fn from_graph(graph: &Graph) -> Self {
+        Self::try_from_graph(graph).expect("graph is fold-compatible")
+    }
+
+    /// Fallible form of [`from_graph`](Self::from_graph) for graphs that
+    /// did not come from a validated source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] when a reduction layer is not fed by
+    /// anchor tensors, which leaves the fold with no host item.
+    pub fn try_from_graph(graph: &Graph) -> Result<Self, WorkloadError> {
         let dtype = graph.dtype();
         let mut items: Vec<WorkItem> = Vec::new();
         let mut source: Vec<Source> = Vec::with_capacity(graph.len());
@@ -222,17 +274,21 @@ impl Workload {
                     for &p in &layer.inputs {
                         match &source[p.index()] {
                             Source::Item(i) => resolved.push((*i, items[*i].out_bytes)),
-                            _ => panic!(
-                                "residual add `{}` must be fed by anchor layers",
-                                layer.name
-                            ),
+                            _ => {
+                                return Err(WorkloadError::UnanchoredAdd {
+                                    layer: layer.name.clone(),
+                                })
+                            }
                         }
                     }
-                    let host = resolved
-                        .iter()
-                        .map(|&(i, _)| i)
-                        .max()
-                        .expect("add has inputs");
+                    let host = match resolved.iter().map(|&(i, _)| i).max() {
+                        Some(h) => h,
+                        None => {
+                            return Err(WorkloadError::UnanchoredAdd {
+                                layer: layer.name.clone(),
+                            })
+                        }
+                    };
                     // The skip operand is a genuine extra read of the
                     // producer's tensor (duplicate pred entries are allowed
                     // so the bytes are counted per read).
@@ -249,7 +305,11 @@ impl Workload {
                         match &source[p.index()] {
                             Source::Item(i) => v.push(*i),
                             Source::Multi(inner, _) => v.extend(inner.iter().copied()),
-                            _ => panic!("concat `{}` must be fed by anchor layers", layer.name),
+                            _ => {
+                                return Err(WorkloadError::UnanchoredConcat {
+                                    layer: layer.name.clone(),
+                                })
+                            }
                         }
                     }
                     let total = layer.output_shape.bytes(dtype);
@@ -258,11 +318,11 @@ impl Workload {
             }
         }
 
-        Self {
+        Ok(Self {
             name: graph.name().to_string(),
             dtype,
             items,
-        }
+        })
     }
 
     /// Model name.

@@ -21,6 +21,8 @@ use crate::energy::EnergyModel;
 use crate::eval::{evaluate, pick_dataflow, PuEval};
 use crate::layer::LayerDesc;
 use crate::pu::{Dataflow, PuConfig};
+// Shard maps are lookup-only (never iterated), so hash order cannot leak
+// into any output; lint: allow(nondet-iter)
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,7 +90,7 @@ const DEFAULT_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct EvalCache {
     em: EnergyModel,
-    shards: Vec<Mutex<HashMap<EvalKey, PuEval>>>,
+    shards: Vec<Mutex<HashMap<EvalKey, PuEval>>>, // lookup-only; lint: allow(nondet-iter)
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -109,6 +111,7 @@ impl EvalCache {
     pub fn with_shards(em: EnergyModel, shards: usize) -> Self {
         Self {
             em,
+            // lookup-only; lint: allow(nondet-iter)
             shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -120,10 +123,11 @@ impl EvalCache {
         &self.em
     }
 
+    // lookup-only; lint: allow(nondet-iter)
     fn shard_of(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, PuEval>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.shards[crate::util::usize_of(h.finish()) % self.shards.len()]
     }
 
     /// Memoized [`evaluate`]: identical results, repeated calls served
@@ -172,12 +176,11 @@ impl EvalCache {
 
     /// `hits / (hits + misses)`, or 0 for an unused cache.
     pub fn hit_rate(&self) -> f64 {
-        let h = self.hits() as f64;
-        let m = self.misses() as f64;
-        if h + m == 0.0 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
             0.0
         } else {
-            h / (h + m)
+            crate::util::f64_of(h) / crate::util::f64_of(h + m)
         }
     }
 

@@ -3,7 +3,7 @@
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::layer::LayerDesc;
 use crate::pu::{Dataflow, PuConfig};
-use crate::util::div_ceil;
+use crate::util::{div_ceil, f64_of, f64_of_usize, u64_of};
 use serde::{Deserialize, Serialize};
 
 /// Result of evaluating one layer on one PU under one dataflow.
@@ -49,10 +49,10 @@ pub struct PuEval {
 pub fn evaluate(layer: &LayerDesc, pu: &PuConfig, df: Dataflow, em: &EnergyModel) -> PuEval {
     let macs = layer.macs();
     let (r, c) = (pu.rows, pu.cols);
-    let fill = (r + c) as u64;
+    let fill = u64_of(r + c);
     let icg = layer.in_c_per_group();
     let ocg = layer.out_c_per_group();
-    let ohw = (layer.out_h * layer.out_w) as u64;
+    let ohw = u64_of(layer.out_h * layer.out_w);
 
     let (cycles, act_reads, wgt_reads, psum_moves) = match df {
         Dataflow::WeightStationary => {
@@ -65,56 +65,55 @@ pub fn evaluate(layer: &LayerDesc, pu: &PuConfig, df: Dataflow, em: &EnergyModel
             // channel-parallel engines (NVDLA, TPUs) handle them.
             let par = ((r / icg.max(1)).min(c / ocg.max(1)))
                 .clamp(1, layer.groups);
-            let tiles =
-                (div_ceil(icg, r) * div_ceil(ocg, c) * layer.kernel * layer.kernel) as u64
-                    * div_ceil(layer.groups, par) as u64;
+            let tiles = u64_of(div_ceil(icg, r) * div_ceil(ocg, c) * layer.kernel * layer.kernel)
+                * u64_of(div_ceil(layer.groups, par));
             // Consecutive tiles pipeline: the next weight tile loads (R
             // cycles, C-wide) behind the current tile's compute, stalling
             // only when the streamed fmap is shorter than the reload; the
             // array fill/drain is paid once per layer.
-            let stall = (r as u64).saturating_sub(ohw);
+            let stall = u64_of(r).saturating_sub(ohw);
             let cycles = tiles * (ohw + stall) + fill;
             // Each streamed input feeds all C columns of its tile.
-            let act_reads = macs / (c as u64).min(ocg as u64).max(1);
+            let act_reads = macs / u64_of(c).min(u64_of(ocg)).max(1);
             // Weights loaded once per tile residency.
             let wgt_reads = layer.weight_elems();
             // Partial sums cross the array boundary once per R-chain, read
             // back for the next input-channel tile.
-            let chains = macs / (r as u64).min(icg as u64).max(1);
+            let chains = macs / u64_of(r).min(u64_of(icg)).max(1);
             let psum = 2 * chains;
             (cycles, act_reads, wgt_reads, psum)
         }
         Dataflow::OutputStationary => {
-            let spatial_tiles = (layer.out_h * div_ceil(layer.out_w, r)) as u64;
-            let chan_tiles = div_ceil(layer.out_c, c) as u64;
-            let depth = (icg * layer.kernel * layer.kernel) as u64;
+            let spatial_tiles = u64_of(layer.out_h * div_ceil(layer.out_w, r));
+            let chan_tiles = u64_of(div_ceil(layer.out_c, c));
+            let depth = u64_of(icg * layer.kernel * layer.kernel);
             // Tiles pipeline back to back; fill/drain is paid once.
             let cycles = spatial_tiles * chan_tiles * depth + fill;
             // Inputs broadcast across the C channel columns.
-            let act_reads = macs / (c as u64).min(ocg as u64).max(1);
+            let act_reads = macs / u64_of(c).min(u64_of(ocg)).max(1);
             // Weights re-fetched for every spatial tile, shared across the
             // R output columns.
-            let wgt_reads = (macs / (r as u64).min(layer.out_w as u64).max(1)).max(1);
+            let wgt_reads = (macs / u64_of(r).min(u64_of(layer.out_w)).max(1)).max(1);
             // Outputs accumulate in place; only the final value moves.
-            let psum = (layer.out_c * layer.out_h * layer.out_w) as u64;
+            let psum = u64_of(layer.out_c * layer.out_h * layer.out_w);
             (cycles, act_reads, wgt_reads, psum)
         }
     };
 
     let cycles = cycles.max(1);
-    let utilization = macs as f64 / (cycles as f64 * pu.num_pe() as f64);
+    let utilization = f64_of(macs) / (f64_of(cycles) * f64_of_usize(pu.num_pe()));
     let energy = EnergyBreakdown {
-        mac_pj: macs as f64 * em.mac_pj,
-        act_buf_pj: act_reads as f64 * em.sram_pj_per_byte,
-        wgt_buf_pj: wgt_reads as f64 * em.sram_pj_per_byte,
-        psum_pj: psum_moves as f64 * em.psum_pj_per_byte,
+        mac_pj: f64_of(macs) * em.mac_pj,
+        act_buf_pj: f64_of(act_reads) * em.sram_pj_per_byte,
+        wgt_buf_pj: f64_of(wgt_reads) * em.sram_pj_per_byte,
+        psum_pj: f64_of(psum_moves) * em.psum_pj_per_byte,
     };
     let buffers_ok = pu.act_buf_bytes >= layer.min_act_buf_bytes()
         && pu.wgt_buf_bytes >= layer.min_wgt_buf_bytes(pu.num_pe());
     PuEval {
         dataflow: df,
         cycles,
-        seconds: cycles as f64 / (pu.freq_mhz * 1e6),
+        seconds: f64_of(cycles) / (pu.freq_mhz * 1e6),
         macs,
         utilization,
         act_buf_bytes: act_reads,

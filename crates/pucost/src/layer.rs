@@ -1,5 +1,6 @@
 //! Layer description consumed by the evaluator.
 
+use crate::util::{f64_of, u64_of, usize_of};
 use nnmodel::WorkItem;
 use serde::{Deserialize, Serialize};
 
@@ -41,7 +42,7 @@ impl LayerDesc {
     pub fn from_item(item: &WorkItem) -> Self {
         if item.is_fc {
             return Self {
-                in_c: item.in_shape.elems() as usize,
+                in_c: usize_of(item.in_shape.elems()),
                 in_h: 1,
                 in_w: 1,
                 out_c: item.out_shape.c,
@@ -56,24 +57,25 @@ impl LayerDesc {
         // Reconstruct the anchor conv's own output extent from ops:
         // ops = out_c * oh * ow * (in_c / groups) * k^2.
         let per_pixel =
-            (item.in_shape.c / item.groups) as u64 * (item.kernel * item.kernel) as u64;
+            u64_of(item.in_shape.c / item.groups) * u64_of(item.kernel * item.kernel);
         // Folded pooling only shrinks the spatial extent, never channels,
         // so the post-fold channel count is the anchor's own.
         let out_c = item.out_shape.c;
         let spatial = if per_pixel == 0 || out_c == 0 {
             1
         } else {
-            (item.ops / (per_pixel * out_c as u64)).max(1)
+            (item.ops / (per_pixel * u64_of(out_c))).max(1)
         };
-        // Assume square anchor output.
-        let side = (spatial as f64).sqrt().round().max(1.0) as usize;
+        // Assume square anchor output. The rounded root of a small exact
+        // count is itself small and exact.
+        let side = usize_of(crate::util::ceil_u64(f64_of(spatial).sqrt().round().max(1.0)));
         Self {
             in_c: item.in_shape.c,
             in_h: item.in_shape.h,
             in_w: item.in_shape.w,
             out_c,
             out_h: side,
-            out_w: spatial as usize / side,
+            out_w: usize_of(spatial) / side,
             kernel: item.kernel,
             stride: item.stride,
             groups: item.groups.max(1),
@@ -83,16 +85,16 @@ impl LayerDesc {
 
     /// Total MACs of the layer.
     pub fn macs(&self) -> u64 {
-        (self.out_c as u64)
-            * (self.out_h as u64)
-            * (self.out_w as u64)
-            * (self.in_c / self.groups) as u64
-            * (self.kernel * self.kernel) as u64
+        u64_of(self.out_c)
+            * u64_of(self.out_h)
+            * u64_of(self.out_w)
+            * u64_of(self.in_c / self.groups)
+            * u64_of(self.kernel * self.kernel)
     }
 
     /// Number of weight parameters.
     pub fn weight_elems(&self) -> u64 {
-        (self.out_c as u64) * (self.in_c / self.groups) as u64 * (self.kernel * self.kernel) as u64
+        u64_of(self.out_c) * u64_of(self.in_c / self.groups) * u64_of(self.kernel * self.kernel)
     }
 
     /// Input channels per group.
@@ -108,17 +110,17 @@ impl LayerDesc {
     /// Minimum activation-buffer bytes: the `(K + S)` active ifmap rows of
     /// the circular buffer (Section IV-B, Eq. 1), channel-first layout.
     pub fn min_act_buf_bytes(&self) -> u64 {
-        ((self.kernel + self.stride) as u64)
-            .min(self.in_h as u64)
-            .saturating_mul(self.in_w as u64)
-            .saturating_mul(self.in_c as u64)
+        u64_of(self.kernel + self.stride)
+            .min(u64_of(self.in_h))
+            .saturating_mul(u64_of(self.in_w))
+            .saturating_mul(u64_of(self.in_c))
             .max(1)
     }
 
     /// Minimum weight-buffer bytes for a PU with `pes` PEs: `K^2 * PE`
     /// weights (Algorithm 1 line 10), int8.
     pub fn min_wgt_buf_bytes(&self, pes: usize) -> u64 {
-        ((self.kernel * self.kernel * pes) as u64).max(1)
+        u64_of(self.kernel * self.kernel * pes).max(1)
     }
 }
 

@@ -79,14 +79,14 @@ impl PuConfig {
 
     /// Peak MAC throughput in operations per second.
     pub fn peak_macs_per_sec(&self) -> f64 {
-        self.num_pe() as f64 * self.freq_mhz * 1e6
+        crate::util::f64_of_usize(self.num_pe()) * self.freq_mhz * 1e6
     }
 
     /// Silicon area of this PU in um^2 (PE array plus both buffers) under
     /// the given density model.
     pub fn area_um2(&self, area: &crate::AreaModel) -> f64 {
-        self.num_pe() as f64 * area.pe_um2
-            + (self.act_buf_bytes + self.wgt_buf_bytes) as f64 * area.sram_um2_per_byte
+        crate::util::f64_of_usize(self.num_pe()) * area.pe_um2
+            + crate::util::f64_of(self.act_buf_bytes + self.wgt_buf_bytes) * area.sram_um2_per_byte
     }
 
     /// Peak dynamic power in watts when every PE fires each cycle, from
@@ -105,7 +105,7 @@ impl PuConfig {
     /// Panics if `pes` is not a positive power of two.
     pub fn square_geometry(pes: usize) -> (usize, usize) {
         assert!(pes > 0 && pes.is_power_of_two(), "PE count must be a power of two");
-        let log = pes.trailing_zeros() as usize;
+        let log = pes.trailing_zeros(); // u32 shift count: `<<` takes it directly
         let r = 1usize << (log / 2);
         (r, pes / r)
     }

@@ -19,6 +19,56 @@ pub fn div_ceil_u64(a: u64, b: u64) -> u64 {
     a.div_ceil(b.max(1))
 }
 
+// The conversions below are the workspace's blessed casts: every numeric
+// cast in cost-model arithmetic funnels through them (the `as-cast` lint
+// denies bare `as` in `pucost`/`spa-sim`/`mip`), so the precision
+// assumptions are stated once instead of silently at ~100 call sites.
+
+/// Widens an exact count (MACs, bytes, cycles) into the `f64` cost
+/// domain. Workspace quantities stay far below 2^53, so the conversion
+/// is exact.
+#[inline]
+pub fn f64_of(x: u64) -> f64 {
+    x as f64 // exact below 2^53; lint: allow(as-cast)
+}
+
+/// [`f64_of`] for dimension-like `usize` values.
+#[inline]
+pub fn f64_of_usize(x: usize) -> f64 {
+    x as f64 // exact below 2^53; lint: allow(as-cast)
+}
+
+/// Widens a `usize` count into `u64` byte/op arithmetic (lossless on the
+/// 64-bit targets this workspace supports).
+#[inline]
+pub fn u64_of(x: usize) -> u64 {
+    x as u64 // usize <= 64 bits; lint: allow(as-cast)
+}
+
+/// Narrows a `u64` tile/count back into `usize` indexing. Callers pass
+/// values derived from in-memory dimensions, which fit `usize` on the
+/// supported 64-bit targets.
+#[inline]
+pub fn usize_of(x: u64) -> usize {
+    x as usize // 64-bit targets only; lint: allow(as-cast)
+}
+
+/// Rounds a nonnegative finite cycle/byte estimate up to the nearest
+/// integer count. Saturates at `u64::MAX` instead of wrapping on
+/// overflow or NaN (Rust float->int `as` saturates by definition).
+#[inline]
+pub fn ceil_u64(x: f64) -> u64 {
+    x.ceil() as u64 // saturating by language rules; lint: allow(as-cast)
+}
+
+/// [`ceil_u64`]'s truncating sibling: drops the fractional part of a
+/// nonnegative finite estimate (capacity-style rounding). Same saturation
+/// behaviour on overflow/NaN.
+#[inline]
+pub fn trunc_u64(x: f64) -> u64 {
+    x as u64 // saturating by language rules; lint: allow(as-cast)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +87,19 @@ mod tests {
     fn zero_divisor_is_identity() {
         assert_eq!(div_ceil(7, 0), 7);
         assert_eq!(div_ceil_u64(7, 0), 7);
+    }
+
+    #[test]
+    fn blessed_casts_round_trip() {
+        assert_eq!(f64_of(1u64 << 52), (1u64 << 52) as f64);
+        assert_eq!(f64_of_usize(12345), 12345.0);
+        assert_eq!(u64_of(usize::MAX), usize::MAX as u64);
+        assert_eq!(usize_of(42), 42usize);
+        assert_eq!(ceil_u64(2.1), 3);
+        assert_eq!(trunc_u64(2.9), 2);
+        assert_eq!(trunc_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(ceil_u64(-1.0), 0);
+        assert_eq!(ceil_u64(f64::NAN), 0);
+        assert_eq!(ceil_u64(f64::INFINITY), u64::MAX);
     }
 }

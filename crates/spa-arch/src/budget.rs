@@ -1,6 +1,48 @@
 //! Hardware resource budgets (Table II of the paper).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A malformed [`HwBudget`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetError {
+    /// Zero processing elements.
+    NoPes,
+    /// Zero on-chip memory.
+    NoMemory,
+    /// Bandwidth or frequency is not a positive finite number.
+    BadRate {
+        /// Which rate field is broken.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An FPGA budget whose on-chip capacity is not a whole number of
+    /// BRAM36K blocks, so BRAM accounting would silently truncate.
+    UnalignedBram {
+        /// On-chip capacity in bytes.
+        on_chip_bytes: u64,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::NoPes => write!(f, "budget has zero processing elements"),
+            BudgetError::NoMemory => write!(f, "budget has zero on-chip memory"),
+            BudgetError::BadRate { field, value } => {
+                write!(f, "budget {field} must be positive and finite, got {value}")
+            }
+            BudgetError::UnalignedBram { on_chip_bytes } => write!(
+                f,
+                "FPGA on-chip capacity {on_chip_bytes} B is not a multiple of one \
+                 BRAM36K block ({BRAM36K_BYTES} B)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
 
 /// Implementation platform of a budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -141,6 +183,37 @@ impl HwBudget {
         vec![Self::zu3eg(), Self::z7045(), Self::ku115()]
     }
 
+    /// Pre-flight sanity check: positive PE/memory capacities, positive
+    /// finite rates, and BRAM-block-aligned capacity on FPGA platforms.
+    /// All Table II/III presets pass; spec-file and user-constructed
+    /// budgets should be validated before entering the search.
+    ///
+    /// # Errors
+    ///
+    /// The first [`BudgetError`] found.
+    pub fn validate(&self) -> Result<(), BudgetError> {
+        if self.pes == 0 {
+            return Err(BudgetError::NoPes);
+        }
+        if self.on_chip_bytes == 0 {
+            return Err(BudgetError::NoMemory);
+        }
+        for (field, value) in [
+            ("bandwidth_gbps", self.bandwidth_gbps),
+            ("freq_mhz", self.freq_mhz),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(BudgetError::BadRate { field, value });
+            }
+        }
+        if self.platform == Platform::Fpga && self.on_chip_bytes % BRAM36K_BYTES != 0 {
+            return Err(BudgetError::UnalignedBram {
+                on_chip_bytes: self.on_chip_bytes,
+            });
+        }
+        Ok(())
+    }
+
     /// Peak compute performance in MAC/s (1 MAC per PE per cycle).
     pub fn peak_macs_per_sec(&self) -> f64 {
         self.pes as f64 * self.freq_mhz * 1e6
@@ -212,5 +285,31 @@ mod tests {
     fn suites_have_expected_sizes() {
         assert_eq!(HwBudget::asic_suite().len(), 4);
         assert_eq!(HwBudget::fpga_suite().len(), 3);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for b in HwBudget::asic_suite().into_iter().chain(HwBudget::fpga_suite()) {
+            b.validate().expect("preset budget is well-formed");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_budgets() {
+        let mut b = HwBudget::eyeriss();
+        b.pes = 0;
+        assert_eq!(b.validate(), Err(BudgetError::NoPes));
+
+        let mut b = HwBudget::eyeriss();
+        b.bandwidth_gbps = f64::NAN;
+        assert!(matches!(b.validate(), Err(BudgetError::BadRate { .. })));
+
+        let mut b = HwBudget::eyeriss();
+        b.freq_mhz = -1.0;
+        assert!(matches!(b.validate(), Err(BudgetError::BadRate { .. })));
+
+        let mut b = HwBudget::zu3eg();
+        b.on_chip_bytes += 1;
+        assert!(matches!(b.validate(), Err(BudgetError::UnalignedBram { .. })));
     }
 }

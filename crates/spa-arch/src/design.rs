@@ -25,6 +25,25 @@ pub enum DesignError {
         /// Underlying routing failure.
         source: RouteError,
     },
+    /// The design has no PUs or a zero batch factor.
+    EmptyDesign,
+    /// A PU's PE array does not evenly tile the pipeline's PE budget
+    /// share, or has a degenerate dimension.
+    BadPuArray {
+        /// PU index.
+        pu: usize,
+    },
+    /// The design exceeds the budget on one axis.
+    OverBudget {
+        /// `"pes"` or `"on_chip_bytes"`.
+        resource: &'static str,
+        /// What the design uses.
+        used: u64,
+        /// What the budget provides.
+        available: u64,
+    },
+    /// The target budget itself is malformed.
+    BadBudget(crate::budget::BudgetError),
 }
 
 impl fmt::Display for DesignError {
@@ -38,6 +57,16 @@ impl fmt::Display for DesignError {
             DesignError::FabricUnroutable { segment, source } => {
                 write!(f, "segment {segment}: fabric routing failed: {source}")
             }
+            DesignError::EmptyDesign => write!(f, "design has no PUs or zero batch"),
+            DesignError::BadPuArray { pu } => {
+                write!(f, "PU {pu} has a degenerate PE array")
+            }
+            DesignError::OverBudget {
+                resource,
+                used,
+                available,
+            } => write!(f, "design uses {used} {resource}, budget has {available}"),
+            DesignError::BadBudget(e) => write!(f, "target budget is malformed: {e}"),
         }
     }
 }
@@ -46,7 +75,8 @@ impl std::error::Error for DesignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DesignError::FabricUnroutable { source, .. } => Some(source),
-            DesignError::DataflowShape { .. } => None,
+            DesignError::BadBudget(source) => Some(source),
+            _ => None,
         }
     }
 }
@@ -147,6 +177,43 @@ impl SpaDesign {
         r.pes <= budget.pes && r.on_chip_bytes <= budget.on_chip_bytes
     }
 
+    /// Full pre-flight validation against `budget`: the budget itself,
+    /// pipeline non-emptiness, per-PU PE-array sanity, the dataflow table
+    /// shape, and both resource axes — with *which* axis overflows and by
+    /// how much, where [`fits`](Self::fits) only says yes/no.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DesignError`] found.
+    pub fn validate_against(&self, budget: &HwBudget) -> Result<(), DesignError> {
+        budget.validate().map_err(DesignError::BadBudget)?;
+        if self.pus.is_empty() || self.batch == 0 {
+            return Err(DesignError::EmptyDesign);
+        }
+        for (pu, cfg) in self.pus.iter().enumerate() {
+            if cfg.num_pe() == 0 {
+                return Err(DesignError::BadPuArray { pu });
+            }
+        }
+        self.check_shape()?;
+        let r = self.resources();
+        if r.pes > budget.pes {
+            return Err(DesignError::OverBudget {
+                resource: "pes",
+                used: r.pes as u64,
+                available: budget.pes as u64,
+            });
+        }
+        if r.on_chip_bytes > budget.on_chip_bytes {
+            return Err(DesignError::OverBudget {
+                resource: "on_chip_bytes",
+                used: r.on_chip_bytes,
+                available: budget.on_chip_bytes,
+            });
+        }
+        Ok(())
+    }
+
     /// The inter-PU fabric sized for this pipeline.
     pub fn fabric(&self) -> BenesNetwork {
         BenesNetwork::new(self.n_pus().max(2))
@@ -210,7 +277,7 @@ impl SpaDesign {
                 continue;
             }
             while !remaining.is_empty() {
-                let mut used_dst = std::collections::HashSet::new();
+                let mut used_dst = std::collections::BTreeSet::new();
                 let mut phase = Vec::new();
                 let mut next = Vec::new();
                 for d in remaining {
@@ -351,6 +418,33 @@ mod tests {
         d2.batch = 2;
         let area2 = d2.area_mm2(&w, &pucost::AreaModel::tsmc28()).unwrap();
         assert!((area2 / area - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_against_reports_overflowing_axis() {
+        let w = chain_workload(8);
+        let d = design(&w, 2, 2);
+        let mut b = HwBudget::eyeriss();
+        d.validate_against(&b).unwrap();
+        b.pes = 10;
+        assert!(matches!(
+            d.validate_against(&b),
+            Err(DesignError::OverBudget { resource: "pes", .. })
+        ));
+        b = HwBudget::eyeriss();
+        b.on_chip_bytes = 16;
+        assert!(matches!(
+            d.validate_against(&b),
+            Err(DesignError::OverBudget {
+                resource: "on_chip_bytes",
+                ..
+            })
+        ));
+        b.on_chip_bytes = 0;
+        assert!(matches!(
+            d.validate_against(&b),
+            Err(DesignError::BadBudget(_))
+        ));
     }
 
     #[test]

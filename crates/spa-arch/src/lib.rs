@@ -33,6 +33,6 @@ mod design;
 mod schedule;
 
 pub use address::{act_offset, active_words};
-pub use budget::{HwBudget, Platform};
+pub use budget::{BudgetError, HwBudget, Platform};
 pub use design::{DesignError, ResourceUsage, SpaDesign};
 pub use schedule::{Assignment, ScheduleError, Segment, SegmentSchedule};

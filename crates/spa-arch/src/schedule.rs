@@ -235,7 +235,7 @@ impl SegmentSchedule {
     /// fabric wiring the Benes network must realize for this timeslot.
     pub fn fabric_demands(&self, workload: &Workload, s: usize) -> Vec<(usize, Vec<usize>)> {
         let seg = &self.segments[s];
-        let mut pu_of = std::collections::HashMap::new();
+        let mut pu_of = std::collections::BTreeMap::new();
         for a in &seg.assignments {
             pu_of.insert(a.item, a.pu);
         }

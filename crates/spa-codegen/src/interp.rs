@@ -9,7 +9,7 @@
 //! every design it generates, that the silicon netlist routes *exactly*
 //! like the golden [`benes::BenesNetwork::trace`] model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Interpretation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,7 +56,7 @@ pub struct FabricInterp {
     /// `assign`s in emission order: target -> rhs.
     assigns: Vec<(String, Rhs)>,
     /// Per-segment configuration bit vectors (LSB = cfg\[0\]).
-    cfg: HashMap<usize, Vec<bool>>,
+    cfg: BTreeMap<usize, Vec<bool>>,
 }
 
 impl FabricInterp {
@@ -75,7 +75,7 @@ impl FabricInterp {
 
         let mut ports = 0usize;
         let mut assigns = Vec::new();
-        let mut cfg: HashMap<usize, Vec<bool>> = HashMap::new();
+        let mut cfg: BTreeMap<usize, Vec<bool>> = BTreeMap::new();
         for line in body.lines() {
             let line = line.trim();
             if let Some(rest) = line.strip_prefix("input  wire [WIDTH-1:0] in_") {
@@ -162,7 +162,7 @@ impl FabricInterp {
         } else {
             None
         };
-        let mut values: HashMap<String, u64> = HashMap::new();
+        let mut values: BTreeMap<String, u64> = BTreeMap::new();
         for (i, &v) in inputs.iter().enumerate() {
             values.insert(format!("in_{i}"), v);
         }

@@ -38,6 +38,7 @@ impl Json {
             Json::Obj(map) => {
                 map.insert(key.to_string(), value.into());
             }
+            // documented "# Panics" builder precondition; lint: allow(panic-path)
             _ => panic!("Json::set on a non-object"),
         }
         self
@@ -59,6 +60,7 @@ impl Json {
                 let _ = write!(out, "{b}");
             }
             Json::Num(x) => {
+                // exact integral-value test for integer formatting; lint: allow(float-eq)
                 if x.fract() == 0.0 && x.abs() < 1e15 {
                     let _ = write!(out, "{}", *x as i64);
                 } else {

@@ -12,7 +12,7 @@
 use nnmodel::Workload;
 use pucost::Dataflow;
 use spa_arch::{DesignError, SpaDesign};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Emits the pruned fabric as a standalone Verilog module `spa_fabric`.
@@ -341,12 +341,12 @@ pub fn lint(rtl: &str) -> Result<(), LintError> {
 
     // Declarations: the identifier(s) after input/output/wire/reg /
     // parameter, module names, and instance names.
-    let mut declared: HashSet<String> = HashSet::new();
-    let mut used: HashSet<String> = HashSet::new();
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
     for line in clean.lines() {
         let toks: Vec<String> = line
             .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
-            .filter(|t| !t.is_empty() && !t.chars().next().unwrap().is_ascii_digit())
+            .filter(|t| !t.is_empty() && !t.starts_with(|c: char| c.is_ascii_digit()))
             .map(str::to_string)
             .collect();
         let mut i = 0;
@@ -365,7 +365,7 @@ pub fn lint(rtl: &str) -> Result<(), LintError> {
                     let decl_toks: Vec<&str> = decl_part
                         .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
                         .filter(|t| {
-                            !t.is_empty() && !t.chars().next().unwrap().is_ascii_digit()
+                            !t.is_empty() && !t.starts_with(|c: char| c.is_ascii_digit())
                         })
                         .collect();
                     if let Some(name) = decl_toks.last() {
@@ -404,7 +404,7 @@ pub fn lint(rtl: &str) -> Result<(), LintError> {
             let after_close = &line[hash..];
             let toks: Vec<&str> = after_close
                 .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
-                .filter(|t| !t.is_empty() && !t.chars().next().unwrap().is_ascii_digit())
+                .filter(|t| !t.is_empty() && !t.starts_with(|c: char| c.is_ascii_digit()))
                 .collect();
             if let Some(inst) = toks.last() {
                 declared.insert((*inst).to_string());

@@ -17,7 +17,7 @@
 
 use crate::report::{SegmentStats, SimEnergy, SimReport};
 use nnmodel::Workload;
-use pucost::util::div_ceil_u64;
+use pucost::util::{div_ceil_u64, f64_of, f64_of_usize, u64_of, usize_of};
 use pucost::{evaluate, EnergyModel, LayerDesc};
 use spa_arch::SpaDesign;
 
@@ -60,7 +60,7 @@ pub fn segment_piece_cycles(workload: &Workload, design: &SpaDesign, seg_idx: us
     let mut order: Vec<usize> = seg.assignments.iter().map(|a| a.item).collect();
     order.sort_unstable();
     let pos_of = |item: usize| order.binary_search(&item).ok();
-    let mut pu_of = std::collections::HashMap::new();
+    let mut pu_of = std::collections::BTreeMap::new();
     for a in &seg.assignments {
         pu_of.insert(a.item, a.pu);
     }
@@ -71,7 +71,7 @@ pub fn segment_piece_cycles(workload: &Workload, design: &SpaDesign, seg_idx: us
         let desc = LayerDesc::from_item(item);
         let pu = pu_of[&item_idx];
         let eval = evaluate(&desc, &design.pus[pu], design.dataflows[pu][seg_idx], &em);
-        let pieces = (desc.out_h as u64).max(1);
+        let pieces = u64_of(desc.out_h).max(1);
         let producers: Vec<usize> = item
             .preds
             .iter()
@@ -80,7 +80,7 @@ pub fn segment_piece_cycles(workload: &Workload, design: &SpaDesign, seg_idx: us
         states.push(PieceState {
             piece_cycles: div_ceil_u64(eval.cycles, pieces).max(1),
             pieces,
-            finish: vec![None; pieces as usize],
+            finish: vec![None; usize_of(pieces)],
             pu,
             producers,
             kernel: desc.kernel.max(1),
@@ -119,12 +119,12 @@ pub fn segment_piece_cycles(workload: &Workload, design: &SpaDesign, seg_idx: us
                 let need = if st.pieces == 1 {
                     prod.pieces - 1
                 } else {
-                    ((row * st.stride as u64) + st.kernel as u64)
+                    ((row * u64_of(st.stride)) + u64_of(st.kernel))
                         .min(prod.pieces)
                         .max(1)
                         - 1
                 };
-                match prod.finish[need as usize] {
+                match prod.finish[usize_of(need)] {
                     Some(t) => {
                         dep_ready = dep_ready.map(|d| d.max(t));
                     }
@@ -151,7 +151,7 @@ pub fn segment_piece_cycles(workload: &Workload, design: &SpaDesign, seg_idx: us
             "spa.event.pu_idle_cycles",
             start.saturating_sub(pu_free[st.pu]),
         );
-        st.finish[st.next as usize] = Some(end);
+        st.finish[usize_of(st.next)] = Some(end);
         st.next += 1;
         pu_free[st.pu] = end;
         makespan = makespan.max(end);
@@ -191,11 +191,11 @@ pub fn simulate_spa_event(workload: &Workload, design: &SpaDesign) -> SimReport 
     let macs = workload.total_ops();
     let total_pes = design.total_pes() * design.batch;
     SimReport {
-        seconds: total_cycles as f64 / (freq_mhz * 1e6),
+        seconds: f64_of(total_cycles) / (freq_mhz * 1e6),
         cycles: total_cycles,
         dram_bytes: analytical.dram_bytes,
         macs,
-        utilization: macs as f64 / (total_cycles.max(1) as f64 * total_pes as f64),
+        utilization: f64_of(macs) / (f64_of(total_cycles.max(1)) * f64_of_usize(total_pes)),
         batch: design.batch,
         energy: SimEnergy { ..analytical.energy },
         per_segment,

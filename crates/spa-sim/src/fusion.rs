@@ -11,6 +11,7 @@
 use crate::geometry::factor_geometry;
 use crate::report::{SegmentStats, SimEnergy, SimReport};
 use nnmodel::Workload;
+use pucost::util::{ceil_u64, f64_of, f64_of_usize, trunc_u64};
 use pucost::{best_dataflow, EnergyModel, LayerDesc, PuConfig};
 use spa_arch::HwBudget;
 
@@ -21,8 +22,9 @@ fn effective_buffer(budget_bytes: u64, depth: usize) -> u64 {
     // Each additional fused layer parks roughly one extra (K-S) halo row
     // set in the buffer; 15% per level is representative of the Optimus
     // accounting.
-    let frac = 0.85f64.powi(depth.saturating_sub(1) as i32);
-    (budget_bytes as f64 * frac) as u64
+    let halo_levels = i32::try_from(depth.saturating_sub(1)).unwrap_or(i32::MAX);
+    let frac = 0.85f64.powi(halo_levels);
+    trunc_u64(f64_of(budget_bytes) * frac)
 }
 
 /// Greedily forms fusion groups: consecutive items join a cascade while the
@@ -85,29 +87,29 @@ pub fn simulate_fusion(
             onchip = onchip.add(&eval.energy);
         }
         let bytes = workload.pipelined_access(group);
-        let mem = (bytes as f64 / bytes_per_cycle).ceil() as u64;
+        let mem = ceil_u64(f64_of(bytes) / bytes_per_cycle);
         total_cycles += compute.max(mem);
         dram_bytes += bytes;
         per_segment.push(SegmentStats {
             compute_cycles: compute,
             memory_cycles: mem,
             dram_bytes: bytes,
-            ctc: ops as f64 / bytes.max(1) as f64,
+            ctc: f64_of(ops) / f64_of(bytes.max(1)),
             pu_cycles: vec![compute],
         });
     }
 
     let macs = workload.total_ops();
     SimReport {
-        seconds: total_cycles as f64 / (budget.freq_mhz * 1e6),
+        seconds: f64_of(total_cycles) / (budget.freq_mhz * 1e6),
         cycles: total_cycles,
         dram_bytes,
         macs,
-        utilization: macs as f64 / (total_cycles.max(1) as f64 * budget.pes as f64),
+        utilization: f64_of(macs) / (f64_of(total_cycles.max(1)) * f64_of_usize(budget.pes)),
         batch: 1,
         energy: SimEnergy {
             onchip,
-            dram_pj: dram_bytes as f64 * em.dram_pj_per_byte,
+            dram_pj: f64_of(dram_bytes) * em.dram_pj_per_byte,
             fabric_pj: 0.0,
         },
         per_segment,

@@ -4,7 +4,7 @@
 use crate::geometry::factor_geometry;
 use crate::report::{SegmentStats, SimEnergy, SimReport};
 use nnmodel::Workload;
-use pucost::util::div_ceil_u64;
+use pucost::util::{ceil_u64, div_ceil_u64, f64_of, f64_of_usize};
 use pucost::{best_dataflow, EnergyModel, LayerDesc, PuConfig};
 use spa_arch::HwBudget;
 
@@ -94,7 +94,7 @@ fn layerwise_impl_opts(
         } else {
             item.access()
         };
-        let mem_cycles = (access as f64 / bytes_per_cycle).ceil() as u64;
+        let mem_cycles = ceil_u64(f64_of(access) / bytes_per_cycle);
         // Compute and memory overlap via double buffering; the layer takes
         // the longer of the two.
         let cycles = eval.cycles.max(mem_cycles);
@@ -110,18 +110,18 @@ fn layerwise_impl_opts(
         });
     }
 
-    let seconds = total_cycles as f64 / (budget.freq_mhz * 1e6);
+    let seconds = f64_of(total_cycles) / (budget.freq_mhz * 1e6);
     let macs = workload.total_ops();
     SimReport {
         seconds,
         cycles: total_cycles,
         dram_bytes,
         macs,
-        utilization: macs as f64 / (total_cycles as f64 * budget.pes as f64),
+        utilization: f64_of(macs) / (f64_of(total_cycles) * f64_of_usize(budget.pes)),
         batch: 1,
         energy: SimEnergy {
             onchip,
-            dram_pj: dram_bytes as f64 * em.dram_pj_per_byte,
+            dram_pj: f64_of(dram_bytes) * em.dram_pj_per_byte,
             fabric_pj: 0.0,
         },
         per_segment,

@@ -4,6 +4,7 @@
 use crate::report::{SegmentStats, SimEnergy, SimReport};
 use benes::FabricCostModel;
 use nnmodel::Workload;
+use pucost::util::{ceil_u64, f64_of, f64_of_usize, trunc_u64, u64_of, usize_of};
 use pucost::{
     best_dataflow, evaluate, Dataflow, EnergyModel, EvalCache, LayerDesc, PuConfig, PuEval,
 };
@@ -61,7 +62,7 @@ fn simulate_spa_impl(
     let bytes_per_cycle = design.bandwidth_gbps * 1e9 / (freq_mhz * 1e6);
     let fabric = design.fabric();
     let fabric_hop_pj_per_byte =
-        FabricCostModel::tsmc28().mux_energy_pj_per_bit * 8.0 * fabric.stages() as f64;
+        FabricCostModel::tsmc28().mux_energy_pj_per_bit * 8.0 * f64_of_usize(fabric.stages());
 
     let mut total_cycles = 0u64;
     let mut dram_bytes = 0u64;
@@ -77,7 +78,7 @@ fn simulate_spa_impl(
             let desc = LayerDesc::from_item(item);
             let e = eval(&desc, &design.pus[a.pu], design.dataflows[a.pu][s]);
             pu_cycles[a.pu] += e.cycles;
-            pu_pieces[a.pu] = pu_pieces[a.pu].max(desc.out_h as u64);
+            pu_pieces[a.pu] = pu_pieces[a.pu].max(u64_of(desc.out_h));
             onchip = onchip.add(&e.energy);
         }
         let bottleneck = pu_cycles.iter().copied().max().unwrap_or(0);
@@ -91,7 +92,7 @@ fn simulate_spa_impl(
 
         let items = seg.items();
         let seg_bytes = workload.pipelined_access(&items);
-        let mem = ((seg_bytes * design.batch as u64) as f64 / bytes_per_cycle).ceil() as u64;
+        let mem = ceil_u64(f64_of(seg_bytes * u64_of(design.batch)) / bytes_per_cycle);
 
         // Intra-segment producer->consumer traffic crosses the fabric.
         let inset: Vec<bool> = {
@@ -101,7 +102,7 @@ fn simulate_spa_impl(
             }
             v
         };
-        let mut pu_of = std::collections::HashMap::new();
+        let mut pu_of = std::collections::BTreeMap::new();
         for a in &seg.assignments {
             pu_of.insert(a.item, a.pu);
         }
@@ -126,7 +127,7 @@ fn simulate_spa_impl(
             }
             // Occupancy of the segment's PUs relative to its bottleneck.
             let busy: u64 = pu_cycles.iter().sum();
-            let span = bottleneck * pu_cycles.len().max(1) as u64;
+            let span = bottleneck * u64_of(pu_cycles.len().max(1));
             if span > 0 {
                 obs::record("spa.pipeline.occupancy_pct", busy * 100 / span);
             }
@@ -143,16 +144,16 @@ fn simulate_spa_impl(
     let macs = workload.total_ops();
     let total_pes = design.total_pes() * design.batch;
     SimReport {
-        seconds: total_cycles as f64 / (freq_mhz * 1e6),
+        seconds: f64_of(total_cycles) / (freq_mhz * 1e6),
         cycles: total_cycles,
         dram_bytes,
         macs,
-        utilization: macs as f64 / (total_cycles.max(1) as f64 * total_pes as f64),
+        utilization: f64_of(macs) / (f64_of(total_cycles.max(1)) * f64_of_usize(total_pes)),
         batch: design.batch,
         energy: SimEnergy {
             onchip,
-            dram_pj: dram_bytes as f64 * em.dram_pj_per_byte,
-            fabric_pj: fabric_bytes as f64 * fabric_hop_pj_per_byte,
+            dram_pj: f64_of(dram_bytes) * em.dram_pj_per_byte,
+            fabric_pj: f64_of(fabric_bytes) * fabric_hop_pj_per_byte,
         },
         per_segment,
     }
@@ -179,8 +180,8 @@ pub fn full_pipeline_design(workload: &Workload, budget: &HwBudget) -> Option<Sp
         .items()
         .iter()
         .map(|it| {
-            let share = it.ops as f64 / total_ops as f64 * budget.pes as f64;
-            let p = share.max(1.0) as usize;
+            let share = f64_of(it.ops) / f64_of(total_ops) * f64_of_usize(budget.pes);
+            let p = usize_of(trunc_u64(share.max(1.0)));
             if p.is_power_of_two() {
                 p
             } else {
@@ -199,8 +200,8 @@ pub fn full_pipeline_design(workload: &Workload, budget: &HwBudget) -> Option<Sp
             .enumerate()
             .filter(|(i, _)| pes[*i] <= headroom)
             .max_by(|(i, a), (j, b)| {
-                let ra = a.ops as f64 / pes[*i] as f64;
-                let rb = b.ops as f64 / pes[*j] as f64;
+                let ra = f64_of(a.ops) / f64_of_usize(pes[*i]);
+                let rb = f64_of(b.ops) / f64_of_usize(pes[*j]);
                 ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i);

@@ -1,5 +1,6 @@
 //! Simulation result records.
 
+use pucost::util::{f64_of, f64_of_usize};
 use pucost::EnergyBreakdown;
 use serde::{Deserialize, Serialize};
 
@@ -75,17 +76,17 @@ impl SimReport {
     /// Throughput in GOP/s (2 OPs per MAC), accounting for batch-level
     /// parallelism.
     pub fn gops(&self) -> f64 {
-        2.0 * self.macs as f64 * self.batch as f64 / self.seconds / 1e9
+        2.0 * f64_of(self.macs) * f64_of_usize(self.batch) / self.seconds / 1e9
     }
 
     /// Frames per second.
     pub fn fps(&self) -> f64 {
-        self.batch as f64 / self.seconds
+        f64_of_usize(self.batch) / self.seconds
     }
 
     /// Aggregate CTC ratio of the execution (MACs per DRAM byte).
     pub fn ctc(&self) -> f64 {
-        self.macs as f64 / self.dram_bytes.max(1) as f64
+        f64_of(self.macs) / f64_of(self.dram_bytes.max(1))
     }
 
     /// Energy efficiency in GOP/s per watt.

@@ -22,10 +22,10 @@ pub struct RooflinePoint {
 pub fn roofline_series(budget: &HwBudget, lo: f64, hi: f64, points: usize) -> Vec<RooflinePoint> {
     assert!(points >= 2, "need at least two samples");
     assert!(lo > 0.0 && hi > lo, "range must be positive and increasing");
-    let step = (hi / lo).ln() / (points - 1) as f64;
+    let step = (hi / lo).ln() / pucost::util::f64_of_usize(points - 1);
     (0..points)
         .map(|i| {
-            let x = lo * (step * i as f64).exp();
+            let x = lo * (step * pucost::util::f64_of_usize(i)).exp();
             RooflinePoint {
                 macs_per_byte: x,
                 ops_per_sec: budget.roofline_ops_per_sec(x),

@@ -20,6 +20,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo build --release (offline) =="
 cargo build --release --offline
 
+echo "== spa-lint: source rules + semantic validators (--deny) =="
+# Fails on any unwaived D1-D5 finding or semantic validation failure and
+# refreshes the machine-readable results/LINT.json.
+cargo run --release --offline -p lint -- --deny
+
 echo "== cargo test (offline) =="
 cargo test -q --offline
 
