@@ -11,6 +11,9 @@
 //! * **Baye-Baye** — the nested bi-loop of [Shi et al.]: an outer TPE over
 //!   hardware, an inner TPE over segmentation with only latency feedback.
 //!
+//! (Plus **MIP-Anneal**, a simulated-annealing ablation of the search
+//! strategy.)
+//!
 //! # Execution model
 //!
 //! Every method runs on a [`DsePool`] and shares one [`EvalCache`] per
@@ -22,16 +25,32 @@
 //! folded in proposal order, the produced [`DesignPoint`] sequence is
 //! bit-identical for any thread count; `threads = 1` *is* the serial
 //! reference path.
+//!
+//! # Anytime execution
+//!
+//! [`run_codesign`] is the generation-granular driver behind all six
+//! methods. Handed a [`RunCtl`], it additionally supports cooperative
+//! deadlines ([`RunStatus::Partial`] instead of lost work), periodic
+//! [`Checkpoint`]s, and `--resume`: optimizer state is persisted as a
+//! per-unit [`bayesopt::Transcript`] and rebuilt by *replay* — the fresh
+//! optimizer re-proposes every recorded generation and re-observes the
+//! recorded values, which restores its RNG stream and history
+//! bit-exactly (divergence is a typed checkpoint error, not silence).
+//! An interrupted-then-resumed search therefore produces the same
+//! [`DesignPoint`] sequence as an uninterrupted one, which
+//! `tests/resume_equiv.rs` pins down.
 
 use crate::allocate::{allocate_with, manual_design_with};
+use crate::dse::checkpoint::{f64_from_hex, f64_to_hex, Checkpoint, CheckpointError};
+use crate::dse::control::{Partial, RunCtl, RunStatus};
 use crate::dse::{split_seed, DsePool};
 use crate::engine::DesignGoal;
 use crate::error::AutoSegError;
 use crate::segment::{BayesSegmenter, ChainDpSegmenter, Segmenter};
-use bayesopt::{Optimizer, SearchSpace, SimulatedAnnealing, Tpe};
+use bayesopt::{Optimizer, RandomSearch, SearchSpace, SimulatedAnnealing, Tpe, Transcript};
 use nnmodel::{Graph, Workload};
 use pucost::EvalCache;
-use spa_arch::HwBudget;
+use spa_arch::{HwBudget, SegmentSchedule};
 use spa_sim::simulate_spa_with;
 
 /// Candidates proposed (and evaluated concurrently) per optimizer
@@ -50,6 +69,59 @@ pub struct DesignPoint {
     pub method: &'static str,
     /// `(n_pus, n_segments)` of the point.
     pub shape: (usize, usize),
+}
+
+/// The co-design baseline methods, as first-class values (the driver
+/// behind [`run_codesign`] and the experiment binaries' `--method` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Exact segmentation + Algorithm 1 (AutoSeg itself).
+    MipHeuristic,
+    /// Exact segmentation + uniform-random hardware sampling.
+    MipRandom,
+    /// Exact segmentation + TPE hardware search.
+    MipBaye,
+    /// Exact segmentation + simulated-annealing hardware search.
+    MipAnneal,
+    /// TPE segmentation + Algorithm 1 hardware.
+    BayeHeuristic,
+    /// Nested TPE loops (hardware outer, segmentation inner).
+    BayeBaye,
+}
+
+impl Method {
+    /// Every method, in documentation order.
+    pub const ALL: [Method; 6] = [
+        Method::MipHeuristic,
+        Method::MipRandom,
+        Method::MipBaye,
+        Method::MipAnneal,
+        Method::BayeHeuristic,
+        Method::BayeBaye,
+    ];
+
+    /// The kebab-case label used in CSVs, checkpoints and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::MipHeuristic => "mip-heuristic",
+            Method::MipRandom => "mip-random",
+            Method::MipBaye => "mip-baye",
+            Method::MipAnneal => "mip-anneal",
+            Method::BayeHeuristic => "baye-heuristic",
+            Method::BayeBaye => "baye-baye",
+        }
+    }
+
+    /// Parses a [`Method::label`] string.
+    pub fn parse(s: &str) -> Option<Method> {
+        Method::ALL.into_iter().find(|m| m.label() == s)
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Iteration budgets for the search-based methods.
@@ -116,6 +188,16 @@ impl CodesignBudgets {
     }
 }
 
+/// Result of an anytime co-design run: the point cloud plus how much of
+/// the planned search produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodesignRun {
+    /// Evaluated feasible points, in proposal order.
+    pub points: Vec<DesignPoint>,
+    /// `Complete`, or a typed partial with generation provenance.
+    pub status: RunStatus,
+}
+
 fn shapes(workload: &Workload, budget: &HwBudget) -> Vec<(usize, usize)> {
     let l = workload.len();
     let mut v = Vec::new();
@@ -147,46 +229,6 @@ fn point(
     })
 }
 
-/// MIP-Heuristic: the AutoSeg engine's own candidates — one point per
-/// feasible `(N, S)` shape.
-pub fn mip_heuristic(
-    model: &Graph,
-    budget: &HwBudget,
-) -> Result<Vec<DesignPoint>, AutoSegError> {
-    mip_heuristic_with(model, budget, &DsePool::from_env(), &EvalCache::default())
-}
-
-/// [`mip_heuristic`] on an explicit pool and cost cache. Shapes are
-/// independent, so the whole sweep fans out across the pool.
-pub fn mip_heuristic_with(
-    model: &Graph,
-    budget: &HwBudget,
-    pool: &DsePool,
-    cache: &EvalCache,
-) -> Result<Vec<DesignPoint>, AutoSegError> {
-    let _span = obs::span!("codesign.mip_heuristic", model = model.name());
-    let workload = Workload::from_graph(model);
-    let seg = ChainDpSegmenter::new();
-    let all_shapes = shapes(&workload, budget);
-    let evals = pool.par_map(
-        &all_shapes,
-        |_, &(n, s)| -> Result<Option<DesignPoint>, AutoSegError> {
-            let Ok(schedule) = seg.segment(&workload, n, s) else {
-                return Ok(None);
-            };
-            let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
-            Ok(point(&workload, &design, budget, "mip-heuristic", (n, s), cache))
-        },
-    );
-    let mut pts = Vec::new();
-    for e in evals {
-        if let Some(p) = e? {
-            pts.push(p);
-        }
-    }
-    Ok(pts)
-}
-
 /// Hardware search space for the random/Bayesian hardware methods: one
 /// log2-PE dimension per PU plus one buffer-multiplier dimension.
 fn hw_space(n_pus: usize, budget: &HwBudget) -> SearchSpace {
@@ -203,64 +245,6 @@ fn decode_hw(pt: &[usize]) -> (Vec<usize>, u64) {
     (pes, mult)
 }
 
-/// Runs one black-box hardware search over `iters` iterations for a fixed
-/// schedule: generation-batched ask → parallel evaluate → ordered tell.
-/// Returns the feasible points in proposal order.
-fn hw_search_loop(
-    workload: &Workload,
-    schedule: &spa_arch::SegmentSchedule,
-    budget: &HwBudget,
-    method: &'static str,
-    shape: (usize, usize),
-    opt: &mut dyn Optimizer,
-    iters: usize,
-    pool: &DsePool,
-    cache: &EvalCache,
-    pts: &mut Vec<DesignPoint>,
-) {
-    let _span = obs::span!("codesign.hw_search", method = method, iters = iters);
-    let mut best = f64::INFINITY;
-    let mut done = 0;
-    while done < iters {
-        let k = GENERATION.min(iters - done);
-        let samples = opt.suggest_batch(k);
-        let evals = pool.par_map(&samples, |_, sample| {
-            let (pes, mult) = decode_hw(sample);
-            let design = manual_design_with(workload, schedule, budget, &pes, mult, cache);
-            point(workload, &design, budget, method, shape, cache)
-        });
-        let mut batch = Vec::with_capacity(k);
-        for (sample, p) in samples.into_iter().zip(evals) {
-            let value = match p {
-                Some(p) => {
-                    let v = p.latency_s;
-                    pts.push(p);
-                    v
-                }
-                None => f64::INFINITY,
-            };
-            batch.push((sample, value));
-        }
-        opt.observe_batch(batch);
-        done += k;
-        // Best-so-far per generation: the convergence curve of Figure 18.
-        if obs::enabled() {
-            let gen_best = best_feasible_latency(pts, best);
-            if gen_best < best {
-                best = gen_best;
-            }
-            obs::event(
-                "codesign.generation",
-                &[
-                    ("method", method.into()),
-                    ("iter", done.into()),
-                    ("best_latency_s", best.into()),
-                ],
-            );
-        }
-    }
-}
-
 /// Best feasible latency among the points collected so far (`prev` when
 /// none improved it). Pure bookkeeping for the convergence event; never
 /// feeds back into the search.
@@ -268,41 +252,513 @@ fn best_feasible_latency(pts: &[DesignPoint], prev: f64) -> f64 {
     pts.iter().map(|p| p.latency_s).fold(prev, f64::min)
 }
 
-/// MIP-Random and MIP-Baye share this driver: exact segmentation, then
-/// black-box hardware search.
-fn mip_search(
+/// Everything a method run needs, bundled so the driver helpers stay
+/// readable.
+struct Ctx<'a> {
+    workload: &'a Workload,
+    model_name: &'a str,
+    budget: &'a HwBudget,
+    budgets: &'a CodesignBudgets,
+    method: Method,
+    pool: &'a DsePool,
+    cache: &'a EvalCache,
+    ctl: &'a RunCtl,
+    /// Inner segmentation-search iterations (Baye-Baye only; 0 otherwise).
+    inner: usize,
+}
+
+/// Mutable search state: what a checkpoint snapshots and a resume
+/// restores.
+#[derive(Default)]
+struct SearchState {
+    pts: Vec<DesignPoint>,
+    /// One optimizer transcript per search unit (empty for the chunked
+    /// methods, which have no optimizer).
+    transcripts: Vec<Transcript>,
+    /// Completed generations (replayed + newly evaluated).
+    gens_done: u64,
+}
+
+/// One independent optimizer run: a `(N, S)` shape with (for the `MIP-*`
+/// methods) its precomputed exact schedule.
+struct Unit {
+    shape: (usize, usize),
+    schedule: Option<SegmentSchedule>,
+}
+
+fn point_line(p: &DesignPoint) -> String {
+    format!(
+        "pt {} {} {} {}",
+        f64_to_hex(p.latency_s),
+        f64_to_hex(p.energy_pj),
+        p.shape.0,
+        p.shape.1
+    )
+}
+
+fn parse_point_line(line: &str, method: &'static str) -> Result<DesignPoint, CheckpointError> {
+    let corrupt = || CheckpointError::Corrupt {
+        path: "points-section".into(),
+        reason: format!("malformed point line: {line}"),
+    };
+    let toks: Vec<&str> = line.split(' ').collect();
+    if toks.len() != 5 || toks[0] != "pt" {
+        return Err(corrupt());
+    }
+    Ok(DesignPoint {
+        latency_s: f64_from_hex(toks[1]).ok_or_else(corrupt)?,
+        energy_pj: f64_from_hex(toks[2]).ok_or_else(corrupt)?,
+        method,
+        shape: (
+            toks[3].parse().map_err(|_| corrupt())?,
+            toks[4].parse().map_err(|_| corrupt())?,
+        ),
+    })
+}
+
+/// Persists the current search state to the ctl's checkpoint path (no-op
+/// when checkpointing is off).
+fn save_state(ctx: &Ctx<'_>, st: &SearchState, planned: u64) -> Result<(), AutoSegError> {
+    let Some(path) = ctx.ctl.checkpoint_path() else {
+        return Ok(());
+    };
+    let mut ck = Checkpoint::new("codesign");
+    ck.set_meta("method", ctx.method.label());
+    ck.set_meta("model", ctx.model_name);
+    ck.set_meta("budget", &ctx.budget.name);
+    ck.set_meta("seed", &ctx.budgets.seed.to_string());
+    ck.set_meta("hw_iters", &ctx.budgets.hw_iters.to_string());
+    ck.set_meta("seg_iters", &ctx.budgets.seg_iters.to_string());
+    ck.set_meta(
+        "energy_model",
+        &format!("{:016x}", ctx.cache.model_fingerprint()),
+    );
+    ck.set_meta("gens_done", &st.gens_done.to_string());
+    ck.set_meta("planned_gens", &planned.to_string());
+    ck.push_section("points", st.pts.iter().map(point_line).collect());
+    for (u, t) in st.transcripts.iter().enumerate() {
+        if !t.is_empty() {
+            ck.push_section(&format!("unit.{u}"), t.to_lines());
+        }
+    }
+    ck.push_section("cache", ctx.cache.export_lines());
+    ck.save(path)?;
+    obs::event(
+        "codesign.checkpoint",
+        &[
+            ("method", ctx.method.label().into()),
+            ("gens", st.gens_done.into()),
+            ("points", st.pts.len().into()),
+        ],
+    );
+    Ok(())
+}
+
+/// Loads and validates a checkpoint against the live run configuration,
+/// restoring points, per-unit transcripts and the shared cost cache.
+fn restore_state(ctx: &Ctx<'_>, st: &mut SearchState) -> Result<(), AutoSegError> {
+    let Some(path) = ctx.ctl.resume_from() else {
+        return Ok(());
+    };
+    let ck = Checkpoint::load(path)?;
+    ck.require(
+        "codesign",
+        &[
+            ("method", ctx.method.label()),
+            ("model", ctx.model_name),
+            ("budget", &ctx.budget.name),
+            ("seed", &ctx.budgets.seed.to_string()),
+            ("hw_iters", &ctx.budgets.hw_iters.to_string()),
+            ("seg_iters", &ctx.budgets.seg_iters.to_string()),
+            (
+                "energy_model",
+                &format!("{:016x}", ctx.cache.model_fingerprint()),
+            ),
+        ],
+    )?;
+    st.gens_done = ck.meta_u64("gens_done")?;
+    for line in ck.section("points") {
+        st.pts.push(parse_point_line(line, ctx.method.label())?);
+    }
+    // Units run sequentially, so non-empty transcripts form a prefix.
+    for u in 0.. {
+        let lines = ck.section(&format!("unit.{u}"));
+        if lines.is_empty() {
+            break;
+        }
+        let t = Transcript::from_lines(lines.iter().map(String::as_str)).map_err(|e| {
+            CheckpointError::Corrupt {
+                path: format!("unit.{u}"),
+                reason: e.to_string(),
+            }
+        })?;
+        st.transcripts.push(t);
+    }
+    for line in ck.section("cache") {
+        ctx.cache
+            .import_line(line)
+            .map_err(|e| CheckpointError::Corrupt {
+                path: "cache-section".into(),
+                reason: e.to_string(),
+            })?;
+    }
+    obs::event(
+        "codesign.resume",
+        &[
+            ("method", ctx.method.label().into()),
+            ("gens", st.gens_done.into()),
+            ("points", st.pts.len().into()),
+        ],
+    );
+    Ok(())
+}
+
+/// The optimizer a method's hardware search uses. The chunked methods
+/// never reach this; the fallback arm keeps the match total without a
+/// panic path.
+fn make_opt(method: Method, space: SearchSpace, seed: u64) -> Box<dyn Optimizer> {
+    match method {
+        Method::MipBaye | Method::BayeBaye => Box::new(Tpe::new(space, seed)),
+        Method::MipAnneal => Box::new(SimulatedAnnealing::new(space, seed)),
+        _ => Box::new(RandomSearch::new(space, seed)),
+    }
+}
+
+/// Evaluates one hardware sample for a unit: decode, build the design
+/// (exact schedule for `MIP-*`, inner Bayesian segmentation for
+/// Baye-Baye, seeded by the *global* per-unit candidate index `k`), and
+/// score it.
+fn eval_candidate(ctx: &Ctx<'_>, unit: &Unit, k: usize, sample: &[usize]) -> Option<DesignPoint> {
+    let (pes, mult) = decode_hw(sample);
+    match &unit.schedule {
+        Some(schedule) => {
+            let design = manual_design_with(ctx.workload, schedule, ctx.budget, &pes, mult, ctx.cache);
+            point(
+                ctx.workload,
+                &design,
+                ctx.budget,
+                ctx.method.label(),
+                unit.shape,
+                ctx.cache,
+            )
+        }
+        None => {
+            let (n, s) = unit.shape;
+            let seg = BayesSegmenter::new(split_seed(ctx.budgets.seed, k as u64), ctx.inner);
+            match seg.segment(ctx.workload, n, s) {
+                Ok(schedule) => {
+                    let design =
+                        manual_design_with(ctx.workload, &schedule, ctx.budget, &pes, mult, ctx.cache);
+                    point(
+                        ctx.workload,
+                        &design,
+                        ctx.budget,
+                        ctx.method.label(),
+                        unit.shape,
+                        ctx.cache,
+                    )
+                }
+                Err(_) => None,
+            }
+        }
+    }
+}
+
+/// Driver for the optimizer-backed methods (MIP-Random / MIP-Baye /
+/// MIP-Anneal / Baye-Baye): one optimizer per unit, generation-batched
+/// ask → parallel evaluate → ordered tell, transcripts recorded for
+/// checkpointing, resume via replay.
+fn run_optimized(
+    ctx: &Ctx<'_>,
+    mut st: SearchState,
+    all_shapes: &[(usize, usize)],
+) -> Result<CodesignRun, AutoSegError> {
+    let seg = ChainDpSegmenter::new();
+    let bi_loop = ctx.method == Method::BayeBaye;
+    let units: Vec<Unit> = all_shapes
+        .iter()
+        .filter_map(|&(n, s)| {
+            if bi_loop {
+                Some(Unit {
+                    shape: (n, s),
+                    schedule: None,
+                })
+            } else {
+                seg.segment(ctx.workload, n, s).ok().map(|schedule| Unit {
+                    shape: (n, s),
+                    schedule: Some(schedule),
+                })
+            }
+        })
+        .collect();
+    let per_unit = if bi_loop {
+        (ctx.budgets.hw_iters / all_shapes.len()).max(2)
+    } else {
+        (ctx.budgets.hw_iters / all_shapes.len()).max(4)
+    };
+    let gens_per_unit = per_unit.div_ceil(GENERATION) as u64;
+    let planned = units.len() as u64 * gens_per_unit;
+    if st.transcripts.len() > units.len() {
+        return Err(CheckpointError::Corrupt {
+            path: "transcripts".into(),
+            reason: format!(
+                "{} unit transcripts for {} units",
+                st.transcripts.len(),
+                units.len()
+            ),
+        }
+        .into());
+    }
+    st.transcripts.resize_with(units.len(), Transcript::new);
+
+    let mut gens_seen = 0u64;
+    for (u, unit) in units.iter().enumerate() {
+        let mut opt = make_opt(ctx.method, hw_space(unit.shape.0, ctx.budget), ctx.budgets.seed);
+        if !st.transcripts[u].is_empty() {
+            st.transcripts[u]
+                .replay(opt.as_mut())
+                .map_err(|e| CheckpointError::Corrupt {
+                    path: format!("unit.{u}"),
+                    reason: e.to_string(),
+                })?;
+        }
+        gens_seen += st.transcripts[u].gens() as u64;
+        let mut done = st.transcripts[u].evals();
+        while done < per_unit {
+            if let Some(reason) = ctx.ctl.should_stop(gens_seen) {
+                st.gens_done = gens_seen;
+                save_state(ctx, &st, planned)?;
+                return Ok(CodesignRun {
+                    points: st.pts,
+                    status: RunStatus::Partial(Partial {
+                        completed_gens: gens_seen,
+                        planned_gens: planned,
+                        reason,
+                    }),
+                });
+            }
+            let k = GENERATION.min(per_unit - done);
+            let samples = opt.suggest_batch(k);
+            let evals = ctx
+                .pool
+                .par_map(&samples, |i, sample| eval_candidate(ctx, unit, done + i, sample));
+            let mut batch = Vec::with_capacity(k);
+            for (sample, p) in samples.into_iter().zip(evals) {
+                let value = match p {
+                    Some(p) => {
+                        let v = p.latency_s;
+                        st.pts.push(p);
+                        v
+                    }
+                    None => f64::INFINITY,
+                };
+                batch.push((sample, value));
+            }
+            opt.observe_batch(batch.clone());
+            st.transcripts[u].push_gen(batch);
+            done += k;
+            gens_seen += 1;
+            st.gens_done = gens_seen;
+            // Best-so-far per generation: the convergence curve of Fig 18.
+            if obs::enabled() {
+                obs::event(
+                    "codesign.generation",
+                    &[
+                        ("method", ctx.method.label().into()),
+                        ("iter", done.into()),
+                        (
+                            "best_latency_s",
+                            best_feasible_latency(&st.pts, f64::INFINITY).into(),
+                        ),
+                    ],
+                );
+            }
+            if ctx.ctl.should_checkpoint(gens_seen) {
+                save_state(ctx, &st, planned)?;
+            }
+        }
+    }
+    st.gens_done = gens_seen;
+    // Final checkpoint: resuming a finished run is then a cheap no-op
+    // that replays to the same Complete result.
+    save_state(ctx, &st, planned)?;
+    Ok(CodesignRun {
+        points: st.pts,
+        status: RunStatus::Complete,
+    })
+}
+
+/// Driver for the optimizer-free methods (MIP-Heuristic /
+/// Baye-Heuristic): the shape list is evaluated in [`GENERATION`]-sized
+/// chunks, each chunk one resumable generation.
+fn run_chunked(
+    ctx: &Ctx<'_>,
+    mut st: SearchState,
+    all_shapes: &[(usize, usize)],
+) -> Result<CodesignRun, AutoSegError> {
+    let seg = ChainDpSegmenter::new();
+    let per_shape = (ctx.budgets.seg_iters / all_shapes.len().max(1)).max(8);
+    let chunks: Vec<&[(usize, usize)]> = all_shapes.chunks(GENERATION).collect();
+    let planned = chunks.len() as u64;
+    let resumed = st.gens_done;
+    let mut gens_seen = 0u64;
+    for chunk in &chunks {
+        if gens_seen < resumed {
+            // This generation's points were restored from the checkpoint.
+            gens_seen += 1;
+            continue;
+        }
+        if let Some(reason) = ctx.ctl.should_stop(gens_seen) {
+            st.gens_done = gens_seen;
+            save_state(ctx, &st, planned)?;
+            return Ok(CodesignRun {
+                points: st.pts,
+                status: RunStatus::Partial(Partial {
+                    completed_gens: gens_seen,
+                    planned_gens: planned,
+                    reason,
+                }),
+            });
+        }
+        let evals = ctx.pool.par_map(
+            chunk,
+            |_, &(n, s)| -> Result<Option<DesignPoint>, AutoSegError> {
+                let schedule = if ctx.method == Method::BayeHeuristic {
+                    let bayes = BayesSegmenter::new(ctx.budgets.seed, per_shape);
+                    match bayes.segment(ctx.workload, n, s) {
+                        Ok(sch) => sch,
+                        Err(_) => return Ok(None),
+                    }
+                } else {
+                    match seg.segment(ctx.workload, n, s) {
+                        Ok(sch) => sch,
+                        Err(_) => return Ok(None),
+                    }
+                };
+                let design = allocate_with(
+                    ctx.workload,
+                    &schedule,
+                    ctx.budget,
+                    DesignGoal::Latency,
+                    ctx.cache,
+                )?;
+                Ok(point(
+                    ctx.workload,
+                    &design,
+                    ctx.budget,
+                    ctx.method.label(),
+                    (n, s),
+                    ctx.cache,
+                ))
+            },
+        );
+        for e in evals {
+            if let Some(p) = e? {
+                st.pts.push(p);
+            }
+        }
+        gens_seen += 1;
+        st.gens_done = gens_seen;
+        if ctx.ctl.should_checkpoint(gens_seen) {
+            save_state(ctx, &st, planned)?;
+        }
+    }
+    st.gens_done = gens_seen.max(resumed);
+    save_state(ctx, &st, planned)?;
+    Ok(CodesignRun {
+        points: st.pts,
+        status: RunStatus::Complete,
+    })
+}
+
+/// Runs one co-design `method` under an anytime policy, with a pool and
+/// cache from `budgets`. See [`run_codesign_with`].
+///
+/// # Errors
+///
+/// See [`run_codesign_with`].
+pub fn run_codesign(
     model: &Graph,
     budget: &HwBudget,
     budgets: &CodesignBudgets,
-    bayes: bool,
+    method: Method,
+    ctl: &RunCtl,
+) -> Result<CodesignRun, AutoSegError> {
+    run_codesign_with(model, budget, budgets, method, &budgets.pool(), &EvalCache::default(), ctl)
+}
+
+/// The generation-granular anytime driver behind every co-design method.
+///
+/// With `RunCtl::none()` this produces exactly what the per-method entry
+/// points ([`mip_baye`], [`baye_baye`], …) produce — they are thin
+/// wrappers over it. A ctl adds deadline / generation-budget stops
+/// (typed [`RunStatus::Partial`], never lost work), periodic checkpoints
+/// and resume; see the module docs for the replay-based state model.
+///
+/// # Errors
+///
+/// The usual [`AutoSegError`] search failures, plus
+/// [`AutoSegError::Checkpoint`] when a checkpoint cannot be written, a
+/// resume source is corrupt/torn, or its recorded configuration does not
+/// match this run.
+pub fn run_codesign_with(
+    model: &Graph,
+    budget: &HwBudget,
+    budgets: &CodesignBudgets,
+    method: Method,
+    pool: &DsePool,
+    cache: &EvalCache,
+    ctl: &RunCtl,
+) -> Result<CodesignRun, AutoSegError> {
+    let _span = obs::span!("codesign.run", method = method.label(), model = model.name());
+    let workload = Workload::from_graph(model);
+    let all_shapes = shapes(&workload, budget);
+    let inner = (budgets.seg_iters / budgets.hw_iters.max(1)).max(4);
+    let ctx = Ctx {
+        workload: &workload,
+        model_name: model.name(),
+        budget,
+        budgets,
+        method,
+        pool,
+        cache,
+        ctl,
+        inner,
+    };
+    let mut st = SearchState::default();
+    restore_state(&ctx, &mut st)?;
+    if all_shapes.is_empty() {
+        return Ok(CodesignRun {
+            points: st.pts,
+            status: RunStatus::Complete,
+        });
+    }
+    match method {
+        Method::MipHeuristic | Method::BayeHeuristic => run_chunked(&ctx, st, &all_shapes),
+        _ => run_optimized(&ctx, st, &all_shapes),
+    }
+}
+
+/// MIP-Heuristic: the AutoSeg engine's own candidates — one point per
+/// feasible `(N, S)` shape.
+pub fn mip_heuristic(
+    model: &Graph,
+    budget: &HwBudget,
+) -> Result<Vec<DesignPoint>, AutoSegError> {
+    mip_heuristic_with(model, budget, &DsePool::from_env(), &EvalCache::default())
+}
+
+/// [`mip_heuristic`] on an explicit pool and cost cache. Shapes are
+/// independent, so each chunk fans out across the pool.
+pub fn mip_heuristic_with(
+    model: &Graph,
+    budget: &HwBudget,
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    let workload = Workload::from_graph(model);
-    let seg = ChainDpSegmenter::new();
-    let method: &'static str = if bayes { "mip-baye" } else { "mip-random" };
-    let mut pts = Vec::new();
-    let all_shapes = shapes(&workload, budget);
-    if all_shapes.is_empty() {
-        return Ok(pts);
-    }
-    let per_shape = (budgets.hw_iters / all_shapes.len()).max(4);
-    for (n, s) in all_shapes {
-        let Ok(schedule) = seg.segment(&workload, n, s) else {
-            continue;
-        };
-        let space = hw_space(n, budget);
-        let mut opt: Box<dyn Optimizer> = if bayes {
-            Box::new(Tpe::new(space, budgets.seed))
-        } else {
-            Box::new(bayesopt::RandomSearch::new(space, budgets.seed))
-        };
-        hw_search_loop(
-            &workload, &schedule, budget, method, (n, s), opt.as_mut(), per_shape, pool,
-            cache, &mut pts,
-        );
-    }
-    Ok(pts)
+    let budgets = CodesignBudgets::default();
+    run_codesign_with(model, budget, &budgets, Method::MipHeuristic, pool, cache, &RunCtl::none())
+        .map(|r| r.points)
 }
 
 /// MIP-Anneal: exact segmentation + simulated-annealing hardware search (a
@@ -324,25 +780,8 @@ pub fn mip_anneal_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    let workload = Workload::from_graph(model);
-    let seg = ChainDpSegmenter::new();
-    let mut pts = Vec::new();
-    let all_shapes = shapes(&workload, budget);
-    if all_shapes.is_empty() {
-        return Ok(pts);
-    }
-    let per_shape = (budgets.hw_iters / all_shapes.len()).max(4);
-    for (n, s) in all_shapes {
-        let Ok(schedule) = seg.segment(&workload, n, s) else {
-            continue;
-        };
-        let mut opt = SimulatedAnnealing::new(hw_space(n, budget), budgets.seed);
-        hw_search_loop(
-            &workload, &schedule, budget, "mip-anneal", (n, s), &mut opt, per_shape, pool,
-            cache, &mut pts,
-        );
-    }
-    Ok(pts)
+    run_codesign_with(model, budget, budgets, Method::MipAnneal, pool, cache, &RunCtl::none())
+        .map(|r| r.points)
 }
 
 /// MIP-Random: exact segmentation + uniform-random hardware sampling.
@@ -351,7 +790,7 @@ pub fn mip_random(
     budget: &HwBudget,
     budgets: &CodesignBudgets,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    mip_search(model, budget, budgets, false, &budgets.pool(), &EvalCache::default())
+    mip_random_with(model, budget, budgets, &budgets.pool(), &EvalCache::default())
 }
 
 /// [`mip_random`] on an explicit pool and cost cache.
@@ -362,7 +801,8 @@ pub fn mip_random_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    mip_search(model, budget, budgets, false, pool, cache)
+    run_codesign_with(model, budget, budgets, Method::MipRandom, pool, cache, &RunCtl::none())
+        .map(|r| r.points)
 }
 
 /// MIP-Baye: exact segmentation + TPE hardware search.
@@ -371,7 +811,7 @@ pub fn mip_baye(
     budget: &HwBudget,
     budgets: &CodesignBudgets,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    mip_search(model, budget, budgets, true, &budgets.pool(), &EvalCache::default())
+    mip_baye_with(model, budget, budgets, &budgets.pool(), &EvalCache::default())
 }
 
 /// [`mip_baye`] on an explicit pool and cost cache.
@@ -382,7 +822,8 @@ pub fn mip_baye_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    mip_search(model, budget, budgets, true, pool, cache)
+    run_codesign_with(model, budget, budgets, Method::MipBaye, pool, cache, &RunCtl::none())
+        .map(|r| r.points)
 }
 
 /// Baye-Heuristic: TPE segmentation + Algorithm 1 hardware.
@@ -404,31 +845,8 @@ pub fn baye_heuristic_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    let _span = obs::span!("codesign.baye_heuristic", model = model.name());
-    let workload = Workload::from_graph(model);
-    let all_shapes = shapes(&workload, budget);
-    if all_shapes.is_empty() {
-        return Ok(Vec::new());
-    }
-    let per_shape = (budgets.seg_iters / all_shapes.len()).max(8);
-    let evals = pool.par_map(
-        &all_shapes,
-        |_, &(n, s)| -> Result<Option<DesignPoint>, AutoSegError> {
-            let seg = BayesSegmenter::new(budgets.seed, per_shape);
-            let Ok(schedule) = seg.segment(&workload, n, s) else {
-                return Ok(None);
-            };
-            let design = allocate_with(&workload, &schedule, budget, DesignGoal::Latency, cache)?;
-            Ok(point(&workload, &design, budget, "baye-heuristic", (n, s), cache))
-        },
-    );
-    let mut pts = Vec::new();
-    for e in evals {
-        if let Some(p) = e? {
-            pts.push(p);
-        }
-    }
-    Ok(pts)
+    run_codesign_with(model, budget, budgets, Method::BayeHeuristic, pool, cache, &RunCtl::none())
+        .map(|r| r.points)
 }
 
 /// Baye-Baye: nested TPE loops — outer over hardware, inner over
@@ -453,68 +871,14 @@ pub fn baye_baye_with(
     pool: &DsePool,
     cache: &EvalCache,
 ) -> Result<Vec<DesignPoint>, AutoSegError> {
-    let _span = obs::span!("codesign.baye_baye", model = model.name());
-    let workload = Workload::from_graph(model);
-    let mut pts = Vec::new();
-    let all_shapes = shapes(&workload, budget);
-    if all_shapes.is_empty() {
-        return Ok(pts);
-    }
-    let outer = (budgets.hw_iters / all_shapes.len()).max(2);
-    let inner = (budgets.seg_iters / budgets.hw_iters.max(1)).max(4);
-    for (n, s) in all_shapes {
-        let space = hw_space(n, budget);
-        let mut hw_opt = Tpe::new(space, budgets.seed);
-        let mut k0 = 0;
-        while k0 < outer {
-            let g = GENERATION.min(outer - k0);
-            let samples = hw_opt.suggest_batch(g);
-            let evals = pool.par_map(&samples, |i, sample| {
-                let (pes, mult) = decode_hw(sample);
-                // Inner loop: TPE segmentation for this fixed hardware,
-                // scored by simulated latency only.
-                let seg = BayesSegmenter::new(split_seed(budgets.seed, (k0 + i) as u64), inner);
-                match seg.segment(&workload, n, s) {
-                    Ok(schedule) => {
-                        let design =
-                            manual_design_with(&workload, &schedule, budget, &pes, mult, cache);
-                        point(&workload, &design, budget, "baye-baye", (n, s), cache)
-                    }
-                    Err(_) => None,
-                }
-            });
-            let mut batch = Vec::with_capacity(g);
-            for (sample, p) in samples.into_iter().zip(evals) {
-                let value = match p {
-                    Some(p) => {
-                        let v = p.latency_s;
-                        pts.push(p);
-                        v
-                    }
-                    None => f64::INFINITY,
-                };
-                batch.push((sample, value));
-            }
-            hw_opt.observe_batch(batch);
-            k0 += g;
-            if obs::enabled() {
-                obs::event(
-                    "codesign.generation",
-                    &[
-                        ("method", "baye-baye".into()),
-                        ("iter", k0.into()),
-                        ("best_latency_s", best_feasible_latency(&pts, f64::INFINITY).into()),
-                    ],
-                );
-            }
-        }
-    }
-    Ok(pts)
+    run_codesign_with(model, budget, budgets, Method::BayeBaye, pool, cache, &RunCtl::none())
+        .map(|r| r.points)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dse::control::StopReason;
     use nnmodel::zoo;
 
     fn tiny_budgets() -> CodesignBudgets {
@@ -608,5 +972,107 @@ mod tests {
         };
         assert_eq!(b.pool().threads(), 3);
         assert!(CodesignBudgets::default().pool().threads() >= 1);
+    }
+
+    #[test]
+    fn method_labels_round_trip() {
+        for m in Method::ALL {
+            assert_eq!(Method::parse(m.label()), Some(m));
+            assert_eq!(m.to_string(), m.label());
+        }
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn anytime_driver_matches_legacy_entry_points() {
+        // RunCtl::none() must be the identity: the ctl-aware driver and
+        // the plain wrappers produce the same point sequence.
+        let model = zoo::alexnet_conv();
+        let budget = HwBudget::nvdla_small();
+        let b = tiny_budgets();
+        for (method, legacy) in [
+            (Method::MipBaye, mip_baye(&model, &budget, &b).unwrap()),
+            (Method::BayeBaye, baye_baye(&model, &budget, &b).unwrap()),
+        ] {
+            let run = run_codesign(&model, &budget, &b, method, &RunCtl::none()).unwrap();
+            assert!(run.status.is_complete());
+            assert_eq!(run.points, legacy, "{method}");
+        }
+    }
+
+    #[test]
+    fn gen_budget_stop_returns_a_point_prefix() {
+        let model = zoo::alexnet_conv();
+        let budget = HwBudget::nvdla_small();
+        let b = tiny_budgets();
+        let full = run_codesign(&model, &budget, &b, Method::MipBaye, &RunCtl::none()).unwrap();
+        let cut = run_codesign(
+            &model,
+            &budget,
+            &b,
+            Method::MipBaye,
+            &RunCtl::none().stop_after_gens(2),
+        )
+        .unwrap();
+        match cut.status {
+            RunStatus::Partial(p) => {
+                assert_eq!(p.completed_gens, 2);
+                assert_eq!(p.reason, StopReason::GenBudget);
+                assert!(p.planned_gens > 2);
+            }
+            RunStatus::Complete => panic!("a 2-generation budget cannot complete this search"),
+        }
+        assert!(cut.points.len() < full.points.len());
+        assert_eq!(cut.points[..], full.points[..cut.points.len()], "prefix");
+    }
+
+    #[test]
+    fn checkpoint_then_resume_is_bit_identical() {
+        let model = zoo::alexnet_conv();
+        let budget = HwBudget::nvdla_small();
+        let b = tiny_budgets();
+        let dir = std::env::temp_dir().join("spa_codesign_resume_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let ckpt = dir.join("mip-baye.ckpt");
+        let full = run_codesign(&model, &budget, &b, Method::MipBaye, &RunCtl::none()).unwrap();
+        // Kill after 3 generations, checkpointing every generation …
+        let cut = run_codesign(
+            &model,
+            &budget,
+            &b,
+            Method::MipBaye,
+            &RunCtl::none().stop_after_gens(3).checkpoint(&ckpt, 1),
+        )
+        .unwrap();
+        assert!(!cut.status.is_complete());
+        // … then resume and run to completion.
+        let resumed = run_codesign(
+            &model,
+            &budget,
+            &b,
+            Method::MipBaye,
+            &RunCtl::none().resume(&ckpt),
+        )
+        .unwrap();
+        assert!(resumed.status.is_complete());
+        assert_eq!(resumed.points, full.points, "kill+resume == uninterrupted");
+        // Resuming with a different seed is a typed mismatch, not garbage.
+        let other = CodesignBudgets { seed: 99, ..b };
+        let err = run_codesign(
+            &model,
+            &budget,
+            &other,
+            Method::MipBaye,
+            &RunCtl::none().resume(&ckpt),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                AutoSegError::Checkpoint(CheckpointError::Mismatch { key, .. }) if key == "seed"
+            ),
+            "got {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,259 @@
+//! Anytime-execution control: deadlines, generation budgets, checkpoint
+//! cadence.
+//!
+//! Every long-running search in this crate (the engine's `(N, S)` sweep,
+//! the co-design baselines, the multi-model joint search, the generality
+//! remap) is organized in *generations* — fixed work quanta evaluated
+//! atomically. A [`RunCtl`] tells such a search when to stop early and
+//! where to persist progress; the search answers with a [`RunStatus`]
+//! that is either `Complete` or a typed [`Partial`] carrying best-so-far
+//! provenance. Stopping is cooperative and only happens **at generation
+//! boundaries**, so a deadline never tears a half-observed optimizer
+//! batch and a resumed run replays exactly the generations the
+//! checkpoint recorded.
+//!
+//! Two stop conditions exist:
+//!
+//! * **Generation budget** ([`RunCtl::stop_after_gens`]) — fully
+//!   deterministic; the reference "kill model" the resume-equivalence
+//!   tests use to interrupt a run at a known point.
+//! * **Deadline** ([`RunCtl::deadline`] / the `DSE_DEADLINE_MS`
+//!   environment variable) — wall-clock, inherently nondeterministic in
+//!   *where* it stops, but the result is still a valid best-so-far
+//!   design set and the status records how far the search got.
+
+use std::path::{Path, PathBuf};
+// Wall-clock deadline support is the one sanctioned nondeterminism in
+// this crate: it changes *when* a search stops, never *what* any
+// completed generation computed. lint: allow(nondet-time)
+use std::time::{Duration, Instant};
+
+/// Why a search stopped before finishing its planned generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock deadline expired (`DSE_DEADLINE_MS` or
+    /// [`RunCtl::deadline`]).
+    Deadline,
+    /// The deterministic generation budget ([`RunCtl::stop_after_gens`])
+    /// was exhausted.
+    GenBudget,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Deadline => write!(f, "deadline"),
+            StopReason::GenBudget => write!(f, "generation budget"),
+        }
+    }
+}
+
+/// Provenance of an early stop: how much of the planned work finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partial {
+    /// Generations whose results are included in the returned output
+    /// (restored-from-checkpoint generations count).
+    pub completed_gens: u64,
+    /// Generations the full search would have run.
+    pub planned_gens: u64,
+    /// What cut the run short.
+    pub reason: StopReason,
+}
+
+/// Outcome classification of an anytime search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every planned generation ran; the result equals the non-anytime
+    /// API's.
+    Complete,
+    /// The search stopped early; the result is the best-so-far across
+    /// [`Partial::completed_gens`] generations.
+    Partial(Partial),
+}
+
+impl RunStatus {
+    /// `true` iff the search finished all planned work.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunStatus::Complete)
+    }
+}
+
+/// Anytime-execution policy handed to the `_ctl` search entry points.
+///
+/// The default ([`RunCtl::none`]) imposes nothing: no deadline, no
+/// generation budget, no checkpointing — the search behaves exactly like
+/// its plain counterpart.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtl {
+    // Monotonic stop instant; see the module docs for why wall-clock is
+    // acceptable here. lint: allow(nondet-time)
+    deadline: Option<Instant>,
+    stop_after_gens: Option<u64>,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: u64,
+    resume_from: Option<PathBuf>,
+}
+
+impl RunCtl {
+    /// No limits, no checkpointing: the identity policy.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Stops the search (cooperatively, at the next generation boundary)
+    /// once `budget` has elapsed from now.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        // lint: allow(nondet-time) — module-level rationale.
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Deterministic stop after exactly `gens` completed generations —
+    /// the reproducible "kill" used by the resume-equivalence tests.
+    pub fn stop_after_gens(mut self, gens: u64) -> Self {
+        self.stop_after_gens = Some(gens);
+        self
+    }
+
+    /// Persists a checkpoint to `path` every `every` completed
+    /// generations (and always on an early stop). `every` is clamped to
+    /// at least 1.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Resumes from a checkpoint previously written by
+    /// [`RunCtl::checkpoint`]. The run configuration (model, budget,
+    /// seed, iteration counts, energy model) must match what the
+    /// checkpoint recorded or the search fails with a typed mismatch.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Applies the `DSE_DEADLINE_MS` environment variable (a positive
+    /// integer of milliseconds) as a deadline, if set and parseable.
+    /// Unset, empty, zero or garbage leave the policy unchanged.
+    pub fn deadline_from_env(self) -> Self {
+        match std::env::var("DSE_DEADLINE_MS") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(ms) if ms > 0 => self.deadline(Duration::from_millis(ms)),
+                _ => self,
+            },
+            Err(_) => self,
+        }
+    }
+
+    /// The checkpoint path, if checkpointing is enabled.
+    pub fn checkpoint_path(&self) -> Option<&Path> {
+        self.checkpoint_path.as_deref()
+    }
+
+    /// The resume source, if resuming was requested.
+    pub fn resume_from(&self) -> Option<&Path> {
+        self.resume_from.as_deref()
+    }
+
+    /// `true` when a checkpoint should be written after the
+    /// `completed_gens`-th generation.
+    pub fn should_checkpoint(&self, completed_gens: u64) -> bool {
+        self.checkpoint_path.is_some()
+            && completed_gens > 0
+            && completed_gens % self.checkpoint_every.max(1) == 0
+    }
+
+    /// Checks the stop conditions with `completed_gens` generations done.
+    /// The deterministic generation budget is checked first so that runs
+    /// using it as a scripted kill are not raced by a deadline.
+    pub fn should_stop(&self, completed_gens: u64) -> Option<StopReason> {
+        if let Some(k) = self.stop_after_gens {
+            if completed_gens >= k {
+                return Some(StopReason::GenBudget);
+            }
+        }
+        if let Some(d) = self.deadline {
+            // lint: allow(nondet-time) — module-level rationale.
+            if Instant::now() >= d {
+                return Some(StopReason::Deadline);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_stops_or_checkpoints() {
+        let ctl = RunCtl::none();
+        assert_eq!(ctl.should_stop(0), None);
+        assert_eq!(ctl.should_stop(u64::MAX), None);
+        assert!(!ctl.should_checkpoint(1));
+        assert!(ctl.checkpoint_path().is_none());
+        assert!(ctl.resume_from().is_none());
+    }
+
+    #[test]
+    fn gen_budget_stops_deterministically() {
+        let ctl = RunCtl::none().stop_after_gens(3);
+        assert_eq!(ctl.should_stop(0), None);
+        assert_eq!(ctl.should_stop(2), None);
+        assert_eq!(ctl.should_stop(3), Some(StopReason::GenBudget));
+        assert_eq!(ctl.should_stop(4), Some(StopReason::GenBudget));
+    }
+
+    #[test]
+    fn gen_budget_outranks_deadline() {
+        // An already-expired deadline plus an exhausted generation budget
+        // must report the deterministic reason.
+        let ctl = RunCtl::none().deadline(Duration::ZERO).stop_after_gens(0);
+        assert_eq!(ctl.should_stop(0), Some(StopReason::GenBudget));
+    }
+
+    #[test]
+    fn expired_deadline_stops() {
+        let ctl = RunCtl::none().deadline(Duration::ZERO);
+        assert_eq!(ctl.should_stop(0), Some(StopReason::Deadline));
+        let far = RunCtl::none().deadline(Duration::from_secs(3600));
+        assert_eq!(far.should_stop(1_000_000), None);
+    }
+
+    #[test]
+    fn checkpoint_cadence() {
+        let ctl = RunCtl::none().checkpoint("/tmp/x.ckpt", 3);
+        assert!(!ctl.should_checkpoint(0));
+        assert!(!ctl.should_checkpoint(1));
+        assert!(ctl.should_checkpoint(3));
+        assert!(!ctl.should_checkpoint(4));
+        assert!(ctl.should_checkpoint(6));
+        // every = 0 clamps to 1 rather than dividing by zero.
+        let every_gen = RunCtl::none().checkpoint("/tmp/x.ckpt", 0);
+        assert!(every_gen.should_checkpoint(1));
+    }
+
+    #[test]
+    fn deadline_env_parsing_ignores_garbage() {
+        // Process-global env: only exercise the unset/garbage fallbacks
+        // that cannot race other tests' reads.
+        std::env::remove_var("DSE_DEADLINE_MS");
+        let ctl = RunCtl::none().deadline_from_env();
+        assert_eq!(ctl.should_stop(u64::MAX), None, "unset = no deadline");
+    }
+
+    #[test]
+    fn status_classification() {
+        assert!(RunStatus::Complete.is_complete());
+        let p = RunStatus::Partial(Partial {
+            completed_gens: 2,
+            planned_gens: 9,
+            reason: StopReason::Deadline,
+        });
+        assert!(!p.is_complete());
+        assert_eq!(StopReason::Deadline.to_string(), "deadline");
+        assert_eq!(StopReason::GenBudget.to_string(), "generation budget");
+    }
+}

@@ -19,6 +19,12 @@
 //! [`pucost::EvalCache`]; a pool plus one cache handle per search is the
 //! standard wiring (see [`crate::codesign`]).
 
+pub mod checkpoint;
+pub mod control;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use control::{Partial, RunCtl, RunStatus, StopReason};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -113,6 +119,13 @@ impl DsePool {
                 .iter()
                 .enumerate()
                 .map(|(i, t)| {
+                    // `dse.worker` fault point, serial flavor: the dying
+                    // worker *is* the recovery path, so injection and
+                    // recovery coincide — the result is still computed.
+                    if faultsim::armed() && faultsim::hit_at("dse.worker", i as u64) {
+                        record_fault("fault.injected");
+                        record_fault("fault.recovered");
+                    }
                     // obs-gated timing, telemetry only; lint: allow(nondet-time)
                     let t0 = obs::enabled().then(std::time::Instant::now);
                     let r = f(i, t);
@@ -136,6 +149,14 @@ impl DsePool {
                         if i >= items.len() {
                             break;
                         }
+                        // `dse.worker` fault point: a scripted worker death
+                        // abandons the claimed slot and ends this worker.
+                        // Surviving workers keep draining the queue; the
+                        // post-join pass below re-evaluates the hole.
+                        if faultsim::armed() && faultsim::hit_at("dse.worker", i as u64) {
+                            record_fault("fault.injected");
+                            break;
+                        }
                         claimed += 1;
                         // obs-gated timing, telemetry only; lint: allow(nondet-time)
                         let t0 = obs::enabled().then(std::time::Instant::now);
@@ -154,15 +175,32 @@ impl DsePool {
                 });
             }
         });
+        // Recovery pass: any slot a dead worker abandoned (the
+        // `dse.worker` fault — or, defensively, any future bug with the
+        // same signature) is re-evaluated inline. `f` depends only on
+        // the index, so the late evaluation is bit-identical to the one
+        // the lost worker would have produced.
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .expect("every index claimed exactly once")
+            .enumerate()
+            .map(|(i, slot)| {
+                match slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                    Some(r) => r,
+                    None => {
+                        record_fault("fault.recovered");
+                        f(i, &items[i])
+                    }
+                }
             })
             .collect()
     }
+}
+
+/// Bumps the given fault counter and emits the matching `obs` event for
+/// the `dse.worker` fault point (injection and recovery share the shape).
+fn record_fault(what: &'static str) {
+    obs::add(what, 1);
+    obs::event(what, &[("point", "dse.worker".into())]);
 }
 
 impl Default for DsePool {
@@ -264,6 +302,39 @@ mod tests {
         let seeds: HashSet<u64> = (0..1000).map(|i| split_seed(42, i)).collect();
         assert_eq!(seeds.len(), 1000, "seed collisions within one base");
         assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn injected_worker_death_recovers_bit_identically() {
+        let _x = faultsim::exclusive();
+        let items: Vec<u64> = (0..33).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 7 + 1).collect();
+        // Kill the workers that claim candidates 5 and 20 (parallel), and
+        // exercise the coinciding inject/recover on the serial path too.
+        for threads in [1, 4] {
+            faultsim::arm("dse.worker#5,dse.worker#20").expect("plan parses");
+            let got = DsePool::new(threads).par_map(&items, |_, &x| x * 7 + 1);
+            assert_eq!(got, expect, "threads = {threads}");
+            // Both scripted deaths must appear in the log. Containment,
+            // not equality: `exclusive()` serializes *armers*, but other
+            // tests' searches running concurrently in this process also
+            // cross the armed fault point (and recover transparently),
+            // appending their own entries.
+            let fired = faultsim::injected();
+            for want in ["dse.worker#5", "dse.worker#20"] {
+                assert!(
+                    fired.iter().any(|f| f == want),
+                    "threads = {threads}: {want} missing from {fired:?}"
+                );
+            }
+            faultsim::disarm();
+        }
+        // Even every worker dying (fault on every index) cannot lose
+        // results: the post-join pass re-evaluates all abandoned slots.
+        faultsim::arm("dse.worker@*").expect("plan parses");
+        let got = DsePool::new(3).par_map(&items, |_, &x| x * 7 + 1);
+        faultsim::disarm();
+        assert_eq!(got, expect);
     }
 
     #[test]

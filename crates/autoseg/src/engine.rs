@@ -2,6 +2,9 @@
 //! allocate, simulate, keep the best design (Section III's workflow).
 
 use crate::allocate::allocate_with;
+use crate::codesign::GENERATION;
+use crate::dse::checkpoint::{f64_from_hex, f64_to_hex, Checkpoint, CheckpointError};
+use crate::dse::control::{Partial, RunCtl, RunStatus};
 use crate::dse::DsePool;
 use crate::error::AutoSegError;
 use crate::segment::{ChainDpSegmenter, Segmenter};
@@ -31,6 +34,49 @@ pub struct AutoSegOutcome {
     pub workload: Workload,
     /// Number of `(N, S)` combinations explored.
     pub explored: usize,
+}
+
+/// Result of an anytime engine run ([`AutoSeg::run_ctl`]): the best
+/// design found so far — if any shape has been evaluated feasible — plus
+/// how much of the sweep produced it.
+#[derive(Debug, Clone)]
+pub struct AnytimeOutcome {
+    /// Best design over the shapes evaluated so far. `None` means no
+    /// feasible shape *yet* for a partial run, or a genuinely infeasible
+    /// budget for a complete one.
+    pub outcome: Option<AutoSegOutcome>,
+    /// `Complete`, or a typed partial with generation provenance.
+    pub status: RunStatus,
+}
+
+/// One swept shape's recorded result: whether it counted as explored
+/// (segmentation + allocation succeeded) and its metric when feasible.
+fn shape_line(counted: bool, metric: Option<f64>) -> String {
+    match metric {
+        Some(m) => format!("sh {} {}", counted as u8, f64_to_hex(m)),
+        None => format!("sh {} -", counted as u8),
+    }
+}
+
+fn parse_shape_line(line: &str) -> Result<(bool, Option<f64>), CheckpointError> {
+    let corrupt = || CheckpointError::Corrupt {
+        path: "shapes-section".into(),
+        reason: format!("malformed shape line: {line}"),
+    };
+    let toks: Vec<&str> = line.split(' ').collect();
+    if toks.len() != 3 || toks[0] != "sh" {
+        return Err(corrupt());
+    }
+    let counted = match toks[1] {
+        "0" => false,
+        "1" => true,
+        _ => return Err(corrupt()),
+    };
+    let metric = match toks[2] {
+        "-" => None,
+        hex => Some(f64_from_hex(hex).ok_or_else(corrupt)?),
+    };
+    Ok((counted, metric))
 }
 
 /// The AutoSeg co-design engine (builder-style configuration).
@@ -132,6 +178,55 @@ impl AutoSeg {
     ///
     /// See [`AutoSeg::run`].
     pub fn run_workload(&self, workload: Workload) -> Result<AutoSegOutcome, AutoSegError> {
+        let model = workload.name().to_string();
+        let run = self.run_workload_ctl(workload, &RunCtl::none())?;
+        match run.outcome {
+            Some(outcome) => Ok(outcome),
+            None => Err(AutoSegError::NoFeasibleDesign {
+                budget: self.budget.name.clone(),
+                model,
+            }),
+        }
+    }
+
+    /// [`AutoSeg::run`] under an anytime policy: the `(N, S)` sweep
+    /// proceeds in [`GENERATION`]-sized chunks, honoring the ctl's
+    /// deadline / generation budget (typed [`RunStatus::Partial`] with
+    /// the best-so-far design instead of lost work), periodic
+    /// checkpoints, and resume.
+    ///
+    /// With `RunCtl::none()` this is exactly [`AutoSeg::run`], except
+    /// that an infeasible budget surfaces as `outcome: None` rather than
+    /// an error (a *partial* run with no feasible shape yet is not a
+    /// failure).
+    ///
+    /// # Errors
+    ///
+    /// See [`AutoSeg::run`], plus [`AutoSegError::Checkpoint`] for
+    /// checkpoint I/O / corruption / configuration mismatches.
+    pub fn run_ctl(&self, model: &Graph, ctl: &RunCtl) -> Result<AnytimeOutcome, AutoSegError> {
+        nnmodel::validate(model)?;
+        self.run_workload_ctl(Workload::from_graph(model), ctl)
+    }
+
+    fn goal_label(&self) -> &'static str {
+        match self.goal {
+            DesignGoal::Latency => "latency",
+            DesignGoal::Throughput => "throughput",
+        }
+    }
+
+    /// Like [`AutoSeg::run_ctl`] but starting from an existing
+    /// [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AutoSeg::run_ctl`].
+    pub fn run_workload_ctl(
+        &self,
+        workload: Workload,
+        ctl: &RunCtl,
+    ) -> Result<AnytimeOutcome, AutoSegError> {
         self.budget.validate()?;
         if workload.is_empty() {
             return Err(AutoSegError::EmptyWorkload);
@@ -150,10 +245,51 @@ impl AutoSeg {
             DsePool::new(self.threads)
         };
         let cache = EvalCache::default();
-        // Each shape's candidate is built and simulated independently; the
-        // fold below walks results in enumeration order, so the selected
-        // design (and tie-breaks) match the serial sweep exactly.
-        let evals = pool.par_map(&shapes, |_, &(n, s)| {
+
+        // Per-shape results in enumeration order — `(counted, metric)` —
+        // restored from a checkpoint and/or computed below. Designs are
+        // not persisted: the winner is *rematerialized* at the end by
+        // re-evaluating its shape, which is bit-identical because the
+        // evaluation is deterministic (and cache-hot).
+        let mut results: Vec<(bool, Option<f64>)> = Vec::new();
+        if let Some(path) = ctl.resume_from() {
+            let ck = Checkpoint::load(path)?;
+            ck.require(
+                "engine",
+                &[
+                    ("model", workload.name()),
+                    ("budget", &self.budget.name),
+                    ("goal", self.goal_label()),
+                    ("max_pus", &self.max_pus.to_string()),
+                    ("max_segments", &self.max_segments.to_string()),
+                    ("segmenter", self.segmenter.name()),
+                    ("energy_model", &format!("{:016x}", cache.model_fingerprint())),
+                ],
+            )?;
+            for line in ck.section("shapes") {
+                results.push(parse_shape_line(line)?);
+            }
+            if results.len() > shapes.len() {
+                return Err(CheckpointError::Corrupt {
+                    path: "shapes-section".into(),
+                    reason: format!("{} results for {} shapes", results.len(), shapes.len()),
+                }
+                .into());
+            }
+            for line in ck.section("cache") {
+                cache
+                    .import_line(line)
+                    .map_err(|e| CheckpointError::Corrupt {
+                        path: "cache-section".into(),
+                        reason: e.to_string(),
+                    })?;
+            }
+        }
+
+        // One shape's candidate, built and simulated independently of all
+        // others (the parallel sweep stays bit-identical to the serial
+        // one: results are folded in enumeration order).
+        let eval_shape = |&(n, s): &(usize, usize)| {
             let Ok(schedule) = self.segmenter.segment(&workload, n, s) else {
                 return (false, None);
             };
@@ -174,45 +310,129 @@ impl AutoSeg {
                 DesignGoal::Throughput => 1.0 / report.gops().max(1e-12),
             };
             (true, Some((metric, design, report)))
-        });
-        let mut best: Option<(f64, SpaDesign, SimReport)> = None;
+        };
+
+        let save = |results: &[(bool, Option<f64>)], gens: u64, planned: u64| {
+            let Some(path) = ctl.checkpoint_path() else {
+                return Ok(());
+            };
+            let mut ck = Checkpoint::new("engine");
+            ck.set_meta("model", workload.name());
+            ck.set_meta("budget", &self.budget.name);
+            ck.set_meta("goal", self.goal_label());
+            ck.set_meta("max_pus", &self.max_pus.to_string());
+            ck.set_meta("max_segments", &self.max_segments.to_string());
+            ck.set_meta("segmenter", self.segmenter.name());
+            ck.set_meta("energy_model", &format!("{:016x}", cache.model_fingerprint()));
+            ck.set_meta("gens_done", &gens.to_string());
+            ck.set_meta("planned_gens", &planned.to_string());
+            ck.push_section(
+                "shapes",
+                results.iter().map(|&(c, m)| shape_line(c, m)).collect(),
+            );
+            ck.push_section("cache", cache.export_lines());
+            ck.save(path)
+        };
+
+        let chunks: Vec<&[(usize, usize)]> = shapes.chunks(GENERATION).collect();
+        let planned = chunks.len() as u64;
+        let mut gens = 0u64;
+        let mut done_shapes = 0usize;
+        let mut partial: Option<Partial> = None;
+        for chunk in &chunks {
+            if done_shapes + chunk.len() <= results.len() {
+                // Restored from the checkpoint (saves happen only at
+                // generation boundaries, so restored results cover whole
+                // chunks).
+                done_shapes += chunk.len();
+                gens += 1;
+                continue;
+            }
+            if let Some(reason) = ctl.should_stop(gens) {
+                save(&results, gens, planned)?;
+                partial = Some(Partial {
+                    completed_gens: gens,
+                    planned_gens: planned,
+                    reason,
+                });
+                break;
+            }
+            let evals = pool.par_map(chunk, |_, sh| eval_shape(sh));
+            for (counted, candidate) in evals {
+                results.push((counted, candidate.map(|(m, _, _)| m)));
+            }
+            done_shapes = results.len();
+            gens += 1;
+            if ctl.should_checkpoint(gens) {
+                save(&results, gens, planned)?;
+            }
+        }
+        if partial.is_none() {
+            save(&results, gens, planned)?;
+        }
+
+        // Fold in enumeration order with a strict `<`: same winner and
+        // tie-breaks as the serial sweep.
+        let mut best: Option<(f64, usize)> = None;
         let mut explored = 0;
-        for (counted, candidate) in evals {
-            explored += counted as usize;
-            if let Some((metric, design, report)) = candidate {
-                if best.as_ref().is_none_or(|(m, _, _)| metric < *m) {
-                    best = Some((metric, design, report));
+        for (i, (counted, metric)) in results.iter().enumerate() {
+            explored += *counted as usize;
+            if let Some(m) = metric {
+                if best.as_ref().is_none_or(|(bm, _)| *m < *bm) {
+                    best = Some((*m, i));
                 }
             }
         }
         if obs::enabled() {
             // Progress event for the (N, S) sweep plus the shared cache's
             // end-of-search statistics.
-            obs::add("engine.shapes_swept", shapes.len() as u64);
+            obs::add("engine.shapes_swept", results.len() as u64);
             obs::add("engine.shapes_feasible", explored as u64);
             obs::event(
                 "engine.sweep",
                 &[
                     ("model", workload.name().into()),
-                    ("shapes", shapes.len().into()),
+                    ("shapes", results.len().into()),
                     ("feasible", explored.into()),
                     ("found", best.is_some().into()),
+                    ("complete", partial.is_none().into()),
                 ],
             );
             cache.stats().publish("engine.cache");
         }
-        match best {
-            Some((_, design, report)) => Ok(AutoSegOutcome {
-                design,
-                report,
-                workload,
-                explored,
-            }),
-            None => Err(AutoSegError::NoFeasibleDesign {
-                budget: self.budget.name.clone(),
-                model: workload.name().to_string(),
-            }),
-        }
+        let outcome = match best {
+            Some((metric, idx)) => {
+                let (_, candidate) = eval_shape(&shapes[idx]);
+                match candidate {
+                    Some((m, design, report)) => {
+                        debug_assert_eq!(m.to_bits(), metric.to_bits());
+                        Some(AutoSegOutcome {
+                            design,
+                            report,
+                            workload,
+                            explored,
+                        })
+                    }
+                    // A recorded metric for a shape that does not evaluate
+                    // feasible can only come from a checkpoint that lies.
+                    None => {
+                        return Err(CheckpointError::Corrupt {
+                            path: "shapes-section".into(),
+                            reason: "recorded metric for an infeasible shape".into(),
+                        }
+                        .into())
+                    }
+                }
+            }
+            None => None,
+        };
+        Ok(AnytimeOutcome {
+            outcome,
+            status: match partial {
+                Some(p) => RunStatus::Partial(p),
+                None => RunStatus::Complete,
+            },
+        })
     }
 }
 
@@ -286,6 +506,81 @@ mod tests {
         b.pes = 1;
         let err = AutoSeg::new(b).run(&zoo::squeezenet1_0()).unwrap_err();
         assert!(matches!(err, AutoSegError::NoFeasibleDesign { .. }));
+    }
+
+    #[test]
+    fn anytime_none_ctl_matches_plain_run() {
+        let budget = HwBudget::nvdla_small();
+        let eng = AutoSeg::new(budget).max_pus(3).max_segments(4).threads(2);
+        let plain = eng.run(&zoo::squeezenet1_0()).unwrap();
+        let any = eng
+            .run_ctl(&zoo::squeezenet1_0(), &RunCtl::none())
+            .unwrap();
+        assert!(any.status.is_complete());
+        let out = any.outcome.expect("feasible");
+        assert_eq!(out.design, plain.design);
+        assert_eq!(out.explored, plain.explored);
+        assert_eq!(out.report.cycles, plain.report.cycles);
+    }
+
+    #[test]
+    fn engine_kill_and_resume_is_bit_identical() {
+        let budget = HwBudget::nvdla_small();
+        let eng = AutoSeg::new(budget).max_pus(4).max_segments(6).threads(2);
+        let full = eng.run(&zoo::squeezenet1_0()).unwrap();
+        let dir = std::env::temp_dir().join("spa_engine_resume_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let ckpt = dir.join("engine.ckpt");
+        let cut = eng
+            .run_ctl(
+                &zoo::squeezenet1_0(),
+                &RunCtl::none().stop_after_gens(1).checkpoint(&ckpt, 1),
+            )
+            .unwrap();
+        assert!(!cut.status.is_complete(), "one generation cannot finish");
+        let resumed = eng
+            .run_ctl(&zoo::squeezenet1_0(), &RunCtl::none().resume(&ckpt))
+            .unwrap();
+        assert!(resumed.status.is_complete());
+        let out = resumed.outcome.expect("feasible");
+        assert_eq!(out.design, full.design, "kill+resume == uninterrupted");
+        assert_eq!(out.explored, full.explored);
+        assert_eq!(out.report.cycles, full.report.cycles);
+        // Resuming under a different goal is a typed mismatch.
+        let err = AutoSeg::new(HwBudget::nvdla_small())
+            .design_goal(DesignGoal::Throughput)
+            .max_pus(4)
+            .max_segments(6)
+            .threads(2)
+            .run_ctl(&zoo::squeezenet1_0(), &RunCtl::none().resume(&ckpt))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                AutoSegError::Checkpoint(CheckpointError::Mismatch { key, .. }) if key == "goal"
+            ),
+            "got {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_budget_partial_has_no_outcome() {
+        let budget = HwBudget::nvdla_small();
+        let any = AutoSeg::new(budget)
+            .max_pus(3)
+            .max_segments(4)
+            .threads(1)
+            .run_ctl(&zoo::squeezenet1_0(), &RunCtl::none().stop_after_gens(0))
+            .unwrap();
+        match any.status {
+            RunStatus::Partial(p) => {
+                assert_eq!(p.completed_gens, 0);
+                assert!(p.planned_gens > 0);
+            }
+            RunStatus::Complete => panic!("a zero budget cannot complete"),
+        }
+        assert!(any.outcome.is_none());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error type of the co-design engine.
 
+use crate::dse::checkpoint::CheckpointError;
 use nnmodel::ValidateError;
 use spa_arch::{BudgetError, ScheduleError};
 use std::fmt;
@@ -34,6 +35,10 @@ pub enum AutoSegError {
         /// Items available.
         items: usize,
     },
+    /// Saving, loading or validating an anytime-search checkpoint failed
+    /// (I/O, corruption/torn write, version skew, or a resume whose
+    /// configuration does not match the checkpoint).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for AutoSegError {
@@ -54,6 +59,7 @@ impl fmt::Display for AutoSegError {
                 f,
                 "cannot place {items} items on {n_pus} PUs x {n_segments} segments"
             ),
+            AutoSegError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -64,8 +70,15 @@ impl std::error::Error for AutoSegError {
             AutoSegError::InvalidSchedule(e) => Some(e),
             AutoSegError::InvalidModel(e) => Some(e),
             AutoSegError::InvalidBudget(e) => Some(e),
+            AutoSegError::Checkpoint(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CheckpointError> for AutoSegError {
+    fn from(e: CheckpointError) -> Self {
+        AutoSegError::Checkpoint(e)
     }
 }
 

@@ -20,6 +20,18 @@
 //! The [`AutoSeg`] entry point enumerates `(N PUs, S segments)`
 //! combinations, runs both steps and keeps the best design under the goal.
 //!
+//! # Anytime execution
+//!
+//! Every long-running search (the engine sweep, the [`codesign`]
+//! baselines, [`multi::design_multi_ctl`] and [`generality::remap_ctl`])
+//! also comes in a ctl-aware variant driven by a [`RunCtl`]: cooperative
+//! deadlines and generation budgets (a typed [`RunStatus::Partial`] with
+//! the best-so-far result instead of lost work), periodic versioned
+//! [`Checkpoint`]s, and `--resume` that reconstructs optimizer state by
+//! transcript replay so an interrupted-then-resumed search is
+//! bit-identical to an uninterrupted one. See [`dse::control`] and
+//! [`dse::checkpoint`].
+//!
 //! # Example
 //!
 //! ```
@@ -48,5 +60,7 @@ pub mod generality;
 pub mod multi;
 pub mod segment;
 
-pub use engine::{AutoSeg, AutoSegOutcome, DesignGoal};
+pub use dse::checkpoint::{Checkpoint, CheckpointError};
+pub use dse::control::{Partial, RunCtl, RunStatus, StopReason};
+pub use engine::{AnytimeOutcome, AutoSeg, AutoSegOutcome, DesignGoal};
 pub use error::AutoSegError;

@@ -1,0 +1,204 @@
+//! The fault-injection matrix: every scripted fault point either
+//! recovers transparently (bit-identical results, `fault.recovered`
+//! recorded) or surfaces as a typed error / typed partial — never a
+//! panic, never a silently wrong result.
+//!
+//! Fault points exercised end to end:
+//!
+//! * `dse.worker`  — a pool worker dies mid-sweep; abandoned candidates
+//!   are re-evaluated inline after the join.
+//! * `cache.poison` — a cost-cache shard mutex is poisoned as a crashed
+//!   thread would leave it; lookups and inserts recover via
+//!   `into_inner`.
+//! * `ckpt.torn`   — a checkpoint write is cut short mid-file; the torn
+//!   file is detected at load as a typed `Corrupt`, and a clean re-run
+//!   heals it.
+//! * `obs.sink`    — the telemetry sink fails to write; it degrades to
+//!   dropping lines (counted) and the search is undisturbed.
+//!
+//! Fault plans and the `obs` level are process-global, so every test
+//! holds [`faultsim::exclusive`] for its whole body.
+
+use autoseg::codesign::{run_codesign, CodesignBudgets, CodesignRun, Method};
+use autoseg::{AutoSegError, CheckpointError, RunCtl, RunStatus, StopReason};
+use nnmodel::zoo;
+use spa_arch::HwBudget;
+use std::time::Duration;
+
+fn budgets(threads: usize) -> CodesignBudgets {
+    CodesignBudgets {
+        hw_iters: 24,
+        seg_iters: 32,
+        seed: 5,
+        threads,
+    }
+}
+
+fn run(method: Method, threads: usize, ctl: &RunCtl) -> Result<CodesignRun, AutoSegError> {
+    run_codesign(
+        &zoo::alexnet_conv(),
+        &HwBudget::nvdla_small(),
+        &budgets(threads),
+        method,
+        ctl,
+    )
+}
+
+fn ckpt_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("spa_fault_matrix");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{tag}.ckpt"))
+}
+
+#[test]
+fn worker_death_at_every_index_recovers_bit_identically() {
+    let _x = faultsim::exclusive();
+    obs::set_sink_memory();
+    obs::set_level(obs::Level::Summary);
+    obs::reset();
+    let clean = run(Method::MipBaye, 4, &RunCtl::none()).unwrap();
+    faultsim::arm("dse.worker@*").expect("plan parses");
+    let faulted = run(Method::MipBaye, 4, &RunCtl::none()).unwrap();
+    let injected = faultsim::injected_count();
+    faultsim::disarm();
+    assert!(faulted.status.is_complete());
+    assert_eq!(
+        faulted.points, clean.points,
+        "worker deaths changed the point cloud"
+    );
+    assert!(injected > 0, "the fault plan never fired");
+    let report = obs::snapshot();
+    assert!(report.counter("fault.injected").unwrap_or(0) > 0);
+    assert!(report.counter("fault.recovered").unwrap_or(0) > 0);
+    obs::set_level(obs::Level::Off);
+}
+
+#[test]
+fn cache_poison_recovers_and_results_stay_correct() {
+    let _x = faultsim::exclusive();
+    obs::set_sink_memory();
+    obs::set_level(obs::Level::Summary);
+    obs::reset();
+    let clean = run(Method::MipHeuristic, 2, &RunCtl::none()).unwrap();
+    faultsim::arm("cache.poison@3").expect("plan parses");
+    let faulted = run(Method::MipHeuristic, 2, &RunCtl::none()).unwrap();
+    let injected = faultsim::injected_count();
+    faultsim::disarm();
+    assert_eq!(
+        faulted.points, clean.points,
+        "a poisoned cache shard changed results"
+    );
+    assert_eq!(injected, 1, "exactly the third miss poisons");
+    let report = obs::snapshot();
+    assert!(report.counter("fault.injected").unwrap_or(0) >= 1);
+    assert!(report.counter("fault.recovered").unwrap_or(0) >= 1);
+    obs::set_level(obs::Level::Off);
+}
+
+#[test]
+fn torn_checkpoint_write_yields_typed_error_not_panic() {
+    let _x = faultsim::exclusive();
+    obs::set_sink_memory();
+    obs::set_level(obs::Level::Summary);
+    obs::reset();
+    let ckpt = ckpt_path("torn");
+    let full = run(Method::MipBaye, 2, &RunCtl::none()).unwrap();
+
+    // Every checkpoint write in this run is torn mid-file.
+    faultsim::arm("ckpt.torn@*").expect("plan parses");
+    let cut = run(
+        Method::MipBaye,
+        2,
+        &RunCtl::none().stop_after_gens(1).checkpoint(&ckpt, 1),
+    )
+    .unwrap();
+    let injected = faultsim::injected_count();
+    faultsim::disarm();
+    assert!(!cut.status.is_complete());
+    assert!(injected >= 1, "no torn write was injected");
+    assert!(
+        obs::snapshot().counter("fault.injected").unwrap_or(0) >= 1,
+        "injections must be observable"
+    );
+
+    // The torn file is detected at load — a typed Corrupt, not garbage
+    // results and not a panic.
+    let err = run(Method::MipBaye, 2, &RunCtl::none().resume(&ckpt)).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            AutoSegError::Checkpoint(CheckpointError::Corrupt { .. })
+        ),
+        "got {err}"
+    );
+
+    // A clean re-run overwrites the torn file and resume works again.
+    let cut = run(
+        Method::MipBaye,
+        2,
+        &RunCtl::none().stop_after_gens(1).checkpoint(&ckpt, 1),
+    )
+    .unwrap();
+    assert!(!cut.status.is_complete());
+    let resumed = run(Method::MipBaye, 2, &RunCtl::none().resume(&ckpt)).unwrap();
+    assert!(resumed.status.is_complete());
+    assert_eq!(resumed.points, full.points, "healed resume == uninterrupted");
+    let _ = std::fs::remove_file(&ckpt);
+    obs::set_level(obs::Level::Off);
+}
+
+#[test]
+fn sink_failure_never_disturbs_the_search() {
+    let _x = faultsim::exclusive();
+    obs::set_sink_memory();
+    obs::set_level(obs::Level::Summary);
+    obs::reset();
+    // MipBaye emits `codesign.generation` events, so the faulted run is
+    // guaranteed to exercise the sink.
+    let clean = run(Method::MipBaye, 2, &RunCtl::none()).unwrap();
+    let _ = obs::take_memory_lines();
+    let before = obs::sink_errors();
+    faultsim::arm("obs.sink@1").expect("plan parses");
+    let faulted = run(Method::MipBaye, 2, &RunCtl::none()).unwrap();
+    faultsim::disarm();
+    assert_eq!(
+        faulted.points, clean.points,
+        "a dead telemetry sink changed results"
+    );
+    assert!(
+        obs::sink_errors() > before,
+        "the sink failure must be counted"
+    );
+    obs::set_level(obs::Level::Off);
+}
+
+#[test]
+fn deadline_stop_is_a_typed_partial_never_a_panic() {
+    let _x = faultsim::exclusive();
+    // An already-expired deadline: cooperative stop before any work.
+    let cut = run(
+        Method::MipBaye,
+        2,
+        &RunCtl::none().deadline(Duration::ZERO),
+    )
+    .unwrap();
+    match cut.status {
+        RunStatus::Partial(p) => {
+            assert_eq!(p.completed_gens, 0);
+            assert_eq!(p.reason, StopReason::Deadline);
+            assert!(p.planned_gens > 0);
+        }
+        RunStatus::Complete => panic!("an expired deadline cannot complete"),
+    }
+    assert!(cut.points.is_empty());
+    // A generous deadline changes nothing.
+    let clean = run(Method::MipBaye, 2, &RunCtl::none()).unwrap();
+    let relaxed = run(
+        Method::MipBaye,
+        2,
+        &RunCtl::none().deadline(Duration::from_secs(3600)),
+    )
+    .unwrap();
+    assert!(relaxed.status.is_complete());
+    assert_eq!(relaxed.points, clean.points);
+}

@@ -73,7 +73,7 @@ fn tracing_on_vs_off_is_bit_identical() {
         // MILP solver, so mip.* counters stay 0 here; the pipeline
         // simulator behind every latency probe does fire.
         assert!(report.counter("spa.pipeline.segments").unwrap_or(0) > 0);
-        assert!(report.span("codesign.mip_heuristic").is_some());
+        assert!(report.span("codesign.run").is_some());
         let lines = obs::take_memory_lines();
         assert!(
             lines.iter().any(|l| l.contains("codesign.generation")),

@@ -1,0 +1,217 @@
+//! The anytime contract, end to end: killing a search at an arbitrary
+//! generation and resuming it from its checkpoint produces **bit-identical**
+//! results to the uninterrupted run — for every co-design method, any
+//! thread count, and the engine sweep. This is the acceptance criterion
+//! of the checkpoint/resume subsystem; if any piece of optimizer state
+//! (RNG stream position, TPE history, cost-cache contents, best-so-far
+//! points) were lost or reordered across the save/replay boundary, the
+//! resumed trajectory would diverge and these comparisons would fail.
+
+use autoseg::codesign::{run_codesign, CodesignBudgets, Method};
+use autoseg::{AutoSeg, AutoSegError, CheckpointError, RunCtl, RunStatus, StopReason};
+use nnmodel::zoo;
+use spa_arch::HwBudget;
+use std::path::PathBuf;
+
+fn budgets(threads: usize) -> CodesignBudgets {
+    CodesignBudgets {
+        hw_iters: 32,
+        seg_iters: 48,
+        seed: 9,
+        threads,
+    }
+}
+
+/// A scratch checkpoint path unique to one (test, combination) pair, so
+/// concurrently running tests never collide on disk.
+fn ckpt_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("spa_resume_equiv");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{tag}.ckpt"))
+}
+
+/// Kill a method's search after `kill` generations (checkpointing every
+/// generation), resume, and demand the final point cloud equal `expect`.
+fn kill_resume(
+    method: Method,
+    threads: usize,
+    kill: u64,
+    expect: &autoseg::codesign::CodesignRun,
+) {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let b = budgets(threads);
+    let ckpt = ckpt_path(&format!("{}_t{threads}_k{kill}", method.label()));
+    let cut = run_codesign(
+        &model,
+        &budget,
+        &b,
+        method,
+        &RunCtl::none().stop_after_gens(kill).checkpoint(&ckpt, 1),
+    )
+    .unwrap();
+    match cut.status {
+        RunStatus::Partial(p) => {
+            assert_eq!(p.completed_gens, kill, "{method} t={threads} k={kill}");
+            assert_eq!(p.reason, StopReason::GenBudget);
+            // The partial's points must be a prefix of the full run's.
+            assert_eq!(
+                cut.points[..],
+                expect.points[..cut.points.len()],
+                "{method} t={threads} k={kill}: partial is not a prefix"
+            );
+        }
+        RunStatus::Complete => panic!("{method}: kill at {kill} gens finished the whole search"),
+    }
+    let resumed = run_codesign(&model, &budget, &b, method, &RunCtl::none().resume(&ckpt)).unwrap();
+    assert!(resumed.status.is_complete());
+    assert_eq!(
+        resumed.points, expect.points,
+        "{method} t={threads} k={kill}: kill+resume != uninterrupted"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn optimizer_methods_survive_any_kill_point_at_any_thread_count() {
+    // The two methods with the most optimizer state to lose: TPE history
+    // plus RNG stream (MipBaye), and the nested bi-loop whose inner
+    // searches are seeded from global candidate indices (BayeBaye).
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    for method in [Method::MipBaye, Method::BayeBaye] {
+        let reference = run_codesign(&model, &budget, &budgets(1), method, &RunCtl::none()).unwrap();
+        assert!(reference.status.is_complete());
+        assert!(!reference.points.is_empty());
+        for threads in [1, 2, 4] {
+            // Thread-count invariance of the uninterrupted run…
+            let full =
+                run_codesign(&model, &budget, &budgets(threads), method, &RunCtl::none()).unwrap();
+            assert_eq!(full.points, reference.points, "{method} t={threads}");
+            // …and of every kill/resume split point.
+            for kill in [1, 2, 3] {
+                kill_resume(method, threads, kill, &reference);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_method_survives_kill_and_resume() {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    for method in Method::ALL {
+        let reference = run_codesign(&model, &budget, &budgets(2), method, &RunCtl::none()).unwrap();
+        kill_resume(method, 2, 1, &reference);
+    }
+}
+
+#[test]
+fn engine_sweep_survives_kill_and_resume() {
+    let budget = HwBudget::nvdla_small();
+    for threads in [1, 4] {
+        let eng = AutoSeg::new(budget.clone())
+            .max_pus(4)
+            .max_segments(6)
+            .threads(threads);
+        let full = eng.run(&zoo::squeezenet1_0()).unwrap();
+        let ckpt = ckpt_path(&format!("engine_t{threads}"));
+        let cut = eng
+            .run_ctl(
+                &zoo::squeezenet1_0(),
+                &RunCtl::none().stop_after_gens(1).checkpoint(&ckpt, 1),
+            )
+            .unwrap();
+        assert!(!cut.status.is_complete());
+        let resumed = eng
+            .run_ctl(&zoo::squeezenet1_0(), &RunCtl::none().resume(&ckpt))
+            .unwrap();
+        assert!(resumed.status.is_complete());
+        let out = resumed.outcome.expect("feasible");
+        assert_eq!(out.design, full.design, "t={threads}");
+        assert_eq!(out.explored, full.explored);
+        assert_eq!(out.report.cycles, full.report.cycles);
+        assert_eq!(
+            out.report.seconds.to_bits(),
+            full.report.seconds.to_bits(),
+            "t={threads}"
+        );
+        let _ = std::fs::remove_file(&ckpt);
+    }
+}
+
+#[test]
+fn resuming_a_finished_run_is_a_complete_noop() {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let b = budgets(2);
+    let ckpt = ckpt_path("finished");
+    let full = run_codesign(
+        &model,
+        &budget,
+        &b,
+        Method::MipBaye,
+        &RunCtl::none().checkpoint(&ckpt, 1),
+    )
+    .unwrap();
+    assert!(full.status.is_complete());
+    let resumed =
+        run_codesign(&model, &budget, &b, Method::MipBaye, &RunCtl::none().resume(&ckpt)).unwrap();
+    assert!(resumed.status.is_complete());
+    assert_eq!(resumed.points, full.points);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn resume_under_a_different_config_is_a_typed_mismatch() {
+    let model = zoo::alexnet_conv();
+    let budget = HwBudget::nvdla_small();
+    let b = budgets(2);
+    let ckpt = ckpt_path("mismatch");
+    let _ = run_codesign(
+        &model,
+        &budget,
+        &b,
+        Method::MipBaye,
+        &RunCtl::none().stop_after_gens(1).checkpoint(&ckpt, 1),
+    )
+    .unwrap();
+    // Wrong method.
+    let err = run_codesign(&model, &budget, &b, Method::MipAnneal, &RunCtl::none().resume(&ckpt))
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            AutoSegError::Checkpoint(CheckpointError::Mismatch { key, .. }) if key == "kind" || key == "method"
+        ),
+        "got {err}"
+    );
+    // Wrong iteration budget.
+    let other = CodesignBudgets {
+        hw_iters: 64,
+        ..b
+    };
+    let err = run_codesign(&model, &budget, &other, Method::MipBaye, &RunCtl::none().resume(&ckpt))
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            AutoSegError::Checkpoint(CheckpointError::Mismatch { key, .. }) if key == "hw_iters"
+        ),
+        "got {err}"
+    );
+    // Missing file is a typed I/O error, not a panic.
+    let err = run_codesign(
+        &model,
+        &budget,
+        &b,
+        Method::MipBaye,
+        &RunCtl::none().resume(std::env::temp_dir().join("spa_resume_equiv/definitely_absent.ckpt")),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, AutoSegError::Checkpoint(CheckpointError::Io { .. })),
+        "got {err}"
+    );
+    let _ = std::fs::remove_file(&ckpt);
+}

@@ -352,6 +352,176 @@ impl Optimizer for SimulatedAnnealing {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Transcripts: serializable optimizer state via deterministic replay
+// ---------------------------------------------------------------------------
+
+/// Why a [`Transcript`] could not be applied to an optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranscriptError {
+    /// During replay the optimizer proposed a different batch than the
+    /// transcript recorded — the seed, space, or optimizer kind differs
+    /// from the recording run.
+    Diverged {
+        /// 0-based generation where the first mismatch appeared.
+        gen: usize,
+    },
+    /// A serialized transcript line did not parse.
+    Parse {
+        /// The offending line.
+        line: String,
+    },
+}
+
+impl std::fmt::Display for TranscriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranscriptError::Diverged { gen } => write!(
+                f,
+                "transcript replay diverged at generation {gen}: the optimizer \
+                 (seed/space/kind) does not match the recording run"
+            ),
+            TranscriptError::Parse { line } => {
+                write!(f, "bad transcript line {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranscriptError {}
+
+/// A recorded ask/tell history: the exact `(point, value)` batches an
+/// optimizer was fed, one entry per generation.
+///
+/// Optimizers here own an `StdRng`, whose internal state has no stable
+/// serialized form — so checkpoints do not store optimizer state at all.
+/// They store the transcript, and [`Transcript::replay`] rebuilds the
+/// optimizer by re-running the recorded ask/tell rounds against a fresh
+/// instance with the same seed: `suggest_batch` deterministically re-draws
+/// the recorded suggestions (advancing the RNG to the same stream
+/// position) and `observe_batch` re-feeds the recorded values. Replay
+/// *verifies* each re-asked batch against the recording and reports
+/// [`TranscriptError::Diverged`] on any mismatch, so a checkpoint from a
+/// different seed or search space cannot silently resume the wrong run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Transcript {
+    gens: Vec<Vec<(Vec<usize>, f64)>>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one completed generation (the batch as observed).
+    pub fn push_gen(&mut self, gen: Vec<(Vec<usize>, f64)>) {
+        self.gens.push(gen);
+    }
+
+    /// Number of recorded generations.
+    pub fn gens(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.gens.is_empty()
+    }
+
+    /// Total recorded evaluations across all generations.
+    pub fn evals(&self) -> usize {
+        self.gens.iter().map(Vec::len).sum()
+    }
+
+    /// Re-runs the recorded generations against `opt` (a fresh optimizer
+    /// constructed exactly as the recording run constructed its own),
+    /// restoring its RNG stream position and observation history.
+    pub fn replay(&self, opt: &mut dyn Optimizer) -> Result<(), TranscriptError> {
+        for (g, gen) in self.gens.iter().enumerate() {
+            let asked = opt.suggest_batch(gen.len());
+            let recorded: Vec<&Vec<usize>> = gen.iter().map(|(p, _)| p).collect();
+            if asked.iter().collect::<Vec<_>>() != recorded {
+                return Err(TranscriptError::Diverged { gen: g });
+            }
+            opt.observe_batch(gen.clone());
+        }
+        Ok(())
+    }
+
+    /// Serializes to checkpoint lines: `gen <k>` opens a generation of
+    /// `k` observations, each `ob <f64-bits-hex> <i0> <i1> ...`. Values
+    /// round-trip bit-exactly (IEEE bits, not decimal).
+    pub fn to_lines(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.gens.len() + self.evals());
+        for gen in &self.gens {
+            out.push(format!("gen {}", gen.len()));
+            for (p, v) in gen {
+                let mut line = format!("ob {:016x}", v.to_bits());
+                for x in p {
+                    line.push(' ');
+                    line.push_str(&x.to_string());
+                }
+                out.push(line);
+            }
+        }
+        out
+    }
+
+    /// Parses lines produced by [`Transcript::to_lines`].
+    pub fn from_lines<'a, I: IntoIterator<Item = &'a str>>(
+        lines: I,
+    ) -> Result<Self, TranscriptError> {
+        let bad = |line: &str| TranscriptError::Parse {
+            line: line.to_string(),
+        };
+        let mut gens: Vec<Vec<(Vec<usize>, f64)>> = Vec::new();
+        let mut remaining = 0usize;
+        for line in lines {
+            let mut parts = line.split_ascii_whitespace();
+            match parts.next() {
+                Some("gen") => {
+                    if remaining != 0 {
+                        return Err(bad(line));
+                    }
+                    let k: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad(line))?;
+                    remaining = k;
+                    gens.push(Vec::with_capacity(k));
+                }
+                Some("ob") => {
+                    if remaining == 0 {
+                        return Err(bad(line));
+                    }
+                    let bits = parts
+                        .next()
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .ok_or_else(|| bad(line))?;
+                    let mut point = Vec::new();
+                    for tok in parts {
+                        point.push(tok.parse::<usize>().map_err(|_| bad(line))?);
+                    }
+                    if point.is_empty() {
+                        return Err(bad(line));
+                    }
+                    let gen = gens.last_mut().expect("remaining > 0 implies an open gen");
+                    gen.push((point, f64::from_bits(bits)));
+                    remaining -= 1;
+                }
+                _ => return Err(bad(line)),
+            }
+        }
+        if remaining != 0 {
+            return Err(TranscriptError::Parse {
+                line: "<truncated: open generation>".to_string(),
+            });
+        }
+        Ok(Self { gens })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,5 +712,124 @@ mod tests {
     fn space_size_saturates() {
         let s = SearchSpace::new(vec![usize::MAX, 2]);
         assert_eq!(s.size(), usize::MAX);
+    }
+
+    /// Runs `gens` generation-batched rounds, recording a transcript.
+    fn run_recorded(opt: &mut dyn Optimizer, gens: usize, k: usize) -> Transcript {
+        let mut tr = Transcript::new();
+        for _ in 0..gens {
+            let batch = opt.suggest_batch(k);
+            let scored: Vec<(Vec<usize>, f64)> = batch
+                .into_iter()
+                .map(|p| {
+                    let v = quad(&p);
+                    (p, v)
+                })
+                .collect();
+            opt.observe_batch(scored.clone());
+            tr.push_gen(scored);
+        }
+        tr
+    }
+
+    #[test]
+    fn replay_restores_the_exact_suggestion_stream() {
+        for seed in [1u64, 7, 42] {
+            let space = SearchSpace::new(vec![48, 48]);
+            // Uninterrupted: 9 generations straight through.
+            let mut full = Tpe::new(space.clone(), seed);
+            let tr_full = run_recorded(&mut full, 9, 6);
+            // Interrupted after 5 generations, resumed via replay.
+            let mut first = Tpe::new(space.clone(), seed);
+            let tr_first = run_recorded(&mut first, 5, 6);
+            let mut resumed = Tpe::new(space.clone(), seed);
+            tr_first.replay(&mut resumed).expect("replay matches");
+            let tr_rest = run_recorded(&mut resumed, 4, 6);
+            // The resumed run's generations 5..9 are bit-identical to the
+            // uninterrupted run's.
+            let mut joined = tr_first.clone();
+            for g in 0..tr_rest.gens() {
+                joined.push_gen(tr_rest.gens[g].clone());
+            }
+            assert_eq!(joined, tr_full, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn replay_works_for_every_optimizer_kind() {
+        let space = SearchSpace::new(vec![32, 32]);
+        let fresh: [(&str, Box<dyn Fn() -> Box<dyn Optimizer>>); 3] = [
+            ("random", {
+                let s = space.clone();
+                Box::new(move || Box::new(RandomSearch::new(s.clone(), 3)))
+            }),
+            ("tpe", {
+                let s = space.clone();
+                Box::new(move || Box::new(Tpe::new(s.clone(), 3)))
+            }),
+            ("anneal", {
+                let s = space.clone();
+                Box::new(move || Box::new(SimulatedAnnealing::new(s.clone(), 3)))
+            }),
+        ];
+        for (name, mk) in &fresh {
+            let mut a = mk();
+            let tr = run_recorded(a.as_mut(), 6, 4);
+            let mut b = mk();
+            tr.replay(b.as_mut()).expect(name);
+            // Both must now propose the same next batch.
+            assert_eq!(a.suggest_batch(4), b.suggest_batch(4), "{name}");
+        }
+    }
+
+    #[test]
+    fn replay_detects_wrong_seed() {
+        let space = SearchSpace::new(vec![32, 32]);
+        let mut a = Tpe::new(space.clone(), 1);
+        let tr = run_recorded(&mut a, 3, 5);
+        let mut wrong = Tpe::new(space, 2);
+        assert_eq!(tr.replay(&mut wrong), Err(TranscriptError::Diverged { gen: 0 }));
+    }
+
+    #[test]
+    fn transcript_lines_round_trip_bit_exactly() {
+        let mut tr = Transcript::new();
+        tr.push_gen(vec![
+            (vec![1, 2, 3], 0.1 + 0.2), // not exactly representable
+            (vec![0, 0, 31], f64::INFINITY),
+        ]);
+        tr.push_gen(vec![(vec![7], -0.0)]);
+        let lines = tr.to_lines();
+        let owned: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let back = Transcript::from_lines(owned).expect("parses");
+        assert_eq!(back, tr);
+        assert_eq!(back.evals(), 3);
+        assert_eq!(
+            back.gens[0][1].1,
+            f64::INFINITY,
+            "infeasible markers survive"
+        );
+        assert!(back.gens[1][0].1.to_bits() == (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn transcript_parse_errors_are_typed() {
+        for bad in [
+            vec!["ob 0 1"],            // observation outside a generation
+            vec!["gen 1", "gen 1"],    // generation opened while one is short
+            vec!["gen 1", "ob zz 1"],  // bad value bits
+            vec!["gen 1", "ob 0"],     // empty point
+            vec!["gen 1"],             // truncated
+            vec!["bogus"],             // unknown tag
+        ] {
+            assert!(
+                matches!(
+                    Transcript::from_lines(bad.clone()),
+                    Err(TranscriptError::Parse { .. })
+                ),
+                "{bad:?}"
+            );
+        }
+        assert_eq!(Transcript::from_lines([]), Ok(Transcript::new()));
     }
 }

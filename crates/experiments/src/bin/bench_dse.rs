@@ -6,41 +6,105 @@
 //!
 //! ```text
 //! cargo run --release -p experiments --bin bench_dse -- \
-//!     [--threads 8] [--hw-iters 200] [--seg-iters 400] [--seed 7] [--model alexnet_conv]
+//!     [--threads 8] [--hw-iters 200] [--seg-iters 400] [--seed 7] [--model alexnet_conv] \
+//!     [--deadline MS] [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
 //! ```
 //!
 //! `DSE_SMOKE=1` shrinks the iteration budgets for CI smoke runs;
 //! `OBS_LEVEL=summary OBS_OUT=results/obs/bench_dse.jsonl` additionally
-//! traces the run.
+//! traces the run. `DSE_DEADLINE_MS` / `--deadline` turn the benchmark
+//! into an anytime run (each leg gets its own budget from its start);
+//! `--checkpoint`/`--resume` persist and restore per-method search state
+//! (the method label is appended to the path). `FAULT_PLAN` arms the
+//! deterministic fault-injection points (see `crates/faultsim`); every
+//! injected fault is listed in the JSON report.
 
-use autoseg::codesign::{
-    baye_baye_with, mip_baye_with, mip_heuristic_with, CodesignBudgets, DesignPoint,
-};
+use autoseg::codesign::{run_codesign_with, CodesignBudgets, DesignPoint, Method};
 use autoseg::dse::{default_threads, DsePool};
+use autoseg::RunCtl;
 use experiments::{codesign_budgets, flag_parse, flag_value, write_text, JsonObj};
 use nnmodel::zoo;
 use pucost::EvalCache;
 use spa_arch::HwBudget;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The benchmark's method mix: the heuristic plus the two
+/// optimizer-backed searches with the most executor traffic.
+const METHODS: [Method; 3] = [Method::MipHeuristic, Method::MipBaye, Method::BayeBaye];
+
+/// Anytime-execution options from the CLI (`--deadline` in milliseconds,
+/// `--checkpoint`/`--resume` as base paths that get `.{method}` appended
+/// so the three legs never clobber each other's state).
+struct Anytime {
+    deadline_ms: Option<u64>,
+    checkpoint: Option<String>,
+    every: u64,
+    resume: Option<String>,
+}
+
+impl Anytime {
+    fn from_flags() -> Self {
+        Anytime {
+            deadline_ms: flag_value("deadline")
+                .map(|v| v.parse().unwrap_or_else(|_| panic!("--deadline: cannot parse {v:?}"))),
+            checkpoint: flag_value("checkpoint"),
+            every: flag_parse("checkpoint-every", 1),
+            resume: flag_value("resume"),
+        }
+    }
+
+    /// The per-leg policy. The deadline is taken from the leg's start so
+    /// serial and parallel runs get equal budgets.
+    fn ctl(&self, method: Method) -> RunCtl {
+        let mut ctl = RunCtl::none().deadline_from_env();
+        if let Some(ms) = self.deadline_ms {
+            ctl = ctl.deadline(Duration::from_millis(ms));
+        }
+        if let Some(base) = &self.checkpoint {
+            ctl = ctl.checkpoint(format!("{base}.{method}"), self.every);
+        }
+        if let Some(base) = &self.resume {
+            ctl = ctl.resume(format!("{base}.{method}"));
+        }
+        ctl
+    }
+}
 
 /// One full co-design workload on a given pool; every method shares one
-/// cache, as the engine wiring does.
+/// cache, as the engine wiring does. The `bool` is `true` when every leg
+/// ran to completion (no deadline / generation-budget stop).
 fn run(
     model: &nnmodel::Graph,
     budget: &HwBudget,
     iters: &CodesignBudgets,
     pool: &DsePool,
-) -> (Vec<DesignPoint>, EvalCache, f64) {
+    anytime: &Anytime,
+) -> (Vec<DesignPoint>, EvalCache, f64, bool) {
     let cache = EvalCache::default();
     let t0 = Instant::now();
-    let mut pts = mip_heuristic_with(model, budget, pool, &cache).expect("mip-heuristic");
-    pts.extend(mip_baye_with(model, budget, iters, pool, &cache).expect("mip-baye"));
-    pts.extend(baye_baye_with(model, budget, iters, pool, &cache).expect("baye-baye"));
+    let mut pts = Vec::new();
+    let mut complete = true;
+    for method in METHODS {
+        let r = run_codesign_with(model, budget, iters, method, pool, &cache, &anytime.ctl(method))
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+        complete &= r.status.is_complete();
+        pts.extend(r.points);
+    }
     let secs = t0.elapsed().as_secs_f64();
-    (pts, cache, secs)
+    (pts, cache, secs, complete)
 }
 
 fn main() {
+    // Scripted fault injection (the verify.sh robustness smoke): a
+    // malformed plan aborts before any work, a valid one arms the fault
+    // points exercised below.
+    let faults_armed = match faultsim::arm_from_env() {
+        Ok(armed) => armed,
+        Err(e) => {
+            eprintln!("FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    };
     let model_name = flag_value("model").unwrap_or_else(|| "alexnet_conv".to_string());
     let model = zoo::by_name(&model_name).expect("zoo model");
     let budget = HwBudget::nvdla_small();
@@ -54,6 +118,7 @@ fn main() {
         0 => default_threads(),
         t => t,
     };
+    let anytime = Anytime::from_flags();
 
     println!("== DSE executor benchmark ==");
     println!(
@@ -61,18 +126,41 @@ fn main() {
         budget.name, iters.hw_iters, iters.seg_iters, iters.seed
     );
 
-    let (serial_pts, serial_cache, serial_s) = run(&model, &budget, &iters, &DsePool::new(1));
+    let (serial_pts, serial_cache, serial_s, serial_complete) =
+        run(&model, &budget, &iters, &DsePool::new(1), &anytime);
     println!("   serial   (1 thread):  {serial_s:>8.3} s, {} points", serial_pts.len());
-    let (par_pts, par_cache, parallel_s) = run(&model, &budget, &iters, &DsePool::new(threads));
+    let (par_pts, par_cache, parallel_s, par_complete) =
+        run(&model, &budget, &iters, &DsePool::new(threads), &anytime);
     println!("   parallel ({threads} threads): {parallel_s:>8.3} s, {} points", par_pts.len());
 
     // The executor's core contract: identical results for any thread
-    // count. A violation here is a bug, not a measurement artifact.
+    // count. A violation here is a bug, not a measurement artifact —
+    // unless a wall-clock deadline legitimately cut the two runs at
+    // different generations, in which case only completed runs compare.
+    let complete = serial_complete && par_complete;
     let deterministic = serial_pts == par_pts;
-    assert!(
-        deterministic,
-        "parallel search diverged from the serial reference"
-    );
+    if complete {
+        assert!(
+            deterministic,
+            "parallel search diverged from the serial reference"
+        );
+    } else {
+        println!("   anytime: partial run(s); skipping the determinism cross-check");
+    }
+    let fault_log = faultsim::injected();
+    if faults_armed {
+        println!(
+            "   faults: plan armed, {} injected{}",
+            fault_log.len(),
+            if fault_log.is_empty() { "" } else { ":" }
+        );
+        for f in fault_log.iter().take(8) {
+            println!("     {f}");
+        }
+        if fault_log.len() > 8 {
+            println!("     ... {} more (full list in BENCH_dse.json)", fault_log.len() - 8);
+        }
+    }
 
     let speedup = serial_s / parallel_s.max(1e-12);
     println!("   speedup: {speedup:.2}x");
@@ -112,6 +200,20 @@ fn main() {
         .raw("parallel_s", format!("{parallel_s:.6}"))
         .raw("speedup", format!("{speedup:.3}"))
         .raw("deterministic", deterministic.to_string())
+        .str("status", if complete { "complete" } else { "partial" })
+        .raw("faults_armed", faults_armed.to_string())
+        .raw("faults_injected", fault_log.len().to_string())
+        .raw(
+            "fault_log",
+            format!(
+                "[{}]",
+                fault_log
+                    .iter()
+                    .map(|f| format!("\"{f}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        )
         .raw("cache", cache_json.trim_end());
     // End-of-run obs report: rendered to stderr and embedded in the JSON
     // (null when OBS_LEVEL=off, the default).

@@ -1,0 +1,322 @@
+//! Golden-results regression harness.
+//!
+//! Re-runs the cheap, deterministic experiment binaries into a scratch
+//! directory and diffs every regenerated CSV against the checked-in
+//! copy under `results/`, cell by cell, with per-column numeric
+//! tolerances. A drift in any published number — a segmentation change,
+//! a cost-model tweak, an RNG regression — fails here with a
+//! `file:row:col` pointer at the first divergent cells instead of
+//! silently rewriting the paper's figures.
+//!
+//! Intentional changes are re-blessed, never hand-edited:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p experiments --test golden
+//! ```
+//!
+//! which copies the regenerated CSVs over `results/` (review the git
+//! diff afterwards).
+//!
+//! Binary resolution: under `cargo test` the `CARGO_BIN_EXE_*` env vars
+//! baked in at compile time point at the target dir. Cargo-less builds
+//! (the offline `scripts/offline_check.sh` harness) set `GOLDEN_BIN_DIR`
+//! to a directory holding `<name>` or `bin_<name>` executables. A binary
+//! that cannot be resolved either way is reported and skipped, so the
+//! suite degrades gracefully instead of failing on build-layout trivia.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// One experiment binary and the golden CSVs it regenerates.
+struct Case {
+    /// Binary name under `crates/experiments/src/bin/`.
+    bin: &'static str,
+    /// Compile-time cargo path for that binary, when building under cargo.
+    exe: Option<&'static str>,
+    /// CSV files (relative to `results/`) the binary writes.
+    csvs: &'static [&'static str],
+}
+
+/// The golden set: every binary here is deterministic and finishes in
+/// seconds (the expensive sweeps — fig12, fig18, the ablations — are
+/// exercised by their own smoke stages instead).
+const CASES: &[Case] = &[
+    Case {
+        bin: "fig02_roofline",
+        exe: option_env!("CARGO_BIN_EXE_fig02_roofline"),
+        csvs: &["fig02_ridge.csv", "fig02_roofline.csv"],
+    },
+    Case {
+        bin: "fig03_ctc_models",
+        exe: option_env!("CARGO_BIN_EXE_fig03_ctc_models"),
+        csvs: &["fig03_ctc_models.csv"],
+    },
+    Case {
+        bin: "fig04_ctc_squeezenet",
+        exe: option_env!("CARGO_BIN_EXE_fig04_ctc_squeezenet"),
+        csvs: &["fig04_per_layer_ctc.csv", "fig04_strategies.csv"],
+    },
+    Case {
+        bin: "fig05_ops_distribution",
+        exe: option_env!("CARGO_BIN_EXE_fig05_ops_distribution"),
+        csvs: &["fig05_ops_distribution.csv"],
+    },
+    Case {
+        bin: "fig13_mem_reduction",
+        exe: option_env!("CARGO_BIN_EXE_fig13_mem_reduction"),
+        csvs: &["fig13_mem_reduction.csv"],
+    },
+    Case {
+        bin: "fig19_dataflow",
+        exe: option_env!("CARGO_BIN_EXE_fig19_dataflow"),
+        csvs: &["fig19_dataflow.csv"],
+    },
+];
+
+/// Numeric comparison tolerance: cells agree when the strings match
+/// exactly, or both parse as floats within `abs + rel * |golden|`.
+#[derive(Clone, Copy)]
+struct Tol {
+    abs: f64,
+    rel: f64,
+}
+
+/// The default is deliberately tight: every experiment is bit-
+/// deterministic, so regenerated cells normally match *textually* and
+/// the tolerance only absorbs last-digit formatting wobble.
+const DEFAULT_TOL: Tol = Tol {
+    abs: 1e-9,
+    rel: 1e-6,
+};
+
+/// Per-`(file, column)` tolerance overrides for columns that are allowed
+/// to drift more (none today; the table is the extension point).
+const TOL_OVERRIDES: &[(&str, &str, Tol)] = &[];
+
+fn tol_for(file: &str, column: &str) -> Tol {
+    TOL_OVERRIDES
+        .iter()
+        .find(|(f, c, _)| *f == file && *c == column)
+        .map(|(_, _, t)| *t)
+        .unwrap_or(DEFAULT_TOL)
+}
+
+fn cells_match(golden: &str, got: &str, tol: Tol) -> bool {
+    if golden == got {
+        return true;
+    }
+    match (golden.parse::<f64>(), got.parse::<f64>()) {
+        (Ok(g), Ok(n)) => (g - n).abs() <= tol.abs + tol.rel * g.abs(),
+        _ => false,
+    }
+}
+
+/// Diffs one regenerated CSV against its golden copy. Returns
+/// `file:row:col` mismatch descriptions (1-based rows counting the
+/// header, so they match editor line numbers).
+fn diff_csv(file: &str, golden: &str, got: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let g_lines: Vec<&str> = golden.lines().collect();
+    let n_lines: Vec<&str> = got.lines().collect();
+    let header: Vec<&str> = g_lines.first().map(|h| h.split(',').collect()).unwrap_or_default();
+    if g_lines.first() != n_lines.first() {
+        out.push(format!(
+            "{file}:1: header changed: golden {:?}, regenerated {:?}",
+            g_lines.first().unwrap_or(&""),
+            n_lines.first().unwrap_or(&"")
+        ));
+        return out;
+    }
+    if g_lines.len() != n_lines.len() {
+        out.push(format!(
+            "{file}: row count changed: golden {}, regenerated {}",
+            g_lines.len().saturating_sub(1),
+            n_lines.len().saturating_sub(1)
+        ));
+    }
+    for (row, (g_row, n_row)) in g_lines.iter().zip(&n_lines).enumerate().skip(1) {
+        let g_cells: Vec<&str> = g_row.split(',').collect();
+        let n_cells: Vec<&str> = n_row.split(',').collect();
+        if g_cells.len() != n_cells.len() {
+            out.push(format!(
+                "{file}:{}: cell count changed: golden {}, regenerated {}",
+                row + 1,
+                g_cells.len(),
+                n_cells.len()
+            ));
+            continue;
+        }
+        for (col, (g_cell, n_cell)) in g_cells.iter().zip(&n_cells).enumerate() {
+            let name = header.get(col).copied().unwrap_or("?");
+            if !cells_match(g_cell, n_cell, tol_for(file, name)) {
+                out.push(format!(
+                    "{file}:{}:{} ({name}): golden {g_cell:?}, regenerated {n_cell:?}",
+                    row + 1,
+                    col + 1
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `<repo>/results`, the checked-in golden directory.
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Resolves a case's executable: cargo's compile-time path first, then
+/// `GOLDEN_BIN_DIR/<name>` / `GOLDEN_BIN_DIR/bin_<name>`.
+fn resolve_bin(case: &Case) -> Option<PathBuf> {
+    if let Some(exe) = case.exe {
+        let p = PathBuf::from(exe);
+        if p.exists() {
+            return Some(p);
+        }
+    }
+    let dir = PathBuf::from(std::env::var_os("GOLDEN_BIN_DIR")?);
+    for candidate in [dir.join(case.bin), dir.join(format!("bin_{}", case.bin))] {
+        if candidate.exists() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Runs one experiment binary into `out_dir` with the env knobs that
+/// could perturb results (smoke budgets, fault plans, deadlines)
+/// stripped, so the regeneration matches how the goldens were made.
+fn regenerate(exe: &Path, out_dir: &Path) -> Result<(), String> {
+    let status = Command::new(exe)
+        .env("SPA_RESULTS_DIR", out_dir)
+        .env_remove("DSE_SMOKE")
+        .env_remove("DSE_DEADLINE_MS")
+        .env_remove("FAULT_PLAN")
+        .env_remove("OBS_LEVEL")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .map_err(|e| format!("{}: spawn failed: {e}", exe.display()))?;
+    if !status.success() {
+        return Err(format!("{}: exited with {status}", exe.display()));
+    }
+    Ok(())
+}
+
+#[test]
+fn regenerated_csvs_match_goldens_within_tolerance() {
+    let golden = golden_dir();
+    let scratch = std::env::temp_dir().join(format!("spa_golden_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let bless = std::env::var("GOLDEN_BLESS").map(|v| v == "1").unwrap_or(false);
+
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut skipped = 0usize;
+    let mut blessed = 0usize;
+    for case in CASES {
+        let Some(exe) = resolve_bin(case) else {
+            eprintln!(
+                "golden: skipping {} (no cargo exe and no GOLDEN_BIN_DIR hit)",
+                case.bin
+            );
+            skipped += 1;
+            continue;
+        };
+        if let Err(e) = regenerate(&exe, &scratch) {
+            mismatches.push(e);
+            continue;
+        }
+        for csv in case.csvs {
+            let golden_path = golden.join(csv);
+            let new_path = scratch.join(csv);
+            let golden_text = match std::fs::read_to_string(&golden_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    mismatches.push(format!("{csv}: golden copy unreadable: {e}"));
+                    continue;
+                }
+            };
+            let new_text = match std::fs::read_to_string(&new_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    mismatches.push(format!("{csv}: {} did not produce it: {e}", case.bin));
+                    continue;
+                }
+            };
+            let diffs = diff_csv(csv, &golden_text, &new_text);
+            if !diffs.is_empty() && bless {
+                std::fs::copy(&new_path, &golden_path).expect("bless copy");
+                eprintln!("golden: blessed {csv} ({} cells drifted)", diffs.len());
+                blessed += 1;
+                continue;
+            }
+            mismatches.extend(diffs);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(
+        skipped < CASES.len(),
+        "golden: every binary was unresolvable — build the experiment \
+         binaries or point GOLDEN_BIN_DIR at them"
+    );
+    if blessed > 0 {
+        eprintln!("golden: {blessed} file(s) re-blessed; review `git diff results/`");
+    }
+    if !mismatches.is_empty() {
+        let mut msg = String::from(
+            "regenerated results drifted from the checked-in goldens \
+             (rerun with GOLDEN_BLESS=1 if the change is intended):\n",
+        );
+        for m in &mismatches {
+            let _ = writeln!(msg, "  {m}");
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn csv_differ_reports_precise_locations() {
+    let golden = "model,lat_ms,tag\na,1.0,x\nb,2.0,y\n";
+    // Identical text: clean.
+    assert!(diff_csv("f.csv", golden, golden).is_empty());
+    // Within tolerance: clean (1.0 vs 1.0000000001).
+    let close = "model,lat_ms,tag\na,1.0000000001,x\nb,2.0,y\n";
+    assert!(diff_csv("f.csv", golden, close).is_empty());
+    // A real numeric drift names file:row:col and the column.
+    let drift = "model,lat_ms,tag\na,1.5,x\nb,2.0,y\n";
+    let d = diff_csv("f.csv", golden, drift);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].starts_with("f.csv:2:2 (lat_ms):"), "{}", d[0]);
+    // Non-numeric cells must match exactly.
+    let retag = "model,lat_ms,tag\na,1.0,x\nb,2.0,z\n";
+    let d = diff_csv("f.csv", golden, retag);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].starts_with("f.csv:3:3 (tag):"), "{}", d[0]);
+    // Header changes short-circuit.
+    let newcol = "model,lat_ms,tag,extra\na,1.0,x,1\nb,2.0,y,2\n";
+    let d = diff_csv("f.csv", golden, newcol);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].contains("header changed"), "{}", d[0]);
+    // Row additions/removals are reported once, then rows compared.
+    let short = "model,lat_ms,tag\na,1.0,x\n";
+    let d = diff_csv("f.csv", golden, short);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].contains("row count changed"), "{}", d[0]);
+}
+
+#[test]
+fn tolerance_semantics() {
+    let t = DEFAULT_TOL;
+    assert!(cells_match("1.0", "1.0", t), "textual equality");
+    assert!(cells_match("-", "-", t), "non-numeric equality");
+    assert!(!cells_match("-", "0", t));
+    assert!(cells_match("100", "100.00005", t), "relative window");
+    assert!(!cells_match("100", "100.1", t));
+    assert!(cells_match("0", "0.0000000005", t), "absolute window at zero");
+    assert!(!cells_match("0", "0.001", t));
+    assert!(!cells_match("1.0", "nan", t), "NaN never matches");
+    // Overrides fall back to the default for unknown columns.
+    let d = tol_for("nope.csv", "nope");
+    assert_eq!(d.abs.to_bits(), DEFAULT_TOL.abs.to_bits());
+}

@@ -1,0 +1,415 @@
+//! Deterministic fault injection for the DSE stack.
+//!
+//! Production code plants named *fault points* ([`hit`] / [`hit_at`]) at
+//! the places where the search interacts with shared state or the outside
+//! world — a worker evaluating candidate K, a cache shard insert, a
+//! checkpoint file write, an observability sink flush. A fault point is a
+//! no-op (`false`, one relaxed atomic load) unless a *fault plan* has been
+//! armed, so the hooks are safe to leave in release builds.
+//!
+//! Tests and the `verify.sh` smoke stage arm a plan — via [`arm`] or the
+//! `FAULT_PLAN` environment variable ([`arm_from_env`]) — that scripts an
+//! exact failure schedule. The grammar (one or more comma-separated
+//! specs):
+//!
+//! ```text
+//! plan  := spec ("," spec)*
+//! spec  := name "#" K        fire when hit_at(name, idx) is called with idx == K
+//!        | name "@" N        fire on the N-th arrival at this point (1-based)
+//!        | name "@" N "+"    fire on the N-th and every later arrival
+//!        | name "@" "*"      fire on every arrival
+//! name  := [A-Za-z0-9._-]+   e.g. "dse.worker", "ckpt.torn", "obs.sink"
+//! ```
+//!
+//! `#K` triggers on the candidate *index*, which is derived from the work
+//! item and never from scheduling, so index-scripted faults fire on the
+//! same candidate at any thread count. `@N` triggers on arrival order and
+//! is meant for serial sites (checkpoint writes, sink writes) where
+//! arrival order is itself deterministic.
+//!
+//! Every firing is recorded; [`injected`] returns the log so tests and
+//! smoke stages can assert that the scripted faults actually happened.
+//! This crate is dependency-free (even of `obs` — `obs` injects its own
+//! sink faults through it); callers emit their own observability events
+//! on injection and recovery.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// How one plan spec decides whether an arrival fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    /// `name#K`: fires when [`hit_at`] is called with index `K`.
+    AtIndex(u64),
+    /// `name@N`: fires on the N-th arrival (1-based).
+    Nth(u64),
+    /// `name@N+`: fires on the N-th and every later arrival.
+    From(u64),
+    /// `name@*`: fires on every arrival.
+    Always,
+}
+
+/// One parsed `name⟨trigger⟩` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Spec {
+    name: String,
+    trigger: Trigger,
+}
+
+/// A malformed `FAULT_PLAN` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// The offending spec text.
+    pub spec: String,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec {:?}: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[derive(Debug, Default)]
+struct State {
+    specs: Vec<Spec>,
+    /// Arrival counters per fault-point name (BTreeMap: deterministic
+    /// iteration for the `status` dump).
+    arrivals: BTreeMap<String, u64>,
+    /// Log of every firing, e.g. `"dse.worker#3"` / `"obs.sink@2"`.
+    injected: Vec<String>,
+}
+
+/// Fast-path flag: `false` means every fault point is a single relaxed
+/// load. Only set while a non-empty plan is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State::default()))
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+fn parse_spec(spec: &str) -> Result<Spec, PlanError> {
+    let err = |reason| PlanError {
+        spec: spec.to_string(),
+        reason,
+    };
+    if let Some((name, idx)) = spec.split_once('#') {
+        if !valid_name(name) {
+            return Err(err("fault-point name must be [A-Za-z0-9._-]+"));
+        }
+        let k = idx
+            .parse::<u64>()
+            .map_err(|_| err("`#` must be followed by a candidate index"))?;
+        return Ok(Spec {
+            name: name.to_string(),
+            trigger: Trigger::AtIndex(k),
+        });
+    }
+    if let Some((name, occ)) = spec.split_once('@') {
+        if !valid_name(name) {
+            return Err(err("fault-point name must be [A-Za-z0-9._-]+"));
+        }
+        let trigger = if occ == "*" {
+            Trigger::Always
+        } else if let Some(n) = occ.strip_suffix('+') {
+            let n = n
+                .parse::<u64>()
+                .map_err(|_| err("`@N+` needs a 1-based arrival number"))?;
+            if n == 0 {
+                return Err(err("arrival numbers are 1-based"));
+            }
+            Trigger::From(n)
+        } else {
+            let n = occ
+                .parse::<u64>()
+                .map_err(|_| err("`@` must be followed by an arrival number, `N+`, or `*`"))?;
+            if n == 0 {
+                return Err(err("arrival numbers are 1-based"));
+            }
+            Trigger::Nth(n)
+        };
+        return Ok(Spec {
+            name: name.to_string(),
+            trigger,
+        });
+    }
+    Err(err("spec needs `#index`, `@N`, `@N+`, or `@*`"))
+}
+
+/// Parses and arms a fault plan, replacing any previously armed plan and
+/// clearing arrival counters and the injection log. An empty / whitespace
+/// plan disarms (equivalent to [`disarm`]).
+pub fn arm(plan: &str) -> Result<(), PlanError> {
+    let mut specs = Vec::new();
+    for raw in plan.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        specs.push(parse_spec(raw)?);
+    }
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.arrivals.clear();
+    st.injected.clear();
+    let armed = !specs.is_empty();
+    st.specs = specs;
+    ARMED.store(armed, Ordering::Release);
+    Ok(())
+}
+
+/// Arms from the `FAULT_PLAN` environment variable. Unset means disarm;
+/// a malformed plan is returned as the error (callers decide whether to
+/// abort — the library never panics on a bad plan).
+pub fn arm_from_env() -> Result<bool, PlanError> {
+    match std::env::var("FAULT_PLAN") {
+        Ok(plan) => {
+            let trimmed = plan.trim().to_string();
+            arm(&trimmed)?;
+            Ok(!trimmed.is_empty())
+        }
+        Err(_) => {
+            disarm();
+            Ok(false)
+        }
+    }
+}
+
+/// Disarms all fault points and clears counters and the injection log.
+pub fn disarm() {
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.specs.clear();
+    st.arrivals.clear();
+    st.injected.clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// `true` while a non-empty plan is armed (one relaxed load).
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Serializes sections that arm process-global fault plans — hold the
+/// returned guard for the whole arm → exercise → disarm sequence.
+/// Primarily for tests: two tests arming plans in the same process would
+/// otherwise clobber each other's schedules. Poisoning is ignored (a
+/// panicked holder leaves no state behind beyond what [`arm`] resets).
+pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn fire(st: &mut State, name: &str, idx: Option<u64>) -> bool {
+    let arrival = {
+        let c = st.arrivals.entry(name.to_string()).or_insert(0);
+        *c += 1;
+        *c
+    };
+    let mut fired = false;
+    for spec in &st.specs {
+        if spec.name != name {
+            continue;
+        }
+        fired |= match spec.trigger {
+            Trigger::AtIndex(k) => idx == Some(k),
+            Trigger::Nth(n) => arrival == n,
+            Trigger::From(n) => arrival >= n,
+            Trigger::Always => true,
+        };
+    }
+    if fired {
+        let entry = match idx {
+            Some(i) => format!("{name}#{i}"),
+            None => format!("{name}@{arrival}"),
+        };
+        st.injected.push(entry);
+    }
+    fired
+}
+
+/// Arrival-ordered fault point: returns `true` when the armed plan says
+/// this arrival at `name` should fail. Meant for serial sites where
+/// arrival order is deterministic (checkpoint writes, sink writes).
+pub fn hit(name: &str) -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    fire(&mut st, name, None)
+}
+
+/// Index-keyed fault point: returns `true` when the armed plan scripts a
+/// fault for work item `idx` at `name` (`name#K` specs), or for this
+/// arrival (`@` specs). `#K` matching depends only on `idx`, so it is
+/// deterministic at any thread count.
+pub fn hit_at(name: &str, idx: u64) -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    fire(&mut st, name, Some(idx))
+}
+
+/// The log of every fault fired since the last [`arm`] / [`disarm`],
+/// in firing order: `"name#idx"` for index-keyed hits, `"name@arrival"`
+/// for arrival-ordered hits.
+pub fn injected() -> Vec<String> {
+    state()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .injected
+        .clone()
+}
+
+/// Number of faults fired since the last [`arm`] / [`disarm`].
+pub fn injected_count() -> usize {
+    state()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .injected
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Fault-plan state is process-global; tests that arm plans must not
+    /// interleave. Each test holds this guard for its whole body.
+    fn serial() -> MutexGuard<'static, ()> {
+        exclusive()
+    }
+
+    #[test]
+    fn disarmed_points_never_fire() {
+        let _g = serial();
+        disarm();
+        assert!(!armed());
+        assert!(!hit("x"));
+        assert!(!hit_at("x", 0));
+        assert!(injected().is_empty());
+    }
+
+    #[test]
+    fn index_spec_fires_on_exact_index_only() {
+        let _g = serial();
+        arm("dse.worker#3").expect("plan parses");
+        assert!(!hit_at("dse.worker", 0));
+        assert!(!hit_at("dse.worker", 2));
+        assert!(hit_at("dse.worker", 3));
+        assert!(!hit_at("dse.worker", 4));
+        assert!(!hit_at("other", 3), "name must match");
+        assert_eq!(injected(), vec!["dse.worker#3"]);
+        disarm();
+    }
+
+    #[test]
+    fn nth_arrival_spec() {
+        let _g = serial();
+        arm("ckpt.torn@2").expect("plan parses");
+        assert!(!hit("ckpt.torn"));
+        assert!(hit("ckpt.torn"));
+        assert!(!hit("ckpt.torn"));
+        assert_eq!(injected(), vec!["ckpt.torn@2"]);
+        disarm();
+    }
+
+    #[test]
+    fn from_and_always_specs() {
+        let _g = serial();
+        arm("a@2+,b@*").expect("plan parses");
+        assert!(!hit("a"));
+        assert!(hit("a"));
+        assert!(hit("a"));
+        assert!(hit("b"));
+        assert!(hit("b"));
+        assert_eq!(injected_count(), 4);
+        disarm();
+    }
+
+    #[test]
+    fn multiple_specs_same_name_combine() {
+        let _g = serial();
+        arm("p@1,p@3").expect("plan parses");
+        assert!(hit("p"));
+        assert!(!hit("p"));
+        assert!(hit("p"));
+        disarm();
+    }
+
+    #[test]
+    fn arrival_counting_spans_hit_and_hit_at() {
+        let _g = serial();
+        arm("q@2").expect("plan parses");
+        assert!(!hit_at("q", 10));
+        assert!(hit("q"), "second arrival, regardless of entry point");
+        disarm();
+    }
+
+    #[test]
+    fn rearm_resets_counters_and_log() {
+        let _g = serial();
+        arm("r@1").expect("plan parses");
+        assert!(hit("r"));
+        arm("r@1").expect("plan parses");
+        assert!(injected().is_empty(), "rearm clears the log");
+        assert!(hit("r"), "counters restarted");
+        disarm();
+    }
+
+    #[test]
+    fn empty_plan_disarms() {
+        let _g = serial();
+        arm("x@*").expect("plan parses");
+        assert!(armed());
+        arm("  ").expect("empty plan is valid");
+        assert!(!armed());
+    }
+
+    #[test]
+    fn plan_parse_errors_are_typed() {
+        let _g = serial();
+        disarm();
+        for bad in ["name", "x@0", "x@0+", "x#k", "x@", "sp ace@1", "@1", "#2"] {
+            let e = arm(bad).expect_err(bad);
+            assert_eq!(e.spec, bad.trim());
+            assert!(!e.to_string().is_empty());
+        }
+        // A bad spec anywhere rejects the whole plan and leaves it disarmed.
+        assert!(arm("ok@1,name").is_err());
+        assert!(!armed());
+        disarm();
+    }
+
+    #[test]
+    fn env_arming() {
+        let _g = serial();
+        std::env::remove_var("FAULT_PLAN");
+        assert_eq!(arm_from_env(), Ok(false));
+        std::env::set_var("FAULT_PLAN", "e.point@1");
+        assert_eq!(arm_from_env(), Ok(true));
+        assert!(hit("e.point"));
+        std::env::set_var("FAULT_PLAN", "broken");
+        assert!(arm_from_env().is_err());
+        std::env::remove_var("FAULT_PLAN");
+        assert_eq!(arm_from_env(), Ok(false));
+        assert!(!armed());
+    }
+}

@@ -66,7 +66,7 @@ mod report;
 mod sink;
 
 pub use report::{HistRow, Report, SpanRow};
-pub use sink::{set_sink_memory, set_sink_path, take_memory_lines};
+pub use sink::{set_sink_memory, set_sink_path, sink_errors, take_memory_lines};
 
 use std::cell::RefCell;
 use std::collections::HashMap;

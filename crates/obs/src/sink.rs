@@ -7,7 +7,19 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// Times the sink degraded to [`Target::Drop`] after a write failure
+/// (real or injected via the `obs.sink` fault point).
+static SINK_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of sink write failures observed so far in this process. The
+/// sink degrades to dropping lines on the first failure; the count stays
+/// as the record that telemetry was lost.
+pub fn sink_errors() -> u64 {
+    SINK_ERRORS.load(Ordering::Relaxed)
+}
 
 enum Target {
     /// No sink configured (or the configured one failed): drop lines.
@@ -69,11 +81,20 @@ pub fn take_memory_lines() -> Vec<String> {
 pub(crate) fn write_line(line: &str) {
     let mut g = sink().lock().unwrap_or_else(|e| e.into_inner());
     let target = g.get_or_insert_with(from_env);
+    // `obs.sink` fault point: a scripted write failure behaves exactly
+    // like a real one — the sink degrades to Drop and the error counter
+    // records the loss. Instrumentation must never take a run down.
+    if !matches!(target, Target::Drop) && faultsim::hit("obs.sink") {
+        *target = Target::Drop;
+        SINK_ERRORS.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     match target {
         Target::Drop => {}
         Target::File(w) => {
             if writeln!(w, "{line}").is_err() {
                 *target = Target::Drop;
+                SINK_ERRORS.fetch_add(1, Ordering::Relaxed);
             }
         }
         Target::Memory(lines) => lines.push(line.to_string()),
@@ -111,6 +132,15 @@ pub(crate) fn json_escape(s: &str) -> String {
 mod tests {
     use super::*;
 
+    /// The sink is process-global; tests that repoint it must not
+    /// interleave (and the fault test must own the armed plan).
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn escape_covers_specials() {
         assert_eq!(json_escape("plain"), "plain");
@@ -121,6 +151,7 @@ mod tests {
 
     #[test]
     fn file_sink_writes_lines() {
+        let _g = serial();
         let dir = std::env::temp_dir().join("obs_sink_test");
         let path = dir.join("nested").join("out.jsonl");
         set_sink_path(&path);
@@ -135,10 +166,29 @@ mod tests {
 
     #[test]
     fn memory_sink_drains() {
+        let _g = serial();
         set_sink_memory();
         write_line("one");
         write_line("two");
         assert_eq!(take_memory_lines(), vec!["one", "two"]);
         assert!(take_memory_lines().is_empty());
+    }
+
+    #[test]
+    fn injected_sink_fault_degrades_to_drop_and_counts() {
+        let _g = serial();
+        set_sink_memory();
+        let _ = take_memory_lines();
+        let before = sink_errors();
+        faultsim::arm("obs.sink@1").expect("plan parses");
+        write_line("lost");
+        write_line("also dropped: sink already degraded");
+        faultsim::disarm();
+        assert_eq!(sink_errors(), before + 1, "exactly one failure counted");
+        assert!(take_memory_lines().is_empty(), "no line survived the fault");
+        // Re-pointing the sink recovers it.
+        set_sink_memory();
+        write_line("back");
+        assert_eq!(take_memory_lines(), vec!["back"]);
     }
 }

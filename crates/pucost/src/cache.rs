@@ -149,9 +149,22 @@ impl EvalCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         obs::add("pucost.cache.misses", 1);
         let eval = evaluate(layer, pu, df, &self.em);
+        // `cache.poison` fault point: poison this shard's mutex as a
+        // crashed worker would, then proceed — the insert below must
+        // recover, proving a panic elsewhere in the pool cannot take the
+        // cache (or the search) down with it.
+        if faultsim::armed() && faultsim::hit("cache.poison") {
+            obs::add("fault.injected", 1);
+            obs::event("fault.injected", &[("point", "cache.poison".into())]);
+            poison_mutex(shard);
+        }
         shard
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(|e| {
+                obs::add("fault.recovered", 1);
+                obs::event("fault.recovered", &[("point", "cache.poison".into())]);
+                e.into_inner()
+            })
             .insert(key, eval);
         eval
     }
@@ -225,6 +238,197 @@ impl EvalCache {
             max_shard,
         }
     }
+
+    /// FNV-1a fingerprint of the bound [`EnergyModel`]'s exact bits.
+    ///
+    /// Checkpoints store this next to exported cache entries so a resume
+    /// under a different energy model is rejected instead of silently
+    /// mixing evaluations from two models.
+    pub fn model_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for bits in [
+            self.em.mac_pj.to_bits(),
+            self.em.sram_pj_per_byte.to_bits(),
+            self.em.psum_pj_per_byte.to_bits(),
+            self.em.dram_pj_per_byte.to_bits(),
+        ] {
+            for byte in bits.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Serializes every cached entry to one text line each, sorted (the
+    /// shard maps hash-order their entries; sorting makes the export a
+    /// deterministic function of the cache *contents*). Floats are IEEE
+    /// bits in hex, so [`EvalCache::import_line`] round-trips bit-exactly.
+    pub fn export_lines(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            let g = s.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, v) in g.iter() {
+                out.push(entry_line(k, v));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Restores one [`EvalCache::export_lines`] line into the cache
+    /// (hit/miss counters are untouched — a restored entry is neither).
+    pub fn import_line(&self, line: &str) -> Result<(), SnapshotError> {
+        let (key, eval) = parse_entry_line(line)?;
+        let shard = self.shard_of(&key);
+        shard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, eval);
+        Ok(())
+    }
+}
+
+/// A malformed [`EvalCache::export_lines`] line fed to
+/// [`EvalCache::import_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// The offending line.
+    pub line: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad cache snapshot line {:?}", self.line)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serializes one cache entry: `ck` + 16 key fields + 13 eval fields.
+fn entry_line(k: &EvalKey, v: &PuEval) -> String {
+    let l = &k.layer;
+    let e = &v.energy;
+    format!(
+        "ck {} {} {} {} {} {} {} {} {} {} {} {} {} {} {:016x} {} {} {} {:016x} {} {:016x} {} {} {} {:016x} {:016x} {:016x} {:016x} {}",
+        l.in_c,
+        l.in_h,
+        l.in_w,
+        l.out_c,
+        l.out_h,
+        l.out_w,
+        l.kernel,
+        l.stride,
+        l.groups,
+        u8::from(l.is_fc),
+        k.rows,
+        k.cols,
+        k.act_buf_bytes,
+        k.wgt_buf_bytes,
+        k.freq_bits,
+        k.dataflow,
+        v.dataflow,
+        v.cycles,
+        v.seconds.to_bits(),
+        v.macs,
+        v.utilization.to_bits(),
+        v.act_buf_bytes,
+        v.wgt_buf_bytes,
+        v.psum_bytes,
+        e.mac_pj.to_bits(),
+        e.act_buf_pj.to_bits(),
+        e.wgt_buf_pj.to_bits(),
+        e.psum_pj.to_bits(),
+        u8::from(v.buffers_ok),
+    )
+}
+
+fn parse_entry_line(line: &str) -> Result<(EvalKey, PuEval), SnapshotError> {
+    let bad = || SnapshotError {
+        line: line.to_string(),
+    };
+    let toks: Vec<&str> = line.split_ascii_whitespace().collect();
+    if toks.len() != 30 || toks[0] != "ck" {
+        return Err(bad());
+    }
+    let int = |i: usize| -> Result<usize, SnapshotError> {
+        toks[i].parse::<usize>().map_err(|_| bad())
+    };
+    let int64 = |i: usize| -> Result<u64, SnapshotError> {
+        toks[i].parse::<u64>().map_err(|_| bad())
+    };
+    let bits = |i: usize| -> Result<u64, SnapshotError> {
+        u64::from_str_radix(toks[i], 16).map_err(|_| bad())
+    };
+    let flag = |i: usize| -> Result<bool, SnapshotError> {
+        match toks[i] {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(bad()),
+        }
+    };
+    let df = |i: usize| -> Result<Dataflow, SnapshotError> {
+        match toks[i] {
+            "WS" => Ok(Dataflow::WeightStationary),
+            "OS" => Ok(Dataflow::OutputStationary),
+            _ => Err(bad()),
+        }
+    };
+    let layer = LayerDesc {
+        in_c: int(1)?,
+        in_h: int(2)?,
+        in_w: int(3)?,
+        out_c: int(4)?,
+        out_h: int(5)?,
+        out_w: int(6)?,
+        kernel: int(7)?,
+        stride: int(8)?,
+        groups: int(9)?,
+        is_fc: flag(10)?,
+    };
+    let key = EvalKey {
+        layer,
+        rows: int(11)?,
+        cols: int(12)?,
+        act_buf_bytes: int64(13)?,
+        wgt_buf_bytes: int64(14)?,
+        freq_bits: bits(15)?,
+        dataflow: df(16)?,
+    };
+    let eval = PuEval {
+        dataflow: df(17)?,
+        cycles: int64(18)?,
+        seconds: f64::from_bits(bits(19)?),
+        macs: int64(20)?,
+        utilization: f64::from_bits(bits(21)?),
+        act_buf_bytes: int64(22)?,
+        wgt_buf_bytes: int64(23)?,
+        psum_bytes: int64(24)?,
+        energy: crate::energy::EnergyBreakdown {
+            mac_pj: f64::from_bits(bits(25)?),
+            act_buf_pj: f64::from_bits(bits(26)?),
+            wgt_buf_pj: f64::from_bits(bits(27)?),
+            psum_pj: f64::from_bits(bits(28)?),
+        },
+        buffers_ok: flag(29)?,
+    };
+    Ok((key, eval))
+}
+
+/// Poisons `mutex` exactly as a panicking thread holding its guard would,
+/// keeping the panic contained (and the default hook silenced) so the
+/// only observable effect is the poison flag the recovery path must
+/// handle.
+// lint: allow(nondet-iter) — type mention in the signature only; the shard map is never iterated here.
+fn poison_mutex(mutex: &Mutex<HashMap<EvalKey, PuEval>>) {
+    struct QuietPayload;
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _guard = mutex.lock().unwrap_or_else(|e| e.into_inner());
+        std::panic::panic_any(QuietPayload);
+    }));
+    std::panic::set_hook(prev);
 }
 
 /// Snapshot of an [`EvalCache`]'s counters, taken by [`EvalCache::stats`].
@@ -346,6 +550,92 @@ mod tests {
         let ec = cache.evaluate(&conv(), &c, Dataflow::WeightStationary);
         assert_eq!(cache.misses(), 3);
         assert!(!ec.buffers_ok);
+    }
+
+    #[test]
+    fn snapshot_lines_round_trip_bit_exactly() {
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::with_shards(em, 4);
+        let pus = [
+            PuConfig::new(16, 16),
+            PuConfig::new(8, 8).with_buffers(4096, 4096),
+            PuConfig::new(16, 16).with_freq_mhz(400.0),
+        ];
+        for pu in &pus {
+            for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+                cache.evaluate(&conv(), pu, df);
+            }
+        }
+        let lines = cache.export_lines();
+        assert_eq!(lines.len(), cache.len());
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "export is sorted (deterministic)");
+
+        let restored = EvalCache::with_shards(em, 2);
+        for l in &lines {
+            restored.import_line(l).expect("line parses");
+        }
+        assert_eq!(restored.len(), cache.len());
+        assert_eq!((restored.hits(), restored.misses()), (0, 0));
+        // Every restored entry is served as a hit, bit-identical.
+        for pu in &pus {
+            for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+                assert_eq!(
+                    restored.evaluate(&conv(), pu, df),
+                    evaluate(&conv(), pu, df, &em)
+                );
+            }
+        }
+        assert_eq!(restored.misses(), 0, "restored entries hit, never re-evaluate");
+        assert_eq!(restored.export_lines(), lines, "round trip is stable");
+    }
+
+    #[test]
+    fn import_rejects_malformed_lines() {
+        let cache = EvalCache::new(EnergyModel::tsmc28());
+        for bad in [
+            "",
+            "ck 1 2 3",
+            "nonsense",
+            "ck a 28 28 128 28 28 3 1 1 0 16 16 0 0 0 WS WS 1 0 1 0 1 1 1 0 0 0 0 1",
+            "ck 64 28 28 128 28 28 3 1 1 0 16 16 0 0 0 XX WS 1 0 1 0 1 1 1 0 0 0 0 1",
+        ] {
+            let e = cache.import_line(bad).expect_err(bad);
+            assert_eq!(e.line, bad);
+        }
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn model_fingerprint_distinguishes_models() {
+        let a = EvalCache::new(EnergyModel::tsmc28());
+        let b = EvalCache::new(EnergyModel::tsmc28());
+        assert_eq!(a.model_fingerprint(), b.model_fingerprint());
+        let mut other = EnergyModel::tsmc28();
+        other.mac_pj *= 2.0;
+        let c = EvalCache::new(other);
+        assert_ne!(a.model_fingerprint(), c.model_fingerprint());
+    }
+
+    #[test]
+    fn injected_shard_poison_is_recovered() {
+        faultsim::arm("cache.poison@1").expect("plan parses");
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::with_shards(em, 1); // one shard: the poisoned one
+        let pu = PuConfig::new(16, 16);
+        let a = cache.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+        assert_eq!(faultsim::injected(), vec!["cache.poison@1"]);
+        faultsim::disarm();
+        // The poisoned shard still serves correct results, and the entry
+        // inserted through the poisoned lock is served as a hit.
+        assert_eq!(a, evaluate(&conv(), &pu, Dataflow::WeightStationary, &em));
+        let again = cache.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+        assert_eq!(again, a);
+        assert_eq!(cache.hits(), 1);
+        // Fresh keys keep inserting fine through the recovered lock.
+        cache.evaluate(&conv(), &pu, Dataflow::OutputStationary);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

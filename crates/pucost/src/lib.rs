@@ -46,7 +46,7 @@ mod layer;
 mod pu;
 pub mod util;
 
-pub use cache::{CacheStats, EvalCache, EvalKey};
+pub use cache::{CacheStats, EvalCache, EvalKey, SnapshotError};
 pub use energy::{AreaModel, EnergyBreakdown, EnergyModel};
 pub use eval::{best_dataflow, evaluate, PuEval};
 pub use layer::LayerDesc;

@@ -1,0 +1,63 @@
+//! Typecheck-only stub for rand 0.8 APIs used in this workspace.
+//! Deterministic SplitMix64; NOT the real StdRng algorithm.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.pick(self.next_u64())
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+pub trait Standard { fn from_u64(v: u64) -> Self; }
+impl Standard for f64 { fn from_u64(v: u64) -> f64 { (v >> 11) as f64 / (1u64 << 53) as f64 } }
+impl Standard for u64 { fn from_u64(v: u64) -> u64 { v } }
+impl Standard for u32 { fn from_u64(v: u64) -> u32 { v as u32 } }
+impl Standard for bool { fn from_u64(v: u64) -> bool { v & 1 == 1 } }
+pub trait SampleRange<T> { fn pick(self, r: u64) -> T; }
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn pick(self, r: u64) -> $t {
+                let w = (self.end - self.start) as u64;
+                assert!(w > 0, "empty range");
+                self.start + (r % w) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn pick(self, r: u64) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                let w = (e - s) as u64 + 1;
+                s + (r % w) as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, i64, i32, u8);
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn pick(self, r: u64) -> f64 {
+        self.start + ((r >> 11) as f64 / (1u64 << 53) as f64) * (self.end - self.start)
+    }
+}
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng(u64);
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self { StdRng(state) }
+    }
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Typecheck-only stub for serde: empty traits + no-op derives.
+pub use serde_derive::{Deserialize, Serialize};
+pub trait Serialize {}
+pub trait Deserialize<'de> {}
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

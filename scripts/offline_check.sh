@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Registry-free build of the whole workspace with bare rustc.
+#
+# For environments where cargo has no registry cache (`cargo --offline`
+# cannot resolve even the few external deps): the three external crates
+# (serde, serde_derive, rand) are replaced by the tiny stubs under
+# scripts/offline/stubs/, everything else is the real workspace source.
+# Crates are built in dependency order as rlibs plus every experiment /
+# tool binary, so a compile error anywhere fails this script.
+#
+# Artifacts land in $OFFLINE_RLIB_DIR (default /tmp/rlibs); run
+# scripts/offline_test.sh afterwards to execute the test suites against
+# them.
+set -uo pipefail
+R="$(cd "$(dirname "$0")/.." && pwd)"
+L="${OFFLINE_RLIB_DIR:-/tmp/rlibs}"
+S="$R/scripts/offline/stubs"
+mkdir -p "$L"
+cd "$L"
+E="--edition 2021 -L $L"
+
+# External-dependency stubs (typecheck-accurate, deterministic runtime).
+[ -f libserde_derive.so ] || rustc --edition 2021 --crate-type proc-macro --crate-name serde_derive "$S/serde_derive.rs" -o libserde_derive.so || exit 1
+[ -f libserde.rlib ] || rustc $E --crate-type rlib --crate-name serde "$S/serde.rs" --extern serde_derive=libserde_derive.so -o libserde.rlib || exit 1
+[ -f librand.rlib ] || rustc $E --crate-type rlib --crate-name rand "$S/rand.rs" -o librand.rlib || exit 1
+
+X_SERDE="--extern serde=$L/libserde.rlib --extern serde_derive=$L/libserde_derive.so"
+X_RAND="--extern rand=$L/librand.rlib"
+fail=0
+build() { # build <name> <root-file> [extra args...]
+  local name=$1 src=$2; shift 2
+  CARGO_MANIFEST_DIR="$(dirname "$(dirname "$src")")" \
+  rustc $E --crate-type rlib --crate-name "${name//-/_}" "$src" "$@" \
+    -o "lib${name//-/_}.rlib" --emit metadata,link -A dead_code 2> "/tmp/err_$name.txt"
+  if [ $? -ne 0 ]; then echo "FAIL $name"; head -40 "/tmp/err_$name.txt"; fail=1; else echo "ok   $name"; fi
+}
+build nnmodel  $R/crates/nnmodel/src/lib.rs  $X_SERDE
+build faultsim $R/crates/faultsim/src/lib.rs
+build obs      $R/crates/obs/src/lib.rs --extern faultsim=libfaultsim.rlib
+build mip      $R/crates/mip/src/lib.rs --extern obs=libobs.rlib
+build benes    $R/crates/benes/src/lib.rs
+build pucost   $R/crates/pucost/src/lib.rs   $X_SERDE --extern nnmodel=libnnmodel.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+build bayesopt $R/crates/bayesopt/src/lib.rs $X_RAND --extern obs=libobs.rlib
+build spa-arch $R/crates/spa-arch/src/lib.rs $X_SERDE --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib
+build spa-sim  $R/crates/spa-sim/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib
+build spa-codegen $R/crates/spa-codegen/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib
+build autoseg  $R/crates/autoseg/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern mip=libmip.rlib --extern bayesopt=libbayesopt.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+X_ALL="--extern nnmodel=libnnmodel.rlib --extern autoseg=libautoseg.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib --extern bayesopt=libbayesopt.rlib"
+build experiments $R/crates/experiments/src/lib.rs $X_ALL
+# experiment binaries (runnable: scripts/offline_test.sh points the golden
+# harness at them via GOLDEN_BIN_DIR)
+for b in $R/crates/experiments/src/bin/*.rs; do
+  name=$(basename "$b" .rs)
+  CARGO_MANIFEST_DIR=$R/crates/experiments \
+  rustc $E --crate-type bin --crate-name "$name" "$b" $X_ALL --extern experiments=libexperiments.rlib \
+    -o "$L/bin_$name" -A dead_code 2> "/tmp/err_bin_$name.txt" \
+    && echo "ok   bin/$name" || { echo "FAIL bin/$name"; head -30 "/tmp/err_bin_$name.txt"; fail=1; }
+done
+# lint crate + binary
+build lint $R/crates/lint/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
+CARGO_MANIFEST_DIR=$R/crates/lint rustc $E --crate-type bin --crate-name lint $R/crates/lint/src/main.rs \
+  --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib \
+  -o "$L/bin_lint" -A dead_code 2> /tmp/err_bin_lint.txt && echo "ok   bin/lint" || { echo "FAIL bin/lint"; head -30 /tmp/err_bin_lint.txt; fail=1; }
+# facade crate + spa-gen
+build deepburning-seg $R/src/lib.rs $X_SERDE $X_ALL --extern mip=libmip.rlib --extern bayesopt=libbayesopt.rlib --extern spa_codegen=libspa_codegen.rlib
+CARGO_MANIFEST_DIR=$R rustc $E --crate-type bin --crate-name spa_gen $R/src/bin/spa-gen.rs \
+  $X_SERDE $X_ALL --extern mip=libmip.rlib --extern bayesopt=libbayesopt.rlib --extern spa_codegen=libspa_codegen.rlib --extern deepburning_seg=libdeepburning_seg.rlib \
+  -o "$L/bin_spa_gen" -A dead_code 2> /tmp/err_spa_gen.txt && echo "ok   bin/spa-gen" || { echo "FAIL bin/spa-gen"; head -30 /tmp/err_spa_gen.txt; fail=1; }
+exit $fail

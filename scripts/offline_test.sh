@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Registry-free test runner: compiles and executes every crate's unit
+# tests (lib `#[cfg(test)]`) plus the non-proptest integration suites
+# against the rlibs produced by scripts/offline_check.sh (run that
+# first). Property-based suites (`*_prop.rs`) need the real proptest
+# crate and only run under `cargo test`.
+#
+# Prints one PASS/FAIL/COMPILE-FAIL line per suite; exits non-zero if
+# anything failed.
+set -uo pipefail
+R="$(cd "$(dirname "$0")/.." && pwd)"
+L="${OFFLINE_RLIB_DIR:-/tmp/rlibs}"
+cd "$L"
+E="--edition 2021 -L $L"
+X_SERDE="--extern serde=$L/libserde.rlib --extern serde_derive=$L/libserde_derive.so"
+X_RAND="--extern rand=$L/librand.rlib"
+fail=0
+t() { # t <name> <root-file> [extra...]
+  local name=$1 src=$2; shift 2
+  CARGO_MANIFEST_DIR="$(dirname "$(dirname "$src")")" \
+  rustc $E --test --crate-name "t_${name//-/_}" "$src" "$@" \
+    -o "$L/t_${name//-/_}" -A dead_code 2> "/tmp/terr_$name.txt"
+  if [ $? -ne 0 ]; then echo "COMPILE-FAIL $name"; head -30 "/tmp/terr_$name.txt"; fail=1; return; fi
+  out=$("$L/t_${name//-/_}" --test-threads=4 2>&1 | tail -3)
+  if echo "$out" | grep -q "test result: ok"; then
+    echo "PASS $name: $(echo "$out" | grep 'test result')"
+  else
+    echo "FAIL $name"; "$L/t_${name//-/_}" --test-threads=4 2>&1 | tail -30; fail=1
+  fi
+}
+t nnmodel  $R/crates/nnmodel/src/lib.rs  $X_SERDE
+t faultsim $R/crates/faultsim/src/lib.rs
+t obs      $R/crates/obs/src/lib.rs --extern faultsim=libfaultsim.rlib
+t mip      $R/crates/mip/src/lib.rs --extern obs=libobs.rlib
+t benes    $R/crates/benes/src/lib.rs
+t pucost   $R/crates/pucost/src/lib.rs   $X_SERDE --extern nnmodel=libnnmodel.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+t bayesopt $R/crates/bayesopt/src/lib.rs $X_RAND --extern obs=libobs.rlib
+t spa-arch $R/crates/spa-arch/src/lib.rs $X_SERDE --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib
+t spa-sim  $R/crates/spa-sim/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib
+t spa-codegen $R/crates/spa-codegen/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern autoseg=libautoseg.rlib --extern spa_sim=libspa_sim.rlib
+t autoseg  $R/crates/autoseg/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern mip=libmip.rlib --extern bayesopt=libbayesopt.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+X_ALL="--extern nnmodel=libnnmodel.rlib --extern autoseg=libautoseg.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib --extern bayesopt=libbayesopt.rlib"
+t experiments $R/crates/experiments/src/lib.rs $X_ALL
+t lint     $R/crates/lint/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
+# integration tests that need no proptest
+t lint-rules $R/crates/lint/tests/rules.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
+t lint-clean $R/crates/lint/tests/workspace_clean.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
+t dse-equiv  $R/crates/autoseg/tests/dse_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib
+t obs-equiv  $R/crates/autoseg/tests/obs_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib
+t resume-equiv $R/crates/autoseg/tests/resume_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+t fault-matrix $R/crates/autoseg/tests/fault_matrix.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+# golden regression harness, driving the bin_* executables built by
+# offline_check.sh
+GOLDEN_BIN_DIR=$L t golden $R/crates/experiments/tests/golden.rs --extern experiments=libexperiments.rlib
+X_WS="$X_ALL --extern deepburning_seg=libdeepburning_seg.rlib --extern mip=libmip.rlib"
+t ws-integration $R/tests/integration.rs $X_SERDE $X_WS
+t ws-paper $R/tests/paper_claims.rs $X_SERDE $X_WS
+exit $fail

@@ -49,6 +49,32 @@ for key in ("pucost.cache.hits", "dse.candidates"):
         sys.exit(f"verify: obs counter {key} missing or zero")
 print(f"   obs report OK: {len(obs['spans'])} spans, {len(counters)} counters")
 EOF
+
+    echo "== fault-injection smoke: scripted worker deaths + cache poison =="
+    # The armed run must survive every scripted fault (exit 0), stay
+    # deterministic, and record each injection in the report.
+    FAULT_PLAN='dse.worker@*,cache.poison@5' \
+        cargo run --release --offline -p experiments --bin bench_dse
+    python3 - <<'EOF'
+import json, sys
+with open("results/BENCH_dse.json") as f:
+    doc = json.load(f)
+if not doc.get("faults_armed"):
+    sys.exit("verify: FAULT_PLAN was not armed")
+if doc.get("faults_injected", 0) <= 0:
+    sys.exit("verify: the fault plan never fired")
+if doc.get("status") != "complete" or not doc.get("deterministic"):
+    sys.exit("verify: injected faults perturbed the search result")
+print(f"   fault smoke OK: {doc['faults_injected']} injections, result intact")
+EOF
+    # The armed runs overwrite BENCH_dse.json; regenerate the canonical
+    # (unarmed, instrumented) report so the checked-in artifact stays clean.
+    OBS_LEVEL=summary cargo run --release --offline -p experiments --bin bench_dse
 fi
+
+echo "== golden results: regenerated CSVs vs results/*.csv =="
+# The harness strips DSE_SMOKE etc. from the binaries it spawns, so the
+# regeneration always uses the same full budgets the goldens were made with.
+cargo test -q --offline -p experiments --test golden
 
 echo "verify: OK"

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! spa-gen <model> <budget> [--goal latency|throughput] [--out DIR]
+//!         [--deadline MS] [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
 //! spa-gen --spec model.txt <budget> [...]
 //!
 //! models:  alexnet vgg16 mobilenet_v1 mobilenet_v2 resnet18 resnet50
@@ -13,11 +14,19 @@
 //!          (or a custom model via --spec; see nnmodel::spec for the format)
 //! budgets: eyeriss nvdla-small nvdla-large edge-tpu zu3eg 7z045 ku115
 //! ```
+//!
+//! Anytime execution: `--deadline` (or `DSE_DEADLINE_MS`) stops the
+//! design sweep cooperatively and generates hardware from the best
+//! design found so far; `--checkpoint` persists sweep state every N
+//! generations and `--resume` continues bit-identically from it.
+//! `FAULT_PLAN` arms the deterministic fault-injection points (see
+//! `crates/faultsim`).
 
 use deepburning_seg::prelude::*;
 use deepburning_seg::spa_codegen;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn budget_by_name(name: &str) -> Option<HwBudget> {
     Some(match name {
@@ -35,6 +44,7 @@ fn budget_by_name(name: &str) -> Option<HwBudget> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: spa-gen <model> <budget> [--goal latency|throughput] [--out DIR]\n\
+         \x20      [--deadline MS] [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]\n\
          \x20      spa-gen --spec model.txt <budget> [...]\n\
          budgets: eyeriss nvdla-small nvdla-large edge-tpu zu3eg 7z045 ku115"
     );
@@ -42,6 +52,10 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = deepburning_seg::faultsim::arm_from_env() {
+        eprintln!("FAULT_PLAN: {e}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
         return usage();
@@ -91,6 +105,9 @@ fn main() -> ExitCode {
     };
     let mut goal = autoseg::DesignGoal::Latency;
     let mut out_dir = PathBuf::from(".");
+    let mut ctl = autoseg::RunCtl::none().deadline_from_env();
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut checkpoint_every = 1u64;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -109,19 +126,60 @@ fn main() -> ExitCode {
                 out_dir = PathBuf::from(&args[i + 1]);
                 i += 2;
             }
+            "--deadline" if i + 1 < args.len() => {
+                let Ok(ms) = args[i + 1].parse::<u64>() else {
+                    eprintln!("--deadline: `{}` is not milliseconds", args[i + 1]);
+                    return usage();
+                };
+                ctl = ctl.deadline(Duration::from_millis(ms));
+                i += 2;
+            }
+            "--checkpoint" if i + 1 < args.len() => {
+                checkpoint = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--checkpoint-every" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse::<u64>() else {
+                    eprintln!("--checkpoint-every: `{}` is not a count", args[i + 1]);
+                    return usage();
+                };
+                checkpoint_every = n;
+                i += 2;
+            }
+            "--resume" if i + 1 < args.len() => {
+                ctl = ctl.resume(&args[i + 1]);
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 return usage();
             }
         }
     }
+    if let Some(path) = checkpoint {
+        ctl = ctl.checkpoint(path, checkpoint_every);
+    }
 
-    let outcome = match AutoSeg::new(budget.clone()).design_goal(goal).run(&model) {
-        Ok(o) => o,
+    let anytime = match AutoSeg::new(budget.clone())
+        .design_goal(goal)
+        .run_ctl(&model, &ctl)
+    {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("co-design failed: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    if let autoseg::RunStatus::Partial(p) = anytime.status {
+        eprintln!(
+            "anytime: stopped early ({}) after {}/{} generations; \
+             generating from the best design found so far",
+            p.reason, p.completed_gens, p.planned_gens
+        );
+    }
+    let Some(outcome) = anytime.outcome else {
+        eprintln!("co-design failed: no feasible design explored before the stop");
+        return ExitCode::FAILURE;
     };
     println!(
         "design: {} PUs x {} segments, {} PEs, {:.3} ms/frame ({:.1} GOP/s)",

@@ -7,6 +7,8 @@
 //! one dependency:
 //!
 //! * [`nnmodel`] — DNN graph IR, cost accounting and the benchmark zoo.
+//! * [`faultsim`] — deterministic fault injection for robustness testing
+//!   (`FAULT_PLAN`).
 //! * [`obs`] — std-only observability: spans, counters, histograms and
 //!   JSONL run traces (`OBS_LEVEL` / `OBS_OUT`).
 //! * [`mip`] — the mixed-integer-programming solver used for segmentation.
@@ -40,6 +42,7 @@
 pub use autoseg;
 pub use bayesopt;
 pub use benes;
+pub use faultsim;
 pub use mip;
 pub use nnmodel;
 pub use obs;
