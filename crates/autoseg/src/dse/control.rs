@@ -23,6 +23,8 @@
 //!   design set and the status records how far the search got.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 // Wall-clock deadline support is the one sanctioned nondeterminism in
 // this crate: it changes *when* a search stops, never *what* any
 // completed generation computed. lint: allow(nondet-time)
@@ -37,6 +39,10 @@ pub enum StopReason {
     /// The deterministic generation budget ([`RunCtl::stop_after_gens`])
     /// was exhausted.
     GenBudget,
+    /// An external party raised the shared cancel flag
+    /// ([`RunCtl::cancel_flag`]) — e.g. a `cancel` request or graceful
+    /// shutdown in the serving layer.
+    Cancelled,
 }
 
 impl std::fmt::Display for StopReason {
@@ -44,6 +50,7 @@ impl std::fmt::Display for StopReason {
         match self {
             StopReason::Deadline => write!(f, "deadline"),
             StopReason::GenBudget => write!(f, "generation budget"),
+            StopReason::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -89,6 +96,7 @@ pub struct RunCtl {
     // acceptable here. lint: allow(nondet-time)
     deadline: Option<Instant>,
     stop_after_gens: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
     checkpoint_path: Option<PathBuf>,
     checkpoint_every: u64,
     resume_from: Option<PathBuf>,
@@ -112,6 +120,15 @@ impl RunCtl {
     /// the reproducible "kill" used by the resume-equivalence tests.
     pub fn stop_after_gens(mut self, gens: u64) -> Self {
         self.stop_after_gens = Some(gens);
+        self
+    }
+
+    /// Shares a cancellation flag with the search: once any holder stores
+    /// `true`, the search stops (cooperatively, at the next generation
+    /// boundary) with [`StopReason::Cancelled`]. The serving layer uses
+    /// this for client `cancel` requests and graceful shutdown.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -166,11 +183,18 @@ impl RunCtl {
 
     /// Checks the stop conditions with `completed_gens` generations done.
     /// The deterministic generation budget is checked first so that runs
-    /// using it as a scripted kill are not raced by a deadline.
+    /// using it as a scripted kill are not raced by a deadline or a
+    /// cancellation; cancellation outranks the deadline so a shutdown
+    /// that also blows the deadline reports the explicit reason.
     pub fn should_stop(&self, completed_gens: u64) -> Option<StopReason> {
         if let Some(k) = self.stop_after_gens {
             if completed_gens >= k {
                 return Some(StopReason::GenBudget);
+            }
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::SeqCst) {
+                return Some(StopReason::Cancelled);
             }
         }
         if let Some(d) = self.deadline {
@@ -255,5 +279,33 @@ mod tests {
         assert!(!p.is_complete());
         assert_eq!(StopReason::Deadline.to_string(), "deadline");
         assert_eq!(StopReason::GenBudget.to_string(), "generation budget");
+        assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn cancel_flag_stops_when_raised() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctl = RunCtl::none().cancel_flag(Arc::clone(&flag));
+        assert_eq!(ctl.should_stop(0), None);
+        flag.store(true, Ordering::SeqCst);
+        assert_eq!(ctl.should_stop(0), Some(StopReason::Cancelled));
+        assert_eq!(ctl.should_stop(100), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn cancel_outranks_deadline_but_not_gen_budget() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let cancelled_and_late = RunCtl::none()
+            .deadline(Duration::ZERO)
+            .cancel_flag(Arc::clone(&flag));
+        assert_eq!(
+            cancelled_and_late.should_stop(0),
+            Some(StopReason::Cancelled)
+        );
+        let all_three = RunCtl::none()
+            .deadline(Duration::ZERO)
+            .cancel_flag(flag)
+            .stop_after_gens(0);
+        assert_eq!(all_three.should_stop(0), Some(StopReason::GenBudget));
     }
 }

@@ -181,6 +181,8 @@ fn main() {
         .raw("shards", stats.shards.to_string())
         .raw("max_shard", stats.max_shard.to_string())
         .raw("hits", stats.hits.to_string())
+        .raw("warm_hits", stats.warm_hits.to_string())
+        .raw("hot_hits", stats.hot_hits.to_string())
         .raw("misses", stats.misses.to_string())
         .raw("hit_rate", format!("{:.4}", stats.hit_rate))
         .raw(

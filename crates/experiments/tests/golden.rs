@@ -161,27 +161,253 @@ fn diff_csv(file: &str, golden: &str, got: &str) -> Vec<String> {
     out
 }
 
+// ---------------------------------------------------------------------
+// JSON goldens
+//
+// `bench_dse` writes a structured report (`results/BENCH_dse.json`)
+// rather than a CSV. The diff flattens both documents to dot-separated
+// key paths (`cache.entries`, `fault_log[0]`) and compares numeric
+// leaves with the same tolerance machinery as the CSVs, failing with
+// `file:key` pointers. Wall-clock and scheduling-dependent keys cannot
+// be golden — they are skip-listed below but still checked for
+// *presence*, so a report that stops emitting `speedup` fails even
+// though its value is free to drift.
+// ---------------------------------------------------------------------
+
+/// Keys whose values are run-dependent (wall time, thread-race-able
+/// cache counters, the obs report): presence is asserted, value is not.
+const JSON_VALUE_SKIP: &[&str] = &[
+    "serial_s",
+    "parallel_s",
+    "speedup",
+    "obs",
+    "cache.hits",
+    "cache.warm_hits",
+    "cache.hot_hits",
+    "cache.misses",
+    "cache.hit_rate",
+];
+
+/// Minimal JSON reader, sufficient for the reports the experiment
+/// binaries render (objects, arrays, strings without escapes beyond
+/// `\"`, numbers, booleans, null). Flattens to `(path, token)` leaves.
+fn flatten_json(text: &str) -> Result<Vec<(String, String)>, String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl<'a> P<'a> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.b.get(self.i).copied()
+        }
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", char::from(c), self.i))
+            }
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let start = self.i;
+            while self.i < self.b.len() {
+                match self.b[self.i] {
+                    b'\\' => self.i += 2,
+                    b'"' => {
+                        let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+                        self.i += 1;
+                        return Ok(s);
+                    }
+                    _ => self.i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn value(&mut self, path: &str, out: &mut Vec<(String, String)>) -> Result<(), String> {
+            match self.peek().ok_or("unexpected end of input")? {
+                b'{' => {
+                    self.i += 1;
+                    if self.peek() == Some(b'}') {
+                        self.i += 1;
+                        out.push((path.to_string(), "{}".into()));
+                        return Ok(());
+                    }
+                    loop {
+                        let key = self.string()?;
+                        self.expect(b':')?;
+                        let sub = if path.is_empty() {
+                            key
+                        } else {
+                            format!("{path}.{key}")
+                        };
+                        self.value(&sub, out)?;
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b'}') => {
+                                self.i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("malformed object near byte {}", self.i)),
+                        }
+                    }
+                }
+                b'[' => {
+                    self.i += 1;
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                        out.push((path.to_string(), "[]".into()));
+                        return Ok(());
+                    }
+                    let mut idx = 0usize;
+                    loop {
+                        self.value(&format!("{path}[{idx}]"), out)?;
+                        idx += 1;
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b']') => {
+                                self.i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("malformed array near byte {}", self.i)),
+                        }
+                    }
+                }
+                b'"' => {
+                    let s = self.string()?;
+                    out.push((path.to_string(), format!("\"{s}\"")));
+                    Ok(())
+                }
+                _ => {
+                    self.ws();
+                    let start = self.i;
+                    while self.i < self.b.len()
+                        && !matches!(self.b[self.i], b',' | b'}' | b']')
+                        && !self.b[self.i].is_ascii_whitespace()
+                    {
+                        self.i += 1;
+                    }
+                    if start == self.i {
+                        return Err(format!("empty value at byte {start}"));
+                    }
+                    let tok = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+                    out.push((path.to_string(), tok));
+                    Ok(())
+                }
+            }
+        }
+    }
+    let mut p = P {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let mut out = Vec::new();
+    p.value("", &mut out)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes after document at byte {}", p.i));
+    }
+    Ok(out)
+}
+
+/// `true` when `path` (or any of its ancestors, so `obs` skips `obs.x`)
+/// is value-skipped.
+fn json_value_skipped(path: &str) -> bool {
+    JSON_VALUE_SKIP.iter().any(|s| {
+        path == *s
+            || path.strip_prefix(s).is_some_and(|rest| {
+                rest.starts_with('.') || rest.starts_with('[')
+            })
+    })
+}
+
+/// Diffs two JSON documents. Returns `file:key` mismatch descriptions.
+fn diff_json(file: &str, golden: &str, got: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let g = match flatten_json(golden) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("{file}: golden copy is not valid JSON: {e}")],
+    };
+    let n = match flatten_json(got) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("{file}: regenerated file is not valid JSON: {e}")],
+    };
+    let gm: std::collections::BTreeMap<&str, &str> =
+        g.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let nm: std::collections::BTreeMap<&str, &str> =
+        n.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    for (k, gv) in &gm {
+        match nm.get(k) {
+            None => out.push(format!("{file}:{k}: missing from regenerated report")),
+            Some(nv) => {
+                if json_value_skipped(k) {
+                    continue;
+                }
+                let tol = tol_for(file, k);
+                let (gq, nq) = (gv.trim_matches('"'), nv.trim_matches('"'));
+                if !cells_match(gq, nq, tol) {
+                    out.push(format!("{file}:{k}: golden {gv}, regenerated {nv}"));
+                }
+            }
+        }
+    }
+    for k in nm.keys() {
+        if !gm.contains_key(k) {
+            out.push(format!("{file}:{k}: new key not present in golden"));
+        }
+    }
+    out
+}
+
+/// The JSON golden: `bench_dse` under pinned smoke budgets and a fixed
+/// thread count, so every non-skip-listed key is deterministic.
+struct JsonCase {
+    bin: &'static str,
+    exe: Option<&'static str>,
+    file: &'static str,
+    args: &'static [&'static str],
+    env: &'static [(&'static str, &'static str)],
+}
+
+const JSON_CASES: &[JsonCase] = &[JsonCase {
+    bin: "bench_dse",
+    exe: option_env!("CARGO_BIN_EXE_bench_dse"),
+    file: "BENCH_dse.json",
+    args: &["--threads", "2"],
+    env: &[("DSE_SMOKE", "1")],
+}];
+
 /// `<repo>/results`, the checked-in golden directory.
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
-/// Resolves a case's executable: cargo's compile-time path first, then
+/// Resolves an executable: cargo's compile-time path first, then
 /// `GOLDEN_BIN_DIR/<name>` / `GOLDEN_BIN_DIR/bin_<name>`.
-fn resolve_bin(case: &Case) -> Option<PathBuf> {
-    if let Some(exe) = case.exe {
+fn resolve_bin_named(bin: &str, exe: Option<&str>) -> Option<PathBuf> {
+    if let Some(exe) = exe {
         let p = PathBuf::from(exe);
         if p.exists() {
             return Some(p);
         }
     }
     let dir = PathBuf::from(std::env::var_os("GOLDEN_BIN_DIR")?);
-    for candidate in [dir.join(case.bin), dir.join(format!("bin_{}", case.bin))] {
+    for candidate in [dir.join(bin), dir.join(format!("bin_{bin}"))] {
         if candidate.exists() {
             return Some(candidate);
         }
     }
     None
+}
+
+fn resolve_bin(case: &Case) -> Option<PathBuf> {
+    resolve_bin_named(case.bin, case.exe)
 }
 
 /// Runs one experiment binary into `out_dir` with the env knobs that
@@ -273,6 +499,164 @@ fn regenerated_csvs_match_goldens_within_tolerance() {
         }
         panic!("{msg}");
     }
+}
+
+#[test]
+fn regenerated_bench_json_matches_golden_within_tolerance() {
+    let golden = golden_dir();
+    let scratch = std::env::temp_dir().join(format!("spa_golden_json_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let bless = std::env::var("GOLDEN_BLESS").map(|v| v == "1").unwrap_or(false);
+
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut skipped = 0usize;
+    for case in JSON_CASES {
+        let Some(exe) = resolve_bin_named(case.bin, case.exe) else {
+            eprintln!(
+                "golden: skipping {} (no cargo exe and no GOLDEN_BIN_DIR hit)",
+                case.bin
+            );
+            skipped += 1;
+            continue;
+        };
+        let mut cmd = Command::new(&exe);
+        cmd.args(case.args)
+            .env("SPA_RESULTS_DIR", &scratch)
+            .env_remove("DSE_THREADS")
+            .env_remove("DSE_DEADLINE_MS")
+            .env_remove("FAULT_PLAN")
+            .env_remove("OBS_LEVEL");
+        for (k, v) in case.env {
+            cmd.env(k, v);
+        }
+        let status = cmd
+            .stdout(std::process::Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("{}: spawn failed: {e}", exe.display()));
+        if !status.success() {
+            mismatches.push(format!("{}: exited with {status}", exe.display()));
+            continue;
+        }
+        let golden_path = golden.join(case.file);
+        let new_path = scratch.join(case.file);
+        let golden_text = match std::fs::read_to_string(&golden_path) {
+            Ok(t) => t,
+            Err(e) => {
+                if bless {
+                    std::fs::copy(&new_path, &golden_path).expect("bless copy");
+                    eprintln!("golden: blessed new file {}", case.file);
+                    continue;
+                }
+                mismatches.push(format!("{}: golden copy unreadable: {e}", case.file));
+                continue;
+            }
+        };
+        let new_text = std::fs::read_to_string(&new_path)
+            .unwrap_or_else(|e| panic!("{}: {} did not produce it: {e}", case.file, case.bin));
+        let diffs = diff_json(case.file, &golden_text, &new_text);
+        if !diffs.is_empty() && bless {
+            std::fs::copy(&new_path, &golden_path).expect("bless copy");
+            eprintln!(
+                "golden: blessed {} ({} keys drifted); review `git diff results/`",
+                case.file,
+                diffs.len()
+            );
+            continue;
+        }
+        mismatches.extend(diffs);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(
+        skipped < JSON_CASES.len(),
+        "golden: every JSON binary was unresolvable — build the experiment \
+         binaries or point GOLDEN_BIN_DIR at them"
+    );
+    if !mismatches.is_empty() {
+        let mut msg = String::from(
+            "regenerated JSON reports drifted from the checked-in goldens \
+             (rerun with GOLDEN_BLESS=1 if the change is intended):\n",
+        );
+        for m in &mismatches {
+            let _ = writeln!(msg, "  {m}");
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn json_differ_reports_file_key_paths() {
+    let golden = r#"{"model": "alexnet", "points": 55, "speedup": 1.241,
+                     "cache": {"entries": 606, "hits": 18494},
+                     "fault_log": [], "obs": null}"#;
+    // Identical: clean.
+    assert!(diff_json("b.json", golden, golden).is_empty());
+    // Skip-listed keys may drift freely (speedup, cache.hits)...
+    let drift_skipped = r#"{"model": "alexnet", "points": 55, "speedup": 0.7,
+                     "cache": {"entries": 606, "hits": 99},
+                     "fault_log": [], "obs": null}"#;
+    assert!(diff_json("b.json", golden, drift_skipped).is_empty());
+    // ...but must stay present.
+    let missing_skipped = r#"{"model": "alexnet", "points": 55,
+                     "cache": {"entries": 606, "hits": 18494},
+                     "fault_log": [], "obs": null}"#;
+    let d = diff_json("b.json", golden, missing_skipped);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].starts_with("b.json:speedup: missing"), "{}", d[0]);
+    // A non-skipped numeric drift names file:key.
+    let drift = r#"{"model": "alexnet", "points": 54, "speedup": 1.241,
+                     "cache": {"entries": 606, "hits": 18494},
+                     "fault_log": [], "obs": null}"#;
+    let d = diff_json("b.json", golden, drift);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].starts_with("b.json:points: golden 55"), "{}", d[0]);
+    // Nested keys use dot paths.
+    let nested = r#"{"model": "alexnet", "points": 55, "speedup": 1.241,
+                     "cache": {"entries": 999, "hits": 18494},
+                     "fault_log": [], "obs": null}"#;
+    let d = diff_json("b.json", golden, nested);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].starts_with("b.json:cache.entries:"), "{}", d[0]);
+    // New keys are reported too (a report growing fields must re-bless).
+    let extra = r#"{"model": "alexnet", "points": 55, "speedup": 1.241,
+                     "cache": {"entries": 606, "hits": 18494},
+                     "fault_log": [], "obs": null, "new_field": 1}"#;
+    let d = diff_json("b.json", golden, extra);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].starts_with("b.json:new_field: new key"), "{}", d[0]);
+    // Malformed input is a diagnostic, not a panic.
+    let d = diff_json("b.json", golden, "{nope");
+    assert_eq!(d.len(), 1);
+    assert!(d[0].contains("not valid JSON"), "{}", d[0]);
+}
+
+#[test]
+fn json_flattener_handles_the_report_shapes() {
+    let flat = flatten_json(
+        r#"{"a": 1, "b": {"c": "x", "d": [true, null, 2.5]}, "e": []}"#,
+    )
+    .expect("valid");
+    let expect: Vec<(String, String)> = [
+        ("a", "1"),
+        ("b.c", "\"x\""),
+        ("b.d[0]", "true"),
+        ("b.d[1]", "null"),
+        ("b.d[2]", "2.5"),
+        ("e", "[]"),
+    ]
+    .iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect();
+    assert_eq!(flat, expect);
+    assert!(flatten_json("[1, 2]").is_ok(), "top-level arrays parse");
+    assert!(flatten_json("{\"a\": 1} trailing").is_err());
+    assert!(flatten_json("{\"a\": }").is_err());
+    // Ancestor skipping: `obs` covers `obs.spans[3]` but not `obsolete`.
+    assert!(json_value_skipped("obs"));
+    assert!(json_value_skipped("obs.spans[3]"));
+    assert!(!json_value_skipped("obsolete"));
+    assert!(json_value_skipped("cache.hits"));
+    assert!(!json_value_skipped("cache.entries"));
 }
 
 #[test]

@@ -36,8 +36,11 @@ pub const RULE_NAMES: &[&str] = &[
 const AS_CAST_CRATES: &[&str] = &["pucost", "spa-sim", "mip"];
 
 /// Crates exempt from the wall-clock rule: `obs` owns monotonic timing,
-/// and the experiment/bench harnesses measure wall time on purpose.
-const TIME_EXEMPT_CRATES: &[&str] = &["obs", "experiments", "bench"];
+/// the experiment/bench harnesses measure wall time on purpose, and the
+/// serving layer (`serve`) owns per-request deadlines and queue-wait
+/// metrics — wall time there decides *when* work stops (typed Partial),
+/// never what any completed generation computes.
+const TIME_EXEMPT_CRATES: &[&str] = &["obs", "experiments", "bench", "serve"];
 
 /// Crates exempt from the hash-collection rule: `obs` aggregates across
 /// threads behind a sort-on-report, and the criterion harness in `bench`

@@ -1,0 +1,265 @@
+//! Differential test: branch & bound vs exhaustive enumeration.
+//!
+//! The B&B solver is the trusted oracle behind every `mip-*` codesign
+//! method, so this suite cross-checks it against a solver that cannot be
+//! subtly wrong: brute-force enumeration of all `2^n` assignments on
+//! randomized small binary ILPs (≤ 12 variables, 200 seeded instances).
+//!
+//! Pinned agreements, per instance:
+//!
+//! * **Status**: the solver reports `Optimal` exactly when enumeration
+//!   finds a feasible assignment, `Infeasible` exactly when it finds
+//!   none — typed, never a panic or a stalled `LimitReached`.
+//! * **Objective**: optimal objectives agree to `OBJ_TOL = 1e-6` (the
+//!   solver's own integrality/gap tolerance class; LP arithmetic means
+//!   bit-equality is not the contract, and the tolerance is asserted,
+//!   not assumed).
+//! * **Feasibility**: the solver's incumbent satisfies every constraint
+//!   under [`mip::Problem::is_feasible`] with the same tolerance.
+//!
+//! Unboundedness cannot arise in pure-binary instances (every variable
+//! has finite bounds), so typed `Unbounded` agreement is pinned on
+//! constructed instances with a free continuous direction instead.
+
+use mip::{Cmp, LinExpr, Problem, Sense, SolveStatus, Solver, VarId};
+
+/// Absolute objective-agreement tolerance (see module docs).
+const OBJ_TOL: f64 = 1e-6;
+
+/// Feasibility tolerance handed to [`Problem::is_feasible`] — matches the
+/// solver's default integrality tolerance.
+const FEAS_TOL: f64 = 1e-6;
+
+/// SplitMix64: deterministic, seedable, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Small signed integer coefficient in `-5..=5`.
+    fn coef(&mut self) -> f64 {
+        let raw = self.below(11);
+        let centered = i64::try_from(raw).expect("raw < 11") - 5;
+        // Exact small integers: every arithmetic step downstream is
+        // float-exact, keeping the brute-force objective bit-clean.
+        let mut x = 0.0f64;
+        let steps = centered.unsigned_abs();
+        for _ in 0..steps {
+            x += 1.0;
+        }
+        if centered < 0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+/// One randomized instance: the problem plus the raw data needed to
+/// re-evaluate it independently of the crate's `LinExpr::eval`.
+struct Instance {
+    problem: Problem,
+    vars: Vec<VarId>,
+    objective: Vec<f64>,
+    constraints: Vec<(Vec<f64>, Cmp, f64)>,
+    sense: Sense,
+}
+
+fn random_instance(rng: &mut Rng) -> Instance {
+    let n = usize::try_from(2 + rng.below(11)).expect("≤ 12"); // 2..=12 binaries
+    let m = usize::try_from(1 + rng.below(6)).expect("small"); // 1..=6 constraints
+    let sense = if rng.below(2) == 0 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut p = Problem::new(sense);
+    let vars: Vec<VarId> = (0..n).map(|i| p.add_binary(format!("x{i}"))).collect();
+    let objective: Vec<f64> = (0..n).map(|_| rng.coef()).collect();
+    let mut obj = LinExpr::new();
+    for (v, c) in vars.iter().zip(&objective) {
+        obj.add_term(*v, *c);
+    }
+    p.set_objective(obj);
+    let mut constraints = Vec::with_capacity(m);
+    for _ in 0..m {
+        let coefs: Vec<f64> = (0..n).map(|_| rng.coef()).collect();
+        // Bias toward satisfiable-but-tight inequalities; equalities are
+        // rarer (1 in 8) because they make most instances infeasible,
+        // and the suite wants both outcomes well represented.
+        let cmp = match rng.below(8) {
+            0 => Cmp::Eq,
+            1..=4 => Cmp::Le,
+            _ => Cmp::Ge,
+        };
+        let lo: f64 = coefs.iter().map(|c| c.min(0.0)).sum();
+        let hi: f64 = coefs.iter().map(|c| c.max(0.0)).sum();
+        let span = u64::try_from((hi - lo).abs().round() as i64).unwrap_or(0); // small exact int; lint: allow(as-cast)
+        let rhs = lo + {
+            let raw = rng.below(span + 3);
+            let mut x = 0.0f64;
+            for _ in 0..raw {
+                x += 1.0;
+            }
+            x - 1.0
+        };
+        let mut e = LinExpr::new();
+        for (v, c) in vars.iter().zip(&coefs) {
+            e.add_term(*v, *c);
+        }
+        p.add_constraint(e, cmp, rhs);
+        constraints.push((coefs, cmp, rhs));
+    }
+    Instance {
+        problem: p,
+        vars,
+        objective,
+        constraints,
+        sense,
+    }
+}
+
+/// Exhaustive oracle: the optimal objective over all `2^n` assignments,
+/// or `None` if no assignment is feasible. Feasibility is evaluated from
+/// the raw coefficient data, independent of the crate's expression code.
+fn brute_force(inst: &Instance) -> Option<(f64, Vec<f64>)> {
+    let n = inst.vars.len();
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for mask in 0u32..(1u32 << n) {
+        let assign: Vec<f64> = (0..n)
+            .map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        let feasible = inst.constraints.iter().all(|(coefs, cmp, rhs)| {
+            let lhs: f64 = coefs.iter().zip(&assign).map(|(c, x)| c * x).sum();
+            match cmp {
+                Cmp::Le => lhs <= rhs + FEAS_TOL,
+                Cmp::Ge => lhs >= rhs - FEAS_TOL,
+                Cmp::Eq => (lhs - rhs).abs() <= FEAS_TOL,
+            }
+        });
+        if !feasible {
+            continue;
+        }
+        let obj: f64 = inst.objective.iter().zip(&assign).map(|(c, x)| c * x).sum();
+        let better = match &best {
+            None => true,
+            Some((incumbent, _)) => match inst.sense {
+                Sense::Minimize => obj < *incumbent,
+                Sense::Maximize => obj > *incumbent,
+            },
+        };
+        if better {
+            best = Some((obj, assign));
+        }
+    }
+    best
+}
+
+#[test]
+fn branch_and_bound_matches_exhaustive_enumeration_on_200_instances() {
+    let mut rng = Rng(0x5eed_0001);
+    let solver = Solver::new();
+    let (mut feasible_count, mut infeasible_count) = (0u32, 0u32);
+    for case in 0..200 {
+        let inst = random_instance(&mut rng);
+        let oracle = brute_force(&inst);
+        let sol = solver
+            .solve(&inst.problem)
+            .unwrap_or_else(|e| panic!("case {case}: solver error {e:?}"));
+        match oracle {
+            Some((best_obj, _)) => {
+                feasible_count += 1;
+                assert_eq!(
+                    sol.status,
+                    SolveStatus::Optimal,
+                    "case {case}: oracle found a feasible point, solver said {:?}",
+                    sol.status
+                );
+                assert!(
+                    (sol.objective - best_obj).abs() <= OBJ_TOL,
+                    "case {case}: objective mismatch: solver {} vs exhaustive {} (> {OBJ_TOL})",
+                    sol.objective,
+                    best_obj
+                );
+                assert!(
+                    inst.problem.is_feasible(sol.values(), FEAS_TOL),
+                    "case {case}: solver incumbent violates its own constraints"
+                );
+            }
+            None => {
+                infeasible_count += 1;
+                assert_eq!(
+                    sol.status,
+                    SolveStatus::Infeasible,
+                    "case {case}: no feasible assignment exists, solver said {:?}",
+                    sol.status
+                );
+            }
+        }
+    }
+    // The generator must actually exercise both outcome classes, or the
+    // differential claim is hollow.
+    assert!(
+        feasible_count >= 40 && infeasible_count >= 10,
+        "generator imbalance: {feasible_count} feasible / {infeasible_count} infeasible"
+    );
+}
+
+#[test]
+fn solver_is_deterministic_across_repeat_solves() {
+    let mut rng = Rng(0xd5ee_d002);
+    let solver = Solver::new();
+    for _ in 0..20 {
+        let inst = random_instance(&mut rng);
+        let a = solver.solve(&inst.problem).expect("solve");
+        let b = solver.solve(&inst.problem).expect("solve");
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "bit-identical repeats");
+        let same = a
+            .values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "assignments must be bit-identical across solves");
+    }
+}
+
+#[test]
+fn unbounded_directions_are_reported_typed() {
+    // Pure-binary problems cannot be unbounded; a free continuous
+    // improving direction is the canonical construction.
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_continuous("x", 0.0, f64::INFINITY);
+    let b = p.add_binary("b");
+    let mut obj = LinExpr::new();
+    obj.add_term(x, 1.0);
+    obj.add_term(b, 1.0);
+    p.set_objective(obj);
+    // A constraint that does not bound x from above.
+    let mut e = LinExpr::new();
+    e.add_term(b, 1.0);
+    p.add_constraint(e, Cmp::Le, 1.0);
+    let sol = Solver::new().solve(&p).expect("valid problem");
+    assert_eq!(sol.status, SolveStatus::Unbounded);
+
+    // The minimize twin is bounded (x ≥ 0): optimal at 0, not unbounded.
+    let mut p2 = Problem::new(Sense::Minimize);
+    let x2 = p2.add_continuous("x", 0.0, f64::INFINITY);
+    let mut obj2 = LinExpr::new();
+    obj2.add_term(x2, 1.0);
+    p2.set_objective(obj2);
+    let sol2 = Solver::new().solve(&p2).expect("valid problem");
+    assert_eq!(sol2.status, SolveStatus::Optimal);
+    assert!(sol2.objective.abs() <= OBJ_TOL);
+}

@@ -64,6 +64,16 @@ impl EvalKey {
 /// enough that an idle cache costs nothing noticeable.
 const DEFAULT_SHARDS: usize = 16;
 
+/// One stored evaluation plus its provenance tier: `warm` entries were
+/// imported (disk snapshot / checkpoint), everything else was computed by
+/// this cache instance ("hot"). The tier never changes the served value —
+/// it only routes the hit into the matching counter.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    eval: PuEval,
+    warm: bool,
+}
+
 /// Sharded concurrent memo cache for PU cost evaluations.
 ///
 /// Cheap to share by reference across scoped worker threads; all methods
@@ -90,8 +100,9 @@ const DEFAULT_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct EvalCache {
     em: EnergyModel,
-    shards: Vec<Mutex<HashMap<EvalKey, PuEval>>>, // lookup-only; lint: allow(nondet-iter)
+    shards: Vec<Mutex<HashMap<EvalKey, Entry>>>, // lookup-only; lint: allow(nondet-iter)
     hits: AtomicU64,
+    warm_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -114,6 +125,7 @@ impl EvalCache {
             // lookup-only; lint: allow(nondet-iter)
             shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
@@ -124,7 +136,7 @@ impl EvalCache {
     }
 
     // lookup-only; lint: allow(nondet-iter)
-    fn shard_of(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, PuEval>> {
+    fn shard_of(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, Entry>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[crate::util::usize_of(h.finish()) % self.shards.len()]
@@ -142,7 +154,11 @@ impl EvalCache {
         if let Some(hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             obs::add("pucost.cache.hits", 1);
-            return *hit;
+            if hit.warm {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                obs::add("pucost.cache.warm_hits", 1);
+            }
+            return hit.eval;
         }
         // Compute outside the lock so a slow evaluation never blocks the
         // shard's other keys.
@@ -165,7 +181,7 @@ impl EvalCache {
                 obs::event("fault.recovered", &[("point", "cache.poison".into())]);
                 e.into_inner()
             })
-            .insert(key, eval);
+            .insert(key, Entry { eval, warm: false });
         eval
     }
 
@@ -177,9 +193,21 @@ impl EvalCache {
         pick_dataflow(ws, os)
     }
 
-    /// Number of lookups served from the cache.
+    /// Number of lookups served from the cache (both tiers).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits served from entries imported via [`EvalCache::import_line`]
+    /// (the persistent "warm" tier — a disk snapshot or a checkpoint).
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits served from entries this cache instance computed itself (the
+    /// in-memory "hot" tier): `hits - warm_hits`.
+    pub fn hot_hits(&self) -> u64 {
+        self.hits().saturating_sub(self.warm_hits())
     }
 
     /// Number of lookups that had to evaluate.
@@ -216,6 +244,7 @@ impl EvalCache {
             s.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
+        self.warm_hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
 
@@ -231,6 +260,8 @@ impl EvalCache {
         let max_shard = per_shard.iter().copied().max().unwrap_or(0);
         CacheStats {
             hits: self.hits(),
+            warm_hits: self.warm_hits(),
+            hot_hits: self.hot_hits(),
             misses: self.misses(),
             hit_rate: self.hit_rate(),
             entries,
@@ -269,7 +300,7 @@ impl EvalCache {
         for s in &self.shards {
             let g = s.lock().unwrap_or_else(|e| e.into_inner());
             for (k, v) in g.iter() {
-                out.push(entry_line(k, v));
+                out.push(entry_line(k, &v.eval));
             }
         }
         out.sort_unstable();
@@ -278,13 +309,15 @@ impl EvalCache {
 
     /// Restores one [`EvalCache::export_lines`] line into the cache
     /// (hit/miss counters are untouched — a restored entry is neither).
+    /// Imported entries belong to the warm tier: later lookups that land
+    /// on them count under [`EvalCache::warm_hits`].
     pub fn import_line(&self, line: &str) -> Result<(), SnapshotError> {
         let (key, eval) = parse_entry_line(line)?;
         let shard = self.shard_of(&key);
         shard
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(key, eval);
+            .insert(key, Entry { eval, warm: true });
         Ok(())
     }
 }
@@ -420,7 +453,7 @@ fn parse_entry_line(line: &str) -> Result<(EvalKey, PuEval), SnapshotError> {
 /// only observable effect is the poison flag the recovery path must
 /// handle.
 // lint: allow(nondet-iter) — type mention in the signature only; the shard map is never iterated here.
-fn poison_mutex(mutex: &Mutex<HashMap<EvalKey, PuEval>>) {
+fn poison_mutex(mutex: &Mutex<HashMap<EvalKey, Entry>>) {
     struct QuietPayload;
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
@@ -434,8 +467,12 @@ fn poison_mutex(mutex: &Mutex<HashMap<EvalKey, PuEval>>) {
 /// Snapshot of an [`EvalCache`]'s counters, taken by [`EvalCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the cache (warm + hot).
     pub hits: u64,
+    /// Hits served from imported (persistent-tier) entries.
+    pub warm_hits: u64,
+    /// Hits served from entries computed by this cache instance.
+    pub hot_hits: u64,
     /// Lookups that had to evaluate.
     pub misses: u64,
     /// `hits / (hits + misses)`, 0 for an unused cache.
@@ -458,6 +495,7 @@ impl CacheStats {
             label,
             &[
                 ("hits", self.hits.into()),
+                ("warm_hits", self.warm_hits.into()),
                 ("misses", self.misses.into()),
                 ("hit_rate", self.hit_rate.into()),
                 ("entries", self.entries.into()),
@@ -605,6 +643,31 @@ mod tests {
             assert_eq!(e.line, bad);
         }
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn warm_and_hot_hits_are_tiered() {
+        let em = EnergyModel::tsmc28();
+        let source = EvalCache::new(em);
+        let pu = PuConfig::new(16, 16);
+        source.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+
+        let cache = EvalCache::new(em);
+        for l in source.export_lines() {
+            cache.import_line(&l).expect("line parses");
+        }
+        // Imported entry → warm hit.
+        cache.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+        assert_eq!((cache.hits(), cache.warm_hits(), cache.hot_hits()), (1, 1, 0));
+        // Freshly computed entry → hot hit.
+        cache.evaluate(&conv(), &pu, Dataflow::OutputStationary);
+        cache.evaluate(&conv(), &pu, Dataflow::OutputStationary);
+        assert_eq!((cache.hits(), cache.warm_hits(), cache.hot_hits()), (2, 1, 1));
+        let s = cache.stats();
+        assert_eq!((s.warm_hits, s.hot_hits), (1, 1));
+        assert_eq!(s.hits, s.warm_hits + s.hot_hits);
+        cache.clear();
+        assert_eq!(cache.warm_hits(), 0);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! `spa-serve`: a long-running, multi-client evaluation/DSE service.
+//!
+//! The crates below this one answer *one* question per process run:
+//! evaluate a PU, segment a model, run a co-design sweep. This crate
+//! turns them into a **service**: a persistent process that many clients
+//! query concurrently over a versioned JSONL protocol, sharing one warm
+//! [`pucost::EvalCache`] (optionally persisted to disk across restarts),
+//! one [`autoseg::dse::DsePool`], and one admission-controlled priority
+//! queue.
+//!
+//! Layering:
+//!
+//! * [`json`] — a tiny deterministic JSON value (std-only; sorted keys).
+//! * [`proto`] — the versioned request/response line protocol.
+//! * [`queue`] — admission control + priority scheduling.
+//! * [`diskcache`] — the persistent warm tier of the eval cache.
+//! * [`server`] — the serving core: workers, batching, deadlines,
+//!   cancellation, graceful shutdown with checkpointed searches.
+//!
+//! The `spa-serve` binary (`main.rs`) fronts a [`server::Server`] with a
+//! unix-domain socket (`SERVE_SOCKET`) or, with `--stdio`, a single
+//! stdin/stdout session — the mode the offline harness and `verify.sh`
+//! drive.
+//!
+//! Environment knobs: `SERVE_SOCKET` (socket path), `SERVE_CACHE_DIR`
+//! (persistent cache + server-side checkpoints), `SERVE_MAX_INFLIGHT`
+//! (admission cap). `DSE_THREADS`, `OBS_LEVEL` and `FAULT_PLAN` apply as
+//! everywhere else.
+//!
+//! Known limitation, documented rather than hidden: `segment` requests
+//! run through [`autoseg::AutoSeg`], which builds its own internal eval
+//! cache per run — they do not share the server's warm cache (and so
+//! never contribute warm hits). `eval_pu` and `codesign` do.
+
+pub mod diskcache;
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use diskcache::DiskCache;
+pub use json::Json;
+pub use proto::{Envelope, ProtoError, Request, PROTOCOL_VERSION};
+pub use queue::{Admission, AdmitError};
+pub use server::{Client, ServeConfig, Server};
+
+use std::io::{BufRead, Write};
+
+/// Runs one blocking stdio session against a fresh server: each input
+/// line is a request, each output line a response. Returns when the
+/// input reaches EOF or a `shutdown` request lands; either way the
+/// server drains, checkpoints in-flight searches and flushes the
+/// persistent cache before this returns.
+///
+/// This is the `--stdio` mode of the binary, factored here so tests can
+/// drive it with in-memory readers/writers.
+///
+/// # Errors
+///
+/// `std::io::Error` only for output-write failures; input errors end the
+/// session like EOF.
+pub fn run_stdio(
+    input: impl BufRead,
+    mut output: impl Write,
+    cfg: ServeConfig,
+) -> std::io::Result<()> {
+    let server = Server::start(cfg);
+    let client = server.client();
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        client.submit(&line);
+        // Stay responsive: forward whatever is ready between submits.
+        for resp in client.drain_ready() {
+            writeln!(output, "{resp}")?;
+        }
+        if server.is_shutting_down() {
+            break;
+        }
+    }
+    if !server.is_shutting_down() {
+        server.shutdown();
+    }
+    for resp in client.drain_ready() {
+        writeln!(output, "{resp}")?;
+    }
+    // Wait for in-flight jobs to answer (done or typed partial — they
+    // observe their raised cancel flags at the next generation
+    // boundary), then drain the tail.
+    server.join();
+    for resp in client.drain_ready() {
+        writeln!(output, "{resp}")?;
+    }
+    output.flush()?;
+    Ok(())
+}

@@ -1,0 +1,233 @@
+//! Admission-controlled priority queue for the serving layer.
+//!
+//! Jobs are ordered by `(priority desc, arrival seq asc)`: a higher
+//! priority always runs first, and within one priority the queue is
+//! FIFO — arrival order is a total tiebreak, so scheduling order is a
+//! deterministic function of the submitted sequence. Admission is
+//! bounded (`SERVE_MAX_INFLIGHT`): once `queued + running` reaches the
+//! limit, submissions are rejected typed (`overloaded`) instead of
+//! growing without bound.
+//!
+//! The queue itself is single-lock and tiny; batching policy lives in
+//! the scheduler (`server.rs`), which drains *runs of compatible
+//! `eval_pu` jobs* from the front so they share one `DsePool::par_map`.
+
+use std::collections::BinaryHeap;
+
+/// One queued unit of work, as the scheduler sees it.
+#[derive(Debug)]
+pub struct Queued<J> {
+    /// Scheduling priority (higher first).
+    pub priority: i64,
+    /// Admission sequence number (FIFO tiebreak, unique).
+    pub seq: u64,
+    /// The job payload.
+    pub job: J,
+}
+
+impl<J> PartialEq for Queued<J> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<J> Eq for Queued<J> {}
+
+impl<J> Ord for Queued<J> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority wins; earlier seq wins inside one
+        // priority (seq compared reversed).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<J> PartialOrd for Queued<J> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Why [`Admission::push`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// `queued + running` reached the inflight cap.
+    Overloaded,
+    /// The server is shutting down; no new work is admitted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Overloaded => write!(f, "inflight limit reached"),
+            AdmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+/// The admission-controlled queue. Callers hold it behind one mutex.
+#[derive(Debug)]
+pub struct Admission<J> {
+    heap: BinaryHeap<Queued<J>>,
+    seq: u64,
+    running: usize,
+    max_inflight: usize,
+    closed: bool,
+}
+
+impl<J> Admission<J> {
+    /// An empty queue admitting at most `max_inflight` jobs (clamped ≥ 1)
+    /// across the queued and running states combined.
+    pub fn new(max_inflight: usize) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            running: 0,
+            max_inflight: max_inflight.max(1),
+            closed: false,
+        }
+    }
+
+    /// Queued (not yet running) jobs.
+    pub fn depth(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// The admission cap.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// `true` once [`Admission::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Stops admitting new jobs (graceful shutdown). Already-queued jobs
+    /// can still be drained by the scheduler.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Admits `job`, returning its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::Overloaded`] at the inflight cap,
+    /// [`AdmitError::ShuttingDown`] after [`Admission::close`].
+    pub fn push(&mut self, priority: i64, job: J) -> Result<u64, AdmitError> {
+        if self.closed {
+            return Err(AdmitError::ShuttingDown);
+        }
+        if self.heap.len() + self.running >= self.max_inflight {
+            return Err(AdmitError::Overloaded);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Queued { priority, seq, job });
+        obs::record("serve.queue.depth", pucost::util::u64_of(self.heap.len()));
+        Ok(seq)
+    }
+
+    /// Removes and returns the highest-priority job, marking it running.
+    /// The scheduler must pair every `pop` with [`Admission::finish`].
+    pub fn pop(&mut self) -> Option<Queued<J>> {
+        let q = self.heap.pop()?;
+        self.running += 1;
+        Some(q)
+    }
+
+    /// Peeks at the next job without dequeuing it.
+    pub fn peek(&self) -> Option<&Queued<J>> {
+        self.heap.peek()
+    }
+
+    /// Pops the next job only if `pred` accepts it — how the scheduler
+    /// drains a run of batch-compatible jobs from the front.
+    pub fn pop_if(&mut self, pred: impl Fn(&Queued<J>) -> bool) -> Option<Queued<J>> {
+        if self.heap.peek().is_some_and(|q| pred(q)) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Marks one previously popped job finished.
+    pub fn finish(&mut self) {
+        self.running = self.running.saturating_sub(1);
+    }
+
+    /// Drains every queued job (shutdown: they are answered `partial`
+    /// with reason `cancelled` without running).
+    pub fn drain(&mut self) -> Vec<Queued<J>> {
+        let mut out: Vec<Queued<J>> = std::mem::take(&mut self.heap).into_vec();
+        // BinaryHeap::into_vec is heap order, not sorted; restore the
+        // scheduling order so drained responses are deterministic.
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let mut q: Admission<&str> = Admission::new(16);
+        q.push(0, "a").expect("admit");
+        q.push(5, "b").expect("admit");
+        q.push(0, "c").expect("admit");
+        q.push(5, "d").expect("admit");
+        q.push(-1, "e").expect("admit");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|j| j.job)).collect();
+        assert_eq!(order, ["b", "d", "a", "c", "e"]);
+    }
+
+    #[test]
+    fn admission_counts_running_jobs() {
+        let mut q: Admission<u32> = Admission::new(2);
+        q.push(0, 1).expect("admit");
+        q.push(0, 2).expect("admit");
+        assert_eq!(q.push(0, 3), Err(AdmitError::Overloaded));
+        let _job = q.pop().expect("pop");
+        assert_eq!((q.depth(), q.running()), (1, 1));
+        // Still at the cap: 1 queued + 1 running.
+        assert_eq!(q.push(0, 3), Err(AdmitError::Overloaded));
+        q.finish();
+        q.push(0, 3).expect("slot freed");
+    }
+
+    #[test]
+    fn close_rejects_but_drains() {
+        let mut q: Admission<u32> = Admission::new(8);
+        q.push(1, 10).expect("admit");
+        q.push(9, 11).expect("admit");
+        q.close();
+        assert_eq!(q.push(0, 12), Err(AdmitError::ShuttingDown));
+        assert!(q.is_closed());
+        let drained: Vec<u32> = q.drain().into_iter().map(|j| j.job).collect();
+        assert_eq!(drained, [11, 10], "drain preserves scheduling order");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_if_gates_on_head() {
+        let mut q: Admission<u32> = Admission::new(8);
+        q.push(0, 2).expect("admit");
+        q.push(1, 1).expect("admit");
+        assert!(q.pop_if(|j| j.job == 2).is_none(), "head is 1");
+        assert_eq!(q.pop_if(|j| j.job == 1).map(|j| j.job), Some(1));
+        assert_eq!(q.pop_if(|j| j.job == 2).map(|j| j.job), Some(2));
+        assert!(q.pop_if(|_| true).is_none(), "empty");
+        q.finish();
+        q.finish();
+    }
+}

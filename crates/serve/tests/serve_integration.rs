@@ -1,0 +1,384 @@
+//! End-to-end service tests driving the in-process [`serve::Server`]
+//! exactly as the socket/stdio front ends do: raw JSONL request lines
+//! in, raw JSONL response lines out.
+//!
+//! Pinned here:
+//!
+//! * **Concurrency**: 8 concurrent scripted clients, every request
+//!   answered with a terminal response (`done`, typed `partial`, or
+//!   typed `error`) — no lost requests, no panics.
+//! * **Persistence**: a restarted server answers a repeated request from
+//!   the disk-loaded warm cache tier, observable via `status`.
+//! * **Resume equivalence**: a server stopped mid-`codesign` (the
+//!   SIGTERM path: [`serve::Server::shutdown`]) checkpoints the search;
+//!   a restarted server resumes it to a result digest **bit-identical**
+//!   to an uninterrupted run of the same request.
+//! * **Deadlines**: a mid-request `deadline_ms` produces a typed
+//!   `partial` with `reason:"deadline"`, never a hang or a panic.
+
+use serve::json::Json;
+use serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("serve-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("mkdir");
+    p
+}
+
+fn eval_line(id: u64, k: usize, extra: &str) -> String {
+    format!(
+        "{{\"v\":1,\"id\":{id},\"req\":\"eval_pu\",\"dataflow\":\"best\",\
+         \"layer\":{{\"in_c\":{},\"in_h\":14,\"in_w\":14,\"out_c\":{},\"out_h\":14,\"out_w\":14,\
+         \"kernel\":3,\"stride\":1,\"groups\":1,\"is_fc\":false}},\
+         \"pu\":{{\"rows\":16,\"cols\":16}}{extra}}}",
+        8 * (k % 7 + 1),
+        16 * (k % 5 + 1)
+    )
+}
+
+/// `mip-baye` runs one generation per hardware candidate (plus the seed
+/// generations), so `hw_iters` controls how many cancellation/deadline
+/// boundaries the search crosses — unlike `mip-heuristic`, whose whole
+/// search is a single generation.
+fn codesign_line(id: u64, method: &str, hw_iters: usize, seg_iters: usize, extra: &str) -> String {
+    format!(
+        "{{\"v\":1,\"id\":{id},\"req\":\"codesign\",\"model\":\"alexnet\",\
+         \"budget\":\"eyeriss\",\"method\":\"{method}\",\
+         \"hw_iters\":{hw_iters},\"seg_iters\":{seg_iters},\"seed\":3{extra}}}"
+    )
+}
+
+/// Reads response lines until every id in `ids` has a terminal response
+/// (`done` | `partial` | `error`); `progress` events are skipped. The
+/// channel interleaves responses of concurrently outstanding requests,
+/// so waiting for several ids must collect, not filter.
+fn collect_terminals(client: &serve::Client, ids: &[u64]) -> std::collections::BTreeMap<u64, Json> {
+    let mut out = std::collections::BTreeMap::new();
+    while out.len() < ids.len() {
+        let Some(line) = client.recv_timeout(Duration::from_secs(30)) else {
+            panic!("timed out; missing terminal responses for {ids:?} (have {:?})",
+                   out.keys().collect::<Vec<_>>());
+        };
+        let v = serve::json::parse(&line).expect("response line is JSON");
+        let id = v.get("id").and_then(Json::as_u64).expect("response id");
+        match v.get("kind").and_then(Json::as_str) {
+            Some("progress") => continue,
+            Some(_) if ids.contains(&id) => {
+                out.insert(id, v);
+            }
+            Some(_) => panic!("terminal response for unexpected id {id}: {line}"),
+            None => panic!("response without kind: {line}"),
+        }
+    }
+    out
+}
+
+/// Waits for the terminal response to `id` — only safe when `id` is the
+/// sole outstanding request on this client.
+fn terminal_for(client: &serve::Client, id: u64) -> Json {
+    collect_terminals(client, &[id]).remove(&id).expect("collected")
+}
+
+fn status_of(client: &serve::Client, id: u64) -> Json {
+    client.submit(&format!("{{\"v\":1,\"id\":{id},\"req\":\"status\"}}"));
+    let v = terminal_for(client, id);
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"));
+    v.get("result").expect("status result").clone()
+}
+
+#[test]
+fn eight_concurrent_clients_every_request_answered() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    let answered: Vec<(u64, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0u64..8)
+            .map(|c| {
+                let client = server.client();
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0u64..3 {
+                        let id = 100 * c + i;
+                        // A mix of plain, prioritized and deadlined work.
+                        let extra = match i {
+                            0 => String::new(),
+                            1 => format!(",\"priority\":{}", c % 3),
+                            _ => ",\"deadline_ms\":30000".to_string(),
+                        };
+                        client.submit(&eval_line(id, usize::try_from(c + i).expect("small"), &extra));
+                    }
+                    let ids: Vec<u64> = (0u64..3).map(|i| 100 * c + i).collect();
+                    for (id, v) in collect_terminals(&client, &ids) {
+                        let kind = v
+                            .get("kind")
+                            .and_then(Json::as_str)
+                            .expect("kind")
+                            .to_string();
+                        out.push((id, kind));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    assert_eq!(answered.len(), 24, "every request got a terminal response");
+    for (id, kind) in &answered {
+        assert!(
+            kind == "done" || kind == "partial",
+            "request {id} answered {kind}"
+        );
+    }
+    // The repeated layer/PU shapes across clients must have hit the
+    // shared cache at least once (7 distinct shapes, 24 requests).
+    let client = server.client();
+    let st = status_of(&client, 9000);
+    let hits = st
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .expect("cache.hits");
+    assert!(hits >= 1, "shared cache saw repeats: {st:?}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn persistent_cache_survives_restart_and_reports_warm_hits() {
+    let dir = tmpdir("warm");
+    let cfg = || ServeConfig {
+        workers: 1,
+        threads: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    // First server: compute, flush on shutdown.
+    {
+        let server = Server::start(cfg());
+        let client = server.client();
+        client.submit(&eval_line(1, 1, ""));
+        let v = terminal_for(&client, 1);
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"));
+        let st = status_of(&client, 2);
+        let misses = st
+            .get("cache")
+            .and_then(|c| c.get("misses"))
+            .and_then(Json::as_u64)
+            .expect("cache.misses");
+        assert!(misses >= 1, "first evaluation is a miss: {st:?}");
+        server.shutdown();
+        server.join();
+    }
+    // Second server, same cache dir: the repeat is a warm (disk-tier)
+    // hit, visible in `status` under cache.warm_hits and disk.*.
+    let server = Server::start(cfg());
+    let client = server.client();
+    let st0 = status_of(&client, 1);
+    let loaded = st0
+        .get("disk")
+        .and_then(|d| d.get("loaded_entries"))
+        .and_then(Json::as_u64)
+        .expect("disk.loaded_entries");
+    assert!(loaded >= 1, "snapshot loaded on start: {st0:?}");
+    client.submit(&eval_line(2, 1, ""));
+    let v = terminal_for(&client, 2);
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"));
+    let st = status_of(&client, 3);
+    let warm = st
+        .get("cache")
+        .and_then(|c| c.get("warm_hits"))
+        .and_then(Json::as_u64)
+        .expect("cache.warm_hits");
+    let misses = st
+        .get("cache")
+        .and_then(|c| c.get("misses"))
+        .and_then(Json::as_u64)
+        .expect("cache.misses");
+    assert!(warm >= 1, "repeat served from the warm tier: {st:?}");
+    assert_eq!(misses, 0, "nothing recomputed after restart: {st:?}");
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_codesign_resumes_bit_identical_after_restart() {
+    // Uninterrupted reference run.
+    let ref_dir = tmpdir("codesign-ref");
+    let reference = {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            threads: 1,
+            cache_dir: Some(ref_dir.clone()),
+            ..ServeConfig::default()
+        });
+        let client = server.client();
+        client.submit(&codesign_line(1, "mip-baye", 40, 48, ""));
+        let v = terminal_for(&client, 1);
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"), "{v:?}");
+        let digest = v
+            .get("result")
+            .and_then(|r| r.get("digest"))
+            .and_then(Json::as_str)
+            .expect("digest")
+            .to_string();
+        server.shutdown();
+        server.join();
+        digest
+    };
+
+    // Same request, stopped mid-flight by shutdown (the SIGTERM path),
+    // then resumed by a restarted server against the same cache dir.
+    let dir = tmpdir("codesign-cut");
+    let cfg = || ServeConfig {
+        workers: 1,
+        threads: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let first = {
+        let server = Server::start(cfg());
+        let client = server.client();
+        client.submit(&codesign_line(1, "mip-baye", 40, 48, ""));
+        // Wait for the worker to pick the search up (its `progress`
+        // event), then pull the plug mid-flight.
+        let mut terminal = None;
+        loop {
+            let line = client
+                .recv_timeout(Duration::from_secs(30))
+                .expect("response while waiting for pickup");
+            let v = serve::json::parse(&line).expect("json");
+            match v.get("kind").and_then(Json::as_str) {
+                Some("progress") => break,
+                // The whole search finished before we saw the pickup.
+                Some(_) => {
+                    terminal = Some(v);
+                    break;
+                }
+                None => panic!("response without kind: {line}"),
+            }
+        }
+        server.shutdown();
+        let v = terminal.unwrap_or_else(|| terminal_for(&client, 1));
+        server.join();
+        v
+    };
+    let digest = match first.get("kind").and_then(Json::as_str) {
+        // The shutdown landed mid-search: a typed partial, and the
+        // checkpoint is on disk. Resume must finish the exact search.
+        Some("partial") => {
+            assert_eq!(
+                first.get("reason").and_then(Json::as_str),
+                Some("cancelled"),
+                "{first:?}"
+            );
+            let server = Server::start(cfg());
+            let client = server.client();
+            client.submit(&codesign_line(2, "mip-baye", 40, 48, ""));
+            let v = terminal_for(&client, 2);
+            assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"), "{v:?}");
+            let d = v
+                .get("result")
+                .and_then(|r| r.get("digest"))
+                .and_then(Json::as_str)
+                .expect("digest")
+                .to_string();
+            server.shutdown();
+            server.join();
+            d
+        }
+        // The search beat the shutdown; its digest still pins equality.
+        Some("done") => first
+            .get("result")
+            .and_then(|r| r.get("digest"))
+            .and_then(Json::as_str)
+            .expect("digest")
+            .to_string(),
+        other => panic!("unexpected terminal kind {other:?}: {first:?}"),
+    };
+    assert_eq!(
+        digest, reference,
+        "resumed codesign must be bit-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+#[test]
+fn mid_request_deadline_yields_typed_partial() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    let client = server.client();
+    // A deliberately over-budget search under a tight deadline: the
+    // worker starts it (the deadline has not expired at pickup) and the
+    // search stops cooperatively at a generation boundary.
+    client.submit(&codesign_line(1, "mip-baye", 4000, 48, ",\"deadline_ms\":50"));
+    let v = terminal_for(&client, 1);
+    match v.get("kind").and_then(Json::as_str) {
+        Some("partial") => {
+            assert_eq!(v.get("reason").and_then(Json::as_str), Some("deadline"), "{v:?}");
+            let planned = v.get("planned_gens").and_then(Json::as_u64).expect("planned");
+            let completed = v.get("completed_gens").and_then(Json::as_u64).expect("completed");
+            assert!(completed < planned, "stopped early: {completed}/{planned}");
+        }
+        // A fast machine may finish 4000 generations inside 50ms; that
+        // is a legal outcome, not a failure — the contract is "answered
+        // by deadline, typed, no hang".
+        Some("done") => {}
+        other => panic!("unexpected terminal kind {other:?}: {v:?}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn cancel_interrupts_a_queued_request() {
+    // One worker, occupied by a long search; the second request is still
+    // queued when the cancel lands, so it answers `partial:cancelled`
+    // without running.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    let client = server.client();
+    client.submit(&codesign_line(1, "mip-heuristic", 6, 600, ",\"deadline_ms\":2000"));
+    client.submit(&eval_line(2, 1, ""));
+    client.submit(r#"{"v":1,"id":3,"req":"cancel","target":2}"#);
+    let mut resps = collect_terminals(&client, &[1, 2, 3]);
+    let cancel_resp = resps.remove(&3).expect("cancel response");
+    assert_eq!(cancel_resp.get("kind").and_then(Json::as_str), Some("done"));
+    let v = resps.remove(&2).expect("eval response");
+    match v.get("kind").and_then(Json::as_str) {
+        Some("partial") => {
+            assert_eq!(v.get("reason").and_then(Json::as_str), Some("cancelled"), "{v:?}");
+        }
+        // Lost the race: the eval ran before the cancel landed. Legal —
+        // the cancel then reports found or not depending on exactly when
+        // it interleaved with the response, so only the kind is pinned.
+        Some("done") => {}
+        other => panic!("unexpected terminal kind {other:?}: {v:?}"),
+    }
+    let first = resps.remove(&1).expect("codesign response");
+    assert!(
+        matches!(
+            first.get("kind").and_then(Json::as_str),
+            Some("done") | Some("partial")
+        ),
+        "{first:?}"
+    );
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,280 @@
+//! Cross-validation of the analytical pipeline model against the
+//! event-driven piece-level simulator on *random segmentations* — not
+//! just the full-pipeline special case the unit tests cover.
+//!
+//! Two documented brackets, asserted per segment and never averaged
+//! away:
+//!
+//! * **Random segmentations** (seeded (schedule, PE-allocation) pairs
+//!   over three zoo models) pin the *universal work-conservation
+//!   bracket*:
+//!
+//!   ```text
+//!     bottleneck  <=  event  <=  serial + pieces
+//!   ```
+//!
+//!   `bottleneck = max_pu(pu_cycles)` is the perfect-overlap lower
+//!   bound; `serial = sum_pu(pu_cycles)` is full serialization and
+//!   `pieces` (one extra cycle per piece) absorbs the integer rounding
+//!   of per-piece cycle counts. Both sides are exact — the event
+//!   scheduler never leaves every PU idle while work remains, so its
+//!   makespan cannot exceed the rounded serial sum.
+//!
+//! * **Full-pipeline designs on linear-chain models** (deep
+//!   piece-parallelism, one PU per item) additionally satisfy the
+//!   tighter analytical tolerance
+//!   `event <= (bottleneck + fill) * (1 + TOL)` with `TOL = 20%`
+//!   (`TOL_NUM/TOL_DEN`). The closed-form `fill` term models only the
+//!   first-piece ramp, so this band is *documented as conditional*:
+//!   random segmentations serialize chained items on one PU beyond it
+//!   (observed 1.36x on resnet18), and residual models break it even
+//!   fully pipelined (resnet18's single-piece global-pool/FC tail,
+//!   2.3x). Those cases are exactly why the universal bracket above
+//!   exists.
+//!
+//! Whole-report identities are pinned too: total cycles are exactly the
+//! sum of per-segment `max(compute, memory)`, pipeline stalls
+//! (`event - bottleneck`) are non-negative everywhere, and the event
+//! report reuses the analytical traffic/energy model bit-for-bit.
+
+use nnmodel::{zoo, Workload};
+use spa_arch::{Assignment, HwBudget, Segment, SegmentSchedule};
+use spa_sim::{segment_piece_cycles, simulate_spa, simulate_spa_event};
+
+/// Per-segment upper-bound tolerance over the analytical estimate on
+/// full-pipeline designs (see module docs):
+/// `event <= analytical + analytical/5`.
+const TOL_NUM: u64 = 1;
+const TOL_DEN: u64 = 5;
+
+/// Total output rows (= pieces) of a segment — the exact rounding slack
+/// of the serial upper bound, one cycle per `ceil`-rounded piece.
+fn segment_pieces(w: &Workload, d: &spa_arch::SpaDesign, s: usize) -> u64 {
+    d.schedule.segments[s]
+        .assignments
+        .iter()
+        .map(|a| {
+            let desc = pucost::LayerDesc::from_item(&w.items()[a.item]);
+            u64::try_from(desc.out_h.max(1)).expect("fits")
+        })
+        .sum()
+}
+
+/// SplitMix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        usize::try_from(self.next() % u64::try_from(bound.max(1)).expect("fits")).expect("bounded")
+    }
+}
+
+/// Splits `len` into `parts` contiguous non-empty chunk sizes, randomly.
+fn random_chunks(rng: &mut Rng, len: usize, parts: usize) -> Vec<usize> {
+    let mut sizes = vec![1usize; parts];
+    for _ in 0..(len - parts) {
+        sizes[rng.below(parts)] += 1;
+    }
+    sizes
+}
+
+/// Builds a random valid segmentation: contiguous item ranges per
+/// segment (topological order ⇒ no backward dependencies), contiguous
+/// per-PU chunks within each segment (⇒ intra-segment data only flows
+/// from lower to higher PU, so no bidirectional-flow violations), and
+/// every PU busy in every segment.
+fn random_schedule(rng: &mut Rng, w: &Workload) -> SegmentSchedule {
+    let n = w.len();
+    let n_pus = 2 + rng.below(3); // 2..=4
+    let max_segs = (n / n_pus).max(1);
+    let n_segs = 1 + rng.below(max_segs.min(4));
+    let seg_sizes = {
+        let mut s = vec![n_pus; n_segs];
+        for _ in 0..(n - n_segs * n_pus) {
+            s[rng.below(n_segs)] += 1;
+        }
+        s
+    };
+    let mut segments = Vec::with_capacity(n_segs);
+    let mut item = 0usize;
+    for &len in &seg_sizes {
+        let chunks = random_chunks(rng, len, n_pus);
+        let mut assignments = Vec::with_capacity(len);
+        for (pu, &c) in chunks.iter().enumerate() {
+            for _ in 0..c {
+                assignments.push(Assignment { item, pu });
+                item += 1;
+            }
+        }
+        segments.push(Segment { assignments });
+    }
+    SegmentSchedule::new(segments, n_pus, w)
+        .expect("contiguous topological chunking always yields a valid schedule")
+}
+
+fn random_design(
+    rng: &mut Rng,
+    w: &Workload,
+    budget: &HwBudget,
+) -> spa_arch::SpaDesign {
+    let schedule = random_schedule(rng, w);
+    let pes: Vec<usize> = (0..schedule.n_pus)
+        .map(|_| 32usize << rng.below(4)) // 32, 64, 128 or 256 PEs
+        .collect();
+    let buf_mult = 1 + u64::try_from(rng.below(2)).expect("small");
+    autoseg::allocate::manual_design(w, &schedule, budget, &pes, buf_mult)
+}
+
+fn models() -> Vec<Workload> {
+    vec![
+        Workload::from_graph(&zoo::alexnet_conv()),
+        Workload::from_graph(&zoo::squeezenet1_0()),
+        Workload::from_graph(&zoo::resnet18()),
+    ]
+}
+
+#[test]
+fn event_sim_is_bracketed_on_random_segmentations() {
+    let mut rng = Rng(0xc0a5_0001);
+    let budget = HwBudget::nvdla_large();
+    for w in models() {
+        for trial in 0..4 {
+            let d = random_design(&mut rng, &w, &budget);
+            let analytical = simulate_spa(&w, &d);
+            for s in 0..d.schedule.len() {
+                let event = segment_piece_cycles(&w, &d, s);
+                let bottleneck = *analytical.per_segment[s]
+                    .pu_cycles
+                    .iter()
+                    .max()
+                    .expect("segment has PUs");
+                let serial: u64 = analytical.per_segment[s].pu_cycles.iter().sum();
+                let slack = segment_pieces(&w, &d, s);
+                assert!(
+                    event >= bottleneck,
+                    "{} trial {trial} seg {s}: event {event} below the \
+                     perfect-overlap bound {bottleneck}",
+                    w.name()
+                );
+                assert!(
+                    event <= serial + slack,
+                    "{} trial {trial} seg {s}: event {event} exceeds the \
+                     serial bound {serial} + rounding slack {slack} — the \
+                     scheduler left every PU idle with work remaining",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_designs_meet_the_analytical_tolerance() {
+    // The tighter 20% band over `bottleneck + fill` is documented as
+    // conditional on deep piece-parallelism: it holds for the
+    // full-pipeline design (one PU per item, chains pipelined
+    // piece-by-piece) on linear-chain models. Residual topologies break
+    // it even there — resnet18's single-piece tail (global pool + FC
+    // reduce over their whole input) serializes 2.3x past the fill
+    // estimate — so resnet18 is covered only by the universal bracket
+    // above, and this band is pinned on the two chain models.
+    let budget = HwBudget::nvdla_large();
+    for w in [
+        Workload::from_graph(&zoo::alexnet_conv()),
+        Workload::from_graph(&zoo::squeezenet1_0()),
+    ] {
+        let Some(d) = spa_sim::full_pipeline_design(&w, &budget) else {
+            continue; // model too deep for one PU per item on this budget
+        };
+        let analytical = simulate_spa(&w, &d);
+        for s in 0..d.schedule.len() {
+            let event = segment_piece_cycles(&w, &d, s);
+            let bottleneck = *analytical.per_segment[s]
+                .pu_cycles
+                .iter()
+                .max()
+                .expect("segment has PUs");
+            let upper = analytical.per_segment[s].compute_cycles;
+            assert!(event >= bottleneck, "{}: below bottleneck", w.name());
+            assert!(
+                event <= upper + upper * TOL_NUM / TOL_DEN,
+                "{} seg {s}: event {event} exceeds analytical {upper} by \
+                 more than {TOL_NUM}/{TOL_DEN}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn report_cycle_sums_and_stalls_are_consistent() {
+    let mut rng = Rng(0xc0a5_0002);
+    let budget = HwBudget::nvdla_large();
+    for w in models() {
+        let d = random_design(&mut rng, &w, &budget);
+        let analytical = simulate_spa(&w, &d);
+        let event = simulate_spa_event(&w, &d);
+
+        // Identity: total cycles are exactly the sum of per-segment
+        // max(compute, memory) — no hidden slack in either model.
+        let a_sum: u64 = analytical.per_segment.iter().map(|s| s.cycles()).sum();
+        assert_eq!(a_sum, analytical.cycles, "analytical per-segment sum");
+        let e_sum: u64 = event.per_segment.iter().map(|s| s.cycles()).sum();
+        assert_eq!(e_sum, event.cycles, "event per-segment sum");
+
+        // Stall accounting: each segment's pipeline stall is the event
+        // makespan minus the bottleneck PU's busy time; it must be
+        // non-negative, and summing stalls + bottlenecks reproduces the
+        // event compute total exactly.
+        let mut stall_sum = 0u64;
+        let mut bottleneck_sum = 0u64;
+        for (s, seg) in event.per_segment.iter().enumerate() {
+            let bottleneck = *analytical.per_segment[s]
+                .pu_cycles
+                .iter()
+                .max()
+                .expect("segment has PUs");
+            let stall = seg.compute_cycles.checked_sub(bottleneck).unwrap_or_else(|| {
+                panic!("{} seg {s}: negative stall", w.name())
+            });
+            stall_sum += stall;
+            bottleneck_sum += bottleneck;
+        }
+        let event_compute: u64 = event.per_segment.iter().map(|s| s.compute_cycles).sum();
+        assert_eq!(
+            bottleneck_sum + stall_sum,
+            event_compute,
+            "{}: stall decomposition must be exact",
+            w.name()
+        );
+
+        // The event report reuses the analytical traffic/energy model.
+        assert_eq!(event.dram_bytes, analytical.dram_bytes);
+        assert_eq!(event.macs, analytical.macs);
+        for (e, a) in event.per_segment.iter().zip(&analytical.per_segment) {
+            assert_eq!(e.memory_cycles, a.memory_cycles);
+            assert_eq!(e.dram_bytes, a.dram_bytes);
+            assert_eq!(e.pu_cycles, a.pu_cycles);
+        }
+    }
+}
+
+#[test]
+fn random_schedules_are_deterministic_per_seed() {
+    // The generator itself must be reproducible, or failures are not
+    // actionable; render() gives a stable textual form to compare.
+    let w = Workload::from_graph(&zoo::squeezenet1_0());
+    let a = random_schedule(&mut Rng(42), &w);
+    let b = random_schedule(&mut Rng(42), &w);
+    assert_eq!(a.render(&w), b.render(&w));
+    assert_eq!(a.n_pus, b.n_pus);
+    assert_eq!(a.len(), b.len());
+}

@@ -56,6 +56,11 @@ for b in $R/crates/experiments/src/bin/*.rs; do
     -o "$L/bin_$name" -A dead_code 2> "/tmp/err_bin_$name.txt" \
     && echo "ok   bin/$name" || { echo "FAIL bin/$name"; head -30 "/tmp/err_bin_$name.txt"; fail=1; }
 done
+# serving layer: library + spa-serve binary
+build serve $R/crates/serve/src/lib.rs $X_ALL
+CARGO_MANIFEST_DIR=$R/crates/serve rustc $E --crate-type bin --crate-name spa_serve $R/crates/serve/src/main.rs \
+  $X_ALL --extern serve=libserve.rlib \
+  -o "$L/bin_spa_serve" -A dead_code 2> /tmp/err_spa_serve.txt && echo "ok   bin/spa-serve" || { echo "FAIL bin/spa-serve"; head -30 /tmp/err_spa_serve.txt; fail=1; }
 # lint crate + binary
 build lint $R/crates/lint/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 CARGO_MANIFEST_DIR=$R/crates/lint rustc $E --crate-type bin --crate-name lint $R/crates/lint/src/main.rs \

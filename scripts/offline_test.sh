@@ -41,6 +41,7 @@ t spa-codegen $R/crates/spa-codegen/src/lib.rs --extern nnmodel=libnnmodel.rlib 
 t autoseg  $R/crates/autoseg/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern mip=libmip.rlib --extern bayesopt=libbayesopt.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 X_ALL="--extern nnmodel=libnnmodel.rlib --extern autoseg=libautoseg.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib --extern bayesopt=libbayesopt.rlib"
 t experiments $R/crates/experiments/src/lib.rs $X_ALL
+t serve    $R/crates/serve/src/lib.rs $X_ALL
 t lint     $R/crates/lint/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 # integration tests that need no proptest
 t lint-rules $R/crates/lint/tests/rules.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
@@ -49,6 +50,10 @@ t dse-equiv  $R/crates/autoseg/tests/dse_equiv.rs --extern autoseg=libautoseg.rl
 t obs-equiv  $R/crates/autoseg/tests/obs_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib
 t resume-equiv $R/crates/autoseg/tests/resume_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t fault-matrix $R/crates/autoseg/tests/fault_matrix.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+t serve-integration $R/crates/serve/tests/serve_integration.rs --extern serve=libserve.rlib $X_ALL
+t mip-diff $R/crates/mip/tests/diff_bruteforce.rs --extern mip=libmip.rlib --extern obs=libobs.rlib
+t benes-route $R/crates/benes/tests/route_prop.rs --extern benes=libbenes.rlib
+t sim-cross $R/crates/spa-sim/tests/model_cross.rs $X_SERDE --extern spa_sim=libspa_sim.rlib --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern autoseg=libautoseg.rlib --extern obs=libobs.rlib
 # golden regression harness, driving the bin_* executables built by
 # offline_check.sh
 GOLDEN_BIN_DIR=$L t golden $R/crates/experiments/tests/golden.rs --extern experiments=libexperiments.rlib
