@@ -250,6 +250,16 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Reads the 4 hex digits of a `\u` escape starting at byte `at`.
+    fn hex4(&self, at: usize) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| self.err("short \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
     fn eat(&mut self, b: u8, reason: &'static str) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
@@ -354,20 +364,37 @@ impl<'a> Parser<'a> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("short \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogate pairs are outside the protocol's
-                            // character repertoire; reject them typed.
-                            let c = char::from_u32(cp)
-                                .ok_or_else(|| self.err("bad \\u code point"))?;
-                            out.push(c);
+                            let cp = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            let c = match cp {
+                                // High surrogate: must be followed by a
+                                // \u-escaped low surrogate; the pair
+                                // encodes one astral code point (how
+                                // ASCII-only serializers like Python's
+                                // json.dumps emit e.g. emoji).
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1..self.pos + 3)
+                                        != Some(br"\u")
+                                    {
+                                        return Err(self.err("unpaired surrogate \\u escape"));
+                                    }
+                                    let lo = self.hex4(self.pos + 3)?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(self.err("unpaired surrogate \\u escape"));
+                                    }
+                                    self.pos += 6;
+                                    let astral =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(astral)
+                                        .ok_or_else(|| self.err("bad \\u code point"))?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("unpaired surrogate \\u escape"))
+                                }
+                                _ => char::from_u32(cp)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            };
+                            out.push(c);
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -443,6 +470,25 @@ mod tests {
         assert!(rendered.contains("\\u0001"));
         let esc = parse("\"\\u0041\\/\\b\\f\"").expect("parses");
         assert_eq!(esc, Json::Str("A/\u{8}\u{c}".to_string()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_unpaired_reject() {
+        // What an ASCII-escaping serializer (Python json.dumps) emits
+        // for astral-plane characters.
+        let v = parse("\"\\ud83d\\ude00\"").expect("surrogate pair parses");
+        assert_eq!(v, Json::Str("\u{1f600}".to_string()));
+        let v = parse("\"a\\uD83D\\uDE00b\"").expect("uppercase hex, embedded");
+        assert_eq!(v, Json::Str("a\u{1f600}b".to_string()));
+        for bad in [
+            "\"\\ud83d\"",        // high surrogate at end of string
+            "\"\\ud83dx\"",       // high surrogate followed by a raw char
+            "\"\\ud83d\\n\"",     // high surrogate followed by a non-\u escape
+            "\"\\ud83d\\u0041\"", // high surrogate paired with a non-surrogate
+            "\"\\ude00\"",        // lone low surrogate
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

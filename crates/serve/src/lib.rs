@@ -45,12 +45,21 @@ pub use queue::{Admission, AdmitError};
 pub use server::{Client, ServeConfig, Server};
 
 use std::io::{BufRead, Write};
+use std::sync::mpsc::RecvTimeoutError;
+use std::time::Duration;
 
 /// Runs one blocking stdio session against a fresh server: each input
 /// line is a request, each output line a response. Returns when the
 /// input reaches EOF or a `shutdown` request lands; either way the
 /// server drains, checkpoints in-flight searches and flushes the
 /// persistent cache before this returns.
+///
+/// Input is consumed on a dedicated reader thread so responses are
+/// forwarded (and flushed) while waiting for the next request line — an
+/// interactive client may write one request and wait for its response
+/// before writing more. If the session ends by `shutdown` request while
+/// the input is still open, the reader thread stays parked on its
+/// blocking read until the input closes (for the binary: process exit).
 ///
 /// This is the `--stdio` mode of the binary, factored here so tests can
 /// drive it with in-memory readers/writers.
@@ -60,21 +69,35 @@ use std::io::{BufRead, Write};
 /// `std::io::Error` only for output-write failures; input errors end the
 /// session like EOF.
 pub fn run_stdio(
-    input: impl BufRead,
+    input: impl BufRead + Send + 'static,
     mut output: impl Write,
     cfg: ServeConfig,
 ) -> std::io::Result<()> {
     let server = Server::start(cfg);
     let client = server.client();
-    for line in input.lines() {
-        let Ok(line) = line else { break };
-        client.submit(&line);
-        // Stay responsive: forward whatever is ready between submits.
+    let (line_tx, line_rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if line_tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let mut eof = false;
+    while !eof && !server.is_shutting_down() {
+        match line_rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(line) => client.submit(&line),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => eof = true,
+        }
+        let mut wrote = false;
         for resp in client.drain_ready() {
             writeln!(output, "{resp}")?;
+            wrote = true;
         }
-        if server.is_shutting_down() {
-            break;
+        if wrote {
+            output.flush()?;
         }
     }
     if !server.is_shutting_down() {

@@ -61,9 +61,11 @@ fn main() {
     let mode: Vec<&str> = args.iter().map(String::as_str).collect();
     match mode.as_slice() {
         ["--stdio"] => {
-            let stdin = std::io::stdin();
+            // StdinLock is not Send (run_stdio reads on its own thread);
+            // wrap the handle instead.
+            let stdin = BufReader::new(std::io::stdin());
             let stdout = std::io::stdout();
-            if let Err(e) = serve::run_stdio(stdin.lock(), stdout.lock(), cfg) {
+            if let Err(e) = serve::run_stdio(stdin, stdout.lock(), cfg) {
                 eprintln!("spa-serve: stdio session failed: {e}");
                 std::process::exit(1);
             }

@@ -340,12 +340,16 @@ impl Client {
             admitted_at: now,
             deadline: deadline_ms.map(|ms| now + Duration::from_millis(ms)),
         };
+        // The cancel entry must exist before the job becomes visible to
+        // workers: a cache-hit eval can pop, run and respond in
+        // microseconds, and the worker's post-response removal has to
+        // find the entry — inserting it after the push would leave a
+        // stale entry behind, so Client::outstanding() never drains.
+        // The same ordering covers a concurrent shutdown drain.
+        lock(&self.inner.cancels).insert((self.conn, id), cancel);
         let admitted = lock(&self.inner.queue).push(priority, job);
         match admitted {
-            Ok(_) => {
-                lock(&self.inner.cancels).insert((self.conn, id), cancel);
-                self.inner.cv.notify_one();
-            }
+            Ok(_) => self.inner.cv.notify_one(),
             Err(e) => {
                 self.inner.m.errors.fetch_add(1, Ordering::Relaxed);
                 obs::add("serve.rejected", 1);
@@ -354,6 +358,7 @@ impl Client {
                     AdmitError::ShuttingDown => "shutting-down",
                 };
                 let _ = self.tx.send(error_line(Some(id), code, &e.to_string()));
+                lock(&self.inner.cancels).remove(&(self.conn, id));
             }
         }
     }
@@ -611,11 +616,22 @@ fn stop_reason_label(r: StopReason) -> &'static str {
 /// Executes one `segment` or `codesign` job (deadline + cancellation via
 /// [`RunCtl`]) and sends its response(s).
 fn run_search_job(inner: &Arc<Inner>, job: Job) {
-    let _ = job.respond.send(progress_line(job.id, "running"));
     let mut ctl = RunCtl::none().cancel_flag(Arc::clone(&job.cancel));
-    if let Some(Ok(left)) = remaining(&job) {
-        ctl = ctl.deadline(left);
+    match remaining(&job) {
+        Some(Ok(left)) => ctl = ctl.deadline(left),
+        // Expired between execute_batch's check and here: answer the
+        // typed deadline partial instead of running unbounded.
+        Some(Err(())) => {
+            let _ = job
+                .respond
+                .send(partial_line(job.id, "deadline", 0, 0, None));
+            inner.m.partials.fetch_add(1, Ordering::Relaxed);
+            lock(&inner.cancels).remove(&(job.conn, job.id));
+            return;
+        }
+        None => {}
     }
+    let _ = job.respond.send(progress_line(job.id, "running"));
     let outcome = match &job.request {
         Request::Segment { model, budget } => run_segment(inner, model, budget, &ctl),
         Request::Codesign {

@@ -15,6 +15,10 @@
 //!   to an uninterrupted run of the same request.
 //! * **Deadlines**: a mid-request `deadline_ms` produces a typed
 //!   `partial` with `reason:"deadline"`, never a hang or a panic.
+//! * **Drain invariants**: `Client::outstanding` reaches 0 once every
+//!   response has arrived (cancel entries are registered before a job
+//!   is worker-visible), and a `--stdio` session answers while its
+//!   input is idle — the two hangs fixed after review.
 
 use serve::json::Json;
 use serve::{ServeConfig, Server};
@@ -341,6 +345,147 @@ fn mid_request_deadline_yields_typed_partial() {
     }
     server.shutdown();
     server.join();
+}
+
+#[test]
+fn outstanding_drains_to_zero_after_fast_evals() {
+    // Regression: the cancel entry must be registered before the job
+    // becomes visible to a worker. A cache-hit eval completes in
+    // microseconds; when the worker's post-response cleanup ran before
+    // the submitter's insert, the stale entry kept `outstanding()`
+    // nonzero forever and the socket pump never hung up after EOF.
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    let client = server.client();
+    // Warm the one shape, then hammer it: every later run is a cache
+    // hit racing the submitting thread.
+    for id in 0..=200u64 {
+        client.submit(&eval_line(id, 1, ""));
+        let v = terminal_for(&client, id);
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"), "{v:?}");
+    }
+    // Cleanup runs after the response is sent, so poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while client.outstanding() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "outstanding stuck at {} after every response arrived",
+            client.outstanding()
+        );
+        std::thread::yield_now();
+    }
+    server.shutdown();
+    server.join();
+}
+
+/// Blocking line source for [`serve::run_stdio`]: `read` parks on the
+/// channel until the test feeds more bytes, like a terminal would.
+struct ChannelReader {
+    rx: std::sync::mpsc::Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl std::io::Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(b) => {
+                    self.buf = b;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // sender dropped: EOF
+            }
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedOut {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("out lock").extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn stdio_session_answers_before_the_next_input_line() {
+    // Regression: an interactive client writes one request and waits
+    // for its response before writing the next line. run_stdio used to
+    // forward responses only after the next submitted line, so this
+    // pattern deadlocked against its blocking input read.
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    let reader = std::io::BufReader::new(ChannelReader {
+        rx,
+        buf: Vec::new(),
+        pos: 0,
+    });
+    let out = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let session = {
+        let out = SharedOut(std::sync::Arc::clone(&out));
+        std::thread::spawn(move || {
+            serve::run_stdio(
+                reader,
+                out,
+                ServeConfig {
+                    workers: 1,
+                    threads: 1,
+                    ..ServeConfig::default()
+                },
+            )
+        })
+    };
+    tx.send(b"{\"v\":1,\"id\":1,\"req\":\"status\"}\n".to_vec())
+        .expect("feed request");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let responded = out
+            .lock()
+            .expect("out lock")
+            .split(|&b| b == b'\n')
+            .any(|l| !l.is_empty());
+        if responded {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no response arrived while the input was idle"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    tx.send(b"{\"v\":1,\"id\":2,\"req\":\"shutdown\"}\n".to_vec())
+        .expect("feed shutdown");
+    drop(tx);
+    session
+        .join()
+        .expect("stdio session thread")
+        .expect("stdio session io");
+    let text = String::from_utf8(out.lock().expect("out lock").clone()).expect("utf8");
+    let ids: Vec<u64> = text
+        .lines()
+        .map(|l| {
+            serve::json::parse(l)
+                .expect("response line is JSON")
+                .get("id")
+                .and_then(Json::as_u64)
+                .expect("response id")
+        })
+        .collect();
+    assert!(
+        ids.contains(&1) && ids.contains(&2),
+        "both requests answered: {text}"
+    );
 }
 
 #[test]
