@@ -21,7 +21,7 @@
 use crate::engine::DesignGoal;
 use crate::error::AutoSegError;
 use nnmodel::Workload;
-use pucost::{Dataflow, EvalCache, LayerDesc, PuConfig};
+use pucost::{Dataflow, EvalCache, LayerDesc, PuBatch, PuConfig};
 use spa_arch::{HwBudget, SegmentSchedule, SpaDesign};
 
 /// Per-PU DRAM bytes attributable to segment `s` (weights + external input
@@ -65,11 +65,15 @@ pub(crate) fn eval_pu_segment(
     cache: &EvalCache,
 ) -> (Dataflow, u64) {
     let items = schedule.segments[s].items_on(pu_idx);
+    let descs: Vec<LayerDesc> =
+        items.iter().map(|&i| LayerDesc::from_item(&workload.items()[i])).collect();
     let mut cands = Vec::with_capacity(2);
     for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+        // One batched probe per dataflow: the cache partitions the
+        // segment's layers into hits and misses with one lock pass per
+        // shard instead of one lock per layer.
         let (mut cycles, mut energy) = (0u64, 0f64);
-        for &i in &items {
-            let e = cache.evaluate(&LayerDesc::from_item(&workload.items()[i]), pu, df);
+        for e in cache.evaluate_layers(&descs, pu, df) {
             cycles += e.cycles;
             energy += e.energy.total_pj();
         }
@@ -458,7 +462,7 @@ fn build_design(
         // decidedly non-square: 32x4, 32x8). Tall/flat extremes are
         // skipped — a 1-wide systolic array is not a realistic datapath.
         let log = p.trailing_zeros() as usize;
-        let mut best: Option<(u64, usize, usize)> = None;
+        let mut geoms: Vec<(usize, usize)> = Vec::with_capacity(log + 1);
         for j in 0..=log {
             let (r, c) = (1usize << j, p >> j);
             if p >= 16 && (r < 2 || c < 2) {
@@ -469,17 +473,30 @@ fn build_design(
             if p >= 64 && r.max(c) > 16 * r.min(c) {
                 continue;
             }
-            let pu = PuConfig::new(r, c).with_freq_mhz(budget.freq_mhz);
-            let cycles: u64 = items_here
+            geoms.push((r, c));
+        }
+        // Score every surviving geometry in one batched sweep per item:
+        // each layer compiles its cost program once and runs it down the
+        // SoA geometry columns (total cycles per geometry are the same
+        // sums as the old per-(geometry, item) probe loop).
+        let batch = PuBatch::from_pus(
+            &geoms
                 .iter()
-                .map(|d| {
-                    let ws = cache.evaluate(d, &pu, Dataflow::WeightStationary).cycles;
-                    let os = cache.evaluate(d, &pu, Dataflow::OutputStationary).cycles;
-                    ws.min(os)
-                })
-                .sum();
-            if best.is_none_or(|(b, _, _)| cycles < b) {
-                best = Some((cycles, r, c));
+                .map(|&(r, c)| PuConfig::new(r, c).with_freq_mhz(budget.freq_mhz))
+                .collect::<Vec<_>>(),
+        );
+        let mut totals = vec![0u64; geoms.len()];
+        for d in &items_here {
+            let ws = cache.evaluate_batch(d, &batch, Dataflow::WeightStationary);
+            let os = cache.evaluate_batch(d, &batch, Dataflow::OutputStationary);
+            for (g, total) in totals.iter_mut().enumerate() {
+                *total += ws.evals()[g].cycles.min(os.evals()[g].cycles);
+            }
+        }
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (g, &(r, c)) in geoms.iter().enumerate() {
+            if best.is_none_or(|(b, _, _)| totals[g] < b) {
+                best = Some((totals[g], r, c));
             }
         }
         let (_, r, c) = best.unwrap_or((0, PuConfig::square_geometry(p).0, PuConfig::square_geometry(p).1));

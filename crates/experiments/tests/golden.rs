@@ -180,12 +180,24 @@ const JSON_VALUE_SKIP: &[&str] = &[
     "serial_s",
     "parallel_s",
     "speedup",
+    "speedup_curve",
     "obs",
     "cache.hits",
     "cache.warm_hits",
     "cache.hot_hits",
     "cache.misses",
     "cache.hit_rate",
+    // Machine-dependent microbenchmark rates; the structural keys
+    // (layers/pus/evals_per_round/rounds) are still value-compared.
+    "eval_throughput.host_cpus",
+    "eval_throughput.scalar_evals_per_s",
+    "eval_throughput.batch_evals_per_s",
+    "eval_throughput.batch_vs_scalar",
+    "eval_throughput.compiled_evals_per_s",
+    "eval_throughput.compiled_vs_scalar",
+    "eval_throughput.cache_scalar_evals_per_s",
+    "eval_throughput.cache_batch_evals_per_s",
+    "eval_throughput.cache_batch_vs_scalar",
 ];
 
 /// Minimal JSON reader, sufficient for the reports the experiment

@@ -1,0 +1,287 @@
+//! Struct-of-arrays candidate batches for the compiled evaluator.
+//!
+//! The DSE loops score one layer against hundreds of PU candidates at a
+//! time. [`PuBatch`] stores those candidates column-wise
+//! (rows/cols/buffers/clock), and [`evaluate_batch`] /
+//! [`best_dataflow_batch`] run one [`CompiledEval`] program straight down
+//! the columns — the layer analysis is paid once per batch instead of
+//! once per candidate, and the fused best-dataflow sweep probes WS and OS
+//! in a single pass with the shared tie-break.
+//!
+//! These are the cache-free kernels; [`crate::EvalCache`] exposes
+//! memoized equivalents (`EvalCache::evaluate_batch` etc.) that partition
+//! a batch into hits and misses with one lock acquisition per shard.
+
+use crate::compile::CompiledEval;
+use crate::energy::EnergyModel;
+use crate::eval::PuEval;
+use crate::layer::LayerDesc;
+use crate::pu::{Dataflow, PuConfig};
+
+/// A struct-of-arrays batch of PU candidates.
+///
+/// # Example
+///
+/// ```
+/// use pucost::{Dataflow, EnergyModel, LayerDesc, PuBatch, PuConfig, evaluate, evaluate_batch};
+///
+/// let layer = LayerDesc {
+///     in_c: 64, in_h: 28, in_w: 28, out_c: 128, out_h: 28, out_w: 28,
+///     kernel: 3, stride: 1, groups: 1, is_fc: false,
+/// };
+/// let em = EnergyModel::tsmc28();
+/// let mut batch = PuBatch::new();
+/// for shift in 0..4 {
+///     batch.push(&PuConfig::new(1 << shift, 16));
+/// }
+/// let out = evaluate_batch(&layer, &batch, Dataflow::WeightStationary, &em);
+/// assert_eq!(out.len(), batch.len());
+/// // Bit-identical to the scalar evaluator, candidate by candidate.
+/// assert_eq!(
+///     out.evals()[2],
+///     evaluate(&layer, &batch.pu(2), Dataflow::WeightStationary, &em)
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PuBatch {
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    act_buf_bytes: Vec<u64>,
+    wgt_buf_bytes: Vec<u64>,
+    freq_mhz: Vec<f64>,
+}
+
+impl PuBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `n` candidates.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            rows: Vec::with_capacity(n),
+            cols: Vec::with_capacity(n),
+            act_buf_bytes: Vec::with_capacity(n),
+            wgt_buf_bytes: Vec::with_capacity(n),
+            freq_mhz: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a batch from a slice of configurations.
+    pub fn from_pus(pus: &[PuConfig]) -> Self {
+        let mut b = Self::with_capacity(pus.len());
+        for pu in pus {
+            b.push(pu);
+        }
+        b
+    }
+
+    /// Appends one candidate.
+    pub fn push(&mut self, pu: &PuConfig) {
+        self.rows.push(pu.rows);
+        self.cols.push(pu.cols);
+        self.act_buf_bytes.push(pu.act_buf_bytes);
+        self.wgt_buf_bytes.push(pu.wgt_buf_bytes);
+        self.freq_mhz.push(pu.freq_mhz);
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the batch holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Reassembles candidate `i` as a [`PuConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn pu(&self, i: usize) -> PuConfig {
+        PuConfig {
+            rows: self.rows[i],
+            cols: self.cols[i],
+            act_buf_bytes: self.act_buf_bytes[i],
+            wgt_buf_bytes: self.wgt_buf_bytes[i],
+            freq_mhz: self.freq_mhz[i],
+        }
+    }
+
+    /// Drops all candidates, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.act_buf_bytes.clear();
+        self.wgt_buf_bytes.clear();
+        self.freq_mhz.clear();
+    }
+}
+
+/// Results of one batched evaluation, index-aligned with the input
+/// [`PuBatch`].
+#[derive(Debug, Clone, Default)]
+pub struct PuEvalBatch {
+    evals: Vec<PuEval>,
+}
+
+impl PuEvalBatch {
+    /// The per-candidate evaluations, in batch order.
+    pub fn evals(&self) -> &[PuEval] {
+        &self.evals
+    }
+
+    /// Number of results.
+    pub fn len(&self) -> usize {
+        self.evals.len()
+    }
+
+    /// `true` when the batch produced no results.
+    pub fn is_empty(&self) -> bool {
+        self.evals.is_empty()
+    }
+
+    /// Consumes the batch into its backing vector.
+    pub fn into_vec(self) -> Vec<PuEval> {
+        self.evals
+    }
+}
+
+impl From<Vec<PuEval>> for PuEvalBatch {
+    fn from(evals: Vec<PuEval>) -> Self {
+        Self { evals }
+    }
+}
+
+/// Evaluates `layer` on every candidate in `pus` under dataflow `df`
+/// through one compiled program. Bit-identical to calling
+/// [`evaluate`](crate::evaluate) per candidate.
+pub fn evaluate_batch(
+    layer: &LayerDesc,
+    pus: &PuBatch,
+    df: Dataflow,
+    em: &EnergyModel,
+) -> PuEvalBatch {
+    let compiled = CompiledEval::new(layer, em);
+    let mut evals = Vec::with_capacity(pus.len());
+    // Walk the columns by slice-pattern destructuring: indexing and
+    // iterator `next` are real (un-inlined) calls in the debug builds the
+    // offline harness measures, while pattern walks lower to inline
+    // pointer bumps.
+    let (mut rows, mut cols) = (&pus.rows[..], &pus.cols[..]);
+    let (mut abs, mut wbs) = (&pus.act_buf_bytes[..], &pus.wgt_buf_bytes[..]);
+    let mut fqs = &pus.freq_mhz[..];
+    while let ([r, rt @ ..], [c, ct @ ..], [ab, at @ ..], [wb, wt @ ..], [fq, ft @ ..]) =
+        (rows, cols, abs, wbs, fqs)
+    {
+        evals.push(compiled.eval_parts(*r, *c, *ab, *wb, *fq, df));
+        (rows, cols, abs, wbs, fqs) = (rt, ct, at, wt, ft);
+    }
+    PuEvalBatch { evals }
+}
+
+/// Fused WS+OS sweep over every candidate in `pus`: both dataflows are
+/// probed in a single pass and selected with the shared tie-break, so
+/// each returned [`PuEval`] matches
+/// [`best_dataflow`](crate::best_dataflow) bit for bit (its `dataflow`
+/// field records the pick).
+pub fn best_dataflow_batch(layer: &LayerDesc, pus: &PuBatch, em: &EnergyModel) -> PuEvalBatch {
+    let compiled = CompiledEval::new(layer, em);
+    let mut evals = Vec::with_capacity(pus.len());
+    // Column walk by slice patterns — see `evaluate_batch`.
+    let (mut rows, mut cols) = (&pus.rows[..], &pus.cols[..]);
+    let (mut abs, mut wbs) = (&pus.act_buf_bytes[..], &pus.wgt_buf_bytes[..]);
+    let mut fqs = &pus.freq_mhz[..];
+    while let ([r, rt @ ..], [c, ct @ ..], [ab, at @ ..], [wb, wt @ ..], [fq, ft @ ..]) =
+        (rows, cols, abs, wbs, fqs)
+    {
+        let (_, eval) = compiled.best_parts(*r, *c, *ab, *wb, *fq);
+        evals.push(eval);
+        (rows, cols, abs, wbs, fqs) = (rt, ct, at, wt, ft);
+    }
+    PuEvalBatch { evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{best_dataflow, evaluate};
+
+    fn conv() -> LayerDesc {
+        LayerDesc {
+            in_c: 64,
+            in_h: 28,
+            in_w: 28,
+            out_c: 128,
+            out_h: 28,
+            out_w: 28,
+            kernel: 3,
+            stride: 1,
+            groups: 1,
+            is_fc: false,
+        }
+    }
+
+    fn geometries() -> Vec<PuConfig> {
+        let mut pus = Vec::new();
+        for (r, c) in [(1, 1), (4, 4), (8, 16), (16, 8), (16, 16), (32, 32), (3, 7)] {
+            pus.push(PuConfig::new(r, c));
+            pus.push(PuConfig::new(r, c).with_buffers(4096, 4096).with_freq_mhz(400.0));
+        }
+        pus
+    }
+
+    #[test]
+    fn soa_round_trips_configs() {
+        let pus = geometries();
+        let batch = PuBatch::from_pus(&pus);
+        assert_eq!(batch.len(), pus.len());
+        for (i, pu) in pus.iter().enumerate() {
+            assert_eq!(batch.pu(i), *pu);
+        }
+        let mut b = PuBatch::new();
+        assert!(b.is_empty());
+        b.push(&pus[0]);
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_scalar_per_candidate() {
+        let em = EnergyModel::tsmc28();
+        let layer = conv();
+        let batch = PuBatch::from_pus(&geometries());
+        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+            let out = evaluate_batch(&layer, &batch, df, &em);
+            assert_eq!(out.len(), batch.len());
+            for i in 0..batch.len() {
+                assert_eq!(out.evals()[i], evaluate(&layer, &batch.pu(i), df, &em));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_best_matches_scalar_pick() {
+        let em = EnergyModel::tsmc28();
+        let layer = conv();
+        let batch = PuBatch::from_pus(&geometries());
+        let out = best_dataflow_batch(&layer, &batch, &em);
+        for i in 0..batch.len() {
+            let (df, eval) = best_dataflow(&layer, &batch.pu(i), &em);
+            assert_eq!(out.evals()[i], eval);
+            assert_eq!(out.evals()[i].dataflow, df);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let em = EnergyModel::tsmc28();
+        let out = evaluate_batch(&conv(), &PuBatch::new(), Dataflow::WeightStationary, &em);
+        assert!(out.is_empty());
+        assert!(out.into_vec().is_empty());
+    }
+}

@@ -17,10 +17,13 @@
 //! evaluation's identity); callers that switch energy models use separate
 //! caches.
 
+use crate::batch::{PuBatch, PuEvalBatch};
+use crate::compile::CompiledEval;
 use crate::energy::EnergyModel;
 use crate::eval::{evaluate, pick_dataflow, PuEval};
 use crate::layer::LayerDesc;
 use crate::pu::{Dataflow, PuConfig};
+use crate::util::u64_of;
 // Shard maps are lookup-only (never iterated), so hash order cannot leak
 // into any output; lint: allow(nondet-iter)
 use std::collections::HashMap;
@@ -104,6 +107,9 @@ pub struct EvalCache {
     hits: AtomicU64,
     warm_hits: AtomicU64,
     misses: AtomicU64,
+    batched_probes: AtomicU64,
+    batch_misses: AtomicU64,
+    batch_shard_locks: AtomicU64,
 }
 
 impl Default for EvalCache {
@@ -127,6 +133,9 @@ impl EvalCache {
             hits: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            batched_probes: AtomicU64::new(0),
+            batch_misses: AtomicU64::new(0),
+            batch_shard_locks: AtomicU64::new(0),
         }
     }
 
@@ -135,11 +144,15 @@ impl EvalCache {
         &self.em
     }
 
-    // lookup-only; lint: allow(nondet-iter)
-    fn shard_of(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, Entry>> {
+    fn shard_index(&self, key: &EvalKey) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[crate::util::usize_of(h.finish()) % self.shards.len()]
+        crate::util::usize_of(h.finish()) % self.shards.len()
+    }
+
+    // lookup-only; lint: allow(nondet-iter)
+    fn shard_of(&self, key: &EvalKey) -> &Mutex<HashMap<EvalKey, Entry>> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Memoized [`evaluate`]: identical results, repeated calls served
@@ -193,6 +206,250 @@ impl EvalCache {
         pick_dataflow(ws, os)
     }
 
+    /// Batched probe core: resolves every key in `keys`, touching each
+    /// shard's lock at most twice (one hit-probe pass, one miss-insert
+    /// pass) instead of once or twice *per key* like the scalar path.
+    ///
+    /// Misses are computed outside all locks through a [`CompiledEval`]
+    /// that is recompiled only when the layer changes (callers order keys
+    /// layer-major, so a batch over one layer compiles once). Results,
+    /// counters and the `cache.poison` fault point behave exactly like an
+    /// equivalent sequence of scalar [`EvalCache::evaluate`] calls:
+    /// duplicate keys within a batch count one miss then hits, values are
+    /// bit-identical, and the injected-poison recovery leaves every entry
+    /// served.
+    fn probe_batch(&self, keys: &[EvalKey]) -> Vec<PuEval> {
+        let n = keys.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.batched_probes.fetch_add(u64_of(n), Ordering::Relaxed);
+        let n_shards = self.shards.len();
+        let mut out: Vec<Option<PuEval>> = vec![None; n];
+        // Pass 0 — shard assignment by prefix-cloned hashing. The derived
+        // `Hash` for `EvalKey` feeds one sequential hasher field by field
+        // (layer first), so hashing the layer once into a base hasher and
+        // cloning it per key before hashing the remaining fields yields
+        // the exact same `finish()` — and therefore the same shard — as
+        // the scalar `shard_index`, while paying the (large) layer hash
+        // once per layer run instead of once per key.
+        let mut shard_idx: Vec<usize> = Vec::with_capacity(n);
+        let mut counts: Vec<usize> = vec![0; n_shards];
+        let mut prefix: Option<(LayerDesc, std::collections::hash_map::DefaultHasher)> = None;
+        for key in keys {
+            let mut h = match &prefix {
+                Some((layer, base)) if *layer == key.layer => base.clone(),
+                _ => {
+                    let mut base = std::collections::hash_map::DefaultHasher::new();
+                    key.layer.hash(&mut base);
+                    let h = base.clone();
+                    prefix = Some((key.layer, base));
+                    h
+                }
+            };
+            key.rows.hash(&mut h);
+            key.cols.hash(&mut h);
+            key.act_buf_bytes.hash(&mut h);
+            key.wgt_buf_bytes.hash(&mut h);
+            key.freq_bits.hash(&mut h);
+            key.dataflow.hash(&mut h);
+            let si = crate::util::usize_of(h.finish()) % n_shards;
+            shard_idx.push(si);
+            counts[si] += 1;
+        }
+        // Flat counting-sort bucketing: `order` lists key indices grouped
+        // by shard (batch order within a shard), replacing per-shard Vecs.
+        let mut starts: Vec<usize> = Vec::with_capacity(n_shards);
+        let mut acc = 0usize;
+        for &c in &counts {
+            starts.push(acc);
+            acc += c;
+        }
+        let mut cursor = starts.clone();
+        let mut order: Vec<usize> = vec![0; n];
+        for (i, &si) in shard_idx.iter().enumerate() {
+            order[cursor[si]] = i;
+            cursor[si] += 1;
+        }
+        // Pass 1 — probe: one lock per populated shard. In-batch duplicate
+        // keys that miss are resolved by a linear scan of the shard's
+        // pending misses (batches are small per shard, and key equality is
+        // far cheaper than the two extra hashes a dedupe map would cost);
+        // duplicates of present entries simply hit the map like the first
+        // occurrence did.
+        let mut locks = 0u64;
+        let mut hit_count = 0u64;
+        let mut warm_count = 0u64;
+        // Miss key indices grouped by shard (shard-major, batch order
+        // within a shard), with per-shard counts for the insert pass.
+        let mut miss_by_shard: Vec<usize> = Vec::new();
+        let mut miss_counts: Vec<usize> = vec![0; n_shards];
+        // (duplicate, first-miss) index pairs, resolved after pass 2.
+        let mut dups: Vec<(usize, usize)> = Vec::new();
+        for si in 0..n_shards {
+            let bucket = &order[starts[si]..starts[si] + counts[si]];
+            if bucket.is_empty() {
+                continue;
+            }
+            let guard = self.shards[si].lock().unwrap_or_else(|e| e.into_inner());
+            locks += 1;
+            let pending_from = miss_by_shard.len();
+            for &i in bucket {
+                if let Some(hit) = guard.get(&keys[i]) {
+                    hit_count += 1;
+                    if hit.warm {
+                        warm_count += 1;
+                    }
+                    out[i] = Some(hit.eval);
+                } else if let Some(&j) =
+                    miss_by_shard[pending_from..].iter().find(|&&j| keys[j] == keys[i])
+                {
+                    // Duplicate of an earlier in-batch miss: the scalar
+                    // sequence would hit the (cold) entry the first
+                    // occurrence inserted.
+                    dups.push((i, j));
+                    hit_count += 1;
+                } else {
+                    miss_by_shard.push(i);
+                    miss_counts[si] += 1;
+                }
+            }
+        }
+        // Pass 2 — compute all misses outside any lock, in batch order so
+        // one layer's candidates share one compiled program.
+        let mut miss_idx = miss_by_shard.clone();
+        miss_idx.sort_unstable();
+        let mut compiled: Option<CompiledEval> = None;
+        for &i in &miss_idx {
+            let key = &keys[i];
+            if compiled.as_ref().is_none_or(|c| *c.layer() != key.layer) {
+                compiled = Some(CompiledEval::new(&key.layer, &self.em));
+            }
+            let program = compiled.as_ref().expect("compiled above");
+            out[i] = Some(program.eval_parts(
+                key.rows,
+                key.cols,
+                key.act_buf_bytes,
+                key.wgt_buf_bytes,
+                f64::from_bits(key.freq_bits),
+                key.dataflow,
+            ));
+        }
+        // `cache.poison` fault point: the scalar path checks once per
+        // miss, so the batch path draws the same number of faults in the
+        // same (batch) order and poisons each struck shard before its
+        // insert pass below, which must recover.
+        let mut poisoned: Vec<bool> = vec![false; n_shards];
+        if faultsim::armed() {
+            for &i in &miss_idx {
+                if faultsim::hit("cache.poison") {
+                    obs::add("fault.injected", 1);
+                    obs::event("fault.injected", &[("point", "cache.poison".into())]);
+                    poisoned[shard_idx[i]] = true;
+                }
+            }
+        }
+        // Pass 3 — insert: one lock per shard that had misses, walking the
+        // shard-major miss list by per-shard counts.
+        let mut off = 0usize;
+        for (si, &cnt) in miss_counts.iter().enumerate() {
+            let bucket = &miss_by_shard[off..off + cnt];
+            off += cnt;
+            if bucket.is_empty() {
+                continue;
+            }
+            if poisoned[si] {
+                poison_mutex(&self.shards[si]);
+            }
+            let mut guard = self.shards[si].lock().unwrap_or_else(|e| {
+                obs::add("fault.recovered", 1);
+                obs::event("fault.recovered", &[("point", "cache.poison".into())]);
+                e.into_inner()
+            });
+            locks += 1;
+            for &i in bucket {
+                let eval = out[i].expect("miss computed in pass 2");
+                guard.insert(keys[i], Entry { eval, warm: false });
+            }
+        }
+        // In-batch duplicates of misses resolve against their first
+        // occurrence; they were counted as (cold) hits in pass 1.
+        for &(i, j) in &dups {
+            out[i] = out[j];
+        }
+        let miss_count = u64_of(miss_idx.len());
+        self.hits.fetch_add(hit_count, Ordering::Relaxed);
+        self.warm_hits.fetch_add(warm_count, Ordering::Relaxed);
+        self.misses.fetch_add(miss_count, Ordering::Relaxed);
+        self.batch_misses.fetch_add(miss_count, Ordering::Relaxed);
+        self.batch_shard_locks.fetch_add(locks, Ordering::Relaxed);
+        if hit_count > 0 {
+            obs::add("pucost.cache.hits", hit_count);
+        }
+        if warm_count > 0 {
+            obs::add("pucost.cache.warm_hits", warm_count);
+        }
+        if miss_count > 0 {
+            obs::add("pucost.cache.misses", miss_count);
+        }
+        obs::add("pucost.cache.batched_probes", u64_of(n));
+        out.into_iter().map(|e| e.expect("all keys resolved")).collect()
+    }
+
+    /// Memoized [`crate::evaluate_batch`]: evaluates `layer` against
+    /// every candidate in `pus` under `df`, serving hits and inserting
+    /// misses with one lock acquisition per shard. Results (and the
+    /// resulting cache contents) are bit-identical to calling
+    /// [`EvalCache::evaluate`] per candidate.
+    pub fn evaluate_batch(&self, layer: &LayerDesc, pus: &PuBatch, df: Dataflow) -> PuEvalBatch {
+        let keys: Vec<EvalKey> =
+            (0..pus.len()).map(|i| EvalKey::new(layer, &pus.pu(i), df)).collect();
+        PuEvalBatch::from(self.probe_batch(&keys))
+    }
+
+    /// Memoized [`crate::best_dataflow_batch`]: probes WS and OS for
+    /// every candidate in one fused sweep (both entries are cached, as
+    /// the scalar [`EvalCache::best_dataflow`] would) and applies the
+    /// shared latency-first, energy-tie-break selection per candidate.
+    pub fn best_dataflow_batch(&self, layer: &LayerDesc, pus: &PuBatch) -> PuEvalBatch {
+        let mut keys = Vec::with_capacity(pus.len() * 2);
+        for i in 0..pus.len() {
+            let pu = pus.pu(i);
+            keys.push(EvalKey::new(layer, &pu, Dataflow::WeightStationary));
+            keys.push(EvalKey::new(layer, &pu, Dataflow::OutputStationary));
+        }
+        let evals = self.probe_batch(&keys);
+        let picked: Vec<PuEval> = evals
+            .chunks_exact(2)
+            .map(|pair| pick_dataflow(pair[0], pair[1]).1)
+            .collect();
+        PuEvalBatch::from(picked)
+    }
+
+    /// Batched probe of many layers against one PU under one dataflow —
+    /// the segment-scoring shape (`eval_pu_segment` sums one PU over a
+    /// segment's items). Same results and cache contents as a scalar
+    /// [`EvalCache::evaluate`] loop.
+    pub fn evaluate_layers(
+        &self,
+        layers: &[LayerDesc],
+        pu: &PuConfig,
+        df: Dataflow,
+    ) -> Vec<PuEval> {
+        let keys: Vec<EvalKey> = layers.iter().map(|l| EvalKey::new(l, pu, df)).collect();
+        self.probe_batch(&keys)
+    }
+
+    /// Batched probe of an arbitrary `(layer, PU, dataflow)` list — the
+    /// heterogeneous shape the serving scheduler collects. Group probes
+    /// by layer where possible: each layer change recompiles the miss
+    /// kernel.
+    pub fn evaluate_probes(&self, probes: &[(LayerDesc, PuConfig, Dataflow)]) -> Vec<PuEval> {
+        let keys: Vec<EvalKey> =
+            probes.iter().map(|(l, pu, df)| EvalKey::new(l, pu, *df)).collect();
+        self.probe_batch(&keys)
+    }
+
     /// Number of lookups served from the cache (both tiers).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -213,6 +470,25 @@ impl EvalCache {
     /// Number of lookups that had to evaluate.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that arrived through the batch API (each batched key
+    /// counts once; also included in `hits`/`misses`).
+    pub fn batched_probes(&self) -> u64 {
+        self.batched_probes.load(Ordering::Relaxed)
+    }
+
+    /// Batch-path lookups that had to evaluate (subset of `misses`).
+    pub fn batch_misses(&self) -> u64 {
+        self.batch_misses.load(Ordering::Relaxed)
+    }
+
+    /// Shard-lock acquisitions taken by the batch path. The scalar path
+    /// pays one lock per probe plus one per insert; comparing this
+    /// against `batched_probes` shows the amortization (a whole batch
+    /// costs at most `2 * shards` acquisitions).
+    pub fn batch_shard_locks(&self) -> u64 {
+        self.batch_shard_locks.load(Ordering::Relaxed)
     }
 
     /// `hits / (hits + misses)`, or 0 for an unused cache.
@@ -246,6 +522,9 @@ impl EvalCache {
         self.hits.store(0, Ordering::Relaxed);
         self.warm_hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.batched_probes.store(0, Ordering::Relaxed);
+        self.batch_misses.store(0, Ordering::Relaxed);
+        self.batch_shard_locks.store(0, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot of the cache's counters and occupancy,
@@ -267,6 +546,9 @@ impl EvalCache {
             entries,
             shards: per_shard.len(),
             max_shard,
+            batched_probes: self.batched_probes(),
+            batch_misses: self.batch_misses(),
+            batch_shard_locks: self.batch_shard_locks(),
         }
     }
 
@@ -483,6 +765,13 @@ pub struct CacheStats {
     pub shards: usize,
     /// Occupancy of the fullest shard (balance indicator).
     pub max_shard: usize,
+    /// Lookups that arrived through the batch API.
+    pub batched_probes: u64,
+    /// Batch-path lookups that had to evaluate.
+    pub batch_misses: u64,
+    /// Shard-lock acquisitions taken by the batch path (at most two per
+    /// populated shard per batch — the amortization the batch API buys).
+    pub batch_shard_locks: u64,
 }
 
 impl CacheStats {
@@ -500,6 +789,9 @@ impl CacheStats {
                 ("hit_rate", self.hit_rate.into()),
                 ("entries", self.entries.into()),
                 ("max_shard", self.max_shard.into()),
+                ("batched_probes", self.batched_probes.into()),
+                ("batch_misses", self.batch_misses.into()),
+                ("batch_shard_locks", self.batch_shard_locks.into()),
             ],
         );
     }
@@ -699,6 +991,127 @@ mod tests {
         // Fresh keys keep inserting fine through the recovered lock.
         cache.evaluate(&conv(), &pu, Dataflow::OutputStationary);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn batch_matches_scalar_and_amortizes_locks() {
+        let em = EnergyModel::tsmc28();
+        let scalar = EvalCache::new(em);
+        let batched = EvalCache::new(em);
+        let pus: Vec<PuConfig> = [(4, 4), (8, 16), (16, 16), (16, 32), (32, 32)]
+            .iter()
+            .map(|&(r, c)| PuConfig::new(r, c).with_buffers(4096, 4096))
+            .collect();
+        let batch = crate::batch::PuBatch::from_pus(&pus);
+        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+            let out = batched.evaluate_batch(&conv(), &batch, df);
+            for (i, pu) in pus.iter().enumerate() {
+                assert_eq!(out.evals()[i], scalar.evaluate(&conv(), pu, df));
+            }
+        }
+        assert_eq!(batched.len(), scalar.len());
+        assert_eq!(batched.misses(), scalar.misses());
+        assert_eq!(batched.batched_probes(), 2 * pus.len() as u64);
+        assert_eq!(batched.batch_misses(), batched.misses());
+        // Two passes over at most `shards` locks per batch, never one
+        // lock per probe.
+        assert!(batched.batch_shard_locks() <= 2 * 2 * DEFAULT_SHARDS as u64);
+        // A second identical batch is all hits: only probe locks.
+        let before = batched.batch_shard_locks();
+        let again = batched.evaluate_batch(&conv(), &batch, Dataflow::WeightStationary);
+        assert_eq!(again.evals()[3], scalar.evaluate(&conv(), &pus[3], Dataflow::WeightStationary));
+        assert_eq!(batched.batch_misses(), batched.misses(), "no new misses");
+        assert!(batched.batch_shard_locks() - before <= DEFAULT_SHARDS as u64);
+    }
+
+    #[test]
+    fn best_dataflow_batch_matches_scalar_pick_and_entries() {
+        let em = EnergyModel::tsmc28();
+        let scalar = EvalCache::new(em);
+        let batched = EvalCache::new(em);
+        let pus: Vec<PuConfig> =
+            [(4, 4), (16, 16), (32, 8)].iter().map(|&(r, c)| PuConfig::new(r, c)).collect();
+        let batch = crate::batch::PuBatch::from_pus(&pus);
+        let out = batched.best_dataflow_batch(&conv(), &batch);
+        for (i, pu) in pus.iter().enumerate() {
+            let (df, eval) = scalar.best_dataflow(&conv(), pu);
+            assert_eq!(out.evals()[i], eval);
+            assert_eq!(out.evals()[i].dataflow, df);
+        }
+        // Both dataflow entries are cached, exactly like the scalar path.
+        assert_eq!(batched.len(), scalar.len());
+        assert_eq!(batched.export_lines(), scalar.export_lines());
+    }
+
+    #[test]
+    fn batch_duplicates_count_like_sequential_probes() {
+        let cache = EvalCache::new(EnergyModel::tsmc28());
+        let pu = PuConfig::new(16, 16);
+        let layers = vec![conv(), conv(), conv()];
+        let out = cache.evaluate_layers(&layers, &pu, Dataflow::WeightStationary);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+        // First occurrence misses, the two duplicates hit — the same
+        // counts a scalar loop over the three probes would record.
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn batch_serves_warm_tier_and_mixed_probes() {
+        let em = EnergyModel::tsmc28();
+        let source = EvalCache::new(em);
+        let pu = PuConfig::new(16, 16);
+        source.evaluate(&conv(), &pu, Dataflow::WeightStationary);
+
+        let cache = EvalCache::new(em);
+        for l in source.export_lines() {
+            cache.import_line(&l).expect("line parses");
+        }
+        let other = LayerDesc { in_c: 32, ..conv() };
+        let probes = vec![
+            (conv(), pu, Dataflow::WeightStationary), // warm hit
+            (other, pu, Dataflow::WeightStationary),  // miss
+            (conv(), pu, Dataflow::OutputStationary), // miss
+        ];
+        let out = cache.evaluate_probes(&probes);
+        assert_eq!(out[0], evaluate(&conv(), &pu, Dataflow::WeightStationary, &em));
+        assert_eq!(out[1], evaluate(&other, &pu, Dataflow::WeightStationary, &em));
+        assert_eq!(out[2], evaluate(&conv(), &pu, Dataflow::OutputStationary, &em));
+        assert_eq!((cache.hits(), cache.warm_hits(), cache.misses()), (1, 1, 2));
+        let s = cache.stats();
+        assert_eq!((s.batched_probes, s.batch_misses), (3, 2));
+        assert!(s.batch_shard_locks >= 2);
+    }
+
+    #[test]
+    fn empty_batch_touches_nothing() {
+        let cache = EvalCache::new(EnergyModel::tsmc28());
+        let out = cache.evaluate_batch(&conv(), &crate::batch::PuBatch::new(), Dataflow::WeightStationary);
+        assert!(out.is_empty());
+        assert_eq!(cache.batched_probes(), 0);
+        assert_eq!(cache.batch_shard_locks(), 0);
+    }
+
+    #[test]
+    fn injected_poison_in_batch_insert_is_recovered() {
+        faultsim::arm("cache.poison@1").expect("plan parses");
+        let em = EnergyModel::tsmc28();
+        let cache = EvalCache::with_shards(em, 1);
+        let pus = vec![PuConfig::new(16, 16), PuConfig::new(8, 8)];
+        let batch = crate::batch::PuBatch::from_pus(&pus);
+        let out = cache.evaluate_batch(&conv(), &batch, Dataflow::WeightStationary);
+        assert_eq!(faultsim::injected(), vec!["cache.poison@1"]);
+        faultsim::disarm();
+        for (i, pu) in pus.iter().enumerate() {
+            assert_eq!(out.evals()[i], evaluate(&conv(), pu, Dataflow::WeightStationary, &em));
+        }
+        // Entries inserted through the poisoned (recovered) lock serve
+        // as hits afterwards.
+        assert_eq!(cache.len(), 2);
+        let again = cache.evaluate_batch(&conv(), &batch, Dataflow::WeightStationary);
+        assert_eq!(again.evals()[0], out.evals()[0]);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub struct EnergyBreakdown {
 
 impl EnergyBreakdown {
     /// Total on-chip energy (pJ).
+    #[inline(always)]
     pub fn total_pj(&self) -> f64 {
         self.mac_pj + self.act_buf_pj + self.wgt_buf_pj + self.psum_pj
     }

@@ -126,18 +126,33 @@ pub fn evaluate(layer: &LayerDesc, pu: &PuConfig, df: Dataflow, em: &EnergyModel
 
 /// Selects between a WS and an OS evaluation of the same layer: lower
 /// cycle count wins, ties broken toward the lower on-chip energy. Shared
-/// by [`best_dataflow`] and the memoized [`crate::EvalCache`] so both
-/// apply bit-identical selection.
-pub(crate) fn pick_dataflow(ws: PuEval, os: PuEval) -> (Dataflow, PuEval) {
-    let pick_os = match ws.cycles.cmp(&os.cycles) {
-        std::cmp::Ordering::Greater => true,
-        std::cmp::Ordering::Less => false,
-        std::cmp::Ordering::Equal => os.energy.total_pj() < ws.energy.total_pj(),
-    };
-    if pick_os {
+/// by [`best_dataflow`], the memoized [`crate::EvalCache`] and the
+/// batched sweeps (`best_dataflow_batch`, the serving scheduler's
+/// stitched best-picks) so every path applies bit-identical selection.
+pub fn pick_dataflow(ws: PuEval, os: PuEval) -> (Dataflow, PuEval) {
+    if os_wins(
+        ws.cycles,
+        os.cycles,
+        ws.energy.total_pj(),
+        os.energy.total_pj(),
+    ) {
         (Dataflow::OutputStationary, os)
     } else {
         (Dataflow::WeightStationary, ws)
+    }
+}
+
+/// The tie-break predicate behind [`pick_dataflow`], over the already
+/// normalized cycle counts and total energies of the two candidates. The
+/// compiled fused kernel (`CompiledEval::best_parts`) calls this with the
+/// same quantities before materializing only the winning evaluation, so
+/// both paths share one selection rule by construction.
+#[inline(always)]
+pub(crate) fn os_wins(ws_cycles: u64, os_cycles: u64, ws_total_pj: f64, os_total_pj: f64) -> bool {
+    match ws_cycles.cmp(&os_cycles) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => os_total_pj < ws_total_pj,
     }
 }
 

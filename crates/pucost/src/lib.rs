@@ -39,15 +39,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod cache;
+mod compile;
 mod energy;
 mod eval;
 mod layer;
 mod pu;
 pub mod util;
 
+pub use batch::{best_dataflow_batch, evaluate_batch, PuBatch, PuEvalBatch};
 pub use cache::{CacheStats, EvalCache, EvalKey, SnapshotError};
+pub use compile::CompiledEval;
 pub use energy::{AreaModel, EnergyBreakdown, EnergyModel};
-pub use eval::{best_dataflow, evaluate, PuEval};
+pub use eval::{best_dataflow, evaluate, pick_dataflow, PuEval};
 pub use layer::LayerDesc;
 pub use pu::{Dataflow, PuConfig};

@@ -1,0 +1,312 @@
+//! Differential suite: the batched evaluation paths (free kernels and
+//! the memoized cache front) against the scalar reference, over seeded
+//! random layers (dense / grouped / depthwise / FC), random PU shapes
+//! (power-of-two and not), and batch sizes from 1 through 257.
+//!
+//! Everything here asserts *bit* identity — the batch layer is a pure
+//! performance transform and must never change a result, a dataflow
+//! pick, a cache counter, or the cache's contents.
+
+use pucost::{
+    best_dataflow, best_dataflow_batch, evaluate, evaluate_batch, Dataflow, EnergyModel, EvalCache,
+    LayerDesc, PuBatch, PuConfig,
+};
+
+/// splitmix64 — deterministic, dependency-free PRNG for the sweeps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + usize::try_from(self.next() % u64::try_from(hi - lo + 1).expect("fits")).expect("fits")
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.range(0, options.len() - 1)]
+    }
+}
+
+/// A random layer cycling through the evaluator's edge cases: dense
+/// conv, grouped conv, depthwise, and FC-as-1x1.
+fn random_layer(rng: &mut Rng) -> LayerDesc {
+    let kernel = rng.pick(&[1usize, 3, 5]);
+    let stride = rng.range(1, 2);
+    let side = rng.pick(&[1usize, 7, 14, 28, 56]);
+    match rng.range(0, 3) {
+        0 => {
+            // Depthwise: one channel per group.
+            let ch = rng.range(1, 96);
+            LayerDesc {
+                in_c: ch,
+                in_h: side,
+                in_w: side,
+                out_c: ch,
+                out_h: side,
+                out_w: side,
+                kernel,
+                stride,
+                groups: ch,
+                is_fc: false,
+            }
+        }
+        1 => {
+            // Grouped conv (group count need not divide the channels —
+            // the evaluator clamps).
+            LayerDesc {
+                in_c: rng.range(1, 128),
+                in_h: side,
+                in_w: side,
+                out_c: rng.range(1, 128),
+                out_h: side,
+                out_w: side,
+                kernel,
+                stride,
+                groups: rng.pick(&[2usize, 3, 4, 8]),
+                is_fc: false,
+            }
+        }
+        2 => LayerDesc {
+            // FC as 1x1 conv on a 1x1 extent.
+            in_c: rng.range(16, 4096),
+            in_h: 1,
+            in_w: 1,
+            out_c: rng.range(10, 1000),
+            out_h: 1,
+            out_w: 1,
+            kernel: 1,
+            stride: 1,
+            groups: 1,
+            is_fc: true,
+        },
+        _ => LayerDesc {
+            in_c: rng.range(1, 256),
+            in_h: side,
+            in_w: side,
+            out_c: rng.range(1, 256),
+            out_h: side,
+            out_w: side,
+            kernel,
+            stride,
+            groups: 1,
+            is_fc: false,
+        },
+    }
+}
+
+/// A random PU: power-of-two and awkward shapes, buffer sizes from
+/// starved (forcing `buffers_ok == false`) to ample, a few clock bins.
+fn random_pu(rng: &mut Rng) -> PuConfig {
+    let rows = rng.pick(&[1usize, 2, 3, 4, 7, 8, 16, 17, 32, 64]);
+    let cols = rng.pick(&[1usize, 2, 4, 5, 8, 16, 31, 32, 64]);
+    let act = 1u64 << rng.range(4, 18);
+    let wgt = 1u64 << rng.range(4, 18);
+    let freq = rng.pick(&[100.0f64, 250.0, 400.0, 933.5]);
+    PuConfig::new(rows, cols).with_buffers(act, wgt).with_freq_mhz(freq)
+}
+
+fn random_batch(rng: &mut Rng, n: usize) -> PuBatch {
+    let mut batch = PuBatch::with_capacity(n);
+    for _ in 0..n {
+        batch.push(&random_pu(rng));
+    }
+    batch
+}
+
+/// Batch sizes for the sweeps: every boundary the SoA walk and the
+/// shard bucketing could mishandle (1, shard-count multiples, powers of
+/// two and their neighbours, 257).
+const SIZES: [usize; 12] = [1, 2, 3, 7, 15, 16, 17, 64, 96, 128, 256, 257];
+
+#[test]
+fn kernel_batch_matches_scalar_across_sizes() {
+    let em = EnergyModel::tsmc28();
+    let mut rng = Rng(0xdeadbeef);
+    for &n in &SIZES {
+        let layer = random_layer(&mut rng);
+        let batch = random_batch(&mut rng, n);
+        for df in [Dataflow::WeightStationary, Dataflow::OutputStationary] {
+            let out = evaluate_batch(&layer, &batch, df, &em);
+            assert_eq!(out.len(), n);
+            for i in 0..n {
+                assert_eq!(
+                    out.evals()[i],
+                    evaluate(&layer, &batch.pu(i), df, &em),
+                    "size {n} item {i} {df:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_fused_best_matches_scalar_pick_across_sizes() {
+    let em = EnergyModel::tsmc28();
+    let mut rng = Rng(0x5eed);
+    for &n in &SIZES {
+        let layer = random_layer(&mut rng);
+        let batch = random_batch(&mut rng, n);
+        let out = best_dataflow_batch(&layer, &batch, &em);
+        for i in 0..n {
+            let (df, eval) = best_dataflow(&layer, &batch.pu(i), &em);
+            assert_eq!(out.evals()[i], eval, "size {n} item {i}");
+            assert_eq!(out.evals()[i].dataflow, df, "size {n} item {i}");
+        }
+    }
+}
+
+#[test]
+fn kernel_batch_matches_scalar_every_size_1_to_64() {
+    // Dense sweep over the small sizes, where off-by-one walk bugs live.
+    let em = EnergyModel::tsmc28();
+    let mut rng = Rng(42);
+    let layer = random_layer(&mut rng);
+    for n in 1..=64usize {
+        let batch = random_batch(&mut rng, n);
+        let out = best_dataflow_batch(&layer, &batch, &em);
+        for i in 0..n {
+            let (_, eval) = best_dataflow(&layer, &batch.pu(i), &em);
+            assert_eq!(out.evals()[i], eval, "size {n} item {i}");
+        }
+    }
+}
+
+#[test]
+fn cache_batch_matches_scalar_cache_and_counters() {
+    let mut rng = Rng(7);
+    for &n in &SIZES {
+        let layer = random_layer(&mut rng);
+        let batch = random_batch(&mut rng, n);
+        let scalar = EvalCache::default();
+        let batched = EvalCache::default();
+        let got = batched.best_dataflow_batch(&layer, &batch);
+        for i in 0..n {
+            let (df, eval) = scalar.best_dataflow(&layer, &batch.pu(i));
+            assert_eq!(got.evals()[i], eval, "size {n} item {i}");
+            assert_eq!(got.evals()[i].dataflow, df, "size {n} item {i}");
+        }
+        // Same totals as the scalar sequence (duplicate PUs in the batch
+        // miss once then hit, exactly like repeated scalar calls).
+        assert_eq!(batched.hits(), scalar.hits(), "size {n}");
+        assert_eq!(batched.misses(), scalar.misses(), "size {n}");
+        // Same cache contents, proving batch inserts land in the same
+        // shards the scalar path would probe.
+        let mut a = scalar.export_lines();
+        let mut b = batched.export_lines();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "size {n}");
+        // A second identical probe is all hits and computes nothing new.
+        let misses_before = batched.misses();
+        let again = batched.best_dataflow_batch(&layer, &batch);
+        assert_eq!(again.evals(), got.evals(), "size {n} second pass");
+        assert_eq!(batched.misses(), misses_before, "size {n} second pass missed");
+    }
+}
+
+#[test]
+fn cache_batch_serves_preseeded_and_warm_entries() {
+    let mut rng = Rng(11);
+    let layer = random_layer(&mut rng);
+    let batch = random_batch(&mut rng, 64);
+    // Pre-seed half the keys through the scalar path; the batch probe
+    // must hit them (same shard assignment, same key identity).
+    let cache = EvalCache::default();
+    for i in 0..32 {
+        cache.evaluate(&layer, &batch.pu(i), Dataflow::WeightStationary);
+    }
+    let seeded_misses = cache.misses();
+    let out = cache.evaluate_batch(&layer, &batch, Dataflow::WeightStationary);
+    assert_eq!(cache.hits(), 32);
+    assert_eq!(cache.misses(), seeded_misses + 32);
+    for i in 0..64 {
+        assert_eq!(
+            out.evals()[i],
+            evaluate(&layer, &batch.pu(i), Dataflow::WeightStationary, cache.energy_model()),
+            "item {i}"
+        );
+    }
+    // Warm tier: snapshot round-trip, then a batch probe over imported
+    // entries counts warm hits.
+    let warm = EvalCache::default();
+    for line in cache.export_lines() {
+        warm.import_line(&line).expect("snapshot line round-trips");
+    }
+    let again = warm.evaluate_batch(&layer, &batch, Dataflow::WeightStationary);
+    assert_eq!(again.evals(), out.evals());
+    assert_eq!(warm.hits(), 64);
+    assert_eq!(warm.warm_hits(), 64);
+    assert_eq!(warm.misses(), 0);
+}
+
+#[test]
+fn cache_batch_duplicates_hit_like_scalar_repeats() {
+    let mut rng = Rng(23);
+    let layer = random_layer(&mut rng);
+    let pu = random_pu(&mut rng);
+    let other = random_pu(&mut rng);
+    // Batch = [pu, pu, other, pu]: the scalar sequence misses twice
+    // (pu, other) and hits twice (the repeated pu probes).
+    let mut batch = PuBatch::new();
+    for p in [&pu, &pu, &other, &pu] {
+        batch.push(p);
+    }
+    let cache = EvalCache::default();
+    let out = cache.evaluate_batch(&layer, &batch, Dataflow::OutputStationary);
+    let scalar = EvalCache::default();
+    let mut want = Vec::new();
+    for i in 0..batch.len() {
+        want.push(scalar.evaluate(&layer, &batch.pu(i), Dataflow::OutputStationary));
+    }
+    assert_eq!(out.evals(), &want[..]);
+    assert_eq!(cache.hits(), scalar.hits());
+    assert_eq!(cache.misses(), scalar.misses());
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(cache.hits(), 2);
+    assert_eq!(cache.warm_hits(), 0);
+}
+
+#[test]
+fn cache_layer_and_probe_batches_match_scalar() {
+    let mut rng = Rng(99);
+    // evaluate_layers: many layers against one PU (the segment-scoring
+    // shape) — exercises the per-layer hasher-prefix reset every key.
+    let layers: Vec<LayerDesc> = (0..48).map(|_| random_layer(&mut rng)).collect();
+    let pu = random_pu(&mut rng);
+    let cache = EvalCache::default();
+    let scalar = EvalCache::default();
+    let got = cache.evaluate_layers(&layers, &pu, Dataflow::WeightStationary);
+    for (i, l) in layers.iter().enumerate() {
+        assert_eq!(got[i], scalar.evaluate(l, &pu, Dataflow::WeightStationary), "layer {i}");
+    }
+    assert_eq!(cache.misses(), scalar.misses());
+    assert_eq!(cache.hits(), scalar.hits());
+    // evaluate_probes: heterogeneous (layer, PU, dataflow) triples with
+    // alternating layers and interleaved duplicates.
+    let mut probes = Vec::new();
+    for i in 0..32 {
+        let l = layers[i % 5];
+        let p = random_pu(&mut rng);
+        let df = if i % 2 == 0 { Dataflow::WeightStationary } else { Dataflow::OutputStationary };
+        probes.push((l, p, df));
+        if i % 7 == 0 {
+            probes.push((l, p, df));
+        }
+    }
+    let cache = EvalCache::default();
+    let scalar = EvalCache::default();
+    let got = cache.evaluate_probes(&probes);
+    for (i, (l, p, df)) in probes.iter().enumerate() {
+        assert_eq!(got[i], scalar.evaluate(l, p, *df), "probe {i}");
+    }
+    assert_eq!(cache.misses(), scalar.misses());
+    assert_eq!(cache.hits(), scalar.hits());
+    assert_eq!(cache.warm_hits(), scalar.warm_hits());
+}

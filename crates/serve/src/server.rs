@@ -440,6 +440,9 @@ fn status_json(inner: &Inner) -> Json {
                 ("hot_hits", Json::from(cs.hot_hits)),
                 ("misses", Json::from(cs.misses)),
                 ("hit_rate", Json::from(cs.hit_rate)),
+                ("batched_probes", Json::from(cs.batched_probes)),
+                ("batch_misses", Json::from(cs.batch_misses)),
+                ("batch_shard_locks", Json::from(cs.batch_shard_locks)),
             ]),
         ),
         (
@@ -560,15 +563,51 @@ fn execute_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
     if eval_jobs.is_empty() {
         return;
     }
-    // One pool fan-out for the whole eval run; the shared cache makes
-    // repeats (within and across batches) hits.
+    // One pool fan-out for the whole eval run, chunked so each worker
+    // resolves its probes through one batched cache pass (one shard-lock
+    // sweep per chunk instead of one lock per probe); the shared cache
+    // makes repeats (within and across batches) hits.
     let cache = &inner.cache;
-    let results: Vec<(Dataflow, PuEval)> = inner.pool.par_map(&eval_items, |_, (layer, pu, sel)| {
-        match sel {
-            DataflowSel::Fixed(df) => (*df, cache.evaluate(layer, pu, *df)),
-            DataflowSel::Best => cache.best_dataflow(layer, pu),
-        }
-    });
+    let chunk_len = eval_items.len().div_ceil(inner.pool.threads().max(1)).max(1);
+    let chunks: Vec<&[(LayerDesc, PuConfig, DataflowSel)]> = eval_items.chunks(chunk_len).collect();
+    let results: Vec<(Dataflow, PuEval)> = inner
+        .pool
+        .par_map(&chunks, |_, chunk| {
+            // A `best` selection probes WS then OS, exactly like the
+            // scalar `best_dataflow`, so the stitched pick below applies
+            // the shared tie-break to bit-identical inputs.
+            let mut probes: Vec<(LayerDesc, PuConfig, Dataflow)> =
+                Vec::with_capacity(chunk.len() * 2);
+            for (layer, pu, sel) in chunk.iter() {
+                match sel {
+                    DataflowSel::Fixed(df) => probes.push((*layer, *pu, *df)),
+                    DataflowSel::Best => {
+                        probes.push((*layer, *pu, Dataflow::WeightStationary));
+                        probes.push((*layer, *pu, Dataflow::OutputStationary));
+                    }
+                }
+            }
+            let evals = cache.evaluate_probes(&probes);
+            let mut out: Vec<(Dataflow, PuEval)> = Vec::with_capacity(chunk.len());
+            let mut next = 0;
+            for (_, _, sel) in chunk.iter() {
+                match sel {
+                    DataflowSel::Fixed(df) => {
+                        out.push((*df, evals[next]));
+                        next += 1;
+                    }
+                    DataflowSel::Best => {
+                        let picked = pucost::pick_dataflow(evals[next], evals[next + 1]);
+                        next += 2;
+                        out.push(picked);
+                    }
+                }
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     for (job, (df, eval)) in eval_jobs.into_iter().zip(results) {
         let _ = job.respond.send(done_line(job.id, eval_json(df, &eval)));
         inner.m.completed.fetch_add(1, Ordering::Relaxed);

@@ -73,6 +73,32 @@ EOF
     # checked-in artifact matches `results/BENCH_dse.json`'s golden role.
     DSE_SMOKE=1 OBS_LEVEL=off \
         cargo run --release --offline -p experiments --bin bench_dse -- --threads 2
+
+    echo "== eval-throughput smoke: batched kernels must not lose to scalar =="
+    python3 - <<'EOF'
+import json, sys
+with open("results/BENCH_dse.json") as f:
+    doc = json.load(f)
+tp = doc.get("eval_throughput") or {}
+ratio = tp.get("batch_vs_scalar", 0)
+if ratio < 1.0:
+    sys.exit(f"verify: batched kernel slower than scalar ({ratio}x)")
+cache_ratio = tp.get("cache_batch_vs_scalar", 0)
+# The cache paths are SipHash-dominated, so cold batch probes sit at
+# parity with scalar; anything below 0.9 means the batch plumbing itself
+# regressed.
+if cache_ratio < 0.9:
+    sys.exit(f"verify: batched cache path regressed vs scalar ({cache_ratio}x)")
+curve = doc.get("speedup_curve") or []
+if len(curve) < 2:
+    sys.exit("verify: speedup_curve missing from BENCH_dse.json")
+if tp.get("host_cpus", 1) > 1:
+    if curve[1]["speedup"] <= curve[0]["speedup"]:
+        sys.exit(f"verify: 2 threads did not beat 1 on a multi-core host: {curve}")
+    print(f"   eval throughput OK: batch {ratio}x, 2-thread speedup {curve[1]['speedup']}x")
+else:
+    print(f"   eval throughput OK: batch {ratio}x (single-CPU host, curve gate skipped)")
+EOF
 fi
 
 echo "== spa-serve: stdio transcript (mid-request deadline, torn cache write) =="
