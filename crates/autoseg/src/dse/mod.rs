@@ -140,9 +140,15 @@ impl DsePool {
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(items.len());
+        // The trace id is thread-local and does not cross spawns: re-set
+        // the caller's id in every worker so flight notes and Chrome
+        // spans emitted inside candidate evaluation stay attributed to
+        // the request that fanned out.
+        let trace = obs::current_trace();
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    obs::set_trace(trace);
                     let mut claimed = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

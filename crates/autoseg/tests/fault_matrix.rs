@@ -15,6 +15,9 @@
 //!   heals it.
 //! * `obs.sink`    — the telemetry sink fails to write; it degrades to
 //!   dropping lines (counted) and the search is undisturbed.
+//! * `trace.dump`  — a flight-recorder dump is torn mid-write; it
+//!   degrades typed (`false` + `sink_errors` counted), never a panic,
+//!   and the recorder keeps capturing.
 //!
 //! Fault plans and the `obs` level are process-global, so every test
 //! holds [`faultsim::exclusive`] for its whole body.
@@ -170,6 +173,40 @@ fn sink_failure_never_disturbs_the_search() {
         "the sink failure must be counted"
     );
     obs::set_level(obs::Level::Off);
+}
+
+#[test]
+fn torn_flight_dump_degrades_typed_not_panic() {
+    let _x = faultsim::exclusive();
+    obs::set_sink_memory();
+    obs::flight::configure(64);
+    obs::flight::reset();
+    obs::flight::note("fault.matrix", 1, 2);
+    // Clean dump first: succeeds and lands in the sink.
+    let _ = obs::take_memory_lines();
+    assert!(obs::flight::dump_to_sink(), "clean dump succeeds");
+    assert!(
+        obs::take_memory_lines().iter().any(|l| l.contains("\"t\":\"flight\"")),
+        "clean dump reaches the sink"
+    );
+    // Torn dump: the first dump attempt fails typed — `false` comes
+    // back, the shared sink-error counter increments, nothing panics.
+    let before = obs::sink_errors();
+    faultsim::arm("trace.dump@1").expect("plan parses");
+    assert!(!obs::flight::dump_to_sink(), "torn dump reports failure");
+    faultsim::disarm();
+    assert!(
+        obs::sink_errors() > before,
+        "the torn dump must be counted as a sink error"
+    );
+    // The recorder itself is unharmed: events still drain.
+    let dump = obs::flight::drain();
+    assert!(
+        dump.events.iter().any(|e| e.name == "fault.matrix"),
+        "recorder survives a torn dump"
+    );
+    obs::flight::reset();
+    obs::flight::configure(0);
 }
 
 #[test]

@@ -90,6 +90,48 @@ fn tracing_on_vs_off_is_bit_identical() {
 }
 
 #[test]
+fn trace_ids_and_flight_recorder_are_bit_invisible() {
+    let _g = OBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_sink_memory();
+    obs::set_level(obs::Level::Off);
+    obs::reset();
+    let pool = DsePool::new(2);
+
+    // Reference: recorder off, no trace id set.
+    obs::flight::configure(0);
+    obs::set_trace(0);
+    let off = run_codesign(&pool);
+    assert!(!off.is_empty());
+
+    // Recorder on, under an active request trace id (the serving-layer
+    // configuration): the search result must not move a bit, and the
+    // recorder must have captured attributed events from the pool
+    // workers (trace ids propagate across the DsePool fan-out).
+    obs::flight::configure(4096);
+    obs::flight::reset();
+    {
+        let _t = obs::TraceGuard::enter(77);
+        let on = run_codesign(&pool);
+        assert_eq!(off, on, "flight recorder + trace ids changed search results");
+    }
+    let dump = obs::flight::drain();
+    let probes: Vec<_> = dump
+        .events
+        .iter()
+        .filter(|e| e.name == "cache.batch_probe")
+        .collect();
+    assert!(!probes.is_empty(), "cache probes were noted");
+    assert!(
+        probes.iter().any(|e| e.trace == 77),
+        "pool workers inherit the caller's trace id"
+    );
+    assert_eq!(obs::current_trace(), 0, "TraceGuard restored the idle state");
+    obs::flight::reset();
+    obs::flight::configure(0);
+    obs::set_level(obs::Level::Off);
+}
+
+#[test]
 fn engine_sweep_unchanged_by_tracing() {
     let _g = OBS_GUARD.lock().unwrap_or_else(|e| e.into_inner());
     obs::set_sink_memory();

@@ -243,6 +243,25 @@ fn fire(st: &mut State, name: &str, idx: Option<u64>) -> bool {
     fired
 }
 
+/// Observer called after a scripted fault actually fires (outside the
+/// plan lock, so the observer may itself reach other fault points).
+/// Set once per process; later calls are ignored. `obs` registers its
+/// flight recorder here so every injection leaves a black-box record.
+static HIT_HOOK: OnceLock<fn(&str)> = OnceLock::new();
+
+/// Registers the injection observer. First caller wins; the hook must
+/// not panic and must tolerate re-entrant injections (it runs outside
+/// the plan lock, so fault points it reaches behave normally).
+pub fn set_hit_hook(hook: fn(&str)) {
+    let _ = HIT_HOOK.set(hook);
+}
+
+fn notify(name: &str) {
+    if let Some(h) = HIT_HOOK.get() {
+        h(name);
+    }
+}
+
 /// Arrival-ordered fault point: returns `true` when the armed plan says
 /// this arrival at `name` should fail. Meant for serial sites where
 /// arrival order is deterministic (checkpoint writes, sink writes).
@@ -250,8 +269,14 @@ pub fn hit(name: &str) -> bool {
     if !armed() {
         return false;
     }
-    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
-    fire(&mut st, name, None)
+    let fired = {
+        let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+        fire(&mut st, name, None)
+    };
+    if fired {
+        notify(name);
+    }
+    fired
 }
 
 /// Index-keyed fault point: returns `true` when the armed plan scripts a
@@ -262,8 +287,14 @@ pub fn hit_at(name: &str, idx: u64) -> bool {
     if !armed() {
         return false;
     }
-    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
-    fire(&mut st, name, Some(idx))
+    let fired = {
+        let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+        fire(&mut st, name, Some(idx))
+    };
+    if fired {
+        notify(name);
+    }
+    fired
 }
 
 /// The log of every fault fired since the last [`arm`] / [`disarm`],

@@ -62,13 +62,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chrome;
+pub mod flight;
+mod hdr;
 mod report;
 mod sink;
 
-pub use report::{HistRow, Report, SpanRow};
+pub use chrome::set_trace_out;
+pub use flight::{FlightDump, FlightEvent};
+pub use hdr::{HdrHist, MAX_RELATIVE_ERROR};
+pub use report::{HdrRow, HistRow, Report, SpanRow};
 pub use sink::{set_sink_memory, set_sink_path, sink_errors, take_memory_lines};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -209,6 +215,7 @@ struct Shard {
     spans: HashMap<&'static str, SpanStat>,
     counters: HashMap<&'static str, u64>,
     hists: HashMap<&'static str, Hist>,
+    hdrs: HashMap<&'static str, HdrHist>,
 }
 
 struct Collector {
@@ -273,6 +280,64 @@ pub fn record(name: &'static str, value: u64) {
     my_shard().hists.entry(name).or_default().record(value);
 }
 
+/// Records one `value` into the fixed-precision quantile histogram
+/// `name` ([`HdrHist`]: p50/p90/p99/p999 within ~3%). Shard-local like
+/// [`record`]; the snapshot merges shards bucket-wise, which preserves
+/// quantiles exactly.
+#[inline]
+pub fn record_hdr(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    my_shard().hdrs.entry(name).or_default().record(value);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The request trace id active on this thread (0 = none). Always-on
+    /// like the flight recorder: attribution must not depend on
+    /// `OBS_LEVEL`.
+    static TRACE_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Sets this thread's current trace id (0 clears it). Serving layers
+/// mint an id per request and set it around request execution; worker
+/// pools re-set it inside spawned workers ([`current_trace`] is
+/// thread-local and does not cross thread spawns by itself).
+pub fn set_trace(id: u64) {
+    TRACE_ID.with(|t| t.set(id));
+}
+
+/// This thread's current trace id (0 when none). Flight-recorder notes
+/// and Chrome span events capture it automatically.
+pub fn current_trace() -> u64 {
+    TRACE_ID.with(|t| t.get())
+}
+
+/// RAII trace-id scope: sets `id` and restores the previous id on drop.
+#[derive(Debug)]
+pub struct TraceGuard {
+    prev: u64,
+}
+
+impl TraceGuard {
+    /// Enters a trace scope for `id`.
+    pub fn enter(id: u64) -> TraceGuard {
+        let prev = current_trace();
+        set_trace(id);
+        TraceGuard { prev }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        set_trace(self.prev);
+    }
+}
+
 /// Drops all aggregated data and restarts the epoch. The level and sink
 /// are untouched. Intended for tests and multi-phase binaries.
 pub fn reset() {
@@ -281,6 +346,7 @@ pub fn reset() {
         s.spans.clear();
         s.counters.clear();
         s.hists.clear();
+        s.hdrs.clear();
     }
     *collector().epoch.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
 }
@@ -290,6 +356,7 @@ pub fn snapshot() -> Report {
     let mut spans: HashMap<&'static str, SpanStat> = HashMap::new();
     let mut counters: HashMap<&'static str, u64> = HashMap::new();
     let mut hists: HashMap<&'static str, Hist> = HashMap::new();
+    let mut hdrs: HashMap<&'static str, HdrHist> = HashMap::new();
     for shard in &collector().shards {
         let s = shard.lock().unwrap_or_else(|e| e.into_inner());
         for (k, v) in &s.spans {
@@ -304,8 +371,11 @@ pub fn snapshot() -> Report {
         for (k, v) in &s.hists {
             hists.entry(k).or_default().merge(v);
         }
+        for (k, v) in &s.hdrs {
+            hdrs.entry(k).or_default().merge(v);
+        }
     }
-    Report::build(spans, counters, hists, since_epoch_ns())
+    Report::build(spans, counters, hists, hdrs, since_epoch_ns())
 }
 
 // ---------------------------------------------------------------------------
@@ -394,6 +464,14 @@ impl Drop for SpanGuard {
             e.count += 1;
             e.total_ns += dur_ns;
             e.self_ns += self_ns;
+        }
+        if chrome::active() {
+            chrome::span_event(
+                span.name,
+                since_epoch_ns().saturating_sub(dur_ns),
+                dur_ns,
+                current_trace(),
+            );
         }
         if level() >= Level::Trace {
             let attrs = TRACE_ATTRS.with(|a| {
@@ -560,6 +638,7 @@ pub fn finish() -> Option<Report> {
         report.to_json()
     ));
     sink::flush();
+    chrome::flush();
     eprintln!("{}", report.render(10));
     Some(report)
 }

@@ -3,7 +3,7 @@
 //! no JSON serializer; the schema is flat).
 
 use crate::sink::json_escape;
-use crate::{Hist, SpanStat};
+use crate::{HdrHist, Hist, SpanStat};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -21,6 +21,11 @@ pub struct SpanRow {
 }
 
 /// One histogram's merged summary.
+///
+/// The quantiles are *estimates* derived from the log2 buckets (each
+/// reported value is its bucket's upper bound, so a p-estimate can
+/// overshoot by up to 2x); render and JSON mark them `approx`. For
+/// tail-latency work use [`crate::record_hdr`] / [`HdrRow`] instead.
 #[derive(Debug, Clone)]
 pub struct HistRow {
     /// Histogram name as passed to [`crate::record`].
@@ -35,8 +40,34 @@ pub struct HistRow {
     pub max: u64,
     /// Log2-bucket upper bound of the median.
     pub p50: u64,
+    /// Log2-bucket upper bound of the 95th percentile.
+    pub p95: u64,
     /// Log2-bucket upper bound of the 99th percentile.
     pub p99: u64,
+}
+
+/// One fixed-precision quantile histogram's merged summary
+/// ([`crate::record_hdr`]; quantiles within ~3.1%).
+#[derive(Debug, Clone)]
+pub struct HdrRow {
+    /// Histogram name as passed to [`crate::record_hdr`].
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
 }
 
 /// Merged snapshot of all collector shards. Produced by
@@ -49,6 +80,8 @@ pub struct Report {
     pub counters: Vec<(String, u64)>,
     /// Histogram rows, sorted by name.
     pub hists: Vec<HistRow>,
+    /// Fixed-precision quantile rows, sorted by name.
+    pub hdrs: Vec<HdrRow>,
     /// Nanoseconds since the collector epoch when the snapshot was taken.
     pub wall_ns: u64,
 }
@@ -58,6 +91,7 @@ impl Report {
         spans: HashMap<&'static str, SpanStat>,
         counters: HashMap<&'static str, u64>,
         hists: HashMap<&'static str, Hist>,
+        hdrs: HashMap<&'static str, HdrHist>,
         wall_ns: u64,
     ) -> Report {
         let mut spans: Vec<SpanRow> = spans
@@ -86,22 +120,43 @@ impl Report {
                 min: if h.count == 0 { 0 } else { h.min },
                 max: h.max,
                 p50: h.quantile(0.5),
+                p95: h.quantile(0.95),
                 p99: h.quantile(0.99),
             })
             .collect();
         hists.sort_by(|a, b| a.name.cmp(&b.name));
 
+        let mut hdr_rows: Vec<HdrRow> = hdrs
+            .into_iter()
+            .map(|(name, h)| HdrRow {
+                name: name.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                p50: h.p50(),
+                p90: h.p90(),
+                p99: h.p99(),
+                p999: h.p999(),
+            })
+            .collect();
+        hdr_rows.sort_by(|a, b| a.name.cmp(&b.name));
+
         Report {
             spans,
             counters,
             hists,
+            hdrs: hdr_rows,
             wall_ns,
         }
     }
 
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.hdrs.is_empty()
     }
 
     /// Looks up a counter's total by name.
@@ -120,6 +175,11 @@ impl Report {
     /// Looks up a histogram row by name.
     pub fn hist(&self, name: &str) -> Option<&HistRow> {
         self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up a fixed-precision quantile row by name.
+    pub fn hdr(&self, name: &str) -> Option<&HdrRow> {
+        self.hdrs.iter().find(|h| h.name == name)
     }
 
     /// Renders the human-readable summary (the stderr report): the top-N
@@ -162,16 +222,31 @@ impl Report {
             }
         }
         if !self.hists.is_empty() {
+            // `~` columns: log2-bucket estimates (upper bounds, approx).
             let _ = writeln!(
                 out,
-                "   {:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                "histogram", "count", "min", "p50", "p99", "max"
+                "   {:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "histogram (approx)", "count", "min", "~p50", "~p95", "~p99", "max"
             );
             for h in &self.hists {
                 let _ = writeln!(
                     out,
-                    "   {:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
-                    h.name, h.count, h.min, h.p50, h.p99, h.max
+                    "   {:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.name, h.count, h.min, h.p50, h.p95, h.p99, h.max
+                );
+            }
+        }
+        if !self.hdrs.is_empty() {
+            let _ = writeln!(
+                out,
+                "   {:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "hdr histogram", "count", "p50", "p90", "p99", "p999", "max"
+            );
+            for h in &self.hdrs {
+                let _ = writeln!(
+                    out,
+                    "   {:<28} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.name, h.count, h.p50, h.p90, h.p99, h.p999, h.max
                 );
             }
         }
@@ -210,13 +285,33 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"approx\":true}}",
                 json_escape(&h.name),
                 h.count,
                 h.sum,
                 h.min,
                 h.p50,
+                h.p95,
                 h.p99,
+                h.max
+            );
+        }
+        out.push_str("],\"hdrs\":[");
+        for (i, h) in self.hdrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                json_escape(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.p999,
                 h.max
             );
         }
@@ -255,7 +350,13 @@ mod tests {
             h.record(v);
         }
         hists.insert("lat", h);
-        Report::build(spans, counters, hists, 1_000_000)
+        let mut hdrs = HashMap::new();
+        let mut q = HdrHist::new();
+        for v in 1..=1000u64 {
+            q.record(v);
+        }
+        hdrs.insert("tail", q);
+        Report::build(spans, counters, hists, hdrs, 1_000_000)
     }
 
     #[test]
@@ -273,12 +374,36 @@ mod tests {
     }
 
     #[test]
+    fn hist_quantile_estimates_bracket_and_order() {
+        let r = sample();
+        let h = r.hist("lat").unwrap();
+        // Log2 upper bounds: estimates never underestimate and are
+        // monotone p50 <= p95 <= p99 <= next power of two above max.
+        assert!(h.p50 >= 2 && h.p50 <= h.p95 && h.p95 <= h.p99);
+        assert!(h.p99 >= h.max && h.p99 < h.max * 2);
+    }
+
+    #[test]
+    fn hdr_rows_carry_tight_quantiles() {
+        let r = sample();
+        let q = r.hdr("tail").unwrap();
+        assert_eq!(q.count, 1000);
+        assert!(q.p50 >= 500 && q.p50 <= 516, "p50 within 1/32: {}", q.p50);
+        assert!(q.p99 >= 990 && q.p99 <= 1000 + 1000 / 32);
+        assert!(q.p999 <= q.max);
+        assert!(r.hdr("absent").is_none());
+    }
+
+    #[test]
     fn render_truncates_to_top_n() {
         let r = sample();
         let top1 = r.render(1);
         assert!(top1.contains("hot"));
         assert!(top1.contains("... 1 more spans"));
         assert!(top1.contains("cache.hits"));
+        assert!(top1.contains("approx"), "legacy hists marked approximate");
+        assert!(top1.contains("~p95"));
+        assert!(top1.contains("hdr histogram"));
         let full = r.render(10);
         assert!(full.contains("cold"));
         assert!(!full.contains("more spans"));
@@ -292,6 +417,10 @@ mod tests {
         assert!(j.contains("\"name\":\"hot\""));
         assert!(j.contains("\"cache.hits\":9"));
         assert!(j.contains("\"wall_ns\":1000000"));
+        assert!(j.contains("\"approx\":true"));
+        assert!(j.contains("\"p95\":"));
+        assert!(j.contains("\"hdrs\":[{\"name\":\"tail\""));
+        assert!(j.contains("\"p999\":"));
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),
@@ -301,9 +430,16 @@ mod tests {
 
     #[test]
     fn empty_report_renders_placeholder() {
-        let r = Report::build(HashMap::new(), HashMap::new(), HashMap::new(), 0);
+        let r = Report::build(
+            HashMap::new(),
+            HashMap::new(),
+            HashMap::new(),
+            HashMap::new(),
+            0,
+        );
         assert!(r.is_empty());
         assert!(r.render(5).contains("nothing recorded"));
         assert!(r.to_json().contains("\"spans\":[]"));
+        assert!(r.to_json().contains("\"hdrs\":[]"));
     }
 }

@@ -21,6 +21,12 @@ pub fn sink_errors() -> u64 {
     SINK_ERRORS.load(Ordering::Relaxed)
 }
 
+/// Counts a telemetry-output failure from another module (flight-dump
+/// or Chrome-trace write paths) in the same degradation counter.
+pub(crate) fn record_error() {
+    SINK_ERRORS.fetch_add(1, Ordering::Relaxed);
+}
+
 enum Target {
     /// No sink configured (or the configured one failed): drop lines.
     Drop,
@@ -77,8 +83,25 @@ pub fn take_memory_lines() -> Vec<String> {
     }
 }
 
+thread_local! {
+    /// Re-entrancy guard: the `obs.sink` fault point fires while the
+    /// sink lock is held, and the faultsim injection hook may itself
+    /// try to write (the flight recorder's first-fault dump). A
+    /// re-entrant write on the same thread is dropped instead of
+    /// deadlocking.
+    static IN_WRITE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Appends one JSONL line (the newline is added here).
 pub(crate) fn write_line(line: &str) {
+    if IN_WRITE.with(|f| f.replace(true)) {
+        return;
+    }
+    write_line_inner(line);
+    IN_WRITE.with(|f| f.set(false));
+}
+
+fn write_line_inner(line: &str) {
     let mut g = sink().lock().unwrap_or_else(|e| e.into_inner());
     let target = g.get_or_insert_with(from_env);
     // `obs.sink` fault point: a scripted write failure behaves exactly

@@ -393,6 +393,7 @@ impl EvalCache {
             obs::add("pucost.cache.misses", miss_count);
         }
         obs::add("pucost.cache.batched_probes", u64_of(n));
+        obs::flight::note("cache.batch_probe", u64_of(n), miss_count);
         out.into_iter().map(|e| e.expect("all keys resolved")).collect()
     }
 

@@ -44,8 +44,12 @@ pub use proto::{Envelope, ProtoError, Request, PROTOCOL_VERSION};
 pub use queue::{Admission, AdmitError};
 pub use server::{Client, ServeConfig, Server};
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Runs one blocking stdio session against a fresh server: each input
@@ -115,4 +119,112 @@ pub fn run_stdio(
     }
     output.flush()?;
     Ok(())
+}
+
+/// Hosts a fresh server on a unix-domain socket at `path`, accepting
+/// many concurrent clients (one JSONL session each) until `stop` is
+/// raised or a `shutdown` request lands. The accept loop is nonblocking
+/// so both are observed within ~25 ms. On exit the server drains
+/// gracefully, checkpoints in-flight searches and flushes the persistent
+/// cache.
+///
+/// This is the `--socket` mode of the binary (which passes its
+/// SIGTERM/SIGINT flag as `stop`), factored here so the `bench_serve`
+/// harness can host a real socket in-process and stop it between bench
+/// phases.
+///
+/// # Errors
+///
+/// Bind/configure failures of the listener; accept errors other than
+/// `WouldBlock` end the loop but still shut down cleanly.
+pub fn run_socket(path: &Path, cfg: ServeConfig, stop: &AtomicBool) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path); // stale socket from a previous run
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let server = Arc::new(Server::start(cfg));
+    let mut pumps = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) || server.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = Arc::clone(&server);
+                pumps.push(std::thread::spawn(move || pump_connection(&server, stream)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                eprintln!("spa-serve: accept failed: {e}");
+                break;
+            }
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(path);
+    for p in pumps {
+        let _ = p.join();
+    }
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.join(),
+        Err(_) => eprintln!("spa-serve: connection pump leaked a server handle"),
+    }
+    Ok(())
+}
+
+/// One connection, one thread: interleave reading request lines (with a
+/// short read timeout so responses keep flowing while the peer is idle)
+/// with pumping response lines back. The session ends once the peer
+/// stops sending (EOF) and every admitted job has resolved — responses
+/// are enqueued before a job resolves, so the final drain sees them all.
+fn pump_connection(server: &Server, stream: UnixStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let client = server.client();
+    let mut reader = match stream.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(e) => {
+            eprintln!("spa-serve: cannot clone stream: {e}");
+            return;
+        }
+    };
+    let mut out = stream;
+    let mut acc = String::new();
+    let mut eof = false;
+    loop {
+        if !eof {
+            // A timeout mid-line leaves the partial line in `acc`; the
+            // next round appends the rest.
+            match reader.read_line(&mut acc) {
+                Ok(0) => eof = true,
+                Ok(_) => {
+                    client.submit(acc.trim_end());
+                    acc.clear();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => eof = true,
+            }
+        } else if client.outstanding() > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut io_ok = true;
+        for resp in client.drain_ready() {
+            io_ok &= writeln!(out, "{resp}").is_ok();
+        }
+        if !io_ok {
+            break; // peer hung up; jobs resolve server-side regardless
+        }
+        let drained = client.outstanding() == 0;
+        if (eof || server.is_shutting_down()) && drained {
+            for resp in client.drain_ready() {
+                let _ = writeln!(out, "{resp}");
+            }
+            break;
+        }
+    }
 }

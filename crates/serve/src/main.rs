@@ -12,16 +12,19 @@
 //!   checkpoint, the persistent cache flushes, and a restarted server
 //!   resumes interrupted codesigns bit-identically.
 //!
+//! Both front ends live in the library ([`serve::run_stdio`],
+//! [`serve::run_socket`]) so tests and the `bench_serve` harness drive
+//! them in-process; this binary adds only argument parsing and signal
+//! handling.
+//!
 //! Environment: `SERVE_SOCKET`, `SERVE_CACHE_DIR`, `SERVE_MAX_INFLIGHT`,
-//! plus the usual `DSE_THREADS` / `OBS_LEVEL` / `FAULT_PLAN`.
+//! plus the usual `DSE_THREADS` / `OBS_LEVEL` / `OBS_FLIGHT` /
+//! `OBS_TRACE_OUT` / `FAULT_PLAN`.
 
-use serve::{ServeConfig, Server};
-use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
+use serve::ServeConfig;
+use std::io::BufReader;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
 
 /// Raised by the SIGTERM/SIGINT handler; polled by the accept loop.
 static TERMINATE: AtomicBool = AtomicBool::new(false);
@@ -54,6 +57,16 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn serve_socket(path: &Path, cfg: ServeConfig) {
+    install_signal_handlers();
+    eprintln!("spa-serve: listening on {}", path.display());
+    if let Err(e) = serve::run_socket(path, cfg, &TERMINATE) {
+        eprintln!("spa-serve: socket session failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("spa-serve: stopped");
+}
+
 fn main() {
     faultsim::arm_from_env();
     let cfg = ServeConfig::from_env();
@@ -70,117 +83,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        ["--socket", path] => run_socket(Path::new(path), cfg),
+        ["--socket", path] => serve_socket(Path::new(path), cfg),
         [] => match std::env::var("SERVE_SOCKET") {
-            Ok(path) if !path.is_empty() => run_socket(Path::new(&path), cfg),
+            Ok(path) if !path.is_empty() => serve_socket(Path::new(&path), cfg),
             _ => usage(),
         },
         _ => usage(),
     }
     obs::finish();
-}
-
-/// Accept loop: nonblocking so SIGTERM and `shutdown` requests are
-/// observed promptly; each connection gets its own pump thread.
-fn run_socket(path: &Path, cfg: ServeConfig) {
-    install_signal_handlers();
-    let _ = std::fs::remove_file(path); // stale socket from a previous run
-    let listener = match UnixListener::bind(path) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("spa-serve: cannot bind {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    };
-    if let Err(e) = listener.set_nonblocking(true) {
-        eprintln!("spa-serve: cannot set nonblocking: {e}");
-        std::process::exit(1);
-    }
-    let server = Arc::new(Server::start(cfg));
-    eprintln!("spa-serve: listening on {}", path.display());
-    let mut pumps = Vec::new();
-    loop {
-        if TERMINATE.load(Ordering::SeqCst) || server.is_shutting_down() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let server = Arc::clone(&server);
-                pumps.push(std::thread::spawn(move || pump_connection(&server, stream)));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(25));
-            }
-            Err(e) => {
-                eprintln!("spa-serve: accept failed: {e}");
-                break;
-            }
-        }
-    }
-    server.shutdown();
-    let _ = std::fs::remove_file(path);
-    for p in pumps {
-        let _ = p.join();
-    }
-    match Arc::try_unwrap(server) {
-        Ok(s) => s.join(),
-        Err(_) => eprintln!("spa-serve: connection pump leaked a server handle"),
-    }
-    eprintln!("spa-serve: stopped");
-}
-
-/// One connection, one thread: interleave reading request lines (with a
-/// short read timeout so responses keep flowing while the peer is idle)
-/// with pumping response lines back. The session ends once the peer
-/// stops sending (EOF) and every admitted job has resolved — responses
-/// are enqueued before a job resolves, so the final drain sees them all.
-fn pump_connection(server: &Server, stream: UnixStream) {
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    let client = server.client();
-    let mut reader = match stream.try_clone() {
-        Ok(r) => BufReader::new(r),
-        Err(e) => {
-            eprintln!("spa-serve: cannot clone stream: {e}");
-            return;
-        }
-    };
-    let mut out = stream;
-    let mut acc = String::new();
-    let mut eof = false;
-    loop {
-        if !eof {
-            // A timeout mid-line leaves the partial line in `acc`; the
-            // next round appends the rest.
-            match reader.read_line(&mut acc) {
-                Ok(0) => eof = true,
-                Ok(_) => {
-                    client.submit(acc.trim_end());
-                    acc.clear();
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) => {}
-                Err(_) => eof = true,
-            }
-        } else if client.outstanding() > 0 {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        let mut io_ok = true;
-        for resp in client.drain_ready() {
-            io_ok &= writeln!(out, "{resp}").is_ok();
-        }
-        if !io_ok {
-            break; // peer hung up; jobs resolve server-side regardless
-        }
-        let drained = client.outstanding() == 0;
-        if (eof || server.is_shutting_down()) && drained {
-            for resp in client.drain_ready() {
-                let _ = writeln!(out, "{resp}");
-            }
-            break;
-        }
-    }
 }

@@ -13,12 +13,12 @@
 //! request  = { "v":1, "id":N, "req":KIND, ...kind fields...,
 //!              "priority":P?, "deadline_ms":D? }
 //! KIND     = "eval_pu" | "segment" | "codesign" | "status"
-//!          | "cancel" | "shutdown"
-//! response = { "id":N, "kind":"done",     "result":{...} }
+//!          | "metrics" | "cancel" | "shutdown"
+//! response = { "id":N, "kind":"done",     "result":{...}, "trace":T? }
 //!          | { "id":N, "kind":"partial",  "reason":R, "completed_gens":G,
-//!              "planned_gens":T, "result":{...}? }
-//!          | { "id":N, "kind":"progress", "state":"running" }
-//!          | { "id":N, "kind":"error",    "code":C, "message":M }
+//!              "planned_gens":T, "result":{...}?, "trace":T? }
+//!          | { "id":N, "kind":"progress", "state":"running", "trace":T? }
+//!          | { "id":N, "kind":"error",    "code":C, "message":M, "trace":T? }
 //! R        = "deadline" | "generation budget" | "cancelled"
 //! ```
 //!
@@ -28,6 +28,20 @@
 //! zoo `model` and a `budget` preset; `codesign` adds `method` plus
 //! optional `hw_iters`, `seg_iters`, `seed`. `cancel` names the `target`
 //! request id to interrupt.
+//!
+//! `metrics` reports the request-grained telemetry the server keeps
+//! always-on (independent of `OBS_LEVEL`): uptime, per-stage latency
+//! quantiles (parse / queue wait / batch formation / eval / search /
+//! respond, in microseconds, p50/p90/p99/p999 within ~3.1%) and per-verb
+//! end-to-end quantiles. With `"flight":true` the response also embeds a
+//! live flight-recorder dump (the last N events per thread, globally
+//! ordered). Like `status` it is answered inline, never queued.
+//!
+//! Every response carries `trace` — the server-minted trace id of the
+//! request it answers (omitted only for lines rejected before an id was
+//! assigned). The same id tags flight-recorder events and Chrome trace
+//! spans emitted while that request executed, linking wire responses to
+//! in-process telemetry.
 
 use crate::json::{obj, parse, Json};
 use pucost::{Dataflow, LayerDesc, PuConfig};
@@ -81,6 +95,12 @@ pub enum Request {
     },
     /// Report live service metrics.
     Status,
+    /// Report request-grained telemetry: uptime, per-stage and per-verb
+    /// latency quantiles; optionally a flight-recorder dump.
+    Metrics {
+        /// Embed a live flight-recorder dump in the response.
+        flight: bool,
+    },
     /// Cancel an earlier request on the same connection by its id.
     Cancel {
         /// The id of the request to cancel.
@@ -224,6 +244,12 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
             },
         },
         "status" => Request::Status,
+        "metrics" => Request::Metrics {
+            flight: match v.get("flight") {
+                None => false,
+                Some(_) => req_bool(&v, "flight", Some(id))?,
+            },
+        },
         "cancel" => Request::Cancel {
             target: req_u64(&v, "target", Some(id))?,
         },
@@ -295,14 +321,23 @@ fn parse_eval_pu(v: &Json, id: u64) -> Result<Request, ProtoError> {
     })
 }
 
+/// Appends the server-minted trace id to a response's fields (0 = the
+/// line never got a trace; the key is omitted).
+fn push_trace(fields: &mut Vec<(&str, Json)>, trace: u64) {
+    if trace != 0 {
+        fields.push(("trace", Json::from(trace)));
+    }
+}
+
 /// Renders a `kind:"done"` response line.
-pub fn done_line(id: u64, result: Json) -> String {
-    obj(vec![
+pub fn done_line(id: u64, result: Json, trace: u64) -> String {
+    let mut fields = vec![
         ("id", Json::from(id)),
         ("kind", Json::from("done")),
         ("result", result),
-    ])
-    .render()
+    ];
+    push_trace(&mut fields, trace);
+    obj(fields).render()
 }
 
 /// Renders a `kind:"partial"` response line (typed early stop).
@@ -312,6 +347,7 @@ pub fn partial_line(
     completed_gens: u64,
     planned_gens: u64,
     result: Option<Json>,
+    trace: u64,
 ) -> String {
     let mut fields = vec![
         ("id", Json::from(id)),
@@ -323,33 +359,36 @@ pub fn partial_line(
     if let Some(r) = result {
         fields.push(("result", r));
     }
+    push_trace(&mut fields, trace);
     obj(fields).render()
 }
 
 /// Renders a `kind:"progress"` event line.
-pub fn progress_line(id: u64, state: &str) -> String {
-    obj(vec![
+pub fn progress_line(id: u64, state: &str, trace: u64) -> String {
+    let mut fields = vec![
         ("id", Json::from(id)),
         ("kind", Json::from("progress")),
         ("state", Json::from(state)),
-    ])
-    .render()
+    ];
+    push_trace(&mut fields, trace);
+    obj(fields).render()
 }
 
 /// Renders a `kind:"error"` response line.
-pub fn error_line(id: Option<u64>, code: &str, message: &str) -> String {
-    obj(vec![
+pub fn error_line(id: Option<u64>, code: &str, message: &str, trace: u64) -> String {
+    let mut fields = vec![
         ("id", id.map_or(Json::Null, Json::from)),
         ("kind", Json::from("error")),
         ("code", Json::from(code)),
         ("message", Json::from(message)),
-    ])
-    .render()
+    ];
+    push_trace(&mut fields, trace);
+    obj(fields).render()
 }
 
 impl From<&ProtoError> for String {
     fn from(e: &ProtoError) -> String {
-        error_line(e.id, e.code, &e.message)
+        error_line(e.id, e.code, &e.message, 0)
     }
 }
 
@@ -401,6 +440,12 @@ mod tests {
         }
         let neg = parse_request(r#"{"v":1,"id":5,"req":"status","priority":-3}"#).expect("neg prio");
         assert_eq!(neg.priority, -3);
+        let me = parse_request(r#"{"v":1,"id":6,"req":"metrics"}"#).expect("metrics");
+        assert_eq!(me.request, Request::Metrics { flight: false });
+        let mf = parse_request(r#"{"v":1,"id":7,"req":"metrics","flight":true}"#).expect("metrics+flight");
+        assert_eq!(mf.request, Request::Metrics { flight: true });
+        let bad = parse_request(r#"{"v":1,"id":8,"req":"metrics","flight":1}"#).expect_err("flight must be bool");
+        assert_eq!(bad.code, "bad-request");
     }
 
     #[test]
@@ -428,15 +473,28 @@ mod tests {
     #[test]
     fn response_lines_are_valid_json() {
         for line in [
-            done_line(1, obj(vec![("x", Json::from(1u64))])),
-            partial_line(2, "deadline", 3, 9, None),
-            partial_line(2, "cancelled", 3, 9, Some(Json::Null)),
-            progress_line(4, "running"),
-            error_line(None, "bad-json", "oops"),
-            error_line(Some(5), "overloaded", "queue full"),
+            done_line(1, obj(vec![("x", Json::from(1u64))]), 0),
+            partial_line(2, "deadline", 3, 9, None, 0),
+            partial_line(2, "cancelled", 3, 9, Some(Json::Null), 11),
+            progress_line(4, "running", 12),
+            error_line(None, "bad-json", "oops", 0),
+            error_line(Some(5), "overloaded", "queue full", 13),
         ] {
             let v = crate::json::parse(&line).expect(&line);
             assert!(v.get("kind").is_some(), "{line}");
         }
+    }
+
+    #[test]
+    fn trace_id_echoes_when_minted_and_is_absent_otherwise() {
+        let with = done_line(1, Json::Null, 42);
+        let v = crate::json::parse(&with).expect("json");
+        assert_eq!(v.get("trace").and_then(Json::as_u64), Some(42));
+        let without = done_line(1, Json::Null, 0);
+        let v = crate::json::parse(&without).expect("json");
+        assert!(v.get("trace").is_none(), "{without}");
+        // Trace echo never perturbs key order: the line re-renders to
+        // itself (BTreeMap-backed objects are canonically sorted).
+        assert_eq!(crate::json::parse(&with).expect("json").render(), with);
     }
 }

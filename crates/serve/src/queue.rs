@@ -75,6 +75,7 @@ pub struct Admission<J> {
     running: usize,
     max_inflight: usize,
     closed: bool,
+    high_water: usize,
 }
 
 impl<J> Admission<J> {
@@ -87,12 +88,19 @@ impl<J> Admission<J> {
             running: 0,
             max_inflight: max_inflight.max(1),
             closed: false,
+            high_water: 0,
         }
     }
 
     /// Queued (not yet running) jobs.
     pub fn depth(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Largest queue depth ever observed (after a push) — how close the
+    /// service has come to its admission cap over its lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Jobs currently executing.
@@ -132,6 +140,7 @@ impl<J> Admission<J> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Queued { priority, seq, job });
+        self.high_water = self.high_water.max(self.heap.len());
         obs::record("serve.queue.depth", pucost::util::u64_of(self.heap.len()));
         Ok(seq)
     }
@@ -216,6 +225,24 @@ mod tests {
         let drained: Vec<u32> = q.drain().into_iter().map(|j| j.job).collect();
         assert_eq!(drained, [11, 10], "drain preserves scheduling order");
         assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q: Admission<u32> = Admission::new(8);
+        assert_eq!(q.high_water(), 0);
+        q.push(0, 1).expect("admit");
+        q.push(0, 2).expect("admit");
+        q.push(0, 3).expect("admit");
+        assert_eq!(q.high_water(), 3);
+        let _ = q.pop();
+        let _ = q.pop();
+        q.finish();
+        q.finish();
+        assert_eq!(q.depth(), 1);
+        assert_eq!(q.high_water(), 3, "high water never recedes");
+        q.push(0, 4).expect("admit");
+        assert_eq!(q.high_water(), 3, "still below the peak");
     }
 
     #[test]

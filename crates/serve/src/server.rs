@@ -28,6 +28,7 @@ use autoseg::codesign::{run_codesign_with, CodesignBudgets, CodesignRun, DesignP
 use autoseg::dse::checkpoint::fnv64;
 use autoseg::dse::DsePool;
 use autoseg::{AutoSeg, RunCtl, RunStatus, StopReason};
+use obs::HdrHist;
 use pucost::{Dataflow, EvalCache, LayerDesc, PuConfig, PuEval};
 use spa_arch::HwBudget;
 use std::collections::BTreeMap;
@@ -103,6 +104,10 @@ impl ServeConfig {
 struct Job {
     conn: u64,
     id: u64,
+    /// Server-minted trace id: echoed on every response line, set as the
+    /// thread-local [`obs::current_trace`] while the job executes, and
+    /// captured by flight-recorder notes and Chrome trace spans.
+    trace: u64,
     request: Request,
     respond: Sender<String>,
     cancel: Arc<AtomicBool>,
@@ -120,6 +125,72 @@ struct Metrics {
     batches: AtomicU64,
     batched_jobs: AtomicU64,
     wait_ms_total: AtomicU64,
+    /// Jobs answered `partial:"deadline"` — admitted work that blew its
+    /// wall-clock budget (counted in `partials` too).
+    deadline_misses: AtomicU64,
+}
+
+/// Request-grained latency telemetry, **always on** (independent of
+/// `OBS_LEVEL`): the `metrics` verb must answer from a cold-configured
+/// server, and tail-latency regressions should not depend on having
+/// remembered to enable tracing. Two maps of fixed-precision quantile
+/// histograms ([`HdrHist`], p50/p90/p99/p999 within ~3.1%):
+///
+/// * **stages** — where a request's wall time went (`parse_us`,
+///   `queue_wait_us`, `batch_form_us`, `eval_us`, `search_us`,
+///   `respond_us`);
+/// * **verbs** — end-to-end latency per request kind (admission to
+///   terminal response for queued work; submit to response for inline
+///   verbs).
+///
+/// Values are microseconds. Each record is one short uncontended mutex
+/// acquisition; when `OBS_LEVEL` is on the value is mirrored into the
+/// `obs` collector ([`obs::record_hdr`]) so end-of-run reports show the
+/// same quantiles. Timing here shapes only telemetry output, never any
+/// search result (the `obs_equiv` invariant).
+struct Telemetry {
+    started: Instant,
+    stages: Mutex<BTreeMap<&'static str, HdrHist>>,
+    verbs: Mutex<BTreeMap<&'static str, HdrHist>>,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        Telemetry {
+            started: Instant::now(),
+            stages: Mutex::new(BTreeMap::new()),
+            verbs: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn stage(&self, name: &'static str, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        lock(&self.stages).entry(name).or_default().record(us);
+        obs::record_hdr(name, us);
+    }
+
+    fn verb(&self, name: &'static str, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        lock(&self.verbs).entry(name).or_default().record(us);
+        obs::record_hdr(name, us);
+    }
+}
+
+/// The telemetry key for a request's verb histogram.
+fn verb_name(r: &Request) -> &'static str {
+    match r {
+        Request::EvalPu { .. } => "eval_pu",
+        Request::Segment { .. } => "segment",
+        Request::Codesign { .. } => "codesign",
+        Request::Status => "status",
+        Request::Metrics { .. } => "metrics",
+        Request::Cancel { .. } => "cancel",
+        Request::Shutdown => "shutdown",
+    }
 }
 
 struct Inner {
@@ -132,8 +203,11 @@ struct Inner {
     cv: Condvar,
     shutdown: AtomicBool,
     conn_seq: AtomicU64,
+    /// Trace-id mint: one id per submitted request line, process-unique.
+    trace_seq: AtomicU64,
     cancels: Mutex<BTreeMap<(u64, u64), Arc<AtomicBool>>>,
     m: Metrics,
+    tel: Telemetry,
 }
 
 /// The long-running evaluation/DSE service.
@@ -158,6 +232,10 @@ impl Server {
     /// Builds the server, loads the persistent cache tier (when
     /// configured) and starts the scheduler workers.
     pub fn start(cfg: ServeConfig) -> Self {
+        // A panicking worker should leave a readable tail of what every
+        // thread was doing: chain the flight-recorder dump in front of
+        // the default hook. Idempotent across restarts in one process.
+        obs::flight::install_panic_hook();
         let cache = EvalCache::default();
         let pool = if cfg.threads == 0 {
             DsePool::from_env()
@@ -186,8 +264,10 @@ impl Server {
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             conn_seq: AtomicU64::new(0),
+            trace_seq: AtomicU64::new(0),
             cancels: Mutex::new(BTreeMap::new()),
             m: Metrics::default(),
+            tel: Telemetry::new(),
         });
         let workers = (0..inner.cfg.workers.max(1))
             .map(|w| {
@@ -253,7 +333,7 @@ fn shutdown_inner(inner: &Arc<Inner>) {
     for Queued { job, .. } in drained {
         let _ = job
             .respond
-            .send(partial_line(job.id, "cancelled", 0, 0, None));
+            .send(partial_line(job.id, "cancelled", 0, 0, None, job.trace));
         inner.m.partials.fetch_add(1, Ordering::Relaxed);
         lock(&inner.cancels).remove(&(job.conn, job.id));
     }
@@ -280,25 +360,46 @@ impl Client {
 
     /// Submits one raw request line. Every outcome — including parse
     /// errors — comes back as a response line on [`Client::recv_timeout`].
+    ///
+    /// A trace id is minted here, before parsing: even a rejected line
+    /// has an id linking its error response to the flight-recorder and
+    /// Chrome-trace events its handling produced.
     pub fn submit(&self, line: &str) {
         let line = line.trim();
         if line.is_empty() {
             return;
         }
+        let t0 = Instant::now();
+        let trace = self.inner.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let _t = obs::TraceGuard::enter(trace);
         self.inner.m.received.fetch_add(1, Ordering::Relaxed);
         obs::add("serve.requests", 1);
         let env = match proto::parse_request(line) {
             Ok(env) => env,
             Err(e) => {
                 self.inner.m.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = self.tx.send(String::from(&e));
+                obs::flight::note("serve.reject", trace, 0);
+                self.inner.tel.stage("parse_us", t0.elapsed());
+                let _ = self.tx.send(error_line(e.id, e.code, &e.message, trace));
                 return;
             }
         };
+        self.inner.tel.stage("parse_us", t0.elapsed());
+        obs::flight::note("serve.request", trace, env.id);
         match env.request {
             Request::Status => {
-                let _ = self.tx.send(done_line(env.id, status_json(&self.inner)));
+                let _ = self
+                    .tx
+                    .send(done_line(env.id, status_json(&self.inner), trace));
                 self.inner.m.completed.fetch_add(1, Ordering::Relaxed);
+                self.inner.tel.verb("status", t0.elapsed());
+            }
+            Request::Metrics { flight } => {
+                let _ = self
+                    .tx
+                    .send(done_line(env.id, metrics_json(&self.inner, flight), trace));
+                self.inner.m.completed.fetch_add(1, Ordering::Relaxed);
+                self.inner.tel.verb("metrics", t0.elapsed());
             }
             Request::Cancel { target } => {
                 let found = lock(&self.inner.cancels)
@@ -308,21 +409,26 @@ impl Client {
                 let _ = self.tx.send(done_line(
                     env.id,
                     obj(vec![("cancelled", Json::from(found))]),
+                    trace,
                 ));
                 self.inner.m.completed.fetch_add(1, Ordering::Relaxed);
+                self.inner.tel.verb("cancel", t0.elapsed());
             }
             Request::Shutdown => {
                 shutdown_inner(&self.inner);
-                let _ = self
-                    .tx
-                    .send(done_line(env.id, obj(vec![("stopping", Json::from(true))])));
+                let _ = self.tx.send(done_line(
+                    env.id,
+                    obj(vec![("stopping", Json::from(true))]),
+                    trace,
+                ));
                 self.inner.m.completed.fetch_add(1, Ordering::Relaxed);
+                self.inner.tel.verb("shutdown", t0.elapsed());
             }
-            _ => self.enqueue(env),
+            _ => self.enqueue(env, trace),
         }
     }
 
-    fn enqueue(&self, env: Envelope) {
+    fn enqueue(&self, env: Envelope, trace: u64) {
         let Envelope {
             id,
             priority,
@@ -334,6 +440,7 @@ impl Client {
         let job = Job {
             conn: self.conn,
             id,
+            trace,
             request,
             respond: self.tx.clone(),
             cancel: Arc::clone(&cancel),
@@ -357,7 +464,9 @@ impl Client {
                     AdmitError::Overloaded => "overloaded",
                     AdmitError::ShuttingDown => "shutting-down",
                 };
-                let _ = self.tx.send(error_line(Some(id), code, &e.to_string()));
+                let _ = self
+                    .tx
+                    .send(error_line(Some(id), code, &e.to_string(), trace));
                 lock(&self.inner.cancels).remove(&(self.conn, id));
             }
         }
@@ -393,9 +502,15 @@ impl Drop for Client {
 }
 
 fn status_json(inner: &Inner) -> Json {
-    let (depth, running, max_inflight, closed) = {
+    let (depth, running, max_inflight, closed, high_water) = {
         let q = lock(&inner.queue);
-        (q.depth(), q.running(), q.max_inflight(), q.is_closed())
+        (
+            q.depth(),
+            q.running(),
+            q.max_inflight(),
+            q.is_closed(),
+            q.high_water(),
+        )
     };
     let cs = inner.cache.stats();
     let (disk_enabled, disk_loaded, disk_saves) = match lock(&inner.disk).as_ref() {
@@ -404,6 +519,7 @@ fn status_json(inner: &Inner) -> Json {
     };
     obj(vec![
         ("protocol", Json::from(proto::PROTOCOL_VERSION)),
+        ("uptime_ms", Json::from(inner.tel.uptime_ms())),
         (
             "queue",
             obj(vec![
@@ -411,6 +527,7 @@ fn status_json(inner: &Inner) -> Json {
                 ("running", Json::from(running)),
                 ("max_inflight", Json::from(max_inflight)),
                 ("closed", Json::from(closed)),
+                ("high_water", Json::from(high_water)),
             ]),
         ),
         (
@@ -428,6 +545,10 @@ fn status_json(inner: &Inner) -> Json {
                 (
                     "wait_ms_total",
                     Json::from(inner.m.wait_ms_total.load(Ordering::Relaxed)),
+                ),
+                (
+                    "deadline_misses",
+                    Json::from(inner.m.deadline_misses.load(Ordering::Relaxed)),
                 ),
             ]),
         ),
@@ -457,15 +578,64 @@ fn status_json(inner: &Inner) -> Json {
     ])
 }
 
+/// One histogram's quantile row for the `metrics` verb (microseconds).
+fn hdr_json(h: &HdrHist) -> Json {
+    obj(vec![
+        ("count", Json::from(h.count())),
+        ("max", Json::from(h.max())),
+        ("p50", Json::from(h.p50())),
+        ("p90", Json::from(h.p90())),
+        ("p99", Json::from(h.p99())),
+        ("p999", Json::from(h.p999())),
+    ])
+}
+
+fn hdr_map_json(map: &Mutex<BTreeMap<&'static str, HdrHist>>) -> Json {
+    Json::Obj(
+        lock(map)
+            .iter()
+            .map(|(k, h)| ((*k).to_string(), hdr_json(h)))
+            .collect(),
+    )
+}
+
+/// The `metrics` verb: request-grained telemetry, answered inline like
+/// `status`. Deterministically rendered (sorted keys at every level);
+/// with `flight`, embeds a live flight-recorder dump.
+fn metrics_json(inner: &Inner, flight: bool) -> Json {
+    let mut fields = vec![
+        ("protocol", Json::from(proto::PROTOCOL_VERSION)),
+        ("uptime_ms", Json::from(inner.tel.uptime_ms())),
+        ("stages", hdr_map_json(&inner.tel.stages)),
+        ("verbs", hdr_map_json(&inner.tel.verbs)),
+        (
+            "recorder",
+            obj(vec![
+                ("enabled", Json::from(obs::flight::flight_enabled())),
+                ("sink_errors", Json::from(obs::sink_errors())),
+            ]),
+        ),
+    ];
+    if flight {
+        // The dump's own JSON form is sorted-key; round-trip it through
+        // the wire value model so it embeds as a tree, not a string.
+        let dump = obs::flight::drain().to_json();
+        fields.push(("flight", crate::json::parse(&dump).unwrap_or(Json::Null)));
+    }
+    obj(fields)
+}
+
 /// Scheduler worker: pop → (batch) execute → respond, until shutdown
 /// has drained the queue.
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
-        let batch = {
+        let (batch, formed) = {
             let mut q = lock(&inner.queue);
             loop {
                 if let Some(first) = q.pop() {
-                    break collect_batch(&mut q, first);
+                    let t0 = Instant::now();
+                    let batch = collect_batch(&mut q, first);
+                    break (batch, t0.elapsed());
                 }
                 if q.is_closed() {
                     return;
@@ -476,6 +646,7 @@ fn worker_loop(inner: &Arc<Inner>) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        inner.tel.stage("batch_form_us", formed);
         let n = batch.len();
         execute_batch(inner, batch);
         let mut q = lock(&inner.queue);
@@ -506,6 +677,7 @@ fn record_wait(inner: &Inner, job: &Job) {
     let waited = job.admitted_at.elapsed();
     let ms = u64::try_from(waited.as_millis()).unwrap_or(u64::MAX);
     inner.m.wait_ms_total.fetch_add(ms, Ordering::Relaxed);
+    inner.tel.stage("queue_wait_us", waited);
     obs::record("serve.wait_ms", ms);
 }
 
@@ -539,7 +711,7 @@ fn execute_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
         if job.cancel.load(Ordering::SeqCst) {
             let _ = job
                 .respond
-                .send(partial_line(job.id, "cancelled", 0, 0, None));
+                .send(partial_line(job.id, "cancelled", 0, 0, None, job.trace));
             inner.m.partials.fetch_add(1, Ordering::Relaxed);
             lock(&inner.cancels).remove(&(job.conn, job.id));
             continue;
@@ -547,8 +719,9 @@ fn execute_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
         if matches!(remaining(&job), Some(Err(()))) {
             let _ = job
                 .respond
-                .send(partial_line(job.id, "deadline", 0, 0, None));
+                .send(partial_line(job.id, "deadline", 0, 0, None, job.trace));
             inner.m.partials.fetch_add(1, Ordering::Relaxed);
+            inner.m.deadline_misses.fetch_add(1, Ordering::Relaxed);
             lock(&inner.cancels).remove(&(job.conn, job.id));
             continue;
         }
@@ -570,6 +743,16 @@ fn execute_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
     let cache = &inner.cache;
     let chunk_len = eval_items.len().div_ceil(inner.pool.threads().max(1)).max(1);
     let chunks: Vec<&[(LayerDesc, PuConfig, DataflowSel)]> = eval_items.chunks(chunk_len).collect();
+    // The batch shares one trace context: attribute the fused par_map to
+    // the first job's id (flight notes + Chrome spans inside the pool
+    // workers inherit it via DsePool's trace propagation).
+    let _t = obs::TraceGuard::enter(eval_jobs[0].trace);
+    obs::flight::note(
+        "serve.batch",
+        eval_jobs[0].trace,
+        pucost::util::u64_of(eval_jobs.len()),
+    );
+    let eval_t0 = Instant::now();
     let results: Vec<(Dataflow, PuEval)> = inner
         .pool
         .par_map(&chunks, |_, chunk| {
@@ -608,11 +791,17 @@ fn execute_batch(inner: &Arc<Inner>, batch: Vec<Job>) {
         .into_iter()
         .flatten()
         .collect();
+    inner.tel.stage("eval_us", eval_t0.elapsed());
+    let respond_t0 = Instant::now();
     for (job, (df, eval)) in eval_jobs.into_iter().zip(results) {
-        let _ = job.respond.send(done_line(job.id, eval_json(df, &eval)));
+        let _ = job
+            .respond
+            .send(done_line(job.id, eval_json(df, &eval), job.trace));
         inner.m.completed.fetch_add(1, Ordering::Relaxed);
+        inner.tel.verb("eval_pu", job.admitted_at.elapsed());
         lock(&inner.cancels).remove(&(job.conn, job.id));
     }
+    inner.tel.stage("respond_us", respond_t0.elapsed());
 }
 
 fn eval_json(df: Dataflow, e: &PuEval) -> Json {
@@ -655,6 +844,7 @@ fn stop_reason_label(r: StopReason) -> &'static str {
 /// Executes one `segment` or `codesign` job (deadline + cancellation via
 /// [`RunCtl`]) and sends its response(s).
 fn run_search_job(inner: &Arc<Inner>, job: Job) {
+    let _t = obs::TraceGuard::enter(job.trace);
     let mut ctl = RunCtl::none().cancel_flag(Arc::clone(&job.cancel));
     match remaining(&job) {
         Some(Ok(left)) => ctl = ctl.deadline(left),
@@ -663,14 +853,16 @@ fn run_search_job(inner: &Arc<Inner>, job: Job) {
         Some(Err(())) => {
             let _ = job
                 .respond
-                .send(partial_line(job.id, "deadline", 0, 0, None));
+                .send(partial_line(job.id, "deadline", 0, 0, None, job.trace));
             inner.m.partials.fetch_add(1, Ordering::Relaxed);
+            inner.m.deadline_misses.fetch_add(1, Ordering::Relaxed);
             lock(&inner.cancels).remove(&(job.conn, job.id));
             return;
         }
         None => {}
     }
-    let _ = job.respond.send(progress_line(job.id, "running"));
+    let _ = job.respond.send(progress_line(job.id, "running", job.trace));
+    let search_t0 = Instant::now();
     let outcome = match &job.request {
         Request::Segment { model, budget } => run_segment(inner, model, budget, &ctl),
         Request::Codesign {
@@ -684,28 +876,38 @@ fn run_search_job(inner: &Arc<Inner>, job: Job) {
         // Eval/status/cancel/shutdown never reach this function.
         _ => Err(("bad-request", "not a search request".to_string())),
     };
+    inner.tel.stage("search_us", search_t0.elapsed());
+    let respond_t0 = Instant::now();
     match outcome {
         Ok((status, result)) => match status {
             RunStatus::Complete => {
-                let _ = job.respond.send(done_line(job.id, result));
+                let _ = job.respond.send(done_line(job.id, result, job.trace));
                 inner.m.completed.fetch_add(1, Ordering::Relaxed);
             }
             RunStatus::Partial(p) => {
+                if matches!(p.reason, StopReason::Deadline) {
+                    inner.m.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                }
                 let _ = job.respond.send(partial_line(
                     job.id,
                     stop_reason_label(p.reason),
                     p.completed_gens,
                     p.planned_gens,
                     Some(result),
+                    job.trace,
                 ));
                 inner.m.partials.fetch_add(1, Ordering::Relaxed);
             }
         },
         Err((code, message)) => {
-            let _ = job.respond.send(error_line(Some(job.id), code, &message));
+            let _ = job
+                .respond
+                .send(error_line(Some(job.id), code, &message, job.trace));
             inner.m.errors.fetch_add(1, Ordering::Relaxed);
         }
     }
+    inner.tel.stage("respond_us", respond_t0.elapsed());
+    inner.tel.verb(verb_name(&job.request), job.admitted_at.elapsed());
     lock(&inner.cancels).remove(&(job.conn, job.id));
 }
 

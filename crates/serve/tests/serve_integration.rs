@@ -489,6 +489,92 @@ fn stdio_session_answers_before_the_next_input_line() {
 }
 
 #[test]
+fn metrics_verb_reports_telemetry_with_stable_rendering() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    let client = server.client();
+    // One eval populates the stage and verb histograms, and its terminal
+    // response must echo a server-minted trace id.
+    client.submit(&eval_line(1, 1, ""));
+    let done = terminal_for(&client, 1);
+    assert_eq!(done.get("kind").and_then(Json::as_str), Some("done"));
+    assert!(
+        done.get("trace").and_then(Json::as_u64).is_some_and(|t| t > 0),
+        "eval response carries a trace id: {done:?}"
+    );
+    // Raw line, not the parsed value: the wire rendering itself must be
+    // canonical (sorted keys at every level), i.e. re-rendering the
+    // parsed tree reproduces the line byte for byte.
+    client.submit(r#"{"v":1,"id":2,"req":"metrics","flight":true}"#);
+    let line = loop {
+        let l = client.recv_timeout(Duration::from_secs(10)).expect("metrics reply");
+        let v = serve::json::parse(&l).expect("json");
+        if v.get("id").and_then(Json::as_u64) == Some(2) {
+            break l;
+        }
+    };
+    let v = serve::json::parse(&line).expect("metrics line is JSON");
+    assert_eq!(v.render(), line, "metrics rendering is canonical/sorted");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"));
+    let result = v.get("result").expect("metrics result");
+    assert!(
+        result.get("uptime_ms").and_then(Json::as_u64).is_some(),
+        "{result:?}"
+    );
+    // Every submitted line records a parse stage; the eval recorded its
+    // end-to-end verb latency.
+    let parse_count = result
+        .get("stages")
+        .and_then(|s| s.get("parse_us"))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_u64)
+        .expect("stages.parse_us.count");
+    assert!(parse_count >= 2, "{result:?}");
+    let eval_count = result
+        .get("verbs")
+        .and_then(|s| s.get("eval_pu"))
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_u64)
+        .expect("verbs.eval_pu.count");
+    assert!(eval_count >= 1, "{result:?}");
+    for q in ["p50", "p90", "p99", "p999"] {
+        assert!(
+            result
+                .get("verbs")
+                .and_then(|s| s.get("eval_pu"))
+                .and_then(|h| h.get(q))
+                .and_then(Json::as_u64)
+                .is_some(),
+            "verbs.eval_pu.{q} present: {result:?}"
+        );
+    }
+    assert!(result.get("flight").is_some(), "flight dump embedded: {result:?}");
+    assert!(result.get("recorder").is_some(), "{result:?}");
+    // The extended status surface rides along: uptime, queue high-water
+    // mark, deadline-miss counter.
+    let st = status_of(&client, 3);
+    assert!(st.get("uptime_ms").and_then(Json::as_u64).is_some(), "{st:?}");
+    let hw = st
+        .get("queue")
+        .and_then(|q| q.get("high_water"))
+        .and_then(Json::as_u64)
+        .expect("queue.high_water");
+    assert!(hw >= 1, "one job was queued: {st:?}");
+    assert!(
+        st.get("counters")
+            .and_then(|c| c.get("deadline_misses"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "{st:?}"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn cancel_interrupts_a_queued_request() {
     // One worker, occupied by a long search; the second request is still
     // queued when the cancel lands, so it answers `partial:cancelled`

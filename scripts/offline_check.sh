@@ -47,17 +47,17 @@ build spa-codegen $R/crates/spa-codegen/src/lib.rs --extern nnmodel=libnnmodel.r
 build autoseg  $R/crates/autoseg/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern mip=libmip.rlib --extern bayesopt=libbayesopt.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 X_ALL="--extern nnmodel=libnnmodel.rlib --extern autoseg=libautoseg.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib --extern bayesopt=libbayesopt.rlib"
 build experiments $R/crates/experiments/src/lib.rs $X_ALL
+# serving layer (before the experiment bins: bench_serve links it)
+build serve $R/crates/serve/src/lib.rs $X_ALL
 # experiment binaries (runnable: scripts/offline_test.sh points the golden
 # harness at them via GOLDEN_BIN_DIR)
 for b in $R/crates/experiments/src/bin/*.rs; do
   name=$(basename "$b" .rs)
   CARGO_MANIFEST_DIR=$R/crates/experiments \
-  rustc $E --crate-type bin --crate-name "$name" "$b" $X_ALL --extern experiments=libexperiments.rlib \
+  rustc $E --crate-type bin --crate-name "$name" "$b" $X_ALL --extern experiments=libexperiments.rlib --extern serve=libserve.rlib \
     -o "$L/bin_$name" -A dead_code 2> "/tmp/err_bin_$name.txt" \
     && echo "ok   bin/$name" || { echo "FAIL bin/$name"; head -30 "/tmp/err_bin_$name.txt"; fail=1; }
 done
-# serving layer: library + spa-serve binary
-build serve $R/crates/serve/src/lib.rs $X_ALL
 CARGO_MANIFEST_DIR=$R/crates/serve rustc $E --crate-type bin --crate-name spa_serve $R/crates/serve/src/main.rs \
   $X_ALL --extern serve=libserve.rlib \
   -o "$L/bin_spa_serve" -A dead_code 2> /tmp/err_spa_serve.txt && echo "ok   bin/spa-serve" || { echo "FAIL bin/spa-serve"; head -30 /tmp/err_spa_serve.txt; fail=1; }

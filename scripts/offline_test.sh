@@ -44,6 +44,7 @@ t experiments $R/crates/experiments/src/lib.rs $X_ALL
 t serve    $R/crates/serve/src/lib.rs $X_ALL
 t lint     $R/crates/lint/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 # integration tests that need no proptest
+t obs-flight-stress $R/crates/obs/tests/flight_stress.rs --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t lint-rules $R/crates/lint/tests/rules.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 t lint-clean $R/crates/lint/tests/workspace_clean.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 t pucost-batch-diff $R/crates/pucost/tests/batch_diff.rs --extern pucost=libpucost.rlib $X_SERDE --extern nnmodel=libnnmodel.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib

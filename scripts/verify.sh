@@ -205,6 +205,38 @@ print("   spa-serve transcript OK: typed deadline stop, warm reload, torn-write 
 EOF
 rm -rf "$SERVE_TMP"
 
+echo "== bench_serve: socket service bench, telemetry gates (smoke) =="
+# Small-N smoke of the request-grained telemetry stack: the unix-socket
+# bench must produce real throughput in every phase, tail quantiles per
+# phase, server-side queue-wait decomposition, and a telemetry overhead
+# ratio inside the 10% budget.
+BENCH_SERVE_CLIENTS=2 BENCH_SERVE_REQS=8 \
+    cargo run --release --offline -p experiments --bin bench_serve
+python3 - <<'EOF'
+import json, sys
+with open("results/BENCH_serve.json") as f:
+    doc = json.load(f)
+phases = doc.get("phases") or {}
+for name in ("cold", "warm", "restart"):
+    ph = phases.get(name) or {}
+    if ph.get("throughput_rps", 0) <= 0:
+        sys.exit(f"verify: BENCH_serve.json phase {name} has no throughput")
+    for key in ("p50_us", "p99_us"):
+        if key not in ph:
+            sys.exit(f"verify: BENCH_serve.json phase {name} missing {key}")
+ratio = (doc.get("overhead") or {}).get("ratio", 99)
+if ratio >= 1.10:
+    sys.exit(f"verify: telemetry overhead {ratio}x exceeds the 10% budget")
+qw = doc.get("queue_wait_us") or {}
+if qw.get("count", 0) <= 0 or "p99" not in qw:
+    sys.exit(f"verify: no queue-wait decomposition in server metrics: {qw}")
+verbs = (doc.get("server_metrics") or {}).get("verbs") or {}
+if verbs.get("eval_pu", {}).get("count", 0) <= 0:
+    sys.exit("verify: server metrics missing the eval_pu verb histogram")
+print(f"   bench_serve OK: warm p99 {phases['warm']['p99_us']} us, "
+      f"overhead {ratio:.3f}x, queue-wait p99 {qw['p99']} us")
+EOF
+
 echo "== golden results: regenerated CSVs vs results/*.csv =="
 # The harness strips DSE_SMOKE etc. from the binaries it spawns, so the
 # regeneration always uses the same full budgets the goldens were made with.
