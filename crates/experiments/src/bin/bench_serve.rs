@@ -64,6 +64,8 @@ fn eval_line(id: u64, key: usize) -> String {
 /// sending a `shutdown` request; the returned handle joins once the
 /// socket loop has drained and flushed the persistent cache.
 fn host(sock: PathBuf, cache_dir: PathBuf) -> std::thread::JoinHandle<()> {
+    // Host thread only boots the server; trace ids are minted per request
+    // inside serve's execute path. lint: allow(untraced-spawn)
     std::thread::spawn(move || {
         // Stopped via the protocol, never via this flag.
         static NEVER: AtomicBool = AtomicBool::new(false);
@@ -146,6 +148,9 @@ fn drive(
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
+                // Load-generating clients: attribution happens server-side
+                // per request, the client thread has no trace of its own.
+                // lint: allow(untraced-spawn)
                 scope.spawn(move || {
                     let stream = connect(sock);
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));

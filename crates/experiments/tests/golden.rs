@@ -701,6 +701,38 @@ fn csv_differ_reports_precise_locations() {
     assert!(d[0].contains("row count changed"), "{}", d[0]);
 }
 
+/// The checked-in lint artifacts must carry the schema-2 shape: per-layer
+/// counts, every concurrency rule, and an acyclic lock-order graph. This
+/// pins the `results/LINT.json` schema bump and the `results/LOCKS.txt`
+/// artifact without rerunning the lint binary.
+#[test]
+fn lint_artifacts_have_schema2_keys() {
+    let json = std::fs::read_to_string(golden_dir().join("LINT.json"))
+        .expect("results/LINT.json is checked in");
+    for key in [
+        "\"schema\": 2",
+        "\"layers\"",
+        "\"source\"",
+        "\"concurrency\"",
+        "\"graph_nodes\"",
+        "\"graph_cycles\": 0",
+        "\"lock-order-cycle\"",
+        "\"blocking-while-locked\"",
+        "\"reentrant-lock\"",
+        "\"untraced-spawn\"",
+        "\"semantic\"",
+    ] {
+        assert!(json.contains(key), "{key} missing from results/LINT.json");
+    }
+    let locks = std::fs::read_to_string(golden_dir().join("LOCKS.txt"))
+        .expect("results/LOCKS.txt is checked in");
+    assert!(locks.contains("nodes ("), "lock graph listing missing");
+    assert!(
+        locks.contains("cycles: none"),
+        "the checked-in lock-order graph must be acyclic"
+    );
+}
+
 #[test]
 fn tolerance_semantics() {
     let t = DEFAULT_TOL;

@@ -594,4 +594,90 @@ mod tests {
         let src = "let a = b\"HashMap\"; let c = b'x'; let d = 1;";
         assert_eq!(idents(src), vec!["let", "a", "let", "c", "let", "d"]);
     }
+
+    // The Layer 3 call-graph pass matches `ident (` patterns, so any
+    // literal that desyncs the lexer would fabricate or hide call edges.
+    // The fixtures below prove the tricky literal forms keep the stream
+    // aligned: the call pattern after each one must survive intact.
+
+    #[test]
+    fn call_pattern_survives_raw_string_with_unbalanced_quote() {
+        let src = r###"let s = r#"a " lock( inside"#; m.lock();"###;
+        let l = lex(src);
+        let lock_at = l
+            .tokens
+            .iter()
+            .position(|t| t.kind == Tok::Ident("lock".into()))
+            .expect("lock ident");
+        assert_eq!(l.tokens[lock_at - 1].kind, Tok::Punct("."));
+        assert_eq!(l.tokens[lock_at + 1].kind, Tok::Punct("("));
+        // Exactly one `lock` — the one in the raw string stayed hidden.
+        let n = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Ident("lock".into()))
+            .count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn call_pattern_survives_nested_block_comment_with_paren() {
+        let src = "/* outer ( /* inner ) */ still ( */ recv();";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["recv"]);
+        assert_eq!(l.tokens[1].kind, Tok::Punct("("));
+    }
+
+    #[test]
+    fn byte_string_with_escaped_quote_does_not_desync() {
+        let src = "let a = b\"x\\\"y\"; spawn(f);";
+        assert_eq!(idents(src), vec!["let", "a", "spawn", "f"]);
+    }
+
+    #[test]
+    fn char_literal_escapes_do_not_desync() {
+        // Escaped quote, backslash, newline, unicode escape — each is one
+        // Literal and the trailing statement still tokenizes.
+        for c in ["'\\''", "'\\\\'", "'\\n'", "'\\u{1F600}'"] {
+            let src = format!("let a = {c}; join();");
+            let l = lex(&src);
+            assert_eq!(
+                idents(&src),
+                vec!["let", "a", "join"],
+                "desync after {c}"
+            );
+            let lit = l.tokens.iter().filter(|t| t.kind == Tok::Literal).count();
+            assert_eq!(lit, 1, "char {c} must be one literal");
+        }
+    }
+
+    #[test]
+    fn lifetime_tick_before_ident_is_not_a_char() {
+        // `'a.lock()` inside a generic bound: the tick must lex as a
+        // lifetime, never start a char literal that would swallow the
+        // following tokens.
+        let src = "fn f<'long>(x: &'long M) { x.lock(); }";
+        let l = lex(src);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == Tok::Lifetime).count(),
+            2
+        );
+        assert!(idents(src).contains(&"lock".to_string()));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == Tok::Literal).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_numbers() {
+        let src = "let s = r#\"line one\nline two\nline three\"#;\nm.lock();";
+        let l = lex(src);
+        let lock = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == Tok::Ident("lock".into()))
+            .expect("lock ident");
+        assert_eq!(lock.line, 4, "line tracking desynced across raw string");
+    }
 }

@@ -1,0 +1,1041 @@
+//! Layer 3 rules: workspace concurrency analysis.
+//!
+//! Four deny-by-default rules over the symbol table ([`crate::symbols`])
+//! and the approximate call graph ([`crate::callgraph`]):
+//!
+//! | rule                    | invariant                                        |
+//! |-------------------------|--------------------------------------------------|
+//! | `lock-order-cycle`      | the global lock-order graph is acyclic           |
+//! | `blocking-while-locked` | no blocking op reachable while a guard is held   |
+//! | `reentrant-lock`        | no call path re-acquires a lock already held     |
+//! | `untraced-spawn`        | spawn closures re-propagate the obs trace id     |
+//!
+//! Guard liveness is tracked lexically: a `let`-bound guard lives to the
+//! end of its binding block (or an explicit `drop(name)`); a temporary
+//! guard lives to the end of its statement, extended through the first
+//! attached block (`if let`/`while let`/`for` scrutinee temporaries live
+//! through the body, matching Rust's drop rules). `Condvar::wait*` is
+//! exempt from the blocking rule — waiting *is* its protocol and it
+//! releases the mutex. Known approximations (closures analyzed inline,
+//! `match` with multiple arms ending guard liveness at the first arm
+//! block, name-heuristic call resolution) are documented in DESIGN.md §7
+//! and each rule supports `// lint: allow(<rule>)` waivers.
+
+use crate::callgraph::{self, CallGraph};
+use crate::lexer::{Tok, Token};
+use crate::symbols::{self, SourceFile, Symbols};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Names of the Layer 3 rules, in documentation order.
+pub const LOCK_RULE_NAMES: &[&str] = &[
+    "lock-order-cycle",
+    "blocking-while-locked",
+    "reentrant-lock",
+    "untraced-spawn",
+];
+
+/// Crates whose spawns must re-propagate the request trace id
+/// (`obs::set_trace` / `obs::TraceGuard`): everywhere PR 7's trace-id
+/// invariant applies. `obs` itself is the mechanism, `bench` is
+/// criterion-driven, and the remaining crates never spawn.
+const TRACING_CRATES: &[&str] = &["autoseg", "pucost", "serve", "experiments"];
+
+/// Blocking operations flagged while a guard is held. `join` only with
+/// empty parens (so `Path::join(..)` stays out); `wait`/`wait_timeout`/
+/// `wait_while` are deliberately absent (Condvar protocol).
+const BLOCKING_METHODS: &[&str] = &[
+    "join",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "read_line",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "write_all",
+    "flush",
+    "sync_all",
+    "accept",
+    "connect",
+];
+
+/// Blocking free/qualified calls (`thread::sleep`, `thread::park`).
+const BLOCKING_FREE: &[&str] = &["sleep", "park"];
+
+/// One Layer 3 diagnostic (pre-waiver).
+#[derive(Debug, Clone)]
+pub struct LockFinding {
+    /// Rule id (one of [`LOCK_RULE_NAMES`]).
+    pub rule: &'static str,
+    /// File index into the analysis file list.
+    pub file: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Diagnostic text.
+    pub message: String,
+}
+
+/// One acquired-while-held observation.
+#[derive(Debug, Clone)]
+pub struct OrderEdge {
+    /// Lock already held.
+    pub held: String,
+    /// Lock acquired while `held` was live.
+    pub acquired: String,
+    /// File index of the acquisition site.
+    pub file: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Line the held guard was acquired on (same function).
+    pub held_line: u32,
+    /// Qualified name of the function containing both.
+    pub func: String,
+}
+
+/// The global lock-order graph plus its cycle analysis.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Every named lock that participates in the analysis:
+    /// id -> (kind, indexed, "file:line" definition site).
+    pub nodes: BTreeMap<String, (String, bool, String)>,
+    /// Order edges with their observation sites.
+    pub edges: Vec<OrderEdge>,
+    /// Cycles found (each a closed node path `A -> .. -> A`).
+    pub cycles: Vec<Vec<String>>,
+}
+
+/// Full Layer 3 output.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// All findings, pre-waiver, in (file, line, rule) order.
+    pub findings: Vec<LockFinding>,
+    /// The lock-order graph (rendered into `results/LOCKS.txt`).
+    pub graph: LockGraph,
+}
+
+/// A live guard during the body walk.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Resolved lock id; `None` when the receiver could not be named
+    /// (still counts as "a guard is held" for the blocking rule).
+    lock: Option<String>,
+    indexed: bool,
+    line: u32,
+    mode: Hold,
+}
+
+#[derive(Debug, Clone)]
+enum Hold {
+    /// `let name = ..lock()..;` — lives to the end of the binding block.
+    Let { name: String, depth: usize },
+    /// Temporary — lives to the end of the statement / first attached
+    /// block.
+    Temp { depth: usize, entered: bool },
+}
+
+/// Per-function facts from the walk (pass 1).
+#[derive(Debug, Default)]
+struct FnFacts {
+    /// lock id -> first acquisition line.
+    acquires: BTreeMap<String, u32>,
+    /// blocking op -> first line.
+    blocks: BTreeMap<String, u32>,
+    /// (call-site index into `CallGraph::sites`, live guards snapshot).
+    guarded_calls: Vec<(usize, Vec<Guard>)>,
+}
+
+/// Runs the whole Layer 3 analysis.
+pub fn analyze(files: &[SourceFile], syms: &Symbols, graph: &CallGraph) -> Analysis {
+    let mut out = Analysis::default();
+    let mut facts: Vec<FnFacts> = Vec::with_capacity(syms.fns.len());
+    // Call sites grouped per caller for the walk.
+    let mut sites_by_fn: Vec<Vec<usize>> = vec![Vec::new(); syms.fns.len()];
+    for (si, s) in graph.sites.iter().enumerate() {
+        sites_by_fn[s.caller].push(si);
+    }
+    for (fi, f) in syms.fns.iter().enumerate() {
+        facts.push(walk_fn(files, syms, graph, &sites_by_fn[fi], f, &mut out));
+    }
+
+    // Pass 2: propagate lock sets and blocking sets over the call graph.
+    let acq_seed: Vec<BTreeMap<String, String>> = facts
+        .iter()
+        .map(|f| {
+            f.acquires
+                .keys()
+                .map(|k| (k.clone(), "directly".to_string()))
+                .collect()
+        })
+        .collect();
+    let blk_seed: Vec<BTreeMap<String, String>> = facts
+        .iter()
+        .map(|f| {
+            f.blocks
+                .keys()
+                .map(|k| (k.clone(), "directly".to_string()))
+                .collect()
+        })
+        .collect();
+    let acquires_all = callgraph::propagate(syms, &graph.edges, &acq_seed, |_| true);
+    // Blocking is not propagated into `obs`: emission helpers guard
+    // their own short critical sections and sinks, and treating every
+    // obs call as I/O would flag every instrumented critical section.
+    // The policy is documented in DESIGN.md §7; obs's own sites are
+    // linted directly in the obs crate.
+    let blocks_all = callgraph::propagate(syms, &graph.edges, &blk_seed, |c| {
+        syms.fns[c].crate_name != "obs"
+    });
+
+    // Pass 3: interprocedural findings at guarded call sites.
+    for (fi, ffacts) in facts.iter().enumerate() {
+        let caller = &syms.fns[fi];
+        for (si, live) in &ffacts.guarded_calls {
+            let site = &graph.sites[*si];
+            let held_named: Vec<&Guard> = live.iter().filter(|g| g.lock.is_some()).collect();
+            let mut reported_reentry = false;
+            let mut reported_block = false;
+            for &callee in &site.callees {
+                if callee == fi {
+                    continue;
+                }
+                let cd = &syms.fns[callee];
+                if !reported_reentry {
+                    if let Some((g, via)) = held_named.iter().find_map(|g| {
+                        let id = g.lock.as_deref().unwrap_or_default();
+                        acquires_all[callee].get(id).map(|via| (*g, via.clone()))
+                    }) {
+                        let lock = g.lock.clone().unwrap_or_default();
+                        out.findings.push(LockFinding {
+                            rule: "reentrant-lock",
+                            file: caller.file,
+                            line: site.line,
+                            message: format!(
+                                "call to `{}` can re-acquire `{lock}` ({via}) while the guard \
+                                 from line {} is still held — self-deadlock on a std Mutex",
+                                cd.qualified(),
+                                g.line
+                            ),
+                        });
+                        reported_reentry = true;
+                    }
+                }
+                if !reported_block && cd.crate_name != "obs" {
+                    if let Some((op, via)) = blocks_all[callee].iter().next() {
+                        let held = held_named
+                            .first()
+                            .and_then(|g| g.lock.clone())
+                            .unwrap_or_else(|| "a lock".into());
+                        let via = if via == "directly" {
+                            String::new()
+                        } else {
+                            format!(" {via}")
+                        };
+                        out.findings.push(LockFinding {
+                            rule: "blocking-while-locked",
+                            file: caller.file,
+                            line: site.line,
+                            message: format!(
+                                "call to `{}` reaches blocking `{op}(..)`{via} while `{held}` \
+                                 (acquired line {}) is held — stalls every contender",
+                                cd.qualified(),
+                                held_named.first().map_or(0, |g| g.line)
+                            ),
+                        });
+                        reported_block = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // The global lock-order graph: nodes, merged edges, cycles.
+    for e in &out.graph.edges {
+        for id in [&e.held, &e.acquired] {
+            if !out.graph.nodes.contains_key(id) {
+                out.graph.nodes.insert(id.clone(), node_info(files, syms, id));
+            }
+        }
+    }
+    // Locks that are acquired anywhere also appear as (edge-less) nodes
+    // so LOCKS.txt is a complete inventory.
+    for facts in &facts {
+        for id in facts.acquires.keys() {
+            if !out.graph.nodes.contains_key(id) {
+                out.graph.nodes.insert(id.clone(), node_info(files, syms, id));
+            }
+        }
+    }
+    let cycles = find_cycles(&out.graph);
+    for cyc in &cycles {
+        // Report every edge that sits on the cycle, at its site.
+        for e in &out.graph.edges {
+            let on_cycle = cyc
+                .windows(2)
+                .any(|w| w[0] == e.held && w[1] == e.acquired);
+            if on_cycle {
+                out.findings.push(LockFinding {
+                    rule: "lock-order-cycle",
+                    file: e.file,
+                    line: e.line,
+                    message: format!(
+                        "acquiring `{}` while `{}` is held (line {}, in `{}`) completes the \
+                         lock-order cycle {}",
+                        e.acquired,
+                        e.held,
+                        e.held_line,
+                        e.func,
+                        cyc.join(" -> ")
+                    ),
+                });
+            }
+        }
+    }
+    out.graph.cycles = cycles;
+    out.findings.sort_by(|a, b| {
+        (a.file, a.line, a.rule, &a.message).cmp(&(b.file, b.line, b.rule, &b.message))
+    });
+    out.findings.dedup_by(|a, b| {
+        (a.file, a.line, a.rule, &a.message) == (b.file, b.line, b.rule, &b.message)
+    });
+    out
+}
+
+fn node_info(files: &[SourceFile], syms: &Symbols, id: &str) -> (String, bool, String) {
+    match syms.locks.get(id) {
+        Some(d) => (
+            d.kind.name().to_string(),
+            d.indexed,
+            format!("{}:{}", files[d.file].path.display(), d.line),
+        ),
+        None => ("Mutex".to_string(), id.ends_with("()"), "inferred".to_string()),
+    }
+}
+
+/// Walks one function body: guard liveness, direct rule events, facts.
+fn walk_fn(
+    files: &[SourceFile],
+    syms: &Symbols,
+    graph: &CallGraph,
+    fn_sites: &[usize],
+    f: &symbols::FnDef,
+    out: &mut Analysis,
+) -> FnFacts {
+    let mut facts = FnFacts::default();
+    if f.is_test {
+        return facts;
+    }
+    let Some(body) = f.body.clone() else {
+        return facts;
+    };
+    let file = &files[f.file];
+    let toks = &file.lexed.tokens;
+    let nested: Vec<std::ops::Range<usize>> = syms
+        .fns
+        .iter()
+        .filter(|n| n.file == f.file)
+        .filter_map(|n| n.body.clone())
+        .filter(|r| r.start > body.start && r.end <= body.end)
+        .collect();
+
+    let tracing = TRACING_CRATES.contains(&f.crate_name.as_str());
+    let mut guards: Vec<Guard> = Vec::new();
+    // Aliases: local name -> (lock id, indexed) from `let x = &self.f;`
+    // or `let x = self.getter(..);`.
+    let mut aliases: BTreeMap<String, (String, bool)> = BTreeMap::new();
+    let mut depth = 0usize;
+    // Pending `let` binding name per depth level.
+    let mut let_stack: Vec<Option<String>> = vec![None];
+    let mut site_iter = fn_sites.iter().peekable();
+
+    let mut i = body.start;
+    while i < body.end.min(toks.len()) {
+        if let Some(r) = nested.iter().find(|r| r.contains(&i)) {
+            i = r.end;
+            continue;
+        }
+        // Interprocedural events are snapshotted at the callee ident.
+        while let Some(&&si) = site_iter.peek() {
+            let t = graph.sites[si].tok;
+            if t < i {
+                site_iter.next();
+            } else if t == i {
+                if !guards.is_empty() {
+                    facts.guarded_calls.push((si, guards.clone()));
+                }
+                site_iter.next();
+            } else {
+                break;
+            }
+        }
+        match &toks[i].kind {
+            Tok::Punct("{") => {
+                depth += 1;
+                let_stack.push(None);
+                for g in &mut guards {
+                    if let Hold::Temp { entered, .. } = &mut g.mode {
+                        *entered = true;
+                    }
+                }
+            }
+            Tok::Punct("}") => {
+                guards.retain(|g| match &g.mode {
+                    Hold::Let { depth: d, .. } => *d < depth,
+                    Hold::Temp { depth: d, entered } => {
+                        *d < depth && !(*entered && *d + 1 == depth)
+                    }
+                });
+                depth = depth.saturating_sub(1);
+                let_stack.pop();
+                if let_stack.is_empty() {
+                    let_stack.push(None);
+                }
+            }
+            Tok::Punct(";") => {
+                guards.retain(|g| !matches!(&g.mode, Hold::Temp { depth: d, .. } if *d >= depth));
+                if let Some(top) = let_stack.last_mut() {
+                    *top = None;
+                }
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                // Binding name: `let [mut] name =` (patterns -> None).
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.kind), Some(Tok::Ident(m)) if m == "mut") {
+                    j += 1;
+                }
+                let name = match toks.get(j).map(|t| &t.kind) {
+                    Some(Tok::Ident(n))
+                        if matches!(toks.get(j + 1).map(|t| &t.kind), Some(Tok::Punct("=" | ":"))) =>
+                    {
+                        Some(n.clone())
+                    }
+                    _ => None,
+                };
+                if let Some(top) = let_stack.last_mut() {
+                    *top = name.clone();
+                }
+                // Alias: `let x = [&] self.field ..;` / `let x = [&] recv.getter(..)`.
+                if let Some(name) = name {
+                    if let Some(eq) = find_eq(toks, j, body.end) {
+                        if let Some((id, indexed)) = forward_lock_path(toks, eq + 1, f, syms) {
+                            aliases.insert(name, (id, indexed));
+                        }
+                    }
+                }
+            }
+            Tok::Ident(kw) if kw == "drop" => {
+                // `drop(name)` releases a let-bound guard early.
+                if toks.get(i + 1).map(|t| &t.kind) == Some(&Tok::Punct("(")) {
+                    if let Some(Tok::Ident(victim)) = toks.get(i + 2).map(|t| &t.kind) {
+                        if toks.get(i + 3).map(|t| &t.kind) == Some(&Tok::Punct(")")) {
+                            guards.retain(|g| {
+                                !matches!(&g.mode, Hold::Let { name, .. } if name == victim)
+                            });
+                        }
+                    }
+                }
+            }
+            Tok::Ident(name) if name == "spawn" && tracing => {
+                if let Some(finding) = check_spawn(toks, i, f, file) {
+                    out.findings.push(finding);
+                }
+            }
+            Tok::Ident(_) => {
+                // Acquisition?
+                if let Some(acq) = acquisition_at(toks, i, f, syms, &aliases) {
+                    let line = toks[i].line;
+                    record_acquisition(&mut facts, &mut guards, &let_stack, depth, acq, line, f, out);
+                    // Skip past the `( )` so `lock` isn't also a call.
+                    i += 1;
+                    continue;
+                }
+                // Blocking op?
+                if !guards.is_empty() {
+                    if let Some(op) = blocking_at(toks, i) {
+                        let held = guards
+                            .iter()
+                            .find_map(|g| g.lock.clone())
+                            .unwrap_or_else(|| "a lock".into());
+                        let held_line = guards.first().map_or(0, |g| g.line);
+                        out.findings.push(LockFinding {
+                            rule: "blocking-while-locked",
+                            file: f.file,
+                            line: toks[i].line,
+                            message: format!(
+                                "blocking `{op}(..)` while `{held}` (acquired line {held_line}) \
+                                 is held — every contender stalls behind this call"
+                            ),
+                        });
+                    }
+                }
+                if let Some(op) = blocking_at(toks, i) {
+                    facts.blocks.entry(op.to_string()).or_insert(toks[i].line);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Finds the `=` of a `let` statement (same statement, before `;`).
+fn find_eq(toks: &[Token], from: usize, end: usize) -> Option<usize> {
+    let mut i = from;
+    while i < end {
+        match &toks[i].kind {
+            Tok::Punct("=") => return Some(i),
+            Tok::Punct(";" | "{") => return None,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// A resolved acquisition candidate at an ident token.
+struct Acq {
+    lock: Option<String>,
+    indexed: bool,
+}
+
+/// Records an acquisition: order edges vs. every live guard, self-edge
+/// findings, the facts entry, and the new guard itself.
+#[allow(clippy::too_many_arguments)]
+fn record_acquisition(
+    facts: &mut FnFacts,
+    guards: &mut Vec<Guard>,
+    let_stack: &[Option<String>],
+    depth: usize,
+    acq: Acq,
+    line: u32,
+    f: &symbols::FnDef,
+    out: &mut Analysis,
+) {
+    if let Some(id) = &acq.lock {
+        facts.acquires.entry(id.clone()).or_insert(line);
+        for g in guards.iter() {
+            let Some(held) = &g.lock else { continue };
+            if held == id {
+                let what = if acq.indexed || g.indexed {
+                    "two elements of the indexed lock"
+                } else {
+                    "the already-held lock"
+                };
+                out.findings.push(LockFinding {
+                    rule: "lock-order-cycle",
+                    file: f.file,
+                    line,
+                    message: format!(
+                        "acquiring {what} `{id}` while the guard from line {} is live in \
+                         `{}` — nested same-name acquisition deadlocks unless globally \
+                         index-ordered",
+                        g.line,
+                        f.qualified()
+                    ),
+                });
+            } else {
+                out.graph.edges.push(OrderEdge {
+                    held: held.clone(),
+                    acquired: id.clone(),
+                    file: f.file,
+                    line,
+                    held_line: g.line,
+                    func: f.qualified(),
+                });
+            }
+        }
+    }
+    let mode = match let_stack.last().and_then(|n| n.clone()) {
+        Some(name) => Hold::Let { name, depth },
+        None => Hold::Temp {
+            depth,
+            entered: false,
+        },
+    };
+    guards.push(Guard {
+        lock: acq.lock,
+        indexed: acq.indexed,
+        line,
+        mode,
+    });
+}
+
+/// Is token `i` a lock acquisition? Handles `.lock()`, `.read()`,
+/// `.write()` (RwLock fields only), and the bare `lock(&expr)` helper
+/// idiom (a same-crate fn named `lock` returning a guard).
+fn acquisition_at(
+    toks: &[Token],
+    i: usize,
+    f: &symbols::FnDef,
+    syms: &Symbols,
+    aliases: &BTreeMap<String, (String, bool)>,
+) -> Option<Acq> {
+    let Tok::Ident(name) = &toks[i].kind else {
+        return None;
+    };
+    let prev_dot = i > 0 && toks[i - 1].kind == Tok::Punct(".");
+    match name.as_str() {
+        "lock" | "read" | "write" if prev_dot => {
+            // Empty parens: `io::Read::read(&mut buf)` etc. stay out.
+            if toks.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct("("))
+                || toks.get(i + 2).map(|t| &t.kind) != Some(&Tok::Punct(")"))
+            {
+                return None;
+            }
+            let (segs, mut indexed, getter) = receiver_path(toks, i - 2);
+            let resolved = resolve_lock_path(&segs, getter, f, syms, aliases);
+            if let Some((_, idx)) = &resolved {
+                indexed |= *idx;
+            }
+            match (name.as_str(), &resolved) {
+                // `.read()`/`.write()` only count on known RwLocks.
+                ("read" | "write", Some((id, _)))
+                    if syms
+                        .locks
+                        .get(id)
+                        .is_some_and(|d| d.kind == symbols::LockKind::RwLock)
+                        || id.ends_with("()") =>
+                {
+                    Some(Acq {
+                        lock: Some(id.clone()),
+                        indexed,
+                    })
+                }
+                ("read" | "write", _) => None,
+                ("lock", Some((id, _))) => Some(Acq {
+                    lock: Some(id.clone()),
+                    indexed,
+                }),
+                ("lock", None) => Some(Acq {
+                    lock: None,
+                    indexed,
+                }),
+                _ => None,
+            }
+        }
+        "lock" if !prev_dot && i > 0 && toks[i - 1].kind != Tok::Punct("::") => {
+            // Bare helper call `lock(&expr)` — only when the crate
+            // defines a guard-returning `lock` fn.
+            if toks.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct("(")) {
+                return None;
+            }
+            let helper_exists = syms.by_name.get("lock").is_some_and(|c| {
+                c.iter().any(|&k| {
+                    let d = &syms.fns[k];
+                    d.crate_name == f.crate_name && d.returns_lock && !d.is_test
+                })
+            });
+            if !helper_exists {
+                return None;
+            }
+            let resolved = forward_lock_path(toks, i + 2, f, syms)
+                .or_else(|| forward_alias(toks, i + 2, aliases));
+            match resolved {
+                Some((id, indexed)) => Some(Acq {
+                    lock: Some(id),
+                    indexed,
+                }),
+                None => Some(Acq {
+                    lock: None,
+                    indexed: false,
+                }),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Walks a receiver chain *backwards* from `j` (the token before the
+/// `.`): returns (segments in source order, saw-index, trailing call).
+fn receiver_path(toks: &[Token], j: usize) -> (Vec<String>, bool, bool) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut indexed = false;
+    let mut getter = false;
+    let mut j = j as isize;
+    let mut first = true;
+    while j >= 0 {
+        match &toks[j as usize].kind {
+            Tok::Punct("]") => {
+                indexed = true;
+                j = match_open(toks, j as usize) as isize - 1;
+            }
+            Tok::Punct(")") => {
+                let open = match_open(toks, j as usize);
+                if open == 0 {
+                    break;
+                }
+                if let Tok::Ident(n) = &toks[open - 1].kind {
+                    if first {
+                        getter = true;
+                    }
+                    segs.push(n.clone());
+                    j = open as isize - 2;
+                    if j >= 0 && !matches!(&toks[j as usize + 1].kind, Tok::Punct("." | "::")) {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            Tok::Ident(n) => {
+                segs.push(n.clone());
+                j -= 1;
+                if j < 0 || !matches!(&toks[j as usize].kind, Tok::Punct("." | "::")) {
+                    break;
+                }
+                j -= 1;
+            }
+            _ => break,
+        }
+        first = false;
+    }
+    segs.reverse();
+    (segs, indexed, getter)
+}
+
+/// Backwards bracket match: index of the `[`/`(` opening the bracket
+/// closed at `close`.
+fn match_open(toks: &[Token], close: usize) -> usize {
+    let (o, c) = match &toks[close].kind {
+        Tok::Punct("]") => ("[", "]"),
+        Tok::Punct(")") => ("(", ")"),
+        _ => return close,
+    };
+    let mut depth = 0usize;
+    let mut i = close as isize;
+    while i >= 0 {
+        match &toks[i as usize].kind {
+            Tok::Punct(p) if *p == c => depth += 1,
+            Tok::Punct(p) if *p == o => {
+                depth -= 1;
+                if depth == 0 {
+                    return i as usize;
+                }
+            }
+            _ => {}
+        }
+        i -= 1;
+    }
+    0
+}
+
+/// Walks a lock path *forwards* from `i` (after `=` or an opening
+/// paren): `[&] [mut] self.field[..]` / `recv.getter(..)` / `IDENT`.
+/// Returns the resolved lock id.
+fn forward_lock_path(
+    toks: &[Token],
+    mut i: usize,
+    f: &symbols::FnDef,
+    syms: &Symbols,
+) -> Option<(String, bool)> {
+    while matches!(
+        toks.get(i).map(|t| &t.kind),
+        Some(Tok::Punct("&") | Tok::Ident(_))
+    ) {
+        match &toks[i].kind {
+            Tok::Punct("&") => i += 1,
+            Tok::Ident(m) if m == "mut" => i += 1,
+            _ => break,
+        }
+    }
+    let mut segs: Vec<String> = Vec::new();
+    let mut indexed = false;
+    let mut getter = false;
+    loop {
+        match toks.get(i).map(|t| &t.kind) {
+            Some(Tok::Ident(n)) => {
+                segs.push(n.clone());
+                i += 1;
+                match toks.get(i).map(|t| &t.kind) {
+                    Some(Tok::Punct("." | "::")) => i += 1,
+                    Some(Tok::Punct("[")) => {
+                        indexed = true;
+                        i = symbols::match_close(toks, i) + 1;
+                        if matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Punct("."))) {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(Tok::Punct("(")) => {
+                        getter = true;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    if segs.is_empty() {
+        return None;
+    }
+    resolve_lock_path(&segs, getter, f, syms, &BTreeMap::new())
+        .map(|(id, idx)| (id, idx || indexed))
+}
+
+/// Forward path that is just a local alias name.
+fn forward_alias(
+    toks: &[Token],
+    mut i: usize,
+    aliases: &BTreeMap<String, (String, bool)>,
+) -> Option<(String, bool)> {
+    while matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Punct("&"))) {
+        i += 1;
+    }
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(n)) => aliases.get(n.as_str()).cloned(),
+        _ => None,
+    }
+}
+
+/// Resolves a receiver path to a canonical lock id.
+///
+/// * `self.field` -> `crate::Owner::field` (via the impl owner);
+/// * `x.field` -> the unique lock def whose field name matches;
+/// * `recv.getter(..)` (trailing call) -> `crate::Owner::getter()` when
+///   the getter's return type mentions a lock;
+/// * a bare local/param -> alias table, else unresolved (`None`).
+fn resolve_lock_path(
+    segs: &[String],
+    getter: bool,
+    f: &symbols::FnDef,
+    syms: &Symbols,
+    aliases: &BTreeMap<String, (String, bool)>,
+) -> Option<(String, bool)> {
+    if segs.is_empty() {
+        return None;
+    }
+    let last = segs.last().expect("nonempty").as_str();
+    if getter {
+        // Acquisition method names are never getters: `x.lock(..)` seen
+        // as a trailing call (e.g. while aliasing `let g = s.lock()..`)
+        // must not resolve to a guard-returning helper fn.
+        if matches!(last, "lock" | "read" | "write") {
+            return None;
+        }
+        // `..shard_of(k)` — resolve the getter fn.
+        let cands = syms.by_name.get(last)?;
+        let best = cands
+            .iter()
+            .map(|&c| &syms.fns[c])
+            .find(|d| d.returns_lock && !d.is_test && d.crate_name == f.crate_name)
+            .or_else(|| {
+                cands
+                    .iter()
+                    .map(|&c| &syms.fns[c])
+                    .find(|d| d.returns_lock && !d.is_test)
+            })?;
+        let owner = best.owner.clone().unwrap_or_else(|| "fn".into());
+        return Some((format!("{}::{owner}::{last}()", best.crate_name), true));
+    }
+    if segs.len() == 1 {
+        // Bare name: alias, else unresolved local/param.
+        return aliases.get(last).cloned();
+    }
+    // `self.field` / `x.field` / `x.y.field`: match by field name.
+    let suffix = format!("::{last}");
+    let defs: Vec<&symbols::LockDef> = syms
+        .locks
+        .values()
+        .filter(|d| d.id.ends_with(&suffix))
+        .collect();
+    if segs.first().map(String::as_str) == Some("self") {
+        if let Some(owner) = &f.owner {
+            let id = format!("{}::{owner}::{last}", f.crate_name);
+            if let Some(d) = syms.locks.get(&id) {
+                return Some((d.id.clone(), d.indexed));
+            }
+        }
+    }
+    match defs.as_slice() {
+        [one] => Some((one.id.clone(), one.indexed)),
+        many => {
+            let same_crate: Vec<_> = many
+                .iter()
+                .filter(|d| d.id.starts_with(&format!("{}::", f.crate_name)))
+                .collect();
+            match same_crate.as_slice() {
+                [one] => Some((one.id.clone(), one.indexed)),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Is token `i` a blocking call head?
+fn blocking_at(toks: &[Token], i: usize) -> Option<&'static str> {
+    let Tok::Ident(name) = &toks[i].kind else {
+        return None;
+    };
+    let prev_dot = i > 0 && toks[i - 1].kind == Tok::Punct(".");
+    if let Some(op) = BLOCKING_METHODS.iter().find(|m| **m == name.as_str()) {
+        if !prev_dot {
+            return None;
+        }
+        if toks.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct("(")) {
+            return None;
+        }
+        // `join` must be argument-free: `Path::join(p)` is not blocking.
+        if *op == "join" && toks.get(i + 2).map(|t| &t.kind) != Some(&Tok::Punct(")")) {
+            return None;
+        }
+        return Some(op);
+    }
+    if let Some(op) = BLOCKING_FREE.iter().find(|m| **m == name.as_str()) {
+        if toks.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct("(")) {
+            return None;
+        }
+        // Free or `thread::sleep`-style qualified, not `.sleep()`.
+        if prev_dot {
+            return None;
+        }
+        return Some(op);
+    }
+    None
+}
+
+/// `spawn(..)` in a tracing crate: the closure must mention
+/// `set_trace`/`TraceGuard`. Process spawns (`Command::spawn()`, no
+/// closure argument) are exempt by the closure check.
+fn check_spawn(
+    toks: &[Token],
+    i: usize,
+    f: &symbols::FnDef,
+    file: &SourceFile,
+) -> Option<LockFinding> {
+    if file.test_mask.get(i).copied().unwrap_or(false) {
+        return None;
+    }
+    if toks.get(i + 1).map(|t| &t.kind) != Some(&Tok::Punct("(")) {
+        return None;
+    }
+    let close = symbols::match_close(toks, i + 1);
+    let args = &toks[i + 2..close.min(toks.len())];
+    // `||` (empty arg list) lexes as one token, `|x|` as two `|`.
+    let has_closure = args.iter().any(|t| {
+        matches!(&t.kind, Tok::Punct("|" | "||"))
+            || matches!(&t.kind, Tok::Ident(m) if m == "move")
+    });
+    if !has_closure {
+        return None;
+    }
+    let propagates = args.iter().any(
+        |t| matches!(&t.kind, Tok::Ident(n) if n == "set_trace" || n == "TraceGuard"),
+    );
+    if propagates {
+        return None;
+    }
+    Some(LockFinding {
+        rule: "untraced-spawn",
+        file: f.file,
+        line: toks[i].line,
+        message: format!(
+            "spawned closure in `{}` does not re-propagate the request trace id — call \
+             `obs::set_trace(obs::current_trace())` (or hold an `obs::TraceGuard`) inside \
+             the closure so telemetry stays attributed",
+            f.qualified()
+        ),
+    })
+}
+
+/// All elementary cycles are overkill; for a lint, any node reachable
+/// from itself is a cycle to report. DFS per edge: if `acquired` can
+/// reach `held`, the closed path is a cycle. Deduped by node set.
+fn find_cycles(graph: &LockGraph) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for e in &graph.edges {
+        adj.entry(e.held.as_str()).or_default().push(e.acquired.as_str());
+    }
+    for v in adj.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_sets: Vec<Vec<String>> = Vec::new();
+    for e in &graph.edges {
+        if let Some(mut path) = dfs_path(&adj, &e.acquired, &e.held) {
+            // Close the loop: held -> acquired -> .. -> held.
+            let mut cyc = vec![e.held.clone()];
+            cyc.append(&mut path);
+            let mut set: Vec<String> = cyc.clone();
+            set.sort();
+            set.dedup();
+            if !seen_sets.contains(&set) {
+                seen_sets.push(set);
+                cycles.push(cyc);
+            }
+        }
+    }
+    cycles
+}
+
+/// Shortest-ish DFS path from `from` to `to` (inclusive of both).
+fn dfs_path(adj: &BTreeMap<&str, Vec<&str>>, from: &str, to: &str) -> Option<Vec<String>> {
+    let mut stack = vec![vec![from.to_string()]];
+    let mut visited: Vec<String> = Vec::new();
+    while let Some(path) = stack.pop() {
+        let last = path.last().expect("nonempty path").clone();
+        if last == to {
+            return Some(path);
+        }
+        if visited.contains(&last) {
+            continue;
+        }
+        visited.push(last.clone());
+        if let Some(nexts) = adj.get(last.as_str()) {
+            for n in nexts {
+                let mut p = path.clone();
+                p.push((*n).to_string());
+                stack.push(p);
+            }
+        }
+    }
+    None
+}
+
+/// Renders the reviewable `results/LOCKS.txt` artifact.
+pub fn render_graph(files: &[SourceFile], graph: &LockGraph) -> String {
+    let mut s = String::new();
+    s.push_str("# Workspace lock-order graph — generated by `cargo run -p lint`; do not edit.\n");
+    s.push_str("# Nodes are named locks (fields/statics); an edge A -> B means B was\n");
+    s.push_str("# acquired somewhere while a guard on A was live. The CI gate requires\n");
+    s.push_str("# this graph to be acyclic.\n\n");
+    let _ = writeln!(s, "nodes ({}):", graph.nodes.len());
+    for (id, (kind, indexed, site)) in &graph.nodes {
+        let idx = if *indexed { "[indexed] " } else { "" };
+        let _ = writeln!(s, "  {id}  ({kind}) {idx}defined {site}");
+    }
+    // Merge parallel edges for the listing.
+    let mut merged: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    for e in &graph.edges {
+        merged
+            .entry((e.held.clone(), e.acquired.clone()))
+            .or_default()
+            .push(format!(
+                "{}:{} in `{}`",
+                files[e.file].path.display(),
+                e.line,
+                e.func
+            ));
+    }
+    let _ = writeln!(s, "\nedges ({}):", merged.len());
+    for ((held, acquired), sites) in &merged {
+        let mut sites = sites.clone();
+        sites.sort();
+        sites.dedup();
+        let _ = writeln!(s, "  {held} -> {acquired}");
+        for site in sites {
+            let _ = writeln!(s, "      at {site}");
+        }
+    }
+    if graph.cycles.is_empty() {
+        s.push_str("\ncycles: none\n");
+    } else {
+        let _ = writeln!(s, "\ncycles ({}):", graph.cycles.len());
+        for c in &graph.cycles {
+            let _ = writeln!(s, "  {}", c.join(" -> "));
+        }
+    }
+    s
+}

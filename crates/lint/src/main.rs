@@ -1,18 +1,28 @@
-//! Workspace lint driver: `cargo run -p lint -- [--deny] [--root <path>]`.
+//! Workspace lint driver:
+//! `cargo run -p lint -- [--deny] [--root <path>] [--changed <git-ref>]`.
 //!
-//! Runs both analysis layers — source lints over every workspace `.rs`
-//! file and the semantic validators over the model zoo and budget presets
-//! — prints `file:line` diagnostics, and writes the machine-readable
-//! summary to `results/LINT.json`. With `--deny` (the CI gate) the exit
-//! code is nonzero when any unwaived finding or semantic failure exists.
+//! Runs all three analysis layers — source lints and the concurrency
+//! analysis over every workspace `.rs` file, plus the semantic validators
+//! over the model zoo and budget presets — prints `file:line`
+//! diagnostics, and writes the machine-readable summary to
+//! `results/LINT.json` and the lock-order graph to `results/LOCKS.txt`.
+//! With `--deny` (the CI gate) the exit code is nonzero when any unwaived
+//! finding or semantic failure exists.
+//!
+//! `--changed <git-ref>` is the incremental pre-commit mode: the whole
+//! workspace is still analyzed (Layer 3 is global by nature), but only
+//! findings in files that differ from `<git-ref>` are reported and
+//! counted, the semantic layer is skipped, and no artifacts are written.
 
 use lint::semantic;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut deny = false;
     let mut root: Option<PathBuf> = None;
+    let mut changed: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -24,8 +34,15 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--changed" => match args.next() {
+                Some(r) => changed = Some(r),
+                None => {
+                    eprintln!("--changed requires a git ref");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: lint [--deny] [--root <workspace>]");
+                println!("usage: lint [--deny] [--root <workspace>] [--changed <git-ref>]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -42,13 +59,27 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match lint::scan_workspace(&root) {
+    let mut report = match lint::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lint: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(git_ref) = &changed {
+        let keep = match changed_files(&root, git_ref) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        report.findings.retain(|f| keep.contains(&f.path));
+        println!(
+            "lint: incremental vs `{git_ref}`: {} changed .rs file(s) under src/",
+            keep.len()
+        );
+    }
     for f in &report.findings {
         if !f.waived {
             println!("{f}");
@@ -57,9 +88,23 @@ fn main() -> ExitCode {
     let denied = report.denied().count();
     let waived = report.findings.len() - denied;
     println!(
-        "lint: {} files, {denied} finding(s), {waived} waived",
-        report.files_scanned
+        "lint: {} files, {denied} finding(s), {waived} waived, lock graph: {} nodes / {} edges / {} cycle(s)",
+        report.files_scanned,
+        report.graph.nodes.len(),
+        report.graph.edges.len(),
+        report.graph.cycles.len()
     );
+
+    // Incremental mode is a fast pre-commit filter: no semantic layer, no
+    // artifact writes (those belong to full runs so results/ stays
+    // canonical).
+    if changed.is_some() {
+        return if deny && denied > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
 
     let sem = semantic::run();
     for f in &sem.failures {
@@ -74,18 +119,43 @@ fn main() -> ExitCode {
 
     let results = root.join("results");
     let json_path = results.join("LINT.json");
+    let locks_path = results.join("LOCKS.txt");
     if let Err(e) = std::fs::create_dir_all(&results)
         .and_then(|()| std::fs::write(&json_path, report.to_json(Some(&sem))))
+        .and_then(|()| std::fs::write(&locks_path, &report.locks_txt))
     {
-        eprintln!("lint: cannot write {}: {e}", json_path.display());
+        eprintln!("lint: cannot write under {}: {e}", results.display());
         return ExitCode::from(2);
     }
 
-    if deny && (denied > 0 || !sem.clean()) {
+    if deny && (denied > 0 || !sem.clean() || !report.graph.cycles.is_empty()) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Workspace-relative `.rs` paths that differ from `git_ref` (committed
+/// diff plus working-tree changes), per `git diff --name-only`.
+fn changed_files(root: &Path, git_ref: &str) -> Result<BTreeSet<PathBuf>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", git_ref, "--"])
+        .output()
+        .map_err(|e| format!("git diff failed to spawn: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {git_ref} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.ends_with(".rs"))
+        .map(PathBuf::from)
+        .collect())
 }
 
 /// Walks upward from the current directory (falling back to this crate's

@@ -228,8 +228,9 @@ fn is_lock_guard_chain(toks: &[Token], unwrap_idx: usize) -> bool {
 
 /// Marks every token inside a `#[cfg(test)]`-gated item (and the
 /// attribute itself). Handles stacked attributes between the cfg and the
-/// item, items ending in `;`, and nested braces in the body.
-fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+/// item, items ending in `;`, and nested braces in the body. Shared with
+/// Layer 3, which must skip the same regions.
+pub(crate) fn test_region_mask(toks: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {

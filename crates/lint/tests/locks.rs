@@ -1,0 +1,363 @@
+//! Negative fixtures for the Layer 3 concurrency rules: each seeded
+//! hazard must be caught, and each must be waivable with a
+//! `lint: allow(<rule>)` comment at the natural site. Fixtures are
+//! synthetic crates fed through `lint::scan_sources`, so they exercise
+//! the same symbol-extraction / call-graph / liveness pipeline as the
+//! real workspace scan.
+
+use lint::rules::FileCtx;
+use lint::{scan_sources, Report};
+use std::path::PathBuf;
+
+/// Runs the full analysis over one synthetic `src/lib.rs`.
+fn scan_one(crate_name: &str, src: &str) -> Report {
+    scan_sources(vec![(
+        PathBuf::from(format!("crates/{crate_name}/src/lib.rs")),
+        src.to_string(),
+        FileCtx {
+            crate_name: crate_name.into(),
+            is_bin: false,
+        },
+    )])
+}
+
+/// Unwaived findings for `rule`.
+fn denied(report: &Report, rule: &str) -> Vec<String> {
+    report
+        .denied()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.to_string())
+        .collect()
+}
+
+/// Waived findings for `rule`.
+fn waived(report: &Report, rule: &str) -> usize {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.waived && f.rule == rule)
+        .count()
+}
+
+// ---------------------------------------------------------------- cycles
+
+const DEADLOCK_AB_BA: &str = "\
+struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+    fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }
+}
+";
+
+#[test]
+fn seeded_deadlock_cycle_is_caught() {
+    let r = scan_one("fx", DEADLOCK_AB_BA);
+    let hits = denied(&r, "lock-order-cycle");
+    assert!(
+        hits.len() >= 2,
+        "both conflicting acquisitions must be reported: {hits:?}"
+    );
+    assert!(!r.graph.cycles.is_empty(), "cycle missing from the graph");
+    assert!(r.locks_txt.contains("fx::S::a -> fx::S::b"));
+    assert!(!r.locks_txt.contains("cycles: none"));
+}
+
+#[test]
+fn nested_same_lock_acquisition_is_a_cycle_finding() {
+    // Self-deadlock: re-locking the lock you hold, in one function.
+    let src = "\
+struct S { a: Mutex<u8> }
+impl S {
+    fn twice(&self) { let g = self.a.lock(); let h = self.a.lock(); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(
+        !denied(&r, "lock-order-cycle").is_empty(),
+        "nested same-lock acquisition must be flagged"
+    );
+}
+
+#[test]
+fn consistent_order_is_clean() {
+    // Same locks, both functions acquire a -> b: an edge but no cycle.
+    let src = "\
+struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+    fn ab2(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(denied(&r, "lock-order-cycle").is_empty());
+    assert!(r.graph.cycles.is_empty());
+    assert!(r.locks_txt.contains("cycles: none"));
+}
+
+#[test]
+fn deadlock_cycle_is_waivable() {
+    let src = "\
+struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    // Startup-only path, single-threaded by construction.
+    // lint: allow(lock-order-cycle)
+    fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }
+    // lint: allow(lock-order-cycle)
+    fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(denied(&r, "lock-order-cycle").is_empty());
+    assert!(waived(&r, "lock-order-cycle") >= 2);
+}
+
+#[test]
+fn guard_drop_ends_liveness() {
+    // Explicit drop() between the two acquisitions: no edge, no cycle.
+    let src = "\
+struct S { a: Mutex<u8>, b: Mutex<u8> }
+impl S {
+    fn ab(&self) { let g = self.a.lock(); drop(g); let h = self.b.lock(); }
+    fn ba(&self) { let g = self.b.lock(); drop(g); let h = self.a.lock(); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(
+        denied(&r, "lock-order-cycle").is_empty(),
+        "drop(g) must end guard liveness: {:?}",
+        denied(&r, "lock-order-cycle")
+    );
+}
+
+// ------------------------------------------------------ blocking-in-lock
+
+const SLEEP_UNDER_LOCK: &str = "\
+struct S { a: Mutex<u8> }
+impl S {
+    fn slow(&self) { let g = self.a.lock(); std::thread::sleep(d); }
+}
+";
+
+#[test]
+fn sleep_under_lock_is_caught() {
+    let r = scan_one("fx", SLEEP_UNDER_LOCK);
+    assert!(!denied(&r, "blocking-while-locked").is_empty());
+}
+
+#[test]
+fn channel_recv_under_lock_is_caught() {
+    let src = "\
+struct S { a: Mutex<u8> }
+impl S {
+    fn wait_for(&self, rx: &Receiver<u8>) { let g = self.a.lock(); let v = rx.recv(); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(!denied(&r, "blocking-while-locked").is_empty());
+}
+
+#[test]
+fn blocking_reached_through_a_call_is_caught() {
+    // Interprocedural: the guard region calls a helper that sleeps.
+    let src = "\
+struct S { a: Mutex<u8> }
+impl S {
+    fn slow(&self) { let g = self.a.lock(); nap(); }
+}
+fn nap() { std::thread::sleep(d); }
+";
+    let r = scan_one("fx", src);
+    let hits = denied(&r, "blocking-while-locked");
+    assert!(
+        hits.iter().any(|h| h.contains("nap")),
+        "call into a sleeping helper must be flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn condvar_wait_is_exempt() {
+    let src = "\
+struct S { q: Mutex<u8>, cv: Condvar }
+impl S {
+    fn pump(&self) { let g = self.q.lock(); let g = self.cv.wait(g); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(
+        denied(&r, "blocking-while-locked").is_empty(),
+        "Condvar::wait is the protocol, not a hazard: {:?}",
+        denied(&r, "blocking-while-locked")
+    );
+}
+
+#[test]
+fn sleep_under_lock_is_waivable_mid_statement() {
+    // The waiver rides the statement span: the comment trails the second
+    // physical line of the offending statement.
+    let src = "\
+struct S { a: Mutex<u8> }
+impl S {
+    fn slow(&self) { let g = self.a.lock(); std::thread::sleep(
+        d); // drains in tests only; lint: allow(blocking-while-locked)
+    }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(denied(&r, "blocking-while-locked").is_empty());
+    assert!(waived(&r, "blocking-while-locked") >= 1);
+}
+
+#[test]
+fn blocking_after_guard_scope_is_clean() {
+    let src = "\
+struct S { a: Mutex<u8> }
+impl S {
+    fn ok(&self) { { let g = self.a.lock(); } std::thread::sleep(d); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(denied(&r, "blocking-while-locked").is_empty());
+}
+
+// ----------------------------------------------------------- reentrancy
+
+const REENTRANT_PROBE: &str = "\
+struct Cache { shard: Mutex<u8> }
+impl Cache {
+    fn outer(&self) { let g = self.shard.lock(); self.probe(); }
+    fn probe(&self) { let g = self.shard.lock(); }
+}
+";
+
+#[test]
+fn reentrant_shard_probe_is_caught() {
+    let r = scan_one("fx", REENTRANT_PROBE);
+    let hits = denied(&r, "reentrant-lock");
+    assert!(
+        hits.iter().any(|h| h.contains("probe")),
+        "call back into the same lock must be flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn transitive_reentry_is_caught() {
+    // outer -> middle -> inner, inner re-locks what outer holds.
+    let src = "\
+struct Cache { shard: Mutex<u8> }
+impl Cache {
+    fn outer(&self) { let g = self.shard.lock(); self.middle(); }
+    fn middle(&self) { self.inner(); }
+    fn inner(&self) { let g = self.shard.lock(); }
+}
+";
+    let r = scan_one("fx", src);
+    let hits = denied(&r, "reentrant-lock");
+    assert!(
+        hits.iter().any(|h| h.contains("middle")),
+        "transitive re-entry must be flagged at the call site: {hits:?}"
+    );
+}
+
+#[test]
+fn reentrant_probe_is_waivable() {
+    let src = "\
+struct Cache { shard: Mutex<u8> }
+impl Cache {
+    // Recursion is bounded to depth 1 by the probe protocol.
+    // lint: allow(reentrant-lock)
+    fn outer(&self) { let g = self.shard.lock(); self.probe(); }
+    fn probe(&self) { let g = self.shard.lock(); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(denied(&r, "reentrant-lock").is_empty());
+    assert!(waived(&r, "reentrant-lock") >= 1);
+}
+
+#[test]
+fn disjoint_locks_are_not_reentrant() {
+    let src = "\
+struct Cache { a: Mutex<u8>, b: Mutex<u8> }
+impl Cache {
+    fn outer(&self) { let g = self.a.lock(); self.probe(); }
+    fn probe(&self) { let g = self.b.lock(); }
+}
+";
+    let r = scan_one("fx", src);
+    assert!(denied(&r, "reentrant-lock").is_empty());
+}
+
+// -------------------------------------------------------- untraced spawn
+
+const UNTRACED_SPAWN: &str = "\
+fn fan_out() {
+    std::thread::spawn(move || { work(); });
+}
+fn work() {}
+";
+
+#[test]
+fn untraced_spawn_in_tracing_crate_is_caught() {
+    // `serve` is a tracing-aware crate.
+    let r = scan_one("serve", UNTRACED_SPAWN);
+    assert!(!denied(&r, "untraced-spawn").is_empty());
+}
+
+#[test]
+fn scoped_spawn_is_also_checked() {
+    let src = "\
+fn par_map(scope: &Scope) {
+    scope.spawn(|| { work(); });
+}
+fn work() {}
+";
+    let r = scan_one("autoseg", src);
+    assert!(!denied(&r, "untraced-spawn").is_empty());
+}
+
+#[test]
+fn spawn_with_set_trace_is_clean() {
+    let src = "\
+fn fan_out(trace: u64) {
+    std::thread::spawn(move || { obs::set_trace(trace); work(); });
+}
+fn work() {}
+";
+    let r = scan_one("serve", src);
+    assert!(denied(&r, "untraced-spawn").is_empty());
+}
+
+#[test]
+fn spawn_outside_tracing_crates_is_exempt() {
+    let r = scan_one("spa-arch", UNTRACED_SPAWN);
+    assert!(denied(&r, "untraced-spawn").is_empty());
+}
+
+#[test]
+fn untraced_spawn_is_waivable() {
+    let src = "\
+fn fan_out() {
+    // Reader thread forwards raw bytes; no telemetry of its own.
+    // lint: allow(untraced-spawn)
+    std::thread::spawn(move || { work(); });
+}
+fn work() {}
+";
+    let r = scan_one("serve", src);
+    assert!(denied(&r, "untraced-spawn").is_empty());
+    assert!(waived(&r, "untraced-spawn") >= 1);
+}
+
+// ----------------------------------------------------------- aggregates
+
+#[test]
+fn lock_rules_appear_in_json_schema() {
+    let r = scan_one("fx", DEADLOCK_AB_BA);
+    let json = r.to_json(None);
+    assert!(json.contains("\"schema\": 2"));
+    assert!(json.contains("\"concurrency\""));
+    for rule in lint::locks::LOCK_RULE_NAMES {
+        assert!(json.contains(rule), "{rule} missing from JSON");
+    }
+    assert!(json.contains("\"graph_cycles\": 1"));
+}

@@ -22,6 +22,15 @@ fn workspace_has_no_unwaived_findings() {
         denied.join("\n")
     );
     assert!(report.files_scanned > 50, "scan looks truncated");
+    assert!(
+        report.graph.cycles.is_empty(),
+        "workspace lock-order graph has cycles: {:?}",
+        report.graph.cycles
+    );
+    assert!(
+        !report.graph.nodes.is_empty(),
+        "Layer 3 found no locks at all — symbol extraction looks broken"
+    );
 }
 
 #[test]

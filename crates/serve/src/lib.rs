@@ -80,6 +80,9 @@ pub fn run_stdio(
     let server = Server::start(cfg);
     let client = server.client();
     let (line_tx, line_rx) = std::sync::mpsc::channel::<String>();
+    // Reader thread forwards raw lines only; each request gets its own
+    // TraceGuard inside the worker's execute path.
+    // lint: allow(untraced-spawn)
     std::thread::spawn(move || {
         for line in input.lines() {
             let Ok(line) = line else { break };
@@ -150,6 +153,8 @@ pub fn run_socket(path: &Path, cfg: ServeConfig, stop: &AtomicBool) -> std::io::
         match listener.accept() {
             Ok((stream, _)) => {
                 let server = Arc::clone(&server);
+                // Connection pumps shuttle bytes; traces are per request
+                // (TraceGuard in the worker). lint: allow(untraced-spawn)
                 pumps.push(std::thread::spawn(move || pump_connection(&server, stream)));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

@@ -274,6 +274,9 @@ impl Server {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{w}"))
+                    // Workers enter a per-job TraceGuard inside
+                    // worker_loop/execute_*; the spawn itself predates any
+                    // request. lint: allow(untraced-spawn)
                     .spawn(move || worker_loop(&inner))
                     .unwrap_or_else(|e| {
                         // Thread spawn failure at startup is fatal-by

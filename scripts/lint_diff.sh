@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Incremental lint for pre-commit: report findings only in files that
+# differ from a base ref (default: main), instead of all 100+ workspace
+# sources. The whole workspace is still *analyzed* (Layer 3's lock and
+# call graphs are global), only the reporting is filtered.
+#
+#   scripts/lint_diff.sh            # vs main
+#   scripts/lint_diff.sh HEAD~3     # vs an arbitrary ref
+#
+# Exits nonzero on any unwaived finding in a changed file. Artifacts
+# (results/LINT.json, results/LOCKS.txt) are NOT rewritten in this mode;
+# run the full `cargo run -p lint -- --deny` before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+REF="${1:-main}"
+exec cargo run -q -p lint -- --deny --changed "$REF"

@@ -47,6 +47,7 @@ t lint     $R/crates/lint/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern s
 t obs-flight-stress $R/crates/obs/tests/flight_stress.rs --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t lint-rules $R/crates/lint/tests/rules.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 t lint-clean $R/crates/lint/tests/workspace_clean.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
+t lint-locks $R/crates/lint/tests/locks.rs --extern lint=liblint.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 t pucost-batch-diff $R/crates/pucost/tests/batch_diff.rs --extern pucost=libpucost.rlib $X_SERDE --extern nnmodel=libnnmodel.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t dse-equiv  $R/crates/autoseg/tests/dse_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib
 t obs-equiv  $R/crates/autoseg/tests/obs_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib
@@ -62,4 +63,17 @@ GOLDEN_BIN_DIR=$L t golden $R/crates/experiments/tests/golden.rs --extern experi
 X_WS="$X_ALL --extern deepburning_seg=libdeepburning_seg.rlib --extern mip=libmip.rlib"
 t ws-integration $R/tests/integration.rs $X_SERDE $X_WS
 t ws-paper $R/tests/paper_claims.rs $X_SERDE $X_WS
+# Layer 3 gate: the lint binary (built by offline_check.sh) must exit 0
+# under --deny and regenerate a non-empty, acyclic lock-order artifact.
+if [ -x "$L/bin_lint" ]; then
+  if "$L/bin_lint" --root "$R" --deny > /tmp/lint_gate.txt 2>&1 \
+     && [ -s "$R/results/LOCKS.txt" ] \
+     && grep -q "cycles: none" "$R/results/LOCKS.txt"; then
+    echo "PASS lint-deny-gate: $(grep '^lint:' /tmp/lint_gate.txt | head -1)"
+  else
+    echo "FAIL lint-deny-gate"; tail -10 /tmp/lint_gate.txt; fail=1
+  fi
+else
+  echo "SKIP lint-deny-gate (bin_lint not built)"
+fi
 exit $fail

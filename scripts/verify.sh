@@ -20,10 +20,15 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo build --release (offline) =="
 cargo build --release --offline
 
-echo "== spa-lint: source rules + semantic validators (--deny) =="
-# Fails on any unwaived D1-D5 finding or semantic validation failure and
-# refreshes the machine-readable results/LINT.json.
+echo "== spa-lint: source rules + semantic validators + concurrency analysis (--deny) =="
+# Fails on any unwaived finding (Layers 1 and 3), semantic validation
+# failure, or lock-order cycle; refreshes results/LINT.json and
+# results/LOCKS.txt.
 cargo run --release --offline -p lint -- --deny
+# The lock-order graph artifact must exist, be non-trivial, and be
+# acyclic — a cycle is a potential deadlock in the serving stack.
+test -s results/LOCKS.txt
+grep -q "cycles: none" results/LOCKS.txt
 
 echo "== cargo test (offline) =="
 cargo test -q --offline
