@@ -17,12 +17,21 @@
 //! identical warm workloads — the host runs in-process, so the toggle
 //! reaches the serving threads.
 //!
+//! A fourth stage benchmarks the **fleet**: an in-process [`serve::Fleet`]
+//! of `BENCH_SERVE_FLEET` shard processes (default 3) driven through the
+//! router — cold/warm/restart phases with per-shard terminal counts (from
+//! the `shard` response tag), a SIGKILL + snapshot-warmed respawn between
+//! warm and restart, and an overload burst past the router's admission
+//! watermark for the shed rate. Skipped (with a `fleet:null` report
+//! field) only when no `spa-serve` binary is resolvable.
+//!
 //! Writes `results/BENCH_serve.json`. Knobs: `BENCH_SERVE_CLIENTS`
 //! (default 4), `BENCH_SERVE_REQS` (requests per client per phase,
-//! default 32); `--clients N` / `--reqs N` override the environment.
+//! default 32), `BENCH_SERVE_FLEET` (shards, default 3); `--clients N` /
+//! `--reqs N` / `--fleet N` override the environment.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin bench_serve -- [--clients 4] [--reqs 32]
+//! cargo run --release -p experiments --bin bench_serve -- [--clients 4] [--reqs 32] [--fleet 3]
 //! ```
 
 use experiments::{flag_parse, write_text};
@@ -49,7 +58,7 @@ fn env_parse(name: &str, default: usize) -> usize {
 /// One deterministic `eval_pu` request line. `key` selects the layer
 /// shape: equal keys are cache-equal probes, distinct keys are cold.
 fn eval_line(id: u64, key: usize) -> String {
-    let k = key % 24;
+    let k = key % 48;
     format!(
         "{{\"v\":1,\"id\":{id},\"req\":\"eval_pu\",\"dataflow\":\"best\",\
          \"layer\":{{\"in_c\":{},\"in_h\":14,\"in_w\":14,\"out_c\":{},\"out_h\":14,\"out_w\":14,\
@@ -211,6 +220,245 @@ fn drive(
     (t0.elapsed(), merged, traced)
 }
 
+/// One fleet phase: `sessions` router sessions each resolving `reqs`
+/// requests sequentially (submit, wait for the terminal), so the
+/// router's admission watermark is never crossed by the probe load
+/// itself. Returns wall time, the merged latency histogram, and the
+/// per-shard terminal counts read off the `shard` response tags.
+fn drive_fleet(
+    router: &std::sync::Arc<serve::Router>,
+    sessions: usize,
+    reqs: usize,
+    key_of: impl Fn(usize) -> usize + Copy + Send + Sync,
+) -> (Duration, HdrHist, Vec<u64>) {
+    let t0 = Instant::now();
+    let mut merged = HdrHist::new();
+    let mut per_shard = vec![0u64; router.shards()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|c| {
+                let router = std::sync::Arc::clone(router);
+                // Load-generating clients; traces are shard-minted.
+                // lint: allow(untraced-spawn)
+                scope.spawn(move || {
+                    let session = router.session();
+                    let mut hist = HdrHist::new();
+                    let mut shards = vec![0u64; router.shards()];
+                    for i in 0..reqs {
+                        let id = pucost::util::u64_of(i) + 1;
+                        let sent = Instant::now();
+                        session.submit(&eval_line(id, key_of(c * reqs + i)));
+                        let deadline = Instant::now() + PHASE_TIMEOUT;
+                        loop {
+                            assert!(
+                                Instant::now() < deadline,
+                                "bench_serve: fleet request {id} timed out"
+                            );
+                            let Some(line) = session.recv_timeout(Duration::from_millis(50))
+                            else {
+                                continue;
+                            };
+                            let v = parse(&line).expect("fleet response is json");
+                            if !is_terminal(&v) {
+                                continue;
+                            }
+                            assert_eq!(
+                                v.get("kind").and_then(Json::as_str),
+                                Some("done"),
+                                "fleet probe failed: {line}"
+                            );
+                            let us = u64::try_from(sent.elapsed().as_micros())
+                                .unwrap_or(u64::MAX);
+                            hist.record(us);
+                            if let Some(s) = v.get("shard").and_then(Json::as_u64) {
+                                let s = usize::try_from(s).expect("small");
+                                if s < shards.len() {
+                                    shards[s] += 1;
+                                }
+                            }
+                            break;
+                        }
+                    }
+                    (hist, shards)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (hist, shards) = h.join().expect("fleet client thread");
+            merged.merge(&hist);
+            for (acc, n) in per_shard.iter_mut().zip(shards) {
+                *acc += n;
+            }
+        }
+    });
+    (t0.elapsed(), merged, per_shard)
+}
+
+/// Fleet phase report: the single-server fields plus per-shard counts
+/// and throughput split.
+fn fleet_phase_json(name: &str, dur: Duration, h: &HdrHist, per_shard: &[u64]) -> (String, Json) {
+    let (key, mut base) = phase_json(name, dur, h);
+    let secs = dur.as_secs_f64().max(1e-9);
+    let counts: Vec<Json> = per_shard.iter().map(|&n| Json::from(n)).collect();
+    let rps: Vec<Json> = per_shard
+        .iter()
+        // Phase counts are tiny; f64 is exact. lint: allow(nondet-time)
+        .map(|&n| Json::from(n as f64 / secs))
+        .collect();
+    if let Json::Obj(m) = &mut base {
+        m.insert("per_shard_requests".to_string(), Json::Arr(counts));
+        m.insert("per_shard_rps".to_string(), Json::Arr(rps));
+    }
+    (key, base)
+}
+
+/// The fleet benchmark: cold/warm phases, a snapshot exchange, SIGKILL
+/// and respawn of the hottest shard, a restart phase measuring the
+/// snapshot-warmed hit rate, and an overload burst for the shed rate.
+fn fleet_bench(shards: usize, sessions: usize, reqs: usize) -> Json {
+    use serve::fleet::{Fleet, FleetConfig};
+    let dir = std::env::temp_dir().join(format!("bench_serve_fleet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = FleetConfig::new(&dir);
+    cfg.shards = shards;
+    cfg.probe_ms = 25;
+    cfg.snapshot_ms = 0; // exchanged explicitly before the kill
+    cfg.soft_cap = 8; // sequential probes stay under; the burst does not
+    let fleet = match Fleet::start(cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_serve: fleet skipped ({e})");
+            return Json::Null;
+        }
+    };
+    let router = fleet.router();
+    let key_of = |g: usize| g % 48;
+    let (cold_d, cold_h, cold_s) = drive_fleet(router, sessions, reqs, key_of);
+    println!("   fleet cold:    {:>8.3} s, p99 {} us", cold_d.as_secs_f64(), cold_h.p99());
+    let (warm_d, warm_h, warm_s) = drive_fleet(router, sessions, reqs, key_of);
+    println!("   fleet warm:    {:>8.3} s, p99 {} us", warm_d.as_secs_f64(), warm_h.p99());
+
+    // Hot restart: persist the union snapshot everywhere, SIGKILL the
+    // shard that answered the most probes, and let the probe loop
+    // respawn it warm.
+    let merged_entries = fleet.exchange_now();
+    let victim = cold_s
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &n)| n)
+        .map_or(0, |(i, _)| i);
+    let old_pid = fleet.shard_pid(victim);
+    fleet.kill_shard(victim, false);
+    let respawned = serve::testkit::wait_until(|| {
+        fleet.shard_pid(victim).is_some_and(|p| Some(p) != old_pid)
+            && fleet.router().shard_up(victim)
+    });
+    assert!(respawned, "bench_serve: shard {victim} not respawned");
+    let (restart_d, restart_h, restart_s) = drive_fleet(router, sessions, reqs, key_of);
+    println!(
+        "   fleet restart: {:>8.3} s, p99 {} us",
+        restart_d.as_secs_f64(),
+        restart_h.p99()
+    );
+    // The respawned victim's own counters cover only the restart phase:
+    // its probes must have come from the merged snapshot, not recompute.
+    let vstatus = rpc(
+        &fleet.shard_socket(victim),
+        "{\"v\":1,\"id\":9101,\"req\":\"status\"}",
+    );
+    let vcache = vstatus
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .cloned()
+        .unwrap_or(Json::Null);
+    let warm_hits = vcache.get("warm_hits").and_then(Json::as_u64).unwrap_or(0);
+    let probes = vcache.get("hits").and_then(Json::as_u64).unwrap_or(0)
+        + vcache.get("misses").and_then(Json::as_u64).unwrap_or(0)
+        + warm_hits;
+    let warm_hit_rate = if probes == 0 {
+        0.0
+    } else {
+        warm_hits as f64 / probes as f64 // counters are small; exact
+    };
+    println!(
+        "   fleet restart warm-hit rate (shard {victim}): {warm_hit_rate:.3} ({warm_hits}/{probes})"
+    );
+
+    // Overload: one session pipelines far past the hard watermark; the
+    // router must answer every line, shedding the excess typed.
+    let burst = 64usize;
+    let session = router.session();
+    for i in 0..burst {
+        let id = pucost::util::u64_of(i) + 1;
+        session.submit(&eval_line(id, key_of(i)));
+    }
+    let mut shed = 0u64;
+    let mut served = 0u64;
+    let deadline = Instant::now() + PHASE_TIMEOUT;
+    while (shed + served) < pucost::util::u64_of(burst) {
+        assert!(Instant::now() < deadline, "bench_serve: overload burst timed out");
+        let Some(line) = session.recv_timeout(Duration::from_millis(50)) else {
+            continue;
+        };
+        let v = parse(&line).expect("burst response is json");
+        if !is_terminal(&v) {
+            continue;
+        }
+        match v.get("kind").and_then(Json::as_str) {
+            Some("error") => {
+                assert_eq!(
+                    v.get("code").and_then(Json::as_str),
+                    Some("overloaded"),
+                    "untyped burst error: {line}"
+                );
+                shed += 1;
+            }
+            _ => served += 1,
+        }
+    }
+    let shed_rate = shed as f64 / burst as f64; // burst is tiny; exact
+    println!("   fleet overload: shed {shed}/{burst} ({shed_rate:.3})");
+
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    obj(vec![
+        ("shards", Json::from(shards)),
+        ("sessions", Json::from(sessions)),
+        ("requests_per_session", Json::from(reqs)),
+        (
+            "phases",
+            Json::Obj(
+                [
+                    fleet_phase_json("cold", cold_d, &cold_h, &cold_s),
+                    fleet_phase_json("warm", warm_d, &warm_h, &warm_s),
+                    fleet_phase_json("restart", restart_d, &restart_h, &restart_s),
+                ]
+                .into_iter()
+                .collect(),
+            ),
+        ),
+        (
+            "restart",
+            obj(vec![
+                ("victim", Json::from(victim)),
+                ("merged_entries", Json::from(merged_entries)),
+                ("warm_hits", Json::from(warm_hits)),
+                ("probes", Json::from(probes)),
+                ("warm_hit_rate", Json::from(warm_hit_rate)),
+            ]),
+        ),
+        (
+            "overload",
+            obj(vec![
+                ("burst", Json::from(burst)),
+                ("shed", Json::from(shed)),
+                ("served", Json::from(served)),
+                ("shed_rate", Json::from(shed_rate)),
+            ]),
+        ),
+    ])
+}
+
 fn phase_json(name: &str, dur: Duration, h: &HdrHist) -> (String, Json) {
     let secs = dur.as_secs_f64().max(1e-9);
     // h.count() requests per phase; count is small, f64 is exact.
@@ -237,6 +485,7 @@ fn main() {
     }
     let clients = flag_parse("clients", env_parse("BENCH_SERVE_CLIENTS", 4));
     let reqs = flag_parse("reqs", env_parse("BENCH_SERVE_REQS", 32));
+    let fleet_shards = flag_parse("fleet", env_parse("BENCH_SERVE_FLEET", 3));
     let tmp = std::env::temp_dir().join(format!("bench_serve_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&tmp);
     std::fs::create_dir_all(&tmp).expect("create temp dir");
@@ -290,6 +539,10 @@ fn main() {
     handle.join().expect("host thread");
     let _ = std::fs::remove_dir_all(&tmp);
 
+    // The sharded fleet: router + N shard processes + chaos restart.
+    println!("== fleet benchmark: {fleet_shards} shards x {clients} sessions x {reqs} requests ==");
+    let fleet_block = fleet_bench(fleet_shards, clients, reqs);
+
     // Every response must carry the server-minted trace id.
     let total = pucost::util::u64_of(clients * reqs);
     assert_eq!(cold_traced, total, "cold responses missing trace ids");
@@ -334,6 +587,7 @@ fn main() {
         ])),
         ("server_metrics", mresult),
         ("server_status", sresult),
+        ("fleet", fleet_block),
     ]);
     write_text("BENCH_serve.json", &format!("{}\n", report.render()));
     obs::finish();

@@ -198,6 +198,41 @@ const JSON_VALUE_SKIP: &[&str] = &[
     "eval_throughput.cache_scalar_evals_per_s",
     "eval_throughput.cache_batch_evals_per_s",
     "eval_throughput.cache_batch_vs_scalar",
+    // bench_serve: embedded server telemetry and the A/B overhead ratio
+    // are wall-clock through and through; the shed/warm splits depend on
+    // thread interleaving. Structural keys (requests, shards, victim,
+    // per-shard request counts) are still value-compared.
+    "overhead",
+    "queue_wait_us",
+    "server_metrics",
+    "server_status",
+    "fleet.overload.shed",
+    "fleet.overload.served",
+    "fleet.overload.shed_rate",
+    "fleet.restart.warm_hits",
+    "fleet.restart.probes",
+    "fleet.restart.merged_entries",
+];
+
+/// Subtrees whose *shape* is run-dependent, not just their values: the
+/// flight recorder dumps however many events the run produced, so even
+/// key presence cannot be golden. Paths under these prefixes are dropped
+/// from both documents before diffing.
+const JSON_SHAPE_SKIP: &[&str] = &["server_metrics.flight"];
+
+/// Leaf names that are wall-clock or machine-rate values wherever they
+/// appear — the serve benchmark emits them once per phase and per shard,
+/// so enumerating full paths would just restate this list nine times.
+const JSON_VALUE_SKIP_LEAVES: &[&str] = &[
+    "seconds",
+    "throughput_rps",
+    "p50_us",
+    "p90_us",
+    "p99_us",
+    "p999_us",
+    "max_us",
+    "per_shard_rps",
+    "warm_hit_rate",
 ];
 
 /// Minimal JSON reader, sufficient for the reports the experiment
@@ -329,9 +364,25 @@ fn flatten_json(text: &str) -> Result<Vec<(String, String)>, String> {
 }
 
 /// `true` when `path` (or any of its ancestors, so `obs` skips `obs.x`)
-/// is value-skipped.
+/// is value-skipped, or its final segment is a skip-listed leaf name
+/// (`phases.cold.seconds`, `fleet.phases.warm.per_shard_rps[2]`).
 fn json_value_skipped(path: &str) -> bool {
-    JSON_VALUE_SKIP.iter().any(|s| {
+    if JSON_VALUE_SKIP.iter().any(|s| {
+        path == *s
+            || path.strip_prefix(s).is_some_and(|rest| {
+                rest.starts_with('.') || rest.starts_with('[')
+            })
+    }) {
+        return true;
+    }
+    let last = path.rsplit('.').next().unwrap_or(path);
+    let last = last.split('[').next().unwrap_or(last);
+    JSON_VALUE_SKIP_LEAVES.contains(&last)
+}
+
+/// `true` when `path` falls under a shape-skipped subtree.
+fn json_shape_skipped(path: &str) -> bool {
+    JSON_SHAPE_SKIP.iter().any(|s| {
         path == *s
             || path.strip_prefix(s).is_some_and(|rest| {
                 rest.starts_with('.') || rest.starts_with('[')
@@ -350,10 +401,16 @@ fn diff_json(file: &str, golden: &str, got: &str) -> Vec<String> {
         Ok(v) => v,
         Err(e) => return vec![format!("{file}: regenerated file is not valid JSON: {e}")],
     };
-    let gm: std::collections::BTreeMap<&str, &str> =
-        g.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
-    let nm: std::collections::BTreeMap<&str, &str> =
-        n.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    let gm: std::collections::BTreeMap<&str, &str> = g
+        .iter()
+        .filter(|(k, _)| !json_shape_skipped(k))
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    let nm: std::collections::BTreeMap<&str, &str> = n
+        .iter()
+        .filter(|(k, _)| !json_shape_skipped(k))
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
     for (k, gv) in &gm {
         match nm.get(k) {
             None => out.push(format!("{file}:{k}: missing from regenerated report")),
@@ -387,13 +444,26 @@ struct JsonCase {
     env: &'static [(&'static str, &'static str)],
 }
 
-const JSON_CASES: &[JsonCase] = &[JsonCase {
-    bin: "bench_dse",
-    exe: option_env!("CARGO_BIN_EXE_bench_dse"),
-    file: "BENCH_dse.json",
-    args: &["--threads", "2"],
-    env: &[("DSE_SMOKE", "1")],
-}];
+const JSON_CASES: &[JsonCase] = &[
+    JsonCase {
+        bin: "bench_dse",
+        exe: option_env!("CARGO_BIN_EXE_bench_dse"),
+        file: "BENCH_dse.json",
+        args: &["--threads", "2"],
+        env: &[("DSE_SMOKE", "1")],
+    },
+    // Smoke-sized serve+fleet benchmark: structural keys (request and
+    // shard counts, the restart victim) are pinned; every latency,
+    // throughput, and cache-race value is skip-listed above. The fleet
+    // stage resolves `spa-serve` as a sibling of the benchmark binary.
+    JsonCase {
+        bin: "bench_serve",
+        exe: option_env!("CARGO_BIN_EXE_bench_serve"),
+        file: "BENCH_serve.json",
+        args: &["--clients", "2", "--reqs", "8", "--fleet", "3"],
+        env: &[],
+    },
+];
 
 /// `<repo>/results`, the checked-in golden directory.
 fn golden_dir() -> PathBuf {
@@ -669,6 +739,15 @@ fn json_flattener_handles_the_report_shapes() {
     assert!(!json_value_skipped("obsolete"));
     assert!(json_value_skipped("cache.hits"));
     assert!(!json_value_skipped("cache.entries"));
+    // Leaf-name skipping: timing leaves drift wherever they appear.
+    assert!(json_value_skipped("phases.cold.seconds"));
+    assert!(json_value_skipped("fleet.phases.warm.per_shard_rps[2]"));
+    assert!(json_value_skipped("fleet.restart.warm_hit_rate"));
+    assert!(!json_value_skipped("fleet.phases.cold.per_shard_requests[0]"));
+    assert!(!json_value_skipped("fleet.shards"));
+    // Shape skipping: the flight dump's key set is run-dependent.
+    assert!(json_shape_skipped("server_metrics.flight.events[42].seq"));
+    assert!(!json_shape_skipped("server_metrics.stages"));
 }
 
 #[test]

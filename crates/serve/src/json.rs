@@ -214,10 +214,24 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting depth accepted by [`parse`].
+///
+/// `value`/`object`/`array` are mutually recursive, so a hostile line of
+/// a few hundred thousand `[` characters would otherwise exhaust the
+/// parser thread's stack (an abort, not a typed error) — surfaced by the
+/// `proto_fuzz` suite. 128 is far beyond anything the protocol nests
+/// (requests are two levels deep) while keeping worst-case stack use in
+/// the tens of kilobytes.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Json, ParseError> {
     let bytes = input.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -230,6 +244,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -291,7 +306,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("too deeply nested"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.object_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_inner(&mut self) -> Result<Json, ParseError> {
         self.eat(b'{', "expected {")?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -320,6 +350,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.array_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_inner(&mut self) -> Result<Json, ParseError> {
         self.eat(b'[', "expected [")?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -423,12 +460,20 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| ParseError {
+        let n = text.parse::<f64>().map_err(|_| ParseError {
+            at: start,
+            reason: "bad number",
+        })?;
+        // `"1e999".parse::<f64>()` succeeds as +Inf; JSON has no Inf/NaN
+        // and letting one in would silently degrade to `null` on render
+        // (surfaced by the `proto_fuzz` suite).
+        if !n.is_finite() {
+            return Err(ParseError {
                 at: start,
-                reason: "bad number",
-            })
+                reason: "number out of range",
+            });
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -521,6 +566,39 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // One level under the cap parses; one over errors; pathological
+        // depth (the proto_fuzz regression) must not abort the process.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok(), "depth == MAX_DEPTH parses");
+        for deep in [MAX_DEPTH + 1, 100_000] {
+            let src = "[".repeat(deep);
+            let err = parse(&src).expect_err("too deep");
+            assert_eq!(err.reason, "too deeply nested");
+        }
+        let objs = "{\"k\":".repeat(MAX_DEPTH + 1);
+        assert_eq!(
+            parse(&objs).expect_err("too deep").reason,
+            "too deeply nested"
+        );
+        // Sibling containers do not accumulate depth.
+        let wide = format!("[{}]", vec!["[0]"; 64].join(","));
+        assert!(parse(&wide).is_ok(), "siblings stay shallow");
+    }
+
+    #[test]
+    fn overflow_numbers_are_a_typed_error() {
+        // f64 parsing accepts "1e999" as +Inf; the wire format must not
+        // (proto_fuzz regression — Inf rendered back as null).
+        for bad in ["1e999", "-1e999", "1e309", "123456789e400"] {
+            let err = parse(bad).expect_err(bad);
+            assert_eq!(err.reason, "number out of range", "{bad}");
+        }
+        assert!(parse("1e308").is_ok(), "large finite still parses");
+        assert!(parse("1e-999").is_ok(), "underflow to 0.0 is fine");
     }
 
     #[test]

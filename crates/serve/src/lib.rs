@@ -12,10 +12,17 @@
 //!
 //! * [`json`] — a tiny deterministic JSON value (std-only; sorted keys).
 //! * [`proto`] — the versioned request/response line protocol.
-//! * [`queue`] — admission control + priority scheduling.
+//! * [`queue`] — admission control + priority scheduling (+ the fleet
+//!   [`queue::ShedPolicy`]).
 //! * [`diskcache`] — the persistent warm tier of the eval cache.
 //! * [`server`] — the serving core: workers, batching, deadlines,
 //!   cancellation, graceful shutdown with checkpointed searches.
+//! * [`ring`] — the deterministic consistent-hash ring for the fleet.
+//! * [`router`] — fan-out of client sessions across shard sockets with
+//!   retry/failover of idempotent work and typed load shedding.
+//! * [`fleet`] — shard process supervision: spawn, health probes, hot
+//!   restart, warm-cache snapshot exchange; the `spa-fleet` binary.
+//! * [`testkit`] — condition-polling helpers for the socket suites.
 //!
 //! The `spa-serve` binary (`main.rs`) fronts a [`server::Server`] with a
 //! unix-domain socket (`SERVE_SOCKET`) or, with `--stdio`, a single
@@ -33,15 +40,22 @@
 //! never contribute warm hits). `eval_pu` and `codesign` do.
 
 pub mod diskcache;
+pub mod fleet;
 pub mod json;
 pub mod proto;
 pub mod queue;
+pub mod ring;
+pub mod router;
 pub mod server;
+pub mod testkit;
 
 pub use diskcache::DiskCache;
+pub use fleet::{run_fleet_socket, Fleet, FleetConfig};
 pub use json::Json;
 pub use proto::{Envelope, ProtoError, Request, PROTOCOL_VERSION};
-pub use queue::{Admission, AdmitError};
+pub use queue::{Admission, AdmitError, ShedDecision, ShedPolicy};
+pub use ring::Ring;
+pub use router::{FleetSession, Router, RouterConfig};
 pub use server::{Client, ServeConfig, Server};
 
 use std::io::{BufRead, BufReader, Write};

@@ -13,7 +13,7 @@
 //! request  = { "v":1, "id":N, "req":KIND, ...kind fields...,
 //!              "priority":P?, "deadline_ms":D? }
 //! KIND     = "eval_pu" | "segment" | "codesign" | "status"
-//!          | "metrics" | "cancel" | "shutdown"
+//!          | "metrics" | "cancel" | "flush" | "shutdown"
 //! response = { "id":N, "kind":"done",     "result":{...}, "trace":T? }
 //!          | { "id":N, "kind":"partial",  "reason":R, "completed_gens":G,
 //!              "planned_gens":T, "result":{...}?, "trace":T? }
@@ -106,6 +106,10 @@ pub enum Request {
         /// The id of the request to cancel.
         target: u64,
     },
+    /// Persist the warm cache to disk now (answered inline). The fleet
+    /// router uses this to trigger snapshot exchange deterministically;
+    /// standalone servers answer with the save/entry counts.
+    Flush,
     /// Graceful shutdown: checkpoint in-flight searches, flush the
     /// persistent cache, stop accepting work.
     Shutdown,
@@ -253,6 +257,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, ProtoError> {
         "cancel" => Request::Cancel {
             target: req_u64(&v, "target", Some(id))?,
         },
+        "flush" => Request::Flush,
         "shutdown" => Request::Shutdown,
         other => {
             return Err(ProtoError::new(
@@ -438,6 +443,8 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+        let fl = parse_request(r#"{"v":1,"id":11,"req":"flush"}"#).expect("flush");
+        assert_eq!(fl.request, Request::Flush);
         let neg = parse_request(r#"{"v":1,"id":5,"req":"status","priority":-3}"#).expect("neg prio");
         assert_eq!(neg.priority, -3);
         let me = parse_request(r#"{"v":1,"id":6,"req":"metrics"}"#).expect("metrics");

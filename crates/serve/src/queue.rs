@@ -184,6 +184,55 @@ impl<J> Admission<J> {
     }
 }
 
+/// Priority-aware load-shedding policy for the fleet router.
+///
+/// Two watermarks over the router's global in-flight count: between the
+/// soft and hard caps only background work (priority ≤ 0) is shed, so
+/// interactive requests keep flowing through a congested fleet; at the
+/// hard cap (2× soft) everything is shed. Shedding is typed
+/// (`overloaded`) — the client sees backpressure, never a hang.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedPolicy {
+    /// In-flight count at which priority ≤ 0 work is shed.
+    pub soft: usize,
+    /// In-flight count at which all work is shed.
+    pub hard: usize,
+}
+
+/// The policy's verdict for one admission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedDecision {
+    /// Forward to a shard.
+    Admit,
+    /// Shed: between the watermarks and the request is background work.
+    ShedSoft,
+    /// Shed: the fleet is at the hard cap.
+    ShedHard,
+}
+
+impl ShedPolicy {
+    /// A policy with the given soft cap; the hard cap is 2× (min 1/2).
+    pub fn new(soft: usize) -> ShedPolicy {
+        let soft = soft.max(1);
+        ShedPolicy {
+            soft,
+            hard: soft.saturating_mul(2),
+        }
+    }
+
+    /// Decides admission for a request of `priority` with `inflight`
+    /// requests already accepted and unresolved.
+    pub fn decide(&self, priority: i64, inflight: usize) -> ShedDecision {
+        if inflight >= self.hard {
+            ShedDecision::ShedHard
+        } else if inflight >= self.soft && priority <= 0 {
+            ShedDecision::ShedSoft
+        } else {
+            ShedDecision::Admit
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +292,29 @@ mod tests {
         assert_eq!(q.high_water(), 3, "high water never recedes");
         q.push(0, 4).expect("admit");
         assert_eq!(q.high_water(), 3, "still below the peak");
+    }
+
+    #[test]
+    fn shed_policy_watermarks() {
+        let p = ShedPolicy::new(4);
+        assert_eq!(p.hard, 8);
+        // Below soft: everything admits.
+        assert_eq!(p.decide(0, 3), ShedDecision::Admit);
+        assert_eq!(p.decide(-5, 0), ShedDecision::Admit);
+        // Between soft and hard: only positive priority admits.
+        assert_eq!(p.decide(0, 4), ShedDecision::ShedSoft);
+        assert_eq!(p.decide(-1, 7), ShedDecision::ShedSoft);
+        assert_eq!(p.decide(1, 4), ShedDecision::Admit);
+        assert_eq!(p.decide(3, 7), ShedDecision::Admit);
+        // At or past hard: nothing admits.
+        assert_eq!(p.decide(9, 8), ShedDecision::ShedHard);
+        assert_eq!(p.decide(0, 100), ShedDecision::ShedHard);
+        // Degenerate soft cap clamps to 1.
+        let tiny = ShedPolicy::new(0);
+        assert_eq!((tiny.soft, tiny.hard), (1, 2));
+        assert_eq!(tiny.decide(0, 0), ShedDecision::Admit);
+        assert_eq!(tiny.decide(0, 1), ShedDecision::ShedSoft);
+        assert_eq!(tiny.decide(5, 2), ShedDecision::ShedHard);
     }
 
     #[test]

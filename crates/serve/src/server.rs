@@ -189,6 +189,7 @@ fn verb_name(r: &Request) -> &'static str {
         Request::Status => "status",
         Request::Metrics { .. } => "metrics",
         Request::Cancel { .. } => "cancel",
+        Request::Flush => "flush",
         Request::Shutdown => "shutdown",
     }
 }
@@ -416,6 +417,27 @@ impl Client {
                 ));
                 self.inner.m.completed.fetch_add(1, Ordering::Relaxed);
                 self.inner.tel.verb("cancel", t0.elapsed());
+            }
+            Request::Flush => {
+                flush_disk(&self.inner);
+                let (enabled, saves) = {
+                    let disk = lock(&self.inner.disk);
+                    match disk.as_ref() {
+                        Some(d) => (true, d.saves()),
+                        None => (false, 0),
+                    }
+                };
+                let _ = self.tx.send(done_line(
+                    env.id,
+                    obj(vec![
+                        ("flushed", Json::from(enabled)),
+                        ("saves", Json::from(saves)),
+                        ("entries", Json::from(self.inner.cache.stats().entries)),
+                    ]),
+                    trace,
+                ));
+                self.inner.m.completed.fetch_add(1, Ordering::Relaxed);
+                self.inner.tel.verb("flush", t0.elapsed());
             }
             Request::Shutdown => {
                 shutdown_inner(&self.inner);

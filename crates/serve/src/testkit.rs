@@ -1,0 +1,68 @@
+//! Condition-polling helpers for the integration suites.
+//!
+//! The socket tests used to wait on fixed sleeps and hardcoded receive
+//! deadlines — the classic flake recipe on loaded CI hosts. These
+//! helpers poll a condition with a short tick under one env-tunable
+//! budget, `SERVE_TEST_TIMEOUT_MS` (default 30 000): slow machines turn
+//! it up, fast suites never wait longer than the condition takes.
+
+use std::time::{Duration, Instant};
+
+/// Default overall budget when `SERVE_TEST_TIMEOUT_MS` is unset.
+pub const DEFAULT_TIMEOUT_MS: u64 = 30_000;
+
+/// Poll tick between condition checks.
+const TICK: Duration = Duration::from_millis(5);
+
+/// The test-suite wait budget: `SERVE_TEST_TIMEOUT_MS` or the default.
+pub fn test_timeout() -> Duration {
+    let ms = std::env::var("SERVE_TEST_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TIMEOUT_MS);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Polls `cond` every few ms until it returns true or the
+/// [`test_timeout`] budget elapses. Returns whether it became true.
+pub fn wait_until(mut cond: impl FnMut() -> bool) -> bool {
+    wait_until_for(test_timeout(), &mut cond)
+}
+
+/// [`wait_until`] with an explicit budget.
+pub fn wait_until_for(budget: Duration, cond: &mut dyn FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + budget;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::yield_now();
+        std::thread::sleep(TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_until_observes_flips_and_timeouts() {
+        let mut n = 0;
+        assert!(wait_until_for(Duration::from_secs(5), &mut || {
+            n += 1;
+            n >= 3
+        }));
+        assert!(!wait_until_for(Duration::from_millis(20), &mut || false));
+        assert!(wait_until(|| true), "immediate condition");
+    }
+
+    #[test]
+    fn timeout_env_parses_with_default() {
+        // Do not mutate the env (tests run threaded); just check the
+        // default path yields a sane budget.
+        assert!(test_timeout() >= Duration::from_millis(1));
+    }
+}

@@ -21,6 +21,7 @@
 //!   input is idle — the two hangs fixed after review.
 
 use serve::json::Json;
+use serve::testkit::{test_timeout, wait_until};
 use serve::{ServeConfig, Server};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -61,11 +62,18 @@ fn codesign_line(id: u64, method: &str, hw_iters: usize, seg_iters: usize, extra
 /// channel interleaves responses of concurrently outstanding requests,
 /// so waiting for several ids must collect, not filter.
 fn collect_terminals(client: &serve::Client, ids: &[u64]) -> std::collections::BTreeMap<u64, Json> {
+    // One SERVE_TEST_TIMEOUT_MS budget covers the whole collection, with
+    // short receive ticks — no per-line hardcoded deadline to flake on.
+    let deadline = std::time::Instant::now() + test_timeout();
     let mut out = std::collections::BTreeMap::new();
     while out.len() < ids.len() {
-        let Some(line) = client.recv_timeout(Duration::from_secs(30)) else {
-            panic!("timed out; missing terminal responses for {ids:?} (have {:?})",
-                   out.keys().collect::<Vec<_>>());
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out; missing terminal responses for {ids:?} (have {:?})",
+            out.keys().collect::<Vec<_>>()
+        );
+        let Some(line) = client.recv_timeout(Duration::from_millis(100)) else {
+            continue;
         };
         let v = serve::json::parse(&line).expect("response line is JSON");
         let id = v.get("id").and_then(Json::as_u64).expect("response id");
@@ -258,7 +266,7 @@ fn interrupted_codesign_resumes_bit_identical_after_restart() {
         let mut terminal = None;
         loop {
             let line = client
-                .recv_timeout(Duration::from_secs(30))
+                .recv_timeout(test_timeout())
                 .expect("response while waiting for pickup");
             let v = serve::json::parse(&line).expect("json");
             match v.get("kind").and_then(Json::as_str) {
@@ -368,15 +376,11 @@ fn outstanding_drains_to_zero_after_fast_evals() {
         assert_eq!(v.get("kind").and_then(Json::as_str), Some("done"), "{v:?}");
     }
     // Cleanup runs after the response is sent, so poll briefly.
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while client.outstanding() > 0 {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "outstanding stuck at {} after every response arrived",
-            client.outstanding()
-        );
-        std::thread::yield_now();
-    }
+    assert!(
+        wait_until(|| client.outstanding() == 0),
+        "outstanding stuck at {} after every response arrived",
+        client.outstanding()
+    );
     server.shutdown();
     server.join();
 }
@@ -448,22 +452,15 @@ fn stdio_session_answers_before_the_next_input_line() {
     };
     tx.send(b"{\"v\":1,\"id\":1,\"req\":\"status\"}\n".to_vec())
         .expect("feed request");
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    loop {
-        let responded = out
-            .lock()
-            .expect("out lock")
-            .split(|&b| b == b'\n')
-            .any(|l| !l.is_empty());
-        if responded {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "no response arrived while the input was idle"
-        );
-        std::thread::sleep(Duration::from_millis(5));
-    }
+    assert!(
+        wait_until(|| {
+            out.lock()
+                .expect("out lock")
+                .split(|&b| b == b'\n')
+                .any(|l| !l.is_empty())
+        }),
+        "no response arrived while the input was idle"
+    );
     tx.send(b"{\"v\":1,\"id\":2,\"req\":\"shutdown\"}\n".to_vec())
         .expect("feed shutdown");
     drop(tx);
@@ -510,7 +507,7 @@ fn metrics_verb_reports_telemetry_with_stable_rendering() {
     // parsed tree reproduces the line byte for byte.
     client.submit(r#"{"v":1,"id":2,"req":"metrics","flight":true}"#);
     let line = loop {
-        let l = client.recv_timeout(Duration::from_secs(10)).expect("metrics reply");
+        let l = client.recv_timeout(test_timeout()).expect("metrics reply");
         let v = serve::json::parse(&l).expect("json");
         if v.get("id").and_then(Json::as_u64) == Some(2) {
             break l;

@@ -61,6 +61,9 @@ done
 CARGO_MANIFEST_DIR=$R/crates/serve rustc $E --crate-type bin --crate-name spa_serve $R/crates/serve/src/main.rs \
   $X_ALL --extern serve=libserve.rlib \
   -o "$L/bin_spa_serve" -A dead_code 2> /tmp/err_spa_serve.txt && echo "ok   bin/spa-serve" || { echo "FAIL bin/spa-serve"; head -30 /tmp/err_spa_serve.txt; fail=1; }
+CARGO_MANIFEST_DIR=$R/crates/serve rustc $E --crate-type bin --crate-name spa_fleet $R/crates/serve/src/bin/spa-fleet.rs \
+  $X_ALL --extern serve=libserve.rlib \
+  -o "$L/bin_spa_fleet" -A dead_code 2> /tmp/err_spa_fleet.txt && echo "ok   bin/spa-fleet" || { echo "FAIL bin/spa-fleet"; head -30 /tmp/err_spa_fleet.txt; fail=1; }
 # lint crate + binary
 build lint $R/crates/lint/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib
 CARGO_MANIFEST_DIR=$R/crates/lint rustc $E --crate-type bin --crate-name lint $R/crates/lint/src/main.rs \

@@ -2,8 +2,9 @@
 # Registry-free test runner: compiles and executes every crate's unit
 # tests (lib `#[cfg(test)]`) plus the non-proptest integration suites
 # against the rlibs produced by scripts/offline_check.sh (run that
-# first). Property-based suites (`*_prop.rs`) need the real proptest
-# crate and only run under `cargo test`.
+# first). Property-based suites that depend on the real proptest crate
+# only run under `cargo test`; the hand-rolled seeded ones (ring_prop,
+# route_prop) run here too.
 #
 # Prints one PASS/FAIL/COMPILE-FAIL line per suite; exits non-zero if
 # anything failed.
@@ -54,6 +55,11 @@ t obs-equiv  $R/crates/autoseg/tests/obs_equiv.rs --extern autoseg=libautoseg.rl
 t resume-equiv $R/crates/autoseg/tests/resume_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t fault-matrix $R/crates/autoseg/tests/fault_matrix.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t serve-integration $R/crates/serve/tests/serve_integration.rs --extern serve=libserve.rlib $X_ALL
+t proto-fuzz $R/crates/serve/tests/proto_fuzz.rs --extern serve=libserve.rlib $X_ALL
+t ring-prop $R/crates/serve/tests/ring_prop.rs --extern serve=libserve.rlib $X_ALL
+# The fleet chaos suite boots real shard processes; point it at the
+# spa-serve binary offline_check.sh built.
+SPA_SERVE_BIN=$L/bin_spa_serve t fleet-integration $R/crates/serve/tests/fleet_integration.rs --extern serve=libserve.rlib $X_ALL
 t mip-diff $R/crates/mip/tests/diff_bruteforce.rs --extern mip=libmip.rlib --extern obs=libobs.rlib
 t benes-route $R/crates/benes/tests/route_prop.rs --extern benes=libbenes.rlib
 t sim-cross $R/crates/spa-sim/tests/model_cross.rs $X_SERDE --extern spa_sim=libspa_sim.rlib --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern autoseg=libautoseg.rlib --extern obs=libobs.rlib

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Flake hunter for the socket-service suites: reruns the serve and fleet
+# integration tests in a loop until one fails or the iteration budget is
+# exhausted. The suites poll real processes over unix sockets, so any
+# timing assumption that only holds on a fast machine shows up here long
+# before it shows up in CI.
+#
+# Usage: scripts/stress_loop.sh [iterations] [-- extra test args]
+#   iterations          loop count (default 10)
+#   SERVE_TEST_TIMEOUT_MS  per-wait budget handed to the suites
+#                          (default 30000; lower it to tighten the screws)
+#   OFFLINE_RLIB_DIR    where offline_check.sh put the rlibs (default /tmp/rlibs)
+#
+# Prefers the prebuilt offline test binaries (t_serve_integration,
+# t_fleet_integration next to bin_spa_serve); falls back to `cargo test`
+# when they are missing.
+set -uo pipefail
+R="$(cd "$(dirname "$0")/.." && pwd)"
+L="${OFFLINE_RLIB_DIR:-/tmp/rlibs}"
+N="${1:-10}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+run_offline() { # run_offline <iter>
+  local i=$1 rc=0
+  for t in t_serve_integration t_fleet_integration; do
+    SPA_SERVE_BIN="$L/bin_spa_serve" "$L/$t" --test-threads=4 "$@" \
+      > "/tmp/stress_${t}.txt" 2>&1
+    rc=$?
+    if [ $rc -ne 0 ]; then
+      echo "FAIL iteration $i: $t (exit $rc)"
+      tail -40 "/tmp/stress_${t}.txt"
+      return 1
+    fi
+  done
+}
+
+run_cargo() { # run_cargo <iter>
+  local i=$1
+  if ! cargo test -q --offline -p serve --test serve_integration \
+         --test fleet_integration -- "$@" > /tmp/stress_cargo.txt 2>&1; then
+    echo "FAIL iteration $i (cargo test)"
+    tail -40 /tmp/stress_cargo.txt
+    return 1
+  fi
+}
+
+mode=cargo
+if [ -x "$L/t_serve_integration" ] && [ -x "$L/t_fleet_integration" ] \
+   && [ -x "$L/bin_spa_serve" ]; then
+  mode=offline
+fi
+echo "stress_loop: $N iterations of serve_integration + fleet_integration ($mode runner)"
+for i in $(seq 1 "$N"); do
+  if [ "$mode" = offline ]; then
+    run_offline "$i" "$@" || exit 1
+  else
+    run_cargo "$i" "$@" || exit 1
+  fi
+  echo "PASS iteration $i/$N"
+done
+echo "stress_loop: OK ($N clean iterations)"

@@ -238,9 +238,150 @@ if qw.get("count", 0) <= 0 or "p99" not in qw:
 verbs = (doc.get("server_metrics") or {}).get("verbs") or {}
 if verbs.get("eval_pu", {}).get("count", 0) <= 0:
     sys.exit("verify: server metrics missing the eval_pu verb histogram")
+
+# Fleet block: every shard must have carried real load in every phase,
+# tail quantiles must be present, the restarted shard must have warmed
+# from its peers' snapshots, and the overload burst must have shed.
+fleet = doc.get("fleet")
+if not fleet:
+    sys.exit("verify: BENCH_serve.json has no fleet block")
+shards = fleet.get("shards", 0)
+for name in ("cold", "warm", "restart"):
+    ph = (fleet.get("phases") or {}).get(name) or {}
+    if ph.get("throughput_rps", 0) <= 0:
+        sys.exit(f"verify: fleet phase {name} has no throughput")
+    for key in ("p99_us", "p999_us"):
+        if key not in ph:
+            sys.exit(f"verify: fleet phase {name} missing {key}")
+    rps = ph.get("per_shard_rps") or []
+    if len(rps) != shards or any(r <= 0 for r in rps):
+        sys.exit(f"verify: fleet phase {name} per-shard throughput not "
+                 f"all non-zero across {shards} shards: {rps}")
+restart = fleet.get("restart") or {}
+if restart.get("warm_hit_rate", 0) <= 0:
+    sys.exit(f"verify: restarted shard never warmed from snapshots: {restart}")
+overload = fleet.get("overload") or {}
+if overload.get("shed_rate", 0) <= 0 or overload.get("served", 0) <= 0:
+    sys.exit(f"verify: overload burst did not shed (or served nothing): {overload}")
 print(f"   bench_serve OK: warm p99 {phases['warm']['p99_us']} us, "
-      f"overhead {ratio:.3f}x, queue-wait p99 {qw['p99']} us")
+      f"overhead {ratio:.3f}x, queue-wait p99 {qw['p99']} us, "
+      f"fleet warm-hit {restart['warm_hit_rate']}, "
+      f"shed {overload['shed_rate']:.2f}")
 EOF
+
+echo "== spa-fleet: 3-shard smoke (kill one mid-codesign, digest-identical resume) =="
+FLEET_TMP="$(mktemp -d)"
+python3 - target/release/spa-fleet target/release/spa-serve "$FLEET_TMP" <<'EOF'
+import json, os, signal, socket, subprocess, sys, time
+
+fleet_bin, serve_bin, tmp = sys.argv[1], sys.argv[2], sys.argv[3]
+CODESIGN = {"v": 1, "id": 1, "req": "codesign", "model": "alexnet",
+            "budget": "eyeriss", "method": "mip-baye",
+            "hw_iters": 4000, "seg_iters": 48, "seed": 3}
+
+# Reference digest: the identical codesign on a plain single-shard
+# spa-serve with a cold cache. The engine is deterministic, so the
+# fleet's kill-and-resume run must land on this exact digest.
+env = dict(os.environ)
+env.pop("FAULT_PLAN", None)
+env.pop("SERVE_SOCKET", None)
+env["SERVE_CACHE_DIR"] = os.path.join(tmp, "ref-cache")
+p = subprocess.Popen([serve_bin, "--stdio"], stdin=subprocess.PIPE,
+                     stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                     text=True, env=env)
+p.stdin.write(json.dumps(CODESIGN) + "\n")
+p.stdin.flush()
+reference = None
+for line in p.stdout:
+    doc = json.loads(line)
+    if doc.get("id") == 1 and doc.get("kind") != "progress":
+        if doc.get("kind") != "done":
+            sys.exit(f"verify: reference codesign did not finish: {doc}")
+        reference = doc.get("result", {}).get("digest")
+        break
+p.communicate(input=json.dumps({"v": 1, "id": 2, "req": "shutdown"}) + "\n",
+              timeout=120)
+if not reference:
+    sys.exit("verify: reference codesign produced no digest")
+
+# Boot a 3-shard fleet on a fresh directory.
+sock_path = os.path.join(tmp, "fleet.sock")
+env = dict(os.environ)
+env.pop("FAULT_PLAN", None)
+env["FLEET_PROBE_MS"] = "25"
+fleet = subprocess.Popen([fleet_bin, "--socket", sock_path,
+                          "--dir", os.path.join(tmp, "fleet"),
+                          "--shards", "3"],
+                         stderr=subprocess.PIPE, text=True, env=env)
+deadline = time.time() + 60
+while not os.path.exists(sock_path):
+    if fleet.poll() is not None or time.time() > deadline:
+        sys.exit("verify: spa-fleet never opened its socket")
+    time.sleep(0.05)
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+s.settimeout(120)
+rd = s.makefile("r")
+
+def send(doc):
+    s.sendall((json.dumps(doc) + "\n").encode())
+
+# Kick off the codesign, find its owner shard from the first progress
+# line, look up that shard's pid via the router-local status verb, and
+# SIGTERM it mid-run.
+send(CODESIGN)
+owner = None
+killed = False
+terminal = None
+for line in rd:
+    doc = json.loads(line)
+    if doc.get("id") == 1 and doc.get("kind") == "progress" and not killed:
+        owner = doc.get("shard")
+        send({"v": 1, "id": 90, "req": "status"})
+    elif doc.get("id") == 90:
+        pid = next(sh["pid"] for sh in doc["result"]["shards"]
+                   if sh["idx"] == owner)
+        os.kill(pid, signal.SIGTERM)
+        killed = True
+    elif doc.get("id") == 1 and doc.get("kind") != "progress":
+        terminal = doc
+        break
+if terminal.get("kind") != "done":
+    sys.exit(f"verify: fleet codesign lost across the kill: {terminal}")
+if not killed:
+    # Legal race on a very fast machine: the codesign finished before a
+    # progress line arrived. The digest check below still stands.
+    print("   (owner finished before the kill landed; digest check only)")
+got = terminal.get("result", {}).get("digest")
+if got != reference:
+    sys.exit(f"verify: resumed codesign digest {got} != reference {reference}")
+
+# The supervisor must have respawned the killed shard.
+if killed:
+    send({"v": 1, "id": 91, "req": "status"})
+    for line in rd:
+        doc = json.loads(line)
+        if doc.get("id") == 91:
+            info = next(sh for sh in doc["result"]["shards"]
+                        if sh["idx"] == owner)
+            if info.get("restarts", 0) < 1:
+                sys.exit(f"verify: killed shard was never respawned: {info}")
+            break
+
+send({"v": 1, "id": 99, "req": "shutdown"})
+try:
+    fleet.wait(timeout=60)
+except subprocess.TimeoutExpired:
+    fleet.terminate()
+    sys.exit("verify: spa-fleet did not stop on shutdown")
+suffix = "killed mid-run and resumed" if killed else "undisturbed (fast finish)"
+print(f"   spa-fleet smoke OK: digest {got} matches reference, owner shard {suffix}")
+EOF
+rm -rf "$FLEET_TMP"
+# The fleet stage spawns and kills processes holding the same locks the
+# analyzer models; the lock-order artifact must still be acyclic.
+grep -q "cycles: none" results/LOCKS.txt
 
 echo "== golden results: regenerated CSVs vs results/*.csv =="
 # The harness strips DSE_SMOKE etc. from the binaries it spawns, so the
