@@ -215,6 +215,26 @@ impl Default for DsePool {
     }
 }
 
+/// The MILP engine's wave-parallel branch & bound fans its node
+/// relaxations out on the same pool the DSE sweeps use: `par_map` already
+/// provides the exact contract [`mip::NodePool`] demands (call per index,
+/// results in index order, scheduling invisible to the closure), so the
+/// solver inherits the pool's determinism and fault-recovery story.
+impl mip::NodePool for DsePool {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn run(
+        &self,
+        tasks: usize,
+        eval: &(dyn Fn(usize) -> mip::WaveEval + Sync),
+    ) -> Vec<mip::WaveEval> {
+        let idx: Vec<usize> = (0..tasks).collect();
+        self.par_map(&idx, |_, &i| eval(i))
+    }
+}
+
 /// Derives a per-candidate RNG seed from a base seed and a candidate
 /// index (SplitMix64 finalizer). Seeds for distinct indices are
 /// decorrelated, and the mapping depends only on `(base, index)` — never

@@ -41,6 +41,9 @@ pub struct MipSegmenter {
     pub max_nodes: u64,
     /// Problem-size ceiling before falling back to the chain DP.
     pub max_binaries: usize,
+    /// Pool the solver's node-relaxation waves fan out on (serial by
+    /// default; any width yields bit-identical answers).
+    pub pool: crate::dse::DsePool,
 }
 
 impl MipSegmenter {
@@ -54,7 +57,14 @@ impl MipSegmenter {
             time_limit: Duration::from_secs(20),
             max_nodes: 50_000,
             max_binaries: Self::DEFAULT_MAX_BINARIES,
+            pool: crate::dse::DsePool::serial(),
         }
+    }
+
+    /// Sets the node pool the MILP's branch & bound waves run on.
+    pub fn with_pool(mut self, pool: crate::dse::DsePool) -> Self {
+        self.pool = pool;
+        self
     }
 }
 
@@ -327,7 +337,7 @@ impl MipSegmenter {
             .time_limit(self.time_limit)
             .max_nodes(self.max_nodes)
             .warm_start(seed)
-            .solve(&p)
+            .solve_with_pool(&p, &self.pool)
             .ok()?;
         if !sol.has_solution() {
             return None;

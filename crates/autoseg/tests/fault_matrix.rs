@@ -18,6 +18,9 @@
 //! * `trace.dump`  — a flight-recorder dump is torn mid-write; it
 //!   degrades typed (`false` + `sink_errors` counted), never a panic,
 //!   and the recorder keeps capturing.
+//! * `mip.node`    — a branch-and-bound worker dies mid-wave inside the
+//!   MILP engine; the lost node re-evaluates inline in fixed task order,
+//!   so the incumbent stays bit-identical at any thread count.
 //!
 //! Fault plans and the `obs` level are process-global, so every test
 //! holds [`faultsim::exclusive`] for its whole body.
@@ -73,6 +76,75 @@ fn worker_death_at_every_index_recovers_bit_identically() {
     let report = obs::snapshot();
     assert!(report.counter("fault.injected").unwrap_or(0) > 0);
     assert!(report.counter("fault.recovered").unwrap_or(0) > 0);
+    obs::set_level(obs::Level::Off);
+}
+
+/// A 10-item knapsack whose LP relaxation is fractional at the root, so
+/// the engine must branch through several waves of node tasks — enough
+/// arrivals for both an index-scripted and an always-on `mip.node` plan.
+fn branching_milp() -> mip::Problem {
+    let mut p = mip::Problem::new(mip::Sense::Maximize);
+    let values = [9.0, 7.0, 8.0, 3.0, 5.0, 11.0, 4.0, 6.0, 10.0, 2.0];
+    let weights = [5.0, 4.0, 5.0, 2.0, 3.0, 7.0, 3.0, 4.0, 6.0, 1.0];
+    let mut obj = mip::LinExpr::new();
+    let mut load = mip::LinExpr::new();
+    for (i, (&v, &w)) in values.iter().zip(&weights).enumerate() {
+        let x = p.add_binary(format!("x{i}"));
+        obj.add_term(x, v);
+        load.add_term(x, w);
+    }
+    p.set_objective(obj);
+    p.add_constraint(load, mip::Cmp::Le, 17.0);
+    p
+}
+
+#[test]
+fn mip_node_death_mid_branch_and_bound_recovers_bit_identically() {
+    let _x = faultsim::exclusive();
+    obs::set_sink_memory();
+    obs::set_level(obs::Level::Summary);
+    obs::reset();
+    let p = branching_milp();
+    // Presolve off so the engine genuinely branches instead of fixing.
+    let solver = mip::Solver::new().presolve(false);
+    for threads in [1usize, 4] {
+        let pool = autoseg::dse::DsePool::new(threads);
+        let clean = solver.solve_with_pool(&p, &pool).expect("valid problem");
+        assert_eq!(clean.status, mip::SolveStatus::Optimal);
+        assert!(clean.nodes > 3, "instance too easy to exercise waves");
+        for plan in ["mip.node#2", "mip.node@*"] {
+            faultsim::arm(plan).expect("plan parses");
+            let faulted = solver.solve_with_pool(&p, &pool).expect("valid problem");
+            let injected = faultsim::injected_count();
+            faultsim::disarm();
+            assert!(
+                injected >= 1,
+                "plan {plan} never fired at {threads} threads"
+            );
+            assert_eq!(faulted.status, clean.status, "plan {plan}, {threads} threads");
+            assert_eq!(
+                faulted.objective.to_bits(),
+                clean.objective.to_bits(),
+                "plan {plan}, {threads} threads: objective drifted"
+            );
+            assert_eq!(
+                faulted.values(),
+                clean.values(),
+                "plan {plan}, {threads} threads: incumbent drifted"
+            );
+            assert_eq!(
+                faulted.nodes, clean.nodes,
+                "plan {plan}, {threads} threads: node count drifted"
+            );
+        }
+    }
+    let report = obs::snapshot();
+    assert!(report.counter("fault.injected").unwrap_or(0) > 0);
+    assert!(
+        report.counter("fault.recovered").unwrap_or(0)
+            >= report.counter("fault.injected").unwrap_or(0),
+        "every injected node death must be recovered"
+    );
     obs::set_level(obs::Level::Off);
 }
 

@@ -361,6 +361,207 @@ fn eval_microbench() -> (String, String) {
     (throughput_json.trim_end().to_string(), curve_json)
 }
 
+/// Seeded MILP set for the engine benchmark: branch-heavy tie-free
+/// knapsacks (the objective fingerprint `base*4096 + 2^i` makes every
+/// optimum unique, so all engine configurations must land on the same
+/// bits) plus rounding instances where presolve provably removes all
+/// branching by tightening integer bounds across odd right-hand sides.
+fn milp_instances() -> Vec<mip::Problem> {
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, bound: u64) -> usize {
+            usize::try_from(self.next() % bound).expect("small bound")
+        }
+    }
+    let mut rng = Rng(0x3117_b3ac_0001);
+    let mut set = Vec::with_capacity(20);
+    for _ in 0..12 {
+        let n = 8 + rng.below(5); // 8..=12 binaries
+        let mut p = mip::Problem::new(mip::Sense::Maximize);
+        let mut obj = mip::LinExpr::new();
+        let mut load = mip::LinExpr::new();
+        let mut total = 0usize;
+        for i in 0..n {
+            let x = p.add_binary(format!("x{i}"));
+            let base = f64_of_usize(1 + rng.below(9));
+            let fingerprint = f64::from(1u32 << u32::try_from(i).expect("i ≤ 11"));
+            obj.add_term(x, base * 4096.0 + fingerprint);
+            let w = 1 + rng.below(7);
+            total += w;
+            load.add_term(x, f64_of_usize(w));
+        }
+        p.set_objective(obj);
+        p.add_constraint(load, mip::Cmp::Le, f64_of_usize(total / 2));
+        set.push(p);
+    }
+    for k in 0..8 {
+        // maximize Σ x_i with rows `2 x_i <= 2k+1`: the LP optimum sits at
+        // the fractional (2k+1)/2 until either branching (cold) or integer
+        // bound rounding (presolve) resolves it.
+        let mut p = mip::Problem::new(mip::Sense::Maximize);
+        let mut obj = mip::LinExpr::new();
+        for i in 0..4usize {
+            let x = p.add_integer(format!("y{i}"), 0.0, 50.0);
+            obj.add_term(x, f64_of_usize(1 + i));
+            p.add_constraint(
+                mip::LinExpr::terms(&[(x, 2.0)]),
+                mip::Cmp::Le,
+                f64_of_usize(2 * (k + i) + 1),
+            );
+        }
+        p.set_objective(obj);
+        set.push(p);
+    }
+    set
+}
+
+/// MILP engine benchmark: the pinned instance set solved by four engine
+/// configurations (cold serial reference, presolve only, presolve+warm
+/// starts, and the parallel 2-thread pipeline). Every configuration must
+/// reproduce the cold reference bit for bit before its numbers count;
+/// the JSON block carries per-config node/pivot aggregates, the presolve
+/// reduction counters, the warm-start hit rate and a log2 microsecond
+/// histogram of solve times (the histogram is timing, everything else is
+/// deterministic).
+fn milp_bench() -> String {
+    let set = milp_instances();
+    let configs: [(&str, mip::Solver); 4] = [
+        ("cold", mip::Solver::new().presolve(false).warm_lp(false).threads(1)),
+        ("presolved", mip::Solver::new().presolve(true).warm_lp(false).threads(1)),
+        ("warm", mip::Solver::new().presolve(true).warm_lp(true).threads(1)),
+        ("parallel2", mip::Solver::new().presolve(true).warm_lp(true).threads(2)),
+    ];
+    #[derive(Default)]
+    struct Agg {
+        nodes: u64,
+        lp_solves: u64,
+        pivots: u64,
+        warm_hits: u64,
+        warm_rejects: u64,
+        vars_fixed: u64,
+        rows_dropped: u64,
+        bounds_tightened: u64,
+        coef_reductions: u64,
+        hist: [u64; 16],
+        secs: f64,
+    }
+    let mut reference: Vec<mip::Solution> = Vec::with_capacity(set.len());
+    let mut aggs: Vec<Agg> = Vec::new();
+    for (name, solver) in &configs {
+        let mut agg = Agg::default();
+        let t0 = Instant::now();
+        for (i, p) in set.iter().enumerate() {
+            let s0 = Instant::now();
+            let sol = solver.solve(p).unwrap_or_else(|e| panic!("milp[{i}] {name}: {e}"));
+            let us = u64::try_from(s0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let bucket = usize::try_from(us.max(1).ilog2()).expect("ilog2 < 64").min(15);
+            agg.hist[bucket] += 1;
+            assert_eq!(sol.status, mip::SolveStatus::Optimal, "milp[{i}] {name}");
+            if let Some(base) = reference.get(i) {
+                assert_eq!(
+                    sol.objective.to_bits(),
+                    base.objective.to_bits(),
+                    "milp[{i}] {name}: objective diverged from the cold reference"
+                );
+                assert_eq!(
+                    sol.values(),
+                    base.values(),
+                    "milp[{i}] {name}: incumbent diverged from the cold reference"
+                );
+            }
+            agg.nodes += sol.stats.nodes;
+            agg.lp_solves += sol.stats.lp_solves;
+            agg.pivots += sol.stats.pivots;
+            agg.warm_hits += sol.stats.warm_hits;
+            agg.warm_rejects += sol.stats.warm_rejects;
+            agg.vars_fixed += sol.stats.presolve.vars_fixed;
+            agg.rows_dropped += sol.stats.presolve.rows_dropped;
+            agg.bounds_tightened += sol.stats.presolve.bounds_tightened;
+            agg.coef_reductions += sol.stats.presolve.coef_reductions;
+            if reference.len() == i {
+                reference.push(sol);
+            }
+        }
+        agg.secs = t0.elapsed().as_secs_f64();
+        aggs.push(agg);
+    }
+    let cold_nodes = aggs[0].nodes;
+    let presolved_nodes = aggs[1].nodes;
+    let warm_attempts = aggs[2].warm_hits + aggs[2].warm_rejects;
+    let warm_hit_rate = if warm_attempts == 0 {
+        0.0
+    } else {
+        f64_of_usize(usize::try_from(aggs[2].warm_hits).expect("small"))
+            / f64_of_usize(usize::try_from(warm_attempts).expect("small"))
+    };
+    println!("== MILP engine benchmark ({} instances) ==", set.len());
+    for ((name, _), agg) in configs.iter().zip(&aggs) {
+        println!(
+            "   {name:>9}: {:>5} nodes, {:>5} LP solves, {:>6} pivots, {:.3} s",
+            agg.nodes, agg.lp_solves, agg.pivots, agg.secs
+        );
+    }
+    println!(
+        "   presolve: {} nodes -> {} nodes, {} vars fixed, {} rows dropped, {} bounds tightened, {} coefs reduced",
+        cold_nodes,
+        presolved_nodes,
+        aggs[1].vars_fixed,
+        aggs[1].rows_dropped,
+        aggs[1].bounds_tightened,
+        aggs[1].coef_reductions
+    );
+    println!(
+        "   warm starts: {} hits / {} attempts ({:.1}% hit rate)",
+        aggs[2].warm_hits,
+        warm_attempts,
+        warm_hit_rate * 100.0
+    );
+    let config_json = configs
+        .iter()
+        .zip(&aggs)
+        .map(|((name, _), agg)| {
+            let hist = agg
+                .hist
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "\"{name}\": {{\"nodes\": {}, \"lp_solves\": {}, \"pivots\": {}, \
+                 \"warm_hits\": {}, \"warm_rejects\": {}, \"secs\": {:.6}, \
+                 \"solve_us_hist\": [{hist}]}}",
+                agg.nodes, agg.lp_solves, agg.pivots, agg.warm_hits, agg.warm_rejects, agg.secs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let presolve_json = JsonObj::new()
+        .raw("vars_fixed", aggs[1].vars_fixed.to_string())
+        .raw("rows_dropped", aggs[1].rows_dropped.to_string())
+        .raw("bounds_tightened", aggs[1].bounds_tightened.to_string())
+        .raw("coef_reductions", aggs[1].coef_reductions.to_string())
+        .raw("node_reduction", (cold_nodes - presolved_nodes.min(cold_nodes)).to_string())
+        .render();
+    JsonObj::new()
+        .raw("instances", set.len().to_string())
+        .raw("configs", format!("{{{config_json}}}"))
+        .raw("presolve", presolve_json.trim_end())
+        .raw("cold_nodes", cold_nodes.to_string())
+        .raw("presolved_nodes", presolved_nodes.to_string())
+        .raw("warm_hit_rate", format!("{warm_hit_rate:.4}"))
+        .raw("deterministic", "true".to_string())
+        .render()
+        .trim_end()
+        .to_string()
+}
+
 fn main() {
     // Scripted fault injection (the verify.sh robustness smoke): a
     // malformed plan aborts before any work, a valid one arms the fault
@@ -388,6 +589,7 @@ fn main() {
     let anytime = Anytime::from_flags();
 
     let (eval_throughput_json, speedup_curve_json) = eval_microbench();
+    let milp_json = milp_bench();
 
     println!("== DSE executor benchmark ==");
     println!(
@@ -472,6 +674,7 @@ fn main() {
         .raw("speedup", format!("{speedup:.3}"))
         .raw("eval_throughput", &eval_throughput_json)
         .raw("speedup_curve", &speedup_curve_json)
+        .raw("milp", &milp_json)
         .raw("deterministic", deterministic.to_string())
         .str("status", if complete { "complete" } else { "partial" })
         .raw("faults_armed", faults_armed.to_string())

@@ -225,6 +225,10 @@ const JSON_SHAPE_SKIP: &[&str] = &["server_metrics.flight"];
 /// so enumerating full paths would just restate this list nine times.
 const JSON_VALUE_SKIP_LEAVES: &[&str] = &[
     "seconds",
+    // MILP engine benchmark: per-config wall time and the log2 solve-time
+    // histogram. Node/pivot/warm-hit aggregates stay value-compared.
+    "secs",
+    "solve_us_hist",
     "throughput_rps",
     "p50_us",
     "p90_us",

@@ -1,13 +1,62 @@
 //! Best-first branch & bound over the LP relaxation.
+//!
+//! # Engine shape
+//!
+//! The solve runs in three layers:
+//!
+//! 1. **Presolve** ([`crate::presolve`]) shrinks the problem (bound
+//!    tightening, variable fixing, row elimination, coefficient
+//!    reduction) and may prove infeasibility or fix every variable
+//!    outright — in either case no simplex runs at all. Incumbents found
+//!    on the reduced problem are mapped back through the postsolve map
+//!    and re-priced against the *original* objective, so the reported
+//!    objective is bit-identical with presolve on or off.
+//! 2. **Relaxations**: each node's LP is solved either cold
+//!    ([`crate::simplex::solve_lp`]) or warm from its parent's basis
+//!    ([`crate::warmstart::solve_lp_warm`]), falling back to cold on any
+//!    typed basis rejection. Warm starts are a pure accelerator — both
+//!    paths certify optimality with the same primal phase-2 — so the
+//!    node relaxation values they produce are interchangeable.
+//! 3. **Wave-parallel search**: open nodes are expanded in *waves* of at
+//!    most [`WAVE`] child LPs. Node selection, pruning, and incumbent
+//!    updates happen serially in a fixed order; only the (pure,
+//!    per-task deterministic) LP solves are fanned out on a
+//!    [`NodePool`]. The wave size is a constant — never a function of
+//!    the thread count — so the explored tree, the incumbent sequence,
+//!    and every reported number are bit-identical at any thread count.
+//!
+//! # Deterministic incumbent protocol
+//!
+//! * Nodes are explored best-first by relaxation bound; ties break by
+//!   insertion sequence number (earlier wins). Within a wave, children
+//!   are generated parent-by-parent, down-branch before up-branch.
+//! * The branching variable is the most fractional integer variable;
+//!   ties break toward the lowest variable index.
+//! * An incumbent is replaced only by a *strictly better* key (internal
+//!   minimize sense); on equal objective the first-found incumbent in
+//!   the fixed serial order wins. Incumbent keys are always recomputed
+//!   as `sign * objective.eval(postsolved values)` in the original
+//!   variable space.
+//!
+//! These rules are what `mip/tests/metamorphic.rs` pins down.
 
+use crate::presolve::{presolve, Presolved, PresolveResult, PresolveStats};
 use crate::problem::{MipError, Problem, Sense, VarKind};
-use crate::simplex::{solve_lp, LpOutcome};
+use crate::simplex::{solve_lp, Basis, LpOutcome, LpSolve};
+use crate::warmstart::{solve_lp_warm, Warm};
 use crate::{Solution, SolveStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+use std::thread;
 // Wall-clock reads feed only the optional `time_limit` cut-off, never the
 // search order or the incumbent; lint: allow(nondet-time)
 use std::time::{Duration, Instant};
+
+/// Child LPs evaluated per wave. A constant (never derived from the
+/// thread count) so the search tree is identical for any pool size.
+const WAVE: usize = 8;
 
 /// Search limits for [`Solver`].
 #[derive(Debug, Clone, Copy)]
@@ -33,24 +82,191 @@ impl Default for SolverLimits {
     }
 }
 
-/// MILP solver: best-first branch & bound on the simplex relaxation.
+/// Per-solve statistics, returned on [`Solution::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes whose LP relaxation was solved (root
+    /// included).
+    pub nodes: u64,
+    /// Simplex solves run (a warm rejection followed by a cold re-solve
+    /// counts twice).
+    pub lp_solves: u64,
+    /// Total simplex pivots across all solves.
+    pub pivots: u64,
+    /// Child LPs solved from the parent basis.
+    pub warm_hits: u64,
+    /// Warm attempts that fell back to a cold solve.
+    pub warm_rejects: u64,
+    /// Waves dispatched to the node pool.
+    pub waves: u64,
+    /// Nodes pruned by bound.
+    pub pruned: u64,
+    /// Presolve reduction counters.
+    pub presolve: PresolveStats,
+}
+
+/// Execution substrate for one wave of node relaxations.
+///
+/// `run` must call `eval(i)` exactly once for each `i in 0..tasks` and
+/// return the results in task order. `eval` is pure per index, so any
+/// scheduling (including fully serial) yields identical results; a pool
+/// may return a lost sentinel (`eval` result withheld) for a task whose
+/// worker died — the engine re-evaluates it inline.
+pub trait NodePool {
+    /// Worker count (1 = serial).
+    fn threads(&self) -> usize;
+    /// Evaluates `tasks` tasks, returning results in task order.
+    fn run(&self, tasks: usize, eval: &(dyn Fn(usize) -> WaveEval + Sync)) -> Vec<WaveEval>;
+}
+
+/// Opaque result of one node-relaxation task. Constructed only by the
+/// engine's task closure; pools just move it around.
+#[derive(Debug)]
+pub struct WaveEval {
+    pub(crate) inner: Option<TaskOut>,
+}
+
+/// How a task's relaxation was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WarmTag {
+    Hit,
+    Reject,
+    Cold,
+}
+
+#[derive(Debug)]
+pub(crate) struct TaskOut {
+    pub result: Result<LpSolve, MipError>,
+    pub warm: WarmTag,
+}
+
+/// The built-in scoped-thread pool used by [`Solver::solve`]: a minimal
+/// sibling of `autoseg::dse::DsePool` (same order-preserving,
+/// index-driven contract) so `mip` stays dependency-free. Sized by
+/// [`Solver::threads`] (the `MIP_THREADS` environment variable by
+/// default).
+#[derive(Debug, Clone, Copy)]
+pub struct BuiltinPool {
+    threads: usize,
+}
+
+impl BuiltinPool {
+    /// A pool running `threads` workers (minimum 1; 1 = fully serial).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl NodePool for BuiltinPool {
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn run(&self, tasks: usize, eval: &(dyn Fn(usize) -> WaveEval + Sync)) -> Vec<WaveEval> {
+        if self.threads <= 1 || tasks <= 1 {
+            return (0..tasks).map(eval).collect();
+        }
+        let slots: Vec<Mutex<Option<WaveEval>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(tasks);
+        // The trace id is thread-local: re-set the caller's id in every
+        // worker so telemetry emitted inside node evaluation stays
+        // attributed to the request that fanned out.
+        let trace = obs::current_trace();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    obs::set_trace(trace);
+                    loop {
+                        let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        // Each slot is written exactly once, so a panic in
+                        // another worker cannot leave it half-written.
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(eval(i));
+                    }
+                });
+            }
+        });
+        // A slot left empty (a worker died between claiming and writing)
+        // becomes the lost sentinel; the engine's fixed-order recovery
+        // pass re-evaluates it inline.
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or(WaveEval { inner: None })
+            })
+            .collect()
+    }
+}
+
+/// The default thread count for the built-in pool: the `MIP_THREADS`
+/// environment variable if set to a positive integer, otherwise 1
+/// (serial). The engine is bit-identical at any value; this only sets
+/// how wide each wave fans out.
+pub fn default_threads() -> usize {
+    std::env::var("MIP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// `true` unless `MIP_PRESOLVE` is set to `off`/`0`/`false` (the escape
+/// hatch for debugging a suspected presolve reduction).
+fn presolve_default() -> bool {
+    !matches!(
+        std::env::var("MIP_PRESOLVE").ok().as_deref().map(str::trim),
+        Some("off" | "0" | "false")
+    )
+}
+
+/// MILP solver: best-first branch & bound on the simplex relaxation,
+/// with presolve, warm-started node LPs, and wave-parallel node
+/// evaluation.
 ///
 /// See the crate-level example. Determinism: the search is fully
-/// deterministic for a given problem (ties broken by variable index).
-#[derive(Debug, Clone, Default)]
+/// deterministic for a given problem at any thread count (see the module
+/// docs for the exact tie-break protocol).
+#[derive(Debug, Clone)]
 pub struct Solver {
     limits: SolverLimits,
     warm_start: Option<Vec<f64>>,
+    root_basis: Option<Basis>,
+    presolve: bool,
+    warm_lp: bool,
+    threads: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self {
+            limits: SolverLimits::default(),
+            warm_start: None,
+            root_basis: None,
+            presolve: presolve_default(),
+            warm_lp: true,
+            threads: default_threads(),
+        }
+    }
 }
 
 /// An open node: its relaxation value (already solved) and bounds overlay.
 struct Node {
     /// Internal-minimize key of the node's LP relaxation.
     bound: f64,
-    /// LP solution values (used for branching).
+    /// LP solution values (used for branching), in reduced space.
     values: Vec<f64>,
-    /// Per-variable bounds of this subproblem.
+    /// Per-variable bounds of this subproblem, in reduced space.
     bounds: Vec<(f64, f64)>,
+    /// Optimal basis of this node's relaxation (warm-start seed for its
+    /// children). `None` when the relaxation came back basis-less.
+    basis: Option<Basis>,
     /// Insertion counter for deterministic tie-breaking.
     seq: u64,
 }
@@ -75,6 +291,15 @@ impl Ord for Node {
             .unwrap_or(Ordering::Equal)
             .then(other.seq.cmp(&self.seq))
     }
+}
+
+/// One wave task: re-solve the relaxation under `bounds`, warm from
+/// `parent_basis` when available.
+struct Task {
+    bounds: Vec<(f64, f64)>,
+    parent_basis: Option<Basis>,
+    /// Global per-solve task counter, the `mip.node` fault-point index.
+    fault_idx: u64,
 }
 
 impl Solver {
@@ -109,49 +334,179 @@ impl Solver {
         self
     }
 
+    /// Seeds the *root relaxation* with an optimal basis from a previous
+    /// solve of a structurally identical problem (the next cell of a
+    /// sweep). On any shape mismatch the basis is rejected typed and the
+    /// root is solved cold — correctness never depends on the seed.
+    pub fn warm_basis(mut self, basis: Basis) -> Self {
+        self.root_basis = Some(basis);
+        self
+    }
+
+    /// Enables or disables the presolve pass (default: on unless
+    /// `MIP_PRESOLVE=off`).
+    pub fn presolve(mut self, on: bool) -> Self {
+        self.presolve = on;
+        self
+    }
+
+    /// Enables or disables warm-started node relaxations (default: on).
+    pub fn warm_lp(mut self, on: bool) -> Self {
+        self.warm_lp = on;
+        self
+    }
+
+    /// Sets the built-in pool's worker count (default: [`default_threads`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Current limits.
     pub fn limits(&self) -> SolverLimits {
         self.limits
     }
 
-    /// Solves the MILP.
+    /// Solves the MILP on the built-in pool (sized by
+    /// [`Solver::threads`], i.e. `MIP_THREADS`).
     ///
     /// # Errors
     ///
     /// Returns [`MipError`] if the problem fails validation (inverted
     /// bounds, unknown variables, non-finite data).
     pub fn solve(&self, p: &Problem) -> Result<Solution, MipError> {
+        let pool = BuiltinPool::new(self.threads);
+        self.solve_with_pool(p, &pool)
+    }
+
+    /// Solves the MILP, fanning each wave of node relaxations out on
+    /// `pool`. The result is bit-identical to [`Solver::solve`] for any
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MipError`] if the problem fails validation.
+    pub fn solve_with_pool<P: NodePool + ?Sized>(
+        &self,
+        p: &Problem,
+        pool: &P,
+    ) -> Result<Solution, MipError> {
         p.validate()?;
-        let _span = obs::span!("mip.solve", vars = p.num_vars());
+        let _span = obs::span!("mip.solve", vars = p.num_vars(), threads = pool.threads());
         let start = Instant::now(); // time_limit cut-off only; lint: allow(nondet-time)
-        let sign = match p.sense {
+        let mut stats = SolveStats::default();
+
+        // Presolve: may shrink the problem or finish the solve outright.
+        let presolved: Option<Presolved> = if self.presolve {
+            match presolve(p) {
+                PresolveResult::Reduced(r) => {
+                    stats.presolve = r.stats;
+                    Some(r)
+                }
+                PresolveResult::Infeasible { reason } => {
+                    stats.presolve.rounds = stats.presolve.rounds.max(1);
+                    obs::event("mip.presolve.infeasible", &[("reason", reason.into())]);
+                    record_presolve(&stats);
+                    return Ok(Solution::new(
+                        SolveStatus::Infeasible,
+                        f64::NAN,
+                        vec![],
+                        stats,
+                        None,
+                    ));
+                }
+                PresolveResult::FixedAll {
+                    values,
+                    objective,
+                    stats: ps,
+                } => {
+                    stats.presolve = ps;
+                    incumbent_event(objective, 0, "presolve");
+                    record_presolve(&stats);
+                    return Ok(Solution::new(
+                        SolveStatus::Optimal,
+                        objective,
+                        values,
+                        stats,
+                        None,
+                    ));
+                }
+            }
+        } else {
+            None
+        };
+        // The problem the search actually runs on (reduced space).
+        let q: &Problem = presolved.as_ref().map_or(p, Presolved::problem);
+        record_presolve(&stats);
+        // Maps a reduced-space point back to original space.
+        let to_original = |vals: &[f64]| -> Vec<f64> {
+            match &presolved {
+                Some(pre) => pre.postsolve(vals),
+                None => vals.to_vec(),
+            }
+        };
+
+        let sign = match p.sense() {
             Sense::Minimize => 1.0,
             Sense::Maximize => -1.0,
         };
-        let int_vars: Vec<usize> = (0..p.num_vars())
-            .filter(|&i| p.vars[i].kind == VarKind::Integer)
+        let int_vars: Vec<usize> = (0..q.num_vars())
+            .filter(|&i| q.vars[i].kind == VarKind::Integer)
             .collect();
         let tol = self.limits.int_tol;
 
-        let root_bounds: Vec<(f64, f64)> = p.vars.iter().map(|v| (v.lo, v.hi)).collect();
-        let root_bounds = match presolve(p, root_bounds) {
-            Some(b) => b,
-            None => return Ok(Solution::new(SolveStatus::Infeasible, f64::NAN, vec![], 0)),
+        // Root relaxation, warm from a caller-provided sweep basis when
+        // one is set and accepted.
+        let root_bounds: Vec<(f64, f64)> = q.vars.iter().map(|v| (v.lo, v.hi)).collect();
+        let root = match (&self.root_basis, self.warm_lp) {
+            (Some(b), true) => match solve_lp_warm(q, &root_bounds, b)? {
+                Warm::Hit(ls) => {
+                    stats.warm_hits += 1;
+                    stats.lp_solves += 1;
+                    ls
+                }
+                Warm::Reject(_) => {
+                    stats.warm_rejects += 1;
+                    stats.lp_solves += 2;
+                    solve_lp(q, &root_bounds)?
+                }
+            },
+            _ => {
+                stats.lp_solves += 1;
+                solve_lp(q, &root_bounds)?
+            }
         };
-        let (root_values, root_key) = match solve_lp(p, &root_bounds)? {
+        stats.pivots += root.pivots;
+        stats.nodes = 1;
+        let root_basis_out = root.basis.clone();
+        let (root_values, root_key) = match root.outcome {
             LpOutcome::Optimal { objective, values } => (values, sign * objective),
             LpOutcome::Infeasible => {
-                return Ok(Solution::new(SolveStatus::Infeasible, f64::NAN, vec![], 1))
+                record_search(&stats);
+                return Ok(Solution::new(
+                    SolveStatus::Infeasible,
+                    f64::NAN,
+                    vec![],
+                    stats,
+                    None,
+                ));
             }
             LpOutcome::Unbounded => {
-                return Ok(Solution::new(SolveStatus::Unbounded, f64::NAN, vec![], 1))
+                record_search(&stats);
+                return Ok(Solution::new(
+                    SolveStatus::Unbounded,
+                    f64::NAN,
+                    vec![],
+                    stats,
+                    None,
+                ));
             }
         };
 
-        // Incumbent (internal-minimize key).
+        // Incumbent: `(internal-minimize key, original-space values)`.
+        // Keys are ALWAYS re-priced on the original objective so presolve
+        // cannot shift the reported objective by a rounding bit.
         let mut best: Option<(f64, Vec<f64>)> = None;
-        // Warm start: a caller-provided feasible assignment becomes the
-        // initial incumbent.
         if let Some(seed) = &self.warm_start {
             if p.is_feasible(seed, 1e-6) {
                 let key = sign * p.objective.eval(seed);
@@ -163,12 +518,16 @@ impl Solver {
         {
             let mut rounded = root_values.clone();
             for &i in &int_vars {
-                rounded[i] = rounded[i].round().clamp(root_bounds[i].0, root_bounds[i].1);
+                // `+ 0.0` folds -0.0 (a round of -1e-17) into +0.0 so the
+                // incumbent bits cannot depend on which engine path
+                // produced the zero.
+                rounded[i] = rounded[i].round().clamp(root_bounds[i].0, root_bounds[i].1) + 0.0;
             }
-            if p.is_feasible(&rounded, 1e-6) {
-                let key = sign * p.objective.eval(&rounded);
+            let orig = to_original(&rounded);
+            if p.is_feasible(&orig, 1e-6) {
+                let key = sign * p.objective.eval(&orig);
                 if best.as_ref().is_none_or(|(inc, _)| key < *inc) {
-                    best = Some((key, rounded));
+                    best = Some((key, orig));
                     incumbent_event(sign * key, 0, "rounding");
                 }
             }
@@ -180,64 +539,155 @@ impl Solver {
             bound: root_key,
             values: root_values,
             bounds: root_bounds,
+            basis: root_basis_out.clone(),
             seq,
         });
 
-        let mut nodes = 1u64;
         let mut limit_hit = false;
-        while let Some(node) = heap.pop() {
-            if let Some((inc, _)) = &best {
-                // Prune by bound (with relative-gap early stop).
-                let cutoff = inc - self.limits.rel_gap * inc.abs().max(1.0);
-                if node.bound >= cutoff - 1e-12 {
-                    obs::add("mip.bnb.pruned", 1);
-                    continue;
+        let mut fault_idx = 0u64;
+        'search: while !heap.is_empty() {
+            // ---- Serial collection: pop nodes, settle integral ones,
+            // turn fractional ones into at most WAVE child tasks. ----
+            let mut tasks: Vec<Task> = Vec::with_capacity(WAVE);
+            while tasks.len() < WAVE {
+                let Some(node) = heap.pop() else { break };
+                if let Some((inc, _)) = &best {
+                    // Prune by bound (with relative-gap early stop).
+                    let cutoff = inc - self.limits.rel_gap * inc.abs().max(1.0);
+                    if node.bound >= cutoff - 1e-12 {
+                        obs::add("mip.bnb.pruned", 1);
+                        stats.pruned += 1;
+                        continue;
+                    }
                 }
-            }
-            if nodes >= self.limits.max_nodes || start.elapsed() >= self.limits.time_limit {
-                limit_hit = true;
-                break;
-            }
+                if stats.nodes >= self.limits.max_nodes
+                    || start.elapsed() >= self.limits.time_limit
+                {
+                    limit_hit = true;
+                    break 'search;
+                }
 
-            // Branching variable: most fractional integer variable.
-            let frac_of = |x: f64| (x - x.round()).abs();
-            let branch_var = int_vars
-                .iter()
-                .copied()
-                .filter(|&i| frac_of(node.values[i]) > tol)
-                .max_by(|&a, &b| {
-                    frac_of(node.values[a])
-                        .partial_cmp(&frac_of(node.values[b]))
-                        .unwrap_or(Ordering::Equal)
-                        .then(b.cmp(&a)) // deterministic: lower index wins ties
-                });
+                // Branching variable: most fractional integer variable,
+                // ties toward the lowest index.
+                let frac_of = |x: f64| (x - x.round()).abs();
+                let branch_var = int_vars
+                    .iter()
+                    .copied()
+                    .filter(|&i| frac_of(node.values[i]) > tol)
+                    .max_by(|&a, &b| {
+                        frac_of(node.values[a])
+                            .partial_cmp(&frac_of(node.values[b]))
+                            .unwrap_or(Ordering::Equal)
+                            .then(b.cmp(&a)) // deterministic: lower index wins ties
+                    });
 
-            let Some(bv) = branch_var else {
-                // Integral relaxation: candidate incumbent.
-                let key = node.bound;
-                if best.as_ref().is_none_or(|(inc, _)| key < *inc) {
+                let Some(bv) = branch_var else {
+                    // Integral relaxation: candidate incumbent, re-priced
+                    // in original space.
                     let mut v = node.values.clone();
                     for &i in &int_vars {
-                        v[i] = v[i].round();
+                        v[i] = v[i].round() + 0.0; // -0.0 -> +0.0
                     }
-                    best = Some((key, v));
-                    incumbent_event(sign * key, nodes, "branch");
-                }
-                continue;
-            };
-
-            let x = node.values[bv];
-            for (lo, hi) in [
-                (node.bounds[bv].0, x.floor()),
-                (x.ceil(), node.bounds[bv].1),
-            ] {
-                if hi < lo - 1e-9 {
+                    let orig = to_original(&v);
+                    let key = sign * p.objective.eval(&orig);
+                    if best.as_ref().is_none_or(|(inc, _)| key < *inc) {
+                        best = Some((key, orig));
+                        incumbent_event(sign * key, stats.nodes, "branch");
+                    }
                     continue;
+                };
+
+                // Down-branch then up-branch, in that order.
+                let x = node.values[bv];
+                for (lo, hi) in [
+                    (node.bounds[bv].0, x.floor()),
+                    (x.ceil(), node.bounds[bv].1),
+                ] {
+                    if hi < lo - 1e-9 {
+                        continue;
+                    }
+                    let mut child_bounds = node.bounds.clone();
+                    child_bounds[bv] = (lo, hi);
+                    tasks.push(Task {
+                        bounds: child_bounds,
+                        parent_basis: node.basis.clone(),
+                        fault_idx,
+                    });
+                    fault_idx += 1;
                 }
-                let mut child_bounds = node.bounds.clone();
-                child_bounds[bv] = (lo, hi);
-                nodes += 1;
-                match solve_lp(p, &child_bounds)? {
+            }
+            if tasks.is_empty() {
+                continue;
+            }
+
+            // ---- Parallel evaluation: pure per-task LP solves. ----
+            stats.waves += 1;
+            let warm_lp = self.warm_lp;
+            let eval_task = |t: &Task| -> WaveEval {
+                let out = match (&t.parent_basis, warm_lp) {
+                    (Some(basis), true) => match solve_lp_warm(q, &t.bounds, basis) {
+                        Ok(Warm::Hit(ls)) => TaskOut {
+                            result: Ok(ls),
+                            warm: WarmTag::Hit,
+                        },
+                        Ok(Warm::Reject(_)) => TaskOut {
+                            result: solve_lp(q, &t.bounds),
+                            warm: WarmTag::Reject,
+                        },
+                        Err(e) => TaskOut {
+                            result: Err(e),
+                            warm: WarmTag::Reject,
+                        },
+                    },
+                    _ => TaskOut {
+                        result: solve_lp(q, &t.bounds),
+                        warm: WarmTag::Cold,
+                    },
+                };
+                WaveEval { inner: Some(out) }
+            };
+            let mut evals = pool.run(tasks.len(), &|i| {
+                // `mip.node` fault point: a scripted mid-wave worker death
+                // loses this task's result; the fixed-order recovery pass
+                // below recomputes it inline, bit-identically.
+                if faultsim::armed() && faultsim::hit_at("mip.node", tasks[i].fault_idx) {
+                    record_fault("fault.injected");
+                    return WaveEval { inner: None };
+                }
+                eval_task(&tasks[i])
+            });
+            // Defensive: a pool returning the wrong shape loses tasks.
+            while evals.len() < tasks.len() {
+                evals.push(WaveEval { inner: None });
+            }
+
+            // ---- Fixed-order recovery: lost tasks re-evaluate inline, so
+            // a worker fault never changes the result. ----
+            for (ev, task) in evals.iter_mut().zip(&tasks) {
+                if ev.inner.is_none() {
+                    record_fault("fault.recovered");
+                    *ev = eval_task(task);
+                }
+            }
+
+            // ---- Serial application, in task order. ----
+            for (ev, task) in evals.into_iter().zip(tasks) {
+                let Some(out) = ev.inner else { continue };
+                match out.warm {
+                    WarmTag::Hit => {
+                        stats.warm_hits += 1;
+                        stats.lp_solves += 1;
+                    }
+                    WarmTag::Reject => {
+                        stats.warm_rejects += 1;
+                        stats.lp_solves += 2;
+                    }
+                    WarmTag::Cold => stats.lp_solves += 1,
+                }
+                let ls = out.result?;
+                stats.nodes += 1;
+                stats.pivots += ls.pivots;
+                match ls.outcome {
                     LpOutcome::Optimal { objective, values } => {
                         let key = sign * objective;
                         let worth = match &best {
@@ -249,36 +699,37 @@ impl Solver {
                             heap.push(Node {
                                 bound: key,
                                 values,
-                                bounds: child_bounds,
+                                bounds: task.bounds,
+                                basis: ls.basis,
                                 seq,
                             });
                         } else {
                             obs::add("mip.bnb.pruned", 1);
+                            stats.pruned += 1;
                         }
                     }
                     LpOutcome::Infeasible => {}
                     LpOutcome::Unbounded => {
                         // The root was bounded, so children are too; treat
                         // defensively as unbounded problem.
+                        record_search(&stats);
                         return Ok(Solution::new(
                             SolveStatus::Unbounded,
                             f64::NAN,
                             vec![],
-                            nodes,
+                            stats,
+                            root_basis_out,
                         ));
                     }
                 }
-                if start.elapsed() >= self.limits.time_limit {
-                    limit_hit = true;
-                    break;
-                }
             }
-            if limit_hit {
+            if start.elapsed() >= self.limits.time_limit {
+                limit_hit = true;
                 break;
             }
         }
 
-        obs::add("mip.bnb.nodes", nodes);
+        record_search(&stats);
         Ok(match best {
             Some((key, values)) => {
                 let status = if limit_hit {
@@ -286,13 +737,25 @@ impl Solver {
                 } else {
                     SolveStatus::Optimal
                 };
-                Solution::new(status, sign * key, values, nodes)
+                Solution::new(status, sign * key, values, stats, root_basis_out)
             }
             None => {
                 if limit_hit {
-                    Solution::new(SolveStatus::LimitReached, f64::NAN, vec![], nodes)
+                    Solution::new(
+                        SolveStatus::LimitReached,
+                        f64::NAN,
+                        vec![],
+                        stats,
+                        root_basis_out,
+                    )
                 } else {
-                    Solution::new(SolveStatus::Infeasible, f64::NAN, vec![], nodes)
+                    Solution::new(
+                        SolveStatus::Infeasible,
+                        f64::NAN,
+                        vec![],
+                        stats,
+                        root_basis_out,
+                    )
                 }
             }
         })
@@ -300,7 +763,8 @@ impl Solver {
 }
 
 /// Emits one point of the incumbent trajectory (`source` says which
-/// mechanism improved it: warm start, root rounding, or branching).
+/// mechanism improved it: presolve, warm start, root rounding, or
+/// branching).
 fn incumbent_event(objective: f64, node: u64, source: &'static str) {
     obs::add("mip.bnb.incumbents", 1);
     obs::event(
@@ -313,95 +777,39 @@ fn incumbent_event(objective: f64, node: u64, source: &'static str) {
     );
 }
 
-/// Presolve: activity-based bound tightening to fixpoint. For each `<=`
-/// (and mirrored `>=`) constraint, a variable's bound is tightened using
-/// the minimum activity of the other terms; integer bounds are rounded
-/// inward. Returns `None` when a constraint is proven infeasible.
-fn presolve(p: &Problem, mut bounds: Vec<(f64, f64)>) -> Option<Vec<(f64, f64)>> {
-    // Normalized rows: (terms, rhs) meaning sum(terms) <= rhs.
-    let mut rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::new();
-    for c in &p.constraints {
-        let terms: Vec<(usize, f64)> = c.expr.iter().map(|(v, k)| (v.index(), k)).collect();
-        let rhs = c.rhs - c.expr.offset();
-        match c.cmp {
-            crate::Cmp::Le => rows.push((terms, rhs)),
-            crate::Cmp::Ge => rows.push((
-                terms.iter().map(|&(v, k)| (v, -k)).collect(),
-                -rhs,
-            )),
-            crate::Cmp::Eq => {
-                rows.push((terms.clone(), rhs));
-                rows.push((terms.iter().map(|&(v, k)| (v, -k)).collect(), -rhs));
-            }
-        }
+/// Publishes presolve reduction counters (no-ops at zero).
+fn record_presolve(stats: &SolveStats) {
+    let ps = stats.presolve;
+    if ps.bounds_tightened > 0 {
+        obs::add("mip.presolve.bounds_tightened", ps.bounds_tightened);
     }
-    let is_int: Vec<bool> = (0..p.num_vars())
-        .map(|i| p.vars[i].kind == VarKind::Integer)
-        .collect();
+    if ps.vars_fixed > 0 {
+        obs::add("mip.presolve.vars_fixed", ps.vars_fixed);
+    }
+    if ps.rows_dropped > 0 {
+        obs::add("mip.presolve.rows_dropped", ps.rows_dropped);
+    }
+    if ps.coef_reductions > 0 {
+        obs::add("mip.presolve.coef_reductions", ps.coef_reductions);
+    }
+}
 
-    for _round in 0..8 {
-        let mut changed = false;
-        for (terms, rhs) in &rows {
-            // Minimum activity of the whole row.
-            let mut min_act = 0.0f64;
-            let mut finite = true;
-            for &(v, k) in terms {
-                let (lo, hi) = bounds[v];
-                let contrib = if k >= 0.0 { k * lo } else { k * hi };
-                if !contrib.is_finite() {
-                    finite = false;
-                    break;
-                }
-                min_act += contrib;
-            }
-            if !finite {
-                continue;
-            }
-            if min_act > rhs + 1e-7 {
-                return None; // infeasible even at best bounds
-            }
-            // Tighten each variable given the others at minimum activity.
-            for &(v, k) in terms {
-                if k.abs() < 1e-12 {
-                    continue;
-                }
-                let (lo, hi) = bounds[v];
-                let own_min = if k >= 0.0 { k * lo } else { k * hi };
-                let rest = min_act - own_min;
-                // k * x <= rhs - rest
-                let limit = (rhs - rest) / k;
-                if k > 0.0 {
-                    let mut new_hi = limit;
-                    if is_int[v] {
-                        new_hi = (new_hi + 1e-9).floor();
-                    }
-                    if new_hi < hi - 1e-9 {
-                        if new_hi < lo - 1e-9 {
-                            return None;
-                        }
-                        bounds[v].1 = new_hi;
-                        changed = true;
-                    }
-                } else {
-                    let mut new_lo = limit;
-                    if is_int[v] {
-                        new_lo = (new_lo - 1e-9).ceil();
-                    }
-                    if new_lo > lo + 1e-9 {
-                        if new_lo > hi + 1e-9 {
-                            return None;
-                        }
-                        bounds[v].0 = new_lo;
-                        changed = true;
-                    }
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
+/// Publishes end-of-search counters.
+fn record_search(stats: &SolveStats) {
+    obs::add("mip.bnb.nodes", stats.nodes);
+    if stats.warm_hits > 0 {
+        obs::add("mip.warm.hits", stats.warm_hits);
     }
-    Some(bounds)
+    if stats.warm_rejects > 0 {
+        obs::add("mip.warm.rejects", stats.warm_rejects);
+    }
+}
+
+/// Bumps the given fault counter and emits the matching `obs` event for
+/// the `mip.node` fault point (injection and recovery share the shape).
+fn record_fault(what: &'static str) {
+    obs::add(what, 1);
+    obs::event(what, &[("point", "mip.node".into())]);
 }
 
 #[cfg(test)]
@@ -581,6 +989,7 @@ mod tests {
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - 1.0).abs() < 1e-6);
         assert_eq!((s.int_value(a), s.int_value(b), s.int_value(c)), (0, 0, 1));
+        assert_eq!(s.stats.presolve.vars_fixed, 2);
     }
 
     #[test]
@@ -674,6 +1083,75 @@ mod tests {
         let b = Solver::new().solve(&build()).unwrap();
         assert_eq!(a.values(), b.values());
         assert_eq!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // The wave engine's core contract: the explored tree, the node
+        // count, and every value bit are identical for any pool width.
+        let build = || {
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> = (0..10).map(|i| p.add_binary(format!("v{i}"))).collect();
+            let mut obj = LinExpr::new();
+            let mut c1 = LinExpr::new();
+            let mut c2 = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                obj.add_term(v, ((i * 3) % 7 + 1) as f64);
+                c1.add_term(v, ((i * 5) % 9 + 1) as f64);
+                c2.add_term(v, ((i * 2) % 5 + 1) as f64);
+            }
+            p.set_objective(obj);
+            p.add_constraint(c1, Cmp::Le, 17.0);
+            p.add_constraint(c2, Cmp::Le, 12.0);
+            p
+        };
+        let serial = Solver::new().threads(1).solve(&build()).unwrap();
+        for threads in [2, 4] {
+            let par = Solver::new().threads(threads).solve(&build()).unwrap();
+            assert_eq!(par.status, serial.status, "threads {threads}");
+            assert_eq!(
+                par.objective.to_bits(),
+                serial.objective.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(par.values(), serial.values(), "threads {threads}");
+            assert_eq!(par.nodes, serial.nodes, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn warm_basis_chains_across_sweep_cells() {
+        // Re-solving a structurally identical problem from the previous
+        // cell's root basis must reproduce the cold answer and register a
+        // warm hit (presolve off so the shapes line up exactly).
+        let build = |budget: f64| {
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> = (0..6).map(|i| p.add_binary(format!("v{i}"))).collect();
+            let mut obj = LinExpr::new();
+            let mut cons = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                obj.add_term(v, ((i * 3) % 7 + 2) as f64);
+                cons.add_term(v, ((i * 5) % 9 + 1) as f64);
+            }
+            p.set_objective(obj);
+            p.add_constraint(cons, Cmp::Le, budget);
+            p
+        };
+        let first = Solver::new().presolve(false).solve(&build(9.0)).unwrap();
+        let basis = first.root_basis().cloned().expect("root basis captured");
+        let cold = Solver::new().presolve(false).solve(&build(11.0)).unwrap();
+        let warm = Solver::new()
+            .presolve(false)
+            .warm_basis(basis)
+            .solve(&build(11.0))
+            .unwrap();
+        assert_eq!(warm.status, cold.status);
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(warm.values(), cold.values());
+        assert!(
+            warm.stats.warm_hits + warm.stats.warm_rejects > 0,
+            "warm attempt recorded"
+        );
     }
 
     #[test]

@@ -33,13 +33,17 @@
 
 mod branch;
 mod expr;
+mod presolve;
 mod problem;
 mod simplex;
+mod warmstart;
 
-pub use branch::{Solver, SolverLimits};
+pub use branch::{default_threads, BuiltinPool, NodePool, SolveStats, Solver, SolverLimits, WaveEval};
 pub use expr::{LinExpr, VarId};
+pub use presolve::{presolve, Presolved, PresolveResult, PresolveStats};
 pub use problem::{Cmp, Constraint, MipError, Problem, Sense, VarKind};
-pub use simplex::LpOutcome;
+pub use simplex::{Basis, LpOutcome};
+pub use warmstart::WarmReject;
 
 /// Termination status of a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,17 +71,31 @@ pub struct Solution {
     pub objective: f64,
     /// Value of every variable in the incumbent.
     values: Vec<f64>,
-    /// Number of branch-and-bound nodes explored.
+    /// Number of branch-and-bound nodes explored (`stats.nodes`,
+    /// duplicated here for convenience).
     pub nodes: u64,
+    /// Per-solve engine statistics (LP solves, pivots, warm-start hit
+    /// counts, presolve reductions, ...).
+    pub stats: SolveStats,
+    /// Optimal basis of the root relaxation, when one was reached.
+    root_basis: Option<Basis>,
 }
 
 impl Solution {
-    pub(crate) fn new(status: SolveStatus, objective: f64, values: Vec<f64>, nodes: u64) -> Self {
+    pub(crate) fn new(
+        status: SolveStatus,
+        objective: f64,
+        values: Vec<f64>,
+        stats: SolveStats,
+        root_basis: Option<Basis>,
+    ) -> Self {
         Self {
             status,
             objective,
             values,
-            nodes,
+            nodes: stats.nodes,
+            stats,
+            root_basis,
         }
     }
 
@@ -104,5 +122,12 @@ impl Solution {
     /// All variable values.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Optimal basis of the root relaxation, if the root solved to
+    /// optimality. Feed it to [`Solver::warm_basis`] when solving the
+    /// next structurally identical problem of a sweep.
+    pub fn root_basis(&self) -> Option<&Basis> {
+        self.root_basis.as_ref()
     }
 }

@@ -5,6 +5,11 @@
 //! explicit rows; `>=`/`==` rows receive artificial variables driven out in
 //! phase 1. Dantzig pricing with a permanent switch to Bland's rule after a
 //! stall guarantees termination.
+//!
+//! Every optimal solve also snapshots its final [`Basis`] (basic column per
+//! row plus the tableau layout), which [`crate::warmstart`] uses to re-solve
+//! a bounds-perturbed sibling problem with the dual simplex instead of a
+//! cold two-phase run.
 
 use crate::problem::{Cmp, MipError, Problem, Sense};
 
@@ -24,14 +29,92 @@ pub enum LpOutcome {
     Unbounded,
 }
 
-const EPS: f64 = 1e-9;
-const FEAS_TOL: f64 = 1e-7;
+pub(crate) const EPS: f64 = 1e-9;
+pub(crate) const FEAS_TOL: f64 = 1e-7;
 
-/// Solves the LP relaxation of `p` with variable bounds overridden by
-/// `bounds` (one `(lo, hi)` pair per variable).
-pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, MipError> {
+/// A simplex basis snapshot: the basic column of every tableau row plus the
+/// layout data (row orientations, column-block sizes, which variables
+/// contributed upper-bound rows) needed to rebuild an identically-shaped
+/// tableau for a related problem. Opaque to callers; produced by an optimal
+/// LP solve and consumed by the dual-simplex warm start.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Basic column index per row.
+    pub(crate) cols: Vec<usize>,
+    /// Row orientation chosen at build time (`true` = the row was negated).
+    pub(crate) flips: Vec<bool>,
+    /// Structural variable count.
+    pub(crate) n: usize,
+    /// Slack/surplus column count.
+    pub(crate) n_slack: usize,
+    /// Artificial column count.
+    pub(crate) n_art: usize,
+    /// Variables that contributed a finite-upper-bound row, in row order.
+    pub(crate) ub_vars: Vec<usize>,
+}
+
+/// An LP solve result: outcome plus the optimal basis (for warm-starting
+/// related solves) and the pivot count (for stats).
+#[derive(Debug)]
+pub(crate) struct LpSolve {
+    pub outcome: LpOutcome,
+    pub basis: Option<Basis>,
+    pub pivots: u64,
+}
+
+/// The dense tableau plus its column layout. `t` is `m x (total + 1)` with
+/// the rhs in the last column; columns are structurals, then slacks, then
+/// artificials.
+pub(crate) struct Tab {
+    pub t: Vec<Vec<f64>>,
+    pub basis: Vec<usize>,
+    pub n: usize,
+    pub n_slack: usize,
+    pub n_art: usize,
+    pub flips: Vec<bool>,
+    pub ub_vars: Vec<usize>,
+}
+
+impl Tab {
+    pub fn art_start(&self) -> usize {
+        self.n + self.n_slack
+    }
+    pub fn total(&self) -> usize {
+        self.n + self.n_slack + self.n_art
+    }
+    /// Snapshot of the current basis together with the build layout.
+    pub fn snapshot(&self) -> Basis {
+        Basis {
+            cols: self.basis.clone(),
+            flips: self.flips.clone(),
+            n: self.n,
+            n_slack: self.n_slack,
+            n_art: self.n_art,
+            ub_vars: self.ub_vars.clone(),
+        }
+    }
+}
+
+pub(crate) enum Build {
+    Ready(Tab),
+    /// A bounds pair with `hi < lo`: trivially infeasible, no tableau.
+    Infeasible,
+}
+
+/// Builds the initial tableau for `p` under `bounds`.
+///
+/// With `forced_flips = None` rows are normalized to `rhs >= 0` (the cold
+/// path: phase 1 needs a feasible starting basis) and the chosen
+/// orientations are recorded. With `forced_flips = Some(..)` the given
+/// orientations are applied verbatim so the column layout matches the solve
+/// that produced them — rhs entries may then be negative, which is exactly
+/// what the dual simplex expects.
+pub(crate) fn build_tableau(
+    p: &Problem,
+    bounds: &[(f64, f64)],
+    forced_flips: Option<&[bool]>,
+) -> Result<Build, MipError> {
     debug_assert_eq!(bounds.len(), p.num_vars());
-    obs::add("mip.simplex.solves", 1);
     let n = p.num_vars();
 
     for (i, &(lo, hi)) in bounds.iter().enumerate() {
@@ -41,7 +124,7 @@ pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, 
             });
         }
         if hi < lo - EPS {
-            return Ok(LpOutcome::Infeasible);
+            return Ok(Build::Infeasible);
         }
     }
 
@@ -65,14 +148,14 @@ pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, 
             rhs,
         });
     }
-    // Finite upper bounds as x' <= hi - lo rows (skip fixed-width zero
-    // ranges: the variable is pinned to its lower bound and the shifted
-    // column can simply never enter above 0 ... it still needs the row,
-    // since the shifted var is otherwise free upward).
+    // Finite upper bounds as x' <= hi - lo rows (the shifted var is
+    // otherwise free upward).
+    let mut ub_vars = Vec::new();
     for (i, &(lo, hi)) in bounds.iter().enumerate() {
         if hi.is_finite() {
             let mut coef = vec![0.0; n];
             coef[i] = 1.0;
+            ub_vars.push(i);
             rows.push(Row {
                 coef,
                 cmp: Cmp::Le,
@@ -81,9 +164,15 @@ pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, 
         }
     }
 
-    // Normalize to rhs >= 0.
-    for r in &mut rows {
-        if r.rhs < 0.0 {
+    // Orient rows: cold solves normalize to rhs >= 0 (and record the
+    // choice); warm solves replay the parent's orientations.
+    let mut flips = vec![false; rows.len()];
+    for (ri, r) in rows.iter_mut().enumerate() {
+        let flip = match forced_flips {
+            Some(f) => f.get(ri).copied().unwrap_or(false),
+            None => r.rhs < 0.0,
+        };
+        if flip {
             for k in &mut r.coef {
                 *k = -*k;
             }
@@ -93,6 +182,7 @@ pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, 
                 Cmp::Ge => Cmp::Le,
                 Cmp::Eq => Cmp::Eq,
             };
+            flips[ri] = true;
         }
     }
 
@@ -107,7 +197,6 @@ pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, 
         .count();
     let total = n + n_slack + n_art;
 
-    // Dense tableau: m rows x (total + 1), last column is the rhs.
     let mut t = vec![vec![0.0; total + 1]; m];
     let mut basis = vec![0usize; m];
     let art_start = n + n_slack;
@@ -137,37 +226,19 @@ pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, 
         }
     }
 
-    // Phase 1: minimize the sum of artificials.
-    if n_art > 0 {
-        let mut cost = vec![0.0; total];
-        for j in art_start..total {
-            cost[j] = 1.0;
-        }
-        match optimize(&mut t, &mut basis, &cost, None) {
-            Pivoted::Optimal => {}
-            Pivoted::Unbounded => return Ok(LpOutcome::Infeasible), // cannot happen: phase-1 bounded below by 0
-        }
-        let phase1: f64 = basis
-            .iter()
-            .enumerate()
-            .filter(|&(_, &b)| b >= art_start)
-            .map(|(i, _)| t[i][total])
-            .sum();
-        if phase1 > FEAS_TOL {
-            return Ok(LpOutcome::Infeasible);
-        }
-        // Drive zero-level artificials out of the basis where possible.
-        for i in 0..m {
-            if basis[i] >= art_start {
-                if let Some(j) = (0..art_start).find(|&j| t[i][j].abs() > 1e-7) {
-                    pivot(&mut t, &mut basis, i, j);
-                }
-            }
-        }
-    }
+    Ok(Build::Ready(Tab {
+        t,
+        basis,
+        n,
+        n_slack,
+        n_art,
+        flips,
+        ub_vars,
+    }))
+}
 
-    // Phase 2: minimize the (sense-adjusted) structural objective.
-    // Artificial columns are banned from entering.
+/// The sense-adjusted phase-2 cost vector (internal minimize form).
+pub(crate) fn phase2_cost(p: &Problem, total: usize) -> Vec<f64> {
     let sign = match p.sense {
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
@@ -176,36 +247,125 @@ pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpOutcome, 
     for (v, k) in p.objective.iter() {
         cost[v.index()] += sign * k;
     }
-    match optimize(&mut t, &mut basis, &cost, Some(art_start)) {
-        Pivoted::Optimal => {}
-        Pivoted::Unbounded => return Ok(LpOutcome::Unbounded),
-    }
+    cost
+}
 
-    // Extract the structural solution (undo the lower-bound shift).
+/// Extracts the structural solution from an optimal tableau (undoing the
+/// lower-bound shift) and evaluates the objective in the original sense.
+pub(crate) fn extract(p: &Problem, bounds: &[(f64, f64)], tab: &Tab) -> LpOutcome {
+    let total = tab.total();
     let mut values: Vec<f64> = bounds.iter().map(|&(lo, _)| lo).collect();
-    for (i, &b) in basis.iter().enumerate() {
-        if b < n {
-            values[b] = bounds[b].0 + t[i][total];
+    for (i, &b) in tab.basis.iter().enumerate() {
+        if b < tab.n {
+            values[b] = bounds[b].0 + tab.t[i][total];
         }
     }
     let objective = p.objective.eval(&values);
-    Ok(LpOutcome::Optimal { objective, values })
+    LpOutcome::Optimal { objective, values }
 }
 
-enum Pivoted {
+/// Solves the LP relaxation of `p` with variable bounds overridden by
+/// `bounds` (one `(lo, hi)` pair per variable), cold: two-phase from the
+/// all-slack basis.
+pub(crate) fn solve_lp(p: &Problem, bounds: &[(f64, f64)]) -> Result<LpSolve, MipError> {
+    obs::add("mip.simplex.solves", 1);
+    let mut tab = match build_tableau(p, bounds, None)? {
+        Build::Ready(t) => t,
+        Build::Infeasible => {
+            return Ok(LpSolve {
+                outcome: LpOutcome::Infeasible,
+                basis: None,
+                pivots: 0,
+            })
+        }
+    };
+    let m = tab.t.len();
+    let total = tab.total();
+    let art_start = tab.art_start();
+    let mut pivots = 0u64;
+
+    // Phase 1: minimize the sum of artificials.
+    if tab.n_art > 0 {
+        let mut cost = vec![0.0; total];
+        for j in art_start..total {
+            cost[j] = 1.0;
+        }
+        let (st, pv) = optimize(&mut tab.t, &mut tab.basis, &cost, None);
+        pivots += pv;
+        match st {
+            Pivoted::Optimal => {}
+            Pivoted::Unbounded => {
+                // Cannot happen: phase-1 is bounded below by 0.
+                return Ok(LpSolve {
+                    outcome: LpOutcome::Infeasible,
+                    basis: None,
+                    pivots,
+                });
+            }
+        }
+        let phase1: f64 = tab
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b >= art_start)
+            .map(|(i, _)| tab.t[i][total])
+            .sum();
+        if phase1 > FEAS_TOL {
+            return Ok(LpSolve {
+                outcome: LpOutcome::Infeasible,
+                basis: None,
+                pivots,
+            });
+        }
+        // Drive zero-level artificials out of the basis where possible.
+        for i in 0..m {
+            if tab.basis[i] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| tab.t[i][j].abs() > 1e-7) {
+                    pivot(&mut tab.t, &mut tab.basis, i, j);
+                    pivots += 1;
+                }
+            }
+        }
+    }
+
+    // Phase 2: minimize the (sense-adjusted) structural objective.
+    // Artificial columns are banned from entering.
+    let cost = phase2_cost(p, total);
+    let (st, pv) = optimize(&mut tab.t, &mut tab.basis, &cost, Some(art_start));
+    pivots += pv;
+    match st {
+        Pivoted::Optimal => {}
+        Pivoted::Unbounded => {
+            return Ok(LpSolve {
+                outcome: LpOutcome::Unbounded,
+                basis: None,
+                pivots,
+            })
+        }
+    }
+
+    let outcome = extract(p, bounds, &tab);
+    Ok(LpSolve {
+        outcome,
+        basis: Some(tab.snapshot()),
+        pivots,
+    })
+}
+
+pub(crate) enum Pivoted {
     Optimal,
     Unbounded,
 }
 
-/// Runs the simplex method on an already-canonical tableau. `banned_from`
-/// excludes columns `>= banned_from` from entering (used to freeze
-/// artificials in phase 2).
-fn optimize(
+/// Runs the primal simplex on an already-canonical feasible tableau.
+/// `banned_from` excludes columns `>= banned_from` from entering (used to
+/// freeze artificials in phase 2). Returns the status and pivot count.
+pub(crate) fn optimize(
     t: &mut [Vec<f64>],
     basis: &mut [usize],
     cost: &[f64],
     banned_from: Option<usize>,
-) -> Pivoted {
+) -> (Pivoted, u64) {
     let m = t.len();
     let total = cost.len();
     let rhs_col = total;
@@ -243,9 +403,10 @@ fn optimize(
                 }
             }
         }
+        let done = u64::try_from(iters - 1).unwrap_or(u64::MAX);
         let Some((e, _)) = entering else {
-            obs::add("mip.simplex.pivots", u64::try_from(iters - 1).unwrap_or(u64::MAX));
-            return Pivoted::Optimal;
+            obs::add("mip.simplex.pivots", done);
+            return (Pivoted::Optimal, done);
         };
         // Ratio test.
         let mut leave: Option<(usize, f64)> = None;
@@ -264,8 +425,8 @@ fn optimize(
             }
         }
         let Some((l, _)) = leave else {
-            obs::add("mip.simplex.pivots", u64::try_from(iters - 1).unwrap_or(u64::MAX));
-            return Pivoted::Unbounded;
+            obs::add("mip.simplex.pivots", done);
+            return (Pivoted::Unbounded, done);
         };
         pivot(t, basis, l, e);
     }
@@ -273,7 +434,7 @@ fn optimize(
 
 /// Pivots on `(row, col)`: normalizes the pivot row and eliminates the
 /// column from every other row.
-fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+pub(crate) fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
     let piv = t[row][col];
     debug_assert!(piv.abs() > EPS, "pivot on a (near-)zero element");
     let width = t[row].len();
@@ -304,7 +465,7 @@ mod tests {
         let bounds: Vec<(f64, f64)> = (0..p.num_vars())
             .map(|i| p.var_bounds(crate::VarId(i)))
             .collect();
-        solve_lp(p, &bounds).expect("valid problem")
+        solve_lp(p, &bounds).expect("valid problem").outcome
     }
 
     #[test]
@@ -449,5 +610,22 @@ mod tests {
             LpOutcome::Optimal { objective, .. } => assert!((objective - 11.0).abs() < 1e-9),
             o => panic!("unexpected {o:?}"),
         }
+    }
+
+    #[test]
+    fn optimal_solve_snapshots_a_basis() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_continuous("x", 0.0, 4.0);
+        let y = p.add_continuous("y", 0.0, 6.0);
+        p.set_objective(LinExpr::terms(&[(x, 3.0), (y, 5.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 3.0), (y, 2.0)]), Cmp::Le, 18.0);
+        let bounds = vec![(0.0, 4.0), (0.0, 6.0)];
+        let ls = solve_lp(&p, &bounds).expect("valid");
+        assert!(matches!(ls.outcome, LpOutcome::Optimal { .. }));
+        let basis = ls.basis.expect("optimal solves carry a basis");
+        // 1 constraint row + 2 upper-bound rows.
+        assert_eq!(basis.cols.len(), 3);
+        assert_eq!(basis.flips.len(), 3);
+        assert_eq!(basis.ub_vars, vec![0, 1]);
     }
 }

@@ -1,0 +1,361 @@
+//! Dual-simplex warm starts from a parent basis.
+//!
+//! A branch-and-bound child differs from its parent only in one variable's
+//! bounds, and consecutive sweep cells often differ only in a handful of
+//! rhs values. Both perturbations leave the constraint matrix and the
+//! objective untouched, so the parent's optimal basis stays *dual* feasible
+//! and only the rhs column must be repaired — the textbook dual-simplex
+//! setting. Warm solves skip phase 1 entirely.
+//!
+//! Lifecycle: every optimal LP solve snapshots its [`Basis`] (basic columns
+//! plus row orientations). A warm solve (1) rebuilds a tableau with the
+//! *parent's* row orientations so the column layout matches, (2) realizes
+//! the parent basis by Gaussian elimination restricted to the target
+//! columns with partial pivoting, (3) runs the dual simplex (leaving row =
+//! most negative rhs, entering column by the dual ratio test, deterministic
+//! lowest-index tie-breaks) until the rhs is nonnegative, then (4) polishes
+//! with the primal phase 2 and certifies that every artificial sits at
+//! zero.
+//!
+//! Any of those steps can fail — shape drift, a numerically singular basis,
+//! a pivot-budget stall, or a nonzero artificial — and each failure is a
+//! typed [`WarmReject`]; the caller falls back to the cold two-phase solve,
+//! which is always correct. A warm solve therefore never changes *what* is
+//! computed, only how fast.
+
+use crate::problem::{MipError, Problem};
+use crate::simplex::{
+    build_tableau, extract, optimize, phase2_cost, pivot, Basis, Build, LpOutcome, LpSolve,
+    Pivoted, EPS, FEAS_TOL,
+};
+
+/// Why a warm start was refused. The caller falls back to a cold solve;
+/// rejection is an efficiency event, never a correctness one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmReject {
+    /// The tableau shape differs from the basis' origin (different
+    /// variable count, row count, or finite-upper-bound structure).
+    Shape,
+    /// The basis matrix was numerically singular when realized on the new
+    /// tableau.
+    Singular,
+    /// The dual simplex (or the primal polish) exceeded its pivot budget
+    /// or otherwise failed to converge.
+    Stall,
+    /// An artificial variable remained at a nonzero level, so feasibility
+    /// cannot be certified from this basis.
+    Artificial,
+}
+
+/// Result of a warm-start attempt.
+pub(crate) enum Warm {
+    /// The basis was accepted and the LP solved from it.
+    Hit(LpSolve),
+    /// The basis was rejected; solve cold instead.
+    Reject(WarmReject),
+}
+
+/// Re-solves the LP relaxation of `p` under `bounds` starting from
+/// `parent`, a basis snapshotted by a previous optimal solve of a
+/// same-shaped problem.
+pub(crate) fn solve_lp_warm(
+    p: &Problem,
+    bounds: &[(f64, f64)],
+    parent: &Basis,
+) -> Result<Warm, MipError> {
+    // Shape pre-check: the column layout is determined by the structural
+    // count, the row count/orientations, and which variables carry a
+    // finite-upper-bound row. Any drift and the basis indices are
+    // meaningless here.
+    if parent.n != p.num_vars() {
+        return Ok(Warm::Reject(WarmReject::Shape));
+    }
+    let ub_now: Vec<usize> = bounds
+        .iter()
+        .enumerate()
+        .filter(|&(_, b)| b.1.is_finite())
+        .map(|(i, _)| i)
+        .collect();
+    if ub_now != parent.ub_vars
+        || parent.flips.len() != p.constraints.len() + ub_now.len()
+        || parent.cols.len() != parent.flips.len()
+    {
+        return Ok(Warm::Reject(WarmReject::Shape));
+    }
+
+    obs::add("mip.simplex.solves", 1);
+    let mut tab = match build_tableau(p, bounds, Some(&parent.flips))? {
+        Build::Ready(t) => t,
+        Build::Infeasible => {
+            return Ok(Warm::Hit(LpSolve {
+                outcome: LpOutcome::Infeasible,
+                basis: None,
+                pivots: 0,
+            }))
+        }
+    };
+    let m = tab.t.len();
+    let total = tab.total();
+    let art_start = tab.art_start();
+    if tab.n_slack != parent.n_slack || tab.n_art != parent.n_art {
+        return Ok(Warm::Reject(WarmReject::Shape));
+    }
+    let mut pivots = 0u64;
+
+    // Realize the parent basis: Gaussian elimination restricted to the
+    // target columns, partial pivoting over the still-unrealized rows.
+    // The constraint matrix here equals the parent's initial matrix (same
+    // coefficients, same orientations — only the rhs differs), for which
+    // the target columns form a nonsingular basis; a near-zero pivot can
+    // still arise numerically and rejects the warm start.
+    for &c in &parent.cols {
+        if c >= total {
+            return Ok(Warm::Reject(WarmReject::Shape));
+        }
+    }
+    let mut in_target = vec![false; total];
+    for &c in &parent.cols {
+        in_target[c] = true;
+    }
+    let mut row_done: Vec<bool> = tab.basis.iter().map(|&b| in_target[b]).collect();
+    for &c in &parent.cols {
+        if tab.basis.contains(&c) {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (r, &done) in row_done.iter().enumerate() {
+            if done {
+                continue;
+            }
+            let a = tab.t[r][c].abs();
+            if best.is_none_or(|(_, ba)| a > ba) {
+                best = Some((r, a));
+            }
+        }
+        let Some((r, a)) = best else {
+            return Ok(Warm::Reject(WarmReject::Singular));
+        };
+        if a <= 1e-7 {
+            return Ok(Warm::Reject(WarmReject::Singular));
+        }
+        pivot(&mut tab.t, &mut tab.basis, r, c);
+        pivots += 1;
+        row_done[r] = true;
+    }
+
+    // Dual simplex: repair primal feasibility (negative rhs entries) while
+    // the realized basis is (near-)dual feasible. Artificials are banned
+    // from entering — a row with negative rhs and no admissible negative
+    // entry is then a certificate of infeasibility, since every admissible
+    // variable is nonnegative and every nonbasic artificial is zero.
+    let cost = phase2_cost(p, total);
+    let stall_budget = 50 * (m + total);
+    let mut iters = 0usize;
+    loop {
+        // Leaving row: most negative rhs, lowest row index on ties.
+        let mut leave: Option<(usize, f64)> = None;
+        for (i, row) in tab.t.iter().enumerate() {
+            let r = row[total];
+            if r < -EPS && leave.is_none_or(|(_, lr)| r < lr) {
+                leave = Some((i, r));
+            }
+        }
+        let Some((l, _)) = leave else {
+            break; // primal feasible
+        };
+        iters += 1;
+        if iters > stall_budget {
+            return Ok(Warm::Reject(WarmReject::Stall));
+        }
+        // Entering column: dual ratio test over admissible columns with a
+        // negative entry in the leaving row; lowest index on ties.
+        let cb: Vec<f64> = tab.basis.iter().map(|&b| cost[b]).collect();
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..art_start {
+            if tab.basis.contains(&j) {
+                continue;
+            }
+            let a = tab.t[l][j];
+            if a < -EPS {
+                let mut rc = cost[j];
+                for i in 0..m {
+                    // exact-zero skip; lint: allow(float-eq)
+                    if cb[i] != 0.0 {
+                        rc -= cb[i] * tab.t[i][j];
+                    }
+                }
+                let ratio = rc / (-a);
+                let better = match entering {
+                    None => true,
+                    Some((ej, er)) => ratio < er - EPS || (ratio < er + EPS && j < ej),
+                };
+                if better {
+                    entering = Some((j, ratio));
+                }
+            }
+        }
+        let Some((e, _)) = entering else {
+            return Ok(Warm::Hit(LpSolve {
+                outcome: LpOutcome::Infeasible,
+                basis: None,
+                pivots,
+            }));
+        };
+        pivot(&mut tab.t, &mut tab.basis, l, e);
+        pivots += 1;
+    }
+
+    // Primal polish: the realization can leave residual negative reduced
+    // costs (it only guarantees primal feasibility was just repaired);
+    // phase 2 from a feasible basis finishes the job and certifies
+    // optimality regardless of the dual trajectory above.
+    let (st, pv) = optimize(&mut tab.t, &mut tab.basis, &cost, Some(art_start));
+    pivots += pv;
+    if matches!(st, Pivoted::Unbounded) {
+        // Bounds only shrink between related solves, so an unbounded ray
+        // here signals a numerically bad basis, not a real ray.
+        return Ok(Warm::Reject(WarmReject::Stall));
+    }
+    // Feasibility certificate: every artificial must sit at zero (phase 1
+    // would have guaranteed this; the warm path has to check).
+    let art_level: f64 = tab
+        .basis
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b >= art_start)
+        .map(|(i, _)| tab.t[i][total].abs())
+        .sum();
+    if art_level > FEAS_TOL {
+        return Ok(Warm::Reject(WarmReject::Artificial));
+    }
+
+    let outcome = extract(p, bounds, &tab);
+    let basis = tab.snapshot();
+    Ok(Warm::Hit(LpSolve {
+        outcome,
+        basis: Some(basis),
+        pivots,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Cmp, Problem, Sense};
+    use crate::simplex::solve_lp;
+
+    fn knapsackish() -> (Problem, Vec<(f64, f64)>) {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6).map(|i| p.add_binary(format!("v{i}"))).collect();
+        let mut obj = LinExpr::new();
+        let mut cons = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj.add_term(v, ((i * 3) % 7 + 1) as f64);
+            cons.add_term(v, ((i * 5) % 9 + 1) as f64);
+        }
+        p.set_objective(obj);
+        p.add_constraint(cons, Cmp::Le, 9.0);
+        let bounds = vec![(0.0, 1.0); 6];
+        (p, bounds)
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_on_tightened_bounds() {
+        let (p, bounds) = knapsackish();
+        let root = solve_lp(&p, &bounds).expect("valid");
+        let basis = root.basis.expect("optimal");
+        // Tighten one variable's bounds (a branch step) and compare.
+        for (var, lo, hi) in [(0, 0.0, 0.0), (0, 1.0, 1.0), (3, 1.0, 1.0)] {
+            let mut child = bounds.clone();
+            child[var] = (lo, hi);
+            let cold = solve_lp(&p, &child).expect("valid").outcome;
+            match solve_lp_warm(&p, &child, &basis).expect("valid") {
+                Warm::Hit(ls) => match (ls.outcome, cold) {
+                    (
+                        LpOutcome::Optimal { objective: a, .. },
+                        LpOutcome::Optimal { objective: b, .. },
+                    ) => {
+                        assert!((a - b).abs() < 1e-7, "var {var}: warm {a} vs cold {b}");
+                    }
+                    (w, c) => assert_eq!(w, c, "var {var}"),
+                },
+                Warm::Reject(r) => panic!("unexpected rejection {r:?} for var {var}"),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_solve_detects_child_infeasibility() {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        p.set_objective(LinExpr::terms(&[(a, 2.0), (b, 3.0)]));
+        p.add_constraint(LinExpr::terms(&[(a, 1.0), (b, 1.0)]), Cmp::Ge, 1.0);
+        let bounds = vec![(0.0, 1.0), (0.0, 1.0)];
+        let root = solve_lp(&p, &bounds).expect("valid");
+        let basis = root.basis.expect("optimal");
+        // Force both to zero: violates a + b >= 1.
+        let child = vec![(0.0, 0.0), (0.0, 0.0)];
+        match solve_lp_warm(&p, &child, &basis).expect("valid") {
+            Warm::Hit(ls) => assert_eq!(ls.outcome, LpOutcome::Infeasible),
+            Warm::Reject(r) => panic!("unexpected rejection {r:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_drift_is_a_typed_rejection() {
+        let (p, bounds) = knapsackish();
+        let basis = solve_lp(&p, &bounds).expect("valid").basis.expect("optimal");
+        // A different problem (one more variable) cannot use this basis.
+        let mut q = Problem::new(Sense::Maximize);
+        let xs: Vec<_> = (0..7).map(|i| q.add_binary(format!("w{i}"))).collect();
+        q.set_objective(LinExpr::terms(
+            &xs.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+        ));
+        let qb = vec![(0.0, 1.0); 7];
+        match solve_lp_warm(&q, &qb, &basis).expect("valid") {
+            Warm::Reject(WarmReject::Shape) => {}
+            other => panic!(
+                "expected shape rejection, got {:?}",
+                match other {
+                    Warm::Hit(_) => "hit",
+                    Warm::Reject(_) => "other reject",
+                }
+            ),
+        }
+    }
+
+    #[test]
+    fn rhs_perturbation_reuses_the_basis() {
+        // The "next sweep cell" case: same matrix, perturbed rhs via bounds.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_continuous("x", 0.0, 50.0);
+        let y = p.add_continuous("y", 0.0, 50.0);
+        p.set_objective(LinExpr::terms(&[(x, 3.0), (y, 2.0)]));
+        p.add_constraint(LinExpr::terms(&[(x, 2.0), (y, 1.0)]), Cmp::Ge, 7.0);
+        p.add_constraint(LinExpr::terms(&[(x, 1.0), (y, 3.0)]), Cmp::Ge, 9.0);
+        let bounds = vec![(0.0, 50.0), (0.0, 50.0)];
+        let mut basis = solve_lp(&p, &bounds).expect("valid").basis.expect("optimal");
+        for step in 1..=4 {
+            let f = f64::from(step);
+            let child = vec![(f, 50.0), (0.0, 50.0)]; // push x's lower bound up
+            let cold = solve_lp(&p, &child).expect("valid").outcome;
+            match solve_lp_warm(&p, &child, &basis).expect("valid") {
+                Warm::Hit(ls) => {
+                    match (&ls.outcome, &cold) {
+                        (
+                            LpOutcome::Optimal { objective: a, .. },
+                            LpOutcome::Optimal { objective: b, .. },
+                        ) => assert!((a - b).abs() < 1e-7, "step {step}: {a} vs {b}"),
+                        (w, c) => assert_eq!(w, c, "step {step}"),
+                    }
+                    if let Some(b) = ls.basis {
+                        basis = b; // chain: each cell warms the next
+                    }
+                }
+                Warm::Reject(r) => panic!("step {step}: unexpected rejection {r:?}"),
+            }
+        }
+    }
+}

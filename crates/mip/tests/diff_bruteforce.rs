@@ -151,7 +151,10 @@ fn brute_force(inst: &Instance) -> Option<(f64, Vec<f64>)> {
         if !feasible {
             continue;
         }
-        let obj: f64 = inst.objective.iter().zip(&assign).map(|(c, x)| c * x).sum();
+        // `+ 0.0`: `Sum<f64>` seeds from the first element, so an
+        // all-zero row sums to -0.0; fold it to +0.0 to match the
+        // solver's normalized zeros bit-for-bit.
+        let obj: f64 = inst.objective.iter().zip(&assign).map(|(c, x)| c * x).sum::<f64>() + 0.0;
         let better = match &best {
             None => true,
             Some((incumbent, _)) => match inst.sense {
@@ -214,6 +217,174 @@ fn branch_and_bound_matches_exhaustive_enumeration_on_200_instances() {
         feasible_count >= 40 && infeasible_count >= 10,
         "generator imbalance: {feasible_count} feasible / {infeasible_count} infeasible"
     );
+}
+
+/// A randomized instance whose objective is *tie-free by construction*:
+/// `coef_i = base_i * 4096 + 2^i` with `base_i ∈ -5..=5`. The `2^i` part
+/// is a unique binary fingerprint of the chosen assignment (it is
+/// recoverable mod 4096), so two distinct assignments can never share an
+/// objective value, every objective gap is ≥ 1, and all sums stay small
+/// exact integers — f64 arithmetic on them is associative and exact.
+/// With a unique optimum, *every* correct engine configuration must
+/// return the identical incumbent, which is what makes bit-level
+/// differential comparison meaningful.
+fn fingerprint_instance(rng: &mut Rng) -> Instance {
+    let n = usize::try_from(2 + rng.below(11)).expect("≤ 12"); // 2..=12 binaries
+    let m = usize::try_from(1 + rng.below(6)).expect("small"); // 1..=6 constraints
+    let sense = if rng.below(2) == 0 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut p = Problem::new(sense);
+    let vars: Vec<VarId> = (0..n).map(|i| p.add_binary(format!("x{i}"))).collect();
+    let objective: Vec<f64> = (0..n)
+        .map(|i| {
+            let fingerprint = f64::from(1u32 << u32::try_from(i).expect("i ≤ 11"));
+            rng.coef() * 4096.0 + fingerprint
+        })
+        .collect();
+    let mut obj = LinExpr::new();
+    for (v, c) in vars.iter().zip(&objective) {
+        obj.add_term(*v, *c);
+    }
+    p.set_objective(obj);
+    let mut constraints = Vec::with_capacity(m);
+    for _ in 0..m {
+        let coefs: Vec<f64> = (0..n).map(|_| rng.coef()).collect();
+        let cmp = match rng.below(8) {
+            0 => Cmp::Eq,
+            1..=4 => Cmp::Le,
+            _ => Cmp::Ge,
+        };
+        let lo: f64 = coefs.iter().map(|c| c.min(0.0)).sum();
+        let hi: f64 = coefs.iter().map(|c| c.max(0.0)).sum();
+        let span = u64::try_from((hi - lo).abs().round() as i64).unwrap_or(0); // small exact int; lint: allow(as-cast)
+        let rhs = lo + {
+            let raw = rng.below(span + 3);
+            let mut x = 0.0f64;
+            for _ in 0..raw {
+                x += 1.0;
+            }
+            x - 1.0
+        };
+        let mut e = LinExpr::new();
+        for (v, c) in vars.iter().zip(&coefs) {
+            e.add_term(*v, *c);
+        }
+        p.add_constraint(e, cmp, rhs);
+        constraints.push((coefs, cmp, rhs));
+    }
+    Instance {
+        problem: p,
+        vars,
+        objective,
+        constraints,
+        sense,
+    }
+}
+
+/// The tentpole differential claim: the four engine configurations —
+/// cold-serial (no presolve, no warm starts), presolved, warm-started,
+/// and fully-enabled parallel at 1/2/4 threads — agree *bit-identically*
+/// on status, objective, and every incumbent value, on ≥ 200 seeded
+/// instances, and the shared answer is the brute-force optimum.
+#[test]
+fn four_engine_configurations_agree_bitwise_on_200_instances() {
+    let mut rng = Rng(0x5eed_0b17);
+    let configs: Vec<(&str, Solver)> = vec![
+        (
+            "cold-serial",
+            Solver::new().presolve(false).warm_lp(false).threads(1),
+        ),
+        (
+            "presolved",
+            Solver::new().presolve(true).warm_lp(false).threads(1),
+        ),
+        (
+            "warm-started",
+            Solver::new().presolve(false).warm_lp(true).threads(1),
+        ),
+        (
+            "parallel-1",
+            Solver::new().presolve(true).warm_lp(true).threads(1),
+        ),
+        (
+            "parallel-2",
+            Solver::new().presolve(true).warm_lp(true).threads(2),
+        ),
+        (
+            "parallel-4",
+            Solver::new().presolve(true).warm_lp(true).threads(4),
+        ),
+    ];
+    let (mut feasible_count, mut infeasible_count, mut warm_hits) = (0u32, 0u32, 0u64);
+    for case in 0..200 {
+        let inst = fingerprint_instance(&mut rng);
+        let oracle = brute_force(&inst);
+        let reference = configs[0]
+            .1
+            .solve(&inst.problem)
+            .unwrap_or_else(|e| panic!("case {case} [cold-serial]: solver error {e:?}"));
+        // Cold-serial vs the exhaustive oracle (exact integer data, same
+        // index-order summation: equality is exact, not approximate).
+        match &oracle {
+            Some((best_obj, best_assign)) => {
+                feasible_count += 1;
+                assert_eq!(reference.status, SolveStatus::Optimal, "case {case}");
+                assert_eq!(
+                    reference.objective.to_bits(),
+                    best_obj.to_bits(),
+                    "case {case}: cold-serial objective {} vs oracle {}",
+                    reference.objective,
+                    best_obj
+                );
+                assert_eq!(
+                    reference.values(),
+                    best_assign.as_slice(),
+                    "case {case}: unique optimum, incumbent must match the oracle"
+                );
+            }
+            None => {
+                infeasible_count += 1;
+                assert_eq!(reference.status, SolveStatus::Infeasible, "case {case}");
+            }
+        }
+        for (name, solver) in configs.iter().skip(1) {
+            let sol = solver
+                .solve(&inst.problem)
+                .unwrap_or_else(|e| panic!("case {case} [{name}]: solver error {e:?}"));
+            warm_hits += sol.stats.warm_hits;
+            assert_eq!(sol.status, reference.status, "case {case} [{name}]");
+            if reference.status == SolveStatus::Optimal {
+                assert_eq!(
+                    sol.objective.to_bits(),
+                    reference.objective.to_bits(),
+                    "case {case} [{name}]: objective {} vs cold-serial {}",
+                    sol.objective,
+                    reference.objective
+                );
+                let same = sol
+                    .values()
+                    .iter()
+                    .zip(reference.values())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(
+                    same && sol.values().len() == reference.values().len(),
+                    "case {case} [{name}]: incumbent values diverge from cold-serial: {:?} vs {:?}",
+                    sol.values(),
+                    reference.values()
+                );
+            }
+        }
+    }
+    assert!(
+        feasible_count >= 40 && infeasible_count >= 10,
+        "generator imbalance: {feasible_count} feasible / {infeasible_count} infeasible"
+    );
+    // The warm-started configurations must actually exercise the warm
+    // path, or the equivalence claim is vacuous.
+    assert!(warm_hits > 0, "no warm-start hits across the whole sweep");
 }
 
 #[test]

@@ -1,0 +1,316 @@
+//! Metamorphic tests: solution-preserving problem transformations.
+//!
+//! Each transformation below provably maps a MILP onto an equivalent one;
+//! a correct solver must report the *same answer* on both. To make "same"
+//! checkable at the bit level the generated instances carry a tie-free
+//! objective (`coef_i = base_i * 4096 + 2^i`, small exact integers): the
+//! optimum assignment is unique, so the incumbent is fully determined and
+//! the transformations below cannot legitimately change it.
+//!
+//! Transformations covered:
+//!
+//! * **Constraint row permutation** — reordering `add_constraint` calls.
+//! * **Variable reindexing** — adding the variables (and every term) in a
+//!   permuted order; the incumbent must map through the permutation.
+//! * **Positive objective scaling** — multiplying the objective by `k > 0`
+//!   scales the optimal value by exactly `k` (exact in f64 for these
+//!   integer instances) and leaves the argmax untouched.
+//!
+//! # The pinned tie-break rule
+//!
+//! On instances *with* objective ties the engine's choice is still
+//! deterministic, by the following documented protocol (see
+//! `crates/mip/src/branch.rs` module docs):
+//!
+//! 1. nodes are explored best-first by LP bound, ties by insertion order;
+//! 2. the branching variable is the most fractional integer variable,
+//!    ties toward the lowest variable index;
+//! 3. the down-branch (`floor`) is enqueued before the up-branch;
+//! 4. an incumbent is replaced only by a *strictly better* objective —
+//!    on a tie, the first incumbent found in this fixed order wins.
+//!
+//! The `tie_break_is_pinned` test freezes that choice on a crafted tying
+//! instance so any change to the protocol is a visible diff, not a silent
+//! reshuffle.
+
+use mip::{Cmp, LinExpr, Problem, Sense, SolveStatus, Solver};
+
+/// SplitMix64: deterministic, seedable, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Small signed integer coefficient in `-5..=5`, exactly representable.
+    fn coef(&mut self) -> f64 {
+        let raw = self.below(11);
+        let centered = i64::try_from(raw).expect("raw < 11") - 5;
+        let mut x = 0.0f64;
+        for _ in 0..centered.unsigned_abs() {
+            x += 1.0;
+        }
+        if centered < 0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+/// Raw data of one tie-free instance; `build` variants assemble it into a
+/// [`Problem`] under different presentations.
+struct Raw {
+    n: usize,
+    sense: Sense,
+    /// Tie-free objective coefficients (see module docs).
+    obj: Vec<f64>,
+    /// Rows as `(coefficients, cmp, rhs)`.
+    rows: Vec<(Vec<f64>, Cmp, f64)>,
+}
+
+fn random_raw(rng: &mut Rng) -> Raw {
+    let n = usize::try_from(3 + rng.below(8)).expect("≤ 10"); // 3..=10 binaries
+    let m = usize::try_from(2 + rng.below(4)).expect("small"); // 2..=5 rows
+    let sense = if rng.below(2) == 0 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let obj: Vec<f64> = (0..n)
+        .map(|i| {
+            let fingerprint = f64::from(1u32 << u32::try_from(i).expect("i ≤ 9"));
+            rng.coef() * 4096.0 + fingerprint
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(m);
+    for _ in 0..m {
+        let coefs: Vec<f64> = (0..n).map(|_| rng.coef()).collect();
+        let cmp = match rng.below(8) {
+            0 => Cmp::Eq,
+            1..=4 => Cmp::Le,
+            _ => Cmp::Ge,
+        };
+        let lo: f64 = coefs.iter().map(|c| c.min(0.0)).sum();
+        let hi: f64 = coefs.iter().map(|c| c.max(0.0)).sum();
+        let span = u64::try_from((hi - lo).abs().round() as i64).unwrap_or(0); // small exact int; lint: allow(as-cast)
+        let rhs = lo + {
+            let raw = rng.below(span + 3);
+            let mut x = 0.0f64;
+            for _ in 0..raw {
+                x += 1.0;
+            }
+            x - 1.0
+        };
+        rows.push((coefs, cmp, rhs));
+    }
+    Raw {
+        n,
+        sense,
+        obj,
+        rows,
+    }
+}
+
+/// Builds the instance with rows in `row_order`, variables in
+/// `var_order` (`var_order[j]` = original index of the j-th added
+/// variable), and the objective scaled by `scale`.
+fn build(raw: &Raw, row_order: &[usize], var_order: &[usize], scale: f64) -> Problem {
+    let mut p = Problem::new(raw.sense);
+    // vid_of[original index] = VarId in the permuted problem.
+    let mut vid_of = vec![None; raw.n];
+    for &oi in var_order {
+        vid_of[oi] = Some(p.add_binary(format!("x{oi}")));
+    }
+    let vid = |oi: usize| vid_of[oi].expect("every var added");
+    let mut obj = LinExpr::new();
+    for &oi in var_order {
+        obj.add_term(vid(oi), raw.obj[oi] * scale);
+    }
+    p.set_objective(obj);
+    for &ri in row_order {
+        let (coefs, cmp, rhs) = &raw.rows[ri];
+        let mut e = LinExpr::new();
+        for &oi in var_order {
+            e.add_term(vid(oi), coefs[oi]);
+        }
+        p.add_constraint(e, *cmp, *rhs);
+    }
+    p
+}
+
+fn identity(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// A deterministic shuffle of `0..n` derived from the rng.
+fn permutation(rng: &mut Rng, n: usize) -> Vec<usize> {
+    let mut p = identity(n);
+    for i in (1..n).rev() {
+        let j = usize::try_from(rng.below(u64::try_from(i + 1).expect("small"))).expect("≤ i");
+        p.swap(i, j);
+    }
+    p
+}
+
+#[test]
+fn constraint_row_permutation_leaves_the_incumbent_invariant() {
+    let mut rng = Rng(0x0e7a_0001);
+    let solver = Solver::new();
+    let mut optimal = 0u32;
+    for case in 0..60 {
+        let raw = random_raw(&mut rng);
+        let rows = identity(raw.rows.len());
+        let vars = identity(raw.n);
+        let base = solver
+            .solve(&build(&raw, &rows, &vars, 1.0))
+            .expect("valid problem");
+        for (pname, order) in [
+            ("reversed", rows.iter().rev().copied().collect::<Vec<_>>()),
+            ("rotated", {
+                let mut r = rows.clone();
+                r.rotate_left(1);
+                r
+            }),
+            ("shuffled", permutation(&mut rng, raw.rows.len())),
+        ] {
+            let sol = solver
+                .solve(&build(&raw, &order, &vars, 1.0))
+                .expect("valid problem");
+            assert_eq!(sol.status, base.status, "case {case} [{pname}]");
+            if base.status == SolveStatus::Optimal {
+                optimal += 1;
+                assert_eq!(
+                    sol.objective.to_bits(),
+                    base.objective.to_bits(),
+                    "case {case} [{pname}]: objective changed under row permutation"
+                );
+                assert_eq!(
+                    sol.values(),
+                    base.values(),
+                    "case {case} [{pname}]: incumbent changed under row permutation"
+                );
+            }
+        }
+    }
+    assert!(optimal >= 30, "too few optimal cases ({optimal}) to be meaningful");
+}
+
+#[test]
+fn variable_reindexing_maps_the_incumbent_through_the_permutation() {
+    let mut rng = Rng(0x0e7a_0002);
+    let solver = Solver::new();
+    let mut optimal = 0u32;
+    for case in 0..60 {
+        let raw = random_raw(&mut rng);
+        let rows = identity(raw.rows.len());
+        let base = solver
+            .solve(&build(&raw, &rows, &identity(raw.n), 1.0))
+            .expect("valid problem");
+        let perm = permutation(&mut rng, raw.n);
+        let sol = solver
+            .solve(&build(&raw, &rows, &perm, 1.0))
+            .expect("valid problem");
+        assert_eq!(sol.status, base.status, "case {case}");
+        if base.status == SolveStatus::Optimal {
+            optimal += 1;
+            assert_eq!(
+                sol.objective.to_bits(),
+                base.objective.to_bits(),
+                "case {case}: objective changed under variable reindexing"
+            );
+            // The j-th variable of the permuted problem is original
+            // variable perm[j]; its value must match bit-for-bit.
+            for (j, &oi) in perm.iter().enumerate() {
+                assert_eq!(
+                    sol.values()[j].to_bits(),
+                    base.values()[oi].to_bits(),
+                    "case {case}: value of original var {oi} moved under reindexing"
+                );
+            }
+        }
+    }
+    assert!(optimal >= 20, "too few optimal cases ({optimal}) to be meaningful");
+}
+
+#[test]
+fn positive_objective_scaling_preserves_the_argmax_exactly() {
+    let mut rng = Rng(0x0e7a_0003);
+    let solver = Solver::new();
+    let mut optimal = 0u32;
+    for case in 0..40 {
+        let raw = random_raw(&mut rng);
+        let rows = identity(raw.rows.len());
+        let vars = identity(raw.n);
+        let base = solver
+            .solve(&build(&raw, &rows, &vars, 1.0))
+            .expect("valid problem");
+        // Powers of two are exact rescalings of every f64; 3.0 is exact
+        // here because all coefficients and sums are small integers.
+        for scale in [2.0, 4.0, 32.0, 3.0] {
+            let sol = solver
+                .solve(&build(&raw, &rows, &vars, scale))
+                .expect("valid problem");
+            assert_eq!(sol.status, base.status, "case {case} [scale {scale}]");
+            if base.status == SolveStatus::Optimal {
+                optimal += 1;
+                assert_eq!(
+                    sol.objective.to_bits(),
+                    (base.objective * scale).to_bits(),
+                    "case {case} [scale {scale}]: objective is not the exact rescaling"
+                );
+                assert_eq!(
+                    sol.values(),
+                    base.values(),
+                    "case {case} [scale {scale}]: argmax changed under objective scaling"
+                );
+            }
+        }
+    }
+    assert!(optimal >= 20, "too few optimal cases ({optimal}) to be meaningful");
+}
+
+/// Freezes the documented tie-break (module docs, rule 4: first-found
+/// incumbent wins on equal objective) on the canonical tying instance
+/// `max x0 + x1 s.t. x0 + x1 <= 1`: both `(1,0)` and `(0,1)` are optimal,
+/// the engine must pick one deterministically at every thread count — and
+/// the pick itself is pinned so a protocol change cannot hide.
+#[test]
+fn tie_break_is_pinned() {
+    let build_tie = || {
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        p.set_objective(LinExpr::terms(&[(a, 1.0), (b, 1.0)]));
+        p.add_constraint(LinExpr::terms(&[(a, 1.0), (b, 1.0)]), Cmp::Le, 1.0);
+        p
+    };
+    let reference = Solver::new().threads(1).solve(&build_tie()).expect("solves");
+    assert_eq!(reference.status, SolveStatus::Optimal);
+    assert!((reference.objective - 1.0).abs() < 1e-9);
+    // Pin the actual choice: the down-branch-first, lowest-index protocol
+    // lands on x0 = 1, x1 = 0. If this assertion starts failing the
+    // tie-break protocol changed — update the module docs *and* this pin
+    // together, and expect golden results downstream to move.
+    assert_eq!(reference.values(), &[1.0, 0.0], "pinned tie-break choice");
+    for threads in [2, 4] {
+        let sol = Solver::new()
+            .threads(threads)
+            .solve(&build_tie())
+            .expect("solves");
+        assert_eq!(sol.values(), reference.values(), "threads {threads}");
+        assert_eq!(sol.objective.to_bits(), reference.objective.to_bits());
+    }
+    // Repeat solves are bit-stable.
+    let again = Solver::new().threads(1).solve(&build_tie()).expect("solves");
+    assert_eq!(again.values(), reference.values());
+}

@@ -1,0 +1,349 @@
+//! Structure-aware fuzz: degenerate problems get typed outcomes, never
+//! panics.
+//!
+//! The generator deliberately produces the problem shapes that break
+//! naive solvers — empty objectives, inverted and non-finite bounds,
+//! unbounded integer lattices, singleton and zero-coefficient rows,
+//! contradictory constraint pairs — and pins three contracts:
+//!
+//! 1. **No panics**: every generated problem either validates and solves
+//!    or fails with a typed [`mip::MipError`]. (The suite running to
+//!    completion *is* the assertion; any panic fails the test.)
+//! 2. **`Problem::validate` agrees with the solver**: `solve` errors
+//!    exactly when `validate` errors, and with the same variant —
+//!    validation is the single gate, not a best-effort hint.
+//! 3. **Presolve agrees with the full engine**: a typed
+//!    `PresolveResult::Infeasible` must match a presolve-less solve
+//!    reporting `Infeasible`, a `FixedAll` must match its `Optimal`
+//!    objective, and a `Reduced` problem must re-validate cleanly.
+
+use mip::{
+    presolve, Cmp, LinExpr, MipError, PresolveResult, Problem, Sense, SolveStatus, Solver, VarId,
+};
+
+/// SplitMix64: deterministic, seedable, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn coef(&mut self) -> f64 {
+        let raw = self.below(11);
+        let centered = i64::try_from(raw).expect("raw < 11") - 5;
+        let mut x = 0.0f64;
+        for _ in 0..centered.unsigned_abs() {
+            x += 1.0;
+        }
+        if centered < 0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+/// Degeneracy classes the generator injects (one per instance, plus
+/// whatever the random structure produces on its own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Degeneracy {
+    None,
+    EmptyObjective,
+    InvertedBounds,
+    NanBound,
+    InfiniteCoef,
+    UnboundedInteger,
+    UnboundedBelow,
+    NanRhs,
+    ContradictorySingletons,
+    ZeroRow,
+}
+
+const CLASSES: [Degeneracy; 10] = [
+    Degeneracy::None,
+    Degeneracy::EmptyObjective,
+    Degeneracy::InvertedBounds,
+    Degeneracy::NanBound,
+    Degeneracy::InfiniteCoef,
+    Degeneracy::UnboundedInteger,
+    Degeneracy::UnboundedBelow,
+    Degeneracy::NanRhs,
+    Degeneracy::ContradictorySingletons,
+    Degeneracy::ZeroRow,
+];
+
+fn generate(rng: &mut Rng, class: Degeneracy) -> Problem {
+    let n = usize::try_from(1 + rng.below(7)).expect("≤ 8");
+    let sense = if rng.below(2) == 0 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut p = Problem::new(sense);
+    let bad_var = usize::try_from(rng.below(u64::try_from(n).expect("small"))).expect("< n");
+    let mut vars: Vec<VarId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let injected = i == bad_var;
+        let v = match rng.below(3) {
+            0 => p.add_binary(format!("b{i}")),
+            1 => {
+                let lo = rng.coef().min(0.0);
+                let hi = lo + f64::from(u32::try_from(rng.below(5)).expect("small"));
+                match class {
+                    Degeneracy::InvertedBounds if injected => {
+                        p.add_integer(format!("i{i}"), hi + 2.0, lo)
+                    }
+                    Degeneracy::UnboundedInteger if injected => {
+                        p.add_integer(format!("i{i}"), lo, f64::INFINITY)
+                    }
+                    Degeneracy::NanBound if injected => {
+                        p.add_integer(format!("i{i}"), lo, f64::NAN)
+                    }
+                    _ => p.add_integer(format!("i{i}"), lo, hi),
+                }
+            }
+            _ => {
+                let lo = rng.coef().min(0.0);
+                let hi = lo + f64::from(u32::try_from(rng.below(6)).expect("small"));
+                match class {
+                    Degeneracy::UnboundedBelow if injected => {
+                        p.add_continuous(format!("c{i}"), f64::NEG_INFINITY, hi)
+                    }
+                    _ => p.add_continuous(format!("c{i}"), lo, hi),
+                }
+            }
+        };
+        vars.push(v);
+    }
+
+    if class != Degeneracy::EmptyObjective {
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            let mut c = rng.coef();
+            // Regenerate literal zeros so the objective genuinely
+            // references every variable; lint: allow(float-eq)
+            if c == 0.0 {
+                c = 1.0;
+            }
+            if class == Degeneracy::InfiniteCoef && i == bad_var {
+                c = f64::INFINITY;
+            }
+            obj.add_term(v, c);
+        }
+        p.set_objective(obj);
+    }
+
+    let m = usize::try_from(rng.below(5)).expect("≤ 4");
+    for _ in 0..m {
+        let mut e = LinExpr::new();
+        // Structure-aware row shapes: full rows, singletons, zero rows.
+        match rng.below(4) {
+            0 => {
+                // Singleton row.
+                e.add_term(vars[bad_var], rng.coef());
+            }
+            1 => { /* zero row: no terms at all */ }
+            _ => {
+                for &v in &vars {
+                    e.add_term(v, rng.coef());
+                }
+            }
+        }
+        let cmp = match rng.below(3) {
+            0 => Cmp::Eq,
+            1 => Cmp::Le,
+            _ => Cmp::Ge,
+        };
+        let rhs = if class == Degeneracy::NanRhs {
+            f64::NAN
+        } else {
+            rng.coef()
+        };
+        p.add_constraint(e, cmp, rhs);
+    }
+    match class {
+        Degeneracy::ContradictorySingletons => {
+            // x >= 2 and x <= 1 on the same variable.
+            p.add_constraint(LinExpr::from(vars[bad_var]), Cmp::Ge, 2.0);
+            p.add_constraint(LinExpr::from(vars[bad_var]), Cmp::Le, 1.0);
+        }
+        Degeneracy::ZeroRow => {
+            // An explicitly false empty row: 0 >= 1.
+            p.add_constraint(LinExpr::new(), Cmp::Ge, 1.0);
+        }
+        _ => {}
+    }
+    p
+}
+
+/// A fully pinned instance: every variable is forced by a singleton
+/// equality row, so presolve must short-circuit to `FixedAll` without
+/// the branch-and-bound engine ever running.
+fn generate_pinned(rng: &mut Rng) -> Problem {
+    let n = usize::try_from(1 + rng.below(5)).expect("≤ 6");
+    let sense = if rng.below(2) == 0 {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    let mut p = Problem::new(sense);
+    let mut obj = LinExpr::new();
+    for i in 0..n {
+        let lo = rng.coef().min(0.0);
+        let v = if rng.below(2) == 0 {
+            p.add_integer(format!("i{i}"), lo, lo + 4.0)
+        } else {
+            p.add_continuous(format!("c{i}"), lo, lo + 4.0)
+        };
+        obj.add_term(v, rng.coef() + 7.0); // nonzero, all positive
+        let pin = lo + f64::from(u32::try_from(rng.below(5)).expect("small"));
+        p.add_constraint(LinExpr::from(v), Cmp::Eq, pin);
+    }
+    p.set_objective(obj);
+    p
+}
+
+/// The same error *variant* (field values may carry names/indices that
+/// differ in formatting, the variant is the typed contract).
+fn same_variant(a: &MipError, b: &MipError) -> bool {
+    matches!(
+        (a, b),
+        (MipError::InvalidBounds { .. }, MipError::InvalidBounds { .. })
+            | (MipError::UnboundedBelow { .. }, MipError::UnboundedBelow { .. })
+            | (MipError::UnknownVariable { .. }, MipError::UnknownVariable { .. })
+            | (MipError::NonFinite, MipError::NonFinite)
+            | (MipError::UnboundedInteger { .. }, MipError::UnboundedInteger { .. })
+            | (MipError::EmptyObjective, MipError::EmptyObjective)
+    )
+}
+
+#[test]
+fn degenerate_problems_get_typed_outcomes_and_validate_agrees() {
+    let mut rng = Rng(0xfa22_0001);
+    let (mut valid, mut invalid) = (0u32, 0u32);
+    for case in 0..400 {
+        let class = CLASSES[usize::try_from(rng.below(10)).expect("< 10")];
+        let p = generate(&mut rng, class);
+        let validation = p.validate();
+        let solved = Solver::new().solve(&p);
+        match (&validation, &solved) {
+            (Ok(()), Ok(sol)) => {
+                valid += 1;
+                // Typed statuses only, and usable incumbents are feasible.
+                if sol.has_solution() {
+                    assert!(
+                        p.is_feasible(sol.values(), 1e-6),
+                        "case {case} [{class:?}]: incumbent violates constraints"
+                    );
+                    assert!(
+                        sol.objective.is_finite(),
+                        "case {case} [{class:?}]: non-finite objective on a solution"
+                    );
+                } else {
+                    assert!(
+                        matches!(
+                            sol.status,
+                            SolveStatus::Infeasible
+                                | SolveStatus::Unbounded
+                                | SolveStatus::LimitReached
+                        ),
+                        "case {case} [{class:?}]: untyped status {:?}",
+                        sol.status
+                    );
+                }
+            }
+            (Err(ve), Err(se)) => {
+                invalid += 1;
+                assert!(
+                    same_variant(ve, se),
+                    "case {case} [{class:?}]: validate said {ve:?}, solve said {se:?}"
+                );
+            }
+            (Ok(()), Err(se)) => {
+                panic!("case {case} [{class:?}]: validate passed but solve errored: {se:?}")
+            }
+            (Err(ve), Ok(sol)) => panic!(
+                "case {case} [{class:?}]: validate rejected ({ve:?}) but solve returned {:?}",
+                sol.status
+            ),
+        }
+    }
+    assert!(
+        valid >= 100 && invalid >= 100,
+        "generator imbalance: {valid} valid / {invalid} invalid"
+    );
+}
+
+#[test]
+fn presolve_outcomes_agree_with_the_presolve_less_engine() {
+    let mut rng = Rng(0xfa22_0002);
+    let reference = Solver::new().presolve(false).warm_lp(false).threads(1);
+    let (mut infeasible, mut fixed_all, mut reduced) = (0u32, 0u32, 0u32);
+    for case in 0..400 {
+        let class = CLASSES[usize::try_from(rng.below(10)).expect("< 10")];
+        let p = if case % 16 == 5 {
+            generate_pinned(&mut rng)
+        } else {
+            generate(&mut rng, class)
+        };
+        if p.validate().is_err() {
+            continue; // presolve's contract starts at a validated problem
+        }
+        match presolve(&p) {
+            PresolveResult::Infeasible { reason } => {
+                infeasible += 1;
+                assert!(!reason.is_empty(), "case {case}: empty infeasibility reason");
+                let sol = reference.solve(&p).expect("validated problem");
+                assert_eq!(
+                    sol.status,
+                    SolveStatus::Infeasible,
+                    "case {case} [{class:?}]: presolve says infeasible ({reason}), engine says {:?}",
+                    sol.status
+                );
+            }
+            PresolveResult::FixedAll { values, objective, .. } => {
+                fixed_all += 1;
+                assert!(
+                    p.is_feasible(&values, 1e-6),
+                    "case {case} [{class:?}]: FixedAll point is infeasible"
+                );
+                let sol = reference.solve(&p).expect("validated problem");
+                assert_eq!(sol.status, SolveStatus::Optimal, "case {case} [{class:?}]");
+                assert!(
+                    (sol.objective - objective).abs() <= 1e-6,
+                    "case {case} [{class:?}]: FixedAll objective {objective} vs engine {}",
+                    sol.objective
+                );
+            }
+            PresolveResult::Reduced(r) => {
+                reduced += 1;
+                // The reduced problem must be well-formed...
+                r.problem()
+                    .validate()
+                    .unwrap_or_else(|e| panic!("case {case} [{class:?}]: reduced problem invalid: {e:?}"));
+                // ...and postsolve must produce original-width vectors.
+                let probe: Vec<f64> = (0..r.problem().num_vars())
+                    .map(|_| 0.0)
+                    .collect();
+                assert_eq!(
+                    r.postsolve(&probe).len(),
+                    p.num_vars(),
+                    "case {case}: postsolve width mismatch"
+                );
+            }
+        }
+    }
+    assert!(
+        infeasible >= 10 && fixed_all >= 5 && reduced >= 50,
+        "generator imbalance: {infeasible} infeasible / {fixed_all} fixed-all / {reduced} reduced"
+    );
+}

@@ -37,7 +37,7 @@ build() { # build <name> <root-file> [extra args...]
 build nnmodel  $R/crates/nnmodel/src/lib.rs  $X_SERDE
 build faultsim $R/crates/faultsim/src/lib.rs
 build obs      $R/crates/obs/src/lib.rs --extern faultsim=libfaultsim.rlib
-build mip      $R/crates/mip/src/lib.rs --extern obs=libobs.rlib
+build mip      $R/crates/mip/src/lib.rs --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 build benes    $R/crates/benes/src/lib.rs
 build pucost   $R/crates/pucost/src/lib.rs   $X_SERDE --extern nnmodel=libnnmodel.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 build bayesopt $R/crates/bayesopt/src/lib.rs $X_RAND --extern obs=libobs.rlib
@@ -45,7 +45,7 @@ build spa-arch $R/crates/spa-arch/src/lib.rs $X_SERDE --extern nnmodel=libnnmode
 build spa-sim  $R/crates/spa-sim/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib
 build spa-codegen $R/crates/spa-codegen/src/lib.rs --extern nnmodel=libnnmodel.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib
 build autoseg  $R/crates/autoseg/src/lib.rs  $X_SERDE --extern nnmodel=libnnmodel.rlib --extern mip=libmip.rlib --extern bayesopt=libbayesopt.rlib --extern benes=libbenes.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
-X_ALL="--extern nnmodel=libnnmodel.rlib --extern autoseg=libautoseg.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib --extern bayesopt=libbayesopt.rlib"
+X_ALL="--extern nnmodel=libnnmodel.rlib --extern autoseg=libautoseg.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern benes=libbenes.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib --extern bayesopt=libbayesopt.rlib --extern mip=libmip.rlib"
 build experiments $R/crates/experiments/src/lib.rs $X_ALL
 # serving layer (before the experiment bins: bench_serve links it)
 build serve $R/crates/serve/src/lib.rs $X_ALL

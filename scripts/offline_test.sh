@@ -32,7 +32,7 @@ t() { # t <name> <root-file> [extra...]
 t nnmodel  $R/crates/nnmodel/src/lib.rs  $X_SERDE
 t faultsim $R/crates/faultsim/src/lib.rs
 t obs      $R/crates/obs/src/lib.rs --extern faultsim=libfaultsim.rlib
-t mip      $R/crates/mip/src/lib.rs --extern obs=libobs.rlib
+t mip      $R/crates/mip/src/lib.rs --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t benes    $R/crates/benes/src/lib.rs
 t pucost   $R/crates/pucost/src/lib.rs   $X_SERDE --extern nnmodel=libnnmodel.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
 t bayesopt $R/crates/bayesopt/src/lib.rs $X_RAND --extern obs=libobs.rlib
@@ -53,7 +53,7 @@ t pucost-batch-diff $R/crates/pucost/tests/batch_diff.rs --extern pucost=libpuco
 t dse-equiv  $R/crates/autoseg/tests/dse_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib
 t obs-equiv  $R/crates/autoseg/tests/obs_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib
 t resume-equiv $R/crates/autoseg/tests/resume_equiv.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
-t fault-matrix $R/crates/autoseg/tests/fault_matrix.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib
+t fault-matrix $R/crates/autoseg/tests/fault_matrix.rs --extern autoseg=libautoseg.rlib --extern nnmodel=libnnmodel.rlib --extern spa_arch=libspa_arch.rlib --extern spa_sim=libspa_sim.rlib --extern pucost=libpucost.rlib --extern obs=libobs.rlib --extern faultsim=libfaultsim.rlib --extern mip=libmip.rlib
 t serve-integration $R/crates/serve/tests/serve_integration.rs --extern serve=libserve.rlib $X_ALL
 t proto-fuzz $R/crates/serve/tests/proto_fuzz.rs --extern serve=libserve.rlib $X_ALL
 t ring-prop $R/crates/serve/tests/ring_prop.rs --extern serve=libserve.rlib $X_ALL
@@ -61,6 +61,8 @@ t ring-prop $R/crates/serve/tests/ring_prop.rs --extern serve=libserve.rlib $X_A
 # spa-serve binary offline_check.sh built.
 SPA_SERVE_BIN=$L/bin_spa_serve t fleet-integration $R/crates/serve/tests/fleet_integration.rs --extern serve=libserve.rlib $X_ALL
 t mip-diff $R/crates/mip/tests/diff_bruteforce.rs --extern mip=libmip.rlib --extern obs=libobs.rlib
+t mip-metamorphic $R/crates/mip/tests/metamorphic.rs --extern mip=libmip.rlib --extern obs=libobs.rlib
+t mip-problem-fuzz $R/crates/mip/tests/problem_fuzz.rs --extern mip=libmip.rlib --extern obs=libobs.rlib
 t benes-route $R/crates/benes/tests/route_prop.rs --extern benes=libbenes.rlib
 t sim-cross $R/crates/spa-sim/tests/model_cross.rs $X_SERDE --extern spa_sim=libspa_sim.rlib --extern nnmodel=libnnmodel.rlib --extern pucost=libpucost.rlib --extern spa_arch=libspa_arch.rlib --extern autoseg=libautoseg.rlib --extern obs=libobs.rlib
 # golden regression harness, driving the bin_* executables built by
